@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the BDD substrate (the CUDD substitute).
+
+The gate rules spend essentially all their time in the manager's ITE / apply
+operations and in cofactoring, so the substrate's throughput determines the
+headline numbers of every other benchmark.  These micro-benchmarks track the
+cost of the three dominant operation patterns on structured functions of the
+size the simulator actually produces.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdd import BddManager
+
+from conftest import scale_choice
+
+NUM_VARS = scale_choice(24, 48)
+NUM_TERMS = scale_choice(40, 120)
+
+
+def _random_dnf(manager: BddManager, rng: random.Random, num_terms: int):
+    """A random DNF over the manager's variables (a structured mid-size BDD)."""
+    function = manager.false
+    for _ in range(num_terms):
+        cube = manager.true
+        for var in rng.sample(range(manager.num_vars), 4):
+            cube = cube & manager.literal(var, rng.random() < 0.5)
+        function = function | cube
+    return function
+
+
+def test_bdd_conjunction(benchmark):
+    """AND of two random DNFs."""
+    rng = random.Random(3)
+    manager = BddManager(NUM_VARS)
+    f = _random_dnf(manager, rng, NUM_TERMS)
+    g = _random_dnf(manager, rng, NUM_TERMS)
+
+    result = benchmark(lambda: (f & g).count_nodes())
+    benchmark.extra_info["num_vars"] = NUM_VARS
+    benchmark.extra_info["result_nodes"] = result
+    assert result >= 1
+
+
+def test_bdd_xor_adder_step(benchmark):
+    """One symbolic full-adder step (the inner loop of every Table II rule)."""
+    rng = random.Random(5)
+    manager = BddManager(NUM_VARS)
+    a = _random_dnf(manager, rng, NUM_TERMS)
+    b = _random_dnf(manager, rng, NUM_TERMS)
+    carry = _random_dnf(manager, rng, NUM_TERMS // 2)
+
+    def adder_step():
+        total = a ^ b ^ carry
+        carry_out = (a & b) | ((a | b) & carry)
+        return total.count_nodes() + carry_out.count_nodes()
+
+    result = benchmark(adder_step)
+    benchmark.extra_info["result_nodes"] = result
+    assert result >= 2
+
+
+def test_bdd_cofactor(benchmark):
+    """Cofactor of a random DNF with respect to one variable."""
+    rng = random.Random(7)
+    manager = BddManager(NUM_VARS)
+    f = _random_dnf(manager, rng, NUM_TERMS)
+
+    result = benchmark(lambda: f.cofactor(NUM_VARS // 2, True).count_nodes())
+    benchmark.extra_info["result_nodes"] = result
+    assert result >= 1

@@ -1,0 +1,46 @@
+"""Benchmark reproducing Table IV — RevLib-style reversible circuits.
+
+The paper runs each RevLib circuit twice: the original (purely classical
+reversible logic, fast for every engine) and the H-modified variant (inputs
+in superposition), where DDSIM runs out of memory on most cases while the
+bit-sliced engine completes.  The reproduction benchmarks the same
+original/modified pairs from the synthetic RevLib-style families and records
+the outcome class so the MO behaviour of the float-weighted engine is
+visible in the report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import run_circuit
+from repro.workloads.revlib import generate_revlib_circuit, h_augment
+
+from conftest import scale_choice
+
+FAMILIES = scale_choice(
+    ("add8", "alu4", "cpu_ctrl3", "register4x4", "nested_if6", "parity12"),
+    ("add8", "add16", "alu4", "alu8", "cpu_ctrl3", "cpu_ctrl4",
+     "register4x4", "nested_if6", "parity12", "bdd_chain10"),
+)
+ENGINES = ("qmdd", "bitslice")
+
+
+@pytest.mark.parametrize("variant", ("original", "modified"))
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_table4_revlib(benchmark, bench_limits, engine, family, variant):
+    """One Table IV cell: runtime of ``engine`` on one circuit variant."""
+    circuit, constants = generate_revlib_circuit(family)
+    if variant == "modified":
+        circuit = h_augment(circuit, constants)
+
+    result = benchmark.pedantic(
+        lambda: run_circuit(engine, circuit, bench_limits), rounds=1, iterations=1)
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["num_qubits"] = circuit.num_qubits
+    benchmark.extra_info["num_gates"] = circuit.num_gates
+    benchmark.extra_info["status"] = result.status
+    benchmark.extra_info["nodes"] = result.memory_nodes
+    assert result.status in ("ok", "TO", "MO", "error")

@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark suite.
+
+The benchmarks reproduce the paper's Tables III–VI at laptop scale (smaller
+qubit counts, shorter budgets) so that ``pytest benchmarks/ --benchmark-only``
+finishes in minutes rather than the days the paper-scale sweep would take in
+pure Python.  Every benchmark records, next to its timing, the qualitative
+quantities the paper reports (success/failure class, node counts), via the
+``extra_info`` mechanism of pytest-benchmark.
+
+Set the environment variable ``REPRO_BENCH_SCALE=large`` to run closer to the
+paper's parameters (still smaller than the original 7200 s budgets).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Scale selector: "small" (default) or "large".
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def scale_choice(small, large):
+    """Pick a parameter set based on the benchmark scale."""
+    return large if BENCH_SCALE == "large" else small
+
+
+@pytest.fixture(scope="session")
+def bench_limits():
+    """Resource limits applied to every benchmark run."""
+    from repro.harness.runner import ResourceLimits
+
+    return ResourceLimits(
+        max_seconds=scale_choice(30.0, 300.0),
+        max_nodes=scale_choice(200_000, 2_000_000),
+    )

@@ -1,0 +1,36 @@
+"""Collect measured data for EXPERIMENTS.md (laptop-scale parameters)."""
+import sys, json, time
+from repro.harness.experiments import (table3_experiment, table4_experiment,
+                                        table5_experiment, table6_experiment,
+                                        accuracy_experiment)
+from repro.harness.runner import ResourceLimits
+from repro.harness.tables import (format_table3, format_table4, format_table5,
+                                  format_table6, format_accuracy)
+from repro.harness.report import experiment_to_markdown, save_experiment
+
+which = sys.argv[1]
+limits = ResourceLimits(max_seconds=20.0, max_nodes=250_000)
+start = time.time()
+if which == "table3":
+    exp = table3_experiment(qubit_counts=(10, 20, 30, 40), circuits_per_size=2, limits=limits)
+    text, md = format_table3(exp), experiment_to_markdown(exp)
+elif which == "table4":
+    exp = table4_experiment(families=("add8", "add16", "alu4", "cpu_ctrl3",
+                                      "register4x4", "nested_if6", "parity12",
+                                      "bdd_chain10"), limits=limits)
+    text, md = format_table4(exp), experiment_to_markdown(exp)
+elif which == "table5":
+    exp = table5_experiment(qubit_counts=(20, 40, 80, 160, 320), limits=limits)
+    text, md = format_table5(exp), experiment_to_markdown(exp, engines=("qmdd", "bitslice", "stabilizer"))
+elif which == "table6":
+    exp = table6_experiment(qubit_counts=(16, 20), circuits_per_size=2, depth=5, limits=limits)
+    text, md = format_table6(exp), experiment_to_markdown(exp)
+elif which == "accuracy":
+    exp = accuracy_experiment(num_qubits=6, layers=(4, 16, 64), tolerances=(1e-6, 1e-10, 1e-13))
+    text, md = format_accuracy(exp), ""
+save_experiment(exp, f"/root/repo/results/{which}.json")
+with open(f"/root/repo/results/{which}.txt", "w") as fh:
+    fh.write(text)
+with open(f"/root/repo/results/{which}.md", "w") as fh:
+    fh.write(md)
+print(f"{which} done in {time.time()-start:.1f}s")

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that ``python setup.py develop`` keeps working on minimal
+environments that lack the ``wheel`` package required by PEP 660 editable
+installs (such as fully offline machines).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — Bit-slicing the Hilbert space: exact BDD-based quantum simulation.
+
+A from-scratch Python reproduction of "Bit-Slicing the Hilbert Space: Scaling
+Up Accurate Quantum Circuit Simulation" (Tsai, Jiang, Jhang — DAC 2021; the
+SliQSim simulator), together with every substrate it depends on:
+
+* :mod:`repro.bdd` — a pure-Python ROBDD package (the CUDD substitute),
+* :mod:`repro.algebra` — exact algebraic complex amplitudes over
+  ``w = exp(i*pi/4)``,
+* :mod:`repro.circuit` — circuit IR plus QASM / RevLib ``.real`` / GRCS
+  formats,
+* :mod:`repro.core` — the bit-sliced simulator itself (the paper's
+  contribution),
+* :mod:`repro.baselines` — dense statevector, QMDD-style (DDSIM stand-in) and
+  CHP stabilizer comparators,
+* :mod:`repro.workloads` — generators for the paper's four benchmark
+  families,
+* :mod:`repro.harness` — the experiment runner that regenerates the paper's
+  Tables III–VI.
+
+The most common entry points are re-exported here::
+
+    from repro import BitSliceSimulator, QuantumCircuit
+
+    circuit = QuantumCircuit(2).h(0).cx(0, 1)
+    result = BitSliceSimulator.simulate(circuit)
+    result.measurement_distribution()     # {0b00: 0.5, 0b11: 0.5}
+"""
+
+from repro.algebra import AlgebraicComplex, AlgebraicVector
+from repro.circuit import Gate, GateKind, QuantumCircuit
+from repro.core import BitSliceSimulator, BitSlicedState
+from repro.baselines import QmddSimulator, StabilizerSimulator, StatevectorSimulator
+from repro.exceptions import (
+    NumericalError,
+    SimulationError,
+    SimulationMemoryExceeded,
+    SimulationTimeout,
+    UnsupportedGateError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AlgebraicComplex",
+    "AlgebraicVector",
+    "Gate",
+    "GateKind",
+    "QuantumCircuit",
+    "BitSliceSimulator",
+    "BitSlicedState",
+    "QmddSimulator",
+    "StabilizerSimulator",
+    "StatevectorSimulator",
+    "NumericalError",
+    "SimulationError",
+    "SimulationMemoryExceeded",
+    "SimulationTimeout",
+    "UnsupportedGateError",
+    "__version__",
+]

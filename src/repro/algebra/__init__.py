@@ -1,0 +1,28 @@
+"""Exact algebraic representation of complex amplitudes.
+
+The paper (Section III-A) adopts the representation of Zulehner et al.
+(DATE 2019): every amplitude reachable from a computational basis state
+through the gate set of Table I can be written exactly as
+
+    alpha = (a * w**3 + b * w**2 + c * w + d) / sqrt(2)**k
+
+with ``w = exp(i*pi/4)`` the primitive eighth root of unity and integer
+coefficients ``a, b, c, d, k``.  :class:`~repro.algebra.omega.AlgebraicComplex`
+implements exact arithmetic on this form; :class:`~repro.algebra.omega.AlgebraicVector`
+is the dense (non-bit-sliced) container used by tests and the reference
+implementations.
+"""
+
+from repro.algebra.omega import (
+    OMEGA,
+    SQRT2,
+    AlgebraicComplex,
+    AlgebraicVector,
+)
+
+__all__ = [
+    "OMEGA",
+    "SQRT2",
+    "AlgebraicComplex",
+    "AlgebraicVector",
+]

@@ -1,0 +1,27 @@
+"""Comparator simulators.
+
+Three baselines accompany the bit-sliced BDD engine:
+
+* :class:`~repro.baselines.statevector.StatevectorSimulator` — a dense numpy
+  state-vector simulator.  It is the floating-point oracle used by the test
+  suite and the stand-in for the "array-based" simulator class the paper's
+  introduction discusses.
+* :class:`~repro.baselines.qmdd.QmddSimulator` — an edge-weighted decision
+  diagram simulator in the style of QMDD / DDSIM (the paper's main
+  comparison point), including the floating-point weight normalisation and
+  tolerance-based node merging that cause the precision-loss failures the
+  paper reports.
+* :class:`~repro.baselines.stabilizer.StabilizerSimulator` — the
+  Aaronson–Gottesman CHP tableau simulator, used in the Table V discussion of
+  stabilizer-only circuits.
+"""
+
+from repro.baselines.statevector import StatevectorSimulator
+from repro.baselines.qmdd import QmddSimulator
+from repro.baselines.stabilizer import StabilizerSimulator
+
+__all__ = [
+    "StatevectorSimulator",
+    "QmddSimulator",
+    "StabilizerSimulator",
+]

@@ -1,0 +1,217 @@
+"""Dense numpy state-vector simulator.
+
+This is the "array-based" simulator class discussed in the paper's
+introduction (Quipper / LIQUi|> / QX / ProjectQ style): the full
+``2**n``-entry complex vector is held in memory and every gate is applied by
+in-place slicing.  In the reproduction it serves two roles:
+
+* the floating-point oracle for the test-suite (every other engine is
+  validated against it on small circuits), and
+* the baseline showing the memory wall the paper motivates (it cannot go far
+  beyond ~20 qubits on a laptop, which is exactly the point of the DD-based
+  approaches).
+
+Qubit 0 is the most significant bit of the basis index, matching the paper's
+worked example and every other engine in the repository.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, GateKind, gate_matrix
+
+
+class StatevectorSimulator:
+    """Dense state-vector simulation of the supported gate set.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register size.  Memory use is ``16 * 2**num_qubits`` bytes; the
+        constructor refuses more than ``max_qubits`` to fail fast instead of
+        swapping the machine to death.
+    initial_state:
+        Basis-state index to start from (default all zeros).
+    max_qubits:
+        Safety limit for the dense allocation (default 26 ~= 1 GiB).
+    """
+
+    def __init__(self, num_qubits: int, initial_state: int = 0, max_qubits: int = 26):
+        if num_qubits > max_qubits:
+            raise MemoryError(
+                f"dense statevector with {num_qubits} qubits exceeds the "
+                f"configured limit of {max_qubits} qubits")
+        self.num_qubits = num_qubits
+        self._state = np.zeros(1 << num_qubits, dtype=complex)
+        self._state[initial_state] = 1.0
+
+    # ------------------------------------------------------------------ #
+    # state access
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> np.ndarray:
+        """The current state vector (a copy)."""
+        return self._state.copy()
+
+    def amplitude(self, basis_index: int) -> complex:
+        """Amplitude of ``|basis_index>``."""
+        return complex(self._state[basis_index])
+
+    def probabilities(self) -> np.ndarray:
+        """``|amplitude|**2`` for every basis state."""
+        return np.abs(self._state) ** 2
+
+    def norm(self) -> float:
+        """The 2-norm of the state (should stay 1 up to rounding)."""
+        return float(np.linalg.norm(self._state))
+
+    # ------------------------------------------------------------------ #
+    # gate application
+    # ------------------------------------------------------------------ #
+    def _axis_of(self, qubit: int) -> int:
+        """Tensor axis of ``qubit`` when the state is reshaped to (2,)*n."""
+        return qubit  # qubit 0 is the most significant bit == first axis
+
+    def apply_gate(self, gate: Gate) -> None:
+        """Apply one :class:`Gate` in place."""
+        if gate.kind is GateKind.MEASURE:
+            return
+        if gate.kind in (GateKind.SWAP, GateKind.CSWAP):
+            self._apply_swap(gate)
+            return
+        matrix = gate_matrix(gate.kind)
+        self._apply_controlled_single(matrix, gate.controls, gate.targets[0])
+
+    def _apply_controlled_single(self, matrix: np.ndarray,
+                                 controls: Tuple[int, ...], target: int) -> None:
+        n = self.num_qubits
+        tensor = self._state.reshape((2,) * n)
+        # Build an index selecting the subspace where all controls are 1.
+        selector: List[object] = [slice(None)] * n
+        for control in controls:
+            selector[self._axis_of(control)] = 1
+        sub = tensor[tuple(selector)]
+        # Move the target axis (its position among the remaining axes) first.
+        remaining_axes = [q for q in range(n) if q not in controls]
+        target_position = remaining_axes.index(target)
+        moved = np.moveaxis(sub, target_position, 0)
+        updated = np.tensordot(matrix, moved, axes=([1], [0]))
+        tensor[tuple(selector)] = np.moveaxis(updated, 0, target_position)
+        self._state = tensor.reshape(-1)
+
+    def _apply_swap(self, gate: Gate) -> None:
+        qubit_a, qubit_b = gate.targets
+        n = self.num_qubits
+        tensor = self._state.reshape((2,) * n)
+        selector: List[object] = [slice(None)] * n
+        for control in gate.controls:
+            selector[self._axis_of(control)] = 1
+        sub = tensor[tuple(selector)]
+        remaining_axes = [q for q in range(n) if q not in gate.controls]
+        axis_a = remaining_axes.index(qubit_a)
+        axis_b = remaining_axes.index(qubit_b)
+        tensor[tuple(selector)] = np.swapaxes(sub, axis_a, axis_b)
+        self._state = tensor.reshape(-1)
+
+    def run(self, circuit: QuantumCircuit) -> "StatevectorSimulator":
+        """Apply every gate of ``circuit`` in order.  Returns ``self``."""
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError("circuit and simulator qubit counts differ")
+        for gate in circuit.gates:
+            self.apply_gate(gate)
+        return self
+
+    @classmethod
+    def simulate(cls, circuit: QuantumCircuit, initial_state: int = 0,
+                 max_qubits: int = 26) -> "StatevectorSimulator":
+        """Construct a simulator for ``circuit`` and run it."""
+        simulator = cls(circuit.num_qubits, initial_state=initial_state,
+                        max_qubits=max_qubits)
+        return simulator.run(circuit)
+
+    # ------------------------------------------------------------------ #
+    # measurement
+    # ------------------------------------------------------------------ #
+    def probability_of_qubit(self, qubit: int, value: int = 0) -> float:
+        """``Pr[qubit == value]`` without collapsing the state."""
+        n = self.num_qubits
+        tensor = np.abs(self._state.reshape((2,) * n)) ** 2
+        axis = self._axis_of(qubit)
+        marginal = tensor.sum(axis=tuple(a for a in range(n) if a != axis))
+        return float(marginal[value])
+
+    def probability_of_outcome(self, qubits: Sequence[int], outcome: Sequence[int]) -> float:
+        """Probability of observing ``outcome`` when measuring ``qubits`` jointly."""
+        n = self.num_qubits
+        tensor = np.abs(self._state.reshape((2,) * n)) ** 2
+        selector: List[object] = [slice(None)] * n
+        for qubit, value in zip(qubits, outcome):
+            selector[self._axis_of(qubit)] = int(value)
+        return float(tensor[tuple(selector)].sum())
+
+    def measurement_distribution(self, qubits: Optional[Sequence[int]] = None) -> Dict[int, float]:
+        """Joint outcome distribution over ``qubits`` (default: all qubits).
+
+        Keys are outcome integers with the first listed qubit as the most
+        significant bit; entries below 1e-15 are omitted.
+        """
+        if qubits is None:
+            qubits = list(range(self.num_qubits))
+        qubits = list(qubits)
+        distribution: Dict[int, float] = {}
+        n = self.num_qubits
+        probabilities = np.abs(self._state.reshape((2,) * n)) ** 2
+        other_axes = tuple(q for q in range(n) if q not in qubits)
+        marginal = probabilities.sum(axis=other_axes) if other_axes else probabilities
+        # ``marginal`` axes follow ascending qubit index; build outcomes by
+        # reading bits in the order requested by the caller.
+        ascending = sorted(qubits)
+        for flat_index, probability in enumerate(marginal.reshape(-1)):
+            if probability < 1e-15:
+                continue
+            bits = {q: (flat_index >> (len(ascending) - 1 - pos)) & 1
+                    for pos, q in enumerate(ascending)}
+            outcome = 0
+            for position, qubit in enumerate(qubits):
+                outcome |= bits[qubit] << (len(qubits) - 1 - position)
+            distribution[outcome] = distribution.get(outcome, 0.0) + float(probability)
+        return distribution
+
+    def measure_qubit(self, qubit: int, rng: Optional[np.random.Generator] = None,
+                      forced_outcome: Optional[int] = None) -> int:
+        """Measure ``qubit``, collapse and renormalise the state, return 0/1."""
+        probability_zero = self.probability_of_qubit(qubit, 0)
+        if forced_outcome is None:
+            rng = rng or np.random.default_rng()
+            outcome = 0 if rng.random() < probability_zero else 1
+        else:
+            outcome = int(forced_outcome)
+        probability = probability_zero if outcome == 0 else 1.0 - probability_zero
+        if probability <= 0.0:
+            raise ValueError("attempted to collapse onto a zero-probability outcome")
+        n = self.num_qubits
+        tensor = self._state.reshape((2,) * n)
+        selector: List[object] = [slice(None)] * n
+        selector[self._axis_of(qubit)] = 1 - outcome
+        tensor[tuple(selector)] = 0.0
+        self._state = tensor.reshape(-1) / math.sqrt(probability)
+        return outcome
+
+    def sample(self, shots: int, qubits: Optional[Sequence[int]] = None,
+               rng: Optional[np.random.Generator] = None) -> Dict[int, int]:
+        """Sample measurement outcomes without collapsing the live state."""
+        rng = rng or np.random.default_rng()
+        distribution = self.measurement_distribution(qubits)
+        outcomes = list(distribution.keys())
+        weights = np.array([distribution[o] for o in outcomes], dtype=float)
+        weights = weights / weights.sum()
+        counts: Dict[int, int] = {}
+        for choice in rng.choice(len(outcomes), size=shots, p=weights):
+            outcome = outcomes[int(choice)]
+            counts[outcome] = counts.get(outcome, 0) + 1
+        return counts

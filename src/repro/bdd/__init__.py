@@ -1,0 +1,42 @@
+"""A from-scratch, pure-Python ROBDD package.
+
+This subpackage is the reproduction's substitute for CUDD (the C decision
+diagram package used by the paper's implementation inside ABC).  It provides
+everything the bit-sliced simulator needs:
+
+* hash-consed reduced ordered BDD nodes with two terminals,
+* the ITE operator plus direct AND / OR / XOR / NOT apply operations with a
+  computed-table cache,
+* cofactor / restrict, cube cofactor, existential quantification, variable
+  composition,
+* structural queries: support, node counting, satisfying-assignment counting,
+  evaluation, truth-table export,
+* mark-and-sweep garbage collection keyed on live :class:`~repro.bdd.expr.Bdd`
+  handles, and
+* variable reordering (static orders and a rebuild-based sifting heuristic).
+
+The public entry point is :class:`~repro.bdd.manager.BddManager`; user code
+manipulates :class:`~repro.bdd.expr.Bdd` handles returned by it.
+"""
+
+from repro.bdd.manager import BddManager
+from repro.bdd.expr import Bdd
+from repro.bdd.ordering import natural_order, interleaved_order, sift
+from repro.bdd.analysis import (
+    count_nodes,
+    satisfying_assignments,
+    truth_table,
+    to_dot,
+)
+
+__all__ = [
+    "BddManager",
+    "Bdd",
+    "natural_order",
+    "interleaved_order",
+    "sift",
+    "count_nodes",
+    "satisfying_assignments",
+    "truth_table",
+    "to_dot",
+]

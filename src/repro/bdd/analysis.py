@@ -1,0 +1,129 @@
+"""Structural analysis and export helpers for BDDs.
+
+These functions mirror the utility layer a CUDD user gets from the library:
+shared node counting across several roots, truth-table export for small
+functions (used heavily by the test-suite oracles), enumeration of satisfying
+assignments, and a Graphviz ``dot`` dump for debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.bdd.expr import Bdd
+
+
+def count_nodes(roots: Sequence[Bdd]) -> int:
+    """Number of distinct nodes shared among ``roots`` (including terminals).
+
+    All roots must belong to the same manager.  An empty sequence counts as 0.
+    """
+    roots = list(roots)
+    if not roots:
+        return 0
+    manager = roots[0].manager
+    for root in roots:
+        if root.manager is not manager:
+            raise ValueError("roots belong to different managers")
+    return manager.count_nodes([root.node for root in roots])
+
+
+def truth_table(function: Bdd, variables: Sequence[int]) -> List[bool]:
+    """Evaluate ``function`` on every assignment of ``variables``.
+
+    The result is indexed by the integer whose *most-significant bit* is
+    ``variables[0]`` — the same convention the simulator uses for basis-state
+    indices (qubit 0 is the most significant bit).
+    """
+    num_vars = len(variables)
+    table: List[bool] = []
+    for index in range(1 << num_vars):
+        assignment: Dict[int, bool] = {}
+        for position, var in enumerate(variables):
+            bit = (index >> (num_vars - 1 - position)) & 1
+            assignment[var] = bool(bit)
+        table.append(_evaluate_partial(function, assignment))
+    return table
+
+
+def _evaluate_partial(function: Bdd, assignment: Dict[int, bool]) -> bool:
+    """Evaluate tolerating assignments that mention variables outside the
+    support (extra variables are simply ignored)."""
+    manager = function.manager
+    node = function.node
+    while not manager.is_terminal(node):
+        var = manager.node_var(node)
+        if var not in assignment:
+            raise KeyError(f"assignment missing variable {var} in support")
+        node = manager.node_high(node) if assignment[var] else manager.node_low(node)
+    return node == 1
+
+
+def satisfying_assignments(function: Bdd, variables: Sequence[int]) -> List[Dict[int, bool]]:
+    """All satisfying assignments of ``function`` over ``variables`` as a list."""
+    return list(function.iter_satisfying(variables))
+
+
+def function_density(function: Bdd, variables: Sequence[int]) -> float:
+    """Fraction of assignments over ``variables`` on which the function is 1."""
+    total = 1 << len(variables)
+    return function.satcount(len(variables)) / total if total else 0.0
+
+
+def to_dot(roots: Sequence[Bdd], names: Iterable[str] = ()) -> str:
+    """Render one or more BDDs as a Graphviz ``dot`` string.
+
+    Solid edges are 1-edges, dashed edges are 0-edges.  Shared nodes are
+    rendered once.
+    """
+    roots = list(roots)
+    if not roots:
+        return "digraph bdd {\n}\n"
+    manager = roots[0].manager
+    names = list(names) or [f"f{i}" for i in range(len(roots))]
+    lines = ["digraph bdd {", '  rankdir=TB;']
+    lines.append('  node0 [label="0", shape=box];')
+    lines.append('  node1 [label="1", shape=box];')
+    seen = set()
+    stack = []
+    for name, root in zip(names, roots):
+        lines.append(f'  "{name}" [shape=plaintext];')
+        lines.append(f'  "{name}" -> node{root.node};')
+        stack.append(root.node)
+    while stack:
+        node = stack.pop()
+        if node in seen or manager.is_terminal(node):
+            continue
+        seen.add(node)
+        var = manager.node_var(node)
+        low = manager.node_low(node)
+        high = manager.node_high(node)
+        lines.append(f'  node{node} [label="x{var}", shape=circle];')
+        lines.append(f'  node{node} -> node{low} [style=dashed];')
+        lines.append(f'  node{node} -> node{high};')
+        stack.append(low)
+        stack.append(high)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def shared_size_profile(roots: Sequence[Bdd]) -> Dict[int, int]:
+    """Histogram mapping variable index -> number of nodes labelled with it
+    across the shared structure of ``roots``."""
+    roots = list(roots)
+    if not roots:
+        return {}
+    manager = roots[0].manager
+    histogram: Dict[int, int] = {}
+    seen = set()
+    stack = [root.node for root in roots]
+    while stack:
+        node = stack.pop()
+        if node in seen or manager.is_terminal(node):
+            continue
+        seen.add(node)
+        var = manager.node_var(node)
+        histogram[var] = histogram.get(var, 0) + 1
+        stack.append(manager.node_low(node))
+        stack.append(manager.node_high(node))
+    return histogram

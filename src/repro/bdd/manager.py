@@ -1,0 +1,610 @@
+"""The ROBDD manager: node store, unique table, and core operations.
+
+The manager owns every node.  A node is identified by a small integer id; the
+two terminals are ``FALSE = 0`` and ``TRUE = 1``.  Internal nodes are triples
+``(var, low, high)`` interned in the unique table so that structural equality
+of functions is pointer (id) equality, the defining property of reduced
+ordered BDDs.
+
+Variables are identified by an integer *index* assigned at creation time.  The
+manager separately maintains a variable *order* (``var_to_level`` /
+``level_to_var``); all operations compare nodes by level so the order can be
+changed (see :mod:`repro.bdd.ordering`) without renaming variables.
+
+Garbage collection is mark-and-sweep over the roots registered by live
+:class:`repro.bdd.expr.Bdd` handles; freed slots are recycled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bdd.expr import Bdd
+
+#: Terminal node ids.
+FALSE = 0
+TRUE = 1
+
+#: Pseudo-level of terminal nodes (below every variable).
+_TERMINAL_LEVEL = 1 << 60
+
+# Operation tags for the computed table.
+_OP_AND = "and"
+_OP_OR = "or"
+_OP_XOR = "xor"
+_OP_ITE = "ite"
+_OP_RESTRICT = "restrict"
+_OP_EXISTS = "exists"
+_OP_COMPOSE = "compose"
+
+
+class BddManager:
+    """Owns BDD nodes and implements the core symbolic operations.
+
+    Parameters
+    ----------
+    num_vars:
+        Number of variables to create eagerly.  More can be added later with
+        :meth:`new_var`.
+    auto_gc_threshold:
+        When the node store grows past this many *dead-eligible* nodes the
+        manager runs a garbage collection automatically at the next safe
+        point (entry to a top-level operation).  ``None`` disables automatic
+        collection.
+    """
+
+    def __init__(self, num_vars: int = 0, auto_gc_threshold: Optional[int] = 1_000_000):
+        # Parallel arrays describing nodes.  Slots 0 and 1 are the terminals.
+        self._var: List[int] = [-1, -1]
+        self._low: List[int] = [-1, -1]
+        self._high: List[int] = [-1, -1]
+        # Unique table: (var, low, high) -> node id.
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        # Computed table: (op, ...operands) -> node id.
+        self._cache: Dict[Tuple, int] = {}
+        # Free slots available for reuse after garbage collection.
+        self._free: List[int] = []
+        # Variable order bookkeeping.
+        self._var_to_level: List[int] = []
+        self._level_to_var: List[int] = []
+        # Live external references: node id -> reference count.
+        self._external_refs: Dict[int, int] = {}
+        self._auto_gc_threshold = auto_gc_threshold
+        self._gc_count = 0
+        for _ in range(num_vars):
+            self.new_var()
+
+    # ------------------------------------------------------------------ #
+    # variables and terminals
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vars(self) -> int:
+        """Number of variables known to the manager."""
+        return len(self._var_to_level)
+
+    def new_var(self) -> int:
+        """Create a fresh variable at the bottom of the current order and
+        return its index."""
+        index = len(self._var_to_level)
+        self._var_to_level.append(len(self._level_to_var))
+        self._level_to_var.append(index)
+        return index
+
+    def var(self, index: int) -> Bdd:
+        """The BDD of the single positive literal ``x_index``."""
+        self._check_var(index)
+        return self._wrap(self._mk(index, FALSE, TRUE))
+
+    def nvar(self, index: int) -> Bdd:
+        """The BDD of the single negative literal ``not x_index``."""
+        self._check_var(index)
+        return self._wrap(self._mk(index, TRUE, FALSE))
+
+    def literal(self, index: int, phase: bool) -> Bdd:
+        """``x_index`` if ``phase`` is truthy, else ``not x_index``."""
+        return self.var(index) if phase else self.nvar(index)
+
+    @property
+    def false(self) -> Bdd:
+        """The constant-false BDD."""
+        return self._wrap(FALSE)
+
+    @property
+    def true(self) -> Bdd:
+        """The constant-true BDD."""
+        return self._wrap(TRUE)
+
+    def _check_var(self, index: int) -> None:
+        if not 0 <= index < self.num_vars:
+            raise ValueError(f"unknown variable index {index}")
+
+    # ------------------------------------------------------------------ #
+    # order accessors
+    # ------------------------------------------------------------------ #
+    def level_of(self, var_index: int) -> int:
+        """Current level (position in the order, 0 = top) of a variable."""
+        return self._var_to_level[var_index]
+
+    def var_at_level(self, level: int) -> int:
+        """Variable index currently placed at ``level``."""
+        return self._level_to_var[level]
+
+    def current_order(self) -> List[int]:
+        """The current order as a list of variable indices from top to bottom."""
+        return list(self._level_to_var)
+
+    def _node_level(self, node: int) -> int:
+        var = self._var[node]
+        if var < 0:
+            return _TERMINAL_LEVEL
+        return self._var_to_level[var]
+
+    # ------------------------------------------------------------------ #
+    # node construction
+    # ------------------------------------------------------------------ #
+    def _mk(self, var: int, low: int, high: int) -> int:
+        """Find-or-create the node ``(var, low, high)`` applying the
+        reduction rule ``low == high``."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        if self._free:
+            node = self._free.pop()
+            self._var[node] = var
+            self._low[node] = low
+            self._high[node] = high
+        else:
+            node = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+        self._unique[key] = node
+        return node
+
+    def _wrap(self, node: int) -> Bdd:
+        return Bdd(self, node)
+
+    # -- external reference management used by Bdd handles -------------- #
+    def _incref(self, node: int) -> None:
+        self._external_refs[node] = self._external_refs.get(node, 0) + 1
+
+    def _decref(self, node: int) -> None:
+        count = self._external_refs.get(node)
+        if count is None:
+            return
+        if count <= 1:
+            del self._external_refs[node]
+        else:
+            self._external_refs[node] = count - 1
+
+    # ------------------------------------------------------------------ #
+    # structural accessors
+    # ------------------------------------------------------------------ #
+    def node_var(self, node: int) -> int:
+        """Variable index decided at ``node`` (-1 for terminals)."""
+        return self._var[node]
+
+    def node_low(self, node: int) -> int:
+        """0-child of ``node``."""
+        return self._low[node]
+
+    def node_high(self, node: int) -> int:
+        """1-child of ``node``."""
+        return self._high[node]
+
+    def is_terminal(self, node: int) -> bool:
+        """True for the FALSE / TRUE terminals."""
+        return node == FALSE or node == TRUE
+
+    def num_live_nodes(self) -> int:
+        """Number of allocated (non-freed) nodes including terminals."""
+        return len(self._var) - len(self._free)
+
+    # ------------------------------------------------------------------ #
+    # core operations
+    # ------------------------------------------------------------------ #
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction of two node ids."""
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if g == TRUE:
+            return f
+        if f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (_OP_AND, f, g)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        fv, gv = self._node_level(f), self._node_level(g)
+        top = min(fv, gv)
+        f0, f1 = (self._low[f], self._high[f]) if fv == top else (f, f)
+        g0, g1 = (self._low[g], self._high[g]) if gv == top else (g, g)
+        result = self._mk(self._level_to_var[top],
+                          self.apply_and(f0, g0),
+                          self.apply_and(f1, g1))
+        self._cache[key] = result
+        return result
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction of two node ids."""
+        if f == TRUE or g == TRUE:
+            return TRUE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (_OP_OR, f, g)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        fv, gv = self._node_level(f), self._node_level(g)
+        top = min(fv, gv)
+        f0, f1 = (self._low[f], self._high[f]) if fv == top else (f, f)
+        g0, g1 = (self._low[g], self._high[g]) if gv == top else (g, g)
+        result = self._mk(self._level_to_var[top],
+                          self.apply_or(f0, g0),
+                          self.apply_or(f1, g1))
+        self._cache[key] = result
+        return result
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive-or of two node ids."""
+        if f == g:
+            return FALSE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == TRUE:
+            return self.apply_not(g)
+        if g == TRUE:
+            return self.apply_not(f)
+        if f > g:
+            f, g = g, f
+        key = (_OP_XOR, f, g)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        fv, gv = self._node_level(f), self._node_level(g)
+        top = min(fv, gv)
+        f0, f1 = (self._low[f], self._high[f]) if fv == top else (f, f)
+        g0, g1 = (self._low[g], self._high[g]) if gv == top else (g, g)
+        result = self._mk(self._level_to_var[top],
+                          self.apply_xor(f0, g0),
+                          self.apply_xor(f1, g1))
+        self._cache[key] = result
+        return result
+
+    def apply_not(self, f: int) -> int:
+        """Negation of a node id."""
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        key = ("not", f)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._mk(self._var[f],
+                          self.apply_not(self._low[f]),
+                          self.apply_not(self._high[f]))
+        self._cache[key] = result
+        return result
+
+    def apply_ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f and g) or (not f and h)``."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        if g == FALSE and h == TRUE:
+            return self.apply_not(f)
+        key = (_OP_ITE, f, g, h)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        levels = (self._node_level(f), self._node_level(g), self._node_level(h))
+        top = min(levels)
+        var = self._level_to_var[top]
+
+        def cofs(node: int, level: int) -> Tuple[int, int]:
+            if level == top:
+                return self._low[node], self._high[node]
+            return node, node
+
+        f0, f1 = cofs(f, levels[0])
+        g0, g1 = cofs(g, levels[1])
+        h0, h1 = cofs(h, levels[2])
+        result = self._mk(var,
+                          self.apply_ite(f0, g0, h0),
+                          self.apply_ite(f1, g1, h1))
+        self._cache[key] = result
+        return result
+
+    def apply_restrict(self, f: int, var: int, value: bool) -> int:
+        """Cofactor ``f`` with respect to literal ``var = value``."""
+        target_level = self._var_to_level[var]
+        return self._restrict_rec(f, var, target_level, bool(value))
+
+    def _restrict_rec(self, f: int, var: int, target_level: int, value: bool) -> int:
+        level = self._node_level(f)
+        if level > target_level:
+            # Variable does not appear in f (below or terminal).
+            return f
+        if level == target_level and self._var[f] == var:
+            return self._high[f] if value else self._low[f]
+        key = (_OP_RESTRICT, f, var, value)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._mk(self._var[f],
+                          self._restrict_rec(self._low[f], var, target_level, value),
+                          self._restrict_rec(self._high[f], var, target_level, value))
+        self._cache[key] = result
+        return result
+
+    def apply_restrict_cube(self, f: int, assignments: Sequence[Tuple[int, bool]]) -> int:
+        """Cofactor with respect to a cube given as ``(var, value)`` pairs."""
+        node = f
+        for var, value in assignments:
+            node = self.apply_restrict(node, var, value)
+        return node
+
+    def apply_exists(self, f: int, variables: Sequence[int]) -> int:
+        """Existential quantification of ``variables`` from ``f``."""
+        if not variables:
+            return f
+        var_set = frozenset(variables)
+        return self._exists_rec(f, var_set)
+
+    def _exists_rec(self, f: int, var_set: frozenset) -> int:
+        if self.is_terminal(f):
+            return f
+        key = (_OP_EXISTS, f, var_set)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        var = self._var[f]
+        low = self._exists_rec(self._low[f], var_set)
+        high = self._exists_rec(self._high[f], var_set)
+        if var in var_set:
+            result = self.apply_or(low, high)
+        else:
+            result = self._mk(var, low, high)
+        self._cache[key] = result
+        return result
+
+    def apply_compose(self, f: int, var: int, g: int) -> int:
+        """Substitute function ``g`` for variable ``var`` inside ``f``."""
+        key = (_OP_COMPOSE, f, var, g)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self.is_terminal(f):
+            return f
+        fvar = self._var[f]
+        if fvar == var:
+            result = self.apply_ite(g, self._high[f], self._low[f])
+        elif self._var_to_level[fvar] > self._var_to_level[var]:
+            # var cannot appear below this point.
+            result = f
+        else:
+            low = self.apply_compose(self._low[f], var, g)
+            high = self.apply_compose(self._high[f], var, g)
+            result = self.apply_ite(self._mk(fvar, FALSE, TRUE), high, low)
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def evaluate(self, f: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate ``f`` under a (total for its support) variable assignment."""
+        node = f
+        while not self.is_terminal(node):
+            var = self._var[node]
+            if var not in assignment:
+                raise KeyError(f"assignment missing variable {var}")
+            node = self._high[node] if assignment[var] else self._low[node]
+        return node == TRUE
+
+    def support(self, f: int) -> List[int]:
+        """Sorted list of variable indices on which ``f`` depends."""
+        seen = set()
+        variables = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in seen or self.is_terminal(node):
+                continue
+            seen.add(node)
+            variables.add(self._var[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return sorted(variables)
+
+    def count_nodes(self, roots: Iterable[int]) -> int:
+        """Number of distinct nodes (including terminals) reachable from
+        ``roots``."""
+        seen = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if not self.is_terminal(node):
+                stack.append(self._low[node])
+                stack.append(self._high[node])
+        return len(seen)
+
+    def satcount(self, f: int, num_vars: Optional[int] = None) -> int:
+        """Number of satisfying assignments of ``f`` over ``num_vars``
+        variables (defaults to all variables of the manager)."""
+        if num_vars is None:
+            num_vars = self.num_vars
+        cache: Dict[int, int] = {}
+
+        def rec(node: int) -> Tuple[int, int]:
+            """Return (count, level) where count is over variables strictly
+            below the returned level."""
+            if node == FALSE:
+                return 0, num_vars
+            if node == TRUE:
+                return 1, num_vars
+            if node in cache:
+                return cache[node]
+            level = self._node_level(node)
+            lo_count, lo_level = rec(self._low[node])
+            hi_count, hi_level = rec(self._high[node])
+            count = (lo_count << (lo_level - level - 1)) + (hi_count << (hi_level - level - 1))
+            cache[node] = (count, level)
+            return count, level
+
+        count, level = rec(f)
+        return count << level
+
+    def iter_satisfying(self, f: int, variables: Sequence[int]):
+        """Yield satisfying assignments of ``f`` as dicts over ``variables``.
+
+        Variables in ``variables`` that are not in the support of ``f`` are
+        enumerated over both values, so the iteration yields exactly
+        ``satcount(f, len(variables))`` assignments.
+        """
+        order = sorted(variables, key=lambda v: self._var_to_level[v])
+
+        def rec(node: int, position: int, partial: Dict[int, bool]):
+            if node == FALSE:
+                return
+            if position == len(order):
+                if node == TRUE:
+                    yield dict(partial)
+                return
+            var = order[position]
+            node_var = self._var[node] if not self.is_terminal(node) else None
+            if node_var == var:
+                for value, child in ((False, self._low[node]), (True, self._high[node])):
+                    partial[var] = value
+                    yield from rec(child, position + 1, partial)
+                del partial[var]
+            else:
+                for value in (False, True):
+                    partial[var] = value
+                    yield from rec(node, position + 1, partial)
+                del partial[var]
+
+        yield from rec(f, 0, {})
+
+    # ------------------------------------------------------------------ #
+    # cache / memory management
+    # ------------------------------------------------------------------ #
+    def clear_cache(self) -> None:
+        """Drop the computed table (safe at any time)."""
+        self._cache.clear()
+
+    def garbage_collect(self) -> int:
+        """Mark-and-sweep collection of nodes unreachable from live handles.
+
+        Returns the number of freed node slots.  The computed table is
+        cleared because it may reference dead nodes.
+        """
+        marked = set((FALSE, TRUE))
+        stack = list(self._external_refs.keys())
+        while stack:
+            node = stack.pop()
+            if node in marked:
+                continue
+            marked.add(node)
+            if not self.is_terminal(node):
+                stack.append(self._low[node])
+                stack.append(self._high[node])
+        freed = 0
+        for key, node in list(self._unique.items()):
+            if node not in marked:
+                del self._unique[key]
+                self._var[node] = -2
+                self._low[node] = -2
+                self._high[node] = -2
+                self._free.append(node)
+                freed += 1
+        self._cache.clear()
+        self._gc_count += 1
+        return freed
+
+    def maybe_collect(self) -> None:
+        """Run :meth:`garbage_collect` if the auto-GC threshold is exceeded."""
+        if self._auto_gc_threshold is None:
+            return
+        if len(self._var) - len(self._free) > self._auto_gc_threshold:
+            self.garbage_collect()
+
+    # ------------------------------------------------------------------ #
+    # reordering support
+    # ------------------------------------------------------------------ #
+    def set_order(self, new_order: Sequence[int], roots: Sequence[Bdd]) -> List[Bdd]:
+        """Install a new variable order and rebuild ``roots`` under it.
+
+        ``new_order`` must be a permutation of all variable indices, listed
+        from top to bottom.  Returns the rebuilt handles in the same order as
+        ``roots``; the original handles remain valid but refer to nodes built
+        under the old order and should be discarded by the caller.
+        """
+        if sorted(new_order) != list(range(self.num_vars)):
+            raise ValueError("new_order must be a permutation of all variables")
+        old_nodes = [root.node for root in roots]
+        # Take a private snapshot of the old structure before rewiring tables.
+        old_var = list(self._var)
+        old_low = list(self._low)
+        old_high = list(self._high)
+
+        self._var_to_level = [0] * self.num_vars
+        for level, var in enumerate(new_order):
+            self._var_to_level[var] = level
+        self._level_to_var = list(new_order)
+
+        # Reset the node store and rebuild each root bottom-up via ITE, which
+        # re-normalises the structure for the new order.
+        self._var = [-1, -1]
+        self._low = [-1, -1]
+        self._high = [-1, -1]
+        self._unique = {}
+        self._cache = {}
+        self._free = []
+        self._external_refs = {}
+
+        memo: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+
+        def rebuild(node: int) -> int:
+            if node in memo:
+                return memo[node]
+            var = old_var[node]
+            low = rebuild(old_low[node])
+            high = rebuild(old_high[node])
+            var_bdd = self._mk(var, FALSE, TRUE)
+            result = self.apply_ite(var_bdd, high, low)
+            memo[node] = result
+            return result
+
+        new_handles = []
+        for node in old_nodes:
+            new_handles.append(self._wrap(rebuild(node)))
+        return new_handles
+
+    def __repr__(self) -> str:
+        return (f"BddManager(num_vars={self.num_vars}, "
+                f"live_nodes={self.num_live_nodes()})")

@@ -1,0 +1,278 @@
+"""Gate definitions for the supported gate set.
+
+The set matches the paper's Table I — X, Y, Z, H, S, T, Rx(pi/2), Ry(pi/2),
+CNOT, CZ, Toffoli (any number of controls), Fredkin (controlled SWAP) — plus
+three exactly-representable conveniences the original tool also accepts in
+practice: S-dagger, T-dagger and the uncontrolled SWAP.  Every entry of every
+matrix lies in the ring ``Z[w]/sqrt(2)^k``, so simulation stays exact.
+
+Each gate kind carries:
+
+* its 2x2 (or SWAP-style) base matrix both as exact
+  :class:`~repro.algebra.omega.AlgebraicComplex` entries and as a numpy array,
+* whether it is a Clifford gate (relevant for the stabilizer baseline),
+* whether it introduces imaginary components (the paper notes that Y, S, T and
+  Rx(pi/2) couple the a/b/c/d bit-planes, while the others keep them
+  independent), and
+* the increment of the global ``k`` exponent (1 for H, Rx(pi/2), Ry(pi/2),
+  otherwise 0).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algebra import AlgebraicComplex
+
+_ONE = AlgebraicComplex.one()
+_ZERO = AlgebraicComplex.zero()
+_I = AlgebraicComplex.imaginary_unit()
+_W = AlgebraicComplex.omega_power(1)
+_NEG_ONE = AlgebraicComplex.from_int(-1)
+_NEG_I = -_I
+_INV_SQRT2 = AlgebraicComplex(0, 0, 0, 1, 1, canonical=False)  # 1/sqrt(2)
+
+
+class GateKind(str, enum.Enum):
+    """Enumeration of supported gate kinds."""
+
+    X = "x"
+    Y = "y"
+    Z = "z"
+    H = "h"
+    S = "s"
+    SDG = "sdg"
+    T = "t"
+    TDG = "tdg"
+    RX_PI_2 = "rx_pi_2"
+    RY_PI_2 = "ry_pi_2"
+    CX = "cx"
+    CZ = "cz"
+    CCX = "ccx"
+    CSWAP = "cswap"
+    SWAP = "swap"
+    MEASURE = "measure"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of one gate kind."""
+
+    kind: GateKind
+    num_targets: int
+    min_controls: int
+    is_clifford: bool
+    has_imaginary: bool
+    k_increment: int
+    base_matrix_exact: Optional[Tuple[Tuple[AlgebraicComplex, ...], ...]]
+
+    @property
+    def base_matrix(self) -> Optional[np.ndarray]:
+        """The base single-qubit matrix as a complex numpy array (or ``None``
+        for SWAP-style and measurement pseudo-gates)."""
+        if self.base_matrix_exact is None:
+            return None
+        return np.array(
+            [[entry.to_complex() for entry in row] for row in self.base_matrix_exact],
+            dtype=complex,
+        )
+
+
+def _m(rows: Sequence[Sequence[AlgebraicComplex]]) -> Tuple[Tuple[AlgebraicComplex, ...], ...]:
+    return tuple(tuple(row) for row in rows)
+
+
+#: Registry of gate specifications, keyed by :class:`GateKind`.
+GATE_SPECS: Dict[GateKind, GateSpec] = {
+    GateKind.X: GateSpec(GateKind.X, 1, 0, True, False, 0,
+                         _m([[_ZERO, _ONE], [_ONE, _ZERO]])),
+    GateKind.Y: GateSpec(GateKind.Y, 1, 0, True, True, 0,
+                         _m([[_ZERO, _NEG_I], [_I, _ZERO]])),
+    GateKind.Z: GateSpec(GateKind.Z, 1, 0, True, False, 0,
+                         _m([[_ONE, _ZERO], [_ZERO, _NEG_ONE]])),
+    GateKind.H: GateSpec(GateKind.H, 1, 0, True, False, 1,
+                         _m([[_INV_SQRT2, _INV_SQRT2],
+                             [_INV_SQRT2, -_INV_SQRT2]])),
+    GateKind.S: GateSpec(GateKind.S, 1, 0, True, True, 0,
+                         _m([[_ONE, _ZERO], [_ZERO, _I]])),
+    GateKind.SDG: GateSpec(GateKind.SDG, 1, 0, True, True, 0,
+                           _m([[_ONE, _ZERO], [_ZERO, _NEG_I]])),
+    GateKind.T: GateSpec(GateKind.T, 1, 0, False, True, 0,
+                         _m([[_ONE, _ZERO], [_ZERO, _W]])),
+    GateKind.TDG: GateSpec(GateKind.TDG, 1, 0, False, True, 0,
+                           _m([[_ONE, _ZERO], [_ZERO, AlgebraicComplex.omega_power(7)]])),
+    GateKind.RX_PI_2: GateSpec(GateKind.RX_PI_2, 1, 0, True, True, 1,
+                               _m([[_INV_SQRT2, _NEG_I * _INV_SQRT2],
+                                   [_NEG_I * _INV_SQRT2, _INV_SQRT2]])),
+    GateKind.RY_PI_2: GateSpec(GateKind.RY_PI_2, 1, 0, True, False, 1,
+                               _m([[_INV_SQRT2, -_INV_SQRT2],
+                                   [_INV_SQRT2, _INV_SQRT2]])),
+    GateKind.CX: GateSpec(GateKind.CX, 1, 1, True, False, 0,
+                          _m([[_ZERO, _ONE], [_ONE, _ZERO]])),
+    GateKind.CZ: GateSpec(GateKind.CZ, 1, 1, True, False, 0,
+                          _m([[_ONE, _ZERO], [_ZERO, _NEG_ONE]])),
+    GateKind.CCX: GateSpec(GateKind.CCX, 1, 1, False, False, 0,
+                           _m([[_ZERO, _ONE], [_ONE, _ZERO]])),
+    GateKind.CSWAP: GateSpec(GateKind.CSWAP, 2, 1, False, False, 0, None),
+    GateKind.SWAP: GateSpec(GateKind.SWAP, 2, 0, True, False, 0, None),
+    GateKind.MEASURE: GateSpec(GateKind.MEASURE, 1, 0, True, False, 0, None),
+}
+
+#: Gate kinds allowed by the paper's Table I (used to validate "paper mode").
+PAPER_GATE_KINDS = frozenset({
+    GateKind.X, GateKind.Y, GateKind.Z, GateKind.H, GateKind.S, GateKind.T,
+    GateKind.RX_PI_2, GateKind.RY_PI_2, GateKind.CX, GateKind.CZ,
+    GateKind.CCX, GateKind.CSWAP,
+})
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate application: a kind, target qubit(s) and control qubit(s).
+
+    ``targets`` holds one qubit for single-target gates, two for SWAP-style
+    gates.  ``controls`` may hold any number of qubits for CCX (the paper's
+    general Toffoli) and CSWAP; CX and CZ require exactly one control.
+    """
+
+    kind: GateKind
+    targets: Tuple[int, ...]
+    controls: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        spec = GATE_SPECS[self.kind]
+        if len(self.targets) != spec.num_targets:
+            raise ValueError(
+                f"{self.kind.value} expects {spec.num_targets} target(s), "
+                f"got {len(self.targets)}")
+        if len(self.controls) < spec.min_controls:
+            raise ValueError(
+                f"{self.kind.value} expects at least {spec.min_controls} "
+                f"control(s), got {len(self.controls)}")
+        if self.kind in (GateKind.CX, GateKind.CZ) and len(self.controls) != 1:
+            raise ValueError(f"{self.kind.value} expects exactly one control")
+        touched = self.targets + self.controls
+        if len(set(touched)) != len(touched):
+            raise ValueError("a gate cannot touch the same qubit twice")
+        if any(q < 0 for q in touched):
+            raise ValueError("qubit indices must be non-negative")
+
+    @property
+    def spec(self) -> GateSpec:
+        """The static :class:`GateSpec` of this gate's kind."""
+        return GATE_SPECS[self.kind]
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        """All qubits touched by the gate (controls then targets)."""
+        return self.controls + self.targets
+
+    @property
+    def is_two_qubit_or_more(self) -> bool:
+        """True when the gate touches more than one qubit."""
+        return len(self.qubits) > 1
+
+    def inverse(self) -> "Gate":
+        """The exact inverse gate, when it exists inside the supported set."""
+        self_inverse = {
+            GateKind.X, GateKind.Y, GateKind.Z, GateKind.H,
+            GateKind.CX, GateKind.CZ, GateKind.CCX, GateKind.CSWAP,
+            GateKind.SWAP,
+        }
+        if self.kind in self_inverse:
+            return self
+        swaps = {
+            GateKind.S: GateKind.SDG,
+            GateKind.SDG: GateKind.S,
+            GateKind.T: GateKind.TDG,
+            GateKind.TDG: GateKind.T,
+        }
+        if self.kind in swaps:
+            return Gate(swaps[self.kind], self.targets, self.controls)
+        raise ValueError(f"gate {self.kind.value} has no inverse in the supported set")
+
+    def __str__(self) -> str:
+        parts = [self.kind.value]
+        if self.controls:
+            parts.append("c=" + ",".join(map(str, self.controls)))
+        parts.append("t=" + ",".join(map(str, self.targets)))
+        return " ".join(parts)
+
+
+def gate_matrix_exact(kind: GateKind) -> Tuple[Tuple[AlgebraicComplex, ...], ...]:
+    """Exact 2x2 base matrix of a single-target gate kind."""
+    spec = GATE_SPECS[kind]
+    if spec.base_matrix_exact is None:
+        raise ValueError(f"gate {kind.value} has no 2x2 base matrix")
+    return spec.base_matrix_exact
+
+
+def gate_matrix(kind: GateKind) -> np.ndarray:
+    """Numpy 2x2 base matrix of a single-target gate kind."""
+    spec = GATE_SPECS[kind]
+    matrix = spec.base_matrix
+    if matrix is None:
+        raise ValueError(f"gate {kind.value} has no 2x2 base matrix")
+    return matrix
+
+
+def full_unitary(gate: Gate, num_qubits: int) -> np.ndarray:
+    """The dense ``2**n x 2**n`` unitary of ``gate`` on ``num_qubits`` qubits.
+
+    Qubit 0 is the most significant bit of the basis index (the paper's
+    convention).  Only intended for small ``num_qubits`` (tests, examples).
+    """
+    dim = 1 << num_qubits
+    unitary = np.zeros((dim, dim), dtype=complex)
+
+    def bit(index: int, qubit: int) -> int:
+        return (index >> (num_qubits - 1 - qubit)) & 1
+
+    def flip(index: int, qubit: int) -> int:
+        return index ^ (1 << (num_qubits - 1 - qubit))
+
+    if gate.kind in (GateKind.SWAP, GateKind.CSWAP):
+        qa, qb = gate.targets
+        for column in range(dim):
+            row = column
+            if all(bit(column, c) for c in gate.controls) and bit(column, qa) != bit(column, qb):
+                row = flip(flip(column, qa), qb)
+            unitary[row, column] = 1.0
+        return unitary
+
+    matrix = gate_matrix(gate.kind)
+    target = gate.targets[0]
+    for column in range(dim):
+        if not all(bit(column, c) for c in gate.controls):
+            unitary[column, column] = 1.0
+            continue
+        t_bit = bit(column, target)
+        partner = flip(column, target)
+        # Column 'column' of the full unitary places matrix[:, t_bit] into the
+        # rows for target=0/1 with all other bits fixed.
+        row0 = column if t_bit == 0 else partner
+        row1 = partner if t_bit == 0 else column
+        unitary[row0, column] += matrix[0, t_bit]
+        unitary[row1, column] += matrix[1, t_bit]
+    return unitary
+
+
+def is_clifford_gate(gate: Gate) -> bool:
+    """True if the gate (including its control structure) is a Clifford gate.
+
+    CCX/CSWAP are Clifford only in their degenerate (zero- or for CCX
+    one-control) forms; with their full control counts they are not.
+    """
+    if gate.kind in (GateKind.CCX,):
+        return len(gate.controls) <= 1
+    if gate.kind in (GateKind.CSWAP,):
+        return len(gate.controls) == 0
+    return gate.spec.is_clifford

@@ -1,0 +1,171 @@
+"""OpenQASM 2.0 subset reader / writer.
+
+Only the constructs needed for the supported gate set are implemented:
+
+* one quantum register (``qreg q[n];``) and optionally one classical register,
+* gate statements ``x``, ``y``, ``z``, ``h``, ``s``, ``sdg``, ``t``, ``tdg``,
+  ``rx(pi/2)``, ``ry(pi/2)``, ``cx``, ``cz``, ``ccx``, ``cswap``, ``swap``,
+* ``measure q[i] -> c[i];``.
+
+This is enough to exchange the benchmark circuits with mainstream tools
+(Qiskit, DDSIM's own frontends) for cross-checking.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import GateKind
+
+_QASM_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+_KIND_TO_QASM = {
+    GateKind.X: "x",
+    GateKind.Y: "y",
+    GateKind.Z: "z",
+    GateKind.H: "h",
+    GateKind.S: "s",
+    GateKind.SDG: "sdg",
+    GateKind.T: "t",
+    GateKind.TDG: "tdg",
+    GateKind.RX_PI_2: "rx(pi/2)",
+    GateKind.RY_PI_2: "ry(pi/2)",
+    GateKind.CX: "cx",
+    GateKind.CZ: "cz",
+    GateKind.CCX: "ccx",
+    GateKind.CSWAP: "cswap",
+    GateKind.SWAP: "swap",
+}
+
+_QASM_TO_KIND = {
+    "x": GateKind.X,
+    "y": GateKind.Y,
+    "z": GateKind.Z,
+    "h": GateKind.H,
+    "s": GateKind.S,
+    "sdg": GateKind.SDG,
+    "t": GateKind.T,
+    "tdg": GateKind.TDG,
+    "cx": GateKind.CX,
+    "cz": GateKind.CZ,
+    "ccx": GateKind.CCX,
+    "cswap": GateKind.CSWAP,
+    "swap": GateKind.SWAP,
+}
+
+_QREG_RE = re.compile(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]")
+_CREG_RE = re.compile(r"creg\s+(\w+)\s*\[\s*(\d+)\s*\]")
+_MEASURE_RE = re.compile(r"measure\s+(\w+)\s*\[\s*(\d+)\s*\]\s*->\s*(\w+)\s*\[\s*(\d+)\s*\]")
+_GATE_RE = re.compile(r"^(\w+)\s*(\(([^)]*)\))?\s+(.*)$")
+_QUBIT_RE = re.compile(r"(\w+)\s*\[\s*(\d+)\s*\]")
+
+
+def circuit_to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit to OpenQASM 2.0 text."""
+    lines = [_QASM_HEADER.rstrip("\n")]
+    lines.append(f"qreg q[{circuit.num_qubits}];")
+    if circuit.measured_qubits:
+        lines.append(f"creg c[{circuit.num_qubits}];")
+    for gate in circuit.gates:
+        name = _KIND_TO_QASM[gate.kind]
+        if gate.kind is GateKind.CCX and len(gate.controls) != 2:
+            raise ValueError(
+                "OpenQASM 2.0 has no native gate for Toffoli with "
+                f"{len(gate.controls)} controls; decompose first")
+        if gate.kind is GateKind.CSWAP and len(gate.controls) != 1:
+            raise ValueError(
+                "OpenQASM 2.0 has no native gate for Fredkin with "
+                f"{len(gate.controls)} controls; decompose first")
+        operands = ", ".join(f"q[{qubit}]" for qubit in gate.controls + gate.targets)
+        lines.append(f"{name} {operands};")
+    for qubit in circuit.measured_qubits:
+        lines.append(f"measure q[{qubit}] -> c[{qubit}];")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_angle(text: str) -> float:
+    """Parse the restricted angle expressions we emit (``pi/2`` style)."""
+    import math
+
+    cleaned = text.replace(" ", "")
+    substitutions = {
+        "pi/2": math.pi / 2,
+        "-pi/2": -math.pi / 2,
+        "pi/4": math.pi / 4,
+        "-pi/4": -math.pi / 4,
+        "pi": math.pi,
+        "-pi": -math.pi,
+    }
+    if cleaned in substitutions:
+        return substitutions[cleaned]
+    return float(cleaned)
+
+
+def circuit_from_qasm(text: str, name: str = "qasm_circuit") -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 subset string into a :class:`QuantumCircuit`."""
+    import math
+
+    num_qubits: Optional[int] = None
+    register_name = "q"
+    pending: List[Tuple[str, Optional[str], List[int]]] = []
+    measurements: List[int] = []
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        for statement in filter(None, (part.strip() for part in line.split(";"))):
+            if statement.startswith("OPENQASM") or statement.startswith("include"):
+                continue
+            qreg_match = _QREG_RE.match(statement)
+            if qreg_match:
+                register_name = qreg_match.group(1)
+                num_qubits = int(qreg_match.group(2))
+                continue
+            if _CREG_RE.match(statement):
+                continue
+            measure_match = _MEASURE_RE.match(statement)
+            if measure_match:
+                measurements.append(int(measure_match.group(2)))
+                continue
+            if statement.startswith("barrier"):
+                continue
+            gate_match = _GATE_RE.match(statement)
+            if not gate_match:
+                raise ValueError(f"cannot parse QASM statement: {statement!r}")
+            gate_name = gate_match.group(1).lower()
+            angle_text = gate_match.group(3)
+            qubits = [int(match.group(2)) for match in _QUBIT_RE.finditer(gate_match.group(4))]
+            pending.append((gate_name, angle_text, qubits))
+
+    if num_qubits is None:
+        raise ValueError("QASM input declares no quantum register")
+
+    circuit = QuantumCircuit(num_qubits, name=name)
+    for gate_name, angle_text, qubits in pending:
+        if gate_name in ("rx", "ry"):
+            angle = _parse_angle(angle_text or "")
+            if not math.isclose(angle, math.pi / 2, rel_tol=1e-9):
+                raise ValueError(
+                    f"only {gate_name}(pi/2) is supported, got angle {angle}")
+            kind = GateKind.RX_PI_2 if gate_name == "rx" else GateKind.RY_PI_2
+            circuit.add(kind, [qubits[0]])
+            continue
+        if gate_name not in _QASM_TO_KIND:
+            raise ValueError(f"unsupported QASM gate: {gate_name}")
+        kind = _QASM_TO_KIND[gate_name]
+        if kind in (GateKind.CX, GateKind.CZ):
+            circuit.add(kind, [qubits[1]], [qubits[0]])
+        elif kind is GateKind.CCX:
+            circuit.add(kind, [qubits[2]], qubits[:2])
+        elif kind is GateKind.CSWAP:
+            circuit.add(kind, qubits[1:], [qubits[0]])
+        elif kind is GateKind.SWAP:
+            circuit.add(kind, qubits)
+        else:
+            circuit.add(kind, [qubits[0]])
+    for qubit in measurements:
+        circuit.measure(qubit)
+    return circuit

@@ -1,0 +1,221 @@
+"""RevLib ``.real`` reversible circuit format reader / writer.
+
+RevLib (Wille et al., ISMVL 2008) distributes reversible benchmark circuits in
+the ``.real`` format.  The paper's Table IV experiments run RevLib circuits
+both as-is and in an "H-modified" variant where inputs with unspecified
+initial values get a Hadamard prologue.
+
+The subset implemented here covers the constructs RevLib actually uses for
+the benchmark families the paper cites:
+
+* header keys ``.version``, ``.numvars``, ``.variables``, ``.inputs``,
+  ``.outputs``, ``.constants``, ``.garbage``, ``.begin`` / ``.end``,
+* multiple-control Toffoli gates ``t<n> c1 ... c(n-1) target`` (``t1`` is NOT,
+  ``t2`` is CNOT),
+* multiple-control Fredkin gates ``f<n> c1 ... c(n-2) target1 target2``,
+* Peres gates ``p3 a b c`` (decomposed into Toffoli + CNOT on read),
+* ``v``/``v+`` lines are rejected with a clear error (not algebraically
+  representable in the paper's gate set).
+
+The reader returns the circuit together with the parsed constant-input line so
+callers can decide which inputs are "unspecified" (``-``) for H-augmentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, GateKind
+
+
+class RealFormatError(ValueError):
+    """Raised on malformed or unsupported ``.real`` input."""
+
+
+def circuit_to_real(circuit: QuantumCircuit, constants: Optional[str] = None) -> str:
+    """Serialise a reversible circuit to ``.real`` text.
+
+    Only classical reversible gates (X, CNOT, Toffoli, Fredkin, SWAP) can be
+    expressed; anything else raises :class:`RealFormatError`.  ``constants``
+    optionally provides the ``.constants`` line content (one character per
+    qubit, ``0``/``1``/``-``).
+    """
+    names = [f"x{i}" for i in range(circuit.num_qubits)]
+    lines = [".version 2.0", f".numvars {circuit.num_qubits}",
+             ".variables " + " ".join(names),
+             ".inputs " + " ".join(names),
+             ".outputs " + " ".join(names)]
+    if constants is None:
+        constants = "-" * circuit.num_qubits
+    if len(constants) != circuit.num_qubits:
+        raise RealFormatError(".constants length must equal the qubit count")
+    lines.append(".constants " + constants)
+    lines.append(".garbage " + "-" * circuit.num_qubits)
+    lines.append(".begin")
+    for gate in circuit.gates:
+        if gate.kind is GateKind.X and not gate.controls:
+            lines.append(f"t1 {names[gate.targets[0]]}")
+        elif gate.kind is GateKind.CX:
+            lines.append(f"t2 {names[gate.controls[0]]} {names[gate.targets[0]]}")
+        elif gate.kind is GateKind.CCX:
+            operands = [names[c] for c in gate.controls] + [names[gate.targets[0]]]
+            lines.append(f"t{len(operands)} " + " ".join(operands))
+        elif gate.kind is GateKind.CSWAP:
+            operands = [names[c] for c in gate.controls] + [names[t] for t in gate.targets]
+            lines.append(f"f{len(operands)} " + " ".join(operands))
+        elif gate.kind is GateKind.SWAP:
+            operands = [names[t] for t in gate.targets]
+            lines.append(f"f2 " + " ".join(operands))
+        else:
+            raise RealFormatError(
+                f"gate {gate.kind.value} cannot be expressed in .real format")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def circuit_from_real(text: str, name: str = "real_circuit") -> Tuple[QuantumCircuit, str]:
+    """Parse ``.real`` text.
+
+    Returns ``(circuit, constants)`` where ``constants`` is the ``.constants``
+    line content (defaulting to all ``-`` when the file omits it).
+    """
+    num_vars: Optional[int] = None
+    variable_names: List[str] = []
+    constants: Optional[str] = None
+    gates: List[Tuple[str, List[str]]] = []
+    in_body = False
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#")[0].strip()
+        if not line:
+            continue
+        lowered = line.lower()
+        if lowered.startswith(".version"):
+            continue
+        if lowered.startswith(".numvars"):
+            num_vars = int(line.split()[1])
+            continue
+        if lowered.startswith(".variables"):
+            variable_names = line.split()[1:]
+            continue
+        if lowered.startswith(".inputs") or lowered.startswith(".outputs"):
+            continue
+        if lowered.startswith(".inputbus") or lowered.startswith(".outputbus"):
+            continue
+        if lowered.startswith(".constants"):
+            constants = "".join(line.split()[1:])
+            continue
+        if lowered.startswith(".garbage"):
+            continue
+        if lowered.startswith(".define"):
+            raise RealFormatError(".define blocks are not supported")
+        if lowered.startswith(".begin"):
+            in_body = True
+            continue
+        if lowered.startswith(".end"):
+            in_body = False
+            continue
+        if not in_body:
+            continue
+        tokens = line.split()
+        gates.append((tokens[0].lower(), tokens[1:]))
+
+    if num_vars is None:
+        if not variable_names:
+            raise RealFormatError("missing .numvars / .variables header")
+        num_vars = len(variable_names)
+    if not variable_names:
+        variable_names = [f"x{i}" for i in range(num_vars)]
+    if len(variable_names) != num_vars:
+        raise RealFormatError(".variables count does not match .numvars")
+    if constants is None:
+        constants = "-" * num_vars
+    if len(constants) != num_vars:
+        raise RealFormatError(".constants length does not match .numvars")
+
+    index_of: Dict[str, int] = {label: i for i, label in enumerate(variable_names)}
+    circuit = QuantumCircuit(num_vars, name=name)
+
+    for mnemonic, operands in gates:
+        try:
+            qubits = [index_of[op] for op in operands]
+        except KeyError as exc:
+            raise RealFormatError(f"unknown variable {exc.args[0]!r} in gate line") from exc
+        kind_letter = mnemonic[0]
+        if kind_letter == "t":
+            _append_toffoli_family(circuit, qubits)
+        elif kind_letter == "f":
+            _append_fredkin_family(circuit, qubits)
+        elif kind_letter == "p":
+            _append_peres(circuit, qubits)
+        elif kind_letter == "v":
+            raise RealFormatError(
+                "V / V+ gates are not exactly representable in the supported gate set")
+        else:
+            raise RealFormatError(f"unsupported .real gate mnemonic: {mnemonic}")
+
+    return circuit, constants
+
+
+def _append_toffoli_family(circuit: QuantumCircuit, qubits: Sequence[int]) -> None:
+    """``t1`` = NOT, ``t2`` = CNOT, ``t<n>`` = multi-control Toffoli."""
+    if len(qubits) == 1:
+        circuit.x(qubits[0])
+    elif len(qubits) == 2:
+        circuit.cx(qubits[0], qubits[1])
+    else:
+        circuit.ccx(list(qubits[:-1]), qubits[-1])
+
+
+def _append_fredkin_family(circuit: QuantumCircuit, qubits: Sequence[int]) -> None:
+    """``f2`` = SWAP, ``f<n>`` = multi-control Fredkin."""
+    if len(qubits) < 2:
+        raise RealFormatError("Fredkin gates need at least two operands")
+    if len(qubits) == 2:
+        circuit.swap(qubits[0], qubits[1])
+    else:
+        circuit.cswap(list(qubits[:-2]), qubits[-2], qubits[-1])
+
+
+def _append_peres(circuit: QuantumCircuit, qubits: Sequence[int]) -> None:
+    """Peres gate ``p3 a b c`` == Toffoli(a, b, c) followed by CNOT(a, b)."""
+    if len(qubits) != 3:
+        raise RealFormatError("Peres gates take exactly three operands")
+    a, b, c = qubits
+    circuit.toffoli(a, b, c)
+    circuit.cx(a, b)
+
+
+def unspecified_inputs(constants: str) -> List[int]:
+    """Indices whose ``.constants`` entry is ``-`` (no fixed initial value).
+
+    These are the qubits the paper's Table IV modification augments with an
+    H gate to create an initial superposition.
+    """
+    return [index for index, flag in enumerate(constants) if flag == "-"]
+
+
+def initial_basis_state(constants: str, random_bits: Optional[Sequence[int]] = None) -> int:
+    """Basis-state index encoding the ``.constants`` line.
+
+    Fixed ``0``/``1`` entries contribute their value; unspecified (``-``)
+    entries take the corresponding value from ``random_bits`` (default 0).
+    Qubit 0 is the most significant bit, matching the simulator convention.
+    """
+    num_qubits = len(constants)
+    index = 0
+    unspecified_seen = 0
+    for position, flag in enumerate(constants):
+        if flag in ("0", "1"):
+            bit = int(flag)
+        elif flag == "-":
+            bit = 0
+            if random_bits is not None:
+                bit = int(random_bits[unspecified_seen]) & 1
+            unspecified_seen += 1
+        else:
+            raise RealFormatError(f"invalid .constants character {flag!r}")
+        if bit:
+            index |= 1 << (num_qubits - 1 - position)
+    return index

@@ -1,0 +1,165 @@
+"""Circuit transformation passes.
+
+The original tool consumes circuits as-is, but a practical toolchain around a
+simulator needs a few standard rewrites; the passes here are the ones the
+benchmark families and the examples actually use:
+
+* :func:`decompose_multi_control` — rewrite Toffoli/Fredkin gates with more
+  than two controls into two-control Toffolis using ancilla qubits (the
+  textbook V-chain construction), so circuits can be exported to OpenQASM 2.0
+  or run on engines that only support bounded control counts.
+* :func:`expand_swaps` — rewrite SWAP / Fredkin gates into CNOT / Toffoli
+  sequences (what the QMDD engine does internally, exposed as a pass).
+* :func:`cancel_adjacent_inverses` — peephole optimisation removing gate
+  pairs that multiply to the identity (X·X, H·H, S·S†, T·T†, CNOT·CNOT, …),
+  which shrinks the RevLib-style circuits noticeably.
+* :func:`count_t_gates` / :func:`clifford_t_summary` — the resource metrics
+  used when discussing universality via the Clifford+T set.
+
+All passes are pure: they return new circuits and never mutate their input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, GateKind, is_clifford_gate
+
+#: Pairs of gate kinds that cancel when adjacent on identical qubits.
+_INVERSE_PAIRS = {
+    (GateKind.X, GateKind.X), (GateKind.Y, GateKind.Y), (GateKind.Z, GateKind.Z),
+    (GateKind.H, GateKind.H), (GateKind.CX, GateKind.CX), (GateKind.CZ, GateKind.CZ),
+    (GateKind.CCX, GateKind.CCX), (GateKind.SWAP, GateKind.SWAP),
+    (GateKind.CSWAP, GateKind.CSWAP),
+    (GateKind.S, GateKind.SDG), (GateKind.SDG, GateKind.S),
+    (GateKind.T, GateKind.TDG), (GateKind.TDG, GateKind.T),
+}
+
+
+def expand_swaps(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite SWAP into three CNOTs and Fredkin into CNOT+Toffoli+CNOT."""
+    expanded = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_noswap")
+    for gate in circuit.gates:
+        if gate.kind is GateKind.SWAP:
+            a, b = gate.targets
+            expanded.cx(a, b).cx(b, a).cx(a, b)
+        elif gate.kind is GateKind.CSWAP:
+            a, b = gate.targets
+            expanded.cx(b, a)
+            expanded.ccx(list(gate.controls) + [a], b)
+            expanded.cx(b, a)
+        else:
+            expanded.append(gate)
+    for qubit in circuit.measured_qubits:
+        expanded.measure(qubit)
+    return expanded
+
+
+def decompose_multi_control(circuit: QuantumCircuit,
+                            max_controls: int = 2) -> QuantumCircuit:
+    """Rewrite Toffoli gates with more than ``max_controls`` controls.
+
+    Uses the standard V-chain: ``k`` controls need ``k - max_controls``
+    *clean* ancilla qubits (they must start in |0> and are returned to |0>
+    because the construction uncomputes itself), appended after the original
+    register.  On such inputs the behaviour on the original qubits is
+    identical to the multi-control gate.  Fredkin gates are first expanded
+    via :func:`expand_swaps` when they exceed the control budget.
+    """
+    if max_controls < 2:
+        raise ValueError("the decomposition targets at least two controls")
+    worklist = expand_swaps(circuit) if any(
+        gate.kind is GateKind.CSWAP and len(gate.controls) + 1 > max_controls
+        for gate in circuit.gates) else circuit
+
+    # First pass: how many ancillas does the widest gate need?
+    widest = 0
+    for gate in worklist.gates:
+        if gate.kind is GateKind.CCX:
+            widest = max(widest, len(gate.controls))
+    ancillas_needed = max(0, widest - max_controls)
+    total_qubits = worklist.num_qubits + ancillas_needed
+    ancilla_base = worklist.num_qubits
+
+    decomposed = QuantumCircuit(total_qubits, name=f"{circuit.name}_mcx{max_controls}")
+
+    def emit_chain(controls: Tuple[int, ...], target: int) -> None:
+        if len(controls) <= max_controls:
+            decomposed.ccx(list(controls), target)
+            return
+        # Fold controls pairwise into ancillas, fire, then uncompute.
+        chain: List[Tuple[List[int], int]] = []
+        available = list(controls)
+        ancilla = ancilla_base
+        while len(available) > max_controls:
+            pair = [available.pop(0), available.pop(0)]
+            chain.append((pair, ancilla))
+            available.append(ancilla)
+            ancilla += 1
+        for pair, scratch in chain:
+            decomposed.ccx(pair, scratch)
+        decomposed.ccx(available, target)
+        for pair, scratch in reversed(chain):
+            decomposed.ccx(pair, scratch)
+
+    for gate in worklist.gates:
+        if gate.kind is GateKind.CCX and len(gate.controls) > max_controls:
+            emit_chain(gate.controls, gate.targets[0])
+        else:
+            decomposed.append(gate)
+    for qubit in worklist.measured_qubits:
+        decomposed.measure(qubit)
+    return decomposed
+
+
+def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove adjacent gate pairs that multiply to the identity.
+
+    A pair cancels when both gates act on exactly the same controls and
+    targets and their kinds form an inverse pair; commuting reorderings are
+    *not* attempted (this is a peephole pass, not a full optimiser).  The pass
+    iterates until no further cancellation applies.
+    """
+    gates = list(circuit.gates)
+    changed = True
+    while changed:
+        changed = False
+        result: List[Gate] = []
+        index = 0
+        while index < len(gates):
+            if index + 1 < len(gates):
+                current, following = gates[index], gates[index + 1]
+                same_wires = (current.targets == following.targets
+                              and set(current.controls) == set(following.controls))
+                if same_wires and (current.kind, following.kind) in _INVERSE_PAIRS:
+                    index += 2
+                    changed = True
+                    continue
+            result.append(gates[index])
+            index += 1
+        gates = result
+    optimised = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_opt")
+    for gate in gates:
+        optimised.append(gate)
+    for qubit in circuit.measured_qubits:
+        optimised.measure(qubit)
+    return optimised
+
+
+def count_t_gates(circuit: QuantumCircuit) -> int:
+    """Number of T / T-dagger gates (the standard fault-tolerance cost metric)."""
+    return sum(1 for gate in circuit.gates if gate.kind in (GateKind.T, GateKind.TDG))
+
+
+def clifford_t_summary(circuit: QuantumCircuit) -> Dict[str, int]:
+    """Counts of Clifford gates, T-type gates and other non-Clifford gates."""
+    summary = {"clifford": 0, "t_like": 0, "other_non_clifford": 0}
+    for gate in circuit.gates:
+        if gate.kind in (GateKind.T, GateKind.TDG):
+            summary["t_like"] += 1
+        elif is_clifford_gate(gate):
+            summary["clifford"] += 1
+        else:
+            summary["other_non_clifford"] += 1
+    return summary

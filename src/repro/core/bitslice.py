@@ -1,0 +1,259 @@
+"""Bit-sliced algebraic state representation (paper Section III-B).
+
+A state vector ``|psi>`` over ``n`` qubits whose amplitudes are written in
+the algebraic form ``(a*w^3 + b*w^2 + c*w + d) / sqrt(2)^k`` is stored as
+
+* four lists of ``r`` BDDs over the ``n`` qubit variables — one BDD per bit
+  of the two's-complement integers in the vectors ``a``, ``b``, ``c``, ``d``
+  (bit 0 is the least-significant bit, bit ``r-1`` the sign bit), and
+* one shared integer exponent ``k``, plus
+* one floating-point factor ``s`` (the measurement normalisation of Eq. 13;
+  it stays exactly 1.0 until a collapse happens).
+
+The truth table of slice ``j`` of vector ``a`` is exactly the ``j``-th bit of
+the ``2**n``-entry integer vector ``a`` — Fig. 1 of the paper.
+
+The integer width ``r`` is dynamic: gate application detects two's-complement
+overflow symbolically and widens the representation (sign-extension) before
+retrying, mirroring the "extra BDDs are allocated on overflow" behaviour of
+the original implementation.  :meth:`BitSlicedState.shrink` drops redundant
+sign bits again so ``r`` tracks the largest live coefficient.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra import AlgebraicComplex
+from repro.bdd import Bdd, BddManager
+
+#: The four vector names of the algebraic representation, in a fixed order.
+VECTOR_NAMES = ("a", "b", "c", "d")
+
+
+class BitSlicedState:
+    """The 4r-BDD representation of an ``n``-qubit quantum state.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits ``n``.  Qubit ``j`` is represented by BDD variable
+        ``j`` of the manager (and is the ``j``-th most significant bit of a
+        basis index).
+    initial_state:
+        Basis state ``|i>`` to initialise to (paper Eq. 6).
+    initial_bits:
+        Initial integer width ``r``.  The original tool starts at 32; the pure
+        Python default is 2 because the width grows on demand anyway and
+        smaller widths keep the constant factors low.
+    manager:
+        Optionally share an existing :class:`BddManager`; by default a private
+        manager with ``num_qubits`` variables is created.
+    """
+
+    def __init__(self, num_qubits: int, initial_state: int = 0,
+                 initial_bits: int = 2, manager: Optional[BddManager] = None):
+        if num_qubits <= 0:
+            raise ValueError("need at least one qubit")
+        if initial_bits < 2:
+            raise ValueError("need at least two bits for two's complement")
+        if not 0 <= initial_state < (1 << num_qubits):
+            raise ValueError("initial basis state out of range")
+        self.num_qubits = num_qubits
+        self.manager = manager or BddManager(num_qubits)
+        if self.manager.num_vars < num_qubits:
+            raise ValueError("manager does not have enough variables")
+        self.r = initial_bits
+        self.k = 0
+        #: Floating point normalisation factor from measurements (Eq. 13).
+        self.s = 1.0
+        false = self.manager.false
+        self.slices: Dict[str, List[Bdd]] = {
+            name: [false for _ in range(initial_bits)] for name in VECTOR_NAMES
+        }
+        # Paper Eq. 6: the initial basis state sets bit 0 of vector d to the
+        # minterm of |initial_state>, everything else stays constant 0.
+        self.slices["d"][0] = self._minterm(initial_state)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _minterm(self, basis_index: int) -> Bdd:
+        """The BDD that is 1 exactly on ``|basis_index>``."""
+        cube = self.manager.true
+        for qubit in range(self.num_qubits):
+            bit = (basis_index >> (self.num_qubits - 1 - qubit)) & 1
+            cube = cube & self.manager.literal(qubit, bool(bit))
+        return cube
+
+    def qubit_var(self, qubit: int) -> int:
+        """BDD variable index representing ``qubit``."""
+        if not 0 <= qubit < self.num_qubits:
+            raise ValueError(f"qubit {qubit} out of range")
+        return qubit
+
+    # ------------------------------------------------------------------ #
+    # width management
+    # ------------------------------------------------------------------ #
+    def widen(self, extra_bits: int = 1) -> None:
+        """Sign-extend every vector by ``extra_bits`` additional slices."""
+        for name in VECTOR_NAMES:
+            bits = self.slices[name]
+            sign = bits[-1]
+            bits.extend([sign] * extra_bits)
+        self.r += extra_bits
+
+    def shrink(self, min_bits: int = 2) -> int:
+        """Drop redundant sign slices (bit ``r-1`` identical to bit ``r-2``
+        in every vector); returns the number of slices removed."""
+        removed = 0
+        while self.r > min_bits:
+            if all(self.slices[name][-1] == self.slices[name][-2] for name in VECTOR_NAMES):
+                for name in VECTOR_NAMES:
+                    self.slices[name].pop()
+                self.r -= 1
+                removed += 1
+            else:
+                break
+        return removed
+
+    def replace_slices(self, new_slices: Dict[str, List[Bdd]], delta_k: int = 0) -> None:
+        """Install freshly computed slices (all four vectors, same width)."""
+        widths = {len(bits) for bits in new_slices.values()}
+        if len(widths) != 1:
+            raise ValueError("all four vectors must have the same width")
+        self.slices = {name: list(new_slices[name]) for name in VECTOR_NAMES}
+        self.r = widths.pop()
+        self.k += delta_k
+
+    # ------------------------------------------------------------------ #
+    # decoding
+    # ------------------------------------------------------------------ #
+    def _decode_bits(self, bits: Sequence[Bdd], assignment: Dict[int, bool]) -> int:
+        """Decode a two's-complement integer from bit-plane BDDs at a basis
+        assignment."""
+        value = 0
+        for position, bit_bdd in enumerate(bits):
+            if self._evaluate(bit_bdd, assignment):
+                value |= 1 << position
+        sign_weight = 1 << (len(bits) - 1)
+        if value & sign_weight:
+            value -= sign_weight << 1
+        return value
+
+    def _evaluate(self, function: Bdd, assignment: Dict[int, bool]) -> bool:
+        manager = self.manager
+        node = function.node
+        while not manager.is_terminal(node):
+            var = manager.node_var(node)
+            node = (manager.node_high(node) if assignment.get(var, False)
+                    else manager.node_low(node))
+        return node == 1
+
+    def _assignment_of(self, basis_index: int) -> Dict[int, bool]:
+        return {
+            qubit: bool((basis_index >> (self.num_qubits - 1 - qubit)) & 1)
+            for qubit in range(self.num_qubits)
+        }
+
+    def coefficient_tuple(self, basis_index: int) -> Tuple[int, int, int, int, int]:
+        """Raw ``(a, b, c, d, k)`` integers for basis state ``basis_index``
+        (not canonicalised, ignoring the measurement factor ``s``)."""
+        assignment = self._assignment_of(basis_index)
+        return (
+            self._decode_bits(self.slices["a"], assignment),
+            self._decode_bits(self.slices["b"], assignment),
+            self._decode_bits(self.slices["c"], assignment),
+            self._decode_bits(self.slices["d"], assignment),
+            self.k,
+        )
+
+    def amplitude(self, basis_index: int) -> AlgebraicComplex:
+        """Exact amplitude of ``|basis_index>`` (ignoring the measurement
+        normalisation factor ``s``, which is exposed separately)."""
+        if not 0 <= basis_index < (1 << self.num_qubits):
+            raise ValueError("basis index out of range")
+        a, b, c, d, k = self.coefficient_tuple(basis_index)
+        return AlgebraicComplex(a, b, c, d, k)
+
+    def amplitude_complex(self, basis_index: int) -> complex:
+        """Floating-point amplitude including the measurement factor ``s``."""
+        return self.s * self.amplitude(basis_index).to_complex()
+
+    def to_algebraic_vector(self):
+        """The full dense exact state (only sensible for small ``n``)."""
+        from repro.algebra import AlgebraicVector
+
+        amplitudes = [self.amplitude(i) for i in range(1 << self.num_qubits)]
+        return AlgebraicVector(self.num_qubits, amplitudes)
+
+    def to_numpy(self):
+        """The full dense complex state including ``s`` (small ``n`` only)."""
+        import numpy as np
+
+        return np.array(
+            [self.amplitude_complex(i) for i in range(1 << self.num_qubits)],
+            dtype=complex)
+
+    # ------------------------------------------------------------------ #
+    # collapse support (used by the measurement engine)
+    # ------------------------------------------------------------------ #
+    def project_qubit(self, qubit: int, outcome: int, probability: float) -> None:
+        """Zero out all amplitudes inconsistent with ``qubit == outcome`` and
+        fold the renormalisation into ``s`` (paper Section III-E)."""
+        if probability <= 0.0:
+            raise ValueError("cannot project onto a zero-probability outcome")
+        keep = self.manager.literal(self.qubit_var(qubit), bool(outcome))
+        for name in VECTOR_NAMES:
+            self.slices[name] = [bit & keep for bit in self.slices[name]]
+        self.s /= probability ** 0.5
+
+    # ------------------------------------------------------------------ #
+    # symbolic structure queries
+    # ------------------------------------------------------------------ #
+    def nonzero_support(self) -> Bdd:
+        """The BDD that is 1 exactly on basis states with a non-zero amplitude.
+
+        This is simply the OR of all 4r slice BDDs: an amplitude is zero iff
+        every bit of all four integers is zero.  The result is a symbolic
+        characterisation of the state's support, independent of its size.
+        """
+        support = self.manager.false
+        for bit in self.all_slices():
+            support = support | bit
+        return support
+
+    def nonzero_amplitude_count(self) -> int:
+        """Number of basis states with a non-zero amplitude.
+
+        Computed symbolically via BDD model counting, so it works for states
+        whose support would be far too large to enumerate (e.g. the 2**n
+        uniform superposition on hundreds of qubits).
+        """
+        return self.nonzero_support().satcount(self.num_qubits)
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def all_slices(self) -> List[Bdd]:
+        """The 4r slice BDDs as one flat list (a, b, c, d order)."""
+        return [bit for name in VECTOR_NAMES for bit in self.slices[name]]
+
+    def num_nodes(self) -> int:
+        """Distinct BDD nodes shared by all slices (the paper's memory
+        metric)."""
+        return self.manager.count_nodes([bit.node for bit in self.all_slices()])
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary dict used by the harness (width, k, node count, s)."""
+        return {
+            "num_qubits": self.num_qubits,
+            "bit_width": self.r,
+            "k": self.k,
+            "normalisation": self.s,
+            "bdd_nodes": self.num_nodes(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"BitSlicedState(num_qubits={self.num_qubits}, r={self.r}, "
+                f"k={self.k}, nodes={self.num_nodes()})")

@@ -1,0 +1,366 @@
+"""Pre-characterised Boolean update formulas for every supported gate.
+
+This module is the reproduction of the paper's Table II.  Each gate has a
+handler that maps the current slice BDDs ``(Fa_i, Fb_i, Fc_i, Fd_i)`` to the
+updated slices, expressed purely through cofactors, Boolean connectives and
+symbolic ripple-carry adders — no matrix-vector multiplication ever happens.
+
+Derivation conventions (matching the paper's worked H-gate example):
+
+* Applying a gate to target ``t`` relates, for every setting of the other
+  qubits, the new amplitudes at ``q_t = 0 / 1`` to the old amplitudes at
+  ``q_t = 0 / 1``.
+* Multiplication of an algebraic value by ``i = w**2`` permutes the integer
+  coefficients ``(a, b, c, d) -> (c, d, -a, -b)``; by ``w`` (the T gate)
+  ``(a, b, c, d) -> (b, c, d, -a)``; negation is two's-complement negation
+  (bitwise complement plus an initial carry-in), which is where the
+  ``Ca0 = q_t`` style carry seeds of Table II come from.
+* H, Rx(pi/2) and Ry(pi/2) add amplitudes, so they run a full symbolic adder
+  and increment the shared exponent ``k`` by one (their 1/sqrt(2) factor).
+
+Every handler returns a :class:`GateUpdate` carrying the new slices, the
+``k`` increment and the symbolic overflow predicate of all additions
+performed.  :class:`GateRuleEngine.apply` widens the state and retries when
+the overflow predicate is satisfiable, reproducing the "allocate extra BDDs
+on overflow" behaviour of the original implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd import Bdd, BddManager
+from repro.circuit.gates import Gate, GateKind
+from repro.core.bitslice import VECTOR_NAMES, BitSlicedState
+from repro.exceptions import UnsupportedGateError
+
+
+@dataclass
+class GateUpdate:
+    """Result of characterising one gate application at the current width."""
+
+    #: New slice BDDs per vector name, least-significant bit first.
+    slices: Dict[str, List[Bdd]]
+    #: Increment of the shared exponent ``k`` (0 or 1).
+    delta_k: int
+    #: True when some addition overflowed the current two's-complement width
+    #: and the state must be widened before retrying.
+    overflowed: bool
+
+
+class GateRuleEngine:
+    """Applies Table II update rules to a :class:`BitSlicedState`."""
+
+    def __init__(self, state: BitSlicedState):
+        self.state = state
+        self.manager: BddManager = state.manager
+
+    # ------------------------------------------------------------------ #
+    # public entry point
+    # ------------------------------------------------------------------ #
+    def apply(self, gate: Gate, max_widen_retries: int = 64) -> None:
+        """Apply ``gate`` in place, widening the integer representation as
+        needed when two's-complement overflow is detected."""
+        handler = self._handler_for(gate.kind)
+        for _ in range(max_widen_retries):
+            update = handler(gate)
+            if not update.overflowed:
+                self.state.replace_slices(update.slices, update.delta_k)
+                return
+            self.state.widen(1)
+        raise RuntimeError(
+            f"gate {gate.kind.value} kept overflowing after "
+            f"{max_widen_retries} widening attempts")
+
+    def _handler_for(self, kind: GateKind) -> Callable[[Gate], GateUpdate]:
+        handlers = {
+            GateKind.X: self._apply_x,
+            GateKind.Y: self._apply_y,
+            GateKind.Z: self._apply_z,
+            GateKind.H: self._apply_h,
+            GateKind.S: self._apply_s,
+            GateKind.SDG: self._apply_sdg,
+            GateKind.T: self._apply_t,
+            GateKind.TDG: self._apply_tdg,
+            GateKind.RX_PI_2: self._apply_rx,
+            GateKind.RY_PI_2: self._apply_ry,
+            GateKind.CX: self._apply_cx,
+            GateKind.CZ: self._apply_cz,
+            GateKind.CCX: self._apply_ccx,
+            GateKind.CSWAP: self._apply_cswap,
+            GateKind.SWAP: self._apply_swap_gate,
+        }
+        if kind not in handlers:
+            raise UnsupportedGateError(f"gate kind {kind.value} is not supported")
+        return handlers[kind]
+
+    # ------------------------------------------------------------------ #
+    # Boolean building blocks
+    # ------------------------------------------------------------------ #
+    def _qvar(self, qubit: int) -> Bdd:
+        return self.manager.var(self.state.qubit_var(qubit))
+
+    def _bits(self, name: str) -> List[Bdd]:
+        return list(self.state.slices[name])
+
+    def _zeros(self) -> List[Bdd]:
+        false = self.manager.false
+        return [false for _ in range(self.state.r)]
+
+    def _swap_on(self, function: Bdd, qubit: int) -> Bdd:
+        """The function with the two cofactors of ``qubit`` exchanged: its
+        value at ``q = b`` is the old value at ``q = not b`` (X-gate action)."""
+        var = self.state.qubit_var(qubit)
+        q = self._qvar(qubit)
+        return q.ite(function.cofactor(var, False), function.cofactor(var, True))
+
+    def _swap_two_vars(self, function: Bdd, qubit_a: int, qubit_b: int) -> Bdd:
+        """The function with the roles of ``qubit_a`` and ``qubit_b``
+        exchanged (SWAP action)."""
+        var_a = self.state.qubit_var(qubit_a)
+        var_b = self.state.qubit_var(qubit_b)
+        qa, qb = self._qvar(qubit_a), self._qvar(qubit_b)
+        f_01 = function.cofactor(var_a, False).cofactor(var_b, True)
+        f_10 = function.cofactor(var_a, True).cofactor(var_b, False)
+        same = qa.equiv(qb)
+        return (same & function) | (qa & ~qb & f_01) | (~qa & qb & f_10)
+
+    def _control_conjunction(self, controls: Sequence[int]) -> Bdd:
+        product = self.manager.true
+        for control in controls:
+            product = product & self._qvar(control)
+        return product
+
+    @staticmethod
+    def _carry(a: Bdd, b: Bdd, c: Bdd) -> Bdd:
+        """Car(A, B, C) = AB + (A + B)C  (paper's carry formula)."""
+        return (a & b) | ((a | b) & c)
+
+    @staticmethod
+    def _sum(a: Bdd, b: Bdd, c: Bdd) -> Bdd:
+        """Sum(A, B, C) = A xor B xor C  (paper's sum formula)."""
+        return a ^ b ^ c
+
+    def _ripple_add(self, addend_a: Sequence[Bdd], addend_b: Sequence[Bdd],
+                    carry_in: Bdd) -> Tuple[List[Bdd], bool]:
+        """Symbolic two's-complement addition of equal-width bit-plane lists.
+
+        Returns ``(sum_bits, overflowed)`` where ``overflowed`` is True when
+        the signed result does not fit in the current width for at least one
+        basis state (checked as satisfiability of carry-out xor carry-into-
+        sign, the standard two's-complement overflow condition).
+        """
+        if len(addend_a) != len(addend_b):
+            raise ValueError("adder operands must have the same width")
+        carry = carry_in
+        sums: List[Bdd] = []
+        carry_into_sign = carry_in
+        for position, (bit_a, bit_b) in enumerate(zip(addend_a, addend_b)):
+            if position == len(addend_a) - 1:
+                carry_into_sign = carry
+            sums.append(self._sum(bit_a, bit_b, carry))
+            carry = self._carry(bit_a, bit_b, carry)
+        overflow = carry ^ carry_into_sign
+        return sums, not overflow.is_false()
+
+    def _conditional_negate_add(self, bits: Sequence[Bdd], condition: Bdd) -> Tuple[List[Bdd], bool]:
+        """Two's-complement negate the integer wherever ``condition`` holds.
+
+        Implements the Table II pattern ``G_i = cond' F_i + cond (not F_i)``
+        with carry seed ``Ca0 = cond``: the bitwise complement plus one.
+        """
+        complemented = [condition.ite(~bit, bit) for bit in bits]
+        return self._ripple_add(complemented, self._zeros(), condition)
+
+    # ------------------------------------------------------------------ #
+    # permutation-only gates (no adder, no overflow)
+    # ------------------------------------------------------------------ #
+    def _permute_all(self, transform: Callable[[Bdd], Bdd]) -> Dict[str, List[Bdd]]:
+        return {name: [transform(bit) for bit in self._bits(name)]
+                for name in VECTOR_NAMES}
+
+    def _apply_x(self, gate: Gate) -> GateUpdate:
+        target = gate.targets[0]
+        new = self._permute_all(lambda f: self._swap_on(f, target))
+        return GateUpdate(new, 0, False)
+
+    def _apply_cx(self, gate: Gate) -> GateUpdate:
+        control, target = gate.controls[0], gate.targets[0]
+        qc = self._qvar(control)
+        new = self._permute_all(lambda f: qc.ite(self._swap_on(f, target), f))
+        return GateUpdate(new, 0, False)
+
+    def _apply_ccx(self, gate: Gate) -> GateUpdate:
+        target = gate.targets[0]
+        condition = self._control_conjunction(gate.controls)
+        new = self._permute_all(lambda f: condition.ite(self._swap_on(f, target), f))
+        return GateUpdate(new, 0, False)
+
+    def _apply_swap_gate(self, gate: Gate) -> GateUpdate:
+        qubit_a, qubit_b = gate.targets
+        new = self._permute_all(lambda f: self._swap_two_vars(f, qubit_a, qubit_b))
+        return GateUpdate(new, 0, False)
+
+    def _apply_cswap(self, gate: Gate) -> GateUpdate:
+        qubit_a, qubit_b = gate.targets
+        condition = self._control_conjunction(gate.controls)
+        new = self._permute_all(
+            lambda f: condition.ite(self._swap_two_vars(f, qubit_a, qubit_b), f))
+        return GateUpdate(new, 0, False)
+
+    # ------------------------------------------------------------------ #
+    # phase gates (conditional coefficient permutation / negation)
+    # ------------------------------------------------------------------ #
+    def _apply_z(self, gate: Gate) -> GateUpdate:
+        condition = self._qvar(gate.targets[0])
+        return self._conditional_negate_all(condition)
+
+    def _apply_cz(self, gate: Gate) -> GateUpdate:
+        condition = self._qvar(gate.controls[0]) & self._qvar(gate.targets[0])
+        return self._conditional_negate_all(condition)
+
+    def _conditional_negate_all(self, condition: Bdd) -> GateUpdate:
+        new: Dict[str, List[Bdd]] = {}
+        overflowed = False
+        for name in VECTOR_NAMES:
+            bits, over = self._conditional_negate_add(self._bits(name), condition)
+            new[name] = bits
+            overflowed = overflowed or over
+        return GateUpdate(new, 0, overflowed)
+
+    def _apply_s(self, gate: Gate) -> GateUpdate:
+        # On q_t = 1 multiply by i: (a, b, c, d) -> (c, d, -a, -b).
+        qt = self._qvar(gate.targets[0])
+        fa, fb, fc, fd = (self._bits(name) for name in VECTOR_NAMES)
+        new_a = [qt.ite(c_bit, a_bit) for a_bit, c_bit in zip(fa, fc)]
+        new_b = [qt.ite(d_bit, b_bit) for b_bit, d_bit in zip(fb, fd)]
+        new_c, over_c = self._ripple_add(
+            [qt.ite(~a_bit, c_bit) for a_bit, c_bit in zip(fa, fc)], self._zeros(), qt)
+        new_d, over_d = self._ripple_add(
+            [qt.ite(~b_bit, d_bit) for b_bit, d_bit in zip(fb, fd)], self._zeros(), qt)
+        return GateUpdate({"a": new_a, "b": new_b, "c": new_c, "d": new_d},
+                          0, over_c or over_d)
+
+    def _apply_sdg(self, gate: Gate) -> GateUpdate:
+        # On q_t = 1 multiply by -i: (a, b, c, d) -> (-c, -d, a, b).
+        qt = self._qvar(gate.targets[0])
+        fa, fb, fc, fd = (self._bits(name) for name in VECTOR_NAMES)
+        new_a, over_a = self._ripple_add(
+            [qt.ite(~c_bit, a_bit) for a_bit, c_bit in zip(fa, fc)], self._zeros(), qt)
+        new_b, over_b = self._ripple_add(
+            [qt.ite(~d_bit, b_bit) for b_bit, d_bit in zip(fb, fd)], self._zeros(), qt)
+        new_c = [qt.ite(a_bit, c_bit) for a_bit, c_bit in zip(fa, fc)]
+        new_d = [qt.ite(b_bit, d_bit) for b_bit, d_bit in zip(fb, fd)]
+        return GateUpdate({"a": new_a, "b": new_b, "c": new_c, "d": new_d},
+                          0, over_a or over_b)
+
+    def _apply_t(self, gate: Gate) -> GateUpdate:
+        # On q_t = 1 multiply by w: (a, b, c, d) -> (b, c, d, -a).
+        qt = self._qvar(gate.targets[0])
+        fa, fb, fc, fd = (self._bits(name) for name in VECTOR_NAMES)
+        new_a = [qt.ite(b_bit, a_bit) for a_bit, b_bit in zip(fa, fb)]
+        new_b = [qt.ite(c_bit, b_bit) for b_bit, c_bit in zip(fb, fc)]
+        new_c = [qt.ite(d_bit, c_bit) for c_bit, d_bit in zip(fc, fd)]
+        new_d, over_d = self._ripple_add(
+            [qt.ite(~a_bit, d_bit) for a_bit, d_bit in zip(fa, fd)], self._zeros(), qt)
+        return GateUpdate({"a": new_a, "b": new_b, "c": new_c, "d": new_d}, 0, over_d)
+
+    def _apply_tdg(self, gate: Gate) -> GateUpdate:
+        # On q_t = 1 multiply by w**-1: (a, b, c, d) -> (-d, a, b, c).
+        qt = self._qvar(gate.targets[0])
+        fa, fb, fc, fd = (self._bits(name) for name in VECTOR_NAMES)
+        new_a, over_a = self._ripple_add(
+            [qt.ite(~d_bit, a_bit) for a_bit, d_bit in zip(fa, fd)], self._zeros(), qt)
+        new_b = [qt.ite(a_bit, b_bit) for b_bit, a_bit in zip(fb, fa)]
+        new_c = [qt.ite(b_bit, c_bit) for c_bit, b_bit in zip(fc, fb)]
+        new_d = [qt.ite(c_bit, d_bit) for d_bit, c_bit in zip(fd, fc)]
+        return GateUpdate({"a": new_a, "b": new_b, "c": new_c, "d": new_d}, 0, over_a)
+
+    def _apply_y(self, gate: Gate) -> GateUpdate:
+        # new(q_t=0) = -i * old(q_t=1), new(q_t=1) = +i * old(q_t=0);
+        # i * (a,b,c,d) = (c, d, -a, -b).
+        target = gate.targets[0]
+        qt = self._qvar(target)
+        not_qt = ~qt
+        fa, fb, fc, fd = (self._bits(name) for name in VECTOR_NAMES)
+        new: Dict[str, List[Bdd]] = {}
+        overflowed = False
+        # (source vector, negate-on-branch) per destination vector.
+        plan = {
+            "a": (fc, not_qt),  # a' = +c_other on q_t=1, -c_other on q_t=0
+            "b": (fd, not_qt),
+            "c": (fa, qt),      # c' = +a_other on q_t=0, -a_other on q_t=1
+            "d": (fb, qt),
+        }
+        for name, (source, negate_when) in plan.items():
+            swapped = [self._swap_on(bit, target) for bit in source]
+            conditional = [negate_when.ite(~bit, bit) for bit in swapped]
+            bits, over = self._ripple_add(conditional, self._zeros(), negate_when)
+            new[name] = bits
+            overflowed = overflowed or over
+        return GateUpdate(new, 0, overflowed)
+
+    # ------------------------------------------------------------------ #
+    # superposing gates (symbolic adders, k increments)
+    # ------------------------------------------------------------------ #
+    def _apply_h(self, gate: Gate) -> GateUpdate:
+        # new(q_t=0) = old(0) + old(1); new(q_t=1) = old(0) - old(1); k += 1.
+        target = gate.targets[0]
+        var = self.state.qubit_var(target)
+        qt = self._qvar(target)
+        new: Dict[str, List[Bdd]] = {}
+        overflowed = False
+        for name in VECTOR_NAMES:
+            bits = self._bits(name)
+            replicated_low = [bit.cofactor(var, False) for bit in bits]
+            second = [qt.ite(~bit, bit.cofactor(var, True)) for bit in bits]
+            summed, over = self._ripple_add(replicated_low, second, qt)
+            new[name] = summed
+            overflowed = overflowed or over
+        return GateUpdate(new, 1, overflowed)
+
+    def _apply_ry(self, gate: Gate) -> GateUpdate:
+        # new(q_t=0) = old(0) - old(1); new(q_t=1) = old(0) + old(1); k += 1.
+        target = gate.targets[0]
+        var = self.state.qubit_var(target)
+        qt = self._qvar(target)
+        not_qt = ~qt
+        new: Dict[str, List[Bdd]] = {}
+        overflowed = False
+        for name in VECTOR_NAMES:
+            bits = self._bits(name)
+            replicated_low = [bit.cofactor(var, False) for bit in bits]
+            second = [qt.ite(bit, ~bit.cofactor(var, True)) for bit in bits]
+            summed, over = self._ripple_add(replicated_low, second, not_qt)
+            new[name] = summed
+            overflowed = overflowed or over
+        return GateUpdate(new, 1, overflowed)
+
+    def _apply_rx(self, gate: Gate) -> GateUpdate:
+        # new = old - i * old_swapped (per branch); k += 1.
+        # Contributions: a' = a - c_swapped, b' = b - d_swapped,
+        #                c' = c + a_swapped, d' = d + b_swapped.
+        target = gate.targets[0]
+        fa, fb, fc, fd = (self._bits(name) for name in VECTOR_NAMES)
+        true = self.manager.true
+        false = self.manager.false
+        new: Dict[str, List[Bdd]] = {}
+        overflowed = False
+        plan = {
+            "a": (fa, fc, True),
+            "b": (fb, fd, True),
+            "c": (fc, fa, False),
+            "d": (fd, fb, False),
+        }
+        for name, (own, other, negate) in plan.items():
+            swapped = [self._swap_on(bit, target) for bit in other]
+            if negate:
+                swapped = [~bit for bit in swapped]
+                carry_in = true
+            else:
+                carry_in = false
+            summed, over = self._ripple_add(own, swapped, carry_in)
+            new[name] = summed
+            overflowed = overflowed or over
+        return GateUpdate(new, 1, overflowed)

@@ -1,0 +1,48 @@
+"""Exception types shared by every simulation engine and the harness.
+
+The paper's experimental protocol classifies every run as success, time-out
+(TO), memory-out (MO), numerical error, or crash.  The engines in this
+repository signal the non-success cases with the exceptions below so the
+harness can build the same TO/MO/error columns.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for simulation failures."""
+
+
+class SimulationTimeout(SimulationError):
+    """The engine exceeded its wall-clock budget (the paper's "TO")."""
+
+    def __init__(self, elapsed_seconds: float, limit_seconds: float):
+        super().__init__(
+            f"simulation exceeded the time limit: {elapsed_seconds:.1f}s "
+            f"> {limit_seconds:.1f}s")
+        self.elapsed_seconds = elapsed_seconds
+        self.limit_seconds = limit_seconds
+
+
+class SimulationMemoryExceeded(SimulationError):
+    """The engine exceeded its memory budget (the paper's "MO")."""
+
+    def __init__(self, used: int, limit: int, unit: str = "nodes"):
+        super().__init__(
+            f"simulation exceeded the memory limit: {used} {unit} > {limit} {unit}")
+        self.used = used
+        self.limit = limit
+        self.unit = unit
+
+
+class NumericalError(SimulationError):
+    """The engine produced an invalid state (the paper's "error" column).
+
+    The paper flags a run as erroneous when the state probabilities no longer
+    sum to one because of floating-point precision loss; the QMDD baseline
+    raises this when its normalisation check fails.
+    """
+
+
+class UnsupportedGateError(SimulationError):
+    """A gate outside the engine's supported set was encountered."""

@@ -1,0 +1,71 @@
+"""Experiment harness reproducing the paper's evaluation protocol.
+
+The harness mirrors Section IV of the paper:
+
+* every (circuit, engine) pair runs under a wall-clock limit and a memory
+  limit and is classified as success / TO / MO / numerical error /
+  unsupported — the same outcome classes as the paper's tables;
+* :mod:`repro.harness.experiments` defines one experiment per table
+  (Tables III–VI) plus the accuracy experiment and the ablations listed in
+  DESIGN.md, each with laptop-scale default parameters and a
+  ``paper_scale=True`` switch restoring the original qubit counts;
+* :mod:`repro.harness.tables` renders collected results in the same row
+  layout the paper uses, so the regenerated tables can be compared
+  side-by-side with the published ones (see EXPERIMENTS.md).
+
+Command-line entry point::
+
+    python -m repro.harness table3            # regenerate Table III (scaled)
+    python -m repro.harness table5 --paper-scale
+    python -m repro.harness all --quick
+"""
+
+from repro.harness.runner import (
+    ENGINES,
+    ResourceLimits,
+    RunResult,
+    run_circuit,
+)
+from repro.harness.experiments import (
+    accuracy_experiment,
+    table3_experiment,
+    table4_experiment,
+    table5_experiment,
+    table6_experiment,
+)
+from repro.harness.tables import (
+    format_accuracy,
+    format_table3,
+    format_table4,
+    format_table5,
+    format_table6,
+    render_table,
+)
+from repro.harness.report import (
+    experiment_to_dict,
+    experiment_to_json,
+    experiment_to_markdown,
+    save_experiment,
+)
+
+__all__ = [
+    "ENGINES",
+    "ResourceLimits",
+    "RunResult",
+    "run_circuit",
+    "table3_experiment",
+    "table4_experiment",
+    "table5_experiment",
+    "table6_experiment",
+    "accuracy_experiment",
+    "format_table3",
+    "format_table4",
+    "format_table5",
+    "format_table6",
+    "format_accuracy",
+    "render_table",
+    "experiment_to_dict",
+    "experiment_to_json",
+    "experiment_to_markdown",
+    "save_experiment",
+]

@@ -1,0 +1,98 @@
+"""Machine-readable experiment reports (JSON and Markdown).
+
+The text renderers in :mod:`repro.harness.tables` mirror the paper's layout;
+this module adds the formats a downstream consumer wants:
+
+* :func:`experiment_to_dict` / :func:`experiment_to_json` — lossless dump of
+  every run (engine, status, runtime, node count) plus the per-group
+  summaries, suitable for plotting or regression tracking;
+* :func:`experiment_to_markdown` — a GitHub-flavoured Markdown table of the
+  per-group summaries, which is what EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.runner import ENGINE_LABELS, RunResult
+
+
+def _run_to_dict(result: RunResult) -> Dict[str, object]:
+    return {
+        "engine": result.engine,
+        "circuit": result.circuit_name,
+        "num_qubits": result.num_qubits,
+        "num_gates": result.num_gates,
+        "status": result.status,
+        "runtime_seconds": result.runtime_seconds,
+        "memory_nodes": result.memory_nodes,
+        "memory_mb": result.memory_mb,
+        "detail": result.detail,
+    }
+
+
+def experiment_to_dict(experiment: ExperimentResult) -> Dict[str, object]:
+    """Convert an experiment to plain dict/list structures."""
+    groups = []
+    for group, per_engine in experiment.runs.items():
+        entry: Dict[str, object] = {"group": group if not isinstance(group, tuple) else list(group)}
+        entry["engines"] = {
+            engine: {
+                "runs": [_run_to_dict(result) for result in results],
+                "summary": experiment.summaries[group][engine],
+            }
+            for engine, results in per_engine.items()
+        }
+        groups.append(entry)
+    metadata = {}
+    for key, value in experiment.metadata.items():
+        try:
+            json.dumps(value)
+            metadata[key] = value
+        except TypeError:
+            metadata[key] = repr(value)
+    return {"name": experiment.name, "metadata": metadata, "groups": groups}
+
+
+def experiment_to_json(experiment: ExperimentResult, indent: int = 2) -> str:
+    """JSON dump of :func:`experiment_to_dict`."""
+    return json.dumps(experiment_to_dict(experiment), indent=indent, default=str)
+
+
+def experiment_to_markdown(experiment: ExperimentResult,
+                           engines: Sequence[str] = ("qmdd", "bitslice")) -> str:
+    """A Markdown summary table: one row per group, columns per engine."""
+    headers = ["group", "#gates"]
+    for engine in engines:
+        label = ENGINE_LABELS.get(engine, engine)
+        headers.extend([f"{label} time (s)", f"{label} outcome"])
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join(["---"] * len(headers)) + "|"]
+    for group in sorted(experiment.runs, key=str):
+        per_engine = experiment.runs[group]
+        sample_engine = next(engine for engine in engines if engine in per_engine)
+        num_gates = per_engine[sample_engine][0].num_gates
+        cells: List[str] = [str(group), str(num_gates)]
+        for engine in engines:
+            if engine not in per_engine:
+                cells.extend(["-", "-"])
+                continue
+            summary = experiment.summaries[group][engine]
+            if summary["successes"]:
+                cells.append(f"{summary['avg_runtime']:.2f}")
+            else:
+                cells.append("failed")
+            cells.append(
+                f"{int(summary['successes'])}/{int(summary['runs'])} ok, "
+                f"TO={int(summary['timeouts'])}, MO={int(summary['memouts'])}, "
+                f"err={int(summary['errors'])}")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def save_experiment(experiment: ExperimentResult, path: str) -> None:
+    """Write the JSON report of an experiment to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(experiment_to_json(experiment))

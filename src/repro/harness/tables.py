@@ -1,0 +1,169 @@
+"""Render experiment results in the paper's table layouts.
+
+Each ``format_tableN`` function takes the :class:`ExperimentResult` produced
+by the corresponding experiment and returns plain text whose columns mirror
+the published table, so the regenerated numbers can be placed side-by-side
+with the paper (EXPERIMENTS.md does exactly that).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.runner import (
+    STATUS_ERROR,
+    STATUS_MEMORY,
+    STATUS_TIMEOUT,
+    ENGINE_LABELS,
+)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an ASCII table with one header row."""
+    columns = len(headers)
+    normalised_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(headers[i])) for i in range(columns)]
+    for row in normalised_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(str(headers[i]).ljust(widths[i]) for i in range(columns)))
+    lines.append(separator)
+    for row in normalised_rows:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines) + "\n"
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "failed"
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _time_cell(summary: Dict[str, float]) -> object:
+    """Average-runtime cell: 'failed' when no case succeeded (as in the paper)."""
+    if summary["successes"] == 0:
+        return float("nan")
+    return summary["avg_runtime"]
+
+
+def _failure_cell(summary: Dict[str, float]) -> str:
+    """The paper's ``TO/MO/err./seg.`` style counter cell (the crash counter
+    stands in for the segfault column)."""
+    return (f"{int(summary['timeouts'])}/{int(summary['memouts'])}/"
+            f"{int(summary['errors'])}/{int(summary['crashes'])}")
+
+
+def format_table3(experiment: ExperimentResult,
+                  engines: Sequence[str] = ("qmdd", "bitslice")) -> str:
+    """Table III layout: qubits, gates, then per engine avg time + failures."""
+    headers: List[str] = ["#Qubits", "#Gates"]
+    for engine in engines:
+        label = ENGINE_LABELS.get(engine, engine)
+        headers.extend([f"{label} Time(s)", f"{label} TO/MO/err/crash"])
+    rows = []
+    for group in sorted(experiment.runs):
+        per_engine = experiment.summaries[group]
+        sample_engine = engines[0]
+        sample_runs = experiment.runs[group][sample_engine]
+        num_gates = sample_runs[0].num_gates if sample_runs else 0
+        row: List[object] = [group, num_gates]
+        for engine in engines:
+            summary = per_engine[engine]
+            row.extend([_time_cell(summary), _failure_cell(summary)])
+        rows.append(row)
+    return render_table(headers, rows, title="Table III — random circuits")
+
+
+def format_table4(experiment: ExperimentResult,
+                  engines: Sequence[str] = ("qmdd", "bitslice")) -> str:
+    """Table IV layout: benchmark, qubits, per-variant gate counts and times."""
+    headers: List[str] = ["Benchmark", "#Qubits", "Variant", "#Gates"]
+    for engine in engines:
+        headers.append(f"{ENGINE_LABELS.get(engine, engine)} Time(s)")
+    rows = []
+    for group in sorted(experiment.runs, key=lambda key: (key[0], key[1])):
+        name, variant = group
+        per_engine = experiment.runs[group]
+        sample = per_engine[engines[0]][0]
+        row: List[object] = [name, sample.num_qubits, variant, sample.num_gates]
+        for engine in engines:
+            result = per_engine[engine][0]
+            row.append(result.runtime_seconds if result.succeeded else result.status)
+        rows.append(row)
+    return render_table(headers, rows, title="Table IV — RevLib-style circuits")
+
+
+def format_table5(experiment: ExperimentResult,
+                  engines: Sequence[str] = ("qmdd", "bitslice", "stabilizer")) -> str:
+    """Table V layout: per qubit count, entanglement and BV columns."""
+    headers: List[str] = ["#Qubits", "Family", "#Gates"]
+    for engine in engines:
+        headers.append(f"{ENGINE_LABELS.get(engine, engine)} Time(s)")
+    rows = []
+    for group in sorted(experiment.runs, key=lambda key: (key[1], key[0])):
+        family, num_qubits = group
+        per_engine = experiment.runs[group]
+        sample_engine = next(engine for engine in engines if engine in per_engine)
+        sample = per_engine[sample_engine][0]
+        row: List[object] = [num_qubits, family, sample.num_gates]
+        for engine in engines:
+            if engine not in per_engine:
+                row.append(None)
+                continue
+            result = per_engine[engine][0]
+            row.append(result.runtime_seconds if result.succeeded else result.status)
+        rows.append(row)
+    return render_table(headers, rows, title="Table V — quantum algorithm circuits")
+
+
+def format_table6(experiment: ExperimentResult,
+                  engines: Sequence[str] = ("qmdd", "bitslice")) -> str:
+    """Table VI layout: qubits, gates, per engine time, memory and TO/MO."""
+    headers: List[str] = ["#Qubits", "#Gates"]
+    for engine in engines:
+        label = ENGINE_LABELS.get(engine, engine)
+        headers.extend([f"{label} Time(s)", f"{label} Mem(MB)", f"{label} TO/MO"])
+    rows = []
+    for group in sorted(experiment.runs):
+        per_engine = experiment.summaries[group]
+        sample_runs = experiment.runs[group][engines[0]]
+        num_gates = sample_runs[0].num_gates if sample_runs else 0
+        row: List[object] = [group, num_gates]
+        for engine in engines:
+            summary = per_engine[engine]
+            row.extend([
+                _time_cell(summary),
+                summary["avg_memory_mb"],
+                f"{int(summary['timeouts'])}/{int(summary['memouts'])}",
+            ])
+        rows.append(row)
+    return render_table(headers, rows, title="Table VI — Google supremacy circuits")
+
+
+def format_accuracy(experiment: ExperimentResult) -> str:
+    """Accuracy experiment layout: norm drift per depth and tolerance."""
+    drift_rows: List[Dict[str, float]] = experiment.metadata.get("drift_rows", [])  # type: ignore[assignment]
+    if not drift_rows:
+        return "(no accuracy data collected)\n"
+    tolerance_keys = [key for key in drift_rows[0] if key.startswith("qmdd_drift")]
+    headers = ["Layers", "Exact engine |1 - norm|"] + [
+        key.replace("qmdd_drift_tol_", "QMDD drift @ tol=") for key in tolerance_keys]
+    rows = []
+    for row in drift_rows:
+        rows.append([row["layers"], row["exact_norm_drift"]]
+                    + [row[key] for key in tolerance_keys])
+    return render_table(headers, rows,
+                        title="Accuracy — state-norm drift (exact vs float-weighted DD)")

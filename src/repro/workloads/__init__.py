@@ -1,0 +1,42 @@
+"""Benchmark circuit generators for the paper's four evaluation families.
+
+* :mod:`repro.workloads.random_circuits` — Table III random circuits
+  (H prologue, 3:1 gate-to-qubit ratio, uniform gate picks).
+* :mod:`repro.workloads.revlib` — Table IV reversible-circuit families
+  (adders, ALUs, control units, …) plus the H-augmentation the paper applies
+  to inputs without specified initial values.
+* :mod:`repro.workloads.algorithms` — Table V quantum algorithm circuits:
+  GHZ entanglement preparation and Bernstein–Vazirani.
+* :mod:`repro.workloads.supremacy` — Table VI Google GRCS rectangular-lattice
+  CZ circuits (Boixo et al. construction rules).
+"""
+
+from repro.workloads.random_circuits import generate_random_circuit, random_circuit_suite
+from repro.workloads.revlib import (
+    REVLIB_FAMILIES,
+    generate_revlib_circuit,
+    h_augment,
+    revlib_suite,
+)
+from repro.workloads.algorithms import (
+    bernstein_vazirani_circuit,
+    ghz_circuit,
+    grover_sat_circuit,
+    hidden_shift_circuit,
+)
+from repro.workloads.supremacy import grcs_circuit, supremacy_suite
+
+__all__ = [
+    "generate_random_circuit",
+    "random_circuit_suite",
+    "REVLIB_FAMILIES",
+    "generate_revlib_circuit",
+    "h_augment",
+    "revlib_suite",
+    "ghz_circuit",
+    "bernstein_vazirani_circuit",
+    "hidden_shift_circuit",
+    "grover_sat_circuit",
+    "grcs_circuit",
+    "supremacy_suite",
+]

@@ -1,0 +1,169 @@
+"""Quantum algorithm circuits for the Table V experiments (plus extensions).
+
+The paper's third benchmark set contains two families:
+
+* **Entanglement** — GHZ state preparation: one H followed by a CNOT chain,
+  ``#gates == #qubits``.  These are stabilizer circuits, which is why the
+  paper also quotes CHP timings for them.
+* **Bernstein–Vazirani** — the textbook BV circuit over ``n`` data qubits and
+  one ancilla: H on everything, X+H on the ancilla, one CNOT per set bit of
+  the hidden string, then H on the data qubits.  With an all-ones hidden
+  string the gate count is ``3n + 2 + n = 239`` for ``n = 79`` data qubits
+  (80 total), matching the paper's ``#gates`` column shape.
+
+Two further exactly-representable algorithm families are provided as
+extensions (used by the extra examples and ablation benches, not by the paper
+tables): a hidden-shift circuit over bent functions built from CZ gates, and
+a small Grover search with a CCX oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+
+
+def ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """GHZ / entanglement preparation: H on qubit 0, then a CNOT chain.
+
+    Gate count equals ``num_qubits`` exactly, matching the paper's Table V
+    entanglement column.
+    """
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"entanglement_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def bernstein_vazirani_circuit(num_data_qubits: int,
+                               hidden_string: Optional[int] = None) -> QuantumCircuit:
+    """Bernstein–Vazirani circuit over ``num_data_qubits`` data qubits plus
+    one ancilla (the last qubit).
+
+    ``hidden_string`` is the secret bit-string as an integer (bit ``i`` of the
+    integer corresponds to data qubit ``i`` counted from the most significant
+    side); ``None`` means all ones, which is what the paper's gate counts
+    correspond to.
+    """
+    if num_data_qubits < 1:
+        raise ValueError("need at least one data qubit")
+    if hidden_string is None:
+        hidden_string = (1 << num_data_qubits) - 1
+    if not 0 <= hidden_string < (1 << num_data_qubits):
+        raise ValueError("hidden string out of range")
+    num_qubits = num_data_qubits + 1
+    ancilla = num_data_qubits
+    circuit = QuantumCircuit(num_qubits, name=f"bv_{num_qubits}")
+    # Prologue: H on data, X+H on the ancilla (puts it in |->).
+    for qubit in range(num_data_qubits):
+        circuit.h(qubit)
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    # Oracle: one CNOT per set bit of the hidden string.
+    for qubit in range(num_data_qubits):
+        if (hidden_string >> (num_data_qubits - 1 - qubit)) & 1:
+            circuit.cx(qubit, ancilla)
+    # Epilogue: H on the data qubits; measuring them reveals the string.
+    for qubit in range(num_data_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_data_qubits):
+        circuit.measure(qubit)
+    return circuit
+
+
+def hidden_shift_circuit(num_qubits: int, shift: Optional[int] = None,
+                         seed: int = 0) -> QuantumCircuit:
+    """A hidden-shift circuit over a Maiorana–McFarland bent function.
+
+    The construction uses only H, X, Z and CZ gates, so it is exactly
+    representable and Clifford; it produces the shift string deterministically
+    on measurement.  ``num_qubits`` must be even.
+    """
+    if num_qubits < 2 or num_qubits % 2:
+        raise ValueError("hidden shift needs an even number of qubits")
+    if shift is None:
+        rng = random.Random(seed)
+        shift = rng.randrange(1 << num_qubits)
+    circuit = QuantumCircuit(num_qubits, name=f"hidden_shift_{num_qubits}")
+    half = num_qubits // 2
+
+    def oracle() -> None:
+        for i in range(half):
+            circuit.cz(i, half + i)
+
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_qubits):
+        if (shift >> (num_qubits - 1 - qubit)) & 1:
+            circuit.x(qubit)
+    oracle()
+    for qubit in range(num_qubits):
+        if (shift >> (num_qubits - 1 - qubit)) & 1:
+            circuit.x(qubit)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    oracle()
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_qubits):
+        circuit.measure(qubit)
+    return circuit
+
+
+def grover_sat_circuit(num_qubits: int, marked_state: int = 0,
+                       iterations: Optional[int] = None) -> QuantumCircuit:
+    """Grover search for one marked basis state with a multi-control oracle.
+
+    The oracle and the diffuser are built from H, X and multi-control Z
+    (implemented as an H-conjugated multi-control Toffoli), all exactly
+    representable.  The default iteration count is the usual
+    ``round(pi/4 * sqrt(2**n))`` capped at 16 to keep example run-times sane.
+    """
+    import math
+
+    if num_qubits < 2:
+        raise ValueError("Grover needs at least two qubits")
+    if not 0 <= marked_state < (1 << num_qubits):
+        raise ValueError("marked state out of range")
+    if iterations is None:
+        iterations = min(16, max(1, round(math.pi / 4 * math.sqrt(2 ** num_qubits))))
+    circuit = QuantumCircuit(num_qubits, name=f"grover_{num_qubits}")
+    controls = list(range(num_qubits - 1))
+    target = num_qubits - 1
+
+    def multi_control_z() -> None:
+        circuit.h(target)
+        if len(controls) == 1:
+            circuit.cx(controls[0], target)
+        else:
+            circuit.ccx(controls, target)
+        circuit.h(target)
+
+    def flip_marked() -> None:
+        for qubit in range(num_qubits):
+            if not (marked_state >> (num_qubits - 1 - qubit)) & 1:
+                circuit.x(qubit)
+
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for _ in range(iterations):
+        # Oracle: phase-flip the marked state.
+        flip_marked()
+        multi_control_z()
+        flip_marked()
+        # Diffuser: inversion about the mean.
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+            circuit.x(qubit)
+        multi_control_z()
+        for qubit in range(num_qubits):
+            circuit.x(qubit)
+            circuit.h(qubit)
+    for qubit in range(num_qubits):
+        circuit.measure(qubit)
+    return circuit

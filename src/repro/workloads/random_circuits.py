@@ -1,0 +1,125 @@
+"""Random circuit generator for the Table III experiments.
+
+The paper's construction (Section IV, first benchmark set):
+
+* an H gate is first applied to every qubit so the state starts in a full
+  superposition,
+* then ``3 * num_qubits`` gates are inserted, each picked uniformly at random
+  from the supported set **excluding** Rx(pi/2) and Ry(pi/2) (the paper drops
+  them because they behave like H), applied to qubits selected uniformly at
+  random,
+* ten circuits are generated per qubit count.
+
+:func:`generate_random_circuit` reproduces one such circuit deterministically
+from a seed; :func:`random_circuit_suite` reproduces a whole row group.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import GateKind
+
+#: Gate kinds eligible for random insertion (paper Table III setup).
+DEFAULT_GATE_POOL: Sequence[GateKind] = (
+    GateKind.X,
+    GateKind.Y,
+    GateKind.Z,
+    GateKind.H,
+    GateKind.S,
+    GateKind.T,
+    GateKind.CX,
+    GateKind.CZ,
+    GateKind.CCX,
+    GateKind.CSWAP,
+)
+
+
+def generate_random_circuit(num_qubits: int, num_gates: Optional[int] = None,
+                            seed: int = 0,
+                            gate_pool: Sequence[GateKind] = DEFAULT_GATE_POOL,
+                            h_prologue: bool = True) -> QuantumCircuit:
+    """Generate one Table III style random circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register size.
+    num_gates:
+        Number of randomly inserted gates (default ``3 * num_qubits``,
+        the paper's ratio).  The H prologue is *not* counted, matching the
+        paper's ``#gates`` column which lists ``3 * #qubits``.
+    seed:
+        Seed of the private :class:`random.Random` instance, so circuits are
+        reproducible across runs and machines.
+    gate_pool:
+        Gate kinds to draw from.
+    h_prologue:
+        Whether to prepend one H gate per qubit.
+    """
+    if num_gates is None:
+        num_gates = 3 * num_qubits
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}q_s{seed}")
+    if h_prologue:
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+    for _ in range(num_gates):
+        kind = rng.choice(list(gate_pool))
+        _append_random_gate(circuit, kind, rng)
+    return circuit
+
+
+def _append_random_gate(circuit: QuantumCircuit, kind: GateKind, rng: random.Random) -> None:
+    """Append ``kind`` on uniformly chosen distinct qubits."""
+    num_qubits = circuit.num_qubits
+    if kind in (GateKind.CX, GateKind.CZ):
+        if num_qubits < 2:
+            circuit.add(GateKind.X, [0])
+            return
+        control, target = rng.sample(range(num_qubits), 2)
+        circuit.add(kind, [target], [control])
+    elif kind is GateKind.CCX:
+        if num_qubits < 3:
+            control, target = (rng.sample(range(num_qubits), 2)
+                               if num_qubits == 2 else (0, 0))
+            if num_qubits == 2:
+                circuit.cx(control, target)
+            else:
+                circuit.x(0)
+            return
+        qubits = rng.sample(range(num_qubits), 3)
+        circuit.ccx(qubits[:2], qubits[2])
+    elif kind is GateKind.CSWAP:
+        if num_qubits < 3:
+            if num_qubits == 2:
+                circuit.swap(0, 1)
+            else:
+                circuit.x(0)
+            return
+        qubits = rng.sample(range(num_qubits), 3)
+        circuit.cswap([qubits[0]], qubits[1], qubits[2])
+    elif kind is GateKind.SWAP:
+        if num_qubits < 2:
+            circuit.x(0)
+            return
+        a, b = rng.sample(range(num_qubits), 2)
+        circuit.swap(a, b)
+    else:
+        circuit.add(kind, [rng.randrange(num_qubits)])
+
+
+def random_circuit_suite(qubit_counts: Iterable[int], circuits_per_size: int = 10,
+                         base_seed: int = 2021,
+                         gate_pool: Sequence[GateKind] = DEFAULT_GATE_POOL) -> List[QuantumCircuit]:
+    """All circuits of a Table III style sweep, ``circuits_per_size`` per
+    qubit count, with deterministic per-circuit seeds."""
+    circuits: List[QuantumCircuit] = []
+    for num_qubits in qubit_counts:
+        for index in range(circuits_per_size):
+            seed = base_seed * 1_000_003 + num_qubits * 1_009 + index
+            circuits.append(generate_random_circuit(num_qubits, seed=seed,
+                                                    gate_pool=gate_pool))
+    return circuits

@@ -1,0 +1,295 @@
+"""RevLib-style reversible circuit families for the Table IV experiments.
+
+The paper evaluates circuits from the RevLib benchmark collection (adders,
+ALUs, CPU control units, register files, nested conditionals, …) twice: once
+as distributed (purely classical reversible logic, easy for every engine) and
+once "modified" by inserting an H gate on every input whose initial value is
+unspecified, which creates an input superposition and makes the circuits
+genuinely quantum.
+
+The original ``.real`` files are not redistributed with this reproduction
+(they remain available from revlib.org and parse through
+:func:`repro.circuit.real_format.circuit_from_real`), so this module provides
+*generators for the same structural families*: reversible arithmetic,
+decoders, conditional data movement and cascade networks built from
+NOT / CNOT / Toffoli / Fredkin gates.  These exercise exactly the behaviour
+that drives the Table IV results — classical reversible networks whose
+decision diagrams stay small on basis-state inputs and blow up (for
+floating-point DD engines) once the inputs are superposed.
+
+Every generator returns ``(circuit, constants)`` where ``constants`` is a
+RevLib-style ``.constants`` string (``0``/``1`` for fixed ancilla inputs,
+``-`` for unspecified data inputs); :func:`h_augment` applies the paper's
+modification using that string.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+
+
+# --------------------------------------------------------------------------- #
+# arithmetic: Cuccaro ripple-carry adder (the "addNN" family)
+# --------------------------------------------------------------------------- #
+def ripple_carry_adder(num_bits: int) -> Tuple[QuantumCircuit, str]:
+    """Cuccaro ripple-carry adder computing ``b := a + b``.
+
+    Qubit layout (most significant register first to match the simulator's
+    qubit-0-is-MSB convention is irrelevant here; indices are just wires):
+
+    * qubit 0: incoming carry (constant 0),
+    * qubits ``1 .. num_bits``: register ``a`` (least-significant bit first),
+    * qubits ``num_bits+1 .. 2*num_bits``: register ``b``,
+    * qubit ``2*num_bits + 1``: carry-out ancilla (constant 0).
+    """
+    if num_bits < 1:
+        raise ValueError("adder needs at least one bit")
+    num_qubits = 2 * num_bits + 2
+    circuit = QuantumCircuit(num_qubits, name=f"add{num_bits}")
+    carry_in = 0
+    a = [1 + i for i in range(num_bits)]
+    b = [1 + num_bits + i for i in range(num_bits)]
+    carry_out = 2 * num_bits + 1
+
+    def maj(x: int, y: int, z: int) -> None:
+        circuit.cx(z, y)
+        circuit.cx(z, x)
+        circuit.toffoli(x, y, z)
+
+    def uma(x: int, y: int, z: int) -> None:
+        circuit.toffoli(x, y, z)
+        circuit.cx(z, x)
+        circuit.cx(x, y)
+
+    maj(carry_in, b[0], a[0])
+    for i in range(1, num_bits):
+        maj(a[i - 1], b[i], a[i])
+    circuit.cx(a[num_bits - 1], carry_out)
+    for i in range(num_bits - 1, 0, -1):
+        uma(a[i - 1], b[i], a[i])
+    uma(carry_in, b[0], a[0])
+
+    constants = list("-" * num_qubits)
+    constants[carry_in] = "0"
+    constants[carry_out] = "0"
+    return circuit, "".join(constants)
+
+
+# --------------------------------------------------------------------------- #
+# ALU (the "cpu_alu" family): opcode-selected arithmetic/logic on two words
+# --------------------------------------------------------------------------- #
+def alu_circuit(word_bits: int) -> Tuple[QuantumCircuit, str]:
+    """A small reversible ALU: two opcode qubits select XOR / AND-into /
+    NOT-B / pass, applied bitwise from register ``a`` onto register ``b``."""
+    if word_bits < 1:
+        raise ValueError("ALU needs at least one word bit")
+    num_qubits = 2 + 2 * word_bits
+    circuit = QuantumCircuit(num_qubits, name=f"alu{word_bits}")
+    op0, op1 = 0, 1
+    a = [2 + i for i in range(word_bits)]
+    b = [2 + word_bits + i for i in range(word_bits)]
+
+    for i in range(word_bits):
+        # opcode 1x: XOR a into b (controlled on op0).
+        circuit.ccx([op0, a[i]], b[i])
+        # opcode x1: AND of a with the neighbouring a-bit into b.
+        neighbour = a[(i + 1) % word_bits]
+        if neighbour != a[i]:
+            circuit.ccx([op1, a[i], neighbour], b[i])
+        else:
+            circuit.ccx([op1, a[i]], b[i])
+        # opcode 11: additionally flip b (NOT when both opcode bits set).
+        circuit.ccx([op0, op1], b[i])
+
+    constants = "-" * num_qubits
+    return circuit, constants
+
+
+# --------------------------------------------------------------------------- #
+# CPU control unit (the "cpu_ctrl" family): opcode decoder
+# --------------------------------------------------------------------------- #
+def control_unit_circuit(opcode_bits: int) -> Tuple[QuantumCircuit, str]:
+    """An opcode decoder: ``2**opcode_bits`` output lines, one asserted per
+    opcode value, built from multi-control Toffolis with X-conjugated
+    negative controls."""
+    if opcode_bits < 1:
+        raise ValueError("decoder needs at least one opcode bit")
+    num_outputs = 1 << opcode_bits
+    num_qubits = opcode_bits + num_outputs
+    circuit = QuantumCircuit(num_qubits, name=f"cpu_ctrl{opcode_bits}")
+    opcode = list(range(opcode_bits))
+    outputs = [opcode_bits + i for i in range(num_outputs)]
+
+    for value in range(num_outputs):
+        negative = [opcode[i] for i in range(opcode_bits)
+                    if not (value >> (opcode_bits - 1 - i)) & 1]
+        for qubit in negative:
+            circuit.x(qubit)
+        circuit.ccx(opcode, outputs[value]) if opcode_bits > 1 else circuit.cx(opcode[0], outputs[value])
+        for qubit in negative:
+            circuit.x(qubit)
+
+    constants = "-" * opcode_bits + "0" * num_outputs
+    return circuit, constants
+
+
+# --------------------------------------------------------------------------- #
+# register file (the "cpu_register" family): conditional data movement
+# --------------------------------------------------------------------------- #
+def register_file_circuit(num_registers: int, word_bits: int) -> Tuple[QuantumCircuit, str]:
+    """Select-controlled swaps moving a data word into one of several
+    registers (a cascade of Fredkin gates)."""
+    if num_registers < 2 or word_bits < 1:
+        raise ValueError("need at least two registers and one word bit")
+    select_bits = max(1, (num_registers - 1).bit_length())
+    num_qubits = select_bits + word_bits * (num_registers + 1)
+    circuit = QuantumCircuit(num_qubits, name=f"register{num_registers}x{word_bits}")
+    select = list(range(select_bits))
+    data = [select_bits + i for i in range(word_bits)]
+
+    def register_wires(index: int) -> List[int]:
+        base = select_bits + word_bits * (index + 1)
+        return [base + i for i in range(word_bits)]
+
+    for register in range(num_registers):
+        negative = [select[i] for i in range(select_bits)
+                    if not (register >> (select_bits - 1 - i)) & 1]
+        for qubit in negative:
+            circuit.x(qubit)
+        wires = register_wires(register)
+        for bit in range(word_bits):
+            circuit.cswap(select, data[bit], wires[bit])
+        for qubit in negative:
+            circuit.x(qubit)
+
+    constants = "-" * (select_bits + word_bits) + "0" * (word_bits * num_registers)
+    return circuit, constants
+
+
+# --------------------------------------------------------------------------- #
+# nested conditionals (the "nested_if" family)
+# --------------------------------------------------------------------------- #
+def nested_if_circuit(depth: int) -> Tuple[QuantumCircuit, str]:
+    """Nested if-then-else: the gate at nesting level ``i`` fires only when
+    the first ``i+1`` condition qubits are all asserted."""
+    if depth < 1:
+        raise ValueError("need at least one nesting level")
+    num_qubits = 2 * depth
+    circuit = QuantumCircuit(num_qubits, name=f"nested_if{depth}")
+    conditions = list(range(depth))
+    outputs = [depth + i for i in range(depth)]
+    for level in range(depth):
+        controls = conditions[:level + 1]
+        if len(controls) == 1:
+            circuit.cx(controls[0], outputs[level])
+        else:
+            circuit.ccx(controls, outputs[level])
+        # An else-branch action on the previous output.
+        if level > 0:
+            circuit.x(conditions[level])
+            circuit.ccx(controls, outputs[level - 1])
+            circuit.x(conditions[level])
+    constants = "-" * depth + "0" * depth
+    return circuit, constants
+
+
+# --------------------------------------------------------------------------- #
+# parity / cascade networks (the "hwb" / "e64-bdd" style families)
+# --------------------------------------------------------------------------- #
+def parity_cascade_circuit(num_inputs: int) -> Tuple[QuantumCircuit, str]:
+    """A CNOT parity cascade followed by a Toffoli ladder, a stand-in for the
+    hidden-weighted-bit style RevLib benchmarks."""
+    if num_inputs < 2:
+        raise ValueError("need at least two inputs")
+    num_qubits = num_inputs + 2
+    circuit = QuantumCircuit(num_qubits, name=f"parity{num_inputs}")
+    parity, flag = num_inputs, num_inputs + 1
+    for qubit in range(num_inputs):
+        circuit.cx(qubit, parity)
+    for qubit in range(num_inputs - 1):
+        circuit.ccx([qubit, qubit + 1], flag)
+    circuit.cx(parity, flag)
+    constants = "-" * num_inputs + "00"
+    return circuit, constants
+
+
+def toffoli_chain_circuit(length: int) -> Tuple[QuantumCircuit, str]:
+    """A long chain where each Toffoli's target becomes the next one's
+    control — the path-shaped structure of BDD-derived RevLib circuits."""
+    if length < 2:
+        raise ValueError("need a chain of at least two")
+    num_qubits = length + 2
+    circuit = QuantumCircuit(num_qubits, name=f"bdd_chain{length}")
+    for i in range(length):
+        circuit.ccx([i, i + 1], i + 2)
+    for i in range(length - 1, -1, -1):
+        circuit.cx(i + 2, i)
+    constants = "--" + "-" * (length - 1) + "0"
+    constants = constants[:num_qubits].ljust(num_qubits, "0")
+    return circuit, constants
+
+
+# --------------------------------------------------------------------------- #
+# the paper's H modification and the suite assembly
+# --------------------------------------------------------------------------- #
+def h_augment(circuit: QuantumCircuit, constants: str) -> QuantumCircuit:
+    """Insert an H prologue on every unspecified (``-``) input.
+
+    This is the paper's Table IV "modified" variant: it turns the classical
+    reversible circuit into one that processes a full input superposition.
+    """
+    if len(constants) != circuit.num_qubits:
+        raise ValueError("constants string length must equal the qubit count")
+    modified = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_mod")
+    for qubit, flag in enumerate(constants):
+        if flag == "-":
+            modified.h(qubit)
+        elif flag == "1":
+            modified.x(qubit)
+        elif flag != "0":
+            raise ValueError(f"invalid constants character {flag!r}")
+    for gate in circuit.gates:
+        modified.append(gate)
+    return modified
+
+
+#: Named generators of the Table IV style families.  Each callable takes no
+#: arguments and returns ``(circuit, constants)``.
+REVLIB_FAMILIES: Dict[str, Callable[[], Tuple[QuantumCircuit, str]]] = {
+    "add8": lambda: ripple_carry_adder(8),
+    "add16": lambda: ripple_carry_adder(16),
+    "alu4": lambda: alu_circuit(4),
+    "alu8": lambda: alu_circuit(8),
+    "cpu_ctrl3": lambda: control_unit_circuit(3),
+    "cpu_ctrl4": lambda: control_unit_circuit(4),
+    "register4x4": lambda: register_file_circuit(4, 4),
+    "nested_if6": lambda: nested_if_circuit(6),
+    "parity12": lambda: parity_cascade_circuit(12),
+    "bdd_chain10": lambda: toffoli_chain_circuit(10),
+}
+
+
+def generate_revlib_circuit(family: str) -> Tuple[QuantumCircuit, str]:
+    """Generate one named family instance; see :data:`REVLIB_FAMILIES`."""
+    if family not in REVLIB_FAMILIES:
+        raise KeyError(f"unknown RevLib family {family!r}; "
+                       f"available: {sorted(REVLIB_FAMILIES)}")
+    return REVLIB_FAMILIES[family]()
+
+
+def revlib_suite(families: Optional[Sequence[str]] = None
+                 ) -> List[Tuple[str, QuantumCircuit, QuantumCircuit, str]]:
+    """The full Table IV style suite.
+
+    Returns a list of ``(name, original, modified, constants)`` tuples, where
+    ``modified`` is the H-augmented variant of ``original``.
+    """
+    names = list(families) if families is not None else sorted(REVLIB_FAMILIES)
+    suite = []
+    for name in names:
+        original, constants = generate_revlib_circuit(name)
+        suite.append((name, original, h_augment(original, constants), constants))
+    return suite

@@ -1,0 +1,166 @@
+"""Google GRCS supremacy circuits for the Table VI experiments.
+
+The paper's fourth benchmark set uses the rectangular-lattice CZ circuits of
+Boixo et al. ("Characterizing quantum supremacy in near-term devices"),
+downloaded from the GRCS repository (``inst/rectangular/cz_v2``), simplified
+from depth 10 to depth 5.
+
+The original files can be parsed with :mod:`repro.circuit.grcs`; this module
+additionally implements the published construction rules so circuits of any
+lattice size, depth and seed can be generated offline:
+
+1. Cycle 0 applies H to every qubit.
+2. Each subsequent cycle applies one of eight CZ layer patterns (the
+   rectangular-lattice pairing of neighbouring qubits, cycled in the
+   prescribed order), and
+3. on qubits not touched by a CZ in this cycle, a single-qubit gate chosen
+   randomly from {T, sqrt(X), sqrt(Y)} subject to the published constraints:
+   the *first* single-qubit gate on a qubit after cycle 0 is always T, a
+   qubit keeps no gate two cycles in a row, and the same non-T gate is not
+   repeated back-to-back on a qubit.
+
+``sqrt(X)`` / ``sqrt(Y)`` are represented by the exactly-representable
+``Rx(pi/2)`` / ``Ry(pi/2)`` gates (equal up to global phase).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import GateKind
+
+
+def _lattice_index(row: int, column: int, columns: int) -> int:
+    return row * columns + column
+
+
+def _cz_layer(rows: int, columns: int, pattern: int) -> List[Tuple[int, int]]:
+    """The CZ pairs of one of the eight rectangular-lattice layer patterns.
+
+    Patterns 0–3 pair horizontal neighbours (columns ``c`` and ``c+1`` with
+    alternating offsets per row), patterns 4–7 pair vertical neighbours; the
+    offsets cycle so that every edge of the lattice is covered once per eight
+    cycles, following the supplementary description of Boixo et al.
+    """
+    pairs: List[Tuple[int, int]] = []
+    if pattern < 4:
+        # Horizontal pairings.
+        for row in range(rows):
+            offset = (pattern + row) % 2
+            for column in range(offset, columns - 1, 2):
+                pairs.append((_lattice_index(row, column, columns),
+                              _lattice_index(row, column + 1, columns)))
+        if pattern >= 2:
+            # Shift the whole pattern by one row to cover the other diagonal.
+            pairs = [(a, b) for (a, b) in pairs
+                     if (a // columns) % 2 == pattern % 2]
+    else:
+        # Vertical pairings.
+        vertical = pattern - 4
+        for column in range(columns):
+            offset = (vertical + column) % 2
+            for row in range(offset, rows - 1, 2):
+                pairs.append((_lattice_index(row, column, columns),
+                              _lattice_index(row + 1, column, columns)))
+        if vertical >= 2:
+            pairs = [(a, b) for (a, b) in pairs
+                     if (a % columns) % 2 == vertical % 2]
+    return pairs
+
+
+def grcs_circuit(rows: int, columns: int, depth: int = 5, seed: int = 0) -> QuantumCircuit:
+    """Generate one rectangular-lattice GRCS circuit.
+
+    Parameters
+    ----------
+    rows, columns:
+        Lattice dimensions; the qubit count is ``rows * columns``.
+    depth:
+        Number of CZ cycles after the initial H layer (the paper uses 5).
+    seed:
+        Seed of the private RNG choosing the single-qubit fill gates.
+    """
+    if rows < 1 or columns < 1:
+        raise ValueError("lattice must have at least one row and one column")
+    if depth < 0:
+        raise ValueError("depth cannot be negative")
+    num_qubits = rows * columns
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits,
+                             name=f"grcs_{rows}x{columns}_d{depth}_s{seed}")
+    # Cycle 0: Hadamard on every qubit.
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+
+    had_t = [False] * num_qubits                 # whether the qubit already got its first T
+    last_single: List[Optional[GateKind]] = [None] * num_qubits
+    busy_last_cycle = [True] * num_qubits        # H counts as activity in cycle 0
+
+    single_choices = (GateKind.T, GateKind.RX_PI_2, GateKind.RY_PI_2)
+
+    for cycle in range(depth):
+        pattern = cycle % 8
+        pairs = _cz_layer(rows, columns, pattern)
+        touched = set()
+        for a, b in pairs:
+            circuit.cz(a, b)
+            touched.add(a)
+            touched.add(b)
+        busy_this_cycle = [False] * num_qubits
+        for qubit in touched:
+            busy_this_cycle[qubit] = True
+            last_single[qubit] = None
+        for qubit in range(num_qubits):
+            if qubit in touched:
+                continue
+            if not busy_last_cycle[qubit]:
+                # Rule: a qubit is never idle two cycles in a row unless it
+                # has no eligible gate; give it a single-qubit gate now.
+                pass
+            if not had_t[qubit]:
+                gate = GateKind.T
+                had_t[qubit] = True
+            else:
+                options = [g for g in single_choices
+                           if g is not last_single[qubit] and g is not GateKind.T]
+                gate = rng.choice(options) if options else GateKind.RX_PI_2
+            circuit.add(gate, [qubit])
+            last_single[qubit] = gate
+            busy_this_cycle[qubit] = True
+        busy_last_cycle = busy_this_cycle
+    return circuit
+
+
+#: Lattice shapes used for the Table VI qubit counts.
+TABLE6_LATTICES: Dict[int, Tuple[int, int]] = {
+    16: (4, 4),
+    20: (4, 5),
+    25: (5, 5),
+    30: (5, 6),
+    36: (6, 6),
+    42: (6, 7),
+    49: (7, 7),
+    56: (7, 8),
+    64: (8, 8),
+    72: (8, 9),
+    81: (9, 9),
+    90: (9, 10),
+}
+
+
+def supremacy_suite(qubit_counts: Iterable[int], circuits_per_size: int = 10,
+                    depth: int = 5, base_seed: int = 2021) -> List[QuantumCircuit]:
+    """The Table VI style sweep: ``circuits_per_size`` random instances per
+    lattice size, depth 5 by default."""
+    circuits: List[QuantumCircuit] = []
+    for count in qubit_counts:
+        if count not in TABLE6_LATTICES:
+            raise KeyError(f"no lattice shape registered for {count} qubits; "
+                           f"known sizes: {sorted(TABLE6_LATTICES)}")
+        rows, columns = TABLE6_LATTICES[count]
+        for index in range(circuits_per_size):
+            seed = base_seed * 7_919 + count * 101 + index
+            circuits.append(grcs_circuit(rows, columns, depth=depth, seed=seed))
+    return circuits

@@ -1,0 +1,168 @@
+"""Unit tests for the exact algebraic complex number representation."""
+
+from __future__ import annotations
+
+import cmath
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra import OMEGA, SQRT2, AlgebraicComplex
+
+
+def close(left: complex, right: complex, tol: float = 1e-12) -> bool:
+    return abs(left - right) <= tol
+
+
+class TestConstructors:
+    def test_zero_and_one(self):
+        assert AlgebraicComplex.zero().is_zero()
+        assert AlgebraicComplex.one().to_complex() == 1
+        assert not AlgebraicComplex.one().is_zero()
+
+    def test_from_int(self):
+        assert AlgebraicComplex.from_int(-7).to_complex() == -7
+        assert AlgebraicComplex.from_int(0).is_zero()
+
+    @pytest.mark.parametrize("power", range(-8, 17))
+    def test_omega_power_matches_float(self, power):
+        exact = AlgebraicComplex.omega_power(power)
+        assert close(exact.to_complex(), OMEGA ** power)
+
+    def test_omega_powers_cycle_with_period_eight(self):
+        for power in range(8):
+            assert AlgebraicComplex.omega_power(power) == AlgebraicComplex.omega_power(power + 8)
+
+    @pytest.mark.parametrize("exponent", range(-4, 5))
+    def test_sqrt2_power(self, exponent):
+        exact = AlgebraicComplex.sqrt2_power(exponent)
+        assert close(exact.to_complex(), SQRT2 ** exponent)
+
+    def test_imaginary_unit(self):
+        assert close(AlgebraicComplex.imaginary_unit().to_complex(), 1j)
+        assert AlgebraicComplex.imaginary_unit() == AlgebraicComplex.omega_power(2)
+
+
+class TestCanonicalisation:
+    def test_zero_is_normalised(self):
+        assert AlgebraicComplex(0, 0, 0, 0, 17) == AlgebraicComplex.zero()
+        assert AlgebraicComplex(0, 0, 0, 0, 17).k == 0
+
+    def test_common_factor_of_two_reduces_k(self):
+        # 2/sqrt(2)^2 == 1.
+        value = AlgebraicComplex(0, 0, 0, 2, 2)
+        assert value == AlgebraicComplex.one()
+        assert value.coefficients() == (0, 0, 0, 1, 0)
+
+    def test_sqrt2_factor_reduces_k(self):
+        # (w - w^3) / sqrt(2) == 1.
+        value = AlgebraicComplex(-1, 0, 1, 0, 1)
+        assert value == AlgebraicComplex.one()
+
+    def test_irreducible_representation_kept(self):
+        value = AlgebraicComplex(0, 0, 0, 1, 1)  # 1/sqrt(2)
+        assert value.coefficients() == (0, 0, 0, 1, 1)
+
+    def test_equality_and_hash_are_structural_on_canonical_form(self):
+        left = AlgebraicComplex(0, 0, 0, 2, 2)
+        right = AlgebraicComplex.one()
+        assert left == right
+        assert hash(left) == hash(right)
+
+
+class TestArithmetic:
+    values = [
+        AlgebraicComplex.zero(),
+        AlgebraicComplex.one(),
+        AlgebraicComplex.from_int(-3),
+        AlgebraicComplex.omega_power(1),
+        AlgebraicComplex.omega_power(3),
+        AlgebraicComplex(1, -2, 3, -4, 0),
+        AlgebraicComplex(1, 0, 1, 1, 3),
+        AlgebraicComplex(0, 5, 0, -5, 2),
+    ]
+
+    @pytest.mark.parametrize("left", values)
+    @pytest.mark.parametrize("right", values)
+    def test_addition_matches_floats(self, left, right):
+        assert close((left + right).to_complex(), left.to_complex() + right.to_complex())
+
+    @pytest.mark.parametrize("left", values)
+    @pytest.mark.parametrize("right", values)
+    def test_subtraction_matches_floats(self, left, right):
+        assert close((left - right).to_complex(), left.to_complex() - right.to_complex())
+
+    @pytest.mark.parametrize("left", values)
+    @pytest.mark.parametrize("right", values)
+    def test_multiplication_matches_floats(self, left, right):
+        assert close((left * right).to_complex(), left.to_complex() * right.to_complex())
+
+    @pytest.mark.parametrize("value", values)
+    def test_negation(self, value):
+        assert close((-value).to_complex(), -value.to_complex())
+        assert (value + (-value)).is_zero()
+
+    @pytest.mark.parametrize("value", values)
+    def test_conjugate(self, value):
+        assert close(value.conjugate().to_complex(), value.to_complex().conjugate())
+
+    @pytest.mark.parametrize("value", values)
+    def test_divided_by_sqrt2(self, value):
+        halved = value.divided_by_sqrt2()
+        assert close(halved.to_complex(), value.to_complex() / SQRT2)
+        assert close(value.divided_by_sqrt2(4).to_complex(), value.to_complex() / 4)
+
+    def test_integer_multiplication(self):
+        value = AlgebraicComplex(1, 2, 3, 4, 1)
+        assert (3 * value) == (value * 3)
+        assert close((3 * value).to_complex(), 3 * value.to_complex())
+
+    def test_omega_multiplication_is_rotation(self):
+        # Multiplying by w eight times returns the original value.
+        value = AlgebraicComplex(2, -1, 0, 5, 3)
+        rotated = value
+        for _ in range(8):
+            rotated = rotated * AlgebraicComplex.omega_power(1)
+        assert rotated == value
+
+
+class TestMagnitudes:
+    @pytest.mark.parametrize("value", TestArithmetic.values)
+    def test_abs_squared_matches_float(self, value):
+        assert math.isclose(value.abs_squared(), abs(value.to_complex()) ** 2,
+                            rel_tol=1e-12, abs_tol=1e-12)
+
+    @pytest.mark.parametrize("value", TestArithmetic.values)
+    def test_abs_squared_exact_consistency(self, value):
+        x, y, k = value.abs_squared_exact()
+        assert math.isclose((x + y * SQRT2) / 2 ** k, value.abs_squared(),
+                            rel_tol=1e-12, abs_tol=1e-12)
+
+    def test_abs_squared_fraction_when_rational(self):
+        half = AlgebraicComplex(0, 0, 0, 1, 1)   # 1/sqrt(2)
+        assert half.abs_squared_fraction() == Fraction(1, 2)
+
+    def test_abs_squared_fraction_rejects_irrational(self):
+        value = AlgebraicComplex(0, 0, 1, 1, 0)  # 1 + w
+        with pytest.raises(ValueError):
+            value.abs_squared_fraction()
+
+
+class TestDunder:
+    def test_equality_with_python_numbers(self):
+        assert AlgebraicComplex.one() == 1
+        assert AlgebraicComplex.imaginary_unit() == 1j
+        assert AlgebraicComplex(0, 0, 0, 1, 2) == 0.5
+
+    def test_repr_and_str(self):
+        value = AlgebraicComplex(1, 0, 0, 0, 3)
+        assert "AlgebraicComplex" in repr(value)
+        text = str(value)
+        assert "w^3" in text and "sqrt(2)^3" in text
+        assert str(AlgebraicComplex.zero()) == "0"
+        assert str(AlgebraicComplex.one()) == "1"
+
+    def test_unsupported_operand(self):
+        with pytest.raises(TypeError):
+            _ = AlgebraicComplex.one() + 1.5  # floats are not exact operands

@@ -1,0 +1,104 @@
+"""Unit tests for the dense exact state vector (the exact oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algebra import AlgebraicComplex, AlgebraicVector
+from repro.circuit.gates import GateKind, gate_matrix, gate_matrix_exact
+
+
+class TestConstruction:
+    def test_basis_state(self):
+        state = AlgebraicVector.basis_state(3, 5)
+        assert len(state) == 8
+        for index in range(8):
+            if index == 5:
+                assert state[index] == AlgebraicComplex.one()
+            else:
+                assert state[index].is_zero()
+
+    def test_basis_state_out_of_range(self):
+        with pytest.raises(ValueError):
+            AlgebraicVector.basis_state(2, 4)
+
+    def test_wrong_amplitude_count_rejected(self):
+        with pytest.raises(ValueError):
+            AlgebraicVector(2, [AlgebraicComplex.one()] * 3)
+
+
+class TestGateApplication:
+    single_qubit_kinds = [
+        GateKind.X, GateKind.Y, GateKind.Z, GateKind.H, GateKind.S,
+        GateKind.SDG, GateKind.T, GateKind.TDG, GateKind.RX_PI_2, GateKind.RY_PI_2,
+    ]
+
+    @pytest.mark.parametrize("kind", single_qubit_kinds)
+    @pytest.mark.parametrize("target", [0, 1])
+    def test_single_qubit_gates_match_numpy(self, kind, target):
+        # Start from a non-trivial exact state: H on both qubits, T on qubit 0.
+        state = AlgebraicVector.basis_state(2, 0)
+        h = gate_matrix_exact(GateKind.H)
+        t = gate_matrix_exact(GateKind.T)
+        state.apply_single_qubit(h, 0)
+        state.apply_single_qubit(h, 1)
+        state.apply_single_qubit(t, 0)
+        reference = state.to_numpy()
+
+        state.apply_single_qubit(gate_matrix_exact(kind), target)
+        matrix = gate_matrix(kind)
+        full = np.kron(matrix, np.eye(2)) if target == 0 else np.kron(np.eye(2), matrix)
+        expected = full @ reference
+        assert np.max(np.abs(state.to_numpy() - expected)) < 1e-12
+
+    def test_controlled_gate(self):
+        state = AlgebraicVector.basis_state(2, 0)
+        h = gate_matrix_exact(GateKind.H)
+        x = gate_matrix_exact(GateKind.X)
+        state.apply_single_qubit(h, 0)
+        state.apply_controlled(x, [0], 1)
+        # Bell state.
+        amplitudes = state.to_numpy()
+        assert np.isclose(amplitudes[0], 1 / np.sqrt(2))
+        assert np.isclose(amplitudes[3], 1 / np.sqrt(2))
+        assert np.isclose(abs(amplitudes[1]) + abs(amplitudes[2]), 0.0)
+
+    def test_swap(self):
+        state = AlgebraicVector.basis_state(2, 0b10)  # qubit 0 = 1, qubit 1 = 0
+        state.apply_swap([], 0, 1)
+        assert state.probability_of_outcome(0b01) == pytest.approx(1.0)
+
+    def test_controlled_swap_requires_control(self):
+        state = AlgebraicVector.basis_state(3, 0b010)  # control qubit 0 is 0
+        state.apply_swap([0], 1, 2)
+        assert state.probability_of_outcome(0b010) == pytest.approx(1.0)
+        state = AlgebraicVector.basis_state(3, 0b110)  # control qubit 0 is 1
+        state.apply_swap([0], 1, 2)
+        assert state.probability_of_outcome(0b101) == pytest.approx(1.0)
+
+    def test_target_out_of_range(self):
+        state = AlgebraicVector.basis_state(1, 0)
+        with pytest.raises(ValueError):
+            state.apply_single_qubit(gate_matrix_exact(GateKind.X), 3)
+
+
+class TestQueries:
+    def test_norm_is_preserved(self):
+        state = AlgebraicVector.basis_state(3, 0)
+        h = gate_matrix_exact(GateKind.H)
+        t = gate_matrix_exact(GateKind.T)
+        for qubit in range(3):
+            state.apply_single_qubit(h, qubit)
+            state.apply_single_qubit(t, qubit)
+        assert state.norm_squared() == pytest.approx(1.0, abs=1e-12)
+
+    def test_equality(self):
+        left = AlgebraicVector.basis_state(2, 1)
+        right = AlgebraicVector.basis_state(2, 1)
+        other = AlgebraicVector.basis_state(2, 2)
+        assert left == right
+        assert left != other
+
+    def test_repr(self):
+        assert "num_qubits=2" in repr(AlgebraicVector.basis_state(2, 0))

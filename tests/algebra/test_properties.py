@@ -1,0 +1,98 @@
+"""Property-based tests of the algebraic number ring (hypothesis)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import SQRT2, AlgebraicComplex
+
+coefficients = st.integers(min_value=-50, max_value=50)
+exponents = st.integers(min_value=0, max_value=8)
+
+
+@st.composite
+def algebraic_values(draw):
+    return AlgebraicComplex(draw(coefficients), draw(coefficients),
+                            draw(coefficients), draw(coefficients), draw(exponents))
+
+
+def close(left: complex, right: complex) -> bool:
+    return abs(left - right) <= 1e-9 * max(1.0, abs(left), abs(right))
+
+
+@settings(max_examples=150, deadline=None)
+@given(algebraic_values(), algebraic_values())
+def test_addition_commutes_and_matches_floats(left, right):
+    total = left + right
+    assert total == right + left
+    assert close(total.to_complex(), left.to_complex() + right.to_complex())
+
+
+@settings(max_examples=150, deadline=None)
+@given(algebraic_values(), algebraic_values(), algebraic_values())
+def test_ring_axioms(a, b, c):
+    # Associativity.
+    assert (a + b) + c == a + (b + c)
+    assert (a * b) * c == a * (b * c)
+    # Distributivity.
+    assert a * (b + c) == a * b + a * c
+    # Identities.
+    assert a + AlgebraicComplex.zero() == a
+    assert a * AlgebraicComplex.one() == a
+    assert a * AlgebraicComplex.zero() == AlgebraicComplex.zero()
+
+
+@settings(max_examples=150, deadline=None)
+@given(algebraic_values(), algebraic_values())
+def test_multiplication_matches_floats(left, right):
+    assert close((left * right).to_complex(), left.to_complex() * right.to_complex())
+
+
+@settings(max_examples=150, deadline=None)
+@given(algebraic_values())
+def test_canonical_form_is_stable(value):
+    # Re-canonicalising the canonical coefficients changes nothing.
+    again = AlgebraicComplex(*value.coefficients())
+    assert again == value
+    assert again.coefficients() == value.coefficients()
+
+
+@settings(max_examples=150, deadline=None)
+@given(algebraic_values())
+def test_abs_squared_consistency(value):
+    x, y, k = value.abs_squared_exact()
+    expected = abs(value.to_complex()) ** 2
+    assert math.isclose((x + y * SQRT2) / 2 ** k, expected,
+                        rel_tol=1e-9, abs_tol=1e-9)
+    assert value.abs_squared() >= 0.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(algebraic_values())
+def test_conjugate_is_involution_and_norm(value):
+    assert value.conjugate().conjugate() == value
+    product = value * value.conjugate()
+    # v * conj(v) is real and equals |v|^2.
+    assert abs(product.to_complex().imag) <= 1e-9
+    assert math.isclose(product.to_complex().real, value.abs_squared(),
+                        rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=150, deadline=None)
+@given(algebraic_values(), st.integers(min_value=0, max_value=6))
+def test_sqrt2_scaling_round_trip(value, count):
+    scaled = value.divided_by_sqrt2(count)
+    recovered = scaled
+    for _ in range(count):
+        recovered = recovered * AlgebraicComplex.sqrt2_power(1)
+    assert recovered == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(algebraic_values())
+def test_equality_implies_same_float(value):
+    duplicate = AlgebraicComplex(*value.coefficients())
+    assert duplicate == value
+    assert close(duplicate.to_complex(), value.to_complex())

@@ -1,0 +1,131 @@
+"""Tests for the QMDD-style (DDSIM stand-in) decision diagram simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.qmdd import QmddSimulator
+from repro.baselines.statevector import StatevectorSimulator
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import NumericalError, SimulationMemoryExceeded, SimulationTimeout
+from repro.harness.experiments import accuracy_circuit
+
+from tests.conftest import assert_states_close, build_circuit_from_ops, random_ops
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_circuits_match_statevector(self, seed):
+        num_qubits = 4
+        circuit = build_circuit_from_ops(num_qubits, random_ops(num_qubits, 30, seed + 17))
+        ours = QmddSimulator.simulate(circuit).to_numpy()
+        reference = StatevectorSimulator.simulate(circuit).state
+        assert_states_close(ours, reference, tol=1e-8)
+
+    def test_basis_state_initialisation(self):
+        simulator = QmddSimulator(3, initial_state=0b110)
+        assert simulator.amplitude(0b110) == pytest.approx(1.0)
+        assert simulator.norm_squared() == pytest.approx(1.0)
+
+    def test_controls_below_target(self):
+        # CNOT with the control on a *later* (lower) qubit than the target
+        # exercises the non-trivial block construction of the gate DD.
+        circuit = QuantumCircuit(3).x(2).cx(2, 0)
+        simulator = QmddSimulator.simulate(circuit)
+        assert simulator.amplitude(0b101) == pytest.approx(1.0)
+
+    def test_toffoli_with_scattered_controls(self):
+        circuit = QuantumCircuit(4).x(0).x(3).ccx([0, 3], 1)
+        simulator = QmddSimulator.simulate(circuit)
+        assert simulator.amplitude(0b1101) == pytest.approx(1.0)
+
+    def test_swap_and_fredkin_decompositions(self):
+        circuit = QuantumCircuit(3).x(1).swap(1, 2).x(0).cswap([0], 1, 2)
+        ours = QmddSimulator.simulate(circuit).to_numpy()
+        reference = StatevectorSimulator.simulate(circuit).state
+        assert_states_close(ours, reference)
+
+    def test_ghz_diagram_stays_linear(self):
+        circuit = QuantumCircuit(30).h(0)
+        for qubit in range(29):
+            circuit.cx(qubit, qubit + 1)
+        simulator = QmddSimulator.simulate(circuit)
+        # A GHZ state needs O(n) live DD nodes, far below the dense 2^30;
+        # the allocated pool (including intermediates) stays small too.
+        assert simulator.num_reachable_nodes() < 100
+        assert simulator.num_nodes() < 2000
+        assert simulator.norm_squared() == pytest.approx(1.0, abs=1e-9)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            QmddSimulator(2).run(QuantumCircuit(3).h(0))
+
+
+class TestProbabilitiesAndMeasurement:
+    def test_probability_queries_match_oracle(self):
+        circuit = build_circuit_from_ops(3, random_ops(3, 20, 77))
+        simulator = QmddSimulator.simulate(circuit)
+        reference = StatevectorSimulator.simulate(circuit)
+        for qubit in range(3):
+            assert simulator.probability_of_qubit(qubit, 0) == pytest.approx(
+                reference.probability_of_qubit(qubit, 0), abs=1e-8)
+        assert simulator.probability_of_outcome([0, 2], [1, 0]) == pytest.approx(
+            reference.probability_of_outcome([0, 2], [1, 0]), abs=1e-8)
+
+    def test_distribution(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        distribution = QmddSimulator.simulate(circuit).measurement_distribution()
+        assert distribution[0b00] == pytest.approx(0.5)
+        assert distribution[0b11] == pytest.approx(0.5)
+
+    def test_measurement_collapse(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        simulator = QmddSimulator.simulate(circuit)
+        outcome = simulator.measure_qubit(0, forced_outcome=1)
+        assert outcome == 1
+        assert simulator.probability_of_qubit(1, 1) == pytest.approx(1.0)
+        assert simulator.norm_squared() == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_probability_collapse_rejected(self):
+        simulator = QmddSimulator(1)
+        with pytest.raises(ValueError):
+            simulator.measure_qubit(0, forced_outcome=1)
+
+
+class TestResourceAndErrorBehaviour:
+    def test_memory_limit(self):
+        circuit = build_circuit_from_ops(10, random_ops(10, 60, 5))
+        with pytest.raises(SimulationMemoryExceeded):
+            QmddSimulator(10, max_nodes=8).run(circuit)
+
+    def test_time_limit(self):
+        circuit = build_circuit_from_ops(6, random_ops(6, 60, 5))
+        with pytest.raises(SimulationTimeout):
+            QmddSimulator(6, max_seconds=0.0).run(circuit)
+
+    def test_norm_drift_raises_numerical_error(self):
+        """With a very coarse tolerance the norm check must eventually fire,
+        reproducing the paper's 'error' outcome for DDSIM."""
+        circuit = accuracy_circuit(num_qubits=5, layers=200)
+        simulator = QmddSimulator(5, tolerance=1e-2, error_threshold=1e-3)
+        with pytest.raises(NumericalError):
+            simulator.run(circuit)
+
+    def test_precision_loss_grows_with_tolerance(self):
+        circuit = accuracy_circuit(num_qubits=5, layers=24)
+        drifts = []
+        for tolerance in (1e-4, 1e-8, 1e-12):
+            simulator = QmddSimulator(5, tolerance=tolerance, error_threshold=float("inf"))
+            simulator.run(circuit)
+            drifts.append(abs(simulator.norm_squared() - 1.0))
+        assert drifts[0] > drifts[2]
+
+    def test_statistics(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        simulator = QmddSimulator.simulate(circuit)
+        stats = simulator.statistics()
+        assert stats["gates_applied"] == 2
+        assert stats["dd_nodes"] >= 1
+        assert stats["norm"] == pytest.approx(1.0, abs=1e-9)
+        assert "QmddSimulator" in repr(simulator)

@@ -1,0 +1,123 @@
+"""Tests for the CHP-style stabilizer (tableau) simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.stabilizer import StabilizerSimulator
+from repro.baselines.statevector import StatevectorSimulator
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import SimulationTimeout, UnsupportedGateError
+from repro.workloads.algorithms import bernstein_vazirani_circuit, ghz_circuit
+
+from tests.conftest import build_circuit_from_ops, random_ops
+
+CLIFFORD_OPS = ("x", "y", "z", "h", "s", "sdg", "rx", "ry", "cx", "cz", "swap")
+
+
+def oracle_probability(circuit: QuantumCircuit, qubit: int, value: int) -> float:
+    return StatevectorSimulator.simulate(circuit).probability_of_qubit(qubit, value)
+
+
+class TestCliffordAgreement:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_single_qubit_probabilities_match_statevector(self, seed):
+        num_qubits = 4
+        circuit = build_circuit_from_ops(
+            num_qubits, random_ops(num_qubits, 30, seed + 31, mnemonics=CLIFFORD_OPS))
+        tableau = StabilizerSimulator.simulate(circuit)
+        for qubit in range(num_qubits):
+            expected = oracle_probability(circuit, qubit, 0)
+            assert tableau.probability_of_qubit(qubit, 0) == pytest.approx(expected, abs=1e-9)
+
+    def test_ghz_probabilities(self):
+        circuit = ghz_circuit(5)
+        tableau = StabilizerSimulator.simulate(circuit)
+        for qubit in range(5):
+            assert tableau.probability_of_qubit(qubit, 0) == pytest.approx(0.5)
+
+    def test_ghz_measurement_correlations(self, rng):
+        for _ in range(10):
+            tableau = StabilizerSimulator.simulate(ghz_circuit(6))
+            outcomes = tableau.measure_all(rng=rng)
+            assert len(set(outcomes)) == 1  # all zeros or all ones
+
+    def test_deterministic_measurement(self):
+        circuit = QuantumCircuit(2).x(0)
+        tableau = StabilizerSimulator.simulate(circuit)
+        assert tableau.probability_of_qubit(0, 1) == 1.0
+        assert tableau.measure_qubit(0) == 1
+        assert tableau.measure_qubit(1) == 0
+
+    def test_forced_outcome_with_zero_probability_rejected(self):
+        tableau = StabilizerSimulator.simulate(QuantumCircuit(1).x(0))
+        with pytest.raises(ValueError):
+            tableau.measure_qubit(0, forced_outcome=0)
+
+    def test_measurement_collapse_persists(self, rng):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        tableau = StabilizerSimulator.simulate(circuit)
+        first = tableau.measure_qubit(0, rng=rng)
+        # After collapsing qubit 0 the entangled partner is determined.
+        assert tableau.probability_of_qubit(1, first) == 1.0
+        assert tableau.measure_qubit(1, rng=rng) == first
+
+    def test_clifford_bv_recovers_hidden_string(self):
+        hidden = 0b1011010
+        circuit = bernstein_vazirani_circuit(7, hidden_string=hidden)
+        tableau = StabilizerSimulator.simulate(circuit)
+        recovered = 0
+        for qubit in range(7):
+            bit = tableau.measure_qubit(qubit, forced_outcome=None)
+            recovered = (recovered << 1) | bit
+        assert recovered == hidden
+
+
+class TestGateSupport:
+    def test_t_gate_rejected(self):
+        tableau = StabilizerSimulator(1)
+        with pytest.raises(UnsupportedGateError):
+            tableau.run(QuantumCircuit(1).t(0))
+
+    def test_toffoli_rejected(self):
+        tableau = StabilizerSimulator(3)
+        with pytest.raises(UnsupportedGateError):
+            tableau.run(QuantumCircuit(3).ccx([0, 1], 2))
+
+    def test_fredkin_rejected(self):
+        tableau = StabilizerSimulator(3)
+        with pytest.raises(UnsupportedGateError):
+            tableau.run(QuantumCircuit(3).cswap([0], 1, 2))
+
+    def test_single_control_toffoli_accepted(self):
+        tableau = StabilizerSimulator(2)
+        tableau.run(QuantumCircuit(2).x(0).ccx([0], 1))
+        assert tableau.probability_of_qubit(1, 1) == 1.0
+
+    def test_measure_marker_ignored(self):
+        tableau = StabilizerSimulator(1)
+        tableau.run(QuantumCircuit(1).h(0).measure(0))
+        assert tableau.gates_applied == 1
+
+
+class TestScalingAndLimits:
+    def test_large_ghz_is_fast_and_small(self):
+        num_qubits = 500
+        tableau = StabilizerSimulator.simulate(ghz_circuit(num_qubits))
+        assert tableau.probability_of_qubit(num_qubits - 1, 0) == pytest.approx(0.5)
+        stats = tableau.statistics()
+        assert stats["gates_applied"] == num_qubits
+        assert stats["tableau_bytes"] < 10_000_000
+
+    def test_timeout(self):
+        circuit = ghz_circuit(200)
+        with pytest.raises(SimulationTimeout):
+            StabilizerSimulator(200, max_seconds=0.0).run(circuit)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StabilizerSimulator(2).run(QuantumCircuit(3).h(0))
+
+    def test_repr(self):
+        assert "StabilizerSimulator" in repr(StabilizerSimulator(2))

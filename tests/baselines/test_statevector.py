@@ -1,0 +1,110 @@
+"""Tests for the dense statevector simulator (the floating-point oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.statevector import StatevectorSimulator
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, GateKind, full_unitary
+
+from tests.conftest import build_circuit_from_ops, random_ops
+
+
+class TestGateApplication:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_explicit_unitaries(self, seed):
+        """Applying gates one by one must equal multiplying the explicit
+        full unitaries (paper Eq. 3)."""
+        num_qubits = 3
+        ops = random_ops(num_qubits, 12, seed + 11)
+        circuit = build_circuit_from_ops(num_qubits, ops)
+        simulator = StatevectorSimulator(num_qubits)
+        state = np.zeros(1 << num_qubits, dtype=complex)
+        state[0] = 1.0
+        for gate in circuit.gates:
+            simulator.apply_gate(gate)
+            state = full_unitary(gate, num_qubits) @ state
+        assert np.max(np.abs(simulator.state - state)) < 1e-12
+
+    def test_initial_state(self):
+        simulator = StatevectorSimulator(3, initial_state=0b101)
+        assert simulator.amplitude(0b101) == 1.0
+        assert simulator.norm() == pytest.approx(1.0)
+
+    def test_norm_preserved(self):
+        circuit = build_circuit_from_ops(4, random_ops(4, 40, 3))
+        simulator = StatevectorSimulator.simulate(circuit)
+        assert simulator.norm() == pytest.approx(1.0, abs=1e-10)
+
+    def test_memory_guard(self):
+        with pytest.raises(MemoryError):
+            StatevectorSimulator(30, max_qubits=26)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StatevectorSimulator(2).run(QuantumCircuit(3).h(0))
+
+    def test_measure_marker_ignored(self):
+        simulator = StatevectorSimulator(1)
+        simulator.apply_gate(Gate(GateKind.MEASURE, (0,)))
+        assert simulator.amplitude(0) == 1.0
+
+
+class TestProbabilities:
+    def test_qubit_probability(self):
+        circuit = QuantumCircuit(2).h(0)
+        simulator = StatevectorSimulator.simulate(circuit)
+        assert simulator.probability_of_qubit(0, 0) == pytest.approx(0.5)
+        assert simulator.probability_of_qubit(1, 0) == pytest.approx(1.0)
+
+    def test_outcome_probability(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        simulator = StatevectorSimulator.simulate(circuit)
+        assert simulator.probability_of_outcome([0, 1], [1, 1]) == pytest.approx(0.5)
+        assert simulator.probability_of_outcome([0, 1], [1, 0]) == pytest.approx(0.0)
+
+    def test_distribution_and_marginal(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).x(2)
+        simulator = StatevectorSimulator.simulate(circuit)
+        joint = simulator.measurement_distribution()
+        assert joint[0b001] == pytest.approx(0.5)
+        assert joint[0b111] == pytest.approx(0.5)
+        marginal = simulator.measurement_distribution([2])
+        assert marginal == {1: pytest.approx(1.0)}
+
+    def test_distribution_ordering_convention(self):
+        # Qubit listed first is the most significant outcome bit.
+        circuit = QuantumCircuit(2).x(1)
+        simulator = StatevectorSimulator.simulate(circuit)
+        assert simulator.measurement_distribution([1, 0]) == {0b10: pytest.approx(1.0)}
+
+
+class TestMeasurement:
+    def test_forced_collapse(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        simulator = StatevectorSimulator.simulate(circuit)
+        outcome = simulator.measure_qubit(0, forced_outcome=1)
+        assert outcome == 1
+        assert simulator.probability_of_qubit(1, 1) == pytest.approx(1.0)
+        assert simulator.norm() == pytest.approx(1.0)
+
+    def test_zero_probability_collapse_rejected(self):
+        simulator = StatevectorSimulator(1)
+        with pytest.raises(ValueError):
+            simulator.measure_qubit(0, forced_outcome=1)
+
+    def test_random_measurement_statistics(self, rng):
+        ones = 0
+        for _ in range(200):
+            simulator = StatevectorSimulator.simulate(QuantumCircuit(1).h(0))
+            ones += simulator.measure_qubit(0, rng=rng)
+        assert 60 <= ones <= 140
+
+    def test_sampling(self, rng):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        simulator = StatevectorSimulator.simulate(circuit)
+        counts = simulator.sample(500, rng=rng)
+        assert set(counts) <= {0b00, 0b11}
+        assert sum(counts.values()) == 500

@@ -1,0 +1,101 @@
+"""Tests for the BDD analysis and export helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import BddManager, count_nodes, satisfying_assignments, to_dot, truth_table
+from repro.bdd.analysis import function_density, shared_size_profile
+
+
+class TestCountNodes:
+    def test_shared_counting(self):
+        manager = BddManager(3)
+        f = manager.var(0) & manager.var(1)
+        g = manager.var(0) & manager.var(1) & manager.var(2)
+        shared = count_nodes([f, g])
+        # Shared structure must not be double counted.
+        assert shared < f.count_nodes() + g.count_nodes()
+        assert shared >= max(f.count_nodes(), g.count_nodes())
+
+    def test_empty_list(self):
+        assert count_nodes([]) == 0
+
+    def test_mixed_managers_rejected(self):
+        left, right = BddManager(1), BddManager(1)
+        with pytest.raises(ValueError):
+            count_nodes([left.var(0), right.var(0)])
+
+
+class TestTruthTable:
+    def test_and_function(self):
+        manager = BddManager(2)
+        table = truth_table(manager.var(0) & manager.var(1), [0, 1])
+        assert table == [False, False, False, True]
+
+    def test_variable_order_in_index(self):
+        manager = BddManager(2)
+        # Passing [1, 0] makes variable 1 the most significant index bit.
+        table = truth_table(manager.var(1), [1, 0])
+        assert table == [False, False, True, True]
+
+    def test_constant_functions(self):
+        manager = BddManager(2)
+        assert truth_table(manager.true, [0, 1]) == [True] * 4
+        assert truth_table(manager.false, [0, 1]) == [False] * 4
+
+    def test_missing_support_variable_raises(self):
+        manager = BddManager(2)
+        with pytest.raises(KeyError):
+            truth_table(manager.var(0) & manager.var(1), [0])
+
+
+class TestSatisfyingAssignments:
+    def test_enumeration(self):
+        manager = BddManager(3)
+        f = manager.var(0) & manager.nvar(2)
+        assignments = satisfying_assignments(f, [0, 1, 2])
+        assert len(assignments) == 2
+        for assignment in assignments:
+            assert assignment[0] is True
+            assert assignment[2] is False
+
+    def test_density(self):
+        manager = BddManager(3)
+        assert function_density(manager.true, [0, 1, 2]) == 1.0
+        assert function_density(manager.false, [0, 1, 2]) == 0.0
+        assert function_density(manager.var(0), [0, 1, 2]) == 0.5
+
+
+class TestDotExport:
+    def test_dot_output_mentions_all_nodes(self):
+        manager = BddManager(2)
+        f = manager.var(0) ^ manager.var(1)
+        dot = to_dot([f], ["parity"])
+        assert dot.startswith("digraph bdd {")
+        assert '"parity"' in dot
+        assert "x0" in dot and "x1" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_empty(self):
+        assert to_dot([]) == "digraph bdd {\n}\n"
+
+    def test_dot_shares_nodes_between_roots(self):
+        manager = BddManager(2)
+        f = manager.var(0) & manager.var(1)
+        g = manager.var(0) & manager.var(1)
+        dot = to_dot([f, g], ["f", "g"])
+        # Same function: its decision nodes appear exactly once.
+        assert dot.count('[label="x0"') == 1
+
+
+class TestSizeProfile:
+    def test_profile_counts_labels(self):
+        manager = BddManager(3)
+        f = (manager.var(0) & manager.var(1)) | manager.var(2)
+        profile = shared_size_profile([f])
+        assert set(profile) <= {0, 1, 2}
+        assert sum(profile.values()) == f.count_nodes() - 2  # minus terminals
+
+    def test_profile_empty(self):
+        assert shared_size_profile([]) == {}

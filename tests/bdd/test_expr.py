@@ -1,0 +1,82 @@
+"""Tests for the Bdd handle class itself (plumbing not covered elsewhere)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import Bdd, BddManager
+
+
+class TestHandleBasics:
+    def test_terminal_predicates(self):
+        manager = BddManager(1)
+        assert manager.true.is_terminal()
+        assert manager.false.is_terminal()
+        assert not manager.var(0).is_terminal()
+        assert manager.var(0).top_var == 0
+        assert manager.true.top_var is None
+
+    def test_children_accessors(self):
+        manager = BddManager(2)
+        f = manager.var(0).ite(manager.var(1), manager.false)
+        assert f.top_var == 0
+        assert f.low.is_false()
+        assert f.high == manager.var(1)
+
+    def test_hash_and_equality_are_per_manager(self):
+        left, right = BddManager(1), BddManager(1)
+        assert left.var(0) != right.var(0)
+        assert hash(left.var(0)) != hash(right.var(0)) or left is not right
+        assert left.var(0) == left.var(0)
+        assert left.var(0) != "not a bdd"
+
+    def test_repr_forms(self):
+        manager = BddManager(1)
+        assert repr(manager.true) == "Bdd(TRUE)"
+        assert repr(manager.false) == "Bdd(FALSE)"
+        assert "top_var=0" in repr(manager.var(0))
+
+    def test_handles_keep_nodes_alive_across_gc(self):
+        manager = BddManager(4)
+        kept = manager.var(0) ^ manager.var(1) ^ manager.var(2) ^ manager.var(3)
+        node_count_before = kept.count_nodes()
+        manager.garbage_collect()
+        assert kept.count_nodes() == node_count_before
+        assert kept.evaluate({0: True, 1: False, 2: False, 3: False}) is True
+
+
+class TestDerivedOperations:
+    def test_ite_with_constants(self):
+        manager = BddManager(2)
+        x = manager.var(0)
+        assert x.ite(manager.true, manager.false) == x
+        assert x.ite(manager.false, manager.true) == ~x
+
+    def test_equiv_xor_relationship(self):
+        manager = BddManager(2)
+        x, y = manager.var(0), manager.var(1)
+        assert x.equiv(y) == ~(x ^ y)
+
+    def test_forall_via_double_negation(self):
+        manager = BddManager(2)
+        f = manager.var(0) | manager.var(1)
+        assert f.forall([1]) == manager.var(0)
+        assert f.exists([0, 1]).is_true()
+
+    def test_compose_with_constant(self):
+        manager = BddManager(2)
+        f = manager.var(0) & manager.var(1)
+        assert f.compose(0, manager.true) == manager.var(1)
+        assert f.compose(0, manager.false).is_false()
+
+    def test_cofactor_cube_empty(self):
+        manager = BddManager(2)
+        f = manager.var(0) ^ manager.var(1)
+        assert f.cofactor_cube([]) == f
+
+    def test_mixed_manager_operations_rejected(self):
+        left, right = BddManager(1), BddManager(1)
+        with pytest.raises(ValueError):
+            left.var(0).ite(right.var(0), left.true)
+        with pytest.raises(ValueError):
+            left.var(0).compose(0, right.var(0))

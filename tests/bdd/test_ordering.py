@@ -1,0 +1,106 @@
+"""Tests for variable orders and the rebuild-based sifting heuristic."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bdd import BddManager, interleaved_order, natural_order, sift
+from repro.bdd.ordering import reversed_order
+
+
+def all_assignments(variables):
+    for values in itertools.product([False, True], repeat=len(variables)):
+        yield dict(zip(variables, values))
+
+
+class TestStaticOrders:
+    def test_natural_order(self):
+        assert natural_order(4) == [0, 1, 2, 3]
+        assert natural_order(0) == []
+
+    def test_reversed_order(self):
+        assert reversed_order(4) == [3, 2, 1, 0]
+
+    def test_interleaved_order(self):
+        assert interleaved_order([[0, 1, 2], [3, 4, 5]]) == [0, 3, 1, 4, 2, 5]
+        assert interleaved_order([[0, 1, 2], [3]]) == [0, 3, 1, 2]
+        assert interleaved_order([]) == []
+
+
+class TestSetOrder:
+    def test_set_order_preserves_semantics(self):
+        manager = BddManager(4)
+        f = (manager.var(0) & manager.var(2)) | (manager.var(1) & manager.var(3))
+        g = manager.var(0) ^ manager.var(3)
+        new_f, new_g = manager.set_order([3, 1, 2, 0], [f, g])
+        for assignment in all_assignments([0, 1, 2, 3]):
+            expected_f = ((assignment[0] and assignment[2])
+                          or (assignment[1] and assignment[3]))
+            expected_g = assignment[0] != assignment[3]
+            assert new_f.evaluate(assignment) == expected_f
+            assert new_g.evaluate(assignment) == expected_g
+        assert manager.current_order() == [3, 1, 2, 0]
+
+    def test_set_order_rejects_non_permutations(self):
+        manager = BddManager(3)
+        f = manager.var(0)
+        with pytest.raises(ValueError):
+            manager.set_order([0, 1], [f])
+        with pytest.raises(ValueError):
+            manager.set_order([0, 1, 1], [f])
+
+    def test_order_affects_node_count(self):
+        # The classic example: x0*x1 + x2*x3 + x4*x5 is linear under the
+        # natural pairing order and exponential under the interleaved one.
+        manager = BddManager(6)
+        f = ((manager.var(0) & manager.var(1))
+             | (manager.var(2) & manager.var(3))
+             | (manager.var(4) & manager.var(5)))
+        good_size = f.count_nodes()
+        (f_bad,) = manager.set_order([0, 2, 4, 1, 3, 5], [f])
+        bad_size = f_bad.count_nodes()
+        assert bad_size > good_size
+
+
+class TestSifting:
+    def test_sift_recovers_good_order(self):
+        manager = BddManager(6)
+        # Start from the pathological order and let sifting improve it.
+        f = ((manager.var(0) & manager.var(1))
+             | (manager.var(2) & manager.var(3))
+             | (manager.var(4) & manager.var(5)))
+        (f_bad,) = manager.set_order([0, 2, 4, 1, 3, 5], [f])
+        bad_size = f_bad.count_nodes()
+        (f_sifted,), new_order = sift(manager, [f_bad])
+        assert f_sifted.count_nodes() <= bad_size
+        assert sorted(new_order) == list(range(6))
+        # Semantics preserved.
+        for assignment in all_assignments(list(range(6))):
+            expected = ((assignment[0] and assignment[1])
+                        or (assignment[2] and assignment[3])
+                        or (assignment[4] and assignment[5]))
+            assert f_sifted.evaluate(assignment) == expected
+
+    def test_sift_on_constant_is_noop(self):
+        manager = BddManager(3)
+        roots, order = sift(manager, [manager.true])
+        assert roots[0].is_true()
+        assert sorted(order) == [0, 1, 2]
+
+    def test_sift_with_empty_roots(self):
+        manager = BddManager(2)
+        roots, order = sift(manager, [])
+        assert roots == []
+        assert order == manager.current_order()
+
+    def test_sift_max_vars_limits_work(self):
+        manager = BddManager(4)
+        f = (manager.var(0) & manager.var(2)) | (manager.var(1) & manager.var(3))
+        (f_sifted,), order = sift(manager, [f], max_vars=1)
+        assert sorted(order) == [0, 1, 2, 3]
+        for assignment in all_assignments([0, 1, 2, 3]):
+            expected = ((assignment[0] and assignment[2])
+                        or (assignment[1] and assignment[3]))
+            assert f_sifted.evaluate(assignment) == expected

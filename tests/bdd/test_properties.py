@@ -1,0 +1,163 @@
+"""Property-based tests of the BDD substrate (hypothesis).
+
+Random Boolean expressions are generated as ASTs, built both as BDDs and as
+plain Python closures; the two must agree on every assignment.  Further
+properties exercise canonicity (semantic equality == handle equality),
+Shannon expansion and quantifier identities.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager
+
+NUM_VARS = 4
+
+
+# --------------------------------------------------------------------------- #
+# random Boolean expression ASTs
+# --------------------------------------------------------------------------- #
+def expressions(max_depth: int = 4):
+    """Hypothesis strategy producing Boolean expression ASTs."""
+    leaves = st.one_of(
+        st.tuples(st.just("var"), st.integers(min_value=0, max_value=NUM_VARS - 1)),
+        st.just(("const", True)),
+        st.just(("const", False)),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.just("and"), children, children),
+            st.tuples(st.just("or"), children, children),
+            st.tuples(st.just("xor"), children, children),
+            st.tuples(st.just("ite"), children, children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=2 ** max_depth)
+
+
+def build_bdd(manager: BddManager, expression):
+    kind = expression[0]
+    if kind == "var":
+        return manager.var(expression[1])
+    if kind == "const":
+        return manager.true if expression[1] else manager.false
+    if kind == "not":
+        return ~build_bdd(manager, expression[1])
+    if kind == "and":
+        return build_bdd(manager, expression[1]) & build_bdd(manager, expression[2])
+    if kind == "or":
+        return build_bdd(manager, expression[1]) | build_bdd(manager, expression[2])
+    if kind == "xor":
+        return build_bdd(manager, expression[1]) ^ build_bdd(manager, expression[2])
+    if kind == "ite":
+        return build_bdd(manager, expression[1]).ite(
+            build_bdd(manager, expression[2]), build_bdd(manager, expression[3]))
+    raise ValueError(kind)
+
+
+def evaluate_ast(expression, assignment):
+    kind = expression[0]
+    if kind == "var":
+        return assignment[expression[1]]
+    if kind == "const":
+        return expression[1]
+    if kind == "not":
+        return not evaluate_ast(expression[1], assignment)
+    if kind == "and":
+        return evaluate_ast(expression[1], assignment) and evaluate_ast(expression[2], assignment)
+    if kind == "or":
+        return evaluate_ast(expression[1], assignment) or evaluate_ast(expression[2], assignment)
+    if kind == "xor":
+        return evaluate_ast(expression[1], assignment) != evaluate_ast(expression[2], assignment)
+    if kind == "ite":
+        condition = evaluate_ast(expression[1], assignment)
+        return evaluate_ast(expression[2 if condition else 3], assignment)
+    raise ValueError(kind)
+
+
+def all_assignments():
+    for values in itertools.product([False, True], repeat=NUM_VARS):
+        yield dict(enumerate(values))
+
+
+# --------------------------------------------------------------------------- #
+# properties
+# --------------------------------------------------------------------------- #
+@settings(max_examples=60, deadline=None)
+@given(expressions())
+def test_bdd_matches_ast_semantics(expression):
+    manager = BddManager(NUM_VARS)
+    function = build_bdd(manager, expression)
+    for assignment in all_assignments():
+        assert function.evaluate(assignment) == evaluate_ast(expression, assignment)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expressions(), expressions())
+def test_canonicity_semantic_equality_is_handle_equality(left, right):
+    manager = BddManager(NUM_VARS)
+    left_bdd = build_bdd(manager, left)
+    right_bdd = build_bdd(manager, right)
+    semantically_equal = all(
+        evaluate_ast(left, assignment) == evaluate_ast(right, assignment)
+        for assignment in all_assignments())
+    assert (left_bdd == right_bdd) == semantically_equal
+
+
+@settings(max_examples=40, deadline=None)
+@given(expressions(), st.integers(min_value=0, max_value=NUM_VARS - 1))
+def test_shannon_expansion(expression, variable):
+    manager = BddManager(NUM_VARS)
+    f = build_bdd(manager, expression)
+    x = manager.var(variable)
+    rebuilt = (x & f.cofactor(variable, True)) | ((~x) & f.cofactor(variable, False))
+    assert rebuilt == f
+
+
+@settings(max_examples=40, deadline=None)
+@given(expressions())
+def test_double_negation_and_xor_self(expression):
+    manager = BddManager(NUM_VARS)
+    f = build_bdd(manager, expression)
+    assert (~(~f)) == f
+    assert (f ^ f).is_false()
+    assert (f ^ (~f)).is_true()
+
+
+@settings(max_examples=40, deadline=None)
+@given(expressions(), st.integers(min_value=0, max_value=NUM_VARS - 1))
+def test_quantification_bounds(expression, variable):
+    manager = BddManager(NUM_VARS)
+    f = build_bdd(manager, expression)
+    exists = f.exists([variable])
+    forall = f.forall([variable])
+    # forall f  =>  f  =>  exists f.
+    assert (forall.implies(f)).is_true()
+    assert (f.implies(exists)).is_true()
+    # Quantified results must not depend on the quantified variable.
+    assert variable not in exists.support()
+    assert variable not in forall.support()
+
+
+@settings(max_examples=40, deadline=None)
+@given(expressions())
+def test_satcount_matches_enumeration(expression):
+    manager = BddManager(NUM_VARS)
+    f = build_bdd(manager, expression)
+    expected = sum(evaluate_ast(expression, assignment) for assignment in all_assignments())
+    assert f.satcount(NUM_VARS) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(expressions(), st.permutations(list(range(NUM_VARS))))
+def test_reordering_preserves_semantics(expression, order):
+    manager = BddManager(NUM_VARS)
+    f = build_bdd(manager, expression)
+    (g,) = manager.set_order(list(order), [f])
+    for assignment in all_assignments():
+        assert g.evaluate(assignment) == evaluate_ast(expression, assignment)

@@ -1,0 +1,85 @@
+"""Tests for the GRCS (Google supremacy) text format reader / writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import GateKind
+from repro.circuit.grcs import GrcsFormatError, circuit_from_grcs, circuit_to_grcs
+
+
+SAMPLE = """
+4
+0 h 0
+0 h 1
+0 h 2
+0 h 3
+1 cz 0 1
+1 t 2
+1 x_1_2 3
+2 cz 2 3
+2 y_1_2 0
+2 t 1
+"""
+
+
+class TestReader:
+    def test_parse_sample(self):
+        circuit = circuit_from_grcs(SAMPLE)
+        assert circuit.num_qubits == 4
+        kinds = [gate.kind for gate in circuit]
+        assert kinds == [GateKind.H] * 4 + [GateKind.CZ, GateKind.T, GateKind.RX_PI_2,
+                                            GateKind.CZ, GateKind.RY_PI_2, GateKind.T]
+
+    def test_cz_operands(self):
+        circuit = circuit_from_grcs(SAMPLE)
+        cz = circuit[4]
+        assert cz.controls == (0,)
+        assert cz.targets == (1,)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(GrcsFormatError):
+            circuit_from_grcs("")
+
+    def test_bad_first_line_rejected(self):
+        with pytest.raises(GrcsFormatError):
+            circuit_from_grcs("h 0 1\n")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(GrcsFormatError):
+            circuit_from_grcs("2\n0 rz 0\n")
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(GrcsFormatError):
+            circuit_from_grcs("2\n0 cz 0\n")
+        with pytest.raises(GrcsFormatError):
+            circuit_from_grcs("2\n0 h 0 1\n")
+
+    def test_cnot_spelling(self):
+        circuit = circuit_from_grcs("2\n0 cnot 0 1\n")
+        assert circuit[0].kind is GateKind.CX
+
+
+class TestWriter:
+    def test_round_trip(self):
+        original = circuit_from_grcs(SAMPLE)
+        text = circuit_to_grcs(original)
+        parsed = circuit_from_grcs(text)
+        assert parsed.num_qubits == original.num_qubits
+        assert parsed.gates == original.gates
+
+    def test_first_line_is_qubit_count(self):
+        circuit = QuantumCircuit(3).h(0).cz(0, 1).t(2)
+        text = circuit_to_grcs(circuit)
+        assert text.splitlines()[0] == "3"
+
+    def test_cycle_numbers_follow_depth(self):
+        circuit = QuantumCircuit(2).h(0).h(1).cz(0, 1).t(0)
+        lines = circuit_to_grcs(circuit).splitlines()[1:]
+        cycles = [int(line.split()[0]) for line in lines]
+        assert cycles == [0, 0, 1, 2]
+
+    def test_unsupported_gate_rejected(self):
+        with pytest.raises(GrcsFormatError):
+            circuit_to_grcs(QuantumCircuit(3).ccx([0, 1], 2))

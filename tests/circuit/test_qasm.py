@@ -1,0 +1,101 @@
+"""Tests for the OpenQASM 2.0 subset reader / writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import GateKind
+from repro.circuit.qasm import circuit_from_qasm, circuit_to_qasm
+
+
+class TestWriter:
+    def test_header_and_register(self):
+        text = circuit_to_qasm(QuantumCircuit(3).h(0))
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[3];" in text
+        assert "h q[0];" in text
+
+    def test_all_gate_spellings(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(0).y(1).z(2).h(0).s(1).sdg(2).t(0).tdg(1)
+        circuit.rx_pi_2(2).ry_pi_2(0)
+        circuit.cx(0, 1).cz(1, 2).swap(0, 2).toffoli(0, 1, 2).fredkin(0, 1, 2)
+        text = circuit_to_qasm(circuit)
+        for fragment in ("x q[0]", "y q[1]", "z q[2]", "sdg q[2]", "tdg q[1]",
+                         "rx(pi/2) q[2]", "ry(pi/2) q[0]", "cx q[0], q[1]",
+                         "cz q[1], q[2]", "swap q[0], q[2]",
+                         "ccx q[0], q[1], q[2]", "cswap q[0], q[1], q[2]"):
+            assert fragment in text
+
+    def test_measurements_emit_creg(self):
+        circuit = QuantumCircuit(2).h(0).measure(0).measure(1)
+        text = circuit_to_qasm(circuit)
+        assert "creg c[2];" in text
+        assert "measure q[0] -> c[0];" in text
+        assert "measure q[1] -> c[1];" in text
+
+    def test_multi_control_toffoli_rejected(self):
+        circuit = QuantumCircuit(4).ccx([0, 1, 2], 3)
+        with pytest.raises(ValueError):
+            circuit_to_qasm(circuit)
+
+
+class TestReader:
+    def test_round_trip(self):
+        original = QuantumCircuit(3, name="rt")
+        original.h(0).t(1).cx(0, 1).cz(1, 2).swap(0, 2)
+        original.toffoli(0, 1, 2).fredkin(0, 1, 2).sdg(2).rx_pi_2(1)
+        original.measure(0).measure(2)
+        parsed = circuit_from_qasm(circuit_to_qasm(original), name="rt")
+        assert parsed.num_qubits == original.num_qubits
+        assert parsed.gates == original.gates
+        assert parsed.measured_qubits == original.measured_qubits
+
+    def test_parse_minimal_program(self):
+        text = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[2];
+        creg c[2];
+        h q[0];
+        cx q[0], q[1];
+        measure q[0] -> c[0];
+        """
+        circuit = circuit_from_qasm(text)
+        assert circuit.num_qubits == 2
+        assert [gate.kind for gate in circuit] == [GateKind.H, GateKind.CX]
+        assert circuit.measured_qubits == [0]
+
+    def test_comments_and_barriers_ignored(self):
+        text = """
+        OPENQASM 2.0;
+        qreg q[1];
+        // a comment line
+        h q[0];  // trailing comment
+        barrier q[0];
+        """
+        circuit = circuit_from_qasm(text)
+        assert circuit.num_gates == 1
+
+    def test_rx_with_wrong_angle_rejected(self):
+        text = "qreg q[1];\nrx(pi/4) q[0];\n"
+        with pytest.raises(ValueError):
+            circuit_from_qasm(text)
+
+    def test_rx_pi_2_parses(self):
+        text = "qreg q[1];\nrx(pi/2) q[0];\nry(pi/2) q[0];\n"
+        circuit = circuit_from_qasm(text)
+        assert [g.kind for g in circuit] == [GateKind.RX_PI_2, GateKind.RY_PI_2]
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError):
+            circuit_from_qasm("qreg q[2];\ncrz(0.3) q[0], q[1];\n")
+
+    def test_missing_register_rejected(self):
+        with pytest.raises(ValueError):
+            circuit_from_qasm("h q[0];\n")
+
+    def test_unparseable_statement_rejected(self):
+        with pytest.raises(ValueError):
+            circuit_from_qasm("qreg q[1];\n???;\n")

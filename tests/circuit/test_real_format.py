@@ -1,0 +1,125 @@
+"""Tests for the RevLib ``.real`` format reader / writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import GateKind
+from repro.circuit.real_format import (
+    RealFormatError,
+    circuit_from_real,
+    circuit_to_real,
+    initial_basis_state,
+    unspecified_inputs,
+)
+
+
+SAMPLE = """
+# a small example in RevLib syntax
+.version 2.0
+.numvars 4
+.variables a b c d
+.inputs a b c d
+.outputs a b c d
+.constants --0-
+.garbage ----
+.begin
+t1 a
+t2 a b
+t3 a b c
+f3 a c d
+p3 b c d
+.end
+"""
+
+
+class TestReader:
+    def test_parse_sample(self):
+        circuit, constants = circuit_from_real(SAMPLE, name="sample")
+        assert circuit.num_qubits == 4
+        assert constants == "--0-"
+        kinds = [gate.kind for gate in circuit]
+        # t1 -> X, t2 -> CX, t3 -> CCX, f3 -> CSWAP, p3 -> CCX + CX.
+        assert kinds == [GateKind.X, GateKind.CX, GateKind.CCX, GateKind.CSWAP,
+                         GateKind.CCX, GateKind.CX]
+
+    def test_operand_mapping(self):
+        circuit, _ = circuit_from_real(SAMPLE)
+        toffoli = circuit[2]
+        assert toffoli.controls == (0, 1)
+        assert toffoli.targets == (2,)
+        fredkin = circuit[3]
+        assert fredkin.controls == (0,)
+        assert fredkin.targets == (2, 3)
+
+    def test_missing_numvars_uses_variables(self):
+        text = ".variables x y\n.begin\nt2 x y\n.end\n"
+        circuit, constants = circuit_from_real(text)
+        assert circuit.num_qubits == 2
+        assert constants == "--"
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(RealFormatError):
+            circuit_from_real(".begin\nt1 a\n.end\n")
+
+    def test_unknown_variable_rejected(self):
+        text = ".numvars 1\n.variables a\n.begin\nt2 a z\n.end\n"
+        with pytest.raises(RealFormatError):
+            circuit_from_real(text)
+
+    def test_v_gates_rejected(self):
+        text = ".numvars 2\n.variables a b\n.begin\nv a b\n.end\n"
+        with pytest.raises(RealFormatError):
+            circuit_from_real(text)
+
+    def test_f2_is_swap(self):
+        text = ".numvars 2\n.variables a b\n.begin\nf2 a b\n.end\n"
+        circuit, _ = circuit_from_real(text)
+        assert circuit[0].kind is GateKind.SWAP
+
+    def test_constants_length_mismatch_rejected(self):
+        text = ".numvars 2\n.variables a b\n.constants 0\n.begin\nt1 a\n.end\n"
+        with pytest.raises(RealFormatError):
+            circuit_from_real(text)
+
+
+class TestWriter:
+    def test_round_trip(self):
+        circuit = QuantumCircuit(4, name="rt")
+        circuit.x(0).cx(0, 1).ccx([0, 1], 2).cswap([0], 2, 3).swap(1, 3)
+        text = circuit_to_real(circuit, constants="--00")
+        parsed, constants = circuit_from_real(text)
+        assert constants == "--00"
+        assert parsed.num_qubits == 4
+        assert [gate.kind for gate in parsed] == [gate.kind for gate in circuit]
+        for original, round_tripped in zip(circuit, parsed):
+            assert original.targets == round_tripped.targets
+            assert original.controls == round_tripped.controls
+
+    def test_non_classical_gate_rejected(self):
+        with pytest.raises(RealFormatError):
+            circuit_to_real(QuantumCircuit(1).h(0))
+
+    def test_bad_constants_rejected(self):
+        with pytest.raises(RealFormatError):
+            circuit_to_real(QuantumCircuit(2).x(0), constants="-")
+
+
+class TestConstantsHelpers:
+    def test_unspecified_inputs(self):
+        assert unspecified_inputs("--0-1") == [0, 1, 3]
+        assert unspecified_inputs("01") == []
+
+    def test_initial_basis_state_defaults(self):
+        # Qubit 0 is the most significant bit.
+        assert initial_basis_state("01--") == 0b0100
+        assert initial_basis_state("1-1-") == 0b1010
+
+    def test_initial_basis_state_with_random_bits(self):
+        assert initial_basis_state("-0-", random_bits=[1, 1]) == 0b101
+        assert initial_basis_state("-0-", random_bits=[0, 1]) == 0b001
+
+    def test_invalid_constant_character(self):
+        with pytest.raises(RealFormatError):
+            initial_basis_state("0x1")

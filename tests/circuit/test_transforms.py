@@ -1,0 +1,126 @@
+"""Tests for the circuit transformation passes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.statevector import StatevectorSimulator
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import GateKind
+from repro.circuit.transforms import (
+    cancel_adjacent_inverses,
+    clifford_t_summary,
+    count_t_gates,
+    decompose_multi_control,
+    expand_swaps,
+)
+from repro.core.equivalence import circuits_equivalent
+
+from tests.conftest import assert_states_close, build_circuit_from_ops, random_ops
+
+
+class TestExpandSwaps:
+    def test_swap_becomes_three_cnots(self):
+        circuit = QuantumCircuit(2).swap(0, 1)
+        expanded = expand_swaps(circuit)
+        assert [gate.kind for gate in expanded] == [GateKind.CX] * 3
+
+    def test_fredkin_becomes_cnot_toffoli_cnot(self):
+        circuit = QuantumCircuit(3).cswap([0], 1, 2)
+        expanded = expand_swaps(circuit)
+        assert [gate.kind for gate in expanded] == [GateKind.CX, GateKind.CCX, GateKind.CX]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_expansion_preserves_semantics(self, seed):
+        ops = random_ops(4, 20, seed + 60, mnemonics=("h", "t", "swap", "cswap", "cx"))
+        circuit = build_circuit_from_ops(4, ops)
+        expanded = expand_swaps(circuit)
+        assert_states_close(StatevectorSimulator.simulate(circuit).state,
+                            StatevectorSimulator.simulate(expanded).state)
+
+    def test_measurements_preserved(self):
+        circuit = QuantumCircuit(2).swap(0, 1).measure(1)
+        assert expand_swaps(circuit).measured_qubits == [1]
+
+
+class TestDecomposeMultiControl:
+    def test_small_gates_pass_through(self):
+        circuit = QuantumCircuit(3).ccx([0, 1], 2).cx(0, 1)
+        decomposed = decompose_multi_control(circuit)
+        assert decomposed.num_qubits == 3
+        assert decomposed.gates == circuit.gates
+
+    def test_three_controls_use_one_ancilla(self):
+        circuit = QuantumCircuit(4).ccx([0, 1, 2], 3)
+        decomposed = decompose_multi_control(circuit)
+        assert decomposed.num_qubits == 5
+        assert all(len(gate.controls) <= 2 for gate in decomposed)
+
+    @pytest.mark.parametrize("num_controls", [3, 4, 5])
+    def test_functionality_preserved(self, num_controls):
+        from repro.core.equivalence import states_equal_exact
+
+        num_qubits = num_controls + 1
+        circuit = QuantumCircuit(num_qubits).ccx(list(range(num_controls)), num_controls)
+        decomposed = decompose_multi_control(circuit)
+        padded = QuantumCircuit(decomposed.num_qubits, name="padded")
+        for gate in circuit.gates:
+            padded.append(gate)
+        # Equivalence holds on every input whose ancillas (the appended,
+        # least-significant qubits) start in |0>, which is the construction's
+        # contract.
+        ancilla_shift = decomposed.num_qubits - num_qubits
+        for basis in range(1 << num_qubits):
+            padded_basis = basis << ancilla_shift
+            assert states_equal_exact(padded, decomposed, initial_state=padded_basis)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            decompose_multi_control(QuantumCircuit(2).x(0), max_controls=1)
+
+
+class TestCancelAdjacentInverses:
+    def test_simple_cancellations(self):
+        circuit = QuantumCircuit(2).h(0).h(0).x(1).x(1).cx(0, 1).cx(0, 1)
+        assert cancel_adjacent_inverses(circuit).num_gates == 0
+
+    def test_s_sdg_and_t_tdg_cancel(self):
+        circuit = QuantumCircuit(1).s(0).sdg(0).t(0).tdg(0).tdg(0).t(0)
+        assert cancel_adjacent_inverses(circuit).num_gates == 0
+
+    def test_cascaded_cancellation(self):
+        # h x x h collapses completely only after two passes.
+        circuit = QuantumCircuit(1).h(0).x(0).x(0).h(0)
+        assert cancel_adjacent_inverses(circuit).num_gates == 0
+
+    def test_different_wires_do_not_cancel(self):
+        circuit = QuantumCircuit(2).h(0).h(1)
+        assert cancel_adjacent_inverses(circuit).num_gates == 2
+
+    def test_non_inverse_pairs_survive(self):
+        circuit = QuantumCircuit(1).s(0).s(0)
+        assert cancel_adjacent_inverses(circuit).num_gates == 2
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cancellation_preserves_semantics(self, seed):
+        circuit = build_circuit_from_ops(3, random_ops(3, 30, seed + 71))
+        optimised = cancel_adjacent_inverses(circuit)
+        assert optimised.num_gates <= circuit.num_gates
+        assert_states_close(StatevectorSimulator.simulate(circuit).state,
+                            StatevectorSimulator.simulate(optimised).state)
+
+    def test_control_order_is_irrelevant(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx([0, 1], 2).ccx([1, 0], 2)
+        assert cancel_adjacent_inverses(circuit).num_gates == 0
+
+
+class TestCostMetrics:
+    def test_count_t_gates(self):
+        circuit = QuantumCircuit(2).t(0).tdg(1).t(0).h(1)
+        assert count_t_gates(circuit) == 3
+
+    def test_clifford_t_summary(self):
+        circuit = QuantumCircuit(3).h(0).t(0).cx(0, 1).ccx([0, 1], 2).tdg(2)
+        summary = clifford_t_summary(circuit)
+        assert summary == {"clifford": 2, "t_like": 2, "other_non_clifford": 1}

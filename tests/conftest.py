@@ -1,0 +1,90 @@
+"""Shared fixtures and helpers for the test-suite.
+
+The central helper is :func:`build_circuit_from_ops`, which turns a compact
+op-list description into a :class:`QuantumCircuit`; property-based tests use
+it to generate random circuits hypothesis can shrink meaningfully.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+import numpy as np
+import pytest
+
+from repro import QuantumCircuit
+
+
+#: (mnemonic, number of qubits consumed) for the op-list mini-language.
+OP_ARITY = {
+    "x": 1, "y": 1, "z": 1, "h": 1, "s": 1, "sdg": 1, "t": 1, "tdg": 1,
+    "rx": 1, "ry": 1,
+    "cx": 2, "cz": 2, "swap": 2,
+    "ccx": 3, "cswap": 3,
+}
+
+
+def build_circuit_from_ops(num_qubits: int, ops: Sequence[Tuple[str, Tuple[int, ...]]],
+                           name: str = "ops_circuit") -> QuantumCircuit:
+    """Build a circuit from ``(mnemonic, qubits)`` pairs."""
+    circuit = QuantumCircuit(num_qubits, name=name)
+    for mnemonic, qubits in ops:
+        if mnemonic == "x":
+            circuit.x(qubits[0])
+        elif mnemonic == "y":
+            circuit.y(qubits[0])
+        elif mnemonic == "z":
+            circuit.z(qubits[0])
+        elif mnemonic == "h":
+            circuit.h(qubits[0])
+        elif mnemonic == "s":
+            circuit.s(qubits[0])
+        elif mnemonic == "sdg":
+            circuit.sdg(qubits[0])
+        elif mnemonic == "t":
+            circuit.t(qubits[0])
+        elif mnemonic == "tdg":
+            circuit.tdg(qubits[0])
+        elif mnemonic == "rx":
+            circuit.rx_pi_2(qubits[0])
+        elif mnemonic == "ry":
+            circuit.ry_pi_2(qubits[0])
+        elif mnemonic == "cx":
+            circuit.cx(qubits[0], qubits[1])
+        elif mnemonic == "cz":
+            circuit.cz(qubits[0], qubits[1])
+        elif mnemonic == "swap":
+            circuit.swap(qubits[0], qubits[1])
+        elif mnemonic == "ccx":
+            circuit.ccx(list(qubits[:2]), qubits[2])
+        elif mnemonic == "cswap":
+            circuit.cswap([qubits[0]], qubits[1], qubits[2])
+        else:
+            raise ValueError(f"unknown op {mnemonic!r}")
+    return circuit
+
+
+def random_ops(num_qubits: int, num_gates: int, seed: int,
+               mnemonics: Sequence[str] = tuple(OP_ARITY)) -> List[Tuple[str, Tuple[int, ...]]]:
+    """A deterministic random op-list respecting each op's arity."""
+    rng = random.Random(seed)
+    ops: List[Tuple[str, Tuple[int, ...]]] = []
+    usable = [m for m in mnemonics if OP_ARITY[m] <= num_qubits]
+    for _ in range(num_gates):
+        mnemonic = rng.choice(usable)
+        qubits = tuple(rng.sample(range(num_qubits), OP_ARITY[mnemonic]))
+        ops.append((mnemonic, qubits))
+    return ops
+
+
+def assert_states_close(left: np.ndarray, right: np.ndarray, tol: float = 1e-9) -> None:
+    """Assert two dense state vectors are element-wise close."""
+    assert left.shape == right.shape
+    assert np.max(np.abs(left - right)) < tol
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic numpy RNG for tests that sample."""
+    return np.random.default_rng(12345)

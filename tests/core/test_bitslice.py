@@ -1,0 +1,146 @@
+"""Unit tests for the bit-sliced state representation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import AlgebraicComplex
+from repro.bdd import BddManager
+from repro.core.bitslice import VECTOR_NAMES, BitSlicedState
+
+
+class TestConstruction:
+    def test_initial_basis_state_amplitudes(self):
+        state = BitSlicedState(3, initial_state=5)
+        for basis in range(8):
+            amplitude = state.amplitude(basis)
+            if basis == 5:
+                assert amplitude == AlgebraicComplex.one()
+            else:
+                assert amplitude.is_zero()
+
+    def test_only_d_bit0_is_populated(self):
+        state = BitSlicedState(2, initial_state=3)
+        assert not state.slices["d"][0].is_false()
+        assert state.slices["d"][1].is_false()
+        for name in ("a", "b", "c"):
+            assert all(bit.is_false() for bit in state.slices[name])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            BitSlicedState(0)
+        with pytest.raises(ValueError):
+            BitSlicedState(2, initial_state=4)
+        with pytest.raises(ValueError):
+            BitSlicedState(2, initial_bits=1)
+
+    def test_shared_manager(self):
+        manager = BddManager(4)
+        state = BitSlicedState(4, manager=manager)
+        assert state.manager is manager
+        with pytest.raises(ValueError):
+            BitSlicedState(8, manager=BddManager(2))
+
+    def test_initial_statistics(self):
+        state = BitSlicedState(3, initial_bits=4)
+        stats = state.statistics()
+        assert stats["num_qubits"] == 3
+        assert stats["bit_width"] == 4
+        assert stats["k"] == 0
+        assert stats["normalisation"] == 1.0
+        assert stats["bdd_nodes"] >= 1
+
+
+class TestWidthManagement:
+    def test_widen_sign_extends(self):
+        state = BitSlicedState(2, initial_state=1, initial_bits=2)
+        before = state.coefficient_tuple(1)
+        state.widen(3)
+        assert state.r == 5
+        after = state.coefficient_tuple(1)
+        assert before[:4] == after[:4]
+        for name in VECTOR_NAMES:
+            assert len(state.slices[name]) == 5
+
+    def test_shrink_removes_redundant_sign_bits(self):
+        state = BitSlicedState(2, initial_bits=2)
+        state.widen(4)
+        removed = state.shrink()
+        assert removed == 4
+        assert state.r == 2
+
+    def test_shrink_respects_min_bits(self):
+        state = BitSlicedState(2, initial_bits=2)
+        assert state.shrink(min_bits=2) == 0
+        assert state.r == 2
+
+    def test_replace_slices_validates_width(self):
+        state = BitSlicedState(2)
+        bad = {name: list(state.slices[name]) for name in VECTOR_NAMES}
+        bad["a"] = bad["a"] + [state.manager.false]
+        with pytest.raises(ValueError):
+            state.replace_slices(bad)
+
+    def test_replace_slices_updates_k(self):
+        state = BitSlicedState(2)
+        state.replace_slices({name: list(state.slices[name]) for name in VECTOR_NAMES},
+                             delta_k=3)
+        assert state.k == 3
+
+
+class TestDecoding:
+    def test_coefficient_tuple_two_complement(self):
+        state = BitSlicedState(1, initial_bits=3)
+        manager = state.manager
+        # Manually set a = -3 (binary 101) on the |1> entry.
+        q = manager.var(0)
+        state.slices["a"][0] = q
+        state.slices["a"][1] = manager.false
+        state.slices["a"][2] = q
+        a, b, c, d, k = state.coefficient_tuple(1)
+        assert a == -3
+        assert (b, c) == (0, 0)
+        assert d == 0 or d == 1  # d bit0 still encodes the initial state
+
+    def test_amplitude_out_of_range(self):
+        state = BitSlicedState(2)
+        with pytest.raises(ValueError):
+            state.amplitude(4)
+
+    def test_to_numpy_and_algebraic_vector(self):
+        state = BitSlicedState(2, initial_state=2)
+        dense = state.to_numpy()
+        assert dense.shape == (4,)
+        assert dense[2] == 1.0 + 0j
+        vector = state.to_algebraic_vector()
+        assert vector[2] == AlgebraicComplex.one()
+
+    def test_qubit_var_range_check(self):
+        state = BitSlicedState(2)
+        assert state.qubit_var(1) == 1
+        with pytest.raises(ValueError):
+            state.qubit_var(2)
+
+
+class TestProjection:
+    def test_project_qubit_zeroes_other_branch(self):
+        from repro.core.gate_rules import GateRuleEngine
+        from repro.circuit.gates import Gate, GateKind
+
+        state = BitSlicedState(2)
+        GateRuleEngine(state).apply(Gate(GateKind.H, (0,)))
+        state.project_qubit(0, 1, 0.5)
+        assert state.amplitude(0b00).is_zero()
+        assert state.amplitude(0b01).is_zero()
+        assert not state.amplitude(0b10).is_zero()
+        assert state.s == pytest.approx(2 ** 0.5)
+
+    def test_project_zero_probability_rejected(self):
+        state = BitSlicedState(1)
+        with pytest.raises(ValueError):
+            state.project_qubit(0, 1, 0.0)
+
+    def test_num_nodes_counts_shared_structure(self):
+        state = BitSlicedState(3, initial_state=7)
+        # Only one non-constant slice exists, so the node count is small.
+        assert state.num_nodes() <= 6

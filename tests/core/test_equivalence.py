@@ -1,0 +1,90 @@
+"""Tests for exact equivalence checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.equivalence import (
+    EquivalenceReport,
+    circuits_equivalent,
+    states_equal_exact,
+)
+
+
+class TestStatesEqualExact:
+    def test_identical_circuits(self):
+        left = QuantumCircuit(2).h(0).t(0).cx(0, 1)
+        right = QuantumCircuit(2).h(0).t(0).cx(0, 1)
+        assert states_equal_exact(left, right)
+
+    def test_known_identity_swap_as_three_cnots(self):
+        swap = QuantumCircuit(2).swap(0, 1)
+        cnots = QuantumCircuit(2).cx(0, 1).cx(1, 0).cx(0, 1)
+        for basis in range(4):
+            assert states_equal_exact(swap, cnots, initial_state=basis)
+
+    def test_global_phase_difference_is_detected(self):
+        # Z X and X Z differ by a global phase of -1; exact comparison of the
+        # algebraic coefficients must notice.
+        left = QuantumCircuit(1).x(0).z(0)
+        right = QuantumCircuit(1).z(0).x(0)
+        assert not states_equal_exact(left, right, initial_state=0)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            states_equal_exact(QuantumCircuit(1).x(0), QuantumCircuit(2).x(0))
+
+
+class TestCircuitsEquivalent:
+    def test_hadamard_conjugation_identity(self):
+        # H X H == Z, checked on every basis input.
+        left = QuantumCircuit(1).h(0).x(0).h(0)
+        right = QuantumCircuit(1).z(0)
+        report = circuits_equivalent(left, right)
+        assert report.equivalent
+        assert report.counterexample is None
+        assert report.checked_inputs == [0, 1]
+        assert bool(report)
+
+    def test_t_to_the_eighth_is_identity(self):
+        left = QuantumCircuit(1)
+        for _ in range(8):
+            left.t(0)
+        right = QuantumCircuit(1)
+        assert circuits_equivalent(left, right).equivalent
+
+    def test_difference_reports_counterexample(self):
+        left = QuantumCircuit(2).cx(0, 1)
+        right = QuantumCircuit(2).cx(1, 0)
+        report = circuits_equivalent(left, right)
+        assert not report.equivalent
+        assert report.counterexample is not None
+        assert not states_equal_exact(left, right, initial_state=report.counterexample)
+
+    def test_s_squared_equals_z(self):
+        left = QuantumCircuit(1).s(0).s(0)
+        right = QuantumCircuit(1).z(0)
+        assert circuits_equivalent(left, right).equivalent
+
+    def test_sampling_mode_for_wide_registers(self):
+        num_qubits = 10
+        left = QuantumCircuit(num_qubits)
+        right = QuantumCircuit(num_qubits)
+        for qubit in range(num_qubits):
+            left.h(qubit).h(qubit)
+        report = circuits_equivalent(left, right, max_exhaustive_qubits=6, samples=5)
+        assert report.equivalent
+        assert len(report.checked_inputs) <= 6
+        assert 0 in report.checked_inputs
+
+    def test_sampling_mode_detects_gross_differences(self):
+        num_qubits = 10
+        left = QuantumCircuit(num_qubits).x(3)
+        right = QuantumCircuit(num_qubits)
+        report = circuits_equivalent(left, right, max_exhaustive_qubits=6, samples=5)
+        assert not report.equivalent
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            circuits_equivalent(QuantumCircuit(1), QuantumCircuit(2))

@@ -1,0 +1,102 @@
+"""Property-based tests of the bit-sliced engine (hypothesis).
+
+The key invariants:
+
+* agreement with the dense statevector oracle on arbitrary circuits over the
+  full gate set,
+* exact unitarity (total probability is exactly 1 — not within epsilon),
+* applying a circuit followed by its inverse restores the initial basis
+  state exactly,
+* the decoded algebraic coefficients always satisfy the normalisation
+  constraint of paper Eq. (2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.statevector import StatevectorSimulator
+from repro.core.simulator import BitSliceSimulator
+
+from tests.conftest import OP_ARITY, build_circuit_from_ops
+
+NUM_QUBITS = 3
+
+INVERTIBLE_OPS = ("x", "y", "z", "h", "s", "sdg", "t", "tdg", "cx", "cz",
+                  "swap", "ccx", "cswap")
+
+
+@st.composite
+def op_lists(draw, mnemonics=tuple(OP_ARITY), max_size=20):
+    size = draw(st.integers(min_value=0, max_value=max_size))
+    ops = []
+    for _ in range(size):
+        mnemonic = draw(st.sampled_from([m for m in mnemonics
+                                         if OP_ARITY[m] <= NUM_QUBITS]))
+        qubits = draw(st.permutations(list(range(NUM_QUBITS))))
+        ops.append((mnemonic, tuple(qubits[:OP_ARITY[mnemonic]])))
+    return ops
+
+
+@settings(max_examples=40, deadline=None)
+@given(op_lists(), st.integers(min_value=0, max_value=(1 << NUM_QUBITS) - 1))
+def test_matches_statevector_oracle(ops, initial_state):
+    circuit = build_circuit_from_ops(NUM_QUBITS, ops)
+    ours = BitSliceSimulator.simulate(circuit, initial_state=initial_state).to_numpy()
+    reference = StatevectorSimulator.simulate(circuit, initial_state=initial_state).state
+    assert np.max(np.abs(ours - reference)) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(op_lists())
+def test_total_probability_exactly_one(ops):
+    circuit = build_circuit_from_ops(NUM_QUBITS, ops)
+    simulator = BitSliceSimulator.simulate(circuit)
+    # Exactness: the accumulated probability numerator is integer arithmetic,
+    # so the only rounding happens in the final float conversion.
+    assert abs(simulator.total_probability() - 1.0) < 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(op_lists(mnemonics=INVERTIBLE_OPS),
+       st.integers(min_value=0, max_value=(1 << NUM_QUBITS) - 1))
+def test_circuit_followed_by_inverse_is_identity(ops, initial_state):
+    circuit = build_circuit_from_ops(NUM_QUBITS, ops)
+    round_trip = circuit.compose(circuit.inverse())
+    simulator = BitSliceSimulator.simulate(round_trip, initial_state=initial_state)
+    for basis in range(1 << NUM_QUBITS):
+        amplitude = simulator.amplitude(basis)
+        if basis == initial_state:
+            assert amplitude.to_complex() == 1.0
+        else:
+            assert amplitude.is_zero()
+
+
+@settings(max_examples=30, deadline=None)
+@given(op_lists())
+def test_norm_constraint_of_paper_eq2(ops):
+    """Sum over basis states of |alpha_i|^2 equals 1 exactly (Eq. 2)."""
+    circuit = build_circuit_from_ops(NUM_QUBITS, ops)
+    simulator = BitSliceSimulator.simulate(circuit)
+    total_x, total_y = 0, 0
+    k = simulator.state.k
+    for basis in range(1 << NUM_QUBITS):
+        x, y, amp_k = simulator.amplitude(basis).abs_squared_exact()
+        assert amp_k <= k
+        # Rescale the canonical amplitude back to the shared exponent.
+        total_x += x * (1 << (k - amp_k))
+        total_y += y * (1 << (k - amp_k))
+    assert total_y == 0
+    assert total_x == (1 << k)
+
+
+@settings(max_examples=25, deadline=None)
+@given(op_lists(), st.integers(min_value=0, max_value=NUM_QUBITS - 1))
+def test_marginal_probabilities_are_consistent(ops, qubit):
+    circuit = build_circuit_from_ops(NUM_QUBITS, ops)
+    simulator = BitSliceSimulator.simulate(circuit)
+    p_zero = simulator.probability_of_qubit(qubit, 0)
+    p_one = simulator.probability_of_qubit(qubit, 1)
+    assert 0.0 <= p_zero <= 1.0 + 1e-12
+    assert p_zero + p_one == 1.0 or abs(p_zero + p_one - 1.0) < 1e-12

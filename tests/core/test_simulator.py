@@ -1,0 +1,129 @@
+"""End-to-end tests of the BitSliceSimulator facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algebra import AlgebraicComplex
+from repro.baselines.statevector import StatevectorSimulator
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.simulator import BitSliceSimulator
+from repro.exceptions import SimulationMemoryExceeded, SimulationTimeout
+
+from tests.conftest import assert_states_close, build_circuit_from_ops, random_ops
+
+
+class TestEndToEnd:
+    def test_bell_state(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        simulator = BitSliceSimulator.simulate(circuit)
+        amplitudes = simulator.to_numpy()
+        assert amplitudes[0] == pytest.approx(1 / np.sqrt(2))
+        assert amplitudes[3] == pytest.approx(1 / np.sqrt(2))
+        assert simulator.amplitude(0) == AlgebraicComplex(0, 0, 0, 1, 1)
+        assert simulator.amplitude(1).is_zero()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_circuits_match_statevector(self, seed):
+        num_qubits = 4
+        ops = random_ops(num_qubits, 30, seed * 7 + 1)
+        circuit = build_circuit_from_ops(num_qubits, ops)
+        ours = BitSliceSimulator.simulate(circuit).to_numpy()
+        reference = StatevectorSimulator.simulate(circuit).state
+        assert_states_close(ours, reference)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_total_probability_is_one(self, seed):
+        circuit = build_circuit_from_ops(3, random_ops(3, 25, seed + 900))
+        simulator = BitSliceSimulator.simulate(circuit)
+        assert simulator.total_probability() == pytest.approx(1.0, abs=1e-12)
+
+    def test_circuit_inverse_returns_to_initial_state(self):
+        circuit = QuantumCircuit(3).h(0).s(1).cx(0, 1).t(2).ccx([0, 1], 2).z(0)
+        round_trip = circuit.compose(circuit.inverse())
+        simulator = BitSliceSimulator.simulate(round_trip)
+        assert simulator.amplitude(0).to_complex() == pytest.approx(1.0)
+        for basis in range(1, 8):
+            assert simulator.amplitude(basis).is_zero()
+
+    def test_initial_state_parameter(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        simulator = BitSliceSimulator.simulate(circuit, initial_state=0b10)
+        assert simulator.probability_of_outcome([0, 1], [1, 1]) == pytest.approx(1.0)
+
+    def test_mismatched_circuit_size_rejected(self):
+        simulator = BitSliceSimulator(2)
+        with pytest.raises(ValueError):
+            simulator.run(QuantumCircuit(3).h(0))
+
+    def test_measurement_markers_are_ignored_during_run(self):
+        circuit = QuantumCircuit(2).h(0).measure(0).measure(1)
+        simulator = BitSliceSimulator.simulate(circuit)
+        assert simulator.gates_applied == 1
+
+
+class TestResourceLimits:
+    def test_timeout_raises(self):
+        circuit = build_circuit_from_ops(6, random_ops(6, 60, 3))
+        simulator = BitSliceSimulator(6, max_seconds=0.0)
+        with pytest.raises(SimulationTimeout):
+            simulator.run(circuit)
+
+    def test_node_limit_raises(self):
+        circuit = build_circuit_from_ops(8, random_ops(8, 40, 5))
+        simulator = BitSliceSimulator(8, max_nodes=5)
+        with pytest.raises(SimulationMemoryExceeded):
+            simulator.run(circuit)
+
+    def test_reset_clock(self):
+        simulator = BitSliceSimulator(2, max_seconds=1000.0)
+        simulator.reset_clock()
+        simulator.apply_gate(QuantumCircuit(2).h(0).gates[0])
+        assert simulator.gates_applied == 1
+
+
+class TestStatisticsAndState:
+    def test_statistics_fields(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).t(2)
+        simulator = BitSliceSimulator.simulate(circuit)
+        stats = simulator.statistics()
+        assert stats["gates_applied"] == 3
+        assert stats["num_qubits"] == 3
+        assert stats["bit_width"] >= 2
+        assert stats["peak_bdd_nodes"] >= stats["bdd_nodes"] or stats["bdd_nodes"] > 0
+        assert stats["elapsed_seconds"] >= 0.0
+
+    def test_normalisation_property(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        simulator = BitSliceSimulator.simulate(circuit)
+        assert simulator.normalisation == 1.0
+        simulator.measure_qubit(0, forced_outcome=0)
+        assert simulator.normalisation == pytest.approx(np.sqrt(2))
+
+    def test_auto_shrink_keeps_width_small(self):
+        circuit = QuantumCircuit(3)
+        for _ in range(4):
+            circuit.h(0).h(1).h(2).cx(0, 1).cx(1, 2)
+        shrinking = BitSliceSimulator(3, auto_shrink=True)
+        shrinking.run(circuit)
+        growing = BitSliceSimulator(3, auto_shrink=False)
+        growing.run(circuit)
+        assert shrinking.state.r <= growing.state.r
+        assert_states_close(shrinking.to_numpy(), growing.to_numpy())
+
+    def test_to_algebraic_vector_round_trip(self):
+        circuit = QuantumCircuit(2).h(0).t(0).cx(0, 1)
+        simulator = BitSliceSimulator.simulate(circuit)
+        vector = simulator.to_algebraic_vector()
+        assert_states_close(vector.to_numpy(), simulator.to_numpy())
+
+    def test_repr(self):
+        simulator = BitSliceSimulator(2)
+        assert "BitSliceSimulator" in repr(simulator)
+
+    def test_sample_smoke(self, rng):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        simulator = BitSliceSimulator.simulate(circuit)
+        counts = simulator.sample(100, rng=rng)
+        assert sum(counts.values()) == 100

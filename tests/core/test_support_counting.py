@@ -1,0 +1,54 @@
+"""Tests for symbolic support queries of the bit-sliced state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.simulator import BitSliceSimulator
+from repro.workloads.algorithms import ghz_circuit
+
+
+class TestNonzeroSupport:
+    def test_basis_state_has_single_support(self):
+        simulator = BitSliceSimulator(3, initial_state=5)
+        assert simulator.nonzero_amplitude_count() == 1
+        support = simulator.state.nonzero_support()
+        assert support.satcount(3) == 1
+        assert support.evaluate({0: True, 1: False, 2: True}) is True
+
+    def test_uniform_superposition_has_full_support(self):
+        circuit = QuantumCircuit(4)
+        for qubit in range(4):
+            circuit.h(qubit)
+        simulator = BitSliceSimulator.simulate(circuit)
+        assert simulator.nonzero_amplitude_count() == 16
+
+    def test_ghz_has_two_support_states(self):
+        simulator = BitSliceSimulator.simulate(ghz_circuit(6))
+        assert simulator.nonzero_amplitude_count() == 2
+
+    def test_wide_register_counting_is_symbolic(self):
+        # 60-qubit GHZ: enumeration of 2^60 amplitudes is impossible, the
+        # symbolic count is instant.
+        simulator = BitSliceSimulator.simulate(ghz_circuit(60))
+        assert simulator.nonzero_amplitude_count() == 2
+        # Uniform superposition over 60 qubits: support size 2^60.
+        circuit = QuantumCircuit(60)
+        for qubit in range(60):
+            circuit.h(qubit)
+        uniform = BitSliceSimulator.simulate(circuit)
+        assert uniform.nonzero_amplitude_count() == 1 << 60
+
+    def test_support_shrinks_after_collapse(self):
+        simulator = BitSliceSimulator.simulate(ghz_circuit(5))
+        simulator.measure_qubit(0, forced_outcome=1)
+        assert simulator.nonzero_amplitude_count() == 1
+
+    def test_interference_can_empty_part_of_the_support(self):
+        # H Z H |0> = |1>: destructive interference removes |0> from the
+        # support even though intermediate states covered both basis states.
+        circuit = QuantumCircuit(1).h(0).z(0).h(0)
+        simulator = BitSliceSimulator.simulate(circuit)
+        assert simulator.nonzero_amplitude_count() == 1
+        assert simulator.probability_of_qubit(0, 1) == pytest.approx(1.0)

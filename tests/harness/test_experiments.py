@@ -1,0 +1,105 @@
+"""Tests for the per-table experiment definitions (run at tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import (
+    TABLE3_PAPER_QUBITS,
+    TABLE5_PAPER_QUBITS,
+    TABLE6_PAPER_QUBITS,
+    accuracy_circuit,
+    accuracy_experiment,
+    table3_experiment,
+    table4_experiment,
+    table5_experiment,
+    table6_experiment,
+)
+from repro.harness.runner import ResourceLimits
+
+TINY_LIMITS = ResourceLimits(max_seconds=30.0, max_nodes=200_000)
+
+
+class TestPaperParameters:
+    def test_paper_scale_qubit_counts_match_tables(self):
+        assert TABLE3_PAPER_QUBITS == (40, 80, 120, 160, 200, 300, 400, 500)
+        assert TABLE5_PAPER_QUBITS == (80, 90, 100, 500, 1000, 5000, 10000)
+        assert TABLE6_PAPER_QUBITS == (16, 20, 25, 30, 36, 42, 49, 56, 64, 72, 81, 90)
+
+
+class TestTable3:
+    def test_structure_and_gate_ratio(self):
+        experiment = table3_experiment(qubit_counts=(4, 6), circuits_per_size=2,
+                                       limits=TINY_LIMITS)
+        assert set(experiment.runs) == {4, 6}
+        for group, per_engine in experiment.runs.items():
+            assert set(per_engine) == {"qmdd", "bitslice"}
+            for results in per_engine.values():
+                assert len(results) == 2
+                for result in results:
+                    assert result.num_gates == group + 3 * group
+        summary = experiment.summaries[4]["bitslice"]
+        assert summary["runs"] == 2
+
+
+class TestTable4:
+    def test_original_and_modified_variants(self):
+        experiment = table4_experiment(families=("add8", "nested_if6"),
+                                       limits=TINY_LIMITS)
+        groups = set(experiment.runs)
+        assert ("add8", "original") in groups
+        assert ("add8", "modified") in groups
+        original = experiment.runs[("add8", "original")]["bitslice"][0]
+        modified = experiment.runs[("add8", "modified")]["bitslice"][0]
+        assert modified.num_gates > original.num_gates
+        assert "constants" in experiment.metadata
+
+
+class TestTable5:
+    def test_families_and_engines(self):
+        experiment = table5_experiment(qubit_counts=(6, 8), limits=TINY_LIMITS)
+        assert ("entanglement", 6) in experiment.runs
+        assert ("bv", 8) in experiment.runs
+        engines = set(experiment.runs[("entanglement", 6)])
+        assert {"qmdd", "bitslice", "stabilizer"} <= engines
+        # Gate count conventions from the paper: GHZ has #gates == #qubits.
+        ghz_result = experiment.runs[("entanglement", 6)]["bitslice"][0]
+        assert ghz_result.num_gates == 6
+
+    def test_stabilizer_can_be_excluded(self):
+        experiment = table5_experiment(qubit_counts=(4,), include_stabilizer=False,
+                                       limits=TINY_LIMITS)
+        assert "stabilizer" not in experiment.runs[("entanglement", 4)]
+
+
+class TestTable6:
+    def test_structure(self):
+        experiment = table6_experiment(qubit_counts=(16,), circuits_per_size=1,
+                                       depth=3, limits=TINY_LIMITS)
+        assert set(experiment.runs) == {16}
+        for engine, results in experiment.runs[16].items():
+            assert len(results) == 1
+            assert results[0].num_qubits == 16
+
+    def test_unknown_lattice_rejected(self):
+        with pytest.raises(KeyError):
+            table6_experiment(qubit_counts=(17,), limits=TINY_LIMITS)
+
+
+class TestAccuracy:
+    def test_accuracy_circuit_structure(self):
+        circuit = accuracy_circuit(4, layers=3)
+        assert circuit.num_qubits == 4
+        assert circuit.num_gates == 3 * (4 + 4 + 1)
+
+    def test_accuracy_experiment_shows_exactness_gap(self):
+        experiment = accuracy_experiment(num_qubits=4, layers=(4, 16),
+                                         tolerances=(1e-5, 1e-12))
+        rows = experiment.metadata["drift_rows"]
+        assert len(rows) == 2
+        for row in rows:
+            assert row["exact_norm_drift"] < 1e-12
+            assert row["qmdd_drift_tol_1e-05"] >= row["exact_norm_drift"]
+        # The coarse tolerance must drift more than the fine one somewhere.
+        assert any(row["qmdd_drift_tol_1e-05"] > row["qmdd_drift_tol_1e-12"]
+                   for row in rows)

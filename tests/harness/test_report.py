@@ -1,0 +1,60 @@
+"""Tests for the JSON / Markdown experiment reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.experiments import table3_experiment, table5_experiment
+from repro.harness.report import (
+    experiment_to_dict,
+    experiment_to_json,
+    experiment_to_markdown,
+    save_experiment,
+)
+from repro.harness.runner import ResourceLimits
+
+TINY_LIMITS = ResourceLimits(max_seconds=30.0, max_nodes=200_000)
+
+
+@pytest.fixture(scope="module")
+def small_experiment():
+    return table3_experiment(qubit_counts=(4,), circuits_per_size=1, limits=TINY_LIMITS)
+
+
+class TestJsonReport:
+    def test_dict_structure(self, small_experiment):
+        payload = experiment_to_dict(small_experiment)
+        assert payload["name"] == "table3_random_circuits"
+        assert payload["metadata"]["qubit_counts"] == [4]
+        assert len(payload["groups"]) == 1
+        engines = payload["groups"][0]["engines"]
+        assert set(engines) == {"qmdd", "bitslice"}
+        run = engines["bitslice"]["runs"][0]
+        assert run["status"] in ("ok", "TO", "MO", "error")
+        assert run["num_qubits"] == 4
+
+    def test_json_round_trip(self, small_experiment):
+        payload = json.loads(experiment_to_json(small_experiment))
+        assert payload["name"] == "table3_random_circuits"
+
+    def test_save_experiment(self, small_experiment, tmp_path):
+        path = tmp_path / "table3.json"
+        save_experiment(small_experiment, str(path))
+        assert json.loads(path.read_text())["groups"]
+
+
+class TestMarkdownReport:
+    def test_markdown_layout(self, small_experiment):
+        text = experiment_to_markdown(small_experiment)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("| group |")
+        assert set(lines[1].replace("|", "").strip()) <= {"-", " "}
+        assert len(lines) == 3
+        assert "ok" in lines[2]
+
+    def test_markdown_handles_missing_engines(self):
+        experiment = table5_experiment(qubit_counts=(4,), limits=TINY_LIMITS)
+        text = experiment_to_markdown(experiment, engines=("qmdd", "bitslice", "stabilizer"))
+        assert "stabilizer" in text.splitlines()[0].lower() or "CHP" in text.splitlines()[0]

@@ -1,0 +1,125 @@
+"""Tests for the experiment runner (outcome classification and summaries)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.harness.runner import (
+    ENGINES,
+    ResourceLimits,
+    RunResult,
+    run_circuit,
+    run_suite,
+    summarise,
+)
+from repro.workloads.algorithms import ghz_circuit
+from repro.workloads.random_circuits import generate_random_circuit
+
+
+class TestRunCircuit:
+    def test_all_engines_registered(self):
+        assert set(ENGINES) == {"bitslice", "qmdd", "statevector", "stabilizer"}
+
+    @pytest.mark.parametrize("engine", ["bitslice", "qmdd", "statevector", "stabilizer"])
+    def test_successful_run(self, engine):
+        circuit = ghz_circuit(6)
+        result = run_circuit(engine, circuit, ResourceLimits(max_seconds=60, max_nodes=100_000))
+        assert result.succeeded
+        assert result.status == "ok"
+        assert result.engine == engine
+        assert result.num_qubits == 6
+        assert result.num_gates == 6
+        assert result.runtime_seconds >= 0.0
+        assert result.memory_nodes > 0
+        assert result.extra["final_probability"] == pytest.approx(0.5, abs=1e-6)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(KeyError):
+            run_circuit("nonexistent", ghz_circuit(2))
+
+    def test_timeout_classification(self):
+        circuit = generate_random_circuit(10, seed=1)
+        result = run_circuit("bitslice", circuit, ResourceLimits(max_seconds=0.0))
+        assert result.status == "TO"
+        assert not result.succeeded
+        assert "time" in result.detail.lower() or "budget" in result.detail.lower()
+
+    def test_memory_classification(self):
+        circuit = generate_random_circuit(10, seed=1)
+        result = run_circuit("qmdd", circuit,
+                             ResourceLimits(max_seconds=60, max_nodes=4))
+        assert result.status == "MO"
+
+    def test_dense_engine_memory_guard(self):
+        circuit = generate_random_circuit(30, seed=1)
+        result = run_circuit("statevector", circuit,
+                             ResourceLimits(max_dense_qubits=20))
+        assert result.status == "MO"
+
+    def test_unsupported_classification(self):
+        circuit = QuantumCircuit(2).h(0).t(0)
+        result = run_circuit("stabilizer", circuit)
+        assert result.status == "unsupported"
+
+    def test_error_classification(self):
+        # Force a numerical error by running a deep circuit with an absurdly
+        # coarse QMDD tolerance through a purpose-built engine entry.
+        from repro.baselines.qmdd import QmddSimulator
+        from repro.harness import runner as runner_module
+
+        def run_sloppy_qmdd(circuit, limits):
+            simulator = QmddSimulator(circuit.num_qubits, tolerance=5e-2,
+                                      error_threshold=1e-6,
+                                      max_seconds=limits.max_seconds)
+            simulator.run(circuit)
+            return {"memory_nodes": simulator.num_nodes()}
+
+        runner_module.ENGINES["sloppy"] = run_sloppy_qmdd
+        try:
+            circuit = generate_random_circuit(6, seed=3)
+            result = run_circuit("sloppy", circuit, ResourceLimits(max_seconds=60))
+            assert result.status in ("error", "ok")
+        finally:
+            del runner_module.ENGINES["sloppy"]
+
+    def test_memory_mb_conversion(self):
+        result = RunResult("bitslice", "c", 2, 2, "ok", memory_nodes=1024 * 1024)
+        assert result.memory_mb == pytest.approx(48.0)
+
+
+class TestSuiteAndSummary:
+    def test_run_suite(self):
+        circuits = [ghz_circuit(4), ghz_circuit(5)]
+        results = run_suite("bitslice", circuits, ResourceLimits(max_seconds=30))
+        assert len(results) == 2
+        assert all(result.succeeded for result in results)
+
+    def test_summarise_counts_outcomes(self):
+        results = [
+            RunResult("e", "a", 2, 2, "ok", runtime_seconds=1.0, memory_nodes=10),
+            RunResult("e", "b", 2, 2, "ok", runtime_seconds=3.0, memory_nodes=30),
+            RunResult("e", "c", 2, 2, "TO"),
+            RunResult("e", "d", 2, 2, "MO"),
+            RunResult("e", "f", 2, 2, "error"),
+        ]
+        summary = summarise(results)
+        assert summary["runs"] == 5
+        assert summary["successes"] == 2
+        assert summary["avg_runtime"] == pytest.approx(2.0)
+        assert summary["timeouts"] == 1
+        assert summary["memouts"] == 1
+        assert summary["errors"] == 1
+        assert summary["unsupported"] == 0
+
+    def test_summarise_all_failed(self):
+        summary = summarise([RunResult("e", "a", 2, 2, "TO")])
+        assert summary["successes"] == 0
+        assert math.isnan(summary["avg_runtime"])
+
+    def test_summarise_empty(self):
+        summary = summarise([])
+        assert summary["runs"] == 0
+        assert summary["avg_memory_mb"] == 0.0

@@ -1,0 +1,104 @@
+"""Tests for the table renderers and the CLI entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import (
+    accuracy_experiment,
+    table3_experiment,
+    table4_experiment,
+    table5_experiment,
+    table6_experiment,
+)
+from repro.harness.runner import ResourceLimits
+from repro.harness.tables import (
+    format_accuracy,
+    format_table3,
+    format_table4,
+    format_table5,
+    format_table6,
+    render_table,
+)
+
+TINY_LIMITS = ResourceLimits(max_seconds=30.0, max_nodes=200_000)
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["x", None]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "-+-" in lines[2]
+        assert "2.50" in text
+        assert "-" in lines[4]
+
+    def test_small_numbers_use_scientific_notation(self):
+        text = render_table(["v"], [[0.00001]])
+        assert "e-05" in text
+
+    def test_nan_renders_as_failed(self):
+        text = render_table(["v"], [[float("nan")]])
+        assert "failed" in text
+
+
+class TestTableFormatters:
+    def test_format_table3(self):
+        experiment = table3_experiment(qubit_counts=(4,), circuits_per_size=1,
+                                       limits=TINY_LIMITS)
+        text = format_table3(experiment)
+        assert "Table III" in text
+        assert "#Qubits" in text
+        assert "TO/MO" in text
+        assert " 4 " in text or text.splitlines()[3].startswith("4")
+
+    def test_format_table4(self):
+        experiment = table4_experiment(families=("nested_if6",), limits=TINY_LIMITS)
+        text = format_table4(experiment)
+        assert "Table IV" in text
+        assert "nested_if6" in text
+        assert "original" in text and "modified" in text
+
+    def test_format_table5(self):
+        experiment = table5_experiment(qubit_counts=(4,), limits=TINY_LIMITS)
+        text = format_table5(experiment)
+        assert "Table V" in text
+        assert "entanglement" in text and "bv" in text
+
+    def test_format_table6(self):
+        experiment = table6_experiment(qubit_counts=(16,), circuits_per_size=1,
+                                       depth=2, limits=TINY_LIMITS)
+        text = format_table6(experiment)
+        assert "Table VI" in text
+        assert "Mem(MB)" in text
+
+    def test_format_accuracy(self):
+        experiment = accuracy_experiment(num_qubits=3, layers=(2,), tolerances=(1e-6,))
+        text = format_accuracy(experiment)
+        assert "Accuracy" in text
+        assert "tol=" in text
+
+    def test_format_accuracy_empty(self):
+        from repro.harness.experiments import ExperimentResult
+
+        assert "no accuracy data" in format_accuracy(ExperimentResult("empty"))
+
+
+class TestCli:
+    def test_quick_table3_run(self, capsys, tmp_path):
+        from repro.harness.__main__ import main
+
+        out_file = tmp_path / "tables.txt"
+        exit_code = main(["table3", "--quick", "--seeds", "1",
+                          "--time-limit", "30", "--out", str(out_file)])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Table III" in captured.out
+        assert out_file.read_text().startswith("Table III")
+
+    def test_quick_accuracy_run(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["accuracy", "--quick"]) == 0
+        assert "Accuracy" in capsys.readouterr().out

@@ -1,0 +1,63 @@
+"""Smoke tests executing the shipped examples.
+
+Examples are part of the public surface (deliverable (b)); these tests run
+the cheap ones end-to-end so a regression in the API breaks the build rather
+than silently breaking the documentation.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example file as a module without executing ``main()``."""
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert "quickstart.py" in names
+        assert len(names) >= 3
+
+    def test_quickstart(self, capsys):
+        module = load_example("quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "Exact amplitudes" in output
+        assert "Pr[|000>]" in output
+
+    def test_exact_vs_float(self, capsys):
+        module = load_example("exact_vs_float.py")
+        module.drift_table()
+        module.t_gate_period()
+        output = capsys.readouterr().out
+        assert "T^8" in output
+
+    def test_revlib_superposition_classical_path(self, capsys):
+        module = load_example("revlib_superposition.py")
+        module.classical_run()
+        module.real_roundtrip()
+        output = capsys.readouterr().out
+        assert "5 + 9 = 14" in output
+        assert ".real round-trip OK" in output
+
+    def test_equivalence_checking(self, capsys):
+        module = load_example("equivalence_checking.py")
+        module.check("H X H == Z",
+                     module.QuantumCircuit(1).h(0).x(0).h(0),
+                     module.QuantumCircuit(1).z(0))
+        output = capsys.readouterr().out
+        assert "EQUIVALENT" in output

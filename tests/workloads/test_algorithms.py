@@ -1,0 +1,106 @@
+"""Tests for the quantum algorithm workloads (Table V plus extensions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.gates import GateKind
+from repro.core.simulator import BitSliceSimulator
+from repro.workloads.algorithms import (
+    bernstein_vazirani_circuit,
+    ghz_circuit,
+    grover_sat_circuit,
+    hidden_shift_circuit,
+)
+
+
+class TestGhz:
+    def test_gate_count_matches_paper_column(self):
+        # Table V lists #gates == #qubits for the entanglement family.
+        for num_qubits in (1, 5, 80):
+            assert ghz_circuit(num_qubits).num_gates == num_qubits
+
+    def test_state_is_ghz(self):
+        simulator = BitSliceSimulator.simulate(ghz_circuit(4))
+        distribution = simulator.measurement_distribution()
+        assert distribution == {0: pytest.approx(0.5), 0b1111: pytest.approx(0.5)}
+
+    def test_is_clifford(self):
+        assert ghz_circuit(10).is_clifford()
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ghz_circuit(0)
+
+
+class TestBernsteinVazirani:
+    def test_gate_count_matches_paper_column(self):
+        # The paper's 80-qubit row lists 239 gates (79 data qubits, all-ones
+        # hidden string): 79 H + X + H + 79 CX + 79 H = 239.
+        circuit = bernstein_vazirani_circuit(79)
+        assert circuit.num_qubits == 80
+        assert circuit.num_gates == 239
+
+    @pytest.mark.parametrize("hidden", [0, 1, 0b1010, 0b0110, 0b1111])
+    def test_recovers_hidden_string_exactly(self, hidden):
+        num_data = 4
+        circuit = bernstein_vazirani_circuit(num_data, hidden_string=hidden)
+        simulator = BitSliceSimulator.simulate(circuit)
+        bits = [(hidden >> (num_data - 1 - q)) & 1 for q in range(num_data)]
+        assert simulator.probability_of_outcome(list(range(num_data)), bits) == \
+            pytest.approx(1.0, abs=1e-12)
+
+    def test_measured_qubits_are_the_data_register(self):
+        circuit = bernstein_vazirani_circuit(5)
+        assert circuit.measured_qubits == list(range(5))
+
+    def test_oracle_size_matches_hidden_weight(self):
+        circuit = bernstein_vazirani_circuit(6, hidden_string=0b101001)
+        assert circuit.gate_counts()["cx"] == 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit(0)
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit(3, hidden_string=8)
+
+
+class TestHiddenShift:
+    def test_recovers_shift(self):
+        shift = 0b101101
+        circuit = hidden_shift_circuit(6, shift=shift)
+        simulator = BitSliceSimulator.simulate(circuit)
+        bits = [(shift >> (5 - q)) & 1 for q in range(6)]
+        assert simulator.probability_of_outcome(list(range(6)), bits) == \
+            pytest.approx(1.0, abs=1e-12)
+
+    def test_is_clifford(self):
+        assert hidden_shift_circuit(4, shift=0b0110).is_clifford()
+
+    def test_requires_even_width(self):
+        with pytest.raises(ValueError):
+            hidden_shift_circuit(5)
+
+    def test_random_shift_is_deterministic_by_seed(self):
+        assert hidden_shift_circuit(6, seed=3) == hidden_shift_circuit(6, seed=3)
+
+
+class TestGrover:
+    def test_amplifies_marked_state(self):
+        marked = 0b101
+        circuit = grover_sat_circuit(3, marked_state=marked)
+        simulator = BitSliceSimulator.simulate(circuit)
+        distribution = simulator.measurement_distribution()
+        assert max(distribution, key=distribution.get) == marked
+        assert distribution[marked] > 0.8
+
+    def test_uses_only_supported_gates(self):
+        circuit = grover_sat_circuit(4, marked_state=7)
+        kinds = {gate.kind for gate in circuit}
+        assert kinds <= {GateKind.H, GateKind.X, GateKind.CX, GateKind.CCX}
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            grover_sat_circuit(1)
+        with pytest.raises(ValueError):
+            grover_sat_circuit(3, marked_state=8)

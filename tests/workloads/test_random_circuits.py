@@ -1,0 +1,78 @@
+"""Tests for the Table III random circuit generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.gates import GateKind
+from repro.workloads.random_circuits import (
+    DEFAULT_GATE_POOL,
+    generate_random_circuit,
+    random_circuit_suite,
+)
+
+
+class TestGenerator:
+    def test_gate_count_follows_paper_ratio(self):
+        circuit = generate_random_circuit(20, seed=1)
+        # H prologue (20 gates) + 3 * 20 random gates.
+        assert circuit.num_gates == 20 + 60
+
+    def test_h_prologue_present(self):
+        circuit = generate_random_circuit(10, seed=2)
+        for qubit in range(10):
+            gate = circuit[qubit]
+            assert gate.kind is GateKind.H
+            assert gate.targets == (qubit,)
+
+    def test_prologue_can_be_disabled(self):
+        circuit = generate_random_circuit(10, num_gates=5, seed=3, h_prologue=False)
+        assert circuit.num_gates == 5
+
+    def test_default_pool_excludes_rx_ry(self):
+        assert GateKind.RX_PI_2 not in DEFAULT_GATE_POOL
+        assert GateKind.RY_PI_2 not in DEFAULT_GATE_POOL
+        circuit = generate_random_circuit(30, seed=4)
+        used = {gate.kind for gate in circuit}
+        assert GateKind.RX_PI_2 not in used
+        assert GateKind.RY_PI_2 not in used
+
+    def test_deterministic_by_seed(self):
+        assert generate_random_circuit(12, seed=9) == generate_random_circuit(12, seed=9)
+        assert generate_random_circuit(12, seed=9) != generate_random_circuit(12, seed=10)
+
+    def test_restricted_pool(self):
+        circuit = generate_random_circuit(8, seed=5, gate_pool=(GateKind.CX,))
+        body = list(circuit)[8:]
+        assert all(gate.kind is GateKind.CX for gate in body)
+
+    def test_qubits_within_range(self):
+        circuit = generate_random_circuit(15, seed=6)
+        for gate in circuit:
+            assert all(0 <= qubit < 15 for qubit in gate.qubits)
+
+    def test_small_registers_degrade_gracefully(self):
+        circuit = generate_random_circuit(2, seed=7)
+        assert circuit.num_qubits == 2
+        for gate in circuit:
+            assert len(gate.qubits) <= 2
+
+    def test_validity_on_paper_gate_set(self):
+        circuit = generate_random_circuit(10, seed=8)
+        assert circuit.uses_only_paper_gates()
+
+
+class TestSuite:
+    def test_suite_size_and_composition(self):
+        suite = random_circuit_suite([4, 6], circuits_per_size=3)
+        assert len(suite) == 6
+        assert sorted({circuit.num_qubits for circuit in suite}) == [4, 6]
+
+    def test_suite_is_deterministic(self):
+        first = random_circuit_suite([5], circuits_per_size=2, base_seed=7)
+        second = random_circuit_suite([5], circuits_per_size=2, base_seed=7)
+        assert first == second
+
+    def test_suite_uses_distinct_seeds(self):
+        suite = random_circuit_suite([5], circuits_per_size=4)
+        assert len({tuple(circuit.gates) for circuit in suite}) == 4

@@ -1,0 +1,201 @@
+"""Tests for the RevLib-style reversible circuit families (Table IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.statevector import StatevectorSimulator
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import GateKind
+from repro.core.simulator import BitSliceSimulator
+from repro.workloads.revlib import (
+    REVLIB_FAMILIES,
+    alu_circuit,
+    control_unit_circuit,
+    generate_revlib_circuit,
+    h_augment,
+    nested_if_circuit,
+    parity_cascade_circuit,
+    register_file_circuit,
+    revlib_suite,
+    ripple_carry_adder,
+    toffoli_chain_circuit,
+)
+
+
+def run_classically(circuit: QuantumCircuit, input_index: int) -> int:
+    """Run a reversible circuit on a basis state and return the output index."""
+    simulator = BitSliceSimulator.simulate(circuit, initial_state=input_index)
+    distribution = simulator.measurement_distribution()
+    assert len(distribution) == 1
+    return next(iter(distribution))
+
+
+class TestAdder:
+    def test_structure(self):
+        circuit, constants = ripple_carry_adder(4)
+        assert circuit.num_qubits == 10
+        assert circuit.is_reversible_classical()
+        assert constants[0] == "0" and constants[-1] == "0"
+        assert constants.count("-") == 8
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 1), (3, 5), (7, 7), (6, 2)])
+    def test_addition_is_correct(self, a, b):
+        num_bits = 3
+        circuit, _ = ripple_carry_adder(num_bits)
+        # Wire layout: carry-in, a (LSB first), b (LSB first), carry-out.
+        index = 0
+        for bit in range(num_bits):
+            if (a >> bit) & 1:
+                index |= 1 << (circuit.num_qubits - 1 - (1 + bit))
+            if (b >> bit) & 1:
+                index |= 1 << (circuit.num_qubits - 1 - (1 + num_bits + bit))
+        output = run_classically(circuit, index)
+        # Decode the b register and carry-out from the output index.
+        total = 0
+        for bit in range(num_bits):
+            if (output >> (circuit.num_qubits - 1 - (1 + num_bits + bit))) & 1:
+                total |= 1 << bit
+        if (output >> 0) & 1:  # carry-out is the last wire -> LSB of index
+            total |= 1 << num_bits
+        assert total == a + b
+
+    def test_adder_preserves_a_register(self):
+        num_bits = 3
+        circuit, _ = ripple_carry_adder(num_bits)
+        a, b = 5, 3
+        index = 0
+        for bit in range(num_bits):
+            if (a >> bit) & 1:
+                index |= 1 << (circuit.num_qubits - 1 - (1 + bit))
+            if (b >> bit) & 1:
+                index |= 1 << (circuit.num_qubits - 1 - (1 + num_bits + bit))
+        output = run_classically(circuit, index)
+        recovered_a = 0
+        for bit in range(num_bits):
+            if (output >> (circuit.num_qubits - 1 - (1 + bit))) & 1:
+                recovered_a |= 1 << bit
+        assert recovered_a == a
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+
+
+class TestOtherFamilies:
+    def test_alu_structure(self):
+        circuit, constants = alu_circuit(4)
+        assert circuit.num_qubits == 10
+        assert circuit.is_reversible_classical()
+        assert constants == "-" * 10
+
+    def test_control_unit_is_a_decoder(self):
+        circuit, constants = control_unit_circuit(2)
+        assert circuit.num_qubits == 6
+        # For opcode value 2 (binary 10), output line 2 must be asserted.
+        opcode = 0b10
+        index = opcode << 4
+        output = run_classically(circuit, index)
+        outputs = output & 0b1111
+        assert outputs == 0b0010  # output line 2 (counting from line 0 = MSB side)
+
+    def test_control_unit_asserts_exactly_one_line_per_opcode(self):
+        circuit, _ = control_unit_circuit(2)
+        for opcode in range(4):
+            output = run_classically(circuit, opcode << 4)
+            outputs = output & 0b1111
+            assert bin(outputs).count("1") == 1
+
+    def test_register_file_moves_data(self):
+        circuit, constants = register_file_circuit(2, 2)
+        assert circuit.is_reversible_classical()
+        assert circuit.num_qubits == 1 + 2 + 2 * 2
+        assert constants.count("0") == 4
+
+    def test_nested_if(self):
+        circuit, constants = nested_if_circuit(3)
+        assert circuit.num_qubits == 6
+        assert constants == "---000"
+        # With all conditions true, every output line toggles.
+        output = run_classically(circuit, 0b111000)
+        assert output & 0b000111 == 0b000111
+
+    def test_parity_cascade(self):
+        circuit, constants = parity_cascade_circuit(5)
+        assert circuit.num_qubits == 7
+        # Parity of 0b10110 (three ones) is 1.
+        output = run_classically(circuit, 0b10110_00)
+        parity_bit = (output >> 1) & 1
+        assert parity_bit == 1
+
+    def test_toffoli_chain(self):
+        circuit, constants = toffoli_chain_circuit(5)
+        assert circuit.num_qubits == 7
+        assert len(constants) == 7
+        assert circuit.is_reversible_classical()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            alu_circuit(0)
+        with pytest.raises(ValueError):
+            control_unit_circuit(0)
+        with pytest.raises(ValueError):
+            register_file_circuit(1, 2)
+        with pytest.raises(ValueError):
+            nested_if_circuit(0)
+        with pytest.raises(ValueError):
+            parity_cascade_circuit(1)
+        with pytest.raises(ValueError):
+            toffoli_chain_circuit(1)
+
+
+class TestHAugmentation:
+    def test_h_added_on_unspecified_inputs_only(self):
+        circuit, constants = ripple_carry_adder(2)
+        modified = h_augment(circuit, constants)
+        h_targets = [gate.targets[0] for gate in modified if gate.kind is GateKind.H]
+        expected = [index for index, flag in enumerate(constants) if flag == "-"]
+        assert h_targets == expected
+        assert modified.num_gates == circuit.num_gates + len(expected)
+
+    def test_fixed_one_inputs_get_x(self):
+        circuit = QuantumCircuit(3).cx(0, 1)
+        modified = h_augment(circuit, "1-0")
+        kinds = [gate.kind for gate in modified][:2]
+        assert kinds == [GateKind.X, GateKind.H]
+
+    def test_bad_constants_rejected(self):
+        circuit = QuantumCircuit(2).x(0)
+        with pytest.raises(ValueError):
+            h_augment(circuit, "-")
+        with pytest.raises(ValueError):
+            h_augment(circuit, "-z")
+
+    def test_modified_circuit_is_quantum(self):
+        circuit, constants = ripple_carry_adder(2)
+        modified = h_augment(circuit, constants)
+        assert not modified.is_reversible_classical()
+        # The modified circuit still has unit norm and a uniform input
+        # superposition over the unspecified inputs.
+        simulator = BitSliceSimulator.simulate(modified)
+        assert simulator.total_probability() == pytest.approx(1.0, abs=1e-12)
+
+
+class TestSuiteAssembly:
+    def test_all_registered_families_generate(self):
+        for name in REVLIB_FAMILIES:
+            circuit, constants = generate_revlib_circuit(name)
+            assert circuit.num_qubits == len(constants)
+            assert circuit.is_reversible_classical()
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            generate_revlib_circuit("does_not_exist")
+
+    def test_suite_contains_both_variants(self):
+        suite = revlib_suite(["add8", "nested_if6"])
+        assert len(suite) == 2
+        for name, original, modified, constants in suite:
+            assert modified.num_gates > original.num_gates
+            assert original.is_reversible_classical()
+            assert not modified.is_reversible_classical()

@@ -1,0 +1,103 @@
+"""Tests for the GRCS supremacy circuit generator (Table VI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.statevector import StatevectorSimulator
+from repro.circuit.gates import GateKind
+from repro.workloads.supremacy import (
+    TABLE6_LATTICES,
+    _cz_layer,
+    grcs_circuit,
+    supremacy_suite,
+)
+
+
+class TestCzLayers:
+    @pytest.mark.parametrize("pattern", range(8))
+    def test_pairs_are_lattice_neighbours(self, pattern):
+        rows, columns = 4, 5
+        for a, b in _cz_layer(rows, columns, pattern):
+            row_a, col_a = divmod(a, columns)
+            row_b, col_b = divmod(b, columns)
+            assert abs(row_a - row_b) + abs(col_a - col_b) == 1
+
+    @pytest.mark.parametrize("pattern", range(8))
+    def test_pairs_are_disjoint(self, pattern):
+        touched = [qubit for pair in _cz_layer(4, 5, pattern) for qubit in pair]
+        assert len(touched) == len(set(touched))
+
+    def test_all_patterns_together_cover_every_edge_direction(self):
+        horizontal = set()
+        vertical = set()
+        for pattern in range(8):
+            for a, b in _cz_layer(3, 3, pattern):
+                if abs(a - b) == 1:
+                    horizontal.add((a, b))
+                else:
+                    vertical.add((a, b))
+        assert horizontal and vertical
+
+
+class TestGenerator:
+    def test_first_cycle_is_all_hadamards(self):
+        circuit = grcs_circuit(3, 3, depth=4, seed=0)
+        first_layer = list(circuit)[:9]
+        assert all(gate.kind is GateKind.H for gate in first_layer)
+        assert sorted(gate.targets[0] for gate in first_layer) == list(range(9))
+
+    def test_qubit_count_matches_lattice(self):
+        circuit = grcs_circuit(4, 5, depth=3)
+        assert circuit.num_qubits == 20
+
+    def test_only_grcs_gates_used(self):
+        circuit = grcs_circuit(4, 4, depth=6, seed=2)
+        allowed = {GateKind.H, GateKind.CZ, GateKind.T, GateKind.RX_PI_2, GateKind.RY_PI_2}
+        assert {gate.kind for gate in circuit} <= allowed
+
+    def test_first_single_qubit_gate_after_h_is_t(self):
+        circuit = grcs_circuit(4, 4, depth=6, seed=3)
+        first_single = {}
+        for gate in list(circuit)[16:]:
+            if gate.kind in (GateKind.T, GateKind.RX_PI_2, GateKind.RY_PI_2):
+                qubit = gate.targets[0]
+                first_single.setdefault(qubit, gate.kind)
+        assert all(kind is GateKind.T for kind in first_single.values())
+
+    def test_deterministic_by_seed(self):
+        assert grcs_circuit(4, 4, depth=5, seed=7) == grcs_circuit(4, 4, depth=5, seed=7)
+        assert grcs_circuit(4, 4, depth=5, seed=7) != grcs_circuit(4, 4, depth=5, seed=8)
+
+    def test_depth_zero_is_just_the_h_layer(self):
+        circuit = grcs_circuit(2, 3, depth=0)
+        assert circuit.num_gates == 6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            grcs_circuit(0, 3)
+        with pytest.raises(ValueError):
+            grcs_circuit(2, 2, depth=-1)
+
+    def test_state_norm_is_preserved(self):
+        circuit = grcs_circuit(3, 3, depth=4, seed=5)
+        simulator = StatevectorSimulator.simulate(circuit)
+        assert simulator.norm() == pytest.approx(1.0, abs=1e-10)
+
+
+class TestSuite:
+    def test_lattice_table_matches_paper_sizes(self):
+        assert set(TABLE6_LATTICES) == {16, 20, 25, 30, 36, 42, 49, 56, 64, 72, 81, 90}
+        for count, (rows, columns) in TABLE6_LATTICES.items():
+            assert rows * columns == count
+
+    def test_suite_generation(self):
+        suite = supremacy_suite([16, 20], circuits_per_size=2, depth=4)
+        assert len(suite) == 4
+        assert {circuit.num_qubits for circuit in suite} == {16, 20}
+        for circuit in suite:
+            assert circuit.depth() >= 4
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(KeyError):
+            supremacy_suite([17])
