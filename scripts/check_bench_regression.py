@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Gate CI on benchmark regressions against a committed baseline.
+
+Compares a ``pytest-benchmark`` JSON report (``--benchmark-json``) with
+``benchmarks/baseline.json`` and exits non-zero when any tracked metric
+regresses:
+
+* **timing** — a benchmark's best (min) time may not exceed the
+  baseline's by more than ``--threshold`` (default 1.25, i.e. >25 %
+  slowdown fails).  For the multi-round micro benchmarks min measures the
+  memoised hot path; for the single-shot macro benchmarks (Table III
+  sweeps) min *is* the full cache-cold execution, so the end-to-end cold
+  path is gated there.  The micro benchmarks' algorithmic cold path is
+  pinned exactly by the deterministic counters below instead of a timing
+  (max-round timings proved too jittery to gate: one stray GC pause in
+  a microsecond-scale round exceeds any reasonable band);
+* **calibration** — both the baseline and the checking machine time the
+  same self-contained synthetic workload (dict/int churn shaped like BDD
+  node operations, deliberately *not* using the code under test so a
+  substrate regression cannot rescale its own gate), and the ratio
+  rescales the baseline, so a slower CI runner does not produce false
+  regressions;
+* **determinism** — integer ``extra_info`` metrics (node counts, cache
+  miss counts, unique-table probes) must match the baseline exactly; the
+  benchmarks are fixed-seed and these counters only accrue on first-time
+  subproblems, so they are independent of how many timing rounds ran and
+  any drift means the substrate's semantics or memoisation changed.
+
+``*hit_rate`` extras are informational only: the cumulative rate depends on
+pytest-benchmark's machine-speed-adaptive round count, so gating it would
+be nondeterministic across runners.
+
+Refresh the baseline intentionally with the same smoke set CI runs::
+
+    python -m pytest benchmarks/bench_bdd_substrate.py \
+        benchmarks/bench_table3_random.py --benchmark-only \
+        --benchmark-json=bench-run.json -q
+    python scripts/check_bench_regression.py --run bench-run.json --update
+
+and commit the regenerated ``benchmarks/baseline.json`` together with the
+change that legitimately moved the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+
+
+def calibration_seconds(repeats: int = 3) -> float:
+    """Best-of-N timing of a fixed, self-contained synthetic workload.
+
+    The loop mirrors what BDD node operations stress — dict probes and
+    inserts keyed by packed integers, tuple interning, list appends — but
+    deliberately uses none of the repository's code: a regression in the
+    code under test must not be able to rescale its own gate.
+    """
+
+    def once() -> float:
+        rng = random.Random(2021)
+        table = {}
+        unique = {}
+        store = []
+        start = time.perf_counter()
+        for step in range(120_000):
+            a = rng.randrange(1 << 20)
+            b = rng.randrange(1 << 20)
+            key = (a << 30) | b
+            node = table.get(key)
+            if node is None:
+                ukey = (step & 1023, a, b)
+                node = unique.get(ukey)
+                if node is None:
+                    node = len(store)
+                    store.append(key)
+                    unique[ukey] = node
+                table[key] = node
+        return time.perf_counter() - start
+
+    return min(once() for _ in range(repeats))
+
+
+def load_run(path: Path) -> Dict[str, Dict]:
+    """Parse a pytest-benchmark JSON report into name -> metrics."""
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    entries: Dict[str, Dict] = {}
+    for bench in report.get("benchmarks", []):
+        name = bench["name"]
+        entries[name] = {
+            "min_seconds": bench["stats"]["min"],
+            "extra": bench.get("extra_info", {}),
+        }
+    return entries
+
+
+def build_baseline(run: Dict[str, Dict]) -> Dict:
+    return {
+        "_meta": {
+            "description": "Smoke-benchmark baseline for scripts/check_bench_regression.py",
+            "calibration_seconds": calibration_seconds(),
+        },
+        "benchmarks": run,
+    }
+
+
+def check(run: Dict[str, Dict], baseline: Dict,
+          threshold: float) -> Tuple[List[str], List[str]]:
+    """Returns (failures, notes)."""
+    failures: List[str] = []
+    notes: List[str] = []
+    base_cal = baseline.get("_meta", {}).get("calibration_seconds")
+    scale = 1.0
+    if base_cal:
+        local_cal = calibration_seconds()
+        scale = local_cal / base_cal
+        notes.append(f"calibration: baseline {base_cal * 1e3:.4g} ms, "
+                     f"here {local_cal * 1e3:.4g} ms -> machine scale {scale:.2f}x")
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name, base_entry in sorted(base_benchmarks.items()):
+        entry = run.get(name)
+        if entry is None:
+            failures.append(f"{name}: benchmark missing from the run report")
+            continue
+        allowed = base_entry["min_seconds"] * scale * threshold
+        actual = entry["min_seconds"]
+        if actual > allowed:
+            failures.append(
+                f"{name}: min time {actual * 1e3:.4g} ms exceeds allowed "
+                f"{allowed * 1e3:.4g} ms (baseline {base_entry['min_seconds'] * 1e3:.4g} ms "
+                f"x scale {scale:.2f} x threshold {threshold:.2f})")
+        else:
+            notes.append(f"{name}: min time {actual * 1e3:.4g} ms "
+                         f"(allowed {allowed * 1e3:.4g} ms) ok")
+        base_extra = base_entry.get("extra", {})
+        extra = entry.get("extra", {})
+        for key, base_value in sorted(base_extra.items()):
+            if key.endswith("hit_rate"):
+                continue  # informational: depends on the adaptive round count
+            value = extra.get(key)
+            if value is None:
+                failures.append(f"{name}: extra metric {key!r} missing from the run")
+                continue
+            if isinstance(base_value, int) and not isinstance(base_value, bool):
+                if value != base_value:
+                    failures.append(
+                        f"{name}: deterministic metric {key} changed "
+                        f"{base_value} -> {value} (fixed-seed benchmarks must not drift; "
+                        f"re-baseline if the change is intentional)")
+    for name in sorted(set(run) - set(base_benchmarks)):
+        notes.append(f"{name}: not tracked by the baseline (add it with --update)")
+    return failures, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--run", required=True, type=Path,
+                        help="pytest-benchmark JSON report of the smoke run")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"baseline JSON (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--threshold", type=float,
+                        default=float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "1.25")),
+                        help="allowed slowdown factor (default 1.25 = +25%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run instead of checking")
+    args = parser.parse_args(argv)
+
+    try:
+        run = load_run(args.run)
+    except FileNotFoundError:
+        print(f"error: run report {args.run} not found (pass pytest-benchmark's "
+              f"--benchmark-json output)", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: run report {args.run} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if not run:
+        print("error: the run report contains no benchmarks", file=sys.stderr)
+        return 2
+
+    if args.update:
+        baseline = build_baseline(run)
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline rewritten: {args.baseline} ({len(run)} benchmarks)")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found (create it with --update)",
+              file=sys.stderr)
+        return 2
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    failures, notes = check(run, baseline, args.threshold)
+    for note in notes:
+        print(f"  {note}")
+    if failures:
+        print(f"\nBENCHMARK REGRESSION: {len(failures)} tracked metric(s) failed",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbenchmark regression gate passed ({len(baseline.get('benchmarks', {}))} "
+          f"tracked benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

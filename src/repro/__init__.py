@@ -5,6 +5,7 @@ Up Accurate Quantum Circuit Simulation" (Tsai, Jiang, Jhang — DAC 2021; the
 SliQSim simulator), together with every substrate it depends on:
 
 * :mod:`repro.bdd` — a pure-Python ROBDD package (the CUDD substitute),
+* :mod:`repro.perf` — substrate performance counters, spans and JSON reports,
 * :mod:`repro.algebra` — exact algebraic complex amplitudes over
   ``w = exp(i*pi/4)``,
 * :mod:`repro.circuit` — circuit IR plus QASM / RevLib ``.real`` / GRCS

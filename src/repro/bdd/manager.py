@@ -11,13 +11,37 @@ manager separately maintains a variable *order* (``var_to_level`` /
 ``level_to_var``); all operations compare nodes by level so the order can be
 changed (see :mod:`repro.bdd.ordering`) without renaming variables.
 
+Hot-path design (every gate of the bit-sliced simulator funnels through
+here, so the constant factors of this file dominate end-to-end runtime):
+
+* **Per-operation computed tables** indexed by small integer op tags instead
+  of one shared dict keyed on string-tagged tuples.  Binary-operation keys
+  pack both node ids into a single integer, which hashes faster than a tuple.
+* **Commutative canonicalisation**: AND / OR / XOR arguments are ordered
+  ``f <= g`` before the table lookup, halving the effective key space.
+* **ITE standard-triple reduction**: ``ite(f, 1, h)`` routes to OR,
+  ``ite(f, g, 0)`` to AND, ``ite(f, 0, h)`` to ``~f & h`` and
+  ``ite(f, g, 1)`` to ``~f | g``, so ITE-heavy workloads share the binary
+  computed tables instead of fragmenting their memoisation.
+* **Iterative applies**: the core operations run an explicit work stack, not
+  Python recursion, so 30+ qubit supremacy circuits (BDD depth well past the
+  interpreter's recursion limit) cannot crash the simulator.
+* **Size-bounded tables with generation-based invalidation**: each table is
+  flushed when it exceeds ``cache_size_limit`` entries (checked at operation
+  boundaries), and every garbage collection or variable reorder advances a
+  generation counter while swapping in fresh tables, so stale node ids can
+  never be served.
+
 Garbage collection is mark-and-sweep over the roots registered by live
-:class:`repro.bdd.expr.Bdd` handles; freed slots are recycled.
+:class:`repro.bdd.expr.Bdd` handles; freed slots are recycled.  All cache,
+unique-table and GC activity is counted; :meth:`BddManager.perf_stats`
+exposes the counters and :mod:`repro.perf` builds spans / reports on top.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bdd.expr import Bdd
 
@@ -28,14 +52,29 @@ TRUE = 1
 #: Pseudo-level of terminal nodes (below every variable).
 _TERMINAL_LEVEL = 1 << 60
 
-# Operation tags for the computed table.
-_OP_AND = "and"
-_OP_OR = "or"
-_OP_XOR = "xor"
-_OP_ITE = "ite"
-_OP_RESTRICT = "restrict"
-_OP_EXISTS = "exists"
-_OP_COMPOSE = "compose"
+#: Integer operation tags indexing the per-operation computed tables.
+OP_AND = 0
+OP_OR = 1
+OP_XOR = 2
+OP_NOT = 3
+OP_ITE = 4
+OP_RESTRICT = 5
+OP_EXISTS = 6
+OP_COMPOSE = 7
+_NUM_OPS = 8
+
+#: Human-readable op names, index-aligned with the op tags (used for stats).
+OP_NAMES = ("and", "or", "xor", "not", "ite", "restrict", "exists", "compose")
+
+#: Node ids and variable indices are packed into single-integer cache keys.
+#: 30 bits bounds both at ~10**9, far beyond what one process can hold.
+_KEY_BITS = 30
+
+#: Managers with at most this many variables use the recursive fast path
+#: (apply depth is bounded by the number of levels plus a constant, so this
+#: keeps a wide margin below CPython's default 1000-frame recursion limit);
+#: deeper managers switch to the explicit-stack implementations.
+_MAX_RECURSIVE_VARS = 600
 
 
 class BddManager:
@@ -47,21 +86,30 @@ class BddManager:
         Number of variables to create eagerly.  More can be added later with
         :meth:`new_var`.
     auto_gc_threshold:
-        When the node store grows past this many *dead-eligible* nodes the
-        manager runs a garbage collection automatically at the next safe
-        point (entry to a top-level operation).  ``None`` disables automatic
-        collection.
+        When the node store grows past this many live nodes the manager runs
+        a garbage collection automatically at the next safe point (entry to a
+        top-level operation).  ``None`` disables automatic collection.
+    cache_size_limit:
+        Maximum number of entries per per-operation computed table.  A table
+        exceeding the limit is flushed at the next operation boundary (an
+        eviction, counted in :meth:`perf_stats`).  ``None`` disables the
+        bound.
     """
 
-    def __init__(self, num_vars: int = 0, auto_gc_threshold: Optional[int] = 1_000_000):
+    def __init__(self, num_vars: int = 0, auto_gc_threshold: Optional[int] = 1_000_000,
+                 cache_size_limit: Optional[int] = 2_000_000):
         # Parallel arrays describing nodes.  Slots 0 and 1 are the terminals.
         self._var: List[int] = [-1, -1]
         self._low: List[int] = [-1, -1]
         self._high: List[int] = [-1, -1]
         # Unique table: (var, low, high) -> node id.
         self._unique: Dict[Tuple[int, int, int], int] = {}
-        # Computed table: (op, ...operands) -> node id.
-        self._cache: Dict[Tuple, int] = {}
+        # Per-operation computed tables, indexed by op tag.
+        self._tables: List[Dict] = [dict() for _ in range(_NUM_OPS)]
+        # Memoised single-root DAG sizes (root id -> node count); follows the
+        # computed tables' generation-based invalidation because node ids can
+        # be recycled by garbage collection.
+        self._size_cache: Dict[int, int] = {}
         # Free slots available for reuse after garbage collection.
         self._free: List[int] = []
         # Variable order bookkeeping.
@@ -70,7 +118,18 @@ class BddManager:
         # Live external references: node id -> reference count.
         self._external_refs: Dict[int, int] = {}
         self._auto_gc_threshold = auto_gc_threshold
+        self._cache_size_limit = cache_size_limit
         self._gc_count = 0
+        # Performance counters (see perf_stats).
+        self._op_hits: List[int] = [0] * _NUM_OPS
+        self._op_misses: List[int] = [0] * _NUM_OPS
+        self._unique_probes = 0
+        self._unique_inserts = 0
+        self._cache_evictions = 0
+        self._cache_generation = 0
+        self._gc_pause_seconds = 0.0
+        self._gc_freed_nodes = 0
+        self._peak_live_nodes = 2
         for _ in range(num_vars):
             self.new_var()
 
@@ -144,10 +203,18 @@ class BddManager:
     # ------------------------------------------------------------------ #
     def _mk(self, var: int, low: int, high: int) -> int:
         """Find-or-create the node ``(var, low, high)`` applying the
-        reduction rule ``low == high``."""
+        reduction rule ``low == high``.
+
+        Single-shot form for call sites that intern one node at a time
+        (variable creation, reorder's rebuild).  Per-node hot loops use
+        :meth:`_interner` instead, whose ``make`` closure implements the
+        identical invariants with zero attribute lookups; change the
+        interning rule in BOTH places or not at all.
+        """
         if low == high:
             return low
         key = (var, low, high)
+        self._unique_probes += 1
         node = self._unique.get(key)
         if node is not None:
             return node
@@ -162,6 +229,7 @@ class BddManager:
             self._low.append(low)
             self._high.append(high)
         self._unique[key] = node
+        self._unique_inserts += 1
         return node
 
     def _wrap(self, node: int) -> Bdd:
@@ -204,159 +272,765 @@ class BddManager:
         return len(self._var) - len(self._free)
 
     # ------------------------------------------------------------------ #
+    # operation boundary bookkeeping
+    # ------------------------------------------------------------------ #
+    def _after_operation(self, op: int, table: Dict) -> None:
+        """Bound the table size and refresh the live-node peak.  Called once
+        per top-level operation, so the per-node-visit cost stays zero."""
+        limit = self._cache_size_limit
+        if limit is not None and len(table) > limit:
+            table.clear()
+            self._cache_evictions += 1
+        live = len(self._var) - len(self._free)
+        if live > self._peak_live_nodes:
+            self._peak_live_nodes = live
+
+    # ------------------------------------------------------------------ #
     # core operations
     # ------------------------------------------------------------------ #
+    def _recursion_safe(self) -> bool:
+        """True when apply depth (bounded by the level count) comfortably
+        fits the interpreter's recursion limit."""
+        return len(self._level_to_var) <= _MAX_RECURSIVE_VARS
+
+    def _interner(self):
+        """Find-or-create bound to the current node stores.
+
+        Returns ``(make, counts)``: ``make(var, low, high)`` interns a node
+        (applying the ``low == high`` reduction) touching only closure
+        locals, and ``counts`` is a ``[probes, inserts]`` list the caller
+        folds into the perf counters when its operation completes.  Shared
+        by the recursive and iterative operation twins; :meth:`_mk` is the
+        single-shot sibling — keep the two in lockstep.
+        """
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        unique = self._unique
+        unique_get = unique.get
+        free = self._free
+        counts = [0, 0]
+
+        def make(var: int, low: int, high: int) -> int:
+            if low == high:
+                return low
+            ukey = (var, low, high)
+            counts[0] += 1
+            node = unique_get(ukey)
+            if node is None:
+                counts[1] += 1
+                if free:
+                    node = free.pop()
+                    var_arr[node] = var
+                    low_arr[node] = low
+                    high_arr[node] = high
+                else:
+                    node = len(var_arr)
+                    var_arr.append(var)
+                    low_arr.append(low)
+                    high_arr.append(high)
+                unique[ukey] = node
+            return node
+
+        return make, counts
+
+    def _apply_binary_rec(self, op: int, f: int, g: int, table: Dict) -> int:
+        """Recursive apply for the commutative binary connectives.
+
+        Everything the inner loop touches is bound to closure cells once per
+        top-level call, so per-node work is dict probes and list indexing
+        with no attribute lookups.  Only used when :meth:`_recursion_safe`;
+        the explicit-stack twin below handles deep managers.
+        """
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        v2l = self._var_to_level
+        table_get = table.get
+        apply_not = self.apply_not
+        make, ucounts = self._interner()
+        hits = 0
+        misses = 0
+
+        if op == OP_AND:
+            def rec(a: int, b: int) -> int:
+                nonlocal hits, misses
+                if a == 0 or b == 0:
+                    return 0
+                if a == 1:
+                    return b
+                if b == 1 or a == b:
+                    return a
+                if a > b:
+                    a, b = b, a
+                key = (a << _KEY_BITS) | b
+                node = table_get(key)
+                if node is not None:
+                    hits += 1
+                    return node
+                misses += 1
+                avar = var_arr[a]
+                bvar = var_arr[b]
+                alev = v2l[avar]
+                blev = v2l[bvar]
+                if alev == blev:
+                    node = make(avar, rec(low_arr[a], low_arr[b]),
+                                rec(high_arr[a], high_arr[b]))
+                elif alev < blev:
+                    node = make(avar, rec(low_arr[a], b), rec(high_arr[a], b))
+                else:
+                    node = make(bvar, rec(a, low_arr[b]), rec(a, high_arr[b]))
+                table[key] = node
+                return node
+        elif op == OP_OR:
+            def rec(a: int, b: int) -> int:
+                nonlocal hits, misses
+                if a == 1 or b == 1:
+                    return 1
+                if a == 0:
+                    return b
+                if b == 0 or a == b:
+                    return a
+                if a > b:
+                    a, b = b, a
+                key = (a << _KEY_BITS) | b
+                node = table_get(key)
+                if node is not None:
+                    hits += 1
+                    return node
+                misses += 1
+                avar = var_arr[a]
+                bvar = var_arr[b]
+                alev = v2l[avar]
+                blev = v2l[bvar]
+                if alev == blev:
+                    node = make(avar, rec(low_arr[a], low_arr[b]),
+                                rec(high_arr[a], high_arr[b]))
+                elif alev < blev:
+                    node = make(avar, rec(low_arr[a], b), rec(high_arr[a], b))
+                else:
+                    node = make(bvar, rec(a, low_arr[b]), rec(a, high_arr[b]))
+                table[key] = node
+                return node
+        else:  # OP_XOR
+            def rec(a: int, b: int) -> int:
+                nonlocal hits, misses
+                if a == b:
+                    return 0
+                if a == 0:
+                    return b
+                if b == 0:
+                    return a
+                if a == 1:
+                    return apply_not(b)
+                if b == 1:
+                    return apply_not(a)
+                if a > b:
+                    a, b = b, a
+                key = (a << _KEY_BITS) | b
+                node = table_get(key)
+                if node is not None:
+                    hits += 1
+                    return node
+                misses += 1
+                avar = var_arr[a]
+                bvar = var_arr[b]
+                alev = v2l[avar]
+                blev = v2l[bvar]
+                if alev == blev:
+                    node = make(avar, rec(low_arr[a], low_arr[b]),
+                                rec(high_arr[a], high_arr[b]))
+                elif alev < blev:
+                    node = make(avar, rec(low_arr[a], b), rec(high_arr[a], b))
+                else:
+                    node = make(bvar, rec(a, low_arr[b]), rec(a, high_arr[b]))
+                table[key] = node
+                return node
+
+        result = rec(f, g)
+        self._op_hits[op] += hits
+        self._op_misses[op] += misses
+        self._unique_probes += ucounts[0]
+        self._unique_inserts += ucounts[1]
+        self._after_operation(op, table)
+        return result
+
+    def _apply_binary(self, op: int, f: int, g: int) -> int:
+        """Iterative apply for the commutative binary connectives.
+
+        Runs an explicit work stack of visit/build tasks instead of Python
+        recursion: a *visit* task resolves terminal rules and the computed
+        table, or expands cofactors; a *build* task pops the two child
+        results, interns the node and memoises it under the packed key.
+        Used for managers too deep for :meth:`_apply_binary_rec`.
+        """
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        v2l = self._var_to_level
+        table = self._tables[op]
+        table_get = table.get
+        make, ucounts = self._interner()
+        hits = 0
+        misses = 0
+        tasks: List[Tuple[int, int, int]] = [(0, f, g)]
+        push = tasks.append
+        pop = tasks.pop
+        results: List[int] = []
+        rpush = results.append
+        rpop = results.pop
+        while tasks:
+            kind, a, b = pop()
+            if kind:
+                # Build: a = branching variable, b = computed-table key.
+                high = rpop()
+                low = rpop()
+                node = make(a, low, high)
+                table[b] = node
+                rpush(node)
+                continue
+            # Visit: a, b are operand node ids.  Terminal rules first.
+            if op == OP_AND:
+                if a == 0 or b == 0:
+                    rpush(0)
+                    continue
+                if a == 1:
+                    rpush(b)
+                    continue
+                if b == 1 or a == b:
+                    rpush(a)
+                    continue
+            elif op == OP_OR:
+                if a == 1 or b == 1:
+                    rpush(1)
+                    continue
+                if a == 0:
+                    rpush(b)
+                    continue
+                if b == 0 or a == b:
+                    rpush(a)
+                    continue
+            else:  # OP_XOR
+                if a == b:
+                    rpush(0)
+                    continue
+                if a == 0:
+                    rpush(b)
+                    continue
+                if b == 0:
+                    rpush(a)
+                    continue
+                if a == 1:
+                    rpush(self.apply_not(b))
+                    continue
+                if b == 1:
+                    rpush(self.apply_not(a))
+                    continue
+            if a > b:
+                a, b = b, a
+            key = (a << _KEY_BITS) | b
+            node = table_get(key)
+            if node is not None:
+                hits += 1
+                rpush(node)
+                continue
+            misses += 1
+            avar = var_arr[a]
+            bvar = var_arr[b]
+            alev = v2l[avar]
+            blev = v2l[bvar]
+            if alev == blev:
+                push((1, avar, key))
+                push((0, high_arr[a], high_arr[b]))
+                push((0, low_arr[a], low_arr[b]))
+            elif alev < blev:
+                push((1, avar, key))
+                push((0, high_arr[a], b))
+                push((0, low_arr[a], b))
+            else:
+                push((1, bvar, key))
+                push((0, a, high_arr[b]))
+                push((0, a, low_arr[b]))
+        self._op_hits[op] += hits
+        self._op_misses[op] += misses
+        self._unique_probes += ucounts[0]
+        self._unique_inserts += ucounts[1]
+        self._after_operation(op, table)
+        return results[0]
+
     def apply_and(self, f: int, g: int) -> int:
         """Conjunction of two node ids."""
-        if f == FALSE or g == FALSE:
-            return FALSE
-        if f == TRUE:
+        if f == 0 or g == 0:
+            return 0
+        if f == 1:
             return g
-        if g == TRUE:
-            return f
-        if f == g:
+        if g == 1 or f == g:
             return f
         if f > g:
             f, g = g, f
-        key = (_OP_AND, f, g)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        fv, gv = self._node_level(f), self._node_level(g)
-        top = min(fv, gv)
-        f0, f1 = (self._low[f], self._high[f]) if fv == top else (f, f)
-        g0, g1 = (self._low[g], self._high[g]) if gv == top else (g, g)
-        result = self._mk(self._level_to_var[top],
-                          self.apply_and(f0, g0),
-                          self.apply_and(f1, g1))
-        self._cache[key] = result
-        return result
+        table = self._tables[OP_AND]
+        node = table.get((f << _KEY_BITS) | g)
+        if node is not None:
+            self._op_hits[OP_AND] += 1
+            return node
+        if self._recursion_safe():
+            return self._apply_binary_rec(OP_AND, f, g, table)
+        return self._apply_binary(OP_AND, f, g)
 
     def apply_or(self, f: int, g: int) -> int:
         """Disjunction of two node ids."""
-        if f == TRUE or g == TRUE:
-            return TRUE
-        if f == FALSE:
+        if f == 1 or g == 1:
+            return 1
+        if f == 0:
             return g
-        if g == FALSE:
-            return f
-        if f == g:
+        if g == 0 or f == g:
             return f
         if f > g:
             f, g = g, f
-        key = (_OP_OR, f, g)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        fv, gv = self._node_level(f), self._node_level(g)
-        top = min(fv, gv)
-        f0, f1 = (self._low[f], self._high[f]) if fv == top else (f, f)
-        g0, g1 = (self._low[g], self._high[g]) if gv == top else (g, g)
-        result = self._mk(self._level_to_var[top],
-                          self.apply_or(f0, g0),
-                          self.apply_or(f1, g1))
-        self._cache[key] = result
-        return result
+        table = self._tables[OP_OR]
+        node = table.get((f << _KEY_BITS) | g)
+        if node is not None:
+            self._op_hits[OP_OR] += 1
+            return node
+        if self._recursion_safe():
+            return self._apply_binary_rec(OP_OR, f, g, table)
+        return self._apply_binary(OP_OR, f, g)
 
     def apply_xor(self, f: int, g: int) -> int:
         """Exclusive-or of two node ids."""
         if f == g:
-            return FALSE
-        if f == FALSE:
+            return 0
+        if f == 0:
             return g
-        if g == FALSE:
+        if g == 0:
             return f
-        if f == TRUE:
+        if f == 1:
             return self.apply_not(g)
-        if g == TRUE:
+        if g == 1:
             return self.apply_not(f)
         if f > g:
             f, g = g, f
-        key = (_OP_XOR, f, g)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        fv, gv = self._node_level(f), self._node_level(g)
-        top = min(fv, gv)
-        f0, f1 = (self._low[f], self._high[f]) if fv == top else (f, f)
-        g0, g1 = (self._low[g], self._high[g]) if gv == top else (g, g)
-        result = self._mk(self._level_to_var[top],
-                          self.apply_xor(f0, g0),
-                          self.apply_xor(f1, g1))
-        self._cache[key] = result
-        return result
+        table = self._tables[OP_XOR]
+        node = table.get((f << _KEY_BITS) | g)
+        if node is not None:
+            self._op_hits[OP_XOR] += 1
+            return node
+        if self._recursion_safe():
+            return self._apply_binary_rec(OP_XOR, f, g, table)
+        return self._apply_binary(OP_XOR, f, g)
 
     def apply_not(self, f: int) -> int:
         """Negation of a node id."""
-        if f == FALSE:
-            return TRUE
-        if f == TRUE:
-            return FALSE
-        key = ("not", f)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        result = self._mk(self._var[f],
-                          self.apply_not(self._low[f]),
-                          self.apply_not(self._high[f]))
-        self._cache[key] = result
+        if f < 2:
+            return f ^ 1
+        table = self._tables[OP_NOT]
+        node = table.get(f)
+        if node is not None:
+            self._op_hits[OP_NOT] += 1
+            return node
+        if self._recursion_safe():
+            return self._apply_not_rec(f, table)
+        return self._apply_not_iter(f, table)
+
+    def _apply_not_rec(self, f: int, table: Dict) -> int:
+        """Recursive negation twin of :meth:`_apply_not_iter`."""
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        table_get = table.get
+        make, ucounts = self._interner()
+        hits = 0
+        misses = 0
+
+        def rec(a: int) -> int:
+            nonlocal hits, misses
+            if a < 2:
+                return a ^ 1
+            node = table_get(a)
+            if node is not None:
+                hits += 1
+                return node
+            misses += 1
+            node = make(var_arr[a], rec(low_arr[a]), rec(high_arr[a]))
+            table[a] = node
+            return node
+
+        result = rec(f)
+        self._op_hits[OP_NOT] += hits
+        self._op_misses[OP_NOT] += misses
+        self._unique_probes += ucounts[0]
+        self._unique_inserts += ucounts[1]
+        self._after_operation(OP_NOT, table)
         return result
+
+    def _apply_not_iter(self, f: int, table: Dict) -> int:
+        """Negation on an explicit work stack (deep managers)."""
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        table_get = table.get
+        make, ucounts = self._interner()
+        hits = 0
+        misses = 0
+        tasks: List[Tuple[int, int]] = [(0, f)]
+        push = tasks.append
+        pop = tasks.pop
+        results: List[int] = []
+        rpush = results.append
+        rpop = results.pop
+        while tasks:
+            kind, a = pop()
+            if kind:
+                # Build: a is the original node whose negation completes.
+                high = rpop()
+                low = rpop()
+                node = make(var_arr[a], low, high)
+                table[a] = node
+                rpush(node)
+                continue
+            if a < 2:
+                rpush(a ^ 1)
+                continue
+            node = table_get(a)
+            if node is not None:
+                hits += 1
+                rpush(node)
+                continue
+            misses += 1
+            push((1, a))
+            push((0, high_arr[a]))
+            push((0, low_arr[a]))
+        self._op_hits[OP_NOT] += hits
+        self._op_misses[OP_NOT] += misses
+        self._unique_probes += ucounts[0]
+        self._unique_inserts += ucounts[1]
+        self._after_operation(OP_NOT, table)
+        return results[0]
 
     def apply_ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``(f and g) or (not f and h)``."""
-        if f == TRUE:
+        """If-then-else: ``(f and g) or (not f and h)``.
+
+        Applies the Brace–Rudell–Bryant standard-triple reductions first,
+        routing the degenerate shapes into the shared AND / OR tables; the
+        residual three-operand cases recurse (or run an explicit stack on
+        deep managers) under the ITE computed table.
+        """
+        if f == 1:
             return g
-        if f == FALSE:
+        if f == 0:
             return h
+        if g == f:
+            g = 1
+        if h == f:
+            h = 0
         if g == h:
             return g
-        if g == TRUE and h == FALSE:
-            return f
-        if g == FALSE and h == TRUE:
-            return self.apply_not(f)
-        key = (_OP_ITE, f, g, h)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        levels = (self._node_level(f), self._node_level(g), self._node_level(h))
-        top = min(levels)
-        var = self._level_to_var[top]
+        if g == 1:
+            if h == 0:
+                return f
+            return self.apply_or(f, h)
+        if h == 0:
+            return self.apply_and(f, g)
+        if g == 0:
+            return self.apply_and(self.apply_not(f), h)
+        if h == 1:
+            return self.apply_or(self.apply_not(f), g)
+        table = self._tables[OP_ITE]
+        key = (((f << _KEY_BITS) | g) << _KEY_BITS) | h
+        node = table.get(key)
+        if node is not None:
+            self._op_hits[OP_ITE] += 1
+            return node
+        if self._recursion_safe():
+            return self._apply_ite_rec(f, g, h, table)
+        return self._apply_ite_iter(f, g, h, table)
 
-        def cofs(node: int, level: int) -> Tuple[int, int]:
-            if level == top:
-                return self._low[node], self._high[node]
-            return node, node
+    def _apply_ite_rec(self, f: int, g: int, h: int, table: Dict) -> int:
+        """Recursive ITE twin of :meth:`_apply_ite_iter`."""
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        v2l = self._var_to_level
+        l2v = self._level_to_var
+        table_get = table.get
+        apply_and = self.apply_and
+        apply_or = self.apply_or
+        apply_not = self.apply_not
+        make, ucounts = self._interner()
+        hits = 0
+        misses = 0
 
-        f0, f1 = cofs(f, levels[0])
-        g0, g1 = cofs(g, levels[1])
-        h0, h1 = cofs(h, levels[2])
-        result = self._mk(var,
-                          self.apply_ite(f0, g0, h0),
-                          self.apply_ite(f1, g1, h1))
-        self._cache[key] = result
+        def rec(a: int, b: int, c: int) -> int:
+            nonlocal hits, misses
+            if a == 1:
+                return b
+            if a == 0:
+                return c
+            if b == a:
+                b = 1
+            if c == a:
+                c = 0
+            if b == c:
+                return b
+            if b == 1:
+                if c == 0:
+                    return a
+                return apply_or(a, c)
+            if c == 0:
+                return apply_and(a, b)
+            if b == 0:
+                return apply_and(apply_not(a), c)
+            if c == 1:
+                return apply_or(apply_not(a), b)
+            key = (((a << _KEY_BITS) | b) << _KEY_BITS) | c
+            node = table_get(key)
+            if node is not None:
+                hits += 1
+                return node
+            misses += 1
+            alev = v2l[var_arr[a]]
+            blev = v2l[var_arr[b]]
+            clev = v2l[var_arr[c]]
+            top = alev
+            if blev < top:
+                top = blev
+            if clev < top:
+                top = clev
+            if alev == top:
+                a0, a1 = low_arr[a], high_arr[a]
+            else:
+                a0 = a1 = a
+            if blev == top:
+                b0, b1 = low_arr[b], high_arr[b]
+            else:
+                b0 = b1 = b
+            if clev == top:
+                c0, c1 = low_arr[c], high_arr[c]
+            else:
+                c0 = c1 = c
+            node = make(l2v[top], rec(a0, b0, c0), rec(a1, b1, c1))
+            table[key] = node
+            return node
+
+        result = rec(f, g, h)
+        self._op_hits[OP_ITE] += hits
+        self._op_misses[OP_ITE] += misses
+        self._unique_probes += ucounts[0]
+        self._unique_inserts += ucounts[1]
+        self._after_operation(OP_ITE, table)
         return result
+
+    def _apply_ite_iter(self, f: int, g: int, h: int, table: Dict) -> int:
+        """ITE on an explicit work stack (deep managers)."""
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        v2l = self._var_to_level
+        l2v = self._level_to_var
+        table_get = table.get
+        make, ucounts = self._interner()
+        hits = 0
+        misses = 0
+        tasks: List[Tuple[int, int, int, int]] = [(0, f, g, h)]
+        push = tasks.append
+        pop = tasks.pop
+        results: List[int] = []
+        rpush = results.append
+        rpop = results.pop
+        while tasks:
+            kind, a, b, c = pop()
+            if kind:
+                # Build: a = branching variable, b = computed-table key.
+                high = rpop()
+                low = rpop()
+                node = make(a, low, high)
+                table[b] = node
+                rpush(node)
+                continue
+            # Visit: a = condition, b = then, c = else.
+            if a == 1:
+                rpush(b)
+                continue
+            if a == 0:
+                rpush(c)
+                continue
+            # Standard triples: equal-argument substitution...
+            if b == a:
+                b = 1
+            if c == a:
+                c = 0
+            if b == c:
+                rpush(b)
+                continue
+            # ...then delegation of the degenerate shapes to the binary ops.
+            if b == 1:
+                if c == 0:
+                    rpush(a)
+                else:
+                    rpush(self.apply_or(a, c))
+                continue
+            if c == 0:
+                rpush(self.apply_and(a, b))
+                continue
+            if b == 0:
+                rpush(self.apply_and(self.apply_not(a), c))
+                continue
+            if c == 1:
+                rpush(self.apply_or(self.apply_not(a), b))
+                continue
+            key = (((a << _KEY_BITS) | b) << _KEY_BITS) | c
+            node = table_get(key)
+            if node is not None:
+                hits += 1
+                rpush(node)
+                continue
+            misses += 1
+            alev = v2l[var_arr[a]]
+            blev = v2l[var_arr[b]]
+            clev = v2l[var_arr[c]]
+            top = alev
+            if blev < top:
+                top = blev
+            if clev < top:
+                top = clev
+            var = l2v[top]
+            if alev == top:
+                a0, a1 = low_arr[a], high_arr[a]
+            else:
+                a0 = a1 = a
+            if blev == top:
+                b0, b1 = low_arr[b], high_arr[b]
+            else:
+                b0 = b1 = b
+            if clev == top:
+                c0, c1 = low_arr[c], high_arr[c]
+            else:
+                c0 = c1 = c
+            push((1, var, key, 0))
+            push((0, a1, b1, c1))
+            push((0, a0, b0, c0))
+        self._op_hits[OP_ITE] += hits
+        self._op_misses[OP_ITE] += misses
+        self._unique_probes += ucounts[0]
+        self._unique_inserts += ucounts[1]
+        self._after_operation(OP_ITE, table)
+        return results[0]
 
     def apply_restrict(self, f: int, var: int, value: bool) -> int:
         """Cofactor ``f`` with respect to literal ``var = value``."""
-        target_level = self._var_to_level[var]
-        return self._restrict_rec(f, var, target_level, bool(value))
-
-    def _restrict_rec(self, f: int, var: int, target_level: int, value: bool) -> int:
-        level = self._node_level(f)
-        if level > target_level:
-            # Variable does not appear in f (below or terminal).
+        value = bool(value)
+        if f < 2:
             return f
-        if level == target_level and self._var[f] == var:
-            return self._high[f] if value else self._low[f]
-        key = (_OP_RESTRICT, f, var, value)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        result = self._mk(self._var[f],
-                          self._restrict_rec(self._low[f], var, target_level, value),
-                          self._restrict_rec(self._high[f], var, target_level, value))
-        self._cache[key] = result
+        table = self._tables[OP_RESTRICT]
+        value_bit = 1 if value else 0
+        node = table.get((f << (_KEY_BITS + 1)) | (var << 1) | value_bit)
+        if node is not None:
+            self._op_hits[OP_RESTRICT] += 1
+            return node
+        if self._recursion_safe():
+            return self._apply_restrict_rec(f, var, value, table)
+        return self._apply_restrict_iter(f, var, value, table)
+
+    def _apply_restrict_rec(self, f: int, var: int, value: bool, table: Dict) -> int:
+        """Recursive cofactor twin of :meth:`_apply_restrict_iter`."""
+        target_level = self._var_to_level[var]
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        v2l = self._var_to_level
+        table_get = table.get
+        make, ucounts = self._interner()
+        value_bit = 1 if value else 0
+        key_shift = _KEY_BITS + 1
+        key_tail = (var << 1) | value_bit
+        hits = 0
+        misses = 0
+
+        def rec(a: int) -> int:
+            nonlocal hits, misses
+            if a < 2:
+                return a
+            level = v2l[var_arr[a]]
+            if level > target_level:
+                # Variable does not appear in this subgraph.
+                return a
+            if level == target_level:
+                # Levels identify variables uniquely, so this is the target.
+                return high_arr[a] if value else low_arr[a]
+            key = (a << key_shift) | key_tail
+            node = table_get(key)
+            if node is not None:
+                hits += 1
+                return node
+            misses += 1
+            node = make(var_arr[a], rec(low_arr[a]), rec(high_arr[a]))
+            table[key] = node
+            return node
+
+        result = rec(f)
+        self._op_hits[OP_RESTRICT] += hits
+        self._op_misses[OP_RESTRICT] += misses
+        self._unique_probes += ucounts[0]
+        self._unique_inserts += ucounts[1]
+        self._after_operation(OP_RESTRICT, table)
         return result
+
+    def _apply_restrict_iter(self, f: int, var: int, value: bool, table: Dict) -> int:
+        """Cofactor on an explicit work stack (deep managers)."""
+        target_level = self._var_to_level[var]
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        v2l = self._var_to_level
+        table_get = table.get
+        make, ucounts = self._interner()
+        value_bit = 1 if value else 0
+        hits = 0
+        misses = 0
+        tasks: List[Tuple[int, int]] = [(0, f)]
+        push = tasks.append
+        pop = tasks.pop
+        results: List[int] = []
+        rpush = results.append
+        rpop = results.pop
+        while tasks:
+            kind, a = pop()
+            if kind:
+                # Build: a is the original node being rebuilt.
+                high = rpop()
+                low = rpop()
+                node = make(var_arr[a], low, high)
+                table[(a << (_KEY_BITS + 1)) | (var << 1) | value_bit] = node
+                rpush(node)
+                continue
+            if a < 2:
+                rpush(a)
+                continue
+            level = v2l[var_arr[a]]
+            if level > target_level:
+                # Variable does not appear in this subgraph.
+                rpush(a)
+                continue
+            if level == target_level:
+                # Levels identify variables uniquely, so this is the target.
+                rpush(high_arr[a] if value else low_arr[a])
+                continue
+            key = (a << (_KEY_BITS + 1)) | (var << 1) | value_bit
+            node = table_get(key)
+            if node is not None:
+                hits += 1
+                rpush(node)
+                continue
+            misses += 1
+            push((1, a))
+            push((0, high_arr[a]))
+            push((0, low_arr[a]))
+        self._op_hits[OP_RESTRICT] += hits
+        self._op_misses[OP_RESTRICT] += misses
+        self._unique_probes += ucounts[0]
+        self._unique_inserts += ucounts[1]
+        self._after_operation(OP_RESTRICT, table)
+        return results[0]
 
     def apply_restrict_cube(self, f: int, assignments: Sequence[Tuple[int, bool]]) -> int:
         """Cofactor with respect to a cube given as ``(var, value)`` pairs."""
@@ -370,45 +1044,111 @@ class BddManager:
         if not variables:
             return f
         var_set = frozenset(variables)
-        return self._exists_rec(f, var_set)
-
-    def _exists_rec(self, f: int, var_set: frozenset) -> int:
-        if self.is_terminal(f):
-            return f
-        key = (_OP_EXISTS, f, var_set)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        var = self._var[f]
-        low = self._exists_rec(self._low[f], var_set)
-        high = self._exists_rec(self._high[f], var_set)
-        if var in var_set:
-            result = self.apply_or(low, high)
-        else:
-            result = self._mk(var, low, high)
-        self._cache[key] = result
-        return result
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        table = self._tables[OP_EXISTS]
+        table_get = table.get
+        make, ucounts = self._interner()
+        hits = 0
+        misses = 0
+        tasks: List[Tuple[int, int]] = [(0, f)]
+        push = tasks.append
+        pop = tasks.pop
+        results: List[int] = []
+        rpush = results.append
+        rpop = results.pop
+        while tasks:
+            kind, a = pop()
+            if kind:
+                high = rpop()
+                low = rpop()
+                var = var_arr[a]
+                if var in var_set:
+                    node = self.apply_or(low, high)
+                else:
+                    node = make(var, low, high)
+                table[(a, var_set)] = node
+                rpush(node)
+                continue
+            if a < 2:
+                rpush(a)
+                continue
+            node = table_get((a, var_set))
+            if node is not None:
+                hits += 1
+                rpush(node)
+                continue
+            misses += 1
+            push((1, a))
+            push((0, high_arr[a]))
+            push((0, low_arr[a]))
+        self._op_hits[OP_EXISTS] += hits
+        self._op_misses[OP_EXISTS] += misses
+        self._unique_probes += ucounts[0]
+        self._unique_inserts += ucounts[1]
+        self._after_operation(OP_EXISTS, table)
+        return results[0]
 
     def apply_compose(self, f: int, var: int, g: int) -> int:
-        """Substitute function ``g`` for variable ``var`` inside ``f``."""
-        key = (_OP_COMPOSE, f, var, g)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        if self.is_terminal(f):
-            return f
-        fvar = self._var[f]
-        if fvar == var:
-            result = self.apply_ite(g, self._high[f], self._low[f])
-        elif self._var_to_level[fvar] > self._var_to_level[var]:
-            # var cannot appear below this point.
-            result = f
-        else:
-            low = self.apply_compose(self._low[f], var, g)
-            high = self.apply_compose(self._high[f], var, g)
-            result = self.apply_ite(self._mk(fvar, FALSE, TRUE), high, low)
-        self._cache[key] = result
-        return result
+        """Substitute function ``g`` for variable ``var`` inside ``f``.
+
+        Iterative (explicit work stack) like the other operations: the walk
+        over ``f`` allocates no Python stack frames, and the per-node ITE
+        recombination dispatches through :meth:`apply_ite`, which picks its
+        own deep-manager-safe implementation.
+        """
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        v2l = self._var_to_level
+        target_level = v2l[var]
+        table = self._tables[OP_COMPOSE]
+        table_get = table.get
+        make, ucounts = self._interner()
+        hits = 0
+        misses = 0
+        tasks: List[Tuple[int, int]] = [(0, f)]
+        push = tasks.append
+        pop = tasks.pop
+        results: List[int] = []
+        rpush = results.append
+        rpop = results.pop
+        while tasks:
+            kind, a = pop()
+            if kind:
+                high = rpop()
+                low = rpop()
+                node = self.apply_ite(make(var_arr[a], FALSE, TRUE), high, low)
+                table[(a, var, g)] = node
+                rpush(node)
+                continue
+            if a < 2:
+                rpush(a)
+                continue
+            avar = var_arr[a]
+            if avar == var:
+                rpush(self.apply_ite(g, high_arr[a], low_arr[a]))
+                continue
+            if v2l[avar] > target_level:
+                # var cannot appear below this point.
+                rpush(a)
+                continue
+            node = table_get((a, var, g))
+            if node is not None:
+                hits += 1
+                rpush(node)
+                continue
+            misses += 1
+            push((1, a))
+            push((0, high_arr[a]))
+            push((0, low_arr[a]))
+        self._op_hits[OP_COMPOSE] += hits
+        self._op_misses[OP_COMPOSE] += misses
+        self._unique_probes += ucounts[0]
+        self._unique_inserts += ucounts[1]
+        self._after_operation(OP_COMPOSE, table)
+        return results[0]
 
     # ------------------------------------------------------------------ #
     # queries
@@ -425,58 +1165,104 @@ class BddManager:
 
     def support(self, f: int) -> List[int]:
         """Sorted list of variable indices on which ``f`` depends."""
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
         seen = set()
+        seen_add = seen.add
         variables = set()
         stack = [f]
         while stack:
             node = stack.pop()
-            if node in seen or self.is_terminal(node):
+            if node < 2 or node in seen:
                 continue
-            seen.add(node)
-            variables.add(self._var[node])
-            stack.append(self._low[node])
-            stack.append(self._high[node])
+            seen_add(node)
+            variables.add(var_arr[node])
+            stack.append(low_arr[node])
+            stack.append(high_arr[node])
         return sorted(variables)
 
     def count_nodes(self, roots: Iterable[int]) -> int:
         """Number of distinct nodes (including terminals) reachable from
-        ``roots``."""
-        seen = set()
+        ``roots``.
+
+        Single-root queries are memoised (generation-invalidated alongside
+        the computed tables): reachable sets are immutable while a node is
+        alive, so repeated size queries on the same function are O(1).
+        Visited marks use a bytearray indexed by node id, which is much
+        cheaper than hashing every id into a set.
+        """
         stack = list(roots)
+        single_root = stack[0] if len(stack) == 1 else None
+        if single_root is not None:
+            cached = self._size_cache.get(single_root)
+            if cached is not None:
+                return cached
+        low_arr = self._low
+        high_arr = self._high
+        visited = bytearray(len(self._var))
+        count = 0
         while stack:
             node = stack.pop()
-            if node in seen:
+            if visited[node]:
                 continue
-            seen.add(node)
-            if not self.is_terminal(node):
-                stack.append(self._low[node])
-                stack.append(self._high[node])
-        return len(seen)
+            visited[node] = 1
+            count += 1
+            if node > 1:
+                stack.append(low_arr[node])
+                stack.append(high_arr[node])
+        if single_root is not None:
+            self._size_cache[single_root] = count
+        return count
 
     def satcount(self, f: int, num_vars: Optional[int] = None) -> int:
         """Number of satisfying assignments of ``f`` over ``num_vars``
-        variables (defaults to all variables of the manager)."""
+        variables (defaults to all variables of the manager).
+
+        Iterative post-order so deep BDDs cannot hit the recursion limit.
+        The per-node value is ``(count, level)`` where the count is over the
+        variables strictly below the node's level.
+        """
         if num_vars is None:
             num_vars = self.num_vars
-        cache: Dict[int, int] = {}
-
-        def rec(node: int) -> Tuple[int, int]:
-            """Return (count, level) where count is over variables strictly
-            below the returned level."""
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        v2l = self._var_to_level
+        cache: Dict[int, Tuple[int, int]] = {}
+        cache_get = cache.get
+        tasks: List[Tuple[int, int]] = [(0, f)]
+        push = tasks.append
+        pop = tasks.pop
+        results: List[Tuple[int, int]] = []
+        rpush = results.append
+        rpop = results.pop
+        while tasks:
+            kind, node = pop()
+            if kind:
+                hi_count, hi_level = rpop()
+                lo_count, lo_level = rpop()
+                level = v2l[var_arr[node]]
+                count = ((lo_count << (lo_level - level - 1))
+                         + (hi_count << (hi_level - level - 1)))
+                entry = (count, level)
+                cache[node] = entry
+                rpush(entry)
+                continue
             if node == FALSE:
-                return 0, num_vars
+                rpush((0, num_vars))
+                continue
             if node == TRUE:
-                return 1, num_vars
-            if node in cache:
-                return cache[node]
-            level = self._node_level(node)
-            lo_count, lo_level = rec(self._low[node])
-            hi_count, hi_level = rec(self._high[node])
-            count = (lo_count << (lo_level - level - 1)) + (hi_count << (hi_level - level - 1))
-            cache[node] = (count, level)
-            return count, level
-
-        count, level = rec(f)
+                rpush((1, num_vars))
+                continue
+            entry = cache_get(node)
+            if entry is not None:
+                rpush(entry)
+                continue
+            push((1, node))
+            push((0, high_arr[node]))
+            push((0, low_arr[node]))
+        count, level = results[0]
         return count << level
 
     def iter_satisfying(self, f: int, variables: Sequence[int]):
@@ -513,16 +1299,42 @@ class BddManager:
     # ------------------------------------------------------------------ #
     # cache / memory management
     # ------------------------------------------------------------------ #
+    def _invalidate_caches(self) -> None:
+        """Swap in fresh computed tables and advance the cache generation.
+
+        Called on garbage collection, variable reorder and explicit clears:
+        any entry created before the event belongs to a dead generation and
+        can never be observed afterwards.
+        """
+        self._tables = [dict() for _ in range(_NUM_OPS)]
+        self._size_cache = {}
+        self._cache_generation += 1
+
+    @property
+    def cache_generation(self) -> int:
+        """Monotone counter of cache-invalidation events (GC / reorder /
+        explicit clear).  Useful for asserting that no stale entries can
+        survive those events."""
+        return self._cache_generation
+
+    def computed_table_sizes(self) -> Dict[str, int]:
+        """Current entry count of each per-operation computed table."""
+        return {name: len(self._tables[op]) for op, name in enumerate(OP_NAMES)}
+
     def clear_cache(self) -> None:
-        """Drop the computed table (safe at any time)."""
-        self._cache.clear()
+        """Drop all computed tables (safe at any time)."""
+        self._invalidate_caches()
 
     def garbage_collect(self) -> int:
         """Mark-and-sweep collection of nodes unreachable from live handles.
 
-        Returns the number of freed node slots.  The computed table is
-        cleared because it may reference dead nodes.
+        Returns the number of freed node slots.  The computed tables are
+        invalidated (generation bump) because they may reference dead nodes.
         """
+        start = time.perf_counter()
+        live = len(self._var) - len(self._free)
+        if live > self._peak_live_nodes:
+            self._peak_live_nodes = live
         marked = set((FALSE, TRUE))
         stack = list(self._external_refs.keys())
         while stack:
@@ -542,8 +1354,10 @@ class BddManager:
                 self._high[node] = -2
                 self._free.append(node)
                 freed += 1
-        self._cache.clear()
+        self._invalidate_caches()
         self._gc_count += 1
+        self._gc_freed_nodes += freed
+        self._gc_pause_seconds += time.perf_counter() - start
         return freed
 
     def maybe_collect(self) -> None:
@@ -552,6 +1366,72 @@ class BddManager:
             return
         if len(self._var) - len(self._free) > self._auto_gc_threshold:
             self.garbage_collect()
+
+    # ------------------------------------------------------------------ #
+    # performance counters
+    # ------------------------------------------------------------------ #
+    def perf_stats(self) -> Dict[str, float]:
+        """Snapshot of the substrate's performance counters.
+
+        Returns a flat numeric dict: per-op computed-table hits / misses /
+        hit rate, unique-table probes and inserts, GC runs / pause time /
+        freed nodes, cache generation and evictions, live and peak-live node
+        counts.  :mod:`repro.perf` provides span / diff / JSON helpers on
+        top of this method.
+        """
+        live = len(self._var) - len(self._free)
+        if live > self._peak_live_nodes:
+            self._peak_live_nodes = live
+        stats: Dict[str, float] = {
+            "live_nodes": live,
+            "peak_live_nodes": self._peak_live_nodes,
+            "unique_size": len(self._unique),
+            "unique_probes": self._unique_probes,
+            "unique_inserts": self._unique_inserts,
+            "cache_generation": self._cache_generation,
+            "cache_evictions": self._cache_evictions,
+            "gc_runs": self._gc_count,
+            "gc_pause_seconds": self._gc_pause_seconds,
+            "gc_freed_nodes": self._gc_freed_nodes,
+        }
+        total_hits = 0
+        total_misses = 0
+        for op, name in enumerate(OP_NAMES):
+            hits = self._op_hits[op]
+            misses = self._op_misses[op]
+            total_hits += hits
+            total_misses += misses
+            stats[f"cache_{name}_hits"] = hits
+            stats[f"cache_{name}_misses"] = misses
+            lookups = hits + misses
+            stats[f"cache_{name}_hit_rate"] = hits / lookups if lookups else 0.0
+        stats["cache_hits"] = total_hits
+        stats["cache_misses"] = total_misses
+        lookups = total_hits + total_misses
+        stats["cache_hit_rate"] = total_hits / lookups if lookups else 0.0
+        return stats
+
+    def raw_perf_counters(self) -> Tuple[int, int, int, int, int, float]:
+        """Cheap counter snapshot for high-frequency callers (per-gate
+        attribution): ``(cache_hits, cache_misses, unique_probes,
+        unique_inserts, gc_runs, gc_pause_seconds)``.  Unlike
+        :meth:`perf_stats` this builds no keyed dict, so it is safe to call
+        twice per gate without showing up in profiles."""
+        return (sum(self._op_hits), sum(self._op_misses), self._unique_probes,
+                self._unique_inserts, self._gc_count, self._gc_pause_seconds)
+
+    def reset_perf_counters(self) -> None:
+        """Zero every counter reported by :meth:`perf_stats` (the cache
+        generation and the tables themselves are left untouched)."""
+        self._op_hits = [0] * _NUM_OPS
+        self._op_misses = [0] * _NUM_OPS
+        self._unique_probes = 0
+        self._unique_inserts = 0
+        self._cache_evictions = 0
+        self._gc_count = 0
+        self._gc_pause_seconds = 0.0
+        self._gc_freed_nodes = 0
+        self._peak_live_nodes = len(self._var) - len(self._free)
 
     # ------------------------------------------------------------------ #
     # reordering support
@@ -578,32 +1458,43 @@ class BddManager:
         self._level_to_var = list(new_order)
 
         # Reset the node store and rebuild each root bottom-up via ITE, which
-        # re-normalises the structure for the new order.
+        # re-normalises the structure for the new order.  The computed tables
+        # are generation-invalidated: they are full of old-store node ids.
         self._var = [-1, -1]
         self._low = [-1, -1]
         self._high = [-1, -1]
         self._unique = {}
-        self._cache = {}
         self._free = []
         self._external_refs = {}
+        self._invalidate_caches()
 
         memo: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
 
-        def rebuild(node: int) -> int:
-            if node in memo:
-                return memo[node]
-            var = old_var[node]
-            low = rebuild(old_low[node])
-            high = rebuild(old_high[node])
-            var_bdd = self._mk(var, FALSE, TRUE)
-            result = self.apply_ite(var_bdd, high, low)
-            memo[node] = result
-            return result
+        def rebuild(root: int) -> int:
+            # Iterative post-order over the old DAG (its depth can exceed the
+            # recursion limit just like the apply operations').
+            tasks: List[Tuple[int, int]] = [(0, root)]
+            results: List[int] = []
+            while tasks:
+                kind, node = tasks.pop()
+                if kind:
+                    high = results.pop()
+                    low = results.pop()
+                    var_node = self._mk(old_var[node], FALSE, TRUE)
+                    rebuilt = self.apply_ite(var_node, high, low)
+                    memo[node] = rebuilt
+                    results.append(rebuilt)
+                    continue
+                known = memo.get(node)
+                if known is not None:
+                    results.append(known)
+                    continue
+                tasks.append((1, node))
+                tasks.append((0, old_high[node]))
+                tasks.append((0, old_low[node]))
+            return results[0]
 
-        new_handles = []
-        for node in old_nodes:
-            new_handles.append(self._wrap(rebuild(node)))
-        return new_handles
+        return [self._wrap(rebuild(node)) for node in old_nodes]
 
     def __repr__(self) -> str:
         return (f"BddManager(num_vars={self.num_vars}, "

@@ -244,6 +244,11 @@ class BitSlicedState:
         metric)."""
         return self.manager.count_nodes([bit.node for bit in self.all_slices()])
 
+    def substrate_stats(self) -> Dict[str, float]:
+        """The owning manager's raw performance counters (see
+        :meth:`repro.bdd.manager.BddManager.perf_stats`)."""
+        return self.manager.perf_stats()
+
     def statistics(self) -> Dict[str, float]:
         """Summary dict used by the harness (width, k, node count, s)."""
         return {
@@ -252,6 +257,7 @@ class BitSlicedState:
             "k": self.k,
             "normalisation": self.s,
             "bdd_nodes": self.num_nodes(),
+            "manager_live_nodes": self.manager.num_live_nodes(),
         }
 
     def __repr__(self) -> str:

@@ -27,6 +27,7 @@ on overflow" behaviour of the original implementation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,7 @@ from repro.bdd import Bdd, BddManager
 from repro.circuit.gates import Gate, GateKind
 from repro.core.bitslice import VECTOR_NAMES, BitSlicedState
 from repro.exceptions import UnsupportedGateError
+from repro.perf import PerfCounters
 
 
 @dataclass
@@ -55,6 +57,11 @@ class GateRuleEngine:
     def __init__(self, state: BitSlicedState):
         self.state = state
         self.manager: BddManager = state.manager
+        #: Per-gate-kind substrate counters (cache hits / misses, unique-table
+        #: traffic, GC activity, elapsed seconds, application count).  Fed by
+        #: :meth:`apply` from cheap raw-counter snapshots — two tuple reads
+        #: per gate, no keyed-dict construction on the hot path.
+        self.perf_by_gate: Dict[str, PerfCounters] = {}
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -63,15 +70,45 @@ class GateRuleEngine:
         """Apply ``gate`` in place, widening the integer representation as
         needed when two's-complement overflow is detected."""
         handler = self._handler_for(gate.kind)
+        before = self.manager.raw_perf_counters()
+        started = time.perf_counter()
         for _ in range(max_widen_retries):
             update = handler(gate)
             if not update.overflowed:
                 self.state.replace_slices(update.slices, update.delta_k)
-                return
+                break
             self.state.widen(1)
-        raise RuntimeError(
-            f"gate {gate.kind.value} kept overflowing after "
-            f"{max_widen_retries} widening attempts")
+        else:
+            raise RuntimeError(
+                f"gate {gate.kind.value} kept overflowing after "
+                f"{max_widen_retries} widening attempts")
+        elapsed = time.perf_counter() - started
+        self._record_raw(gate.kind.value, before,
+                         self.manager.raw_perf_counters(), elapsed)
+
+    _RAW_KEYS = ("cache_hits", "cache_misses", "unique_probes",
+                 "unique_inserts", "gc_runs", "gc_pause_seconds")
+
+    def _record_raw(self, kind: str, before, after, elapsed: float) -> None:
+        bag = self.perf_by_gate.get(kind)
+        if bag is None:
+            bag = self.perf_by_gate[kind] = PerfCounters()
+        bag.add("applications", 1)
+        bag.add("elapsed_seconds", elapsed)
+        for key, before_value, after_value in zip(self._RAW_KEYS, before, after):
+            bag.add(key, after_value - before_value)
+
+    def perf_summary(self) -> Dict[str, Dict[str, float]]:
+        """Accumulated substrate counters per gate kind, with cache hit
+        rates recomputed over each kind's total hits / misses."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for kind, bag in self.perf_by_gate.items():
+            stats = bag.snapshot()
+            lookups = stats.get("cache_hits", 0) + stats.get("cache_misses", 0)
+            stats["cache_hit_rate"] = (stats.get("cache_hits", 0) / lookups
+                                       if lookups else 0.0)
+            summary[kind] = stats
+        return summary
 
     def _handler_for(self, kind: GateKind) -> Callable[[Gate], GateUpdate]:
         handlers = {

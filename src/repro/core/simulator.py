@@ -198,14 +198,27 @@ class BitSliceSimulator:
     # statistics
     # ------------------------------------------------------------------ #
     def statistics(self) -> Dict[str, float]:
-        """Run statistics used by the benchmark harness."""
+        """Run statistics used by the benchmark harness.
+
+        Includes the substrate's performance counters (per-op computed-table
+        hit rates, unique-table traffic, GC pauses, peak live nodes) flattened
+        under a ``substrate_`` prefix, so every harness report row carries
+        them.
+        """
         stats = self.state.statistics()
         stats.update({
             "gates_applied": self.gates_applied,
             "peak_bdd_nodes": self.peak_nodes,
             "elapsed_seconds": time.perf_counter() - self._start_time,
         })
+        for key, value in self.state.manager.perf_stats().items():
+            stats[f"substrate_{key}"] = value
         return stats
+
+    def substrate_perf_by_gate(self) -> Dict[str, Dict[str, float]]:
+        """Substrate counters attributed per gate kind (see
+        :meth:`repro.core.gate_rules.GateRuleEngine.perf_summary`)."""
+        return self._rules.perf_summary()
 
     def __repr__(self) -> str:
         return (f"BitSliceSimulator(num_qubits={self.num_qubits}, "

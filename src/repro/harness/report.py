@@ -30,6 +30,10 @@ def _run_to_dict(result: RunResult) -> Dict[str, object]:
         "memory_nodes": result.memory_nodes,
         "memory_mb": result.memory_mb,
         "detail": result.detail,
+        # Engine-specific numeric stats; for the bit-sliced engine this
+        # carries the substrate_* performance counters (per-op cache hit
+        # rates, unique-table traffic, GC pauses, peak live nodes).
+        "extra": dict(result.extra),
     }
 
 

@@ -231,4 +231,10 @@ def summarise(results: Sequence[RunResult]) -> Dict[str, float]:
         "unsupported": sum(1 for r in results if r.status == STATUS_UNSUPPORTED),
         "crashes": sum(1 for r in results if r.status == STATUS_CRASH),
     }
+    # Substrate-instrumented engines report computed-table effectiveness in
+    # their extras; surface the average hit rate next to the runtime columns.
+    hit_rates = [r.extra["substrate_cache_hit_rate"] for r in successes
+                 if "substrate_cache_hit_rate" in r.extra]
+    if hit_rates:
+        summary["avg_cache_hit_rate"] = sum(hit_rates) / len(hit_rates)
     return summary

@@ -1,0 +1,28 @@
+"""repro.perf — performance instrumentation for the BDD substrate.
+
+Counters, spans and JSON reports built on top of
+:meth:`repro.bdd.manager.BddManager.perf_stats`.  See
+:mod:`repro.perf.counters` for the full API documentation.
+"""
+
+from repro.perf.counters import (
+    GAUGE_KEYS,
+    PerfCounters,
+    SubstrateSpan,
+    diff_stats,
+    merge_span_stats,
+    save_stats,
+    stats_to_json,
+    substrate_span,
+)
+
+__all__ = [
+    "GAUGE_KEYS",
+    "PerfCounters",
+    "SubstrateSpan",
+    "diff_stats",
+    "merge_span_stats",
+    "save_stats",
+    "stats_to_json",
+    "substrate_span",
+]

@@ -1,0 +1,229 @@
+"""Computed-table behaviour: per-op tables, generation-based invalidation,
+size bounding, and the explicit-stack apply on deep managers.
+
+The invalidation tests are the safety net for the hot-path design: a GC or a
+variable reorder recycles / renames node ids, so a stale computed-table entry
+would silently corrupt results.  Every scenario here checks functional
+correctness against a truth-table oracle after the invalidation event.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.bdd.manager import OP_NAMES
+
+
+def all_assignments(variables):
+    for values in itertools.product([False, True], repeat=len(variables)):
+        yield dict(zip(variables, values))
+
+
+def build_pair(manager):
+    """A fixed (f, g) pair with a known truth table."""
+    x0, x1, x2, x3 = (manager.var(i) for i in range(4))
+    f = (x0 & x1) | (x2 ^ x3)
+    g = (x0 | x2) & ~(x1 & x3)
+    return f, g
+
+
+def oracle_f(a):
+    return (a[0] and a[1]) or (a[2] != a[3])
+
+
+def oracle_g(a):
+    return (a[0] or a[2]) and not (a[1] and a[3])
+
+
+class TestGenerationInvalidation:
+    def test_generation_advances_on_every_invalidation_event(self):
+        manager = BddManager(4)
+        f, g = build_pair(manager)
+        start = manager.cache_generation
+        manager.clear_cache()
+        assert manager.cache_generation == start + 1
+        manager.garbage_collect()
+        assert manager.cache_generation == start + 2
+        manager.set_order([3, 2, 1, 0], [f, g])
+        assert manager.cache_generation == start + 3
+
+    def test_tables_are_empty_after_gc_and_reorder(self):
+        manager = BddManager(4)
+        f, g = build_pair(manager)
+        _ = f & g
+        assert sum(manager.computed_table_sizes().values()) > 0
+        manager.garbage_collect()
+        assert sum(manager.computed_table_sizes().values()) == 0
+        _ = f | g
+        assert sum(manager.computed_table_sizes().values()) > 0
+        manager.set_order([0, 2, 1, 3], [f, g])
+        # set_order itself repopulates tables while rebuilding; what matters
+        # is that the pre-reorder generation's entries are gone.
+        assert manager.cache_generation >= 2
+
+    def test_gc_then_reorder_serves_no_stale_results(self):
+        """After GC + reorder, recomputed operations must match the oracle
+        (a stale entry would surface as a wrong node id here)."""
+        manager = BddManager(4)
+        f, g = build_pair(manager)
+        before_and = f & g
+        before_xor = f ^ g
+        # Drop temporaries, collect, then reorder: both events recycle or
+        # renumber nodes that the old computed tables referenced.
+        del before_and, before_xor
+        manager.garbage_collect()
+        f, g = manager.set_order([2, 0, 3, 1], [f, g])
+        after_and = f & g
+        after_or = f | g
+        after_xor = f ^ g
+        for assignment in all_assignments(range(4)):
+            expected_f = oracle_f(assignment)
+            expected_g = oracle_g(assignment)
+            assert f.evaluate(assignment) == expected_f
+            assert g.evaluate(assignment) == expected_g
+            assert after_and.evaluate(assignment) == (expected_f and expected_g)
+            assert after_or.evaluate(assignment) == (expected_f or expected_g)
+            assert after_xor.evaluate(assignment) == (expected_f != expected_g)
+
+    def test_node_count_memo_does_not_survive_gc(self):
+        manager = BddManager(6)
+        f = (manager.var(0) ^ manager.var(1)) | (manager.var(2) & manager.var(3))
+        first = f.count_nodes()
+        assert f.count_nodes() == first  # memoised second query
+        manager.garbage_collect()
+        assert f.count_nodes() == first  # recomputed, same structure
+
+
+class TestSizeBounding:
+    def test_tables_are_flushed_past_the_limit(self):
+        manager = BddManager(10, cache_size_limit=50)
+        rng_terms = []
+        for seed in range(30):
+            cube = manager.true
+            for var in range(4):
+                cube = cube & manager.literal((seed + var * 3) % 10, (seed + var) % 2 == 0)
+            rng_terms.append(cube)
+        function = manager.false
+        for term in rng_terms:
+            function = function | term
+        stats = manager.perf_stats()
+        assert stats["cache_evictions"] > 0
+        # At every operation boundary each table is within the bound.
+        for name, size in manager.computed_table_sizes().items():
+            assert size <= 50, name
+
+    def test_unbounded_tables_never_evict(self):
+        manager = BddManager(8, cache_size_limit=None)
+        f = manager.false
+        for index in range(8):
+            f = f | (manager.var(index) & manager.var((index + 1) % 8))
+        assert manager.perf_stats()["cache_evictions"] == 0
+
+
+class TestDeepManagerIterativeApply:
+    """Managers past the recursion-safe threshold must run every core
+    operation on the explicit stack, even under a tiny recursion limit."""
+
+    NUM_VARS = 1500  # > _MAX_RECURSIVE_VARS
+
+    def _chain(self, manager, phase=True):
+        f = manager.true
+        for index in range(self.NUM_VARS):
+            f = f & manager.literal(index, phase)
+        return f
+
+    def test_deep_chain_operations_under_low_recursion_limit(self):
+        manager = BddManager(self.NUM_VARS)
+        old_limit = sys.getrecursionlimit()
+        try:
+            f = self._chain(manager, True)
+            g = self._chain(manager, False)
+            sys.setrecursionlimit(220)
+            conj = f & g
+            assert conj.is_false()
+            disj = f | g
+            neg = ~disj
+            xored = f ^ g
+            cof = f.cofactor(self.NUM_VARS // 2, True)
+            assert f.satcount(self.NUM_VARS) == 1
+            assert neg.satcount(self.NUM_VARS) == (1 << self.NUM_VARS) - 2
+            assert xored.satcount(self.NUM_VARS) == 2
+            # Cofactoring frees the target variable, doubling the count.
+            assert cof.satcount(self.NUM_VARS) == 2
+            # Two parallel decision chains that merge at the bottom level,
+            # plus the two terminals.
+            assert disj.count_nodes() == 2 * self.NUM_VARS + 1
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    def test_deep_compose_and_exists_under_low_recursion_limit(self):
+        manager = BddManager(self.NUM_VARS)
+        old_limit = sys.getrecursionlimit()
+        try:
+            f = self._chain(manager, True)
+            g = manager.var(0) & manager.var(1)
+            sys.setrecursionlimit(220)
+            composed = f.compose(1400, g)
+            # Substituting x0 & x1 (already implied) for x1400 frees x1400.
+            assert composed.satcount(self.NUM_VARS) == 2
+            erased = f.exists([1400])
+            assert erased.satcount(self.NUM_VARS) == 2
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    def test_deep_ite_under_low_recursion_limit(self):
+        manager = BddManager(self.NUM_VARS)
+        old_limit = sys.getrecursionlimit()
+        try:
+            f = self._chain(manager, True)
+            selector = manager.var(0)
+            sys.setrecursionlimit(220)
+            result = selector.ite(f, ~f)
+            assignment = {index: True for index in range(self.NUM_VARS)}
+            assert result.evaluate(assignment) is True
+            assignment[0] = False
+            assert result.evaluate(assignment) is True  # ~f branch
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+
+class TestPerOpTables:
+    def test_hits_and_misses_are_tracked_per_operation(self):
+        manager = BddManager(4)
+        f, g = build_pair(manager)
+        _ = f & g
+        _ = f & g  # top-level hit
+        _ = f ^ g
+        stats = manager.perf_stats()
+        assert stats["cache_and_hits"] >= 1
+        assert stats["cache_and_misses"] >= 1
+        assert stats["cache_xor_misses"] >= 1
+        assert 0.0 <= stats["cache_hit_rate"] <= 1.0
+        for name in OP_NAMES:
+            assert f"cache_{name}_hit_rate" in stats
+
+    def test_reset_perf_counters(self):
+        manager = BddManager(4)
+        f, g = build_pair(manager)
+        _ = f & g
+        manager.reset_perf_counters()
+        stats = manager.perf_stats()
+        assert stats["cache_hits"] == 0
+        assert stats["cache_misses"] == 0
+        assert stats["unique_probes"] == 0
+
+    def test_ite_standard_triples_share_binary_tables(self):
+        """ite(f, 1, h) and ite(f, g, 0) must route to OR / AND."""
+        manager = BddManager(4)
+        f, g = build_pair(manager)
+        manager.reset_perf_counters()
+        assert f.ite(manager.true, g) == (f | g)
+        assert f.ite(g, manager.false) == (f & g)
+        stats = manager.perf_stats()
+        # The delegated forms must not populate the ITE table at all.
+        assert stats["cache_ite_misses"] == 0
+        assert manager.computed_table_sizes()["ite"] == 0

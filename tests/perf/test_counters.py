@@ -1,0 +1,123 @@
+"""Tests for the repro.perf instrumentation subsystem."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.perf import (
+    GAUGE_KEYS,
+    PerfCounters,
+    diff_stats,
+    merge_span_stats,
+    save_stats,
+    stats_to_json,
+    substrate_span,
+)
+
+
+class TestPerfCounters:
+    def test_add_and_get(self):
+        counters = PerfCounters()
+        counters.add("ops")
+        counters.add("ops", 4)
+        counters.add("time", 0.5)
+        assert counters["ops"] == 5
+        assert counters.get("time") == 0.5
+        assert counters.get("absent") == 0
+        assert "ops" in counters
+        assert len(counters) == 2
+
+    def test_update_and_merge(self):
+        left = PerfCounters({"a": 1, "b": 2})
+        right = PerfCounters({"b": 3, "c": 4})
+        left.merge(right)
+        assert left.snapshot() == {"a": 1, "b": 5, "c": 4}
+
+    def test_json_round_trip(self):
+        counters = PerfCounters({"hits": 10, "rate": 0.25})
+        decoded = json.loads(counters.to_json())
+        assert decoded == {"hits": 10, "rate": 0.25}
+
+    def test_reset(self):
+        counters = PerfCounters({"a": 1})
+        counters.reset()
+        assert len(counters) == 0
+
+
+class TestDiffStats:
+    def test_counters_subtract_and_gauges_take_after_value(self):
+        before = {"cache_and_hits": 10, "cache_and_misses": 10, "live_nodes": 100}
+        after = {"cache_and_hits": 40, "cache_and_misses": 20, "live_nodes": 70}
+        delta = diff_stats(before, after)
+        assert delta["cache_and_hits"] == 30
+        assert delta["cache_and_misses"] == 10
+        assert delta["live_nodes"] == 70  # gauge
+        assert delta["cache_and_hit_rate"] == pytest.approx(30 / 40)
+
+    def test_hit_rates_recomputed_not_subtracted(self):
+        before = {"cache_and_hits": 0, "cache_and_misses": 0,
+                  "cache_and_hit_rate": 0.9}
+        after = {"cache_and_hits": 1, "cache_and_misses": 1,
+                 "cache_and_hit_rate": 0.95}
+        delta = diff_stats(before, after)
+        assert delta["cache_and_hit_rate"] == pytest.approx(0.5)
+
+
+class TestSubstrateSpan:
+    def test_span_captures_interval_work(self):
+        manager = BddManager(6)
+        x0, x1, x2 = manager.var(0), manager.var(1), manager.var(2)
+        _ = x0 & x1  # outside the span
+        with substrate_span(manager) as span:
+            assert span.stats is None
+            f = (x0 ^ x1) | (x2 & x0)
+            _ = ~f
+        assert span.stats is not None
+        assert span.elapsed_seconds >= 0.0
+        assert span.stats["elapsed_seconds"] == span.elapsed_seconds
+        assert span.stats["cache_misses"] > 0
+        assert span.stats["unique_inserts"] > 0
+        assert 0.0 <= span.stats["cache_hit_rate"] <= 1.0
+
+    def test_spans_nest(self):
+        manager = BddManager(4)
+        with substrate_span(manager) as outer:
+            _ = manager.var(0) & manager.var(1)
+            with substrate_span(manager) as inner:
+                _ = manager.var(2) | manager.var(3)
+        assert inner.stats["cache_misses"] <= outer.stats["cache_misses"]
+
+
+class TestExportHelpers:
+    def test_stats_to_json_is_sorted_and_stable(self):
+        payload = stats_to_json({"b": 2, "a": 1})
+        assert payload.index('"a"') < payload.index('"b"')
+        assert json.loads(payload) == {"a": 1, "b": 2}
+
+    def test_save_stats_to_path(self, tmp_path):
+        target = tmp_path / "stats.json"
+        save_stats({"x": 1}, str(target))
+        assert json.loads(target.read_text()) == {"x": 1}
+
+    def test_save_stats_to_handle(self, tmp_path):
+        target = tmp_path / "stats.json"
+        with open(target, "w", encoding="utf-8") as handle:
+            save_stats({"y": 2.5}, handle)
+        assert json.loads(target.read_text()) == {"y": 2.5}
+
+    def test_merge_span_stats_recomputes_rates_and_drops_gauges(self):
+        spans = [
+            {"cache_and_hits": 1, "cache_and_misses": 1, "live_nodes": 50,
+             "cache_and_hit_rate": 0.5},
+            {"cache_and_hits": 3, "cache_and_misses": 1, "live_nodes": 80,
+             "cache_and_hit_rate": 0.75},
+        ]
+        merged = merge_span_stats(spans)
+        assert merged["cache_and_hits"] == 4
+        assert merged["cache_and_misses"] == 2
+        assert merged["cache_and_hit_rate"] == pytest.approx(4 / 6)
+        for gauge in GAUGE_KEYS:
+            assert gauge not in merged
