@@ -18,8 +18,8 @@ from __future__ import annotations
 import sys
 import time
 
-from repro import QuantumCircuit
-from repro.harness.runner import ResourceLimits, run_circuit
+import repro
+from repro import ResourceLimits
 from repro.workloads.algorithms import bernstein_vazirani_circuit
 
 
@@ -27,13 +27,16 @@ def main(max_qubits: int = 160) -> None:
     limits = ResourceLimits(max_seconds=60.0, max_nodes=400_000)
     sizes = [size for size in (20, 40, 80, max_qubits) if size <= max_qubits]
 
+    circuits = [bernstein_vazirani_circuit(num_qubits - 1) for num_qubits in sizes]
     print(f"{'#qubits':>8} {'engine':>12} {'status':>12} {'time (s)':>10}")
-    for num_qubits in sizes:
-        circuit = bernstein_vazirani_circuit(num_qubits - 1)
-        for engine in ("bitslice", "qmdd", "stabilizer"):
-            result = run_circuit(engine, circuit, limits)
-            time_text = f"{result.runtime_seconds:.3f}" if result.succeeded else "-"
-            print(f"{num_qubits:>8} {engine:>12} {result.status:>12} {time_text:>10}")
+    # One front-door sweep over the (circuit x engine) grid; bump jobs to
+    # spread the grid over process workers with identical reported numbers.
+    for result in repro.run_sweep(circuits,
+                                  engines=("bitslice", "qmdd", "stabilizer"),
+                                  limits=limits, jobs=1):
+        time_text = f"{result.elapsed_seconds:.3f}" if result.succeeded else "-"
+        print(f"{result.num_qubits:>8} {result.engine:>12} "
+              f"{result.status:>12} {time_text:>10}")
 
     # Correctness of the algorithm on the exact engine: the data register
     # must equal the hidden string with probability exactly 1.

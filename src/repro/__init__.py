@@ -19,13 +19,22 @@ SliQSim simulator), together with every substrate it depends on:
 * :mod:`repro.harness` — the experiment runner that regenerates the paper's
   Tables III–VI.
 
+* :mod:`repro.engines` — the unified engine API: ``Engine`` protocol,
+  capability-aware registry with aliases and ``"auto"`` selection, the
+  ``repro.run()`` front door and the parallel ``run_sweep()`` executor.
+
 The most common entry points are re-exported here::
 
-    from repro import BitSliceSimulator, QuantumCircuit
+    import repro
+    from repro import QuantumCircuit
 
     circuit = QuantumCircuit(2).h(0).cx(0, 1)
-    result = BitSliceSimulator.simulate(circuit)
-    result.measurement_distribution()     # {0b00: 0.5, 0b11: 0.5}
+    result = repro.run(circuit, engine="auto")    # -> RunResult
+    result.status, result.final_probability       # 'ok', 0.5
+
+    # Rich native simulator classes stay public:
+    from repro import BitSliceSimulator
+    BitSliceSimulator.simulate(circuit).measurement_distribution()
 """
 
 from repro.algebra import AlgebraicComplex, AlgebraicVector
@@ -38,6 +47,18 @@ from repro.exceptions import (
     SimulationMemoryExceeded,
     SimulationTimeout,
     UnsupportedGateError,
+)
+from repro.engines import (
+    Capabilities,
+    Engine,
+    ResourceLimits,
+    RunResult,
+    UnknownEngineError,
+    available_engines,
+    register_engine,
+    run,
+    run_sweep,
+    select_engine,
 )
 
 __version__ = "0.1.0"
@@ -53,6 +74,16 @@ __all__ = [
     "QmddSimulator",
     "StabilizerSimulator",
     "StatevectorSimulator",
+    "Capabilities",
+    "Engine",
+    "ResourceLimits",
+    "RunResult",
+    "UnknownEngineError",
+    "available_engines",
+    "register_engine",
+    "run",
+    "run_sweep",
+    "select_engine",
     "NumericalError",
     "SimulationError",
     "SimulationMemoryExceeded",

@@ -236,6 +236,42 @@ class StabilizerSimulator:
             raise ValueError("forced outcome has zero probability")
         return outcome
 
+    def copy(self) -> "StabilizerSimulator":
+        """An independent copy of the tableau (used by the non-collapsing
+        joint-probability query)."""
+        duplicate = StabilizerSimulator(self.num_qubits)
+        duplicate._x = self._x.copy()
+        duplicate._z = self._z.copy()
+        duplicate._r = self._r.copy()
+        duplicate.gates_applied = self.gates_applied
+        return duplicate
+
+    def probability_of_outcome(self, qubits: Sequence[int],
+                               outcome: Sequence[int]) -> float:
+        """Joint probability of ``outcome`` on ``qubits`` without collapsing.
+
+        Uses the Aaronson–Gottesman structure of stabilizer states: the
+        probability is either 0 or ``2**-r`` where ``r`` is the number of
+        measured qubits whose Z operator anticommutes with the (progressively
+        collapsed) stabilizer group — i.e. the rank of the X-block restricted
+        to the queried qubits.  The computation measures each qubit in turn
+        with a forced outcome on a scratch copy of the tableau: every random
+        step contributes a factor 1/2, every deterministic step contributes
+        1 when it matches the requested bit and kills the outcome otherwise.
+        """
+        scratch = self.copy()
+        probability = 1.0
+        n = self.num_qubits
+        for qubit, value in zip(qubits, outcome):
+            if scratch._x[n:2 * n, qubit].any():
+                # Z_qubit anticommutes with a stabilizer: the outcome is
+                # uniformly random; collapse onto the requested bit.
+                probability *= 0.5
+                scratch.measure_qubit(qubit, forced_outcome=int(value))
+            elif scratch._deterministic_outcome(qubit) != int(value):
+                return 0.0
+        return probability
+
     def measure_all(self, rng=None) -> List[int]:
         """Measure every qubit in order, collapsing as it goes."""
         return [self.measure_qubit(q, rng=rng) for q in range(self.num_qubits)]

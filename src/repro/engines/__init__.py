@@ -1,0 +1,111 @@
+"""Unified engine API: protocol, capability-aware registry, front door.
+
+This package is the one place the rest of the repository (and third-party
+code) goes through to execute circuits:
+
+* :class:`~repro.engines.base.Engine` — the abstract lifecycle every backend
+  implements (``prepare`` / ``apply`` / ``probability`` / ``statistics``),
+* :class:`~repro.engines.base.Capabilities` — the declarative descriptor
+  feeding alias resolution and the ``"auto"`` selector,
+* :mod:`~repro.engines.registry` — ``register_engine`` decorator, aliases,
+  capability-based automatic engine selection,
+* :mod:`~repro.engines.adapters` — the four built-in engines (bit-sliced
+  BDD, QMDD, dense statevector, CHP stabilizer) behind the protocol,
+* :mod:`~repro.engines.limits` — :class:`ResourceLimits` and the single
+  TO/MO :class:`LimitEnforcer` wrapper shared by every engine,
+* :mod:`~repro.engines.frontdoor` — :func:`run` and the parallel
+  :func:`run_sweep` grid executor returning normalised
+  :class:`~repro.engines.result.RunResult` records.
+
+Importing this package registers the built-in engines.
+"""
+
+from repro.engines.base import (
+    ALL_GATE_KINDS,
+    BYTES_PER_NODE,
+    CANONICAL_STATS_KEYS,
+    CLIFFORD_GATE_KINDS,
+    Capabilities,
+    Engine,
+)
+from repro.engines.limits import LimitEnforcer, ResourceLimits
+from repro.engines.registry import (
+    AUTO_ENGINE,
+    UnknownEngineError,
+    available_engines,
+    create_engine,
+    engine_aliases,
+    engine_capabilities,
+    engine_labels,
+    get_engine_class,
+    register_engine,
+    resolve_engine,
+    resolve_engine_name,
+    select_engine,
+    unregister_engine,
+)
+from repro.engines import adapters as _adapters  # noqa: F401  (registers built-ins)
+from repro.engines.adapters import (
+    BitSliceEngine,
+    QmddEngine,
+    StabilizerEngine,
+    StatevectorEngine,
+)
+from repro.engines.frontdoor import (
+    FINAL_QUERY_QUBIT_CAP,
+    final_query_qubits,
+    run,
+    run_sweep,
+    run_tasks,
+)
+from repro.engines.result import (
+    STATUS_CRASH,
+    STATUS_ERROR,
+    STATUS_MEMORY,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    STATUS_UNSUPPORTED,
+    RunResult,
+    summarise,
+)
+
+__all__ = [
+    "ALL_GATE_KINDS",
+    "AUTO_ENGINE",
+    "BYTES_PER_NODE",
+    "CANONICAL_STATS_KEYS",
+    "CLIFFORD_GATE_KINDS",
+    "FINAL_QUERY_QUBIT_CAP",
+    "Capabilities",
+    "Engine",
+    "LimitEnforcer",
+    "ResourceLimits",
+    "RunResult",
+    "UnknownEngineError",
+    "BitSliceEngine",
+    "QmddEngine",
+    "StabilizerEngine",
+    "StatevectorEngine",
+    "STATUS_CRASH",
+    "STATUS_ERROR",
+    "STATUS_MEMORY",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "STATUS_UNSUPPORTED",
+    "available_engines",
+    "create_engine",
+    "engine_aliases",
+    "engine_capabilities",
+    "engine_labels",
+    "final_query_qubits",
+    "get_engine_class",
+    "register_engine",
+    "resolve_engine",
+    "resolve_engine_name",
+    "run",
+    "run_sweep",
+    "run_tasks",
+    "select_engine",
+    "summarise",
+    "unregister_engine",
+]

@@ -1,0 +1,221 @@
+"""The :class:`Engine` protocol and the :class:`Capabilities` descriptor.
+
+Every simulation backend in the repository — the paper's bit-sliced BDD
+engine and the three comparison engines — is exposed through one uniform
+lifecycle so the harness, the ``repro.run`` front door and third-party code
+can drive any of them interchangeably:
+
+``prepare(circuit, limits)``
+    Allocate the native state for ``circuit`` (the only step that may look at
+    :class:`~repro.engines.limits.ResourceLimits`, e.g. the dense engine's
+    qubit cut-off).
+``apply(gate)``
+    Apply one gate.  A gate outside the engine's declared capability set must
+    raise :class:`~repro.exceptions.UnsupportedGateError` (the contract tests
+    enforce this "capability honesty").
+``probability(qubits, bits)``
+    Joint probability of observing ``bits`` on ``qubits`` without collapsing
+    the state — the end-of-run query every harness run performs.
+``statistics()``
+    The canonical stats schema (see :data:`CANONICAL_STATS_KEYS`): every
+    engine reports ``peak_memory_nodes`` / ``elapsed_seconds`` /
+    ``gates_applied`` / ``num_qubits`` under the same names, plus any
+    engine-specific extras (e.g. the BDD substrate's ``substrate_*``
+    counters).  Legacy per-engine spellings (``peak_bdd_nodes``,
+    ``peak_dd_nodes``, ``tableau_bytes``) are normalised here in the
+    adapters, never downstream.
+
+TO/MO budgets are *not* enforced by the engines themselves: the
+:class:`~repro.engines.limits.LimitEnforcer` wrapper checks wall-clock and
+memory between gates uniformly, which is what fixed the dense engine's
+historically missing time-out enforcement.
+
+A declarative :class:`Capabilities` record accompanies every engine class and
+feeds alias resolution, the ``"auto"`` selector and the rendered table
+labels.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import ClassVar, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, GateKind, is_clifford_gate
+from repro.exceptions import UnsupportedGateError
+
+#: Approximate bytes per decision-diagram node, used to convert canonical
+#: node counts into the MB figures reported next to the paper's numbers.  A
+#: CUDD / DDSIM node is ~32-48 bytes; the pure-Python stores cost more, but
+#: every engine converts with the same constant so relative numbers hold.
+BYTES_PER_NODE = 48
+
+#: Keys every engine's ``statistics()`` must report (the canonical schema).
+CANONICAL_STATS_KEYS = ("num_qubits", "gates_applied",
+                        "peak_memory_nodes", "elapsed_seconds")
+
+#: Legacy engine-specific stat spellings that must *not* leak out of the
+#: adapters (the pre-redesign harness remapped these by hand per engine).
+LEGACY_STATS_KEYS = ("peak_bdd_nodes", "peak_dd_nodes", "tableau_bytes")
+
+#: Every applicable gate kind (measurement markers are lifecycle no-ops).
+ALL_GATE_KINDS: FrozenSet[GateKind] = frozenset(GateKind) - {GateKind.MEASURE}
+
+#: Bytes per dense complex amplitude (numpy complex128).
+BYTES_PER_AMPLITUDE = 16
+
+
+def dense_memory_nodes(num_qubits: int) -> int:
+    """A dense ``2**n`` statevector's footprint in canonical node units
+    (used both by the dense adapter and by the ``"auto"`` selector's
+    eligibility check against ``max_nodes``)."""
+    return max(1, (BYTES_PER_AMPLITUDE << num_qubits) // BYTES_PER_NODE)
+
+
+#: The Clifford subset an Aaronson-Gottesman tableau can apply exactly.
+CLIFFORD_GATE_KINDS: FrozenSet[GateKind] = frozenset({
+    GateKind.X, GateKind.Y, GateKind.Z, GateKind.H, GateKind.S, GateKind.SDG,
+    GateKind.RX_PI_2, GateKind.RY_PI_2, GateKind.CX, GateKind.CZ,
+    GateKind.SWAP, GateKind.CCX, GateKind.CSWAP,
+})
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """Declarative description of what an engine can do.
+
+    The registry uses it for the ``"auto"`` selector (which engine fits a
+    circuit's gate profile and size best) and the harness uses ``label`` for
+    the rendered table headers.
+
+    ``selection_priority`` orders engines for automatic selection: among all
+    engines whose capabilities support a circuit, the lowest priority wins.
+    The built-in ranking encodes asymptotic fitness — the polynomial-time
+    tableau first (Clifford circuits only), the dense vector while it fits in
+    memory, then the exact symbolic engines.
+    """
+
+    name: str
+    label: str
+    supported_gates: FrozenSet[GateKind]
+    #: True when amplitudes are represented exactly (no float rounding until
+    #: measurement), the paper's headline property of the bit-sliced engine.
+    exact: bool
+    #: True when only Clifford *instances* are supported: a gate kind in
+    #: ``supported_gates`` may still be rejected for a non-Clifford control
+    #: structure (e.g. a two-control Toffoli on the tableau).
+    clifford_only: bool = False
+    #: True when memory is a dense ``2**n`` array, making the engine subject
+    #: to :attr:`~repro.engines.limits.ResourceLimits.max_dense_qubits`.
+    dense: bool = False
+    #: Hard practical qubit ceiling (``None`` = unbounded in principle).
+    max_practical_qubits: Optional[int] = None
+    selection_priority: int = 50
+    description: str = ""
+
+    def supports_gate(self, gate: Gate) -> bool:
+        """True when the engine can apply this specific gate instance."""
+        if gate.kind is GateKind.MEASURE:
+            return True
+        if gate.kind not in self.supported_gates:
+            return False
+        if self.clifford_only and not is_clifford_gate(gate):
+            return False
+        return True
+
+    def supports_circuit(self, circuit: QuantumCircuit) -> bool:
+        """True when every gate of ``circuit`` is supported."""
+        return all(self.supports_gate(gate) for gate in circuit.gates)
+
+    def unsupported_gates(self, circuit: QuantumCircuit) -> List[Gate]:
+        """The gates of ``circuit`` this engine would reject."""
+        return [gate for gate in circuit.gates if not self.supports_gate(gate)]
+
+
+class Engine(abc.ABC):
+    """Abstract base of every simulation backend (see the module docstring
+    for the lifecycle contract)."""
+
+    #: Declarative capability record; set by every concrete engine class.
+    capabilities: ClassVar[Capabilities]
+
+    def __init__(self) -> None:
+        self._prepared_at: Optional[float] = None
+        self._gates_applied = 0
+
+    # -- lifecycle ------------------------------------------------------- #
+    def prepare(self, circuit: QuantumCircuit, limits=None) -> None:
+        """Allocate the native state for ``circuit``.
+
+        Subclasses must call ``super().prepare(circuit, limits)`` (it starts
+        the elapsed-time clock and resets the gate counter) before building
+        their native simulator.
+        """
+        self._prepared_at = time.perf_counter()
+        self._gates_applied = 0
+
+    @abc.abstractmethod
+    def apply(self, gate: Gate) -> None:
+        """Apply one gate (raise ``UnsupportedGateError`` outside the
+        declared capability set; measurement markers are no-ops)."""
+
+    @abc.abstractmethod
+    def probability(self, qubits: Sequence[int], bits: Sequence[int]) -> float:
+        """Joint probability of observing ``bits`` on ``qubits`` without
+        collapsing the state."""
+
+    @abc.abstractmethod
+    def memory_nodes(self) -> int:
+        """Current memory footprint in canonical node units (used by the
+        limit-enforcement wrapper for the MO budget)."""
+
+    # -- statistics ------------------------------------------------------ #
+    def statistics(self) -> Dict[str, float]:
+        """Canonical run statistics; subclasses extend with engine extras."""
+        return {
+            "num_qubits": self.num_qubits,
+            "gates_applied": self._gates_applied,
+            "peak_memory_nodes": self.memory_nodes(),
+            "elapsed_seconds": self.elapsed_seconds(),
+        }
+
+    @property
+    @abc.abstractmethod
+    def num_qubits(self) -> int:
+        """Register size of the prepared circuit."""
+
+    def elapsed_seconds(self) -> float:
+        """Wall-clock seconds since :meth:`prepare`."""
+        if self._prepared_at is None:
+            return 0.0
+        return time.perf_counter() - self._prepared_at
+
+    # -- helpers --------------------------------------------------------- #
+    def ensure_supported(self, gate: Gate) -> None:
+        """Raise :class:`UnsupportedGateError` unless ``gate`` is inside the
+        declared capability set (convenience for engines whose native core
+        does not police its own gate set)."""
+        if not self.capabilities.supports_gate(gate):
+            raise UnsupportedGateError(
+                f"gate {gate.kind.value} (controls={len(gate.controls)}) is "
+                f"outside the declared capabilities of engine "
+                f"{self.capabilities.name!r}")
+
+    def run(self, circuit: QuantumCircuit, limits=None) -> "Engine":
+        """Convenience: ``prepare`` then ``apply`` every gate; returns
+        ``self``.  Budget-enforced execution goes through
+        :class:`~repro.engines.limits.LimitEnforcer` instead."""
+        self.prepare(circuit, limits)
+        for gate in circuit.gates:
+            self.apply(gate)
+        return self
+
+    def _count_gate(self, gate: Gate) -> None:
+        """Bump the applied-gate counter (measurement markers excluded)."""
+        if gate.kind is not GateKind.MEASURE:
+            self._gates_applied += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(engine={self.capabilities.name!r})"

@@ -1,0 +1,168 @@
+"""The ``repro.run()`` front door and the parallel sweep executor.
+
+:func:`run` is the one call that does what the benchmark harness does for a
+single (engine, circuit) pair: resolve the engine (by name, alias, or
+``"auto"`` capability selection), execute the circuit under the unified
+TO/MO limit wrapper, answer the paper's end-of-run probability query, and
+classify the outcome into the paper's status classes — returning a
+normalised :class:`~repro.engines.result.RunResult`.
+
+:func:`run_sweep` executes an (engine x circuit) grid, optionally across
+``concurrent.futures`` process workers.  Results always come back in
+deterministic task order regardless of worker scheduling, and the
+deterministic serialisation (``RunResult.to_dict(timings=False)``) is
+byte-identical between the serial and parallel paths — which is what lets
+the harness regenerate the paper's Tables III-VI in parallel without
+changing a single reported number.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.engines.limits import LimitEnforcer, ResourceLimits
+from repro.engines.registry import AUTO_ENGINE, create_engine, resolve_engine
+from repro.engines.result import (
+    STATUS_CRASH,
+    STATUS_ERROR,
+    STATUS_MEMORY,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    STATUS_UNSUPPORTED,
+    RunResult,
+)
+from repro.exceptions import (
+    NumericalError,
+    SimulationMemoryExceeded,
+    SimulationTimeout,
+    UnsupportedGateError,
+)
+
+#: Cap on the end-of-run joint-probability query width, keeping the query
+#: linear-time on very wide registers.  The same cap applies to every
+#: engine, so all engines answer the same question.
+FINAL_QUERY_QUBIT_CAP = 64
+
+
+def final_query_qubits(circuit: QuantumCircuit,
+                       cap: int = FINAL_QUERY_QUBIT_CAP) -> List[int]:
+    """Qubits for the end-of-run probability query (measured qubits if any,
+    otherwise all qubits, capped to keep the query linear-time)."""
+    qubits = circuit.measured_qubits or list(range(circuit.num_qubits))
+    return qubits[:cap]
+
+
+def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
+        limits: Optional[ResourceLimits] = None) -> RunResult:
+    """Run ``circuit`` on ``engine`` under ``limits``; classify the outcome.
+
+    ``engine`` may be a canonical name (``"bitslice"``, ``"qmdd"``,
+    ``"statevector"``, ``"stabilizer"``), a registered alias (``"bdd"``,
+    ``"ddsim"``, ``"dense"``, ``"chp"``, ...), or ``"auto"`` to let the
+    registry pick by capability.  After the circuit is applied the engine
+    answers one final probability query (the all-zeros outcome on the
+    measured qubits, or on all qubits when the circuit marks none), so the
+    measured runtime includes the measurement machinery exactly as in the
+    paper's runs.
+    """
+    limits = limits or ResourceLimits()
+    resolved = resolve_engine(engine, circuit, limits)
+    instance = create_engine(resolved)
+    start = time.perf_counter()
+    status = STATUS_OK
+    detail = ""
+    peak_memory_nodes = 0
+    final_probability: Optional[float] = None
+    extra = {}
+    try:
+        LimitEnforcer(instance, limits).execute(circuit)
+        qubits = final_query_qubits(circuit)
+        final_probability = instance.probability(qubits, [0] * len(qubits))
+        stats = instance.statistics()
+        peak_memory_nodes = int(stats.get("peak_memory_nodes", 0))
+        # Engine-specific extras only: stats duplicating a first-class
+        # RunResult field are dropped (notably the engine-internal
+        # elapsed_seconds, which differs slightly from the front door's
+        # clock and would otherwise shadow it in serialised reports).
+        extra = {key: value for key, value in stats.items()
+                 if key not in ("peak_memory_nodes", "elapsed_seconds",
+                                "num_qubits")
+                 and isinstance(value, (int, float))}
+    except SimulationTimeout as exc:
+        status, detail = STATUS_TIMEOUT, str(exc)
+    except (SimulationMemoryExceeded, MemoryError) as exc:
+        status, detail = STATUS_MEMORY, str(exc)
+    except NumericalError as exc:
+        status, detail = STATUS_ERROR, str(exc)
+    except UnsupportedGateError as exc:
+        status, detail = STATUS_UNSUPPORTED, str(exc)
+    except RecursionError as exc:  # pragma: no cover - defensive
+        status, detail = STATUS_CRASH, f"recursion depth exceeded: {exc}"
+    elapsed = time.perf_counter() - start
+    if (status == STATUS_OK and limits.max_seconds is not None
+            and elapsed > limits.max_seconds):
+        # The engine finished right at the edge of the budget; classify as
+        # timeout so the tables stay consistent with the budget.
+        status = STATUS_TIMEOUT
+        detail = (f"completed in {elapsed:.1f}s, over the "
+                  f"{limits.max_seconds:.1f}s budget")
+    return RunResult(
+        engine=resolved,
+        circuit_name=circuit.name,
+        num_qubits=circuit.num_qubits,
+        num_gates=circuit.num_gates,
+        status=status,
+        elapsed_seconds=elapsed,
+        peak_memory_nodes=peak_memory_nodes,
+        final_probability=final_probability,
+        detail=detail,
+        extra=extra,
+        requested_engine=engine,
+    )
+
+
+def _run_task(task: Tuple[str, QuantumCircuit],
+              limits: Optional[ResourceLimits]) -> RunResult:
+    """Process-pool worker: one (engine, circuit) task."""
+    engine, circuit = task
+    return run(circuit, engine=engine, limits=limits)
+
+
+def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
+              limits: Optional[ResourceLimits] = None,
+              jobs: int = 1) -> List[RunResult]:
+    """Execute (engine, circuit) tasks, optionally on process workers.
+
+    ``jobs <= 1`` runs serially in-process.  With ``jobs > 1`` the tasks are
+    distributed over a :class:`~concurrent.futures.ProcessPoolExecutor`;
+    results are returned in task order either way, so downstream grouping
+    and table rendering are independent of worker scheduling.
+
+    Engines registered at import time (everything in :mod:`repro.engines`
+    and any module imported before the pool starts) are available in the
+    workers; engines registered dynamically inside a ``__main__`` script are
+    only visible to forked workers (the POSIX default), not spawned ones.
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_run_task(task, limits) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = [pool.submit(_run_task, task, limits) for task in tasks]
+        return [future.result() for future in futures]
+
+
+def run_sweep(circuits: Sequence[QuantumCircuit],
+              engines: Sequence[str] = (AUTO_ENGINE,),
+              limits: Optional[ResourceLimits] = None,
+              jobs: int = 1) -> List[RunResult]:
+    """Run every circuit on every engine (circuit-major order).
+
+    Returns ``len(circuits) * len(engines)`` results ordered as
+    ``(circuit[0], engines...), (circuit[1], engines...), ...`` —
+    deterministic regardless of ``jobs``.
+    """
+    tasks = [(engine, circuit) for circuit in circuits for engine in engines]
+    return run_tasks(tasks, limits=limits, jobs=jobs)

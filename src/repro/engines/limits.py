@@ -1,0 +1,82 @@
+"""Resource budgets and the single limit-enforcement wrapper.
+
+The paper's protocol gives every run a wall-clock budget (TO) and a memory
+budget (MO).  Before the engine redesign each simulator policed its own
+budgets with duplicated (and inconsistent — the dense engine ignored
+``max_seconds`` entirely) checks; now :class:`LimitEnforcer` drives any
+:class:`~repro.engines.base.Engine` gate by gate and applies both budgets
+between gates, so every engine times out and memory-outs through the exact
+same code path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import SimulationMemoryExceeded, SimulationTimeout
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Per-run budgets (``None`` disables a limit).
+
+    ``max_nodes`` is measured in canonical node units (decision-diagram
+    nodes for the symbolic engines; dense and tableau engines convert their
+    byte footprints with
+    :data:`~repro.engines.base.BYTES_PER_NODE`-equivalent factors), so one
+    budget is comparable across engines.
+    """
+
+    max_seconds: Optional[float] = 60.0
+    max_nodes: Optional[int] = 500_000
+    #: Dense statevector cut-off, in qubits (its memory is 16 * 2**n bytes).
+    max_dense_qubits: int = 24
+
+
+class LimitEnforcer:
+    """Run a circuit on an engine, enforcing TO/MO budgets between gates.
+
+    The wrapper owns the clock: it starts timing when :meth:`execute` is
+    entered (so preparation cost counts, as in the paper's protocol) and
+    checks ``max_seconds`` and ``max_nodes`` after preparation and after
+    every gate.  Engines therefore do not need any budget plumbing of their
+    own — including engines whose native classes historically had none.
+    """
+
+    def __init__(self, engine, limits: Optional[ResourceLimits] = None):
+        self.engine = engine
+        self.limits = limits or ResourceLimits()
+        self._start_time: Optional[float] = None
+
+    def execute(self, circuit: QuantumCircuit):
+        """Prepare the engine for ``circuit`` and apply every gate under the
+        budgets; returns the engine for chaining."""
+        self._start_time = time.perf_counter()
+        self.engine.prepare(circuit, self.limits)
+        self.check()
+        for gate in circuit.gates:
+            self.engine.apply(gate)
+            self.check()
+        return self.engine
+
+    def elapsed_seconds(self) -> float:
+        """Wall-clock seconds since :meth:`execute` was entered."""
+        if self._start_time is None:
+            return 0.0
+        return time.perf_counter() - self._start_time
+
+    def check(self) -> None:
+        """Raise ``SimulationTimeout`` / ``SimulationMemoryExceeded`` when a
+        budget is exhausted (also usable inside long engine queries)."""
+        limits = self.limits
+        if limits.max_seconds is not None:
+            elapsed = self.elapsed_seconds()
+            if elapsed > limits.max_seconds:
+                raise SimulationTimeout(elapsed, limits.max_seconds)
+        if limits.max_nodes is not None:
+            nodes = self.engine.memory_nodes()
+            if nodes > limits.max_nodes:
+                raise SimulationMemoryExceeded(nodes, limits.max_nodes)

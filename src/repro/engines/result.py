@@ -1,0 +1,126 @@
+"""The normalised :class:`RunResult` record and outcome classification.
+
+One canonical schema for every engine: ``status`` (the paper's outcome
+classes), ``elapsed_seconds``, ``peak_memory_nodes``, ``final_probability``
+and an ``extra`` mapping carrying engine-specific counters (e.g. the BDD
+substrate's ``substrate_*`` series).  The pre-redesign per-engine key
+remapping (``peak_bdd_nodes`` vs ``peak_dd_nodes`` vs ``tableau_bytes``)
+lives in the engine adapters now; nothing downstream of
+:func:`repro.engines.frontdoor.run` ever sees an engine-specific spelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.engines.base import BYTES_PER_NODE
+
+#: Outcome classes, matching the paper's table annotations.
+STATUS_OK = "ok"
+STATUS_TIMEOUT = "TO"
+STATUS_MEMORY = "MO"
+STATUS_ERROR = "error"
+STATUS_UNSUPPORTED = "unsupported"
+STATUS_CRASH = "crash"
+
+ALL_STATUSES = (STATUS_OK, STATUS_TIMEOUT, STATUS_MEMORY, STATUS_ERROR,
+                STATUS_UNSUPPORTED, STATUS_CRASH)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (engine, circuit) run in the canonical stats schema."""
+
+    engine: str
+    circuit_name: str
+    num_qubits: int
+    num_gates: int
+    status: str
+    elapsed_seconds: float = 0.0
+    peak_memory_nodes: int = 0
+    final_probability: Optional[float] = None
+    detail: str = ""
+    extra: Dict[str, float] = field(default_factory=dict)
+    #: What the caller asked for ("auto" runs record the request here and
+    #: the resolved engine in :attr:`engine`).
+    requested_engine: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        """True when the run completed without TO/MO/error."""
+        return self.status == STATUS_OK
+
+    @property
+    def memory_mb(self) -> float:
+        """Approximate memory footprint in MB (node count based)."""
+        return self.peak_memory_nodes * BYTES_PER_NODE / (1024.0 * 1024.0)
+
+    # -- compatibility aliases (pre-redesign field names) ----------------- #
+    @property
+    def runtime_seconds(self) -> float:
+        """Deprecated alias of :attr:`elapsed_seconds`."""
+        return self.elapsed_seconds
+
+    @property
+    def memory_nodes(self) -> int:
+        """Deprecated alias of :attr:`peak_memory_nodes`."""
+        return self.peak_memory_nodes
+
+    # -- serialisation --------------------------------------------------- #
+    def to_dict(self, timings: bool = True) -> Dict[str, object]:
+        """Plain-dict form of the result.
+
+        With ``timings=False`` every wall-clock-derived entry (the
+        ``elapsed_seconds`` field, any ``*_seconds`` extra, and the free-form
+        ``detail`` text, which embeds elapsed times in TO messages) is
+        dropped, leaving only deterministic fields: two runs of the same
+        (engine, circuit, limits) triple — serial or parallel, any worker —
+        produce byte-identical serialisations of this form.
+        """
+        data: Dict[str, object] = {
+            "engine": self.engine,
+            "circuit": self.circuit_name,
+            "num_qubits": self.num_qubits,
+            "num_gates": self.num_gates,
+            "status": self.status,
+            "peak_memory_nodes": self.peak_memory_nodes,
+            "memory_mb": self.memory_mb,
+            "final_probability": self.final_probability,
+        }
+        if timings:
+            data["elapsed_seconds"] = self.elapsed_seconds
+            data["detail"] = self.detail
+        extra = {key: value for key, value in sorted(self.extra.items())
+                 if timings or not key.endswith("_seconds")}
+        data["extra"] = extra
+        return data
+
+
+def summarise(results: Sequence[RunResult]) -> Dict[str, float]:
+    """Aggregate a result list the way the paper's table rows do.
+
+    Returns average runtime over successes, the failure counts per class and
+    the average memory (MB) over all runs.
+    """
+    successes = [result for result in results if result.succeeded]
+    summary = {
+        "runs": len(results),
+        "successes": len(successes),
+        "avg_runtime": (sum(r.elapsed_seconds for r in successes) / len(successes)
+                        if successes else float("nan")),
+        "avg_memory_mb": (sum(r.memory_mb for r in results) / len(results)
+                          if results else 0.0),
+        "timeouts": sum(1 for r in results if r.status == STATUS_TIMEOUT),
+        "memouts": sum(1 for r in results if r.status == STATUS_MEMORY),
+        "errors": sum(1 for r in results if r.status == STATUS_ERROR),
+        "unsupported": sum(1 for r in results if r.status == STATUS_UNSUPPORTED),
+        "crashes": sum(1 for r in results if r.status == STATUS_CRASH),
+    }
+    # Substrate-instrumented engines report computed-table effectiveness in
+    # their extras; surface the average hit rate next to the runtime columns.
+    hit_rates = [r.extra["substrate_cache_hit_rate"] for r in successes
+                 if "substrate_cache_hit_rate" in r.extra]
+    if hit_rates:
+        summary["avg_cache_hit_rate"] = sum(hit_rates) / len(hit_rates)
+    return summary

@@ -4,11 +4,14 @@ The harness mirrors Section IV of the paper:
 
 * every (circuit, engine) pair runs under a wall-clock limit and a memory
   limit and is classified as success / TO / MO / numerical error /
-  unsupported — the same outcome classes as the paper's tables;
+  unsupported — the same outcome classes as the paper's tables; execution
+  goes through the unified engine API of :mod:`repro.engines` (registry,
+  ``"auto"`` selection, one limit-enforcement wrapper for every engine);
 * :mod:`repro.harness.experiments` defines one experiment per table
   (Tables III–VI) plus the accuracy experiment and the ablations listed in
-  DESIGN.md, each with laptop-scale default parameters and a
-  ``paper_scale=True`` switch restoring the original qubit counts;
+  DESIGN.md, each with laptop-scale default parameters, a
+  ``paper_scale=True`` switch restoring the original qubit counts, and a
+  ``jobs`` parameter spreading the grid over process workers;
 * :mod:`repro.harness.tables` renders collected results in the same row
   layout the paper uses, so the regenerated tables can be compared
   side-by-side with the published ones (see EXPERIMENTS.md).
@@ -17,14 +20,18 @@ Command-line entry point::
 
     python -m repro.harness table3            # regenerate Table III (scaled)
     python -m repro.harness table5 --paper-scale
-    python -m repro.harness all --quick
+    python -m repro.harness all --quick --engines bitslice,qmdd --jobs 4 \\
+        --json out.json
 """
 
 from repro.harness.runner import (
-    ENGINES,
+    ENGINE_LABELS,
     ResourceLimits,
     RunResult,
+    available_engines,
     run_circuit,
+    run_suite,
+    summarise,
 )
 from repro.harness.experiments import (
     accuracy_experiment,
@@ -49,10 +56,13 @@ from repro.harness.report import (
 )
 
 __all__ = [
-    "ENGINES",
+    "ENGINE_LABELS",
     "ResourceLimits",
     "RunResult",
+    "available_engines",
     "run_circuit",
+    "run_suite",
+    "summarise",
     "table3_experiment",
     "table4_experiment",
     "table5_experiment",

@@ -5,25 +5,27 @@ Examples::
     python -m repro.harness table3                 # laptop-scale Table III
     python -m repro.harness table5 --paper-scale   # original qubit counts
     python -m repro.harness all --quick            # small smoke sweep
+    python -m repro.harness table3 --quick --engines bitslice,qmdd --jobs 4
+    python -m repro.harness all --quick --json out.json
     python -m repro.harness accuracy
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro.engines import available_engines, engine_aliases
 from repro.harness.experiments import (
-    TABLE3_DEFAULT_QUBITS,
-    TABLE5_DEFAULT_QUBITS,
-    TABLE6_DEFAULT_QUBITS,
     accuracy_experiment,
     table3_experiment,
     table4_experiment,
     table5_experiment,
     table6_experiment,
 )
+from repro.harness.report import experiment_to_dict
 from repro.harness.runner import ResourceLimits
 from repro.harness.tables import (
     format_accuracy,
@@ -53,6 +55,13 @@ def _build_parser() -> argparse.ArgumentParser:
                              "7200 s budgets (very slow in pure Python)")
     parser.add_argument("--quick", action="store_true",
                         help="tiny parameters for a fast smoke run")
+    parser.add_argument("--engines", type=str, default=None,
+                        help="comma-separated engine names/aliases to compare "
+                             f"(registered: {', '.join(available_engines())}; "
+                             "'auto' selects per circuit by capability)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="process workers for the (engine x circuit) grid "
+                             "(default 1 = serial)")
     parser.add_argument("--time-limit", type=float, default=None,
                         help="wall-clock budget per case in seconds")
     parser.add_argument("--node-limit", type=int, default=None,
@@ -61,6 +70,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="circuits per size for the randomised suites")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the rendered tables to this file")
+    parser.add_argument("--json", type=str, default=None, dest="json_out",
+                        help="write the machine-readable experiment report "
+                             "(every run + summaries) to this JSON file")
     return parser
 
 
@@ -72,12 +84,35 @@ def _limits_from_args(args: argparse.Namespace) -> Optional[ResourceLimits]:
         max_nodes=args.node_limit if args.node_limit is not None else 400_000)
 
 
+def _engines_from_args(args: argparse.Namespace) -> Optional[List[str]]:
+    if args.engines is None:
+        return None
+    engines = [name.strip() for name in args.engines.split(",") if name.strip()]
+    if not engines:
+        raise SystemExit("--engines needs at least one engine name")
+    known = set(available_engines()) | set(engine_aliases()) | {"auto"}
+    unknown = [name for name in engines if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown engine(s): {', '.join(unknown)}; "
+            f"registered: {', '.join(sorted(known))}")
+    return engines
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Run the requested experiment(s) and print the rendered tables."""
     args = _build_parser().parse_args(argv)
     limits = _limits_from_args(args)
+    engines = _engines_from_args(args)
+    # One place decides the compared engines: the user's --engines list, or
+    # the paper's default pair (Table V additionally appends the stabilizer
+    # when the user did not pin the set).
+    engine_list = tuple(engines) if engines else ("qmdd", "bitslice")
+    table5_engines = (engine_list if engines
+                      else engine_list + ("stabilizer",))
     seeds = args.seeds
     sections: List[str] = []
+    experiments = []
 
     def want(name: str) -> bool:
         return args.experiment in (name, "all")
@@ -86,28 +121,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         experiment = table3_experiment(
             qubit_counts=QUICK_TABLE3_QUBITS if args.quick else None,
             circuits_per_size=seeds or (2 if args.quick else 3),
-            limits=limits, paper_scale=args.paper_scale)
-        sections.append(format_table3(experiment))
+            engines=engine_list,
+            limits=limits, paper_scale=args.paper_scale, jobs=args.jobs)
+        experiments.append(experiment)
+        sections.append(format_table3(experiment, engines=engine_list))
     if want("table4"):
         experiment = table4_experiment(
             families=QUICK_TABLE4_FAMILIES if args.quick else None,
-            limits=limits, paper_scale=args.paper_scale)
-        sections.append(format_table4(experiment))
+            engines=engine_list,
+            limits=limits, paper_scale=args.paper_scale, jobs=args.jobs)
+        experiments.append(experiment)
+        sections.append(format_table4(experiment, engines=engine_list))
     if want("table5"):
         experiment = table5_experiment(
             qubit_counts=QUICK_TABLE5_QUBITS if args.quick else None,
-            limits=limits, paper_scale=args.paper_scale)
-        sections.append(format_table5(experiment))
+            engines=engine_list,
+            include_stabilizer=engines is None,
+            limits=limits, paper_scale=args.paper_scale, jobs=args.jobs)
+        experiments.append(experiment)
+        sections.append(format_table5(experiment, engines=table5_engines))
     if want("table6"):
         experiment = table6_experiment(
             qubit_counts=QUICK_TABLE6_QUBITS if args.quick else None,
             circuits_per_size=seeds or (1 if args.quick else 2),
-            limits=limits, paper_scale=args.paper_scale)
-        sections.append(format_table6(experiment))
+            engines=engine_list,
+            limits=limits, paper_scale=args.paper_scale, jobs=args.jobs)
+        experiments.append(experiment)
+        sections.append(format_table6(experiment, engines=engine_list))
     if want("accuracy"):
         experiment = accuracy_experiment(
             num_qubits=4 if args.quick else 6,
             layers=(4, 16) if args.quick else (4, 16, 64, 128))
+        experiments.append(experiment)
         sections.append(format_accuracy(experiment))
 
     output = "\n".join(sections)
@@ -115,6 +160,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(output)
+    if args.json_out:
+        payload = {"experiments": [experiment_to_dict(e) for e in experiments]}
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+            handle.write("\n")
     return 0
 
 

@@ -4,6 +4,12 @@ Each ``*_experiment`` function builds the workload, runs it on the requested
 engines under the requested limits and returns a structured result that the
 formatters in :mod:`repro.harness.tables` turn into the paper's table layout.
 
+Every table experiment accepts ``jobs``: the (engine x circuit) grid is
+flattened into tasks and executed through
+:func:`repro.engines.frontdoor.run_tasks`, so ``jobs > 1`` spreads the grid
+over process workers while producing the exact same grouped results (task
+order is deterministic and independent of worker scheduling).
+
 Scaling: the original evaluation ran C/C++ engines for up to 7200 s per case
 on a Xeon server.  The pure-Python reproduction is orders of magnitude slower
 per node operation, so the default parameters use smaller qubit counts and
@@ -15,13 +21,13 @@ the numbers shipped with the repository.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.circuit import QuantumCircuit
+from repro.engines.frontdoor import run_tasks
 from repro.harness.runner import (
     ResourceLimits,
     RunResult,
-    run_circuit,
     summarise,
 )
 from repro.workloads.algorithms import bernstein_vazirani_circuit, ghz_circuit
@@ -52,6 +58,25 @@ class ExperimentResult:
         self.summaries.setdefault(group, {})[engine] = summarise(results)
 
 
+def _run_grouped(experiment: ExperimentResult,
+                 grid: Sequence[Tuple[object, str, QuantumCircuit]],
+                 limits: Optional[ResourceLimits],
+                 jobs: int) -> None:
+    """Execute a (group, engine, circuit) grid and record grouped results.
+
+    The grid is flattened into engine tasks, executed (serially or across
+    process workers), and regrouped in grid order, so the populated
+    ``experiment.runs``/``summaries`` are identical for any ``jobs`` value.
+    """
+    results = run_tasks([(engine, circuit) for _, engine, circuit in grid],
+                        limits=limits, jobs=jobs)
+    grouped: Dict[Tuple[object, str], List[RunResult]] = {}
+    for (group, engine, _), result in zip(grid, results):
+        grouped.setdefault((group, engine), []).append(result)
+    for (group, engine), group_results in grouped.items():
+        experiment.add(group, engine, group_results)
+
+
 # --------------------------------------------------------------------------- #
 # Table III: random circuits
 # --------------------------------------------------------------------------- #
@@ -66,7 +91,8 @@ def table3_experiment(qubit_counts: Optional[Sequence[int]] = None,
                       engines: Sequence[str] = DEFAULT_ENGINES,
                       limits: Optional[ResourceLimits] = None,
                       paper_scale: bool = False,
-                      base_seed: int = 2021) -> ExperimentResult:
+                      base_seed: int = 2021,
+                      jobs: int = 1) -> ExperimentResult:
     """Random circuits (paper Table III): 3:1 gate:qubit ratio, H prologue."""
     if qubit_counts is None:
         qubit_counts = TABLE3_PAPER_QUBITS if paper_scale else TABLE3_DEFAULT_QUBITS
@@ -82,6 +108,7 @@ def table3_experiment(qubit_counts: Optional[Sequence[int]] = None,
         "limits": limits,
         "paper_scale": paper_scale,
     })
+    grid: List[Tuple[object, str, QuantumCircuit]] = []
     for num_qubits in qubit_counts:
         circuits = [
             generate_random_circuit(num_qubits,
@@ -89,8 +116,8 @@ def table3_experiment(qubit_counts: Optional[Sequence[int]] = None,
             for index in range(circuits_per_size)
         ]
         for engine in engines:
-            results = [run_circuit(engine, circuit, limits) for circuit in circuits]
-            experiment.add(num_qubits, engine, results)
+            grid.extend((num_qubits, engine, circuit) for circuit in circuits)
+    _run_grouped(experiment, grid, limits, jobs)
     return experiment
 
 
@@ -100,19 +127,22 @@ def table3_experiment(qubit_counts: Optional[Sequence[int]] = None,
 def table4_experiment(families: Optional[Sequence[str]] = None,
                       engines: Sequence[str] = DEFAULT_ENGINES,
                       limits: Optional[ResourceLimits] = None,
-                      paper_scale: bool = False) -> ExperimentResult:
+                      paper_scale: bool = False,
+                      jobs: int = 1) -> ExperimentResult:
     """RevLib-style circuits (paper Table IV): original vs H-modified."""
     limits = limits or (ResourceLimits(max_seconds=7200, max_nodes=None)
                         if paper_scale else ResourceLimits(max_seconds=60.0,
                                                            max_nodes=400_000))
     experiment = ExperimentResult("table4_revlib")
     experiment.metadata.update({"limits": limits, "paper_scale": paper_scale})
+    grid: List[Tuple[object, str, QuantumCircuit]] = []
     for name, original, modified, constants in revlib_suite(families):
         experiment.metadata.setdefault("constants", {})[name] = constants  # type: ignore[index]
         for variant_label, circuit in (("original", original), ("modified", modified)):
             group = (name, variant_label)
             for engine in engines:
-                experiment.add(group, engine, [run_circuit(engine, circuit, limits)])
+                grid.append((group, engine, circuit))
+    _run_grouped(experiment, grid, limits, jobs)
     return experiment
 
 
@@ -129,7 +159,8 @@ def table5_experiment(qubit_counts: Optional[Sequence[int]] = None,
                       engines: Sequence[str] = DEFAULT_ENGINES,
                       include_stabilizer: bool = True,
                       limits: Optional[ResourceLimits] = None,
-                      paper_scale: bool = False) -> ExperimentResult:
+                      paper_scale: bool = False,
+                      jobs: int = 1) -> ExperimentResult:
     """Entanglement (GHZ) and Bernstein–Vazirani circuits (paper Table V)."""
     if qubit_counts is None:
         qubit_counts = TABLE5_PAPER_QUBITS if paper_scale else TABLE5_DEFAULT_QUBITS
@@ -145,16 +176,16 @@ def table5_experiment(qubit_counts: Optional[Sequence[int]] = None,
         "limits": limits,
         "paper_scale": paper_scale,
     })
+    grid: List[Tuple[object, str, QuantumCircuit]] = []
     for num_qubits in qubit_counts:
         entanglement = ghz_circuit(num_qubits)
         # The paper's BV column counts total qubits; the data register is one
         # smaller because of the ancilla.
         bv = bernstein_vazirani_circuit(max(1, num_qubits - 1))
         for engine in engine_list:
-            experiment.add(("entanglement", num_qubits), engine,
-                           [run_circuit(engine, entanglement, limits)])
-            experiment.add(("bv", num_qubits), engine,
-                           [run_circuit(engine, bv, limits)])
+            grid.append((("entanglement", num_qubits), engine, entanglement))
+            grid.append((("bv", num_qubits), engine, bv))
+    _run_grouped(experiment, grid, limits, jobs)
     return experiment
 
 
@@ -173,7 +204,8 @@ def table6_experiment(qubit_counts: Optional[Sequence[int]] = None,
                       engines: Sequence[str] = DEFAULT_ENGINES,
                       limits: Optional[ResourceLimits] = None,
                       paper_scale: bool = False,
-                      base_seed: int = 2021) -> ExperimentResult:
+                      base_seed: int = 2021,
+                      jobs: int = 1) -> ExperimentResult:
     """Google supremacy (GRCS) circuits at depth 5 (paper Table VI)."""
     if qubit_counts is None:
         qubit_counts = TABLE6_PAPER_QUBITS if paper_scale else TABLE6_DEFAULT_QUBITS
@@ -190,14 +222,15 @@ def table6_experiment(qubit_counts: Optional[Sequence[int]] = None,
         "limits": limits,
         "paper_scale": paper_scale,
     })
+    grid: List[Tuple[object, str, QuantumCircuit]] = []
     for count in qubit_counts:
         rows, columns = TABLE6_LATTICES[count]
         circuits = [grcs_circuit(rows, columns, depth=depth,
                                  seed=base_seed * 7_919 + count * 101 + index)
                     for index in range(circuits_per_size)]
         for engine in engines:
-            results = [run_circuit(engine, circuit, limits) for circuit in circuits]
-            experiment.add(count, engine, results)
+            grid.extend((count, engine, circuit) for circuit in circuits)
+    _run_grouped(experiment, grid, limits, jobs)
     return experiment
 
 

@@ -20,21 +20,10 @@ from repro.harness.runner import ENGINE_LABELS, RunResult
 
 
 def _run_to_dict(result: RunResult) -> Dict[str, object]:
-    return {
-        "engine": result.engine,
-        "circuit": result.circuit_name,
-        "num_qubits": result.num_qubits,
-        "num_gates": result.num_gates,
-        "status": result.status,
-        "runtime_seconds": result.runtime_seconds,
-        "memory_nodes": result.memory_nodes,
-        "memory_mb": result.memory_mb,
-        "detail": result.detail,
-        # Engine-specific numeric stats; for the bit-sliced engine this
-        # carries the substrate_* performance counters (per-op cache hit
-        # rates, unique-table traffic, GC pauses, peak live nodes).
-        "extra": dict(result.extra),
-    }
+    # Canonical stats schema (peak_memory_nodes / elapsed_seconds /
+    # final_probability); the extra mapping carries engine-specific counters
+    # such as the bit-sliced engine's substrate_* performance series.
+    return result.to_dict()
 
 
 def experiment_to_dict(experiment: ExperimentResult) -> Dict[str, object]:

@@ -1,240 +1,83 @@
-"""Run one circuit on one engine under resource limits and classify the
-outcome the way the paper does (success / TO / MO / error / unsupported).
+"""Harness-facing façade over the unified engine API.
 
 The paper's protocol gives every case a 7200 s time-out and a 2 GB memory
-limit on a Xeon server.  The Python reproduction uses the same protocol with
-configurable budgets: wall-clock seconds, and a *node budget* for the
-decision-diagram engines (decision-diagram nodes are the natural memory unit
-of both the BDD and the QMDD engines; an approximate byte conversion is
-reported alongside for comparison with the paper's MB numbers).
+limit on a Xeon server; the reproduction applies configurable budgets
+through the one :class:`~repro.engines.limits.LimitEnforcer` shared by all
+engines.  Since the engine redesign this module carries no per-engine code
+at all: engines live behind the capability-aware registry in
+:mod:`repro.engines`, :func:`run_circuit` delegates to the
+:func:`repro.engines.frontdoor.run` front door (which already classifies
+outcomes into the paper's success / TO / MO / error / unsupported classes
+and normalises statistics into the canonical schema), and the per-engine
+stats-key remapping that used to live here is gone.
 
-After the circuit is applied, each engine answers one final probability query
-(the probability of the all-zeros outcome on the measured qubits, or on all
-qubits when the circuit marks none), so the measured runtime includes the
-measurement machinery of Section III-E exactly as in the paper's runs.
+Kept here for the harness and for backward compatibility:
+
+* re-exports of :class:`ResourceLimits`, :class:`RunResult`, the
+  ``STATUS_*`` constants, :data:`BYTES_PER_NODE` and :func:`summarise`;
+* :data:`ENGINE_LABELS`, derived from the registry's capability records;
+* :func:`run_suite`, the serial one-engine convenience used by examples.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.qmdd import QmddSimulator
-from repro.baselines.stabilizer import StabilizerSimulator
-from repro.baselines.statevector import StatevectorSimulator
 from repro.circuit.circuit import QuantumCircuit
-from repro.core.simulator import BitSliceSimulator
-from repro.exceptions import (
-    NumericalError,
-    SimulationMemoryExceeded,
-    SimulationTimeout,
-    UnsupportedGateError,
+from repro.engines import (  # noqa: F401  (re-exported harness API)
+    BYTES_PER_NODE,
+    STATUS_CRASH,
+    STATUS_ERROR,
+    STATUS_MEMORY,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    STATUS_UNSUPPORTED,
+    ResourceLimits,
+    RunResult,
+    available_engines,
+    engine_labels,
+    run as _run,
+    run_tasks,
+    summarise,
 )
+from repro.engines.frontdoor import final_query_qubits as _final_query_qubits  # noqa: F401
 
-#: Approximate bytes per decision-diagram node, used only to convert node
-#: counts into the MB figures reported next to the paper's numbers.  A CUDD /
-#: DDSIM node is ~32-48 bytes; the pure-Python stores cost more, but the
-#: comparison between engines uses the same constant so relative numbers are
-#: unaffected.
-BYTES_PER_NODE = 48
+__all__ = [
+    "BYTES_PER_NODE",
+    "ENGINE_LABELS",
+    "ResourceLimits",
+    "RunResult",
+    "STATUS_CRASH",
+    "STATUS_ERROR",
+    "STATUS_MEMORY",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "STATUS_UNSUPPORTED",
+    "available_engines",
+    "engine_labels",
+    "run_circuit",
+    "run_suite",
+    "run_tasks",
+    "summarise",
+]
 
-#: Outcome classes, matching the paper's table annotations.
-STATUS_OK = "ok"
-STATUS_TIMEOUT = "TO"
-STATUS_MEMORY = "MO"
-STATUS_ERROR = "error"
-STATUS_UNSUPPORTED = "unsupported"
-STATUS_CRASH = "crash"
-
-
-@dataclass
-class ResourceLimits:
-    """Per-run budgets (``None`` disables a limit)."""
-
-    max_seconds: Optional[float] = 60.0
-    max_nodes: Optional[int] = 500_000
-    #: Dense statevector cut-off, in qubits (its memory is 16 * 2**n bytes).
-    max_dense_qubits: int = 24
-
-
-@dataclass
-class RunResult:
-    """Outcome of one (engine, circuit) run."""
-
-    engine: str
-    circuit_name: str
-    num_qubits: int
-    num_gates: int
-    status: str
-    runtime_seconds: float = 0.0
-    memory_nodes: int = 0
-    detail: str = ""
-    extra: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def succeeded(self) -> bool:
-        """True when the run completed without TO/MO/error."""
-        return self.status == STATUS_OK
-
-    @property
-    def memory_mb(self) -> float:
-        """Approximate memory footprint in MB (node count based)."""
-        return self.memory_nodes * BYTES_PER_NODE / (1024.0 * 1024.0)
-
-
-def _final_query_qubits(circuit: QuantumCircuit, cap: int = 64) -> List[int]:
-    """Qubits for the end-of-run probability query (measured qubits if any,
-    otherwise all qubits, capped to keep the query linear-time)."""
-    qubits = circuit.measured_qubits or list(range(circuit.num_qubits))
-    return qubits[:cap]
-
-
-def _run_bitslice(circuit: QuantumCircuit, limits: ResourceLimits) -> Dict[str, float]:
-    simulator = BitSliceSimulator(circuit.num_qubits,
-                                  max_seconds=limits.max_seconds,
-                                  max_nodes=limits.max_nodes)
-    simulator.run(circuit)
-    qubits = _final_query_qubits(circuit)
-    probability = simulator.probability_of_outcome(qubits, [0] * len(qubits))
-    stats = simulator.statistics()
-    stats["final_probability"] = probability
-    stats["memory_nodes"] = stats.pop("peak_bdd_nodes")
-    return stats
-
-
-def _run_qmdd(circuit: QuantumCircuit, limits: ResourceLimits) -> Dict[str, float]:
-    simulator = QmddSimulator(circuit.num_qubits,
-                              max_seconds=limits.max_seconds,
-                              max_nodes=limits.max_nodes)
-    simulator.run(circuit)
-    qubits = _final_query_qubits(circuit)
-    probability = simulator.probability_of_outcome(qubits, [0] * len(qubits))
-    stats = simulator.statistics()
-    stats["final_probability"] = probability
-    stats["memory_nodes"] = stats.pop("peak_dd_nodes")
-    return stats
-
-
-def _run_statevector(circuit: QuantumCircuit, limits: ResourceLimits) -> Dict[str, float]:
-    simulator = StatevectorSimulator(circuit.num_qubits,
-                                     max_qubits=limits.max_dense_qubits)
-    start = time.perf_counter()
-    simulator.run(circuit)
-    qubits = _final_query_qubits(circuit)
-    probability = simulator.probability_of_outcome(qubits, [0] * len(qubits))
-    return {
-        "final_probability": probability,
-        "memory_nodes": (1 << circuit.num_qubits),
-        "elapsed_seconds": time.perf_counter() - start,
-    }
-
-
-def _run_stabilizer(circuit: QuantumCircuit, limits: ResourceLimits) -> Dict[str, float]:
-    simulator = StabilizerSimulator(circuit.num_qubits, max_seconds=limits.max_seconds)
-    simulator.run(circuit)
-    qubits = _final_query_qubits(circuit, cap=1)
-    probability = simulator.probability_of_qubit(qubits[0], 0) if qubits else 1.0
-    stats = simulator.statistics()
-    stats["final_probability"] = probability
-    stats["memory_nodes"] = int(stats.pop("tableau_bytes")) // BYTES_PER_NODE
-    return stats
-
-
-#: Engine registry: name -> runner callable.
-ENGINES: Dict[str, Callable[[QuantumCircuit, ResourceLimits], Dict[str, float]]] = {
-    "bitslice": _run_bitslice,
-    "qmdd": _run_qmdd,
-    "statevector": _run_statevector,
-    "stabilizer": _run_stabilizer,
-}
-
-#: Human-readable engine labels used in rendered tables (the QMDD engine is
-#: labelled after the tool it stands in for).
-ENGINE_LABELS: Dict[str, str] = {
-    "bitslice": "Ours (bit-sliced BDD)",
-    "qmdd": "QMDD (DDSIM-style)",
-    "statevector": "Dense statevector",
-    "stabilizer": "CHP stabilizer",
-}
+#: Human-readable engine labels used in rendered tables, derived from each
+#: registered engine's :class:`~repro.engines.base.Capabilities`.  A live
+#: view would also show late registrations; the snapshot is taken at import
+#: for stable table headers (formatters fall back to the raw name anyway).
+ENGINE_LABELS: Dict[str, str] = engine_labels()
 
 
 def run_circuit(engine: str, circuit: QuantumCircuit,
                 limits: Optional[ResourceLimits] = None) -> RunResult:
-    """Run ``circuit`` on ``engine`` under ``limits`` and classify the outcome."""
-    if engine not in ENGINES:
-        raise KeyError(f"unknown engine {engine!r}; available: {sorted(ENGINES)}")
-    limits = limits or ResourceLimits()
-    start = time.perf_counter()
-    status = STATUS_OK
-    detail = ""
-    memory_nodes = 0
-    extra: Dict[str, float] = {}
-    try:
-        stats = ENGINES[engine](circuit, limits)
-        memory_nodes = int(stats.get("memory_nodes", 0))
-        extra = {key: value for key, value in stats.items()
-                 if isinstance(value, (int, float))}
-    except SimulationTimeout as exc:
-        status, detail = STATUS_TIMEOUT, str(exc)
-    except (SimulationMemoryExceeded, MemoryError) as exc:
-        status, detail = STATUS_MEMORY, str(exc)
-    except NumericalError as exc:
-        status, detail = STATUS_ERROR, str(exc)
-    except UnsupportedGateError as exc:
-        status, detail = STATUS_UNSUPPORTED, str(exc)
-    except RecursionError as exc:  # pragma: no cover - defensive
-        status, detail = STATUS_CRASH, f"recursion depth exceeded: {exc}"
-    runtime = time.perf_counter() - start
-    if (status == STATUS_OK and limits.max_seconds is not None
-            and runtime > limits.max_seconds):
-        # The engine finished right at the edge of the budget; classify as
-        # timeout so the tables stay consistent with the budget.
-        status = STATUS_TIMEOUT
-        detail = f"completed in {runtime:.1f}s, over the {limits.max_seconds:.1f}s budget"
-    return RunResult(
-        engine=engine,
-        circuit_name=circuit.name,
-        num_qubits=circuit.num_qubits,
-        num_gates=circuit.num_gates,
-        status=status,
-        runtime_seconds=runtime,
-        memory_nodes=memory_nodes,
-        detail=detail,
-        extra=extra,
-    )
+    """Run ``circuit`` on ``engine`` under ``limits`` and classify the
+    outcome (thin wrapper over :func:`repro.engines.frontdoor.run`)."""
+    return _run(circuit, engine=engine, limits=limits)
 
 
 def run_suite(engine: str, circuits: Sequence[QuantumCircuit],
-              limits: Optional[ResourceLimits] = None) -> List[RunResult]:
-    """Run a list of circuits on one engine."""
-    return [run_circuit(engine, circuit, limits) for circuit in circuits]
-
-
-def summarise(results: Sequence[RunResult]) -> Dict[str, float]:
-    """Aggregate a result list the way the paper's table rows do.
-
-    Returns average runtime over successes, the failure counts per class and
-    the average memory (MB) over all runs.
-    """
-    successes = [result for result in results if result.succeeded]
-    summary = {
-        "runs": len(results),
-        "successes": len(successes),
-        "avg_runtime": (sum(r.runtime_seconds for r in successes) / len(successes)
-                        if successes else float("nan")),
-        "avg_memory_mb": (sum(r.memory_mb for r in results) / len(results)
-                          if results else 0.0),
-        "timeouts": sum(1 for r in results if r.status == STATUS_TIMEOUT),
-        "memouts": sum(1 for r in results if r.status == STATUS_MEMORY),
-        "errors": sum(1 for r in results if r.status == STATUS_ERROR),
-        "unsupported": sum(1 for r in results if r.status == STATUS_UNSUPPORTED),
-        "crashes": sum(1 for r in results if r.status == STATUS_CRASH),
-    }
-    # Substrate-instrumented engines report computed-table effectiveness in
-    # their extras; surface the average hit rate next to the runtime columns.
-    hit_rates = [r.extra["substrate_cache_hit_rate"] for r in successes
-                 if "substrate_cache_hit_rate" in r.extra]
-    if hit_rates:
-        summary["avg_cache_hit_rate"] = sum(hit_rates) / len(hit_rates)
-    return summary
+              limits: Optional[ResourceLimits] = None,
+              jobs: int = 1) -> List[RunResult]:
+    """Run a list of circuits on one engine (optionally on process workers)."""
+    return run_tasks([(engine, circuit) for circuit in circuits],
+                     limits=limits, jobs=jobs)

@@ -101,7 +101,7 @@ def format_table4(experiment: ExperimentResult,
         row: List[object] = [name, sample.num_qubits, variant, sample.num_gates]
         for engine in engines:
             result = per_engine[engine][0]
-            row.append(result.runtime_seconds if result.succeeded else result.status)
+            row.append(result.elapsed_seconds if result.succeeded else result.status)
         rows.append(row)
     return render_table(headers, rows, title="Table IV — RevLib-style circuits")
 
@@ -124,7 +124,7 @@ def format_table5(experiment: ExperimentResult,
                 row.append(None)
                 continue
             result = per_engine[engine][0]
-            row.append(result.runtime_seconds if result.succeeded else result.status)
+            row.append(result.elapsed_seconds if result.succeeded else result.status)
         rows.append(row)
     return render_table(headers, rows, title="Table V — quantum algorithm circuits")
 

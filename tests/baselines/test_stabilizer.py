@@ -74,6 +74,63 @@ class TestCliffordAgreement:
         assert recovered == hidden
 
 
+class TestJointProbability:
+    """Multi-qubit ``probability_of_outcome`` via the tableau rank method."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_joint_probabilities_match_statevector(self, seed):
+        num_qubits = 4
+        circuit = build_circuit_from_ops(
+            num_qubits, random_ops(num_qubits, 30, seed + 57, mnemonics=CLIFFORD_OPS))
+        tableau = StabilizerSimulator.simulate(circuit)
+        dense = StatevectorSimulator.simulate(circuit)
+        qubits = list(range(num_qubits))
+        for outcome_bits in range(1 << num_qubits):
+            outcome = [(outcome_bits >> (num_qubits - 1 - q)) & 1
+                       for q in range(num_qubits)]
+            expected = dense.probability_of_outcome(qubits, outcome)
+            assert tableau.probability_of_outcome(qubits, outcome) == pytest.approx(
+                expected, abs=1e-9)
+
+    def test_ghz_joint_outcomes(self):
+        tableau = StabilizerSimulator.simulate(ghz_circuit(6))
+        qubits = list(range(6))
+        assert tableau.probability_of_outcome(qubits, [0] * 6) == pytest.approx(0.5)
+        assert tableau.probability_of_outcome(qubits, [1] * 6) == pytest.approx(0.5)
+        assert tableau.probability_of_outcome(qubits, [0, 1, 0, 0, 0, 0]) == 0.0
+
+    def test_partial_query_is_a_marginal(self):
+        tableau = StabilizerSimulator.simulate(ghz_circuit(6))
+        assert tableau.probability_of_outcome([0, 1], [0, 0]) == pytest.approx(0.5)
+        assert tableau.probability_of_outcome([2], [1]) == pytest.approx(0.5)
+        assert tableau.probability_of_outcome([0, 5], [1, 0]) == 0.0
+
+    def test_query_does_not_collapse_the_state(self):
+        tableau = StabilizerSimulator.simulate(ghz_circuit(4))
+        before = [tableau.probability_of_qubit(q, 0) for q in range(4)]
+        tableau.probability_of_outcome([0, 1, 2, 3], [1, 1, 1, 1])
+        after = [tableau.probability_of_qubit(q, 0) for q in range(4)]
+        assert before == after == [0.5] * 4
+
+    def test_probability_halves_per_independent_random_qubit(self):
+        # |+>^n: every queried qubit is an independent coin flip, so the
+        # joint probability is 2**-k for a k-qubit query (the rank method).
+        circuit = QuantumCircuit(5)
+        for qubit in range(5):
+            circuit.h(qubit)
+        tableau = StabilizerSimulator.simulate(circuit)
+        for width in range(1, 6):
+            assert tableau.probability_of_outcome(
+                list(range(width)), [0] * width) == pytest.approx(0.5 ** width)
+
+    def test_copy_is_independent(self):
+        tableau = StabilizerSimulator.simulate(ghz_circuit(3))
+        clone = tableau.copy()
+        clone.measure_qubit(0, forced_outcome=1)
+        assert clone.probability_of_qubit(0, 1) == 1.0
+        assert tableau.probability_of_qubit(0, 1) == 0.5
+
+
 class TestGateSupport:
     def test_t_gate_rejected(self):
         tableau = StabilizerSimulator(1)

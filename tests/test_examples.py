@@ -54,6 +54,19 @@ class TestExamples:
         assert "5 + 9 = 14" in output
         assert ".real round-trip OK" in output
 
+    def test_custom_engine(self, capsys):
+        from repro.engines import unregister_engine
+
+        module = load_example("custom_engine.py")
+        try:
+            module.main()
+        finally:
+            unregister_engine("sparse-dict")
+        output = capsys.readouterr().out
+        assert "sparse-dict on ghz10: status=ok" in output
+        assert "P[all zeros]=0.500" in output
+        assert "status=MO" in output
+
     def test_equivalence_checking(self, capsys):
         module = load_example("equivalence_checking.py")
         module.check("H X H == Z",
