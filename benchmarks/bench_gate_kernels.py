@@ -1,0 +1,194 @@
+"""Micro-benchmarks of the fused gate-application kernels.
+
+PR 3 collapsed the gate rules' dominant operation patterns into fused
+multi-operand kernels: the full-adder sum / carry run as single
+three-operand recursions (``apply_xor3`` / ``apply_maj3``) batched across
+the four coefficient vectors, and the SWAP action runs as one cofactor-based
+pass (``apply_swap_vars``).  These benchmarks measure exactly that fusion:
+the *same* slice BDDs are pushed through the fused path and through the
+pre-fusion 2-operand composition path (which the gate rules keep as the
+reference implementation), each timed cache-cold so the algorithmic cost is
+what's measured, not memoisation.  The recorded ``*_speedup`` extras are the
+fused-over-composition ratio; the regression gate tracks the fused timings
+and the deterministic node counts.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.bdd import BatchApplier, BddManager
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.gate_rules import GateRuleEngine
+from repro.core.simulator import BitSliceSimulator
+
+from conftest import scale_choice
+
+NUM_QUBITS = scale_choice(12, 16)
+PREP_LAYERS = scale_choice(3, 4)
+
+
+def _prepared_simulator(seed: int = 17) -> BitSliceSimulator:
+    """An H/T-dense prefix producing slices with non-trivial coefficients
+    (every adder below genuinely exercises carries, not constant planes)."""
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(NUM_QUBITS, name="kernel_prep")
+    for qubit in range(NUM_QUBITS):
+        circuit.h(qubit)
+    for _ in range(PREP_LAYERS):
+        for qubit in range(NUM_QUBITS):
+            mnemonic = rng.choice(("t", "h", "s", "tdg"))
+            getattr(circuit, mnemonic)(qubit)
+        for qubit in range(NUM_QUBITS - 1):
+            if rng.random() < 0.5:
+                circuit.cx(qubit, qubit + 1)
+    simulator = BitSliceSimulator(NUM_QUBITS)
+    simulator.run(circuit)
+    return simulator
+
+
+def _adder_operands(simulator: BitSliceSimulator, target: int = 0):
+    """The H gate's four vector additions on ``target``, as equal-width
+    ``(addend_a, addend_b, carry_in)`` node-id adders: addend_a is the
+    ``q_t = 0`` cofactor plane, addend_b the ``ite(q_t, ~F, F|q_t=1)``
+    second operand, and the carry seed is ``q_t`` (Table II's H row)."""
+    state = simulator.state
+    manager = state.manager
+    var = state.qubit_var(target)
+    qt = manager.var_node(var)
+    batch = BatchApplier(manager)
+    flat = [bit.node for name in ("a", "b", "c", "d") for bit in state.slices[name]]
+    low = batch.restrict_many(flat, var, False)
+    high = batch.restrict_many(flat, var, True)
+    nots = batch.not_many(flat)
+    second = batch.ite_many([(qt, nb, hi) for nb, hi in zip(nots, high)])
+    r = state.r
+    return [(low[index * r:(index + 1) * r],
+             second[index * r:(index + 1) * r], qt)
+            for index in range(4)]
+
+
+def _fused_adder_chain(manager: BddManager, adders):
+    """The hot path: lockstep fused sum / carry batches per bit position."""
+    batch = BatchApplier(manager)
+    carries = [carry for _, _, carry in adders]
+    per_adder = [[] for _ in adders]
+    for position in range(len(adders[0][0])):
+        triples = [(a_bits[position], b_bits[position], carries[index])
+                   for index, (a_bits, b_bits, _) in enumerate(adders)]
+        for index, sum_bit in enumerate(batch.xor3_many(triples)):
+            per_adder[index].append(sum_bit)
+        carries = batch.maj3_many(triples)
+    return [bit for bits in per_adder for bit in bits], carries
+
+
+def _composition_adder_chain(manager: BddManager, adders):
+    """The pre-fusion path: six chained 2-operand applies per bit position."""
+    apply_and = manager.apply_and
+    apply_or = manager.apply_or
+    apply_xor = manager.apply_xor
+    sums = []
+    final_carries = []
+    for a_bits, b_bits, carry in adders:
+        for bit_a, bit_b in zip(a_bits, b_bits):
+            sums.append(apply_xor(apply_xor(bit_a, bit_b), carry))
+            carry = apply_or(apply_and(bit_a, bit_b),
+                             apply_and(apply_or(bit_a, bit_b), carry))
+        final_carries.append(carry)
+    return sums, final_carries
+
+
+def _best_of(function, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_fused_adder_chain(benchmark):
+    """Cache-cold fused H/adder path (xor3 + maj3 batches over 4 vectors)."""
+    simulator = _prepared_simulator()
+    manager = simulator.state.manager
+    adders = _adder_operands(simulator)
+    fused_sums, fused_carries = _fused_adder_chain(manager, adders)
+    naive_sums, naive_carries = _composition_adder_chain(manager, adders)
+    assert fused_sums == naive_sums and fused_carries == naive_carries
+
+    def cold_fused():
+        manager.clear_cache()
+        return _fused_adder_chain(manager, adders)
+
+    sums, _ = benchmark(cold_fused)
+    benchmark.extra_info["bit_width"] = simulator.state.r
+    benchmark.extra_info["result_nodes"] = manager.count_nodes(sums)
+    speedup = _best_of(lambda: (manager.clear_cache(),
+                                _composition_adder_chain(manager, adders)))
+    speedup /= _best_of(lambda: (manager.clear_cache(),
+                                 _fused_adder_chain(manager, adders)))
+    benchmark.extra_info["fused_vs_composition_speedup"] = round(speedup, 3)
+    # Locally measured at ~1.6-1.7x; the assertion floor is lower so a noisy
+    # shared CI runner cannot flake the gate — the recorded extra carries
+    # the actual ratio and the timing itself is regression-gated.
+    assert speedup >= 1.25
+
+
+def test_composition_adder_chain(benchmark):
+    """Cache-cold pre-fusion adder path (the PR 2-era composition chain)."""
+    simulator = _prepared_simulator()
+    manager = simulator.state.manager
+    adders = _adder_operands(simulator)
+
+    def cold_composition():
+        manager.clear_cache()
+        return _composition_adder_chain(manager, adders)
+
+    sums, _ = benchmark(cold_composition)
+    benchmark.extra_info["result_nodes"] = manager.count_nodes(sums)
+
+
+def test_fused_swap_kernel(benchmark):
+    """Cache-cold fused variable-swap pass over all 4r slices."""
+    simulator = _prepared_simulator()
+    state = simulator.state
+    manager = state.manager
+    engine = GateRuleEngine(state)
+    flat = [bit.node for name in ("a", "b", "c", "d") for bit in state.slices[name]]
+    qubit_a, qubit_b = 1, NUM_QUBITS - 2
+    var_a, var_b = state.qubit_var(qubit_a), state.qubit_var(qubit_b)
+    batch = BatchApplier(manager)
+    fused = batch.swap_vars_many(flat, var_a, var_b)
+    handles = [engine._swap_two_vars(bit, qubit_a, qubit_b)
+               for name in ("a", "b", "c", "d") for bit in state.slices[name]]
+    assert fused == [handle.node for handle in handles]
+
+    def cold_fused_swap():
+        manager.clear_cache()
+        return batch.swap_vars_many(flat, var_a, var_b)
+
+    result = benchmark(cold_fused_swap)
+    benchmark.extra_info["result_nodes"] = manager.count_nodes(result)
+
+    def cold_composition_swap():
+        manager.clear_cache()
+        return [engine._swap_two_vars(bit, qubit_a, qubit_b)
+                for name in ("a", "b", "c", "d") for bit in state.slices[name]]
+
+    # Locally measured at ~2.4-2.5x; floor kept low for noisy CI runners.
+    speedup = _best_of(cold_composition_swap) / _best_of(cold_fused_swap)
+    benchmark.extra_info["fused_vs_composition_speedup"] = round(speedup, 3)
+    assert speedup >= 1.3
+
+
+def test_h_dense_circuit(benchmark):
+    """End-to-end H/T-dense circuit through the batched gate rules."""
+    def run():
+        simulator = _prepared_simulator(seed=23)
+        return simulator
+
+    simulator = benchmark(run)
+    benchmark.extra_info["num_gates"] = simulator.gates_applied
+    benchmark.extra_info["final_nodes"] = simulator.state.num_nodes()
+    benchmark.extra_info["bit_width"] = simulator.state.r

@@ -114,10 +114,11 @@ def build_baseline(run: Dict[str, Dict]) -> Dict:
 
 
 def check(run: Dict[str, Dict], baseline: Dict,
-          threshold: float) -> Tuple[List[str], List[str]]:
-    """Returns (failures, notes)."""
+          threshold: float) -> Tuple[List[str], List[str], List[Dict]]:
+    """Returns (failures, notes, rows) — rows feed the markdown summary."""
     failures: List[str] = []
     notes: List[str] = []
+    rows: List[Dict] = []
     base_cal = baseline.get("_meta", {}).get("calibration_seconds")
     scale = 1.0
     if base_cal:
@@ -130,10 +131,14 @@ def check(run: Dict[str, Dict], baseline: Dict,
         entry = run.get(name)
         if entry is None:
             failures.append(f"{name}: benchmark missing from the run report")
+            rows.append({"name": name, "baseline_seconds": base_entry["min_seconds"],
+                         "run_seconds": None, "status": "missing"})
             continue
         allowed = base_entry["min_seconds"] * scale * threshold
         actual = entry["min_seconds"]
+        status = "ok"
         if actual > allowed:
+            status = "REGRESSION"
             failures.append(
                 f"{name}: min time {actual * 1e3:.4g} ms exceeds allowed "
                 f"{allowed * 1e3:.4g} ms (baseline {base_entry['min_seconds'] * 1e3:.4g} ms "
@@ -149,6 +154,7 @@ def check(run: Dict[str, Dict], baseline: Dict,
             value = extra.get(key)
             if value is None:
                 failures.append(f"{name}: extra metric {key!r} missing from the run")
+                status = f"{status} + metric missing" if status != "ok" else "metric missing"
                 continue
             if isinstance(base_value, int) and not isinstance(base_value, bool):
                 if value != base_value:
@@ -156,9 +162,46 @@ def check(run: Dict[str, Dict], baseline: Dict,
                         f"{name}: deterministic metric {key} changed "
                         f"{base_value} -> {value} (fixed-seed benchmarks must not drift; "
                         f"re-baseline if the change is intentional)")
+                    if "metric drift" not in status:
+                        status = (f"{status} + metric drift" if status != "ok"
+                                  else "metric drift")
+        rows.append({"name": name, "baseline_seconds": base_entry["min_seconds"],
+                     "run_seconds": actual, "scale": scale, "status": status})
     for name in sorted(set(run) - set(base_benchmarks)):
         notes.append(f"{name}: not tracked by the baseline (add it with --update)")
-    return failures, notes
+        rows.append({"name": name, "baseline_seconds": None,
+                     "run_seconds": run[name]["min_seconds"], "status": "untracked"})
+    return failures, notes, rows
+
+
+def write_markdown_summary(rows: List[Dict], notes: List[str],
+                           destination: Path) -> None:
+    """Append a before/after delta table (GitHub-flavoured markdown) to
+    ``destination`` — pointed at ``$GITHUB_STEP_SUMMARY`` by CI so every run
+    shows its deltas against the committed baseline in the job summary."""
+    lines = ["", "## Benchmark delta vs committed baseline", ""]
+    for note in notes:
+        if note.startswith("calibration:"):
+            lines.append(f"_{note}_")
+            lines.append("")
+            break
+    lines.append("| benchmark | baseline (ms) | this run (ms) | delta | status |")
+    lines.append("|---|---:|---:|---:|---|")
+    for row in rows:
+        base = row.get("baseline_seconds")
+        actual = row.get("run_seconds")
+        base_text = f"{base * 1e3:.4g}" if base is not None else "—"
+        actual_text = f"{actual * 1e3:.4g}" if actual is not None else "—"
+        if base and actual:
+            delta = (actual / (base * row.get("scale", 1.0)) - 1.0) * 100.0
+            delta_text = f"{delta:+.1f}%"
+        else:
+            delta_text = "—"
+        lines.append(f"| `{row['name']}` | {base_text} | {actual_text} "
+                     f"| {delta_text} | {row['status']} |")
+    lines.append("")
+    with open(destination, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
 
 
 def main(argv=None) -> int:
@@ -172,6 +215,9 @@ def main(argv=None) -> int:
                         help="allowed slowdown factor (default 1.25 = +25%%)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from this run instead of checking")
+    parser.add_argument("--markdown-summary", type=Path, default=None,
+                        help="append a before/after delta table (markdown) to this "
+                             "file; CI points it at $GITHUB_STEP_SUMMARY")
     args = parser.parse_args(argv)
 
     try:
@@ -203,9 +249,12 @@ def main(argv=None) -> int:
     with open(args.baseline, encoding="utf-8") as handle:
         baseline = json.load(handle)
 
-    failures, notes = check(run, baseline, args.threshold)
+    failures, notes, rows = check(run, baseline, args.threshold)
     for note in notes:
         print(f"  {note}")
+    if args.markdown_summary is not None:
+        write_markdown_summary(rows, notes, args.markdown_summary)
+        print(f"markdown delta table appended to {args.markdown_summary}")
     if failures:
         print(f"\nBENCHMARK REGRESSION: {len(failures)} tracked metric(s) failed",
               file=sys.stderr)

@@ -120,6 +120,27 @@ class Bdd:
         """Logical equivalence ``self <-> other``."""
         return ~(self ^ other)
 
+    def maj3(self, other: "Bdd", third: "Bdd") -> "Bdd":
+        """Fused three-operand majority (the full-adder carry):
+        ``self·other + self·third + other·third`` in a single recursion."""
+        self._check_same_manager(other)
+        self._check_same_manager(third)
+        return Bdd(self.manager,
+                   self.manager.apply_maj3(self.node, other.node, third.node))
+
+    def xor3(self, other: "Bdd", third: "Bdd") -> "Bdd":
+        """Fused three-operand exclusive-or (the full-adder sum):
+        ``self ^ other ^ third`` in a single recursion."""
+        self._check_same_manager(other)
+        self._check_same_manager(third)
+        return Bdd(self.manager,
+                   self.manager.apply_xor3(self.node, other.node, third.node))
+
+    def swap_vars(self, var_a: int, var_b: int) -> "Bdd":
+        """The function with the roles of ``var_a`` / ``var_b`` exchanged
+        (the Boolean action of a SWAP gate), in one cofactor-based pass."""
+        return Bdd(self.manager, self.manager.apply_swap_vars(self.node, var_a, var_b))
+
     def cofactor(self, var: int, value: bool) -> "Bdd":
         """Positive/negative cofactor with respect to ``var``."""
         return Bdd(self.manager, self.manager.apply_restrict(self.node, var, value))

@@ -26,6 +26,17 @@ here, so the constant factors of this file dominate end-to-end runtime):
 * **Iterative applies**: the core operations run an explicit work stack, not
   Python recursion, so 30+ qubit supremacy circuits (BDD depth well past the
   interpreter's recursion limit) cannot crash the simulator.
+* **Fused multi-operand kernels**: :meth:`BddManager.apply_maj3` (the
+  full-adder carry ``ab + ac + bc``) and :meth:`BddManager.apply_xor3` (the
+  full-adder sum ``a ^ b ^ c``) traverse all three operands in a single
+  recursion with one ternary computed table, instead of chaining generic
+  2-operand applies that materialise intermediate BDDs.
+  :meth:`BddManager.apply_swap_vars` exchanges the roles of two variables in
+  one cofactor-based pass, replacing the compose/cube-algebra SWAP path.
+* **Batched application**: :class:`BatchApplier` runs one operation over many
+  operand tuples sharing a single computed-table binding and one interner
+  transaction, so a 4r-slice gate update pays the per-operation setup once
+  instead of 4r times.
 * **Size-bounded tables with generation-based invalidation**: each table is
   flushed when it exceeds ``cache_size_limit`` entries (checked at operation
   boundaries), and every garbage collection or variable reorder advances a
@@ -61,10 +72,14 @@ OP_ITE = 4
 OP_RESTRICT = 5
 OP_EXISTS = 6
 OP_COMPOSE = 7
-_NUM_OPS = 8
+OP_MAJ3 = 8
+OP_XOR3 = 9
+OP_SWAPVARS = 10
+_NUM_OPS = 11
 
 #: Human-readable op names, index-aligned with the op tags (used for stats).
-OP_NAMES = ("and", "or", "xor", "not", "ite", "restrict", "exists", "compose")
+OP_NAMES = ("and", "or", "xor", "not", "ite", "restrict", "exists", "compose",
+            "maj3", "xor3", "swapvars")
 
 #: Node ids and variable indices are packed into single-integer cache keys.
 #: 30 bits bounds both at ~10**9, far beyond what one process can hold.
@@ -125,6 +140,8 @@ class BddManager:
         self._op_misses: List[int] = [0] * _NUM_OPS
         self._unique_probes = 0
         self._unique_inserts = 0
+        self._batch_runs = 0
+        self._batch_items = 0
         self._cache_evictions = 0
         self._cache_generation = 0
         self._gc_pause_seconds = 0.0
@@ -153,6 +170,17 @@ class BddManager:
         """The BDD of the single positive literal ``x_index``."""
         self._check_var(index)
         return self._wrap(self._mk(index, FALSE, TRUE))
+
+    def var_node(self, index: int) -> int:
+        """Raw node id of the positive literal ``x_index``.
+
+        Hot-path sibling of :meth:`var` for node-level callers (the batched
+        gate rules): no handle is allocated and no external reference is
+        registered, so the caller must keep the id reachable through some
+        live handle before the next garbage collection.
+        """
+        self._check_var(index)
+        return self._mk(index, FALSE, TRUE)
 
     def nvar(self, index: int) -> Bdd:
         """The BDD of the single negative literal ``not x_index``."""
@@ -334,13 +362,20 @@ class BddManager:
 
         return make, counts
 
-    def _apply_binary_rec(self, op: int, f: int, g: int, table: Dict) -> int:
-        """Recursive apply for the commutative binary connectives.
+    def _make_binary_rec(self, op: int, table: Dict):
+        """Build the recursive worker for a commutative binary connective.
 
-        Everything the inner loop touches is bound to closure cells once per
-        top-level call, so per-node work is dict probes and list indexing
-        with no attribute lookups.  Only used when :meth:`_recursion_safe`;
-        the explicit-stack twin below handles deep managers.
+        Returns ``(rec, finish)``: ``rec(f, g)`` is a *total* recursive apply
+        (it resolves terminal rules itself, so callers may invoke it on any
+        operand pair, any number of times), and ``finish()`` folds the
+        accumulated hit / miss / unique-table counters into the manager and
+        runs the operation-boundary bookkeeping.  Everything the inner loop
+        touches is bound to closure cells once, so per-node work is dict
+        probes and list indexing with no attribute lookups — and batched
+        callers (:class:`BatchApplier`) pay that binding once for an entire
+        slice sweep instead of once per root pair.  Only used when
+        :meth:`_recursion_safe`; the explicit-stack twin below handles deep
+        managers.
         """
         var_arr = self._var
         low_arr = self._low
@@ -447,12 +482,20 @@ class BddManager:
                 table[key] = node
                 return node
 
+        def finish() -> None:
+            self._op_hits[op] += hits
+            self._op_misses[op] += misses
+            self._unique_probes += ucounts[0]
+            self._unique_inserts += ucounts[1]
+            self._after_operation(op, table)
+
+        return rec, finish
+
+    def _apply_binary_rec(self, op: int, f: int, g: int, table: Dict) -> int:
+        """Single-pair front end of :meth:`_make_binary_rec`."""
+        rec, finish = self._make_binary_rec(op, table)
         result = rec(f, g)
-        self._op_hits[op] += hits
-        self._op_misses[op] += misses
-        self._unique_probes += ucounts[0]
-        self._unique_inserts += ucounts[1]
-        self._after_operation(op, table)
+        finish()
         return result
 
     def _apply_binary(self, op: int, f: int, g: int) -> int:
@@ -632,8 +675,9 @@ class BddManager:
             return self._apply_not_rec(f, table)
         return self._apply_not_iter(f, table)
 
-    def _apply_not_rec(self, f: int, table: Dict) -> int:
-        """Recursive negation twin of :meth:`_apply_not_iter`."""
+    def _make_not_rec(self, table: Dict):
+        """Recursive negation worker factory (``(rec, finish)`` contract of
+        :meth:`_make_binary_rec`)."""
         var_arr = self._var
         low_arr = self._low
         high_arr = self._high
@@ -655,12 +699,20 @@ class BddManager:
             table[a] = node
             return node
 
+        def finish() -> None:
+            self._op_hits[OP_NOT] += hits
+            self._op_misses[OP_NOT] += misses
+            self._unique_probes += ucounts[0]
+            self._unique_inserts += ucounts[1]
+            self._after_operation(OP_NOT, table)
+
+        return rec, finish
+
+    def _apply_not_rec(self, f: int, table: Dict) -> int:
+        """Single-root front end of :meth:`_make_not_rec`."""
+        rec, finish = self._make_not_rec(table)
         result = rec(f)
-        self._op_hits[OP_NOT] += hits
-        self._op_misses[OP_NOT] += misses
-        self._unique_probes += ucounts[0]
-        self._unique_inserts += ucounts[1]
-        self._after_operation(OP_NOT, table)
+        finish()
         return result
 
     def _apply_not_iter(self, f: int, table: Dict) -> int:
@@ -745,8 +797,10 @@ class BddManager:
             return self._apply_ite_rec(f, g, h, table)
         return self._apply_ite_iter(f, g, h, table)
 
-    def _apply_ite_rec(self, f: int, g: int, h: int, table: Dict) -> int:
-        """Recursive ITE twin of :meth:`_apply_ite_iter`."""
+    def _make_ite_rec(self, table: Dict):
+        """Recursive ITE worker factory (see :meth:`_make_binary_rec` for the
+        ``(rec, finish)`` contract).  ``rec`` handles every standard-triple
+        reduction itself, so batched callers can feed it raw triples."""
         var_arr = self._var
         low_arr = self._low
         high_arr = self._high
@@ -812,12 +866,20 @@ class BddManager:
             table[key] = node
             return node
 
+        def finish() -> None:
+            self._op_hits[OP_ITE] += hits
+            self._op_misses[OP_ITE] += misses
+            self._unique_probes += ucounts[0]
+            self._unique_inserts += ucounts[1]
+            self._after_operation(OP_ITE, table)
+
+        return rec, finish
+
+    def _apply_ite_rec(self, f: int, g: int, h: int, table: Dict) -> int:
+        """Single-triple front end of :meth:`_make_ite_rec`."""
+        rec, finish = self._make_ite_rec(table)
         result = rec(f, g, h)
-        self._op_hits[OP_ITE] += hits
-        self._op_misses[OP_ITE] += misses
-        self._unique_probes += ucounts[0]
-        self._unique_inserts += ucounts[1]
-        self._after_operation(OP_ITE, table)
+        finish()
         return result
 
     def _apply_ite_iter(self, f: int, g: int, h: int, table: Dict) -> int:
@@ -931,8 +993,9 @@ class BddManager:
             return self._apply_restrict_rec(f, var, value, table)
         return self._apply_restrict_iter(f, var, value, table)
 
-    def _apply_restrict_rec(self, f: int, var: int, value: bool, table: Dict) -> int:
-        """Recursive cofactor twin of :meth:`_apply_restrict_iter`."""
+    def _make_restrict_rec(self, var: int, value: bool, table: Dict):
+        """Recursive cofactor worker factory for one ``var = value`` literal
+        (``(rec, finish)`` contract of :meth:`_make_binary_rec`)."""
         target_level = self._var_to_level[var]
         var_arr = self._var
         low_arr = self._low
@@ -967,12 +1030,20 @@ class BddManager:
             table[key] = node
             return node
 
+        def finish() -> None:
+            self._op_hits[OP_RESTRICT] += hits
+            self._op_misses[OP_RESTRICT] += misses
+            self._unique_probes += ucounts[0]
+            self._unique_inserts += ucounts[1]
+            self._after_operation(OP_RESTRICT, table)
+
+        return rec, finish
+
+    def _apply_restrict_rec(self, f: int, var: int, value: bool, table: Dict) -> int:
+        """Single-root front end of :meth:`_make_restrict_rec`."""
+        rec, finish = self._make_restrict_rec(var, value, table)
         result = rec(f)
-        self._op_hits[OP_RESTRICT] += hits
-        self._op_misses[OP_RESTRICT] += misses
-        self._unique_probes += ucounts[0]
-        self._unique_inserts += ucounts[1]
-        self._after_operation(OP_RESTRICT, table)
+        finish()
         return result
 
     def _apply_restrict_iter(self, f: int, var: int, value: bool, table: Dict) -> int:
@@ -1149,6 +1220,697 @@ class BddManager:
         self._unique_inserts += ucounts[1]
         self._after_operation(OP_COMPOSE, table)
         return results[0]
+
+    # ------------------------------------------------------------------ #
+    # fused multi-operand kernels
+    # ------------------------------------------------------------------ #
+    def apply_maj3(self, f: int, g: int, h: int) -> int:
+        """Majority of three node ids: ``fg + fh + gh``.
+
+        This is the full-adder *carry* ``Car(A, B, C)`` of the paper's
+        Table II rules, computed in a single three-operand recursion under
+        its own computed table instead of the four 2-operand applies of the
+        naive composition ``(A & B) | ((A | B) & C)``.  Fully symmetric, so
+        operands are sorted to canonicalise the cache key.
+        """
+        # Sort the three operands (majority is fully commutative).
+        if f > g:
+            f, g = g, f
+        if g > h:
+            g, h = h, g
+        if f > g:
+            f, g = g, f
+        if f == g:          # maj(a, a, c) == a
+            return f
+        if g == h:          # maj(a, b, b) == b
+            return g
+        if f == 0:          # maj(0, b, c) == b & c
+            return self.apply_and(g, h)
+        if f == 1:          # maj(1, b, c) == b | c
+            return self.apply_or(g, h)
+        table = self._tables[OP_MAJ3]
+        key = (((f << _KEY_BITS) | g) << _KEY_BITS) | h
+        node = table.get(key)
+        if node is not None:
+            self._op_hits[OP_MAJ3] += 1
+            return node
+        if self._recursion_safe():
+            return self._apply_maj3_rec(f, g, h, table)
+        return self._apply_maj3_iter(f, g, h, table)
+
+    def _make_maj3_rec(self, table: Dict):
+        """Recursive majority worker factory (``(rec, finish)`` contract of
+        :meth:`_make_binary_rec`).
+
+        The degenerate cases (``maj(0, b, c) = b & c``, ``maj(1, b, c) =
+        b | c``) delegate to *shared* nested AND / OR workers created once
+        per transaction, so a carry chain full of terminal cofactors does
+        not rebuild a binary-apply closure per delegation.
+        """
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        v2l = self._var_to_level
+        l2v = self._level_to_var
+        table_get = table.get
+        apply_and, and_finish = self._make_binary_rec(OP_AND, self._tables[OP_AND])
+        apply_or, or_finish = self._make_binary_rec(OP_OR, self._tables[OP_OR])
+        make, ucounts = self._interner()
+        hits = 0
+        misses = 0
+
+        def rec(a: int, b: int, c: int) -> int:
+            nonlocal hits, misses
+            if a > b:
+                a, b = b, a
+            if b > c:
+                b, c = c, b
+            if a > b:
+                a, b = b, a
+            if a == b:
+                return a
+            if b == c:
+                return b
+            if a == 0:
+                return apply_and(b, c)
+            if a == 1:
+                return apply_or(b, c)
+            key = (((a << _KEY_BITS) | b) << _KEY_BITS) | c
+            node = table_get(key)
+            if node is not None:
+                hits += 1
+                return node
+            misses += 1
+            alev = v2l[var_arr[a]]
+            blev = v2l[var_arr[b]]
+            clev = v2l[var_arr[c]]
+            top = alev
+            if blev < top:
+                top = blev
+            if clev < top:
+                top = clev
+            if alev == top:
+                a0, a1 = low_arr[a], high_arr[a]
+            else:
+                a0 = a1 = a
+            if blev == top:
+                b0, b1 = low_arr[b], high_arr[b]
+            else:
+                b0 = b1 = b
+            if clev == top:
+                c0, c1 = low_arr[c], high_arr[c]
+            else:
+                c0 = c1 = c
+            node = make(l2v[top], rec(a0, b0, c0), rec(a1, b1, c1))
+            table[key] = node
+            return node
+
+        def finish() -> None:
+            and_finish()
+            or_finish()
+            self._op_hits[OP_MAJ3] += hits
+            self._op_misses[OP_MAJ3] += misses
+            self._unique_probes += ucounts[0]
+            self._unique_inserts += ucounts[1]
+            self._after_operation(OP_MAJ3, table)
+
+        return rec, finish
+
+    def _apply_maj3_rec(self, f: int, g: int, h: int, table: Dict) -> int:
+        """Single-triple front end of :meth:`_make_maj3_rec`."""
+        rec, finish = self._make_maj3_rec(table)
+        result = rec(f, g, h)
+        finish()
+        return result
+
+    def _apply_maj3_iter(self, f: int, g: int, h: int, table: Dict) -> int:
+        """Majority on an explicit work stack (deep managers)."""
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        v2l = self._var_to_level
+        l2v = self._level_to_var
+        table_get = table.get
+        make, ucounts = self._interner()
+        hits = 0
+        misses = 0
+        tasks: List[Tuple[int, int, int, int]] = [(0, f, g, h)]
+        push = tasks.append
+        pop = tasks.pop
+        results: List[int] = []
+        rpush = results.append
+        rpop = results.pop
+        while tasks:
+            kind, a, b, c = pop()
+            if kind:
+                # Build: a = branching variable, b = computed-table key.
+                high = rpop()
+                low = rpop()
+                node = make(a, low, high)
+                table[b] = node
+                rpush(node)
+                continue
+            if a > b:
+                a, b = b, a
+            if b > c:
+                b, c = c, b
+            if a > b:
+                a, b = b, a
+            if a == b:
+                rpush(a)
+                continue
+            if b == c:
+                rpush(b)
+                continue
+            if a == 0:
+                rpush(self.apply_and(b, c))
+                continue
+            if a == 1:
+                rpush(self.apply_or(b, c))
+                continue
+            key = (((a << _KEY_BITS) | b) << _KEY_BITS) | c
+            node = table_get(key)
+            if node is not None:
+                hits += 1
+                rpush(node)
+                continue
+            misses += 1
+            alev = v2l[var_arr[a]]
+            blev = v2l[var_arr[b]]
+            clev = v2l[var_arr[c]]
+            top = alev
+            if blev < top:
+                top = blev
+            if clev < top:
+                top = clev
+            if alev == top:
+                a0, a1 = low_arr[a], high_arr[a]
+            else:
+                a0 = a1 = a
+            if blev == top:
+                b0, b1 = low_arr[b], high_arr[b]
+            else:
+                b0 = b1 = b
+            if clev == top:
+                c0, c1 = low_arr[c], high_arr[c]
+            else:
+                c0 = c1 = c
+            push((1, l2v[top], key, 0))
+            push((0, a1, b1, c1))
+            push((0, a0, b0, c0))
+        self._op_hits[OP_MAJ3] += hits
+        self._op_misses[OP_MAJ3] += misses
+        self._unique_probes += ucounts[0]
+        self._unique_inserts += ucounts[1]
+        self._after_operation(OP_MAJ3, table)
+        return results[0]
+
+    def apply_xor3(self, f: int, g: int, h: int) -> int:
+        """Three-way exclusive-or of node ids: ``f ^ g ^ h``.
+
+        The full-adder *sum* ``Sum(A, B, C)`` of Table II, computed in one
+        three-operand recursion instead of two chained binary XORs (whose
+        intermediate result is materialised and interned only to be consumed
+        once).  Fully symmetric; operands are sorted for the cache key.
+        """
+        if f > g:
+            f, g = g, f
+        if g > h:
+            g, h = h, g
+        if f > g:
+            f, g = g, f
+        if f == g:          # a ^ a ^ c == c
+            return h
+        if g == h:          # a ^ b ^ b == a
+            return f
+        if f == 0:          # 0 ^ b ^ c == b ^ c
+            return self.apply_xor(g, h)
+        if f == 1:          # 1 ^ b ^ c == ~(b ^ c)
+            return self.apply_not(self.apply_xor(g, h))
+        table = self._tables[OP_XOR3]
+        key = (((f << _KEY_BITS) | g) << _KEY_BITS) | h
+        node = table.get(key)
+        if node is not None:
+            self._op_hits[OP_XOR3] += 1
+            return node
+        if self._recursion_safe():
+            return self._apply_xor3_rec(f, g, h, table)
+        return self._apply_xor3_iter(f, g, h, table)
+
+    def _make_xor3_rec(self, table: Dict):
+        """Recursive three-way-XOR worker factory (``(rec, finish)`` contract
+        of :meth:`_make_binary_rec`).  Degenerate cases delegate to shared
+        nested XOR / NOT workers created once per transaction."""
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        v2l = self._var_to_level
+        l2v = self._level_to_var
+        table_get = table.get
+        apply_xor, xor_finish = self._make_binary_rec(OP_XOR, self._tables[OP_XOR])
+        apply_not, not_finish = self._make_not_rec(self._tables[OP_NOT])
+        make, ucounts = self._interner()
+        hits = 0
+        misses = 0
+
+        def rec(a: int, b: int, c: int) -> int:
+            nonlocal hits, misses
+            if a > b:
+                a, b = b, a
+            if b > c:
+                b, c = c, b
+            if a > b:
+                a, b = b, a
+            if a == b:
+                return c
+            if b == c:
+                return a
+            if a == 0:
+                return apply_xor(b, c)
+            if a == 1:
+                return apply_not(apply_xor(b, c))
+            key = (((a << _KEY_BITS) | b) << _KEY_BITS) | c
+            node = table_get(key)
+            if node is not None:
+                hits += 1
+                return node
+            misses += 1
+            alev = v2l[var_arr[a]]
+            blev = v2l[var_arr[b]]
+            clev = v2l[var_arr[c]]
+            top = alev
+            if blev < top:
+                top = blev
+            if clev < top:
+                top = clev
+            if alev == top:
+                a0, a1 = low_arr[a], high_arr[a]
+            else:
+                a0 = a1 = a
+            if blev == top:
+                b0, b1 = low_arr[b], high_arr[b]
+            else:
+                b0 = b1 = b
+            if clev == top:
+                c0, c1 = low_arr[c], high_arr[c]
+            else:
+                c0 = c1 = c
+            node = make(l2v[top], rec(a0, b0, c0), rec(a1, b1, c1))
+            table[key] = node
+            return node
+
+        def finish() -> None:
+            xor_finish()
+            not_finish()
+            self._op_hits[OP_XOR3] += hits
+            self._op_misses[OP_XOR3] += misses
+            self._unique_probes += ucounts[0]
+            self._unique_inserts += ucounts[1]
+            self._after_operation(OP_XOR3, table)
+
+        return rec, finish
+
+    def _apply_xor3_rec(self, f: int, g: int, h: int, table: Dict) -> int:
+        """Single-triple front end of :meth:`_make_xor3_rec`."""
+        rec, finish = self._make_xor3_rec(table)
+        result = rec(f, g, h)
+        finish()
+        return result
+
+    def _apply_xor3_iter(self, f: int, g: int, h: int, table: Dict) -> int:
+        """Three-way XOR on an explicit work stack (deep managers)."""
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        v2l = self._var_to_level
+        l2v = self._level_to_var
+        table_get = table.get
+        make, ucounts = self._interner()
+        hits = 0
+        misses = 0
+        tasks: List[Tuple[int, int, int, int]] = [(0, f, g, h)]
+        push = tasks.append
+        pop = tasks.pop
+        results: List[int] = []
+        rpush = results.append
+        rpop = results.pop
+        while tasks:
+            kind, a, b, c = pop()
+            if kind:
+                # Build: a = branching variable, b = computed-table key.
+                high = rpop()
+                low = rpop()
+                node = make(a, low, high)
+                table[b] = node
+                rpush(node)
+                continue
+            if a > b:
+                a, b = b, a
+            if b > c:
+                b, c = c, b
+            if a > b:
+                a, b = b, a
+            if a == b:
+                rpush(c)
+                continue
+            if b == c:
+                rpush(a)
+                continue
+            if a == 0:
+                rpush(self.apply_xor(b, c))
+                continue
+            if a == 1:
+                rpush(self.apply_not(self.apply_xor(b, c)))
+                continue
+            key = (((a << _KEY_BITS) | b) << _KEY_BITS) | c
+            node = table_get(key)
+            if node is not None:
+                hits += 1
+                rpush(node)
+                continue
+            misses += 1
+            alev = v2l[var_arr[a]]
+            blev = v2l[var_arr[b]]
+            clev = v2l[var_arr[c]]
+            top = alev
+            if blev < top:
+                top = blev
+            if clev < top:
+                top = clev
+            if alev == top:
+                a0, a1 = low_arr[a], high_arr[a]
+            else:
+                a0 = a1 = a
+            if blev == top:
+                b0, b1 = low_arr[b], high_arr[b]
+            else:
+                b0 = b1 = b
+            if clev == top:
+                c0, c1 = low_arr[c], high_arr[c]
+            else:
+                c0 = c1 = c
+            push((1, l2v[top], key, 0))
+            push((0, a1, b1, c1))
+            push((0, a0, b0, c0))
+        self._op_hits[OP_XOR3] += hits
+        self._op_misses[OP_XOR3] += misses
+        self._unique_probes += ucounts[0]
+        self._unique_inserts += ucounts[1]
+        self._after_operation(OP_XOR3, table)
+        return results[0]
+
+    def apply_swap_vars(self, f: int, var_a: int, var_b: int) -> int:
+        """The function with the roles of ``var_a`` and ``var_b`` exchanged.
+
+        ``g(..., x_a = u, x_b = v, ...) = f(..., x_a = v, x_b = u, ...)``,
+        i.e. the Boolean action of the SWAP gate, in one cofactor-based pass:
+        the region of the DAG above the upper swapped variable is rebuilt
+        structurally, and at the boundary the four cofactors are recombined
+        through the (memoised) restrict and ITE kernels.  This replaces the
+        old formula path — three full-function cofactor traversals plus five
+        Boolean connectives over the whole BDD per slice.
+        """
+        self._check_var(var_a)
+        self._check_var(var_b)
+        if var_a == var_b or f < 2:
+            return f
+        # Canonicalise on levels so var_a is the upper (smaller-level) one.
+        if self._var_to_level[var_a] > self._var_to_level[var_b]:
+            var_a, var_b = var_b, var_a
+        table = self._tables[OP_SWAPVARS]
+        key = (((f << _KEY_BITS) | var_a) << _KEY_BITS) | var_b
+        node = table.get(key)
+        if node is not None:
+            self._op_hits[OP_SWAPVARS] += 1
+            return node
+        if self._recursion_safe():
+            return self._apply_swap_vars_rec(f, var_a, var_b, table)
+        return self._apply_swap_vars_iter(f, var_a, var_b, table)
+
+    def _make_swap_vars_rec(self, var_a: int, var_b: int, table: Dict):
+        """Recursive swap worker factory for one (level-ordered) variable
+        pair (``(rec, finish)`` contract of :meth:`_make_binary_rec`)."""
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        v2l = self._var_to_level
+        level_a = v2l[var_a]
+        level_b = v2l[var_b]
+        table_get = table.get
+        restrict_table = self._tables[OP_RESTRICT]
+        restrict0, restrict0_finish = self._make_restrict_rec(var_b, False, restrict_table)
+        restrict1, restrict1_finish = self._make_restrict_rec(var_b, True, restrict_table)
+        ite, ite_finish = self._make_ite_rec(self._tables[OP_ITE])
+        make, ucounts = self._interner()
+        key_shift = 2 * _KEY_BITS
+        key_tail = (var_a << _KEY_BITS) | var_b
+        hits = 0
+        misses = 0
+
+        def rec(a: int) -> int:
+            nonlocal hits, misses
+            if a < 2:
+                return a
+            lev = v2l[var_arr[a]]
+            if lev > level_b:
+                # Neither swapped variable appears in this subgraph.
+                return a
+            key = (a << key_shift) | key_tail
+            node = table_get(key)
+            if node is not None:
+                hits += 1
+                return node
+            misses += 1
+            if lev < level_a:
+                node = make(var_arr[a], rec(low_arr[a]), rec(high_arr[a]))
+            else:
+                # Boundary: var_a can only appear at the very top here
+                # (levels identify variables uniquely).
+                if lev == level_a:
+                    f0, f1 = low_arr[a], high_arr[a]
+                else:
+                    f0 = f1 = a
+                f00 = restrict0(f0)
+                f01 = restrict1(f0)
+                f10 = restrict0(f1)
+                f11 = restrict1(f1)
+                # g(a=u, b=v) = f(a=v, b=u): rebuild with the roles swapped.
+                xb = make(var_b, FALSE, TRUE)
+                g0 = ite(xb, f10, f00)
+                g1 = ite(xb, f11, f01)
+                node = make(var_a, g0, g1)
+            table[key] = node
+            return node
+
+        def finish() -> None:
+            restrict0_finish()
+            restrict1_finish()
+            ite_finish()
+            self._op_hits[OP_SWAPVARS] += hits
+            self._op_misses[OP_SWAPVARS] += misses
+            self._unique_probes += ucounts[0]
+            self._unique_inserts += ucounts[1]
+            self._after_operation(OP_SWAPVARS, table)
+
+        return rec, finish
+
+    def _apply_swap_vars_rec(self, f: int, var_a: int, var_b: int, table: Dict) -> int:
+        """Single-root front end of :meth:`_make_swap_vars_rec`."""
+        rec, finish = self._make_swap_vars_rec(var_a, var_b, table)
+        result = rec(f)
+        finish()
+        return result
+
+    def _apply_swap_vars_iter(self, f: int, var_a: int, var_b: int, table: Dict) -> int:
+        """Variable swap on an explicit work stack (deep managers).
+
+        Only the structural walk above ``var_a``'s level needs the stack; the
+        boundary recombination delegates to :meth:`apply_restrict` and
+        :meth:`apply_ite`, which pick their own deep-safe implementations.
+        """
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        v2l = self._var_to_level
+        level_a = v2l[var_a]
+        level_b = v2l[var_b]
+        table_get = table.get
+        restrict = self.apply_restrict
+        ite = self.apply_ite
+        make, ucounts = self._interner()
+        key_shift = 2 * _KEY_BITS
+        key_tail = (var_a << _KEY_BITS) | var_b
+        hits = 0
+        misses = 0
+        tasks: List[Tuple[int, int]] = [(0, f)]
+        push = tasks.append
+        pop = tasks.pop
+        results: List[int] = []
+        rpush = results.append
+        rpop = results.pop
+        while tasks:
+            kind, a = pop()
+            if kind:
+                # Build: a is the original node being rebuilt structurally.
+                high = rpop()
+                low = rpop()
+                node = make(var_arr[a], low, high)
+                table[(a << key_shift) | key_tail] = node
+                rpush(node)
+                continue
+            if a < 2:
+                rpush(a)
+                continue
+            lev = v2l[var_arr[a]]
+            if lev > level_b:
+                rpush(a)
+                continue
+            key = (a << key_shift) | key_tail
+            node = table_get(key)
+            if node is not None:
+                hits += 1
+                rpush(node)
+                continue
+            if lev < level_a:
+                misses += 1
+                push((1, a))
+                push((0, high_arr[a]))
+                push((0, low_arr[a]))
+                continue
+            misses += 1
+            if lev == level_a:
+                f0, f1 = low_arr[a], high_arr[a]
+            else:
+                f0 = f1 = a
+            f00 = restrict(f0, var_b, False)
+            f01 = restrict(f0, var_b, True)
+            f10 = restrict(f1, var_b, False)
+            f11 = restrict(f1, var_b, True)
+            xb = make(var_b, FALSE, TRUE)
+            g0 = ite(xb, f10, f00)
+            g1 = ite(xb, f11, f01)
+            node = make(var_a, g0, g1)
+            table[key] = node
+            rpush(node)
+        self._op_hits[OP_SWAPVARS] += hits
+        self._op_misses[OP_SWAPVARS] += misses
+        self._unique_probes += ucounts[0]
+        self._unique_inserts += ucounts[1]
+        self._after_operation(OP_SWAPVARS, table)
+        return results[0]
+
+    # ------------------------------------------------------------------ #
+    # batched application
+    # ------------------------------------------------------------------ #
+    def batcher(self) -> "BatchApplier":
+        """A :class:`BatchApplier` bound to this manager."""
+        return BatchApplier(self)
+
+    def _count_batch(self, size: int) -> None:
+        self._batch_runs += 1
+        self._batch_items += size
+
+    def batch_binary(self, op: int, pairs: Sequence[Tuple[int, int]]) -> List[int]:
+        """Apply one commutative binary connective (``OP_AND`` / ``OP_OR`` /
+        ``OP_XOR``) to every ``(f, g)`` pair, sharing a single computed-table
+        binding and interner transaction across the whole batch."""
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        self._count_batch(len(pairs))
+        if self._recursion_safe():
+            rec, finish = self._make_binary_rec(op, self._tables[op])
+            out = [rec(f, g) for f, g in pairs]
+            finish()
+            return out
+        apply_one = (self.apply_and, self.apply_or, self.apply_xor)[op]
+        return [apply_one(f, g) for f, g in pairs]
+
+    def batch_not(self, nodes: Sequence[int]) -> List[int]:
+        """Negate every node id in one batch transaction."""
+        nodes = list(nodes)
+        if not nodes:
+            return []
+        self._count_batch(len(nodes))
+        if self._recursion_safe():
+            rec, finish = self._make_not_rec(self._tables[OP_NOT])
+            out = [rec(f) for f in nodes]
+            finish()
+            return out
+        return [self.apply_not(f) for f in nodes]
+
+    def batch_ite(self, triples: Sequence[Tuple[int, int, int]]) -> List[int]:
+        """Apply ITE to every ``(f, g, h)`` triple in one batch transaction."""
+        triples = list(triples)
+        if not triples:
+            return []
+        self._count_batch(len(triples))
+        if self._recursion_safe():
+            rec, finish = self._make_ite_rec(self._tables[OP_ITE])
+            out = [rec(f, g, h) for f, g, h in triples]
+            finish()
+            return out
+        return [self.apply_ite(f, g, h) for f, g, h in triples]
+
+    def batch_maj3(self, triples: Sequence[Tuple[int, int, int]]) -> List[int]:
+        """Apply the fused majority kernel to every triple in one batch."""
+        triples = list(triples)
+        if not triples:
+            return []
+        self._count_batch(len(triples))
+        if self._recursion_safe():
+            rec, finish = self._make_maj3_rec(self._tables[OP_MAJ3])
+            out = [rec(f, g, h) for f, g, h in triples]
+            finish()
+            return out
+        return [self.apply_maj3(f, g, h) for f, g, h in triples]
+
+    def batch_xor3(self, triples: Sequence[Tuple[int, int, int]]) -> List[int]:
+        """Apply the fused three-way XOR kernel to every triple in one batch."""
+        triples = list(triples)
+        if not triples:
+            return []
+        self._count_batch(len(triples))
+        if self._recursion_safe():
+            rec, finish = self._make_xor3_rec(self._tables[OP_XOR3])
+            out = [rec(f, g, h) for f, g, h in triples]
+            finish()
+            return out
+        return [self.apply_xor3(f, g, h) for f, g, h in triples]
+
+    def batch_restrict(self, nodes: Sequence[int], var: int, value: bool) -> List[int]:
+        """Cofactor every node id with respect to ``var = value`` in one
+        batch transaction (the 4r-slice cofactor sweep of a gate update)."""
+        nodes = list(nodes)
+        if not nodes:
+            return []
+        self._count_batch(len(nodes))
+        value = bool(value)
+        if self._recursion_safe():
+            rec, finish = self._make_restrict_rec(var, value, self._tables[OP_RESTRICT])
+            out = [rec(f) for f in nodes]
+            finish()
+            return out
+        return [self.apply_restrict(f, var, value) for f in nodes]
+
+    def batch_swap_vars(self, nodes: Sequence[int], var_a: int, var_b: int) -> List[int]:
+        """Exchange ``var_a`` / ``var_b`` in every node id in one batch."""
+        nodes = list(nodes)
+        if not nodes:
+            return []
+        self._check_var(var_a)
+        self._check_var(var_b)
+        if var_a == var_b:
+            return nodes
+        self._count_batch(len(nodes))
+        if self._var_to_level[var_a] > self._var_to_level[var_b]:
+            var_a, var_b = var_b, var_a
+        if self._recursion_safe():
+            rec, finish = self._make_swap_vars_rec(var_a, var_b, self._tables[OP_SWAPVARS])
+            out = [rec(f) for f in nodes]
+            finish()
+            return out
+        return [self.apply_swap_vars(f, var_a, var_b) for f in nodes]
 
     # ------------------------------------------------------------------ #
     # queries
@@ -1388,6 +2150,8 @@ class BddManager:
             "unique_size": len(self._unique),
             "unique_probes": self._unique_probes,
             "unique_inserts": self._unique_inserts,
+            "batch_runs": self._batch_runs,
+            "batch_items": self._batch_items,
             "cache_generation": self._cache_generation,
             "cache_evictions": self._cache_evictions,
             "gc_runs": self._gc_count,
@@ -1427,6 +2191,8 @@ class BddManager:
         self._op_misses = [0] * _NUM_OPS
         self._unique_probes = 0
         self._unique_inserts = 0
+        self._batch_runs = 0
+        self._batch_items = 0
         self._cache_evictions = 0
         self._gc_count = 0
         self._gc_pause_seconds = 0.0
@@ -1499,3 +2265,71 @@ class BddManager:
     def __repr__(self) -> str:
         return (f"BddManager(num_vars={self.num_vars}, "
                 f"live_nodes={self.num_live_nodes()})")
+
+
+class BatchApplier:
+    """Runs one BDD operation over many operand tuples in one transaction.
+
+    The gate rules of the bit-sliced simulator apply the *same* operation to
+    all 4r slice BDDs of a state (cofactor every slice at the target qubit,
+    ITE every slice against the same selector, one full-adder step per bit
+    position across the four vectors).  Issuing those as 4r independent
+    top-level calls re-binds the computed table, allocates a fresh interner
+    closure and folds perf counters 4r times.  A ``BatchApplier`` performs
+    the binding once per batch: one shared computed table, one interner
+    transaction, one counter fold — the recursion itself is identical to the
+    single-shot operations, so results are node-for-node the same.
+
+    Operates on raw node ids (no :class:`~repro.bdd.expr.Bdd` wrapper churn).
+    The caller must keep input roots reachable from live handles and must
+    not run garbage collection between submitting a batch and re-anchoring
+    the returned ids in handles, exactly as with any raw-node manager call.
+
+    On managers too deep for the recursive fast path every method falls back
+    to the explicit-stack single-shot operations, which still share the
+    persistent per-operation computed tables.
+    """
+
+    __slots__ = ("manager",)
+
+    def __init__(self, manager: BddManager):
+        self.manager = manager
+
+    def and_many(self, pairs: Sequence[Tuple[int, int]]) -> List[int]:
+        """Conjunction of every ``(f, g)`` pair."""
+        return self.manager.batch_binary(OP_AND, pairs)
+
+    def or_many(self, pairs: Sequence[Tuple[int, int]]) -> List[int]:
+        """Disjunction of every ``(f, g)`` pair."""
+        return self.manager.batch_binary(OP_OR, pairs)
+
+    def xor_many(self, pairs: Sequence[Tuple[int, int]]) -> List[int]:
+        """Exclusive-or of every ``(f, g)`` pair."""
+        return self.manager.batch_binary(OP_XOR, pairs)
+
+    def not_many(self, nodes: Sequence[int]) -> List[int]:
+        """Negation of every node id."""
+        return self.manager.batch_not(nodes)
+
+    def ite_many(self, triples: Sequence[Tuple[int, int, int]]) -> List[int]:
+        """If-then-else of every ``(f, g, h)`` triple."""
+        return self.manager.batch_ite(triples)
+
+    def maj3_many(self, triples: Sequence[Tuple[int, int, int]]) -> List[int]:
+        """Fused full-adder carry of every ``(a, b, c)`` triple."""
+        return self.manager.batch_maj3(triples)
+
+    def xor3_many(self, triples: Sequence[Tuple[int, int, int]]) -> List[int]:
+        """Fused full-adder sum of every ``(a, b, c)`` triple."""
+        return self.manager.batch_xor3(triples)
+
+    def restrict_many(self, nodes: Sequence[int], var: int, value: bool) -> List[int]:
+        """Cofactor of every node id with respect to ``var = value``."""
+        return self.manager.batch_restrict(nodes, var, value)
+
+    def swap_vars_many(self, nodes: Sequence[int], var_a: int, var_b: int) -> List[int]:
+        """Variable swap of every node id."""
+        return self.manager.batch_swap_vars(nodes, var_a, var_b)
+
+    def __repr__(self) -> str:
+        return f"BatchApplier({self.manager!r})"

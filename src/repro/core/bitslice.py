@@ -96,26 +96,53 @@ class BitSlicedState:
     # width management
     # ------------------------------------------------------------------ #
     def widen(self, extra_bits: int = 1) -> None:
-        """Sign-extend every vector by ``extra_bits`` additional slices."""
+        """Sign-extend every vector by ``extra_bits`` additional slices in
+        one pass (the sign slice is shared, so this allocates no nodes)."""
         for name in VECTOR_NAMES:
             bits = self.slices[name]
             sign = bits[-1]
             bits.extend([sign] * extra_bits)
         self.r += extra_bits
 
+    def widen_to(self, width: int) -> None:
+        """Sign-extend every vector up to ``width`` slices (no-op when the
+        state is already at least that wide).
+
+        Convenience entry point for callers that know a target width up
+        front (state preparation, deserialisation, tests).  The gate
+        engine's overflow retry deliberately keeps widening by exactly one
+        slice per retry instead: a gate's additions can only overflow by one
+        bit, and overshooting would change the engine-visible ``bit_width``
+        statistic for no saved work.
+        """
+        if width > self.r:
+            self.widen(width - self.r)
+
     def shrink(self, min_bits: int = 2) -> int:
-        """Drop redundant sign slices (bit ``r-1`` identical to bit ``r-2``
-        in every vector); returns the number of slices removed."""
-        removed = 0
-        while self.r > min_bits:
-            if all(self.slices[name][-1] == self.slices[name][-2] for name in VECTOR_NAMES):
-                for name in VECTOR_NAMES:
-                    self.slices[name].pop()
-                self.r -= 1
-                removed += 1
-            else:
-                break
-        return removed
+        """Drop redundant sign slices; returns the number removed.
+
+        A sign slice is redundant when it equals the slice below it in every
+        vector.  The removable count is computed in one pass — the length of
+        the run of identical top slices, minimised over the four vectors —
+        and each vector is truncated once, instead of the old pop-one-slice-
+        and-recheck-everything loop.
+        """
+        removable = self.r - min_bits
+        if removable <= 0:
+            return 0
+        for name in VECTOR_NAMES:
+            bits = self.slices[name]
+            sign = bits[-1]
+            run = 0
+            while run < removable and bits[-2 - run] == sign:
+                run += 1
+            removable = run
+            if removable == 0:
+                return 0
+        for name in VECTOR_NAMES:
+            del self.slices[name][self.r - removable:]
+        self.r -= removable
+        return removable
 
     def replace_slices(self, new_slices: Dict[str, List[Bdd]], delta_k: int = 0) -> None:
         """Install freshly computed slices (all four vectors, same width)."""

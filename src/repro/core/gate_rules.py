@@ -18,6 +18,37 @@ Derivation conventions (matching the paper's worked H-gate example):
 * H, Rx(pi/2) and Ry(pi/2) add amplitudes, so they run a full symbolic adder
   and increment the shared exponent ``k`` by one (their 1/sqrt(2) factor).
 
+Hot-path design (this file issues every substrate operation of a gate):
+
+* Handlers work on **raw node ids** and wrap the final slices in
+  :class:`~repro.bdd.expr.Bdd` handles exactly once, so the inner loops
+  allocate no handle objects and touch no reference counts.  This is safe
+  because the substrate never garbage-collects inside an operation; the old
+  slices stay anchored by the state's live handles until
+  :meth:`~repro.core.bitslice.BitSlicedState.replace_slices` installs the new
+  ones.
+* Every per-slice sweep goes through a shared
+  :class:`~repro.bdd.manager.BatchApplier`: one computed-table binding and
+  one interner transaction per 4r-slice batch instead of per slice.
+* The ripple-carry adders use the **fused kernels**
+  :meth:`~repro.bdd.manager.BddManager.apply_xor3` /
+  :meth:`~repro.bdd.manager.BddManager.apply_maj3` (sum and carry in one
+  traversal each, two fused operations per bit instead of six binary
+  applies), and all independent adders of a gate — the four vectors of H,
+  the two of S — advance through their bit positions in lockstep so each
+  position is a single batch.
+* SWAP / CSWAP route through the fused
+  :meth:`~repro.bdd.manager.BddManager.apply_swap_vars` cofactor kernel
+  instead of the three-cofactor / five-connective formula.
+* Multi-control cubes are memoised per sorted controls tuple, so repeated
+  Toffoli / Fredkin gates on the same controls stop rebuilding the cube.
+
+The naive 2-operand composition formulas are kept (``_ripple_add``,
+``_swap_two_vars``, ...) as the *reference path*: property tests assert the
+fused kernels are node-for-node equivalent to them, and
+``benchmarks/bench_gate_kernels.py`` measures the fusion speedup against
+them.
+
 Every handler returns a :class:`GateUpdate` carrying the new slices, the
 ``k`` increment and the symbolic overflow predicate of all additions
 performed.  :class:`GateRuleEngine.apply` widens the state and retries when
@@ -29,16 +60,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
-from repro.bdd import Bdd, BddManager
+from repro.bdd import BatchApplier, Bdd, BddManager
+from repro.bdd.manager import FALSE, TRUE
 from repro.circuit.gates import Gate, GateKind
 from repro.core.bitslice import VECTOR_NAMES, BitSlicedState
 from repro.exceptions import UnsupportedGateError
 from repro.perf import PerfCounters
 
+#: Node-id lists per vector name — the internal currency of the handlers.
+NodeSlices = Dict[str, List[int]]
 
-@dataclass
+
+@dataclass(slots=True)
 class GateUpdate:
     """Result of characterising one gate application at the current width."""
 
@@ -57,11 +92,38 @@ class GateRuleEngine:
     def __init__(self, state: BitSlicedState):
         self.state = state
         self.manager: BddManager = state.manager
+        #: Shared batch front end: one computed-table binding per slice sweep.
+        self.batch: BatchApplier = self.manager.batcher()
         #: Per-gate-kind substrate counters (cache hits / misses, unique-table
         #: traffic, GC activity, elapsed seconds, application count).  Fed by
         #: :meth:`apply` from cheap raw-counter snapshots — two tuple reads
         #: per gate, no keyed-dict construction on the hot path.
         self.perf_by_gate: Dict[str, PerfCounters] = {}
+        # Memoised control cubes per sorted controls tuple.  The Bdd handles
+        # anchor the cubes across garbage collections; the cache is dropped
+        # whenever the manager's generation moves (GC or reorder) because a
+        # reorder invalidates the stored node ids.
+        self._control_cubes: Dict[Tuple[int, ...], Bdd] = {}
+        self._control_cube_generation = self.manager.cache_generation
+        # Bound once: rebuilding this dispatch table per gate would put 15
+        # bound-method allocations back on the per-gate hot path.
+        self._handlers: Dict[GateKind, Callable[[Gate], GateUpdate]] = {
+            GateKind.X: self._apply_x,
+            GateKind.Y: self._apply_y,
+            GateKind.Z: self._apply_z,
+            GateKind.H: self._apply_h,
+            GateKind.S: self._apply_s,
+            GateKind.SDG: self._apply_sdg,
+            GateKind.T: self._apply_t,
+            GateKind.TDG: self._apply_tdg,
+            GateKind.RX_PI_2: self._apply_rx,
+            GateKind.RY_PI_2: self._apply_ry,
+            GateKind.CX: self._apply_cx,
+            GateKind.CZ: self._apply_cz,
+            GateKind.CCX: self._apply_ccx,
+            GateKind.CSWAP: self._apply_cswap,
+            GateKind.SWAP: self._apply_swap_gate,
+        }
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -111,29 +173,108 @@ class GateRuleEngine:
         return summary
 
     def _handler_for(self, kind: GateKind) -> Callable[[Gate], GateUpdate]:
-        handlers = {
-            GateKind.X: self._apply_x,
-            GateKind.Y: self._apply_y,
-            GateKind.Z: self._apply_z,
-            GateKind.H: self._apply_h,
-            GateKind.S: self._apply_s,
-            GateKind.SDG: self._apply_sdg,
-            GateKind.T: self._apply_t,
-            GateKind.TDG: self._apply_tdg,
-            GateKind.RX_PI_2: self._apply_rx,
-            GateKind.RY_PI_2: self._apply_ry,
-            GateKind.CX: self._apply_cx,
-            GateKind.CZ: self._apply_cz,
-            GateKind.CCX: self._apply_ccx,
-            GateKind.CSWAP: self._apply_cswap,
-            GateKind.SWAP: self._apply_swap_gate,
-        }
-        if kind not in handlers:
+        handler = self._handlers.get(kind)
+        if handler is None:
             raise UnsupportedGateError(f"gate kind {kind.value} is not supported")
-        return handlers[kind]
+        return handler
 
     # ------------------------------------------------------------------ #
-    # Boolean building blocks
+    # node-level building blocks (the batched hot path)
+    # ------------------------------------------------------------------ #
+    def _qvar_node(self, qubit: int) -> int:
+        """Raw node id of the qubit's positive literal (no handle churn)."""
+        return self.manager.var_node(self.state.qubit_var(qubit))
+
+    def _node_bits(self, name: str) -> List[int]:
+        """Node ids of one vector's slices, least-significant bit first."""
+        return [bit.node for bit in self.state.slices[name]]
+
+    def _all_node_bits(self) -> List[int]:
+        """All 4r slice node ids, flat, in ``VECTOR_NAMES`` order."""
+        slices = self.state.slices
+        return [bit.node for name in VECTOR_NAMES for bit in slices[name]]
+
+    def _unflatten(self, flat: Sequence[int]) -> NodeSlices:
+        """Split a flat 4r node-id list back into the four vectors."""
+        r = self.state.r
+        return {name: list(flat[index * r:(index + 1) * r])
+                for index, name in enumerate(VECTOR_NAMES)}
+
+    def _update(self, nodes: NodeSlices, delta_k: int, overflowed: bool) -> GateUpdate:
+        """Wrap the handler's raw node ids into handles exactly once."""
+        manager = self.manager
+        slices = {name: [Bdd(manager, node) for node in nodes[name]]
+                  for name in VECTOR_NAMES}
+        return GateUpdate(slices, delta_k, overflowed)
+
+    def _swap_on_many(self, nodes: Sequence[int], qubit: int) -> List[int]:
+        """X-gate action on every node: the value at ``q = b`` becomes the
+        old value at ``q = not b`` (both cofactor sweeps and the recombining
+        ITE sweep run as single batches)."""
+        var = self.state.qubit_var(qubit)
+        qt = self._qvar_node(qubit)
+        batch = self.batch
+        low = batch.restrict_many(nodes, var, False)
+        high = batch.restrict_many(nodes, var, True)
+        return batch.ite_many([(qt, lo, hi) for lo, hi in zip(low, high)])
+
+    def _control_conjunction(self, controls: Sequence[int]) -> Bdd:
+        """Conjunction of the positive control literals, memoised per sorted
+        controls tuple so repeated multi-controlled gates reuse the cube."""
+        key = tuple(sorted(controls))
+        manager = self.manager
+        if manager.cache_generation != self._control_cube_generation:
+            self._control_cubes.clear()
+            self._control_cube_generation = manager.cache_generation
+        cube = self._control_cubes.get(key)
+        if cube is None:
+            node = TRUE
+            for control in key:
+                node = manager.apply_and(node, self._qvar_node(control))
+            cube = Bdd(manager, node)
+            self._control_cubes[key] = cube
+        return cube
+
+    def _ripple_add_many(self, adders: Sequence[Tuple[Sequence[int], Sequence[int], int]],
+                         ) -> Tuple[List[List[int]], bool]:
+        """Run several equal-width symbolic two's-complement adders in
+        lockstep.
+
+        ``adders`` is a list of ``(addend_a, addend_b, carry_in)`` with
+        node-id bit lists.  Each bit position is one fused-sum batch
+        (:meth:`~repro.bdd.manager.BddManager.apply_xor3`) plus one
+        fused-carry batch (:meth:`~repro.bdd.manager.BddManager.apply_maj3`)
+        across all adders, so an H gate's four vector additions cost two
+        batched kernel sweeps per position instead of ~6 binary applies per
+        vector per position.
+
+        Returns ``(sum_bit_lists, overflowed)`` where ``overflowed`` is True
+        when, for at least one adder and one basis state, the signed result
+        does not fit the current width (satisfiability of carry-out xor
+        carry-into-sign, the standard two's-complement overflow condition).
+        """
+        width = len(adders[0][0])
+        for addend_a, addend_b, _ in adders:
+            if len(addend_a) != width or len(addend_b) != width:
+                raise ValueError("adder operands must have the same width")
+        batch = self.batch
+        carries = [carry_in for _, _, carry_in in adders]
+        carry_into_sign = list(carries)
+        sums: List[List[int]] = [[] for _ in adders]
+        for position in range(width):
+            if position == width - 1:
+                carry_into_sign = list(carries)
+            triples = [(addend_a[position], addend_b[position], carries[index])
+                       for index, (addend_a, addend_b, _) in enumerate(adders)]
+            sum_bits = batch.xor3_many(triples)
+            carries = batch.maj3_many(triples)
+            for index, sum_bit in enumerate(sum_bits):
+                sums[index].append(sum_bit)
+        overflow = batch.xor_many(list(zip(carries, carry_into_sign)))
+        return sums, any(node != FALSE for node in overflow)
+
+    # ------------------------------------------------------------------ #
+    # reference composition path (kept for equivalence tests / benchmarks)
     # ------------------------------------------------------------------ #
     def _qvar(self, qubit: int) -> Bdd:
         return self.manager.var(self.state.qubit_var(qubit))
@@ -146,15 +287,15 @@ class GateRuleEngine:
         return [false for _ in range(self.state.r)]
 
     def _swap_on(self, function: Bdd, qubit: int) -> Bdd:
-        """The function with the two cofactors of ``qubit`` exchanged: its
-        value at ``q = b`` is the old value at ``q = not b`` (X-gate action)."""
+        """Reference form of :meth:`_swap_on_many` for a single function."""
         var = self.state.qubit_var(qubit)
         q = self._qvar(qubit)
         return q.ite(function.cofactor(var, False), function.cofactor(var, True))
 
     def _swap_two_vars(self, function: Bdd, qubit_a: int, qubit_b: int) -> Bdd:
-        """The function with the roles of ``qubit_a`` and ``qubit_b``
-        exchanged (SWAP action)."""
+        """Reference (pre-fusion) SWAP action: three full-function cofactor
+        traversals recombined through five Boolean connectives.  The hot
+        path uses :meth:`~repro.bdd.manager.BddManager.apply_swap_vars`."""
         var_a = self.state.qubit_var(qubit_a)
         var_b = self.state.qubit_var(qubit_b)
         qa, qb = self._qvar(qubit_a), self._qvar(qubit_b)
@@ -162,12 +303,6 @@ class GateRuleEngine:
         f_10 = function.cofactor(var_a, True).cofactor(var_b, False)
         same = qa.equiv(qb)
         return (same & function) | (qa & ~qb & f_01) | (~qa & qb & f_10)
-
-    def _control_conjunction(self, controls: Sequence[int]) -> Bdd:
-        product = self.manager.true
-        for control in controls:
-            product = product & self._qvar(control)
-        return product
 
     @staticmethod
     def _carry(a: Bdd, b: Bdd, c: Bdd) -> Bdd:
@@ -181,13 +316,10 @@ class GateRuleEngine:
 
     def _ripple_add(self, addend_a: Sequence[Bdd], addend_b: Sequence[Bdd],
                     carry_in: Bdd) -> Tuple[List[Bdd], bool]:
-        """Symbolic two's-complement addition of equal-width bit-plane lists.
-
-        Returns ``(sum_bits, overflowed)`` where ``overflowed`` is True when
-        the signed result does not fit in the current width for at least one
-        basis state (checked as satisfiability of carry-out xor carry-into-
-        sign, the standard two's-complement overflow condition).
-        """
+        """Reference (pre-fusion) symbolic adder: one sum and one carry per
+        position via chained 2-operand applies.  The hot path is
+        :meth:`_ripple_add_many`; property tests assert the two agree
+        node-for-node."""
         if len(addend_a) != len(addend_b):
             raise ValueError("adder operands must have the same width")
         carry = carry_in
@@ -202,141 +334,184 @@ class GateRuleEngine:
         return sums, not overflow.is_false()
 
     def _conditional_negate_add(self, bits: Sequence[Bdd], condition: Bdd) -> Tuple[List[Bdd], bool]:
-        """Two's-complement negate the integer wherever ``condition`` holds.
-
-        Implements the Table II pattern ``G_i = cond' F_i + cond (not F_i)``
-        with carry seed ``Ca0 = cond``: the bitwise complement plus one.
-        """
+        """Reference form: two's-complement negate the integer wherever
+        ``condition`` holds (``G_i = cond' F_i + cond (not F_i)`` with carry
+        seed ``Ca0 = cond``: the bitwise complement plus one)."""
         complemented = [condition.ite(~bit, bit) for bit in bits]
         return self._ripple_add(complemented, self._zeros(), condition)
 
     # ------------------------------------------------------------------ #
     # permutation-only gates (no adder, no overflow)
     # ------------------------------------------------------------------ #
-    def _permute_all(self, transform: Callable[[Bdd], Bdd]) -> Dict[str, List[Bdd]]:
-        return {name: [transform(bit) for bit in self._bits(name)]
-                for name in VECTOR_NAMES}
-
     def _apply_x(self, gate: Gate) -> GateUpdate:
         target = gate.targets[0]
-        new = self._permute_all(lambda f: self._swap_on(f, target))
-        return GateUpdate(new, 0, False)
+        new_flat = self._swap_on_many(self._all_node_bits(), target)
+        return self._update(self._unflatten(new_flat), 0, False)
 
     def _apply_cx(self, gate: Gate) -> GateUpdate:
         control, target = gate.controls[0], gate.targets[0]
-        qc = self._qvar(control)
-        new = self._permute_all(lambda f: qc.ite(self._swap_on(f, target), f))
-        return GateUpdate(new, 0, False)
+        qc = self._qvar_node(control)
+        flat = self._all_node_bits()
+        swapped = self._swap_on_many(flat, target)
+        new_flat = self.batch.ite_many(
+            [(qc, sw, old) for sw, old in zip(swapped, flat)])
+        return self._update(self._unflatten(new_flat), 0, False)
 
     def _apply_ccx(self, gate: Gate) -> GateUpdate:
         target = gate.targets[0]
-        condition = self._control_conjunction(gate.controls)
-        new = self._permute_all(lambda f: condition.ite(self._swap_on(f, target), f))
-        return GateUpdate(new, 0, False)
+        condition = self._control_conjunction(gate.controls).node
+        flat = self._all_node_bits()
+        swapped = self._swap_on_many(flat, target)
+        new_flat = self.batch.ite_many(
+            [(condition, sw, old) for sw, old in zip(swapped, flat)])
+        return self._update(self._unflatten(new_flat), 0, False)
 
     def _apply_swap_gate(self, gate: Gate) -> GateUpdate:
         qubit_a, qubit_b = gate.targets
-        new = self._permute_all(lambda f: self._swap_two_vars(f, qubit_a, qubit_b))
-        return GateUpdate(new, 0, False)
+        var_a = self.state.qubit_var(qubit_a)
+        var_b = self.state.qubit_var(qubit_b)
+        new_flat = self.batch.swap_vars_many(self._all_node_bits(), var_a, var_b)
+        return self._update(self._unflatten(new_flat), 0, False)
 
     def _apply_cswap(self, gate: Gate) -> GateUpdate:
         qubit_a, qubit_b = gate.targets
-        condition = self._control_conjunction(gate.controls)
-        new = self._permute_all(
-            lambda f: condition.ite(self._swap_two_vars(f, qubit_a, qubit_b), f))
-        return GateUpdate(new, 0, False)
+        var_a = self.state.qubit_var(qubit_a)
+        var_b = self.state.qubit_var(qubit_b)
+        condition = self._control_conjunction(gate.controls).node
+        flat = self._all_node_bits()
+        swapped = self.batch.swap_vars_many(flat, var_a, var_b)
+        new_flat = self.batch.ite_many(
+            [(condition, sw, old) for sw, old in zip(swapped, flat)])
+        return self._update(self._unflatten(new_flat), 0, False)
 
     # ------------------------------------------------------------------ #
     # phase gates (conditional coefficient permutation / negation)
     # ------------------------------------------------------------------ #
     def _apply_z(self, gate: Gate) -> GateUpdate:
-        condition = self._qvar(gate.targets[0])
+        condition = self._qvar_node(gate.targets[0])
         return self._conditional_negate_all(condition)
 
     def _apply_cz(self, gate: Gate) -> GateUpdate:
-        condition = self._qvar(gate.controls[0]) & self._qvar(gate.targets[0])
+        condition = self.manager.apply_and(self._qvar_node(gate.controls[0]),
+                                           self._qvar_node(gate.targets[0]))
         return self._conditional_negate_all(condition)
 
-    def _conditional_negate_all(self, condition: Bdd) -> GateUpdate:
-        new: Dict[str, List[Bdd]] = {}
-        overflowed = False
-        for name in VECTOR_NAMES:
-            bits, over = self._conditional_negate_add(self._bits(name), condition)
-            new[name] = bits
-            overflowed = overflowed or over
-        return GateUpdate(new, 0, overflowed)
+    def _conditional_negate_all(self, condition: int) -> GateUpdate:
+        batch = self.batch
+        flat = self._all_node_bits()
+        nots = batch.not_many(flat)
+        complemented = batch.ite_many(
+            [(condition, nb, old) for nb, old in zip(nots, flat)])
+        per_vector = self._unflatten(complemented)
+        zeros = [FALSE] * self.state.r
+        sums, overflowed = self._ripple_add_many(
+            [(per_vector[name], zeros, condition) for name in VECTOR_NAMES])
+        return self._update(dict(zip(VECTOR_NAMES, sums)), 0, overflowed)
 
     def _apply_s(self, gate: Gate) -> GateUpdate:
         # On q_t = 1 multiply by i: (a, b, c, d) -> (c, d, -a, -b).
-        qt = self._qvar(gate.targets[0])
-        fa, fb, fc, fd = (self._bits(name) for name in VECTOR_NAMES)
-        new_a = [qt.ite(c_bit, a_bit) for a_bit, c_bit in zip(fa, fc)]
-        new_b = [qt.ite(d_bit, b_bit) for b_bit, d_bit in zip(fb, fd)]
-        new_c, over_c = self._ripple_add(
-            [qt.ite(~a_bit, c_bit) for a_bit, c_bit in zip(fa, fc)], self._zeros(), qt)
-        new_d, over_d = self._ripple_add(
-            [qt.ite(~b_bit, d_bit) for b_bit, d_bit in zip(fb, fd)], self._zeros(), qt)
-        return GateUpdate({"a": new_a, "b": new_b, "c": new_c, "d": new_d},
-                          0, over_c or over_d)
+        qt = self._qvar_node(gate.targets[0])
+        batch = self.batch
+        fa, fb, fc, fd = (self._node_bits(name) for name in VECTOR_NAMES)
+        nots = batch.not_many(fa + fb)
+        r = self.state.r
+        not_a, not_b = nots[:r], nots[r:]
+        mixed = batch.ite_many(
+            [(qt, c, a) for a, c in zip(fa, fc)]
+            + [(qt, d, b) for b, d in zip(fb, fd)]
+            + [(qt, na, c) for na, c in zip(not_a, fc)]
+            + [(qt, nb, d) for nb, d in zip(not_b, fd)])
+        new_a, new_b = mixed[:r], mixed[r:2 * r]
+        pre_c, pre_d = mixed[2 * r:3 * r], mixed[3 * r:]
+        zeros = [FALSE] * r
+        (new_c, new_d), overflowed = self._ripple_add_many(
+            [(pre_c, zeros, qt), (pre_d, zeros, qt)])
+        return self._update({"a": new_a, "b": new_b, "c": new_c, "d": new_d},
+                            0, overflowed)
 
     def _apply_sdg(self, gate: Gate) -> GateUpdate:
         # On q_t = 1 multiply by -i: (a, b, c, d) -> (-c, -d, a, b).
-        qt = self._qvar(gate.targets[0])
-        fa, fb, fc, fd = (self._bits(name) for name in VECTOR_NAMES)
-        new_a, over_a = self._ripple_add(
-            [qt.ite(~c_bit, a_bit) for a_bit, c_bit in zip(fa, fc)], self._zeros(), qt)
-        new_b, over_b = self._ripple_add(
-            [qt.ite(~d_bit, b_bit) for b_bit, d_bit in zip(fb, fd)], self._zeros(), qt)
-        new_c = [qt.ite(a_bit, c_bit) for a_bit, c_bit in zip(fa, fc)]
-        new_d = [qt.ite(b_bit, d_bit) for b_bit, d_bit in zip(fb, fd)]
-        return GateUpdate({"a": new_a, "b": new_b, "c": new_c, "d": new_d},
-                          0, over_a or over_b)
+        qt = self._qvar_node(gate.targets[0])
+        batch = self.batch
+        fa, fb, fc, fd = (self._node_bits(name) for name in VECTOR_NAMES)
+        nots = batch.not_many(fc + fd)
+        r = self.state.r
+        not_c, not_d = nots[:r], nots[r:]
+        mixed = batch.ite_many(
+            [(qt, nc, a) for nc, a in zip(not_c, fa)]
+            + [(qt, nd, b) for nd, b in zip(not_d, fb)]
+            + [(qt, a, c) for c, a in zip(fc, fa)]
+            + [(qt, b, d) for d, b in zip(fd, fb)])
+        pre_a, pre_b = mixed[:r], mixed[r:2 * r]
+        new_c, new_d = mixed[2 * r:3 * r], mixed[3 * r:]
+        zeros = [FALSE] * r
+        (new_a, new_b), overflowed = self._ripple_add_many(
+            [(pre_a, zeros, qt), (pre_b, zeros, qt)])
+        return self._update({"a": new_a, "b": new_b, "c": new_c, "d": new_d},
+                            0, overflowed)
 
     def _apply_t(self, gate: Gate) -> GateUpdate:
         # On q_t = 1 multiply by w: (a, b, c, d) -> (b, c, d, -a).
-        qt = self._qvar(gate.targets[0])
-        fa, fb, fc, fd = (self._bits(name) for name in VECTOR_NAMES)
-        new_a = [qt.ite(b_bit, a_bit) for a_bit, b_bit in zip(fa, fb)]
-        new_b = [qt.ite(c_bit, b_bit) for b_bit, c_bit in zip(fb, fc)]
-        new_c = [qt.ite(d_bit, c_bit) for c_bit, d_bit in zip(fc, fd)]
-        new_d, over_d = self._ripple_add(
-            [qt.ite(~a_bit, d_bit) for a_bit, d_bit in zip(fa, fd)], self._zeros(), qt)
-        return GateUpdate({"a": new_a, "b": new_b, "c": new_c, "d": new_d}, 0, over_d)
+        qt = self._qvar_node(gate.targets[0])
+        batch = self.batch
+        fa, fb, fc, fd = (self._node_bits(name) for name in VECTOR_NAMES)
+        not_a = batch.not_many(fa)
+        r = self.state.r
+        mixed = batch.ite_many(
+            [(qt, b, a) for a, b in zip(fa, fb)]
+            + [(qt, c, b) for b, c in zip(fb, fc)]
+            + [(qt, d, c) for c, d in zip(fc, fd)]
+            + [(qt, na, d) for na, d in zip(not_a, fd)])
+        new_a, new_b = mixed[:r], mixed[r:2 * r]
+        new_c, pre_d = mixed[2 * r:3 * r], mixed[3 * r:]
+        zeros = [FALSE] * r
+        (new_d,), overflowed = self._ripple_add_many([(pre_d, zeros, qt)])
+        return self._update({"a": new_a, "b": new_b, "c": new_c, "d": new_d},
+                            0, overflowed)
 
     def _apply_tdg(self, gate: Gate) -> GateUpdate:
         # On q_t = 1 multiply by w**-1: (a, b, c, d) -> (-d, a, b, c).
-        qt = self._qvar(gate.targets[0])
-        fa, fb, fc, fd = (self._bits(name) for name in VECTOR_NAMES)
-        new_a, over_a = self._ripple_add(
-            [qt.ite(~d_bit, a_bit) for a_bit, d_bit in zip(fa, fd)], self._zeros(), qt)
-        new_b = [qt.ite(a_bit, b_bit) for b_bit, a_bit in zip(fb, fa)]
-        new_c = [qt.ite(b_bit, c_bit) for c_bit, b_bit in zip(fc, fb)]
-        new_d = [qt.ite(c_bit, d_bit) for d_bit, c_bit in zip(fd, fc)]
-        return GateUpdate({"a": new_a, "b": new_b, "c": new_c, "d": new_d}, 0, over_a)
+        qt = self._qvar_node(gate.targets[0])
+        batch = self.batch
+        fa, fb, fc, fd = (self._node_bits(name) for name in VECTOR_NAMES)
+        not_d = batch.not_many(fd)
+        r = self.state.r
+        mixed = batch.ite_many(
+            [(qt, nd, a) for nd, a in zip(not_d, fa)]
+            + [(qt, a, b) for b, a in zip(fb, fa)]
+            + [(qt, b, c) for c, b in zip(fc, fb)]
+            + [(qt, c, d) for d, c in zip(fd, fc)])
+        pre_a, new_b = mixed[:r], mixed[r:2 * r]
+        new_c, new_d = mixed[2 * r:3 * r], mixed[3 * r:]
+        zeros = [FALSE] * r
+        (new_a,), overflowed = self._ripple_add_many([(pre_a, zeros, qt)])
+        return self._update({"a": new_a, "b": new_b, "c": new_c, "d": new_d},
+                            0, overflowed)
 
     def _apply_y(self, gate: Gate) -> GateUpdate:
         # new(q_t=0) = -i * old(q_t=1), new(q_t=1) = +i * old(q_t=0);
         # i * (a,b,c,d) = (c, d, -a, -b).
         target = gate.targets[0]
-        qt = self._qvar(target)
-        not_qt = ~qt
-        fa, fb, fc, fd = (self._bits(name) for name in VECTOR_NAMES)
-        new: Dict[str, List[Bdd]] = {}
-        overflowed = False
-        # (source vector, negate-on-branch) per destination vector.
-        plan = {
-            "a": (fc, not_qt),  # a' = +c_other on q_t=1, -c_other on q_t=0
-            "b": (fd, not_qt),
-            "c": (fa, qt),      # c' = +a_other on q_t=0, -a_other on q_t=1
-            "d": (fb, qt),
-        }
-        for name, (source, negate_when) in plan.items():
-            swapped = [self._swap_on(bit, target) for bit in source]
-            conditional = [negate_when.ite(~bit, bit) for bit in swapped]
-            bits, over = self._ripple_add(conditional, self._zeros(), negate_when)
-            new[name] = bits
-            overflowed = overflowed or over
-        return GateUpdate(new, 0, overflowed)
+        qt = self._qvar_node(target)
+        not_qt = self.manager.apply_not(qt)
+        batch = self.batch
+        fa, fb, fc, fd = (self._node_bits(name) for name in VECTOR_NAMES)
+        r = self.state.r
+        # (source vector, negate-on-branch) per destination vector, in
+        # VECTOR_NAMES order: a' <- c, b' <- d (negate on q_t=0);
+        # c' <- a, d' <- b (negate on q_t=1).
+        sources = fc + fd + fa + fb
+        negate_when = [not_qt] * (2 * r) + [qt] * (2 * r)
+        swapped = self._swap_on_many(sources, target)
+        nots = batch.not_many(swapped)
+        conditional = batch.ite_many(
+            [(cond, nb, sb) for cond, nb, sb in zip(negate_when, nots, swapped)])
+        per_vector = self._unflatten(conditional)
+        zeros = [FALSE] * r
+        carries = {"a": not_qt, "b": not_qt, "c": qt, "d": qt}
+        sums, overflowed = self._ripple_add_many(
+            [(per_vector[name], zeros, carries[name]) for name in VECTOR_NAMES])
+        return self._update(dict(zip(VECTOR_NAMES, sums)), 0, overflowed)
 
     # ------------------------------------------------------------------ #
     # superposing gates (symbolic adders, k increments)
@@ -345,59 +520,57 @@ class GateRuleEngine:
         # new(q_t=0) = old(0) + old(1); new(q_t=1) = old(0) - old(1); k += 1.
         target = gate.targets[0]
         var = self.state.qubit_var(target)
-        qt = self._qvar(target)
-        new: Dict[str, List[Bdd]] = {}
-        overflowed = False
-        for name in VECTOR_NAMES:
-            bits = self._bits(name)
-            replicated_low = [bit.cofactor(var, False) for bit in bits]
-            second = [qt.ite(~bit, bit.cofactor(var, True)) for bit in bits]
-            summed, over = self._ripple_add(replicated_low, second, qt)
-            new[name] = summed
-            overflowed = overflowed or over
-        return GateUpdate(new, 1, overflowed)
+        qt = self._qvar_node(target)
+        batch = self.batch
+        flat = self._all_node_bits()
+        low = batch.restrict_many(flat, var, False)
+        high = batch.restrict_many(flat, var, True)
+        nots = batch.not_many(flat)
+        second = batch.ite_many(
+            [(qt, nb, hi) for nb, hi in zip(nots, high)])
+        r = self.state.r
+        adders = [(low[index * r:(index + 1) * r],
+                   second[index * r:(index + 1) * r], qt)
+                  for index in range(len(VECTOR_NAMES))]
+        sums, overflowed = self._ripple_add_many(adders)
+        return self._update(dict(zip(VECTOR_NAMES, sums)), 1, overflowed)
 
     def _apply_ry(self, gate: Gate) -> GateUpdate:
         # new(q_t=0) = old(0) - old(1); new(q_t=1) = old(0) + old(1); k += 1.
         target = gate.targets[0]
         var = self.state.qubit_var(target)
-        qt = self._qvar(target)
-        not_qt = ~qt
-        new: Dict[str, List[Bdd]] = {}
-        overflowed = False
-        for name in VECTOR_NAMES:
-            bits = self._bits(name)
-            replicated_low = [bit.cofactor(var, False) for bit in bits]
-            second = [qt.ite(bit, ~bit.cofactor(var, True)) for bit in bits]
-            summed, over = self._ripple_add(replicated_low, second, not_qt)
-            new[name] = summed
-            overflowed = overflowed or over
-        return GateUpdate(new, 1, overflowed)
+        qt = self._qvar_node(target)
+        not_qt = self.manager.apply_not(qt)
+        batch = self.batch
+        flat = self._all_node_bits()
+        low = batch.restrict_many(flat, var, False)
+        high = batch.restrict_many(flat, var, True)
+        not_high = batch.not_many(high)
+        second = batch.ite_many(
+            [(qt, old, nh) for old, nh in zip(flat, not_high)])
+        r = self.state.r
+        adders = [(low[index * r:(index + 1) * r],
+                   second[index * r:(index + 1) * r], not_qt)
+                  for index in range(len(VECTOR_NAMES))]
+        sums, overflowed = self._ripple_add_many(adders)
+        return self._update(dict(zip(VECTOR_NAMES, sums)), 1, overflowed)
 
     def _apply_rx(self, gate: Gate) -> GateUpdate:
         # new = old - i * old_swapped (per branch); k += 1.
         # Contributions: a' = a - c_swapped, b' = b - d_swapped,
         #                c' = c + a_swapped, d' = d + b_swapped.
         target = gate.targets[0]
-        fa, fb, fc, fd = (self._bits(name) for name in VECTOR_NAMES)
-        true = self.manager.true
-        false = self.manager.false
-        new: Dict[str, List[Bdd]] = {}
-        overflowed = False
-        plan = {
-            "a": (fa, fc, True),
-            "b": (fb, fd, True),
-            "c": (fc, fa, False),
-            "d": (fd, fb, False),
-        }
-        for name, (own, other, negate) in plan.items():
-            swapped = [self._swap_on(bit, target) for bit in other]
-            if negate:
-                swapped = [~bit for bit in swapped]
-                carry_in = true
-            else:
-                carry_in = false
-            summed, over = self._ripple_add(own, swapped, carry_in)
-            new[name] = summed
-            overflowed = overflowed or over
-        return GateUpdate(new, 1, overflowed)
+        batch = self.batch
+        fa, fb, fc, fd = (self._node_bits(name) for name in VECTOR_NAMES)
+        r = self.state.r
+        # "other" operand per destination vector, in VECTOR_NAMES order.
+        others = fc + fd + fa + fb
+        swapped = self._swap_on_many(others, target)
+        negated = batch.not_many(swapped[:2 * r])
+        second = negated + swapped[2 * r:]
+        adders = [(fa, second[:r], TRUE),
+                  (fb, second[r:2 * r], TRUE),
+                  (fc, second[2 * r:3 * r], FALSE),
+                  (fd, second[3 * r:], FALSE)]
+        sums, overflowed = self._ripple_add_many(adders)
+        return self._update(dict(zip(VECTOR_NAMES, sums)), 1, overflowed)

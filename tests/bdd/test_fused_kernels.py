@@ -1,0 +1,240 @@
+"""Property tests for the fused multi-operand kernels.
+
+Each fused kernel must be **node-for-node** equivalent to the naive
+2-operand composition it replaces — ROBDD canonicity makes node-id equality
+the strongest possible check.  Coverage:
+
+* ``apply_maj3`` vs ``(f & g) | (f & h) | (g & h)`` on randomised DNFs,
+* ``apply_xor3`` vs ``f ^ g ^ h``,
+* ``apply_swap_vars`` vs the cofactor / connective SWAP formula, including
+  adjacent, distant, absent-variable and involution cases,
+* every :class:`~repro.bdd.manager.BatchApplier` method vs the equivalent
+  sequence of single-shot operations,
+* all of the above on a manager past the recursion-safe threshold under an
+  artificially tiny recursion limit (the explicit-stack twins).
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+import pytest
+
+from repro.bdd import BatchApplier, Bdd, BddManager
+
+
+def random_function(manager: BddManager, rng: random.Random,
+                    max_terms: int = 18, literals: int = 3) -> Bdd:
+    """A random DNF over the manager's variables (structured mid-size BDD)."""
+    roll = rng.random()
+    if roll < 0.05:
+        return manager.false
+    if roll < 0.1:
+        return manager.true
+    function = manager.false
+    for _ in range(rng.randrange(1, max_terms)):
+        cube = manager.true
+        for var in rng.sample(range(manager.num_vars), literals):
+            cube = cube & manager.literal(var, rng.random() < 0.5)
+        function = function | cube
+    return function
+
+
+def naive_maj3(f: Bdd, g: Bdd, h: Bdd) -> Bdd:
+    return (f & g) | (f & h) | (g & h)
+
+
+def naive_xor3(f: Bdd, g: Bdd, h: Bdd) -> Bdd:
+    return f ^ g ^ h
+
+
+def naive_swap_vars(f: Bdd, var_a: int, var_b: int) -> Bdd:
+    manager = f.manager
+    qa, qb = manager.var(var_a), manager.var(var_b)
+    f_01 = f.cofactor(var_a, False).cofactor(var_b, True)
+    f_10 = f.cofactor(var_a, True).cofactor(var_b, False)
+    return (qa.equiv(qb) & f) | (qa & ~qb & f_01) | (~qa & qb & f_10)
+
+
+class TestFusedTernaryKernels:
+    @pytest.mark.parametrize("seed", [1, 7, 23, 91])
+    def test_maj3_matches_composition(self, seed):
+        rng = random.Random(seed)
+        manager = BddManager(12)
+        for _ in range(40):
+            f, g, h = (random_function(manager, rng) for _ in range(3))
+            fused = manager.apply_maj3(f.node, g.node, h.node)
+            assert fused == naive_maj3(f, g, h).node
+
+    @pytest.mark.parametrize("seed", [2, 11, 29, 83])
+    def test_xor3_matches_composition(self, seed):
+        rng = random.Random(seed)
+        manager = BddManager(12)
+        for _ in range(40):
+            f, g, h = (random_function(manager, rng) for _ in range(3))
+            fused = manager.apply_xor3(f.node, g.node, h.node)
+            assert fused == naive_xor3(f, g, h).node
+
+    def test_degenerate_operands(self):
+        manager = BddManager(6)
+        rng = random.Random(5)
+        f = random_function(manager, rng)
+        g = random_function(manager, rng)
+        false, true = manager.false, manager.true
+        for x, y in ((f, g), (f, f), (f, true), (f, false), (false, true)):
+            for triple in ((x, x, y), (x, y, x), (y, x, x),
+                           (false, x, y), (x, true, y)):
+                assert (triple[0].maj3(triple[1], triple[2])
+                        == naive_maj3(*triple))
+                assert (triple[0].xor3(triple[1], triple[2])
+                        == naive_xor3(*triple))
+
+    def test_handle_front_ends(self):
+        manager = BddManager(8)
+        rng = random.Random(13)
+        f, g, h = (random_function(manager, rng) for _ in range(3))
+        assert f.maj3(g, h) == naive_maj3(f, g, h)
+        assert f.xor3(g, h) == naive_xor3(f, g, h)
+
+    def test_full_adder_semantics(self):
+        """One fused sum / carry pair equals integer addition on every
+        assignment — the property the ripple chains rely on."""
+        manager = BddManager(6)
+        rng = random.Random(17)
+        a = random_function(manager, rng)
+        b = random_function(manager, rng)
+        c = random_function(manager, rng)
+        total = a.xor3(b, c)
+        carry = a.maj3(b, c)
+        import itertools
+        for values in itertools.product([False, True], repeat=6):
+            assignment = dict(enumerate(values))
+            bits = sum((a.evaluate(assignment), b.evaluate(assignment),
+                        c.evaluate(assignment)))
+            assert total.evaluate(assignment) == bool(bits & 1)
+            assert carry.evaluate(assignment) == (bits >= 2)
+
+
+class TestFusedSwapVars:
+    @pytest.mark.parametrize("seed", [3, 19, 41])
+    def test_swap_matches_composition(self, seed):
+        rng = random.Random(seed)
+        manager = BddManager(12)
+        for _ in range(60):
+            f = random_function(manager, rng)
+            var_a, var_b = rng.sample(range(12), 2)
+            fused = manager.apply_swap_vars(f.node, var_a, var_b)
+            assert fused == naive_swap_vars(f, var_a, var_b).node
+
+    def test_adjacent_and_extreme_pairs(self):
+        manager = BddManager(10)
+        rng = random.Random(31)
+        f = random_function(manager, rng)
+        for var_a, var_b in ((0, 1), (8, 9), (0, 9), (4, 5), (9, 0)):
+            assert (f.swap_vars(var_a, var_b)
+                    == naive_swap_vars(f, var_a, var_b))
+
+    def test_swap_is_an_involution(self):
+        manager = BddManager(10)
+        rng = random.Random(37)
+        for _ in range(25):
+            f = random_function(manager, rng)
+            var_a, var_b = rng.sample(range(10), 2)
+            assert f.swap_vars(var_a, var_b).swap_vars(var_b, var_a) == f
+
+    def test_swap_same_variable_is_identity(self):
+        manager = BddManager(6)
+        rng = random.Random(43)
+        f = random_function(manager, rng)
+        assert f.swap_vars(3, 3) == f
+
+    def test_swap_of_absent_variables_is_identity(self):
+        manager = BddManager(8)
+        # f depends only on variables 2 and 3.
+        f = manager.var(2) & ~manager.var(3)
+        assert f.swap_vars(5, 6) == f
+        # Swapping an absent variable with a present one renames it.
+        renamed = f.swap_vars(2, 5)
+        assert renamed == (manager.var(5) & ~manager.var(3))
+
+
+class TestBatchApplier:
+    def _functions(self, manager, rng, count=9):
+        return [random_function(manager, rng) for _ in range(count)]
+
+    def test_batches_match_single_shot_operations(self):
+        manager = BddManager(10)
+        rng = random.Random(53)
+        functions = self._functions(manager, rng)
+        nodes = [f.node for f in functions]
+        pairs = list(zip(nodes, nodes[1:]))
+        triples = list(zip(nodes, nodes[1:], nodes[2:]))
+        batch = BatchApplier(manager)
+        assert batch.and_many(pairs) == [manager.apply_and(*p) for p in pairs]
+        assert batch.or_many(pairs) == [manager.apply_or(*p) for p in pairs]
+        assert batch.xor_many(pairs) == [manager.apply_xor(*p) for p in pairs]
+        assert batch.not_many(nodes) == [manager.apply_not(n) for n in nodes]
+        assert batch.ite_many(triples) == [manager.apply_ite(*t) for t in triples]
+        assert batch.maj3_many(triples) == [manager.apply_maj3(*t) for t in triples]
+        assert batch.xor3_many(triples) == [manager.apply_xor3(*t) for t in triples]
+        assert (batch.restrict_many(nodes, 4, True)
+                == [manager.apply_restrict(n, 4, True) for n in nodes])
+        assert (batch.swap_vars_many(nodes, 1, 7)
+                == [manager.apply_swap_vars(n, 1, 7) for n in nodes])
+
+    def test_empty_batches(self):
+        manager = BddManager(4)
+        batch = BatchApplier(manager)
+        assert batch.and_many([]) == []
+        assert batch.not_many([]) == []
+        assert batch.maj3_many([]) == []
+        assert batch.restrict_many([], 0, False) == []
+        assert batch.swap_vars_many([], 0, 1) == []
+
+    def test_batch_counters(self):
+        manager = BddManager(6)
+        rng = random.Random(59)
+        nodes = [f.node for f in self._functions(manager, rng, 5)]
+        before = manager.perf_stats()
+        batch = BatchApplier(manager)
+        batch.not_many(nodes)
+        batch.xor3_many(list(zip(nodes, nodes[1:], nodes[2:])))
+        stats = manager.perf_stats()
+        assert stats["batch_runs"] == before["batch_runs"] + 2
+        assert stats["batch_items"] == before["batch_items"] + 5 + 3
+
+
+class TestDeepManagerFusedKernels:
+    """Managers past the recursion-safe threshold must run the fused kernels
+    on the explicit stack, even under a tiny recursion limit."""
+
+    NUM_VARS = 1500  # > _MAX_RECURSIVE_VARS
+
+    def _chain(self, manager, step):
+        f = manager.true
+        for index in range(self.NUM_VARS):
+            f = f & manager.literal(index, index % step != 0)
+        return f
+
+    def test_deep_fused_kernels_under_low_recursion_limit(self):
+        manager = BddManager(self.NUM_VARS)
+        old_limit = sys.getrecursionlimit()
+        try:
+            f = self._chain(manager, 3)
+            g = self._chain(manager, 2)
+            h = ~manager.var(10) | manager.var(1200)
+            sys.setrecursionlimit(220)
+            assert (f.maj3(g, h)) == naive_maj3(f, g, h)
+            assert (f.xor3(g, h)) == naive_xor3(f, g, h)
+            swapped = f.swap_vars(5, 1400)
+            assert swapped == naive_swap_vars(f, 5, 1400)
+            assert swapped.swap_vars(1400, 5) == f
+            batch = BatchApplier(manager)
+            triples = [(f.node, g.node, h.node), (g.node, h.node, f.node)]
+            assert batch.maj3_many(triples) == [manager.apply_maj3(*t) for t in triples]
+            assert batch.xor3_many(triples) == [manager.apply_xor3(*t) for t in triples]
+            assert (batch.swap_vars_many([f.node, g.node], 5, 1400)
+                    == [manager.apply_swap_vars(n, 5, 1400) for n in (f.node, g.node)])
+        finally:
+            sys.setrecursionlimit(old_limit)

@@ -1,0 +1,153 @@
+"""Tests for the batched gate-rule plumbing added with the fused kernels.
+
+The full gate semantics are already pinned against the dense oracle in
+``test_gate_rules.py``; these tests cover the new machinery specifically:
+the lockstep batched adder vs the reference composition adder, the memoised
+control cubes, and the one-pass widen / shrink of the state.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bdd import Bdd
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, GateKind
+from repro.core.bitslice import VECTOR_NAMES, BitSlicedState
+from repro.core.gate_rules import GateRuleEngine
+from repro.core.simulator import BitSliceSimulator
+
+
+def _prepared_engine(num_qubits=4, seed=11):
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_qubits):
+        getattr(circuit, rng.choice(("t", "s", "h")))(qubit)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    simulator = BitSliceSimulator(num_qubits)
+    simulator.run(circuit)
+    return GateRuleEngine(simulator.state)
+
+
+class TestBatchedAdder:
+    def test_ripple_add_many_matches_reference(self):
+        engine = _prepared_engine()
+        state = engine.state
+        qt = engine._qvar_node(0)
+        qt_handle = Bdd(state.manager, qt)
+        adders = []
+        expected = []
+        names = list(VECTOR_NAMES)
+        for own, other in zip(names, names[1:] + names[:1]):
+            a_bits = [bit.node for bit in state.slices[own]]
+            b_bits = [bit.node for bit in state.slices[other]]
+            adders.append((a_bits, b_bits, qt))
+            expected.append(engine._ripple_add(
+                list(state.slices[own]), list(state.slices[other]), qt_handle))
+        sums, overflowed = engine._ripple_add_many(adders)
+        assert overflowed == any(over for _, over in expected)
+        for fused_bits, (reference_bits, _) in zip(sums, expected):
+            assert fused_bits == [bit.node for bit in reference_bits]
+
+    def test_conditional_negate_matches_reference(self):
+        engine = _prepared_engine(seed=29)
+        state = engine.state
+        condition_handle = state.manager.var(1)
+        update = engine._conditional_negate_all(condition_handle.node)
+        for name in VECTOR_NAMES:
+            reference, _ = engine._conditional_negate_add(
+                list(state.slices[name]), condition_handle)
+            assert update.slices[name] == reference
+
+    def test_mismatched_widths_rejected(self):
+        engine = _prepared_engine()
+        import pytest
+
+        with pytest.raises(ValueError):
+            engine._ripple_add_many([([0, 0], [0], 0)])
+
+
+class TestControlCubeMemo:
+    def test_cube_is_reused_per_sorted_controls(self):
+        engine = _prepared_engine()
+        first = engine._control_conjunction((2, 0, 1))
+        second = engine._control_conjunction((1, 2, 0))
+        assert first is second  # memo hit, not merely an equal BDD
+        assert engine._control_conjunction((0, 1)) is not first
+
+    def test_repeated_toffolis_reuse_the_cube(self):
+        engine = _prepared_engine()
+        gate = Gate(GateKind.CCX, (3,), (0, 1))
+        engine.apply(gate)
+        cube = engine._control_cubes[(0, 1)]
+        engine.apply(gate)
+        assert engine._control_cubes[(0, 1)] is cube
+
+    def test_memo_dropped_on_generation_change(self):
+        engine = _prepared_engine()
+        engine._control_conjunction((0, 1))
+        engine.manager.garbage_collect()  # bumps the cache generation
+        engine._control_conjunction((0, 2))
+        assert (0, 1) not in engine._control_cubes
+        assert (0, 2) in engine._control_cubes
+
+
+class TestBatchedWidenShrink:
+    def test_widen_to_extends_in_one_pass(self):
+        state = BitSlicedState(3, initial_bits=2)
+        state.widen_to(6)
+        assert state.r == 6
+        for name in VECTOR_NAMES:
+            bits = state.slices[name]
+            assert len(bits) == 6
+            assert all(bit == bits[1] for bit in bits[1:])  # shared sign
+        state.widen_to(4)  # no-op when already wider
+        assert state.r == 6
+
+    def test_shrink_removes_full_redundant_run_at_once(self):
+        state = BitSlicedState(3, initial_bits=2)
+        state.widen(5)
+        assert state.r == 7
+        removed = state.shrink()
+        assert removed == 5
+        assert state.r == 2
+
+    def test_shrink_respects_min_bits_and_distinct_signs(self):
+        state = BitSlicedState(2, initial_bits=2)
+        assert state.shrink() == 0
+        state.widen(3)
+        # Make the top slice of one vector distinct: nothing is redundant.
+        state.slices["a"][-1] = state.manager.var(0)
+        assert state.shrink() == 0
+        assert state.r == 5
+
+    def test_shrink_stops_at_first_distinct_slice(self):
+        state = BitSlicedState(2, initial_bits=2)
+        state.widen(4)  # r = 6, slices 1..5 all equal the sign of slice 1
+        marker = state.manager.var(1)
+        for name in VECTOR_NAMES:
+            state.slices[name][3] = marker
+        # Slices 4 and 5 equal each other but differ from slice 3's marker:
+        # exactly one slice is removable (6 -> 5), then the run breaks.
+        assert state.shrink() == 1
+        assert state.r == 5
+
+
+class TestEngineStillExact:
+    def test_simulation_is_deterministic_across_runs(self):
+        def run():
+            circuit = QuantumCircuit(4)
+            for qubit in range(4):
+                circuit.h(qubit)
+            circuit.t(0).cx(0, 1).h(1).t(1).cx(1, 2).h(2).ccx((3, 0), 1)
+            circuit.swap(0, 3).s(2).h(3).tdg(2)
+            simulator = BitSliceSimulator.simulate(circuit)
+            return simulator.state.to_numpy(), simulator.state.r
+
+        first_state, first_r = run()
+        second_state, second_r = run()
+        assert first_r == second_r
+        assert (first_state == second_state).all()
