@@ -44,10 +44,15 @@ class SparseDictEngine(Engine):
     capabilities = Capabilities(
         name="sparse-dict",
         label="Sparse dictionary",
-        supported_gates=frozenset(GateKind) - {GateKind.MEASURE},
+        supported_gates=frozenset(GateKind) - {GateKind.MEASURE, GateKind.RESET},
         exact=False,
         selection_priority=90,
         description="Toy sparse-amplitude simulator (example engine).",
+        # No collapse implementation: mid-circuit measurement and reset are
+        # honestly declared unsupported.  Shot *sampling* still works — the
+        # Engine base class samples any engine with a correct probability()
+        # through the shared conditional-probability descent.
+        supports_measurement=False,
     )
 
     def __init__(self) -> None:
@@ -137,6 +142,12 @@ def main() -> None:
     print(f"sparse-dict on {ghz.name}: status={result.status}, "
           f"P[all zeros]={result.final_probability:.3f}, "
           f"occupied states={result.peak_memory_nodes}")
+
+    # Shot sampling comes for free: the Engine base class drives the shared
+    # conditional-probability descent over this engine's probability().
+    sampled = repro.run(ghz, engine="sparse-dict", shots=1024, seed=0,
+                        limits=ResourceLimits(max_seconds=30.0))
+    print(f"sparse-dict sampling {ghz.name}: counts={sampled.counts_bitstrings()}")
 
     # Same circuit swept across three engines through the same grid executor
     # (jobs=1 here: an engine registered inside a script is only guaranteed

@@ -32,6 +32,11 @@ The most common entry points are re-exported here::
     result = repro.run(circuit, engine="auto")    # -> RunResult
     result.status, result.final_probability       # 'ok', 0.5
 
+    # Exact, reproducible shot sampling (identical counts across engines
+    # at equal seeds; see docs/sampling.md):
+    sampled = repro.run(circuit.measure_all(), shots=1024, seed=0)
+    sampled.counts_bitstrings()                   # {'00': 533, '11': 491}
+
     # Rich native simulator classes stay public:
     from repro import BitSliceSimulator
     BitSliceSimulator.simulate(circuit).measurement_distribution()

@@ -42,6 +42,11 @@ class QuantumCircuit:
         self._gates: List[Gate] = []
         #: Qubits marked for final measurement, in measurement order.
         self.measured_qubits: List[int] = []
+        #: Classical bit each final measurement writes to, parallel to
+        #: :attr:`measured_qubits` (``measure q[i] -> c[j]``).
+        self.measured_clbits: List[int] = []
+        #: Width of the classical register (grows as clbits are referenced).
+        self.num_clbits: int = 0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -52,16 +57,30 @@ class QuantumCircuit:
                 raise ValueError(
                     f"qubit {qubit} out of range for {self.num_qubits}-qubit circuit")
 
+    def _touch_clbit(self, clbit: int) -> None:
+        if clbit < 0:
+            raise ValueError("classical bit indices must be non-negative")
+        self.num_clbits = max(self.num_clbits, clbit + 1)
+
     def append(self, gate: Gate) -> "QuantumCircuit":
         """Append a pre-built :class:`Gate`."""
         self._check_qubits(gate.qubits)
+        for clbit in gate.clbits:
+            self._touch_clbit(clbit)
         self._gates.append(gate)
         return self
 
     def add(self, kind: GateKind, targets: Sequence[int],
-            controls: Sequence[int] = ()) -> "QuantumCircuit":
-        """Append a gate by kind, targets and controls."""
-        return self.append(Gate(kind, tuple(targets), tuple(controls)))
+            controls: Sequence[int] = (),
+            condition: Optional[int] = None) -> "QuantumCircuit":
+        """Append a gate by kind, targets and controls.
+
+        ``condition`` makes the gate classically controlled: it only executes
+        when the classical register equals ``condition`` (OpenQASM
+        ``if(c==v)`` semantics; clbit 0 is the least-significant bit).
+        """
+        return self.append(Gate(kind, tuple(targets), tuple(controls),
+                                condition=condition))
 
     # -- single-qubit builders ------------------------------------------ #
     def x(self, qubit: int) -> "QuantumCircuit":
@@ -133,11 +152,25 @@ class QuantumCircuit:
         """Standard single-control Fredkin."""
         return self.cswap([control], qubit_a, qubit_b)
 
-    def measure(self, qubit: int) -> "QuantumCircuit":
-        """Mark ``qubit`` for final measurement."""
+    def measure(self, qubit: int, clbit: Optional[int] = None) -> "QuantumCircuit":
+        """Mark ``qubit`` for final measurement, recording into ``clbit``.
+
+        This is the *terminal* measurement marker (``measure q[i] -> c[j];``
+        at the end of an OpenQASM program): the state is not collapsed during
+        execution, and shot sampling draws the marked qubits jointly from the
+        final state.  For a collapsing measurement in the middle of a circuit
+        use :meth:`measure_mid` instead.  ``clbit`` defaults to the qubit
+        index.  Repeating an existing ``(qubit, clbit)`` pair is a no-op;
+        measuring an already marked qubit into a *different* clbit adds a
+        second mapping (both clbits receive the qubit's outcome, as in
+        OpenQASM).
+        """
         self._check_qubits([qubit])
-        if qubit not in self.measured_qubits:
+        clbit = qubit if clbit is None else clbit
+        if (qubit, clbit) not in zip(self.measured_qubits, self.measured_clbits):
+            self._touch_clbit(clbit)
             self.measured_qubits.append(qubit)
+            self.measured_clbits.append(clbit)
         return self
 
     def measure_all(self) -> "QuantumCircuit":
@@ -145,6 +178,22 @@ class QuantumCircuit:
         for qubit in range(self.num_qubits):
             self.measure(qubit)
         return self
+
+    def measure_mid(self, qubit: int, clbit: Optional[int] = None) -> "QuantumCircuit":
+        """Measure ``qubit`` *now*, collapsing the state, into ``clbit``.
+
+        Appends a real :attr:`GateKind.MEASURE` instruction to the gate
+        stream: when the circuit is executed the state collapses to the
+        sampled outcome, the outcome lands in the classical register, and
+        later gates may be conditioned on it (``condition=`` / ``if(c==v)``).
+        ``clbit`` defaults to the qubit index.
+        """
+        clbit = qubit if clbit is None else clbit
+        return self.append(Gate(GateKind.MEASURE, (qubit,), clbits=(clbit,)))
+
+    def reset(self, qubit: int) -> "QuantumCircuit":
+        """Reset ``qubit`` to ``|0>`` mid-circuit (measure, then flip on 1)."""
+        return self.append(Gate(GateKind.RESET, (qubit,)))
 
     # ------------------------------------------------------------------ #
     # combination
@@ -161,8 +210,11 @@ class QuantumCircuit:
             combined.append(gate)
         for gate in other.gates:
             combined.append(gate)
-        for qubit in self.measured_qubits + other.measured_qubits:
-            combined.measure(qubit)
+        for qubit, clbit in (list(zip(self.measured_qubits, self.measured_clbits))
+                             + list(zip(other.measured_qubits, other.measured_clbits))):
+            combined.measure(qubit, clbit)
+        combined.num_clbits = max(combined.num_clbits, self.num_clbits,
+                                  other.num_clbits)
         return combined
 
     def inverse(self) -> "QuantumCircuit":
@@ -177,6 +229,8 @@ class QuantumCircuit:
         duplicate = QuantumCircuit(self.num_qubits, name=name or self.name)
         duplicate._gates = list(self._gates)
         duplicate.measured_qubits = list(self.measured_qubits)
+        duplicate.measured_clbits = list(self.measured_clbits)
+        duplicate.num_clbits = self.num_clbits
         return duplicate
 
     # ------------------------------------------------------------------ #
@@ -213,6 +267,19 @@ class QuantumCircuit:
         """True if every gate is a Clifford gate (stabilizer-simulable)."""
         return all(is_clifford_gate(gate) for gate in self._gates)
 
+    def has_dynamic_ops(self) -> bool:
+        """True when the circuit contains mid-circuit measurement, reset or
+        classically-conditioned gates (i.e. executing it involves classical
+        state and randomness, not just unitaries)."""
+        return any(gate.kind in (GateKind.MEASURE, GateKind.RESET)
+                   or gate.condition is not None
+                   for gate in self._gates)
+
+    def final_measurement_map(self) -> List[Tuple[int, int]]:
+        """The terminal ``(qubit, clbit)`` measurement pairs, in marker order
+        (empty when the circuit marks no final measurements)."""
+        return list(zip(self.measured_qubits, self.measured_clbits))
+
     def uses_only_paper_gates(self) -> bool:
         """True if every gate kind appears in the paper's Table I."""
         return all(gate.kind in PAPER_GATE_KINDS for gate in self._gates)
@@ -245,7 +312,8 @@ class QuantumCircuit:
             return NotImplemented
         return (self.num_qubits == other.num_qubits
                 and self._gates == other._gates
-                and self.measured_qubits == other.measured_qubits)
+                and self.measured_qubits == other.measured_qubits
+                and self.measured_clbits == other.measured_clbits)
 
     def __repr__(self) -> str:
         return (f"QuantumCircuit(name={self.name!r}, num_qubits={self.num_qubits}, "

@@ -57,6 +57,7 @@ class GateKind(str, enum.Enum):
     CSWAP = "cswap"
     SWAP = "swap"
     MEASURE = "measure"
+    RESET = "reset"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -124,6 +125,7 @@ GATE_SPECS: Dict[GateKind, GateSpec] = {
     GateKind.CSWAP: GateSpec(GateKind.CSWAP, 2, 1, False, False, 0, None),
     GateKind.SWAP: GateSpec(GateKind.SWAP, 2, 0, True, False, 0, None),
     GateKind.MEASURE: GateSpec(GateKind.MEASURE, 1, 0, True, False, 0, None),
+    GateKind.RESET: GateSpec(GateKind.RESET, 1, 0, True, False, 0, None),
 }
 
 #: Gate kinds allowed by the paper's Table I (used to validate "paper mode").
@@ -141,11 +143,20 @@ class Gate:
     ``targets`` holds one qubit for single-target gates, two for SWAP-style
     gates.  ``controls`` may hold any number of qubits for CCX (the paper's
     general Toffoli) and CSWAP; CX and CZ require exactly one control.
+
+    ``clbits`` names the classical bit a :attr:`GateKind.MEASURE` instruction
+    writes its outcome into (``measure q[i] -> c[j]`` in OpenQASM), and is
+    empty for every other kind.  ``condition`` makes the instruction
+    classically controlled: it only executes when the integer value of the
+    classical register (clbit 0 is the least-significant bit, the OpenQASM
+    2.0 ``if(c==v)`` convention) equals ``condition``.
     """
 
     kind: GateKind
     targets: Tuple[int, ...]
     controls: Tuple[int, ...] = field(default_factory=tuple)
+    clbits: Tuple[int, ...] = field(default_factory=tuple)
+    condition: Optional[int] = None
 
     def __post_init__(self):
         spec = GATE_SPECS[self.kind]
@@ -164,6 +175,16 @@ class Gate:
             raise ValueError("a gate cannot touch the same qubit twice")
         if any(q < 0 for q in touched):
             raise ValueError("qubit indices must be non-negative")
+        if self.kind is GateKind.MEASURE:
+            if len(self.clbits) > 1:
+                raise ValueError("measure writes at most one classical bit")
+        elif self.clbits:
+            raise ValueError(
+                f"{self.kind.value} does not write a classical bit")
+        if self.clbits and any(c < 0 for c in self.clbits):
+            raise ValueError("classical bit indices must be non-negative")
+        if self.condition is not None and self.condition < 0:
+            raise ValueError("a classical condition value must be non-negative")
 
     @property
     def spec(self) -> GateSpec:
@@ -201,9 +222,13 @@ class Gate:
 
     def __str__(self) -> str:
         parts = [self.kind.value]
+        if self.condition is not None:
+            parts.insert(0, f"if(c=={self.condition})")
         if self.controls:
             parts.append("c=" + ",".join(map(str, self.controls)))
         parts.append("t=" + ",".join(map(str, self.targets)))
+        if self.clbits:
+            parts.append("cl=" + ",".join(map(str, self.clbits)))
         return " ".join(parts)
 
 

@@ -5,19 +5,26 @@ Only the constructs needed for the supported gate set are implemented:
 * one quantum register (``qreg q[n];``) and optionally one classical register,
 * gate statements ``x``, ``y``, ``z``, ``h``, ``s``, ``sdg``, ``t``, ``tdg``,
   ``rx(pi/2)``, ``ry(pi/2)``, ``cx``, ``cz``, ``ccx``, ``cswap``, ``swap``,
-* ``measure q[i] -> c[i];``.
+* ``measure q[i] -> c[j];`` — terminal measurements become final-measurement
+  markers; a measurement followed by further operations becomes a real
+  collapsing :attr:`~repro.circuit.gates.GateKind.MEASURE` instruction,
+* ``reset q[i];`` mid-circuit reset, and
+* ``if(c==v) <statement>;`` classical conditions (the whole classical
+  register compared against ``v``; ``c[0]`` is the least-significant bit).
 
-This is enough to exchange the benchmark circuits with mainstream tools
-(Qiskit, DDSIM's own frontends) for cross-checking.
+This is enough to exchange the benchmark circuits — including
+dynamic-circuit programs with mid-circuit measurement and classical
+feedback — with mainstream tools (Qiskit, DDSIM's own frontends) for
+cross-checking.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.circuit.gates import GateKind
+from repro.circuit.gates import Gate, GateKind
 
 _QASM_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
 
@@ -58,17 +65,36 @@ _QASM_TO_KIND = {
 _QREG_RE = re.compile(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]")
 _CREG_RE = re.compile(r"creg\s+(\w+)\s*\[\s*(\d+)\s*\]")
 _MEASURE_RE = re.compile(r"measure\s+(\w+)\s*\[\s*(\d+)\s*\]\s*->\s*(\w+)\s*\[\s*(\d+)\s*\]")
+_RESET_RE = re.compile(r"reset\s+(\w+)\s*\[\s*(\d+)\s*\]")
+_IF_RE = re.compile(r"if\s*\(\s*(\w+)\s*==\s*(\d+)\s*\)\s*(.*)$")
 _GATE_RE = re.compile(r"^(\w+)\s*(\(([^)]*)\))?\s+(.*)$")
 _QUBIT_RE = re.compile(r"(\w+)\s*\[\s*(\d+)\s*\]")
 
 
+def _condition_prefix(gate: Gate) -> str:
+    return f"if(c=={gate.condition}) " if gate.condition is not None else ""
+
+
 def circuit_to_qasm(circuit: QuantumCircuit) -> str:
-    """Serialise a circuit to OpenQASM 2.0 text."""
+    """Serialise a circuit to OpenQASM 2.0 text.
+
+    Mid-circuit ``MEASURE`` / ``RESET`` instructions and classical
+    conditions are emitted inline, terminal measurement markers at the end —
+    so :func:`circuit_from_qasm` round-trips both static and dynamic
+    circuits.
+    """
     lines = [_QASM_HEADER.rstrip("\n")]
     lines.append(f"qreg q[{circuit.num_qubits}];")
-    if circuit.measured_qubits:
-        lines.append(f"creg c[{circuit.num_qubits}];")
+    if circuit.num_clbits or circuit.measured_qubits:
+        lines.append(f"creg c[{max(circuit.num_clbits, 1)}];")
     for gate in circuit.gates:
+        prefix = _condition_prefix(gate)
+        if gate.kind is GateKind.MEASURE:
+            lines.append(f"{prefix}measure q[{gate.targets[0]}] -> c[{gate.clbits[0]}];")
+            continue
+        if gate.kind is GateKind.RESET:
+            lines.append(f"{prefix}reset q[{gate.targets[0]}];")
+            continue
         name = _KIND_TO_QASM[gate.kind]
         if gate.kind is GateKind.CCX and len(gate.controls) != 2:
             raise ValueError(
@@ -79,9 +105,9 @@ def circuit_to_qasm(circuit: QuantumCircuit) -> str:
                 "OpenQASM 2.0 has no native gate for Fredkin with "
                 f"{len(gate.controls)} controls; decompose first")
         operands = ", ".join(f"q[{qubit}]" for qubit in gate.controls + gate.targets)
-        lines.append(f"{name} {operands};")
-    for qubit in circuit.measured_qubits:
-        lines.append(f"measure q[{qubit}] -> c[{qubit}];")
+        lines.append(f"{prefix}{name} {operands};")
+    for qubit, clbit in circuit.final_measurement_map():
+        lines.append(f"measure q[{qubit}] -> c[{clbit}];")
     return "\n".join(lines) + "\n"
 
 
@@ -103,14 +129,51 @@ def _parse_angle(text: str) -> float:
     return float(cleaned)
 
 
-def circuit_from_qasm(text: str, name: str = "qasm_circuit") -> QuantumCircuit:
-    """Parse an OpenQASM 2.0 subset string into a :class:`QuantumCircuit`."""
+def _parse_gate(statement: str, condition: Optional[int]) -> Gate:
+    """One unitary gate statement (already stripped of any ``if(...)``)."""
     import math
 
+    gate_match = _GATE_RE.match(statement)
+    if not gate_match:
+        raise ValueError(f"cannot parse QASM statement: {statement!r}")
+    gate_name = gate_match.group(1).lower()
+    angle_text = gate_match.group(3)
+    qubits = [int(match.group(2)) for match in _QUBIT_RE.finditer(gate_match.group(4))]
+    if gate_name in ("rx", "ry"):
+        angle = _parse_angle(angle_text or "")
+        if not math.isclose(angle, math.pi / 2, rel_tol=1e-9):
+            raise ValueError(
+                f"only {gate_name}(pi/2) is supported, got angle {angle}")
+        kind = GateKind.RX_PI_2 if gate_name == "rx" else GateKind.RY_PI_2
+        return Gate(kind, (qubits[0],), condition=condition)
+    if gate_name not in _QASM_TO_KIND:
+        raise ValueError(f"unsupported QASM gate: {gate_name}")
+    kind = _QASM_TO_KIND[gate_name]
+    if kind in (GateKind.CX, GateKind.CZ):
+        return Gate(kind, (qubits[1],), (qubits[0],), condition=condition)
+    if kind is GateKind.CCX:
+        return Gate(kind, (qubits[2],), tuple(qubits[:2]), condition=condition)
+    if kind is GateKind.CSWAP:
+        return Gate(kind, tuple(qubits[1:]), (qubits[0],), condition=condition)
+    if kind is GateKind.SWAP:
+        return Gate(kind, tuple(qubits), condition=condition)
+    return Gate(kind, (qubits[0],), condition=condition)
+
+
+def circuit_from_qasm(text: str, name: str = "qasm_circuit") -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 subset string into a :class:`QuantumCircuit`.
+
+    Measurements that are followed by further operations become collapsing
+    mid-circuit ``MEASURE`` instructions; the trailing run of measurements
+    becomes the circuit's final-measurement markers (matching what
+    :func:`circuit_to_qasm` emits), so sampling semantics survive the round
+    trip.
+    """
     num_qubits: Optional[int] = None
-    register_name = "q"
-    pending: List[Tuple[str, Optional[str], List[int]]] = []
-    measurements: List[int] = []
+    num_clbits = 0
+    # Program order, preserved: ('gate', Gate) | ('measure', qubit, clbit,
+    # condition) | ('reset', qubit, condition).
+    program: List[Tuple] = []
 
     for raw_line in text.splitlines():
         line = raw_line.split("//")[0].strip()
@@ -121,51 +184,51 @@ def circuit_from_qasm(text: str, name: str = "qasm_circuit") -> QuantumCircuit:
                 continue
             qreg_match = _QREG_RE.match(statement)
             if qreg_match:
-                register_name = qreg_match.group(1)
                 num_qubits = int(qreg_match.group(2))
                 continue
-            if _CREG_RE.match(statement):
+            creg_match = _CREG_RE.match(statement)
+            if creg_match:
+                num_clbits = max(num_clbits, int(creg_match.group(2)))
                 continue
+            condition: Optional[int] = None
+            if_match = _IF_RE.match(statement)
+            if if_match:
+                condition = int(if_match.group(2))
+                statement = if_match.group(3).strip()
             measure_match = _MEASURE_RE.match(statement)
             if measure_match:
-                measurements.append(int(measure_match.group(2)))
+                program.append(("measure", int(measure_match.group(2)),
+                                int(measure_match.group(4)), condition))
+                continue
+            reset_match = _RESET_RE.match(statement)
+            if reset_match:
+                program.append(("reset", int(reset_match.group(2)), condition))
                 continue
             if statement.startswith("barrier"):
                 continue
-            gate_match = _GATE_RE.match(statement)
-            if not gate_match:
-                raise ValueError(f"cannot parse QASM statement: {statement!r}")
-            gate_name = gate_match.group(1).lower()
-            angle_text = gate_match.group(3)
-            qubits = [int(match.group(2)) for match in _QUBIT_RE.finditer(gate_match.group(4))]
-            pending.append((gate_name, angle_text, qubits))
+            program.append(("gate", _parse_gate(statement, condition)))
 
     if num_qubits is None:
         raise ValueError("QASM input declares no quantum register")
 
+    # The trailing run of unconditioned measurements is the terminal
+    # measurement block; everything before it executes in-stream.
+    tail = len(program)
+    while tail > 0 and program[tail - 1][0] == "measure" and program[tail - 1][3] is None:
+        tail -= 1
+
     circuit = QuantumCircuit(num_qubits, name=name)
-    for gate_name, angle_text, qubits in pending:
-        if gate_name in ("rx", "ry"):
-            angle = _parse_angle(angle_text or "")
-            if not math.isclose(angle, math.pi / 2, rel_tol=1e-9):
-                raise ValueError(
-                    f"only {gate_name}(pi/2) is supported, got angle {angle}")
-            kind = GateKind.RX_PI_2 if gate_name == "rx" else GateKind.RY_PI_2
-            circuit.add(kind, [qubits[0]])
-            continue
-        if gate_name not in _QASM_TO_KIND:
-            raise ValueError(f"unsupported QASM gate: {gate_name}")
-        kind = _QASM_TO_KIND[gate_name]
-        if kind in (GateKind.CX, GateKind.CZ):
-            circuit.add(kind, [qubits[1]], [qubits[0]])
-        elif kind is GateKind.CCX:
-            circuit.add(kind, [qubits[2]], qubits[:2])
-        elif kind is GateKind.CSWAP:
-            circuit.add(kind, qubits[1:], [qubits[0]])
-        elif kind is GateKind.SWAP:
-            circuit.add(kind, qubits)
+    for entry in program[:tail]:
+        if entry[0] == "gate":
+            circuit.append(entry[1])
+        elif entry[0] == "measure":
+            _, qubit, clbit, condition = entry
+            circuit.append(Gate(GateKind.MEASURE, (qubit,), clbits=(clbit,),
+                                condition=condition))
         else:
-            circuit.add(kind, [qubits[0]])
-    for qubit in measurements:
-        circuit.measure(qubit)
+            _, qubit, condition = entry
+            circuit.append(Gate(GateKind.RESET, (qubit,), condition=condition))
+    for entry in program[tail:]:
+        circuit.measure(entry[1], entry[2])
+    circuit.num_clbits = max(circuit.num_clbits, num_clbits)
     return circuit

@@ -41,18 +41,25 @@ def expand_swaps(circuit: QuantumCircuit) -> QuantumCircuit:
     """Rewrite SWAP into three CNOTs and Fredkin into CNOT+Toffoli+CNOT."""
     expanded = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_noswap")
     for gate in circuit.gates:
+        # A classical condition distributes over the expansion: either the
+        # whole sequence fires or none of it does.
+        condition = gate.condition
         if gate.kind is GateKind.SWAP:
             a, b = gate.targets
-            expanded.cx(a, b).cx(b, a).cx(a, b)
+            expanded.add(GateKind.CX, [b], [a], condition=condition)
+            expanded.add(GateKind.CX, [a], [b], condition=condition)
+            expanded.add(GateKind.CX, [b], [a], condition=condition)
         elif gate.kind is GateKind.CSWAP:
             a, b = gate.targets
-            expanded.cx(b, a)
-            expanded.ccx(list(gate.controls) + [a], b)
-            expanded.cx(b, a)
+            expanded.add(GateKind.CX, [a], [b], condition=condition)
+            expanded.add(GateKind.CCX, [b], list(gate.controls) + [a],
+                         condition=condition)
+            expanded.add(GateKind.CX, [a], [b], condition=condition)
         else:
             expanded.append(gate)
-    for qubit in circuit.measured_qubits:
-        expanded.measure(qubit)
+    for qubit, clbit in circuit.final_measurement_map():
+        expanded.measure(qubit, clbit)
+    expanded.num_clbits = max(expanded.num_clbits, circuit.num_clbits)
     return expanded
 
 
@@ -84,9 +91,14 @@ def decompose_multi_control(circuit: QuantumCircuit,
 
     decomposed = QuantumCircuit(total_qubits, name=f"{circuit.name}_mcx{max_controls}")
 
-    def emit_chain(controls: Tuple[int, ...], target: int) -> None:
+    def emit_chain(controls: Tuple[int, ...], target: int,
+                   condition=None) -> None:
+        # A classical condition distributes over the whole chain: with a
+        # false condition nothing fires (ancillas stay |0>), with a true
+        # one the compute / fire / uncompute sequence runs as a unit.
         if len(controls) <= max_controls:
-            decomposed.ccx(list(controls), target)
+            decomposed.add(GateKind.CCX, [target], list(controls),
+                           condition=condition)
             return
         # Fold controls pairwise into ancillas, fire, then uncompute.
         chain: List[Tuple[List[int], int]] = []
@@ -98,18 +110,19 @@ def decompose_multi_control(circuit: QuantumCircuit,
             available.append(ancilla)
             ancilla += 1
         for pair, scratch in chain:
-            decomposed.ccx(pair, scratch)
-        decomposed.ccx(available, target)
+            decomposed.add(GateKind.CCX, [scratch], pair, condition=condition)
+        decomposed.add(GateKind.CCX, [target], available, condition=condition)
         for pair, scratch in reversed(chain):
-            decomposed.ccx(pair, scratch)
+            decomposed.add(GateKind.CCX, [scratch], pair, condition=condition)
 
     for gate in worklist.gates:
         if gate.kind is GateKind.CCX and len(gate.controls) > max_controls:
-            emit_chain(gate.controls, gate.targets[0])
+            emit_chain(gate.controls, gate.targets[0], gate.condition)
         else:
             decomposed.append(gate)
-    for qubit in worklist.measured_qubits:
-        decomposed.measure(qubit)
+    for qubit, clbit in worklist.final_measurement_map():
+        decomposed.measure(qubit, clbit)
+    decomposed.num_clbits = max(decomposed.num_clbits, worklist.num_clbits)
     return decomposed
 
 
@@ -131,7 +144,8 @@ def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
             if index + 1 < len(gates):
                 current, following = gates[index], gates[index + 1]
                 same_wires = (current.targets == following.targets
-                              and set(current.controls) == set(following.controls))
+                              and set(current.controls) == set(following.controls)
+                              and current.condition == following.condition)
                 if same_wires and (current.kind, following.kind) in _INVERSE_PAIRS:
                     index += 2
                     changed = True
@@ -142,8 +156,9 @@ def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
     optimised = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_opt")
     for gate in gates:
         optimised.append(gate)
-    for qubit in circuit.measured_qubits:
-        optimised.measure(qubit)
+    for qubit, clbit in circuit.final_measurement_map():
+        optimised.measure(qubit, clbit)
+    optimised.num_clbits = max(optimised.num_clbits, circuit.num_clbits)
     return optimised
 
 

@@ -225,15 +225,41 @@ class BitSlicedState:
     # ------------------------------------------------------------------ #
     # collapse support (used by the measurement engine)
     # ------------------------------------------------------------------ #
-    def project_qubit(self, qubit: int, outcome: int, probability: float) -> None:
+    def project_qubit(self, qubit: int, outcome: int, probability: float,
+                      exact=None) -> None:
         """Zero out all amplitudes inconsistent with ``qubit == outcome`` and
-        fold the renormalisation into ``s`` (paper Section III-E)."""
+        renormalise (paper Section III-E, Eq. 13).
+
+        The 4r slice conjunctions against the outcome literal run as one
+        batched AND (one computed-table binding for the whole family).
+
+        Renormalisation is *exact in the omega-algebra* whenever possible:
+        when ``exact`` (an :class:`~repro.core.measurement.ExactProbability`
+        for this outcome, measured in the state's own ``2**k`` scale) shows
+        the outcome probability is an exact power of two ``2**(m-k)`` — the
+        case for every Clifford-style measurement — the ``1/sqrt(p)`` factor
+        is a pure ``sqrt(2)`` power and folds into the global exponent
+        (``k`` becomes ``m``), keeping ``s`` at exactly 1.0 and the state
+        exact.  Otherwise the floating-point factor ``s`` absorbs
+        ``1/sqrt(p)`` as before.
+        """
         if probability <= 0.0:
             raise ValueError("cannot project onto a zero-probability outcome")
         keep = self.manager.literal(self.qubit_var(qubit), bool(outcome))
-        for name in VECTOR_NAMES:
-            self.slices[name] = [bit & keep for bit in self.slices[name]]
-        self.s /= probability ** 0.5
+        flat = [bit.node for bit in self.all_slices()]
+        conjoined = self.manager.batcher().and_many(
+            [(node, keep.node) for node in flat])
+        for index, name in enumerate(VECTOR_NAMES):
+            self.slices[name] = [Bdd(self.manager, node)
+                                 for node in conjoined[index * self.r:(index + 1) * self.r]]
+        if (exact is not None and self.s == 1.0 and exact.k == self.k
+                and exact.y == 0 and exact.x > 0
+                and exact.x & (exact.x - 1) == 0):
+            # p = 2**m / 2**k  =>  1/sqrt(p) = sqrt(2)**(k-m): the global
+            # divisor sqrt(2)**k becomes sqrt(2)**m exactly.
+            self.k = exact.x.bit_length() - 1
+        else:
+            self.s /= probability ** 0.5
 
     # ------------------------------------------------------------------ #
     # symbolic structure queries

@@ -241,11 +241,19 @@ class MeasurementEngine:
         exact = self._accumulate(self.build_hyperfunction())
         return exact.to_float(self.state.s ** 2)
 
-    def probability_of_qubit(self, qubit: int, value: int = 0) -> float:
-        """``Pr[qubit == value]`` without collapsing."""
+    def probability_of_qubit_exact(self, qubit: int, value: int = 0) -> ExactProbability:
+        """``Pr[qubit == value]`` as an exact :class:`ExactProbability`
+        ``(x + y*sqrt(2)) / 2**k`` (before the measurement factor ``s**2``),
+        without collapsing.  Feeding this into
+        :meth:`~repro.core.bitslice.BitSlicedState.project_qubit` enables the
+        exact omega-algebra renormalisation on power-of-two outcomes."""
         literal = self.manager.literal(self.state.qubit_var(qubit), bool(value))
         restricted = self.build_hyperfunction() & literal
-        exact = self._accumulate(restricted)
+        return self._accumulate(restricted)
+
+    def probability_of_qubit(self, qubit: int, value: int = 0) -> float:
+        """``Pr[qubit == value]`` without collapsing."""
+        exact = self.probability_of_qubit_exact(qubit, value)
         return exact.to_float(self.state.s ** 2)
 
     def probability_of_outcome(self, qubits: Sequence[int], outcome: Sequence[int]) -> float:
@@ -295,8 +303,16 @@ class MeasurementEngine:
     # ------------------------------------------------------------------ #
     def measure_qubit(self, qubit: int, rng=None,
                       forced_outcome: Optional[int] = None) -> int:
-        """Measure one qubit, collapse the state, and return the outcome."""
-        probability_zero = self.probability_of_qubit(qubit, 0)
+        """Measure one qubit, collapse the state, and return the outcome.
+
+        The collapse renormalises exactly in the omega-algebra whenever the
+        outcome probability is an exact power of two (see
+        :meth:`~repro.core.bitslice.BitSlicedState.project_qubit`); only
+        irrational probabilities fall back to the floating-point factor
+        ``s``.
+        """
+        exact_zero = self.probability_of_qubit_exact(qubit, 0)
+        probability_zero = exact_zero.to_float(self.state.s ** 2)
         if forced_outcome is None:
             if rng is None:
                 rng = np.random.default_rng() if np is not None else None
@@ -304,8 +320,20 @@ class MeasurementEngine:
             outcome = 0 if draw < probability_zero else 1
         else:
             outcome = int(forced_outcome)
-        probability = probability_zero if outcome == 0 else 1.0 - probability_zero
-        self.state.project_qubit(qubit, outcome, probability)
+        if outcome == 0:
+            exact = exact_zero
+            probability = probability_zero
+        else:
+            # With s == 1 the state is exactly normalised (only collapses
+            # perturb the norm, and exact collapses preserve it), so the
+            # outcome-1 numerator is the complement of the outcome-0 one at
+            # the same 2**k scale — no second hyper-function build.  With
+            # s != 1 the exact path is unused anyway (see project_qubit).
+            exact = (ExactProbability((1 << self.state.k) - exact_zero.x,
+                                      -exact_zero.y, self.state.k)
+                     if self.state.s == 1.0 else None)
+            probability = 1.0 - probability_zero
+        self.state.project_qubit(qubit, outcome, probability, exact=exact)
         return outcome
 
     def measure_qubits(self, qubits: Sequence[int], rng=None,

@@ -51,12 +51,21 @@ from repro.engines.adapters import (
     StabilizerEngine,
     StatevectorEngine,
 )
+from repro.engines.dynamic import classical_register_value, execute_program
 from repro.engines.frontdoor import (
     FINAL_QUERY_QUBIT_CAP,
+    derive_task_seed,
     final_query_qubits,
     run,
     run_sweep,
     run_tasks,
+    sampling_qubits,
+)
+from repro.engines.sampling import (
+    PROBABILITY_SNAP_BITS,
+    counts_to_bitstrings,
+    sample_by_descent,
+    snap_probability,
 )
 from repro.engines.result import (
     STATUS_CRASH,
@@ -76,6 +85,7 @@ __all__ = [
     "CANONICAL_STATS_KEYS",
     "CLIFFORD_GATE_KINDS",
     "FINAL_QUERY_QUBIT_CAP",
+    "PROBABILITY_SNAP_BITS",
     "Capabilities",
     "Engine",
     "LimitEnforcer",
@@ -93,10 +103,14 @@ __all__ = [
     "STATUS_TIMEOUT",
     "STATUS_UNSUPPORTED",
     "available_engines",
+    "classical_register_value",
+    "counts_to_bitstrings",
     "create_engine",
+    "derive_task_seed",
     "engine_aliases",
     "engine_capabilities",
     "engine_labels",
+    "execute_program",
     "final_query_qubits",
     "get_engine_class",
     "register_engine",
@@ -105,7 +119,10 @@ __all__ = [
     "run",
     "run_sweep",
     "run_tasks",
+    "sample_by_descent",
+    "sampling_qubits",
     "select_engine",
+    "snap_probability",
     "summarise",
     "unregister_engine",
 ]

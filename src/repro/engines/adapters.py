@@ -26,7 +26,8 @@ from repro.baselines.qmdd import QmddSimulator
 from repro.baselines.stabilizer import StabilizerSimulator
 from repro.baselines.statevector import StatevectorSimulator
 from repro.circuit.circuit import QuantumCircuit
-from repro.circuit.gates import Gate
+from repro.circuit.gates import Gate, GateKind
+from repro.exceptions import UnsupportedGateError
 from repro.core.simulator import BitSliceSimulator
 from repro.engines.base import (
     ALL_GATE_KINDS,
@@ -38,6 +39,17 @@ from repro.engines.base import (
 )
 from repro.engines.limits import ResourceLimits
 from repro.engines.registry import register_engine
+
+
+def _reject_stream_dynamic(gate: Gate) -> None:
+    """``RESET`` (and friends) are dynamic instructions interpreted by
+    :mod:`repro.engines.dynamic`; they must never reach ``Engine.apply``,
+    which only understands unitaries (``MEASURE`` markers stay no-ops for
+    backwards compatibility)."""
+    if gate.kind is GateKind.RESET:
+        raise UnsupportedGateError(
+            "reset is a dynamic instruction; run the circuit through "
+            "Engine.run or the LimitEnforcer instead of applying it directly")
 
 
 @register_engine("bitslice", aliases=("bdd", "sliqsim"))
@@ -58,18 +70,51 @@ class BitSliceEngine(Engine):
     def __init__(self) -> None:
         super().__init__()
         self._simulator: Optional[BitSliceSimulator] = None
+        self._sampler_stats: dict = {}
 
     def prepare(self, circuit: QuantumCircuit,
                 limits: Optional[ResourceLimits] = None) -> None:
         super().prepare(circuit, limits)
         self._simulator = BitSliceSimulator(circuit.num_qubits)
+        self._sampler_stats = {}
 
     def apply(self, gate: Gate) -> None:
+        _reject_stream_dynamic(gate)
         self._simulator.apply_gate(gate)
         self._count_gate(gate)
 
     def probability(self, qubits: Sequence[int], bits: Sequence[int]) -> float:
         return self._simulator.probability_of_outcome(qubits, bits)
+
+    def collapse(self, qubit: int, outcome: int) -> None:
+        self._simulator.measure_qubit(qubit, forced_outcome=outcome)
+
+    def sample(self, shots: int, qubits: Optional[Sequence[int]] = None,
+               rng=None):
+        """Exact shot sampling by slice restriction (no hyper-function).
+
+        Overrides the generic probability-query descent with
+        :class:`repro.core.sampling.SliceSampler` — cofactor restrictions of
+        the 4r slice BDDs per sampled bit, batched through the substrate's
+        :class:`~repro.bdd.manager.BatchApplier`, with exact Gram-matrix
+        probability masses — while honouring the same descent/RNG protocol,
+        so counts agree bit-for-bit with every other engine at equal seeds.
+        """
+        from repro.core.sampling import SliceSampler
+        from repro.engines.sampling import sample_by_descent
+
+        if qubits is None:
+            qubits = list(range(self.num_qubits))
+        qubits = list(qubits)
+        if rng is None:
+            import numpy as np
+
+            rng = np.random.default_rng()
+        sampler = SliceSampler(self._simulator.state, qubits)
+        counts = sample_by_descent(sampler.branch_probability, len(qubits),
+                                   shots, rng)
+        self._sampler_stats = sampler.statistics()
+        return counts
 
     def memory_nodes(self) -> int:
         return self._simulator.state.num_nodes()
@@ -83,6 +128,7 @@ class BitSliceEngine(Engine):
         stats["peak_memory_nodes"] = stats.pop("peak_bdd_nodes")
         stats["elapsed_seconds"] = self.elapsed_seconds()
         stats["gates_applied"] = self._gates_applied
+        stats.update(self._sampler_stats)
         return stats
 
 
@@ -111,11 +157,15 @@ class QmddEngine(Engine):
         self._simulator = QmddSimulator(circuit.num_qubits)
 
     def apply(self, gate: Gate) -> None:
+        _reject_stream_dynamic(gate)
         self._simulator.apply_gate(gate)
         self._count_gate(gate)
 
     def probability(self, qubits: Sequence[int], bits: Sequence[int]) -> float:
         return self._simulator.probability_of_outcome(qubits, bits)
+
+    def collapse(self, qubit: int, outcome: int) -> None:
+        self._simulator.measure_qubit(qubit, forced_outcome=outcome)
 
     def memory_nodes(self) -> int:
         return self._simulator.num_nodes()
@@ -160,11 +210,15 @@ class StatevectorEngine(Engine):
                                                max_qubits=limits.max_dense_qubits)
 
     def apply(self, gate: Gate) -> None:
+        _reject_stream_dynamic(gate)
         self._simulator.apply_gate(gate)
         self._count_gate(gate)
 
     def probability(self, qubits: Sequence[int], bits: Sequence[int]) -> float:
         return self._simulator.probability_of_outcome(qubits, bits)
+
+    def collapse(self, qubit: int, outcome: int) -> None:
+        self._simulator.measure_qubit(qubit, forced_outcome=outcome)
 
     def memory_nodes(self) -> int:
         return dense_memory_nodes(self._simulator.num_qubits)
@@ -207,12 +261,16 @@ class StabilizerEngine(Engine):
         # The native tableau rejects non-Clifford gates itself; pre-checking
         # through the declared capabilities keeps the error message uniform
         # for kinds the tableau has no branch for at all.
+        _reject_stream_dynamic(gate)
         self.ensure_supported(gate)
         self._simulator.apply_gate(gate)
         self._count_gate(gate)
 
     def probability(self, qubits: Sequence[int], bits: Sequence[int]) -> float:
         return self._simulator.probability_of_outcome(qubits, bits)
+
+    def collapse(self, qubit: int, outcome: int) -> None:
+        self._simulator.measure_qubit(qubit, forced_outcome=outcome)
 
     def memory_nodes(self) -> int:
         stats = self._simulator.statistics()

@@ -60,8 +60,11 @@ CANONICAL_STATS_KEYS = ("num_qubits", "gates_applied",
 #: adapters (the pre-redesign harness remapped these by hand per engine).
 LEGACY_STATS_KEYS = ("peak_bdd_nodes", "peak_dd_nodes", "tableau_bytes")
 
-#: Every applicable gate kind (measurement markers are lifecycle no-ops).
-ALL_GATE_KINDS: FrozenSet[GateKind] = frozenset(GateKind) - {GateKind.MEASURE}
+#: Every gate kind an engine applies as a unitary.  MEASURE and RESET are
+#: lifecycle instructions handled by the dynamic-circuit executor
+#: (:mod:`repro.engines.dynamic`), never passed to ``Engine.apply``.
+ALL_GATE_KINDS: FrozenSet[GateKind] = frozenset(GateKind) - {
+    GateKind.MEASURE, GateKind.RESET}
 
 #: Bytes per dense complex amplitude (numpy complex128).
 BYTES_PER_AMPLITUDE = 16
@@ -114,11 +117,24 @@ class Capabilities:
     max_practical_qubits: Optional[int] = None
     selection_priority: int = 50
     description: str = ""
+    #: True when the engine can collapse single qubits
+    #: (:meth:`Engine.collapse`), which mid-circuit measurement and
+    #: ``reset`` require.  Engines without collapse support still run static
+    #: circuits and can still :meth:`Engine.sample` (the descent sampler
+    #: only needs probability queries).
+    supports_measurement: bool = True
+    #: True when the engine answers :meth:`Engine.sample` shot requests.
+    #: The default implementation works for any engine with a correct
+    #: ``probability``, so this is only ever switched off deliberately.
+    supports_sampling: bool = True
 
     def supports_gate(self, gate: Gate) -> bool:
         """True when the engine can apply this specific gate instance."""
-        if gate.kind is GateKind.MEASURE:
-            return True
+        if gate.kind in (GateKind.MEASURE, GateKind.RESET):
+            # An in-stream MEASURE (or RESET) collapses the state, so both
+            # require collapse support.  Terminal measurement *markers*
+            # never appear as gates, so they are unaffected.
+            return self.supports_measurement
         if gate.kind not in self.supported_gates:
             return False
         if self.clifford_only and not is_clifford_gate(gate):
@@ -144,6 +160,8 @@ class Engine(abc.ABC):
     def __init__(self) -> None:
         self._prepared_at: Optional[float] = None
         self._gates_applied = 0
+        #: Classical register after the last :meth:`run` (clbit index order).
+        self.classical_bits: List[int] = []
 
     # -- lifecycle ------------------------------------------------------- #
     def prepare(self, circuit: QuantumCircuit, limits=None) -> None:
@@ -170,6 +188,86 @@ class Engine(abc.ABC):
     def memory_nodes(self) -> int:
         """Current memory footprint in canonical node units (used by the
         limit-enforcement wrapper for the MO budget)."""
+
+    # -- measurement and sampling ---------------------------------------- #
+    def collapse(self, qubit: int, outcome: int) -> None:
+        """Project the state onto ``qubit == outcome`` and renormalise.
+
+        The forced-outcome half of a measurement: no randomness is involved
+        here, :meth:`measure` draws the outcome.  Engines declaring
+        ``capabilities.supports_measurement`` must override this; the
+        default refuses.
+        """
+        raise UnsupportedGateError(
+            f"engine {self.capabilities.name!r} does not support state "
+            f"collapse (mid-circuit measurement / reset)")
+
+    def measure(self, qubits: Sequence[int], rng=None) -> List[int]:
+        """Measure ``qubits`` in order, collapsing after each; returns bits.
+
+        This is the *uniform measurement protocol* every engine shares: per
+        qubit, one probability query, one snapped threshold comparison
+        against a single ``rng.random()`` draw (skipped when the outcome is
+        deterministic), then a forced :meth:`collapse`.  Because the RNG
+        consumption pattern and the snapped probabilities are
+        engine-independent, two engines simulating the same circuit from
+        equal RNG states collapse onto identical outcomes.
+        """
+        from repro.engines.sampling import snap_probability
+
+        if rng is None:
+            import numpy as np
+
+            rng = np.random.default_rng()
+        outcomes: List[int] = []
+        for qubit in qubits:
+            probability_zero = snap_probability(self.probability([qubit], [0]))
+            if probability_zero >= 1.0:
+                outcome = 0
+            elif probability_zero <= 0.0:
+                outcome = 1
+            else:
+                outcome = 0 if rng.random() < probability_zero else 1
+            self.collapse(qubit, outcome)
+            outcomes.append(outcome)
+        return outcomes
+
+    def sample(self, shots: int, qubits: Optional[Sequence[int]] = None,
+               rng=None) -> Dict[int, int]:
+        """Draw ``shots`` outcomes over ``qubits`` without collapsing.
+
+        Returns outcome-integer -> count (first listed qubit = most
+        significant bit).  The default implementation runs the shared
+        binomial conditional-probability descent
+        (:func:`repro.engines.sampling.sample_by_descent`) over this
+        engine's joint ``probability`` query, so it works for any engine —
+        including third-party ones — whose probabilities are correct.
+        Engines with a cheaper native path (the bit-sliced engine restricts
+        its slice BDDs instead of re-querying) override this but keep the
+        same descent protocol, so counts stay engine-independent.
+
+        Engines declaring ``supports_sampling=False`` (e.g. because their
+        probabilities are approximate) refuse here, which the front door
+        classifies as an unsupported outcome.
+        """
+        from repro.engines.sampling import sample_by_descent
+
+        if not self.capabilities.supports_sampling:
+            raise UnsupportedGateError(
+                f"engine {self.capabilities.name!r} declares "
+                f"supports_sampling=False; it cannot answer shot requests")
+        if qubits is None:
+            qubits = list(range(self.num_qubits))
+        qubits = list(qubits)
+        if rng is None:
+            import numpy as np
+
+            rng = np.random.default_rng()
+
+        def branch_probability(prefix):
+            return self.probability(qubits[:len(prefix)], list(prefix))
+
+        return sample_by_descent(branch_probability, len(qubits), shots, rng)
 
     # -- statistics ------------------------------------------------------ #
     def statistics(self) -> Dict[str, float]:
@@ -203,13 +301,18 @@ class Engine(abc.ABC):
                 f"outside the declared capabilities of engine "
                 f"{self.capabilities.name!r}")
 
-    def run(self, circuit: QuantumCircuit, limits=None) -> "Engine":
-        """Convenience: ``prepare`` then ``apply`` every gate; returns
-        ``self``.  Budget-enforced execution goes through
+    def run(self, circuit: QuantumCircuit, limits=None, rng=None) -> "Engine":
+        """Convenience: ``prepare`` then execute every instruction; returns
+        ``self``.  Dynamic instructions (mid-circuit measurement, reset,
+        ``if(c==v)`` conditions) are interpreted by the shared executor in
+        :mod:`repro.engines.dynamic`, drawing from ``rng``; the final
+        classical register is stored in :attr:`classical_bits`.
+        Budget-enforced execution goes through
         :class:`~repro.engines.limits.LimitEnforcer` instead."""
+        from repro.engines.dynamic import execute_program
+
         self.prepare(circuit, limits)
-        for gate in circuit.gates:
-            self.apply(gate)
+        self.classical_bits = execute_program(self, circuit, rng=rng)
         return self
 
     def _count_gate(self, gate: Gate) -> None:

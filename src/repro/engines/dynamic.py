@@ -1,0 +1,89 @@
+"""Dynamic-circuit execution: mid-circuit measurement, reset, feedback.
+
+Engines only know how to apply unitaries, answer probability queries and
+collapse single qubits; everything *classical* about a dynamic circuit — the
+classical register, ``if(c==v)`` conditions, the measure-then-flip expansion
+of ``reset`` — lives here, in one executor shared by
+:meth:`repro.engines.base.Engine.run` and the
+:class:`~repro.engines.limits.LimitEnforcer`, so every engine executes
+dynamic programs with identical semantics and identical RNG consumption.
+
+Terminal measurement *markers* (``circuit.measured_qubits``) are not part of
+the gate stream and are never collapsed here: the final state stays intact
+for the paper's end-of-run probability query and for exact shot sampling.
+Only in-stream :attr:`~repro.circuit.gates.GateKind.MEASURE` /
+:attr:`~repro.circuit.gates.GateKind.RESET` instructions collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, GateKind
+
+
+def classical_register_value(bits: Sequence[int]) -> int:
+    """Integer value of the classical register (clbit 0 = least-significant
+    bit, the OpenQASM ``if(c==v)`` convention)."""
+    value = 0
+    for index, bit in enumerate(bits):
+        if bit:
+            value |= 1 << index
+    return value
+
+
+def _require_rng(rng):
+    if rng is None:
+        import numpy as np
+
+        rng = np.random.default_rng()
+    return rng
+
+
+def execute_program(engine, circuit: QuantumCircuit, rng=None,
+                    after_gate: Optional[Callable[[], None]] = None) -> List[int]:
+    """Drive ``circuit``'s gate stream on a prepared ``engine``.
+
+    Unitary gates go to ``engine.apply``; ``MEASURE`` collapses via
+    ``engine.measure`` and records the outcome in the classical register;
+    ``RESET`` measures and flips back to ``|0>``; conditioned instructions
+    are skipped unless the register equals their ``condition`` value.
+    ``after_gate`` (the limit wrapper's budget check) runs after every
+    instruction, skipped or not.
+
+    Returns the final classical register as a bit list (index = clbit).
+    ``rng`` is only touched when the circuit actually contains collapsing
+    instructions, so static circuits stay deterministic without a seed.
+    """
+    classical: List[int] = [0] * circuit.num_clbits
+
+    def ensure_clbit(clbit: int) -> None:
+        while len(classical) <= clbit:
+            classical.append(0)
+
+    for gate in circuit.gates:
+        if gate.condition is not None \
+                and classical_register_value(classical) != gate.condition:
+            if after_gate is not None:
+                after_gate()
+            continue
+        if gate.kind is GateKind.MEASURE:
+            rng = _require_rng(rng)
+            outcome = engine.measure([gate.targets[0]], rng=rng)[0]
+            clbit = gate.clbits[0] if gate.clbits else gate.targets[0]
+            ensure_clbit(clbit)
+            classical[clbit] = outcome
+        elif gate.kind is GateKind.RESET:
+            rng = _require_rng(rng)
+            target = gate.targets[0]
+            if engine.measure([target], rng=rng)[0] == 1:
+                engine.apply(Gate(GateKind.X, (target,)))
+        else:
+            engine.apply(gate)
+        if after_gate is not None:
+            after_gate()
+    return classical
+
+
+__all__ = ["classical_register_value", "execute_program"]

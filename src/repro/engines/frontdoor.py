@@ -7,22 +7,31 @@ TO/MO limit wrapper, answer the paper's end-of-run probability query, and
 classify the outcome into the paper's status classes — returning a
 normalised :class:`~repro.engines.result.RunResult`.
 
+With ``shots=N`` the front door additionally samples measurement outcomes
+from the executed circuit — by exact conditional-probability descent on
+static circuits, by per-shot trajectory re-execution on dynamic circuits
+(mid-circuit measurement / reset / classical feedback) — and returns the
+counts on the :class:`~repro.engines.result.RunResult`.  A ``seed`` makes
+the whole run (collapse draws and shot sampling alike) deterministic.
+
 :func:`run_sweep` executes an (engine x circuit) grid, optionally across
 ``concurrent.futures`` process workers.  Results always come back in
-deterministic task order regardless of worker scheduling, and the
+deterministic task order regardless of worker scheduling, per-task RNG
+seeds are derived deterministically from the sweep seed, and the
 deterministic serialisation (``RunResult.to_dict(timings=False)``) is
 byte-identical between the serial and parallel paths — which is what lets
-the harness regenerate the paper's Tables III-VI in parallel without
-changing a single reported number.
+the harness regenerate the paper's Tables III-VI (and now shot-sampling
+sweeps) in parallel without changing a single reported number.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.circuit import QuantumCircuit
+from repro.engines.dynamic import classical_register_value
 from repro.engines.limits import LimitEnforcer, ResourceLimits
 from repro.engines.registry import AUTO_ENGINE, create_engine, resolve_engine
 from repro.engines.result import (
@@ -34,6 +43,7 @@ from repro.engines.result import (
     STATUS_UNSUPPORTED,
     RunResult,
 )
+from repro.engines.sampling import remap_counts_to_clbits
 from repro.exceptions import (
     NumericalError,
     SimulationMemoryExceeded,
@@ -55,8 +65,78 @@ def final_query_qubits(circuit: QuantumCircuit,
     return qubits[:cap]
 
 
+def sampling_qubits(circuit: QuantumCircuit) -> List[int]:
+    """Qubits shot sampling draws jointly: the final-measurement markers in
+    marker order (each qubit once, even when measured into several clbits),
+    otherwise all qubits.
+
+    Unlike :func:`final_query_qubits` there is *no* width cap: the descent
+    sampler's cost scales with distinct outcomes, not register width, and a
+    silent cap would report unsampled qubits as measured-0.
+    """
+    qubits = circuit.measured_qubits or list(range(circuit.num_qubits))
+    return list(dict.fromkeys(qubits))
+
+
+def _sample_static(instance, circuit: QuantumCircuit, shots: int,
+                   rng) -> Tuple[Dict[int, int], int]:
+    """Counts (and register width) for a static circuit: one exact descent.
+
+    When the circuit measures into classical bits the counts are re-keyed
+    onto the classical register (clbit 0 = least-significant bit); without
+    measurement instructions they stay basis-state indices (qubit 0 = most
+    significant bit).
+    """
+    qubits = sampling_qubits(circuit)
+    raw = instance.sample(shots, qubits=qubits, rng=rng)
+    if not circuit.measured_qubits:
+        return raw, len(qubits)
+    # One sampled bit per distinct qubit, fanned out to every clbit the
+    # qubit is measured into (a qubit can appear in several markers).
+    clbit_groups = [tuple(clbit for measured, clbit
+                          in circuit.final_measurement_map()
+                          if measured == qubit)
+                    for qubit in qubits]
+    return (remap_counts_to_clbits(raw, len(qubits), clbit_groups),
+            max(circuit.num_clbits, 1))
+
+
+def _sample_trajectories(instance, circuit: QuantumCircuit,
+                         limits: ResourceLimits, shots: int,
+                         rng) -> Dict[int, int]:
+    """Counts for a dynamic circuit: one full re-execution per shot.
+
+    Mid-circuit measurement makes each shot a fresh classical trajectory
+    (collapse outcomes feed conditions), so the circuit is prepared and
+    executed ``shots`` times; terminal measurement markers are then
+    collapsed once per trajectory.  Counts are keyed by the classical
+    register.  The wall-clock budget applies to the whole trajectory loop.
+    """
+    counts: Dict[int, int] = {}
+    start = time.perf_counter()
+    final_map = circuit.final_measurement_map()
+    for _ in range(shots):
+        elapsed = time.perf_counter() - start
+        if limits.max_seconds is not None and elapsed > limits.max_seconds:
+            raise SimulationTimeout(elapsed, limits.max_seconds)
+        enforcer = LimitEnforcer(instance, limits)
+        enforcer.execute(circuit, rng=rng)
+        classical = list(enforcer.classical_bits)
+        if final_map:
+            bits = instance.measure([qubit for qubit, _ in final_map], rng=rng)
+            for (_, clbit), bit in zip(final_map, bits):
+                while len(classical) <= clbit:
+                    classical.append(0)
+                classical[clbit] = bit
+        key = classical_register_value(classical)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
 def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
-        limits: Optional[ResourceLimits] = None) -> RunResult:
+        limits: Optional[ResourceLimits] = None,
+        shots: Optional[int] = None,
+        seed: Optional[int] = None) -> RunResult:
     """Run ``circuit`` on ``engine`` under ``limits``; classify the outcome.
 
     ``engine`` may be a canonical name (``"bitslice"``, ``"qmdd"``,
@@ -67,20 +147,58 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
     measured qubits, or on all qubits when the circuit marks none), so the
     measured runtime includes the measurement machinery exactly as in the
     paper's runs.
+
+    ``shots=N`` additionally samples ``N`` measurement outcomes into
+    ``RunResult.counts``: static circuits sample the final state exactly by
+    conditional-probability descent (cost scales with *distinct* outcomes,
+    not with ``N``); dynamic circuits re-execute once per shot so classical
+    feedback sees fresh collapse outcomes (such trajectory runs report
+    their distribution through ``counts`` only — ``final_probability`` is
+    ``None``, since the engine ends in one shot's collapsed state).  With a
+    ``seed`` the counts are
+    reproducible — identical across repeated runs and across serial vs
+    parallel sweeps, and identical *across engines* wherever the engines
+    agree on the distribution (e.g. Clifford circuits), because every
+    engine shares one descent and RNG protocol
+    (:mod:`repro.engines.sampling`).
     """
     limits = limits or ResourceLimits()
+    if shots is not None and shots < 0:
+        raise ValueError("shots must be non-negative")
     resolved = resolve_engine(engine, circuit, limits)
     instance = create_engine(resolved)
+    rng = None
+    if shots is not None or circuit.has_dynamic_ops():
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
     start = time.perf_counter()
     status = STATUS_OK
     detail = ""
     peak_memory_nodes = 0
     final_probability: Optional[float] = None
+    counts: Optional[Dict[int, int]] = None
     extra = {}
+    counts_width: Optional[int] = None
+    trajectory_mode = bool(shots) and circuit.has_dynamic_ops()
     try:
-        LimitEnforcer(instance, limits).execute(circuit)
-        qubits = final_query_qubits(circuit)
-        final_probability = instance.probability(qubits, [0] * len(qubits))
+        if trajectory_mode:
+            counts = _sample_trajectories(instance, circuit, limits, shots, rng)
+            counts_width = max(circuit.num_clbits, 1)
+        else:
+            LimitEnforcer(instance, limits).execute(circuit, rng=rng)
+            if shots is not None:
+                counts, counts_width = _sample_static(instance, circuit,
+                                                      shots, rng)
+        if counts is None and shots is not None:
+            counts = {}
+        if not trajectory_mode:
+            # After per-shot trajectory sampling the engine holds the *last*
+            # shot's fully collapsed state, on which the all-zeros query
+            # would be a random 0/1 artifact — so trajectory runs report
+            # their distribution through ``counts`` only.
+            qubits = final_query_qubits(circuit)
+            final_probability = instance.probability(qubits, [0] * len(qubits))
         stats = instance.statistics()
         peak_memory_nodes = int(stats.get("peak_memory_nodes", 0))
         # Engine-specific extras only: stats duplicating a first-class
@@ -121,19 +239,37 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
         detail=detail,
         extra=extra,
         requested_engine=engine,
+        shots=shots,
+        seed=seed,
+        counts=counts,
+        counts_width=counts_width,
     )
 
 
-def _run_task(task: Tuple[str, QuantumCircuit],
+def derive_task_seed(seed: Optional[int], index: int) -> Optional[int]:
+    """Deterministic per-task seed for sweep task ``index``.
+
+    Computed from the task's position *before* dispatch, so serial and
+    parallel executions of the same task list see identical seeds (and
+    therefore identical sampled counts).
+    """
+    if seed is None:
+        return None
+    return seed * 1_000_003 + index
+
+
+def _run_task(task: Tuple[str, QuantumCircuit, Optional[int], Optional[int]],
               limits: Optional[ResourceLimits]) -> RunResult:
-    """Process-pool worker: one (engine, circuit) task."""
-    engine, circuit = task
-    return run(circuit, engine=engine, limits=limits)
+    """Process-pool worker: one (engine, circuit, shots, seed) task."""
+    engine, circuit, shots, seed = task
+    return run(circuit, engine=engine, limits=limits, shots=shots, seed=seed)
 
 
 def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
               limits: Optional[ResourceLimits] = None,
-              jobs: int = 1) -> List[RunResult]:
+              jobs: int = 1,
+              shots: Optional[int] = None,
+              seed: Optional[int] = None) -> List[RunResult]:
     """Execute (engine, circuit) tasks, optionally on process workers.
 
     ``jobs <= 1`` runs serially in-process.  With ``jobs > 1`` the tasks are
@@ -141,28 +277,37 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
     results are returned in task order either way, so downstream grouping
     and table rendering are independent of worker scheduling.
 
+    ``shots`` / ``seed`` apply to every task; each task samples with its own
+    seed derived via :func:`derive_task_seed` from its position, so the
+    counts of every task — and the ``to_dict(timings=False)``
+    serialisations — are byte-identical between serial and parallel runs.
+
     Engines registered at import time (everything in :mod:`repro.engines`
     and any module imported before the pool starts) are available in the
     workers; engines registered dynamically inside a ``__main__`` script are
     only visible to forked workers (the POSIX default), not spawned ones.
     """
-    tasks = list(tasks)
-    if jobs <= 1 or len(tasks) <= 1:
-        return [_run_task(task, limits) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        futures = [pool.submit(_run_task, task, limits) for task in tasks]
+    specs = [(engine, circuit, shots, derive_task_seed(seed, index))
+             for index, (engine, circuit) in enumerate(tasks)]
+    if jobs <= 1 or len(specs) <= 1:
+        return [_run_task(spec, limits) for spec in specs]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        futures = [pool.submit(_run_task, spec, limits) for spec in specs]
         return [future.result() for future in futures]
 
 
 def run_sweep(circuits: Sequence[QuantumCircuit],
               engines: Sequence[str] = (AUTO_ENGINE,),
               limits: Optional[ResourceLimits] = None,
-              jobs: int = 1) -> List[RunResult]:
+              jobs: int = 1,
+              shots: Optional[int] = None,
+              seed: Optional[int] = None) -> List[RunResult]:
     """Run every circuit on every engine (circuit-major order).
 
     Returns ``len(circuits) * len(engines)`` results ordered as
     ``(circuit[0], engines...), (circuit[1], engines...), ...`` —
-    deterministic regardless of ``jobs``.
+    deterministic regardless of ``jobs``.  ``shots`` / ``seed`` sample
+    measurement counts per run exactly as in :func:`run_tasks`.
     """
     tasks = [(engine, circuit) for circuit in circuits for engine in engines]
-    return run_tasks(tasks, limits=limits, jobs=jobs)
+    return run_tasks(tasks, limits=limits, jobs=jobs, shots=shots, seed=seed)

@@ -50,16 +50,25 @@ class LimitEnforcer:
         self.engine = engine
         self.limits = limits or ResourceLimits()
         self._start_time: Optional[float] = None
+        #: Classical register after the last :meth:`execute` (clbit order).
+        self.classical_bits: list = []
 
-    def execute(self, circuit: QuantumCircuit):
-        """Prepare the engine for ``circuit`` and apply every gate under the
-        budgets; returns the engine for chaining."""
+    def execute(self, circuit: QuantumCircuit, rng=None):
+        """Prepare the engine for ``circuit`` and execute every instruction
+        under the budgets; returns the engine for chaining.
+
+        Dynamic instructions (mid-circuit measurement / reset / classical
+        conditions) are interpreted by
+        :func:`repro.engines.dynamic.execute_program` drawing from ``rng``;
+        the final classical register lands in :attr:`classical_bits`.
+        """
+        from repro.engines.dynamic import execute_program
+
         self._start_time = time.perf_counter()
         self.engine.prepare(circuit, self.limits)
         self.check()
-        for gate in circuit.gates:
-            self.engine.apply(gate)
-            self.check()
+        self.classical_bits = execute_program(self.engine, circuit, rng=rng,
+                                              after_gate=self.check)
         return self.engine
 
     def elapsed_seconds(self) -> float:

@@ -45,6 +45,21 @@ class RunResult:
     #: What the caller asked for ("auto" runs record the request here and
     #: the resolved engine in :attr:`engine`).
     requested_engine: str = ""
+    #: Number of measurement shots requested (``None`` = no sampling).
+    shots: Optional[int] = None
+    #: RNG seed the run was executed with (``None`` = unseeded).
+    seed: Optional[int] = None
+    #: Outcome counts when ``shots`` were requested.  Keys are classical
+    #: register values when the circuit measures into clbits (clbit 0 =
+    #: least-significant bit, the OpenQASM convention); for circuits without
+    #: measurement instructions they are basis-state indices (qubit 0 = most
+    #: significant bit, the paper's convention).
+    counts: Optional[Dict[int, int]] = None
+    #: Bit width of the sampled register (the classical register width, or
+    #: the number of sampled qubits for circuits without measurement
+    #: instructions) — what :meth:`counts_bitstrings` pads to, so outcomes
+    #: with leading-zero high bits keep their full width.
+    counts_width: Optional[int] = None
 
     @property
     def succeeded(self) -> bool:
@@ -67,6 +82,25 @@ class RunResult:
         """Deprecated alias of :attr:`peak_memory_nodes`."""
         return self.peak_memory_nodes
 
+    # -- sampling helpers ------------------------------------------------- #
+    def counts_bitstrings(self, width: Optional[int] = None) -> Dict[str, int]:
+        """The :attr:`counts` re-keyed as zero-padded bitstrings.
+
+        Classical-register keys render with clbit 0 as the right-most
+        character (basis-state keys with qubit 0 left-most) — both simply
+        "most-significant bit first".  ``width`` defaults to
+        :attr:`counts_width` (the sampled register's full width, so
+        always-zero high bits are not truncated).  Returns an empty dict
+        when no shots were sampled.
+        """
+        from repro.engines.sampling import counts_to_bitstrings
+
+        if not self.counts:
+            return {}
+        return counts_to_bitstrings(self.counts,
+                                    width if width is not None
+                                    else self.counts_width)
+
     # -- serialisation --------------------------------------------------- #
     def to_dict(self, timings: bool = True) -> Dict[str, object]:
         """Plain-dict form of the result.
@@ -75,8 +109,9 @@ class RunResult:
         ``elapsed_seconds`` field, any ``*_seconds`` extra, and the free-form
         ``detail`` text, which embeds elapsed times in TO messages) is
         dropped, leaving only deterministic fields: two runs of the same
-        (engine, circuit, limits) triple — serial or parallel, any worker —
-        produce byte-identical serialisations of this form.
+        (engine, circuit, limits, shots, seed) tuple — serial or parallel,
+        any worker — produce byte-identical serialisations of this form
+        (sampled ``counts`` included, provided a ``seed`` was given).
         """
         data: Dict[str, object] = {
             "engine": self.engine,
@@ -88,6 +123,12 @@ class RunResult:
             "memory_mb": self.memory_mb,
             "final_probability": self.final_probability,
         }
+        if self.shots is not None:
+            data["shots"] = self.shots
+            data["seed"] = self.seed
+            data["counts_width"] = self.counts_width
+            data["counts"] = {str(key): value
+                              for key, value in sorted((self.counts or {}).items())}
         if timings:
             data["elapsed_seconds"] = self.elapsed_seconds
             data["detail"] = self.detail

@@ -1,0 +1,149 @@
+"""Shared exact shot-sampling machinery: the conditional-probability descent.
+
+Every engine draws measurement shots through the same algorithm so that two
+engines computing the same distribution produce *identical* counts under the
+same seed:
+
+1. Walk the measured qubits in order, maintaining the joint probability of
+   the bit-prefix fixed so far.
+2. At each qubit, query the engine for the probability of extending the
+   prefix with ``0``, and split the shots still alive on this prefix with a
+   single binomial draw.
+3. Recurse into the ``0`` branch first, then the ``1`` branch, skipping
+   branches that received no shots (no RNG draw happens for them).
+
+The cost is proportional to the number of *distinct* outcomes drawn — never
+to ``shots * 2**n`` — and the per-shot loop of naive samplers disappears
+entirely.
+
+Probability snapping
+--------------------
+Engines disagree about the last few floating-point bits of a probability
+(the dense engine accumulates rounding through every gate; the QMDD engine
+interns complex weights on a ``1e-12`` tolerance grid; the bit-sliced
+engine converts an exact integer pair once).  A binomial draw is chaotically
+sensitive to its ``p`` argument, so even a ``1e-12`` disagreement would
+desynchronise the counts.  :func:`snap_probability` therefore quantises
+every branching ratio to the ``2**-30`` grid before it reaches the RNG:
+probabilities agreeing to ~9 decimal digits land on the same grid point and
+draw identical splits, while the ``<= 2**-31`` (~5e-10) quantisation bias
+is far below statistical resolution at any realistic shot count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+#: Resolution of the probability grid used for RNG-visible branching ratios.
+PROBABILITY_SNAP_BITS = 30
+_SNAP = float(1 << PROBABILITY_SNAP_BITS)
+
+
+def snap_probability(probability: float) -> float:
+    """Quantise ``probability`` to the ``2**-30`` grid, clamped to [0, 1].
+
+    Applied to every probability that influences an RNG draw (binomial
+    splits in :func:`sample_by_descent`, thresholds in
+    :meth:`repro.engines.base.Engine.measure`) so that engines agreeing on a
+    distribution to ~9 decimal digits consume identical random variates.
+    """
+    if probability <= 0.0:
+        return 0.0
+    if probability >= 1.0:
+        return 1.0
+    return round(probability * _SNAP) / _SNAP
+
+
+def sample_by_descent(branch_probability: Callable[[tuple], float],
+                      num_bits: int, shots: int, rng) -> Dict[int, int]:
+    """Draw ``shots`` outcomes over ``num_bits`` bits by binomial descent.
+
+    ``branch_probability(prefix)`` must return the *absolute* joint
+    probability of observing the bit-tuple ``prefix`` on the first
+    ``len(prefix)`` measured qubits.  It is only ever called on prefixes
+    ending in ``0`` (the ``1``-branch mass is obtained by subtraction), and
+    never on prefixes that received no shots.
+
+    Returns a dict mapping outcome integers (first bit = most significant)
+    to counts.  The RNG consumption protocol is part of the contract: one
+    ``rng.binomial`` call per visited internal node whose snapped branching
+    ratio is strictly between 0 and 1, in depth-first 0-branch-first order —
+    so any two samplers honouring the protocol and agreeing on snapped
+    probabilities produce byte-identical counts from equal RNG states.
+    """
+    if shots < 0:
+        raise ValueError("shots must be non-negative")
+    counts: Dict[int, int] = {}
+    if shots == 0:
+        return counts
+    # (prefix, shots, probability-of-prefix), depth-first with the 1-branch
+    # pushed before the 0-branch so the 0-branch is processed first.
+    stack = [((), shots, 1.0)]
+    while stack:
+        prefix, alive, mass = stack.pop()
+        if alive == 0:
+            continue
+        if len(prefix) == num_bits:
+            outcome = 0
+            for bit in prefix:
+                outcome = (outcome << 1) | bit
+            counts[outcome] = counts.get(outcome, 0) + alive
+            continue
+        zero_mass = snap_probability(branch_probability(prefix + (0,)))
+        ratio = 1.0 if mass <= 0.0 else snap_probability(zero_mass / mass)
+        if ratio >= 1.0:
+            zero_shots = alive
+        elif ratio <= 0.0:
+            zero_shots = 0
+        else:
+            zero_shots = int(rng.binomial(alive, ratio))
+        stack.append((prefix + (1,), alive - zero_shots,
+                      max(mass - zero_mass, 0.0)))
+        stack.append((prefix + (0,), zero_shots, zero_mass))
+    return counts
+
+
+def remap_counts_to_clbits(counts: Dict[int, int], qubit_count: int,
+                           clbits: Sequence) -> Dict[int, int]:
+    """Re-key qubit-ordered counts onto the classical register.
+
+    ``counts`` uses the sampler convention (first measured qubit = most
+    significant bit).  The result keys each outcome by the classical
+    register's integer value: bit ``i`` of the sampled outcome lands on
+    ``clbits[i]``, and clbit ``j`` carries weight ``2**j`` (OpenQASM's
+    ``if(c==v)`` convention).  Each ``clbits`` entry may be a single clbit
+    or a sequence of clbits — a qubit measured into several clbits writes
+    its bit to each of them.
+    """
+    if len(clbits) != qubit_count:
+        raise ValueError("clbit mapping length must match the sampled qubits")
+    groups = [(entry,) if isinstance(entry, int) else tuple(entry)
+              for entry in clbits]
+    remapped: Dict[int, int] = {}
+    for outcome, count in counts.items():
+        value = 0
+        for position, group in enumerate(groups):
+            bit = (outcome >> (qubit_count - 1 - position)) & 1
+            for clbit in group:
+                value = (value & ~(1 << clbit)) | (bit << clbit)
+        remapped[value] = remapped.get(value, 0) + count
+    return remapped
+
+
+def counts_to_bitstrings(counts: Dict[int, int],
+                         width: Optional[int] = None) -> Dict[str, int]:
+    """Render integer-keyed counts as bitstrings (most-significant bit
+    first), zero-padded to ``width`` (default: widest key)."""
+    if width is None:
+        width = max((key.bit_length() for key in counts), default=1) or 1
+    return {format(key, f"0{width}b"): value
+            for key, value in sorted(counts.items())}
+
+
+__all__ = [
+    "PROBABILITY_SNAP_BITS",
+    "snap_probability",
+    "sample_by_descent",
+    "remap_counts_to_clbits",
+    "counts_to_bitstrings",
+]

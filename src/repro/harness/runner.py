@@ -69,15 +69,26 @@ ENGINE_LABELS: Dict[str, str] = engine_labels()
 
 
 def run_circuit(engine: str, circuit: QuantumCircuit,
-                limits: Optional[ResourceLimits] = None) -> RunResult:
+                limits: Optional[ResourceLimits] = None,
+                shots: Optional[int] = None,
+                seed: Optional[int] = None) -> RunResult:
     """Run ``circuit`` on ``engine`` under ``limits`` and classify the
-    outcome (thin wrapper over :func:`repro.engines.frontdoor.run`)."""
-    return _run(circuit, engine=engine, limits=limits)
+    outcome (thin wrapper over :func:`repro.engines.frontdoor.run`).
+
+    ``shots`` / ``seed`` sample measurement counts into
+    :attr:`RunResult.counts` exactly as the front door does.
+    """
+    return _run(circuit, engine=engine, limits=limits, shots=shots, seed=seed)
 
 
 def run_suite(engine: str, circuits: Sequence[QuantumCircuit],
               limits: Optional[ResourceLimits] = None,
-              jobs: int = 1) -> List[RunResult]:
-    """Run a list of circuits on one engine (optionally on process workers)."""
+              jobs: int = 1,
+              shots: Optional[int] = None,
+              seed: Optional[int] = None) -> List[RunResult]:
+    """Run a list of circuits on one engine (optionally on process workers).
+
+    ``shots`` / ``seed`` sample counts per circuit with deterministic
+    per-task seeds (identical serial vs parallel)."""
     return run_tasks([(engine, circuit) for circuit in circuits],
-                     limits=limits, jobs=jobs)
+                     limits=limits, jobs=jobs, shots=shots, seed=seed)

@@ -1,0 +1,181 @@
+"""Round-trip tests for the dynamic-circuit QASM constructs.
+
+Covers the clbit-index fix (``measure q[i] -> c[j]`` used to drop ``j``),
+``reset``, ``if(c==v)`` conditions, and the mid-circuit vs terminal
+measurement classification.
+"""
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, GateKind
+from repro.circuit.qasm import circuit_from_qasm, circuit_to_qasm
+
+
+class TestMeasureClbits:
+    def test_remapped_clbit_survives_round_trip(self):
+        circuit = QuantumCircuit(3).h(0)
+        circuit.measure(0, 2).measure(2, 0)
+        text = circuit_to_qasm(circuit)
+        assert "measure q[0] -> c[2];" in text
+        assert "measure q[2] -> c[0];" in text
+        parsed = circuit_from_qasm(text)
+        assert parsed.final_measurement_map() == [(0, 2), (2, 0)]
+
+    def test_parser_keeps_clbit_index(self):
+        # Regression: the parser used to discard the target clbit entirely.
+        text = "qreg q[2];\ncreg c[2];\nh q[0];\nmeasure q[0] -> c[1];\n"
+        parsed = circuit_from_qasm(text)
+        assert parsed.measured_qubits == [0]
+        assert parsed.measured_clbits == [1]
+        assert parsed.num_clbits == 2
+
+    def test_default_clbit_is_qubit_index(self):
+        circuit = QuantumCircuit(2).h(0).measure_all()
+        assert circuit.final_measurement_map() == [(0, 0), (1, 1)]
+
+    def test_creg_width_round_trips(self):
+        circuit = QuantumCircuit(2).h(0)
+        circuit.measure(0, 5)
+        parsed = circuit_from_qasm(circuit_to_qasm(circuit))
+        assert parsed.num_clbits == 6
+
+
+class TestMidCircuitMeasure:
+    def test_measure_before_gates_becomes_instruction(self):
+        text = """
+        qreg q[2];
+        creg c[2];
+        h q[0];
+        measure q[0] -> c[0];
+        x q[1];
+        """
+        parsed = circuit_from_qasm(text)
+        kinds = [gate.kind for gate in parsed]
+        assert kinds == [GateKind.H, GateKind.MEASURE, GateKind.X]
+        assert parsed.gates[1].clbits == (0,)
+        assert parsed.measured_qubits == []  # nothing terminal
+        assert parsed.has_dynamic_ops()
+
+    def test_trailing_measures_become_markers(self):
+        text = """
+        qreg q[2];
+        creg c[2];
+        h q[0];
+        measure q[0] -> c[0];
+        measure q[1] -> c[1];
+        """
+        parsed = circuit_from_qasm(text)
+        assert [gate.kind for gate in parsed] == [GateKind.H]
+        assert parsed.final_measurement_map() == [(0, 0), (1, 1)]
+        assert not parsed.has_dynamic_ops()
+
+    def test_mid_circuit_round_trip(self):
+        circuit = QuantumCircuit(2, name="dyn")
+        circuit.h(0).measure_mid(0, 0).x(1).measure(1, 1)
+        parsed = circuit_from_qasm(circuit_to_qasm(circuit))
+        assert parsed == circuit
+
+
+class TestResetAndConditions:
+    def test_reset_round_trip(self):
+        circuit = QuantumCircuit(2).h(0).reset(0).h(0)
+        text = circuit_to_qasm(circuit)
+        assert "reset q[0];" in text
+        parsed = circuit_from_qasm(text)
+        assert parsed == circuit
+        assert parsed.has_dynamic_ops()
+
+    def test_condition_round_trip(self):
+        circuit = QuantumCircuit(2, name="cond")
+        circuit.h(0).measure_mid(0, 0)
+        circuit.add(GateKind.X, [1], condition=1)
+        circuit.add(GateKind.CX, [1], [0], condition=3)
+        circuit.measure(1, 1)
+        text = circuit_to_qasm(circuit)
+        assert "if(c==1) x q[1];" in text
+        assert "if(c==3) cx q[0], q[1];" in text
+        parsed = circuit_from_qasm(text)
+        assert parsed == circuit
+
+    def test_conditioned_measure_and_reset_parse(self):
+        text = """
+        qreg q[2];
+        creg c[2];
+        measure q[0] -> c[0];
+        if(c==1) reset q[1];
+        if(c==1) measure q[1] -> c[1];
+        """
+        parsed = circuit_from_qasm(text)
+        kinds = [(gate.kind, gate.condition) for gate in parsed]
+        assert kinds == [(GateKind.MEASURE, None), (GateKind.RESET, 1),
+                         (GateKind.MEASURE, 1)]
+
+    def test_condition_emitted_for_round_trip_gate_stream(self):
+        circuit = QuantumCircuit(1)
+        circuit.measure_mid(0, 0)
+        circuit.add(GateKind.H, [0], condition=0)
+        parsed = circuit_from_qasm(circuit_to_qasm(circuit))
+        assert parsed.gates[-1].condition == 0
+
+
+class TestGateValidation:
+    def test_measure_gate_accepts_one_clbit(self):
+        gate = Gate(GateKind.MEASURE, (0,), clbits=(3,))
+        assert gate.clbits == (3,)
+
+    def test_measure_gate_rejects_two_clbits(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.MEASURE, (0,), clbits=(0, 1))
+
+    def test_unitary_gate_rejects_clbits(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.X, (0,), clbits=(0,))
+
+    def test_negative_condition_rejected(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.X, (0,), condition=-1)
+
+    def test_conditioned_gates_do_not_cancel_across_conditions(self):
+        from repro.circuit.transforms import cancel_adjacent_inverses
+
+        circuit = QuantumCircuit(1)
+        circuit.add(GateKind.X, [0], condition=1)
+        circuit.add(GateKind.X, [0])
+        assert cancel_adjacent_inverses(circuit).num_gates == 2
+        same = QuantumCircuit(1)
+        same.add(GateKind.X, [0], condition=1)
+        same.add(GateKind.X, [0], condition=1)
+        assert cancel_adjacent_inverses(same).num_gates == 0
+
+    def test_expand_swaps_preserves_conditions(self):
+        from repro.circuit.transforms import expand_swaps
+
+        circuit = QuantumCircuit(3)
+        circuit.measure_mid(2, 0)
+        circuit.add(GateKind.SWAP, [0, 1], condition=1)
+        circuit.add(GateKind.CSWAP, [0, 1], [2], condition=1)
+        expanded = expand_swaps(circuit)
+        rewritten = [gate for gate in expanded
+                     if gate.kind is not GateKind.MEASURE]
+        assert rewritten and all(gate.condition == 1 for gate in rewritten)
+
+    def test_decompose_multi_control_preserves_conditions(self):
+        from repro.circuit.transforms import decompose_multi_control
+
+        circuit = QuantumCircuit(5)
+        circuit.measure_mid(4, 0)
+        circuit.add(GateKind.CCX, [3], [0, 1, 2], condition=1)
+        decomposed = decompose_multi_control(circuit)
+        chain = [gate for gate in decomposed if gate.kind is GateKind.CCX]
+        assert chain and all(gate.condition == 1 for gate in chain)
+
+    def test_measure_capability_requires_collapse_support(self):
+        from repro.engines import engine_capabilities
+
+        measure = Gate(GateKind.MEASURE, (0,), clbits=(0,))
+        assert engine_capabilities("bitslice").supports_gate(measure)
+        capabilities = engine_capabilities("bitslice").__class__(
+            name="x", label="x", supported_gates=frozenset(),
+            exact=False, supports_measurement=False)
+        assert not capabilities.supports_gate(measure)

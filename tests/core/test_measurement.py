@@ -113,7 +113,12 @@ class TestCollapse:
         simulator, engine, _ = engines_for(circuit)
         outcome = engine.measure_qubit(0, forced_outcome=1)
         assert outcome == 1
-        assert simulator.state.s == pytest.approx(2 ** 0.5)
+        # p = 1/2 is an exact power of two, so the 1/sqrt(p) renormalisation
+        # folds into the global exponent k exactly; s stays at exactly 1.0
+        # and the collapsed state remains exact (|11> with amplitude 1).
+        assert simulator.state.s == 1.0
+        assert simulator.state.k == 0
+        assert simulator.amplitude(0b11).to_complex() == 1.0
         # After the collapse, qubit 1 must be 1 with certainty.
         assert engine.probability_of_qubit(1, 1) == pytest.approx(1.0)
         assert engine.total_probability() == pytest.approx(1.0)

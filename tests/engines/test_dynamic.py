@@ -1,0 +1,189 @@
+"""Mid-circuit measurement, reset and classical-feedback semantics.
+
+The collapse semantics of every engine are pinned against the dense
+statevector engine: forced trajectories (same seed, shared measurement
+protocol) must collapse every engine onto the same classical outcomes and
+the same post-measurement distributions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, GateKind
+from repro.engines import create_engine, run
+from repro.exceptions import UnsupportedGateError
+
+COLLAPSING_ENGINES = ("bitslice", "qmdd", "statevector", "stabilizer")
+
+
+def feedback_circuit():
+    """H; measure -> c0; X on q1 if c==1; measure q1.  Outcomes correlate."""
+    circuit = QuantumCircuit(2, name="feedback")
+    circuit.h(0).measure_mid(0, 0)
+    circuit.add(GateKind.X, [1], condition=1)
+    circuit.measure(1, 1)
+    return circuit
+
+
+class TestCollapsePinnedAgainstStatevector:
+    @pytest.mark.parametrize("engine", COLLAPSING_ENGINES)
+    def test_same_seed_same_trajectory(self, engine):
+        """Every engine must draw the same mid-circuit outcome and end in
+        the same collapsed state as the dense reference."""
+        circuit = feedback_circuit()
+        reference = create_engine("statevector")
+        reference.run(circuit, rng=np.random.default_rng(123))
+        instance = create_engine(engine)
+        instance.run(circuit, rng=np.random.default_rng(123))
+        assert instance.classical_bits == reference.classical_bits
+        for outcome in (0, 1):
+            assert instance.probability([1], [outcome]) == pytest.approx(
+                reference.probability([1], [outcome]), abs=1e-9)
+
+    @pytest.mark.parametrize("engine", COLLAPSING_ENGINES)
+    def test_forced_collapse_matches_statevector_distribution(self, engine):
+        """Collapse q0 of a GHZ state to 1: both remaining qubits must be 1."""
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+        instance = create_engine(engine)
+        instance.run(circuit)
+        instance.collapse(0, 1)
+        assert instance.probability([1, 2], [1, 1]) == pytest.approx(1.0)
+        assert instance.probability([1, 2], [0, 0]) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("engine", COLLAPSING_ENGINES)
+    def test_reset_forces_zero(self, engine):
+        circuit = QuantumCircuit(2, name="reset")
+        circuit.x(0).reset(0).cx(0, 1)
+        instance = create_engine(engine)
+        instance.run(circuit, rng=np.random.default_rng(0))
+        assert instance.probability([0, 1], [0, 0]) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("engine", COLLAPSING_ENGINES)
+    def test_reset_of_superposition(self, engine):
+        circuit = QuantumCircuit(1, name="reset_h").h(0).reset(0)
+        instance = create_engine(engine)
+        instance.run(circuit, rng=np.random.default_rng(5))
+        assert instance.probability([0], [0]) == pytest.approx(1.0)
+
+
+class TestClassicalFeedback:
+    def test_condition_only_fires_on_matching_register(self):
+        circuit = QuantumCircuit(2, name="nofire")
+        circuit.x(0).measure_mid(0, 0)           # c == 1 deterministically
+        circuit.add(GateKind.X, [1], condition=0)  # must not fire
+        instance = create_engine("bitslice")
+        instance.run(circuit)
+        assert instance.classical_bits == [1]
+        assert instance.probability([1], [0]) == pytest.approx(1.0)
+
+    def test_multi_bit_condition_value(self):
+        circuit = QuantumCircuit(3, name="threebit")
+        circuit.x(0).x(1)
+        circuit.measure_mid(0, 0).measure_mid(1, 1)   # c == 0b11 == 3
+        circuit.add(GateKind.X, [2], condition=3)
+        instance = create_engine("statevector")
+        instance.run(circuit)
+        assert instance.classical_bits == [1, 1]
+        assert instance.probability([2], [1]) == pytest.approx(1.0)
+
+    def test_trajectory_counts_respect_feedback(self):
+        result = run(feedback_circuit(), engine="bitslice", shots=300, seed=8)
+        # Feedback forces q1 == c0, so only creg values 0b00 and 0b11 occur.
+        assert set(result.counts) <= {0b00, 0b11}
+        assert sum(result.counts.values()) == 300
+        assert min(result.counts.values()) > 50  # both branches populated
+        # Trajectory runs report their distribution through counts only:
+        # the engine ends in the last shot's collapsed state, on which the
+        # all-zeros query would be a random artifact.
+        assert result.final_probability is None
+
+    def test_trajectory_counts_identical_across_engines(self):
+        results = [run(feedback_circuit(), engine=engine, shots=120, seed=21).counts
+                   for engine in COLLAPSING_ENGINES]
+        assert all(counts == results[0] for counts in results)
+
+    def test_dynamic_circuit_without_shots_runs_one_trajectory(self):
+        result = run(feedback_circuit(), engine="bitslice", seed=2)
+        assert result.status == "ok"
+        assert result.counts is None
+
+
+class TestExactCollapseRenormalisation:
+    def test_power_of_two_collapse_stays_exact(self):
+        from repro import BitSliceSimulator
+
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+        simulator = BitSliceSimulator.simulate(circuit)
+        simulator.measure_qubit(0, forced_outcome=1)
+        # p = 1/2: the omega-algebra absorbs 1/sqrt(p) into k exactly.
+        assert simulator.state.s == 1.0
+        assert simulator.state.k == 0
+        assert simulator.amplitude(0b111).to_complex() == 1.0
+        assert simulator.total_probability() == pytest.approx(1.0)
+
+    def test_irrational_probability_falls_back_to_float_factor(self):
+        from repro import BitSliceSimulator
+
+        circuit = QuantumCircuit(1).h(0).t(0).h(0)
+        simulator = BitSliceSimulator.simulate(circuit)
+        simulator.measure_qubit(0, forced_outcome=0)
+        assert simulator.state.s != 1.0
+        assert simulator.total_probability() == pytest.approx(1.0)
+
+    def test_sequential_exact_collapses(self):
+        from repro import BitSliceSimulator
+
+        circuit = QuantumCircuit(4)
+        for qubit in range(4):
+            circuit.h(qubit)
+        simulator = BitSliceSimulator.simulate(circuit)
+        for qubit in range(4):
+            simulator.measure_qubit(qubit, forced_outcome=1)
+        assert simulator.state.s == 1.0
+        assert simulator.state.k == 0
+        assert simulator.amplitude(0b1111).to_complex() == 1.0
+
+
+class TestEngineWithoutCollapse:
+    def test_default_collapse_refuses(self):
+        # The base-class default must refuse rather than silently no-op.
+        with pytest.raises(UnsupportedGateError):
+            _minimal_engine().collapse(0, 0)
+
+    def test_reset_gate_capability_follows_measurement_flag(self):
+        from repro.engines import engine_capabilities
+
+        reset = Gate(GateKind.RESET, (0,))
+        assert engine_capabilities("bitslice").supports_gate(reset)
+        no_measure = engine_capabilities("bitslice").__class__(
+            name="x", label="x", supported_gates=frozenset(),
+            exact=False, supports_measurement=False)
+        assert not no_measure.supports_gate(reset)
+
+
+def _minimal_engine():
+    """An Engine subclass that implements only the static protocol."""
+    from repro.engines.base import Capabilities, Engine
+    from repro.engines.base import ALL_GATE_KINDS
+
+    class MinimalEngine(Engine):
+        capabilities = Capabilities(
+            name="minimal-test", label="minimal",
+            supported_gates=ALL_GATE_KINDS, exact=False,
+            supports_measurement=False)
+
+        def apply(self, gate):  # pragma: no cover - unused
+            pass
+
+        def probability(self, qubits, bits):  # pragma: no cover - unused
+            return 1.0
+
+        def memory_nodes(self):  # pragma: no cover - unused
+            return 1
+
+        @property
+        def num_qubits(self):  # pragma: no cover - unused
+            return 1
+
+    return MinimalEngine()

@@ -1,0 +1,290 @@
+"""Cross-engine shot-sampling tests.
+
+Pins the tentpole guarantees of the measurement & sampling subsystem:
+
+* fixed-seed counts are byte-identical across *all* engines on Clifford
+  circuits (shared descent + RNG protocol + probability snapping),
+* repeated runs and serial-vs-parallel sweeps are byte-identical,
+* the bit-sliced engine's exact slice sampler agrees with the dense
+  statevector engine on <=12-qubit circuits (Clifford and non-Clifford),
+* empirical counts pass a chi-squared test against the exact distribution.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.engines import create_engine, run, run_sweep
+from repro.baselines.statevector import StatevectorSimulator
+
+ALL_ENGINES = ("bitslice", "qmdd", "statevector", "stabilizer")
+
+
+def ghz(n, name=None):
+    circuit = QuantumCircuit(n, name=name or f"ghz{n}").h(0)
+    for qubit in range(n - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit.measure_all()
+
+
+def clifford_mix(n, seed):
+    """A random Clifford circuit (deterministic from ``seed``)."""
+    import random
+
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(n, name=f"clifford{n}_s{seed}")
+    for _ in range(4 * n):
+        choice = rng.randrange(4)
+        if choice == 0:
+            circuit.h(rng.randrange(n))
+        elif choice == 1:
+            circuit.s(rng.randrange(n))
+        elif choice == 2:
+            circuit.x(rng.randrange(n))
+        else:
+            a = rng.randrange(n)
+            b = rng.randrange(n - 1)
+            circuit.cx(a, b if b < a else b + 1)
+    return circuit.measure_all()
+
+
+def universal_mix(n, seed):
+    """A random Clifford+T circuit (deterministic from ``seed``)."""
+    import random
+
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(n, name=f"universal{n}_s{seed}")
+    for _ in range(3 * n):
+        choice = rng.randrange(5)
+        if choice == 0:
+            circuit.h(rng.randrange(n))
+        elif choice == 1:
+            circuit.t(rng.randrange(n))
+        elif choice == 2:
+            circuit.s(rng.randrange(n))
+        elif choice == 3:
+            circuit.x(rng.randrange(n))
+        else:
+            a = rng.randrange(n)
+            b = rng.randrange(n - 1)
+            circuit.cx(a, b if b < a else b + 1)
+    return circuit.measure_all()
+
+
+class TestCrossEngineAgreement:
+    @pytest.mark.parametrize("circuit", [ghz(4), clifford_mix(5, 11),
+                                         clifford_mix(6, 23)],
+                             ids=lambda c: c.name)
+    def test_clifford_counts_identical_across_all_engines(self, circuit):
+        results = {engine: run(circuit, engine=engine, shots=1024, seed=42)
+                   for engine in ALL_ENGINES}
+        reference = results["bitslice"].counts
+        assert sum(reference.values()) == 1024
+        for engine, result in results.items():
+            assert result.counts == reference, engine
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_bitslice_matches_statevector_on_universal_circuits(self, seed):
+        circuit = universal_mix(6, seed)
+        bdd = run(circuit, engine="bitslice", shots=2048, seed=seed)
+        dense = run(circuit, engine="statevector", shots=2048, seed=seed)
+        assert bdd.counts == dense.counts
+
+    def test_bitslice_matches_statevector_at_twelve_qubits(self):
+        circuit = universal_mix(12, 5)
+        bdd = run(circuit, engine="bitslice", shots=512, seed=1)
+        dense = run(circuit, engine="statevector", shots=512, seed=1)
+        assert bdd.counts == dense.counts
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        circuit = universal_mix(5, 9)
+        first = run(circuit, engine="bitslice", shots=1024, seed=0)
+        second = run(circuit, engine="bitslice", shots=1024, seed=0)
+        assert first.counts == second.counts
+        assert (json.dumps(first.to_dict(timings=False), sort_keys=True)
+                == json.dumps(second.to_dict(timings=False), sort_keys=True))
+
+    def test_serial_and_parallel_sweeps_byte_identical(self):
+        circuits = [ghz(3), universal_mix(4, 2)]
+        engines = ("bitslice", "statevector")
+        serial = run_sweep(circuits, engines=engines, shots=256, seed=7, jobs=1)
+        parallel = run_sweep(circuits, engines=engines, shots=256, seed=7, jobs=2)
+        serial_payload = [json.dumps(r.to_dict(timings=False), sort_keys=True)
+                          for r in serial]
+        parallel_payload = [json.dumps(r.to_dict(timings=False), sort_keys=True)
+                            for r in parallel]
+        assert serial_payload == parallel_payload
+
+    def test_different_tasks_get_different_seeds(self):
+        results = run_sweep([ghz(4, name="a"), ghz(4, name="b")],
+                            engines=("bitslice",), shots=1024, seed=5)
+        assert results[0].seed != results[1].seed
+
+    def test_unseeded_runs_still_sum_to_shots(self):
+        result = run(ghz(3), engine="bitslice", shots=100)
+        assert sum(result.counts.values()) == 100
+
+
+class TestStatisticalAgreement:
+    @pytest.mark.parametrize("engine", ["bitslice", "statevector", "qmdd"])
+    def test_chi_squared_against_exact_distribution(self, engine):
+        circuit = universal_mix(5, 31)
+        shots = 20_000
+        result = run(circuit, engine=engine, shots=shots, seed=13)
+        reference = StatevectorSimulator.simulate(circuit)
+        distribution = reference.measurement_distribution()
+        # counts keys are creg values; with the default clbit map (clbit j =
+        # qubit j) a basis index maps to its bit-reversed creg value.
+        n = circuit.num_qubits
+
+        def creg_key(basis_index):
+            return int(format(basis_index, f"0{n}b")[::-1], 2)
+
+        expected = {creg_key(index): probability * shots
+                    for index, probability in distribution.items()}
+        statistic = 0.0
+        for key, expectation in expected.items():
+            if expectation < 5.0:
+                continue
+            observed = result.counts.get(key, 0)
+            statistic += (observed - expectation) ** 2 / expectation
+        bins = sum(1 for e in expected.values() if e >= 5.0)
+        assert bins > 3
+        # Generous acceptance: mean df plus five standard deviations.
+        assert statistic < bins + 5.0 * math.sqrt(2.0 * bins)
+
+    def test_sampled_marginal_matches_probability_query(self):
+        circuit = QuantumCircuit(3, name="biased").h(0).t(0).h(0).cx(0, 1)
+        circuit.measure_all()
+        shots = 50_000
+        result = run(circuit, engine="bitslice", shots=shots, seed=3)
+        engine = create_engine("bitslice")
+        engine.run(circuit)
+        probability_zero = engine.probability([0], [0])
+        observed = sum(count for key, count in result.counts.items()
+                       if not key & 1)  # clbit 0 carries qubit 0
+        assert observed / shots == pytest.approx(probability_zero, abs=0.01)
+
+
+class TestCountsPlumbing:
+    def test_counts_keyed_by_classical_register(self):
+        # measure q[0] -> c[1], q[1] -> c[0]: a |10> outcome must appear as
+        # creg value 0b10 (qubit 0's bit on clbit 1).
+        circuit = QuantumCircuit(2, name="remap").x(0)
+        circuit.measure(0, 1).measure(1, 0)
+        result = run(circuit, engine="bitslice", shots=16, seed=0)
+        assert result.counts == {0b10: 16}
+
+    def test_counts_without_measurements_use_basis_indices(self):
+        circuit = QuantumCircuit(2, name="nomeasure").x(1)
+        result = run(circuit, engine="bitslice", shots=8, seed=0)
+        # Qubit 0 is the most significant bit of a basis index: |01> = 1.
+        assert result.counts == {1: 8}
+
+    def test_zero_shots_yield_empty_counts(self):
+        result = run(ghz(2), engine="bitslice", shots=0, seed=0)
+        assert result.counts == {}
+        assert result.shots == 0
+
+    def test_counts_absent_without_shots(self):
+        result = run(ghz(2), engine="bitslice")
+        assert result.counts is None
+        assert "counts" not in result.to_dict()
+
+    def test_counts_bitstrings_rendering(self):
+        result = run(ghz(3), engine="bitslice", shots=64, seed=1)
+        strings = result.counts_bitstrings(width=3)
+        assert set(strings) <= {"000", "111"}
+        assert sum(strings.values()) == 64
+
+    def test_counts_bitstrings_default_width_keeps_zero_high_bits(self):
+        # Qubit 2 never fires, but its clbit must still appear in the
+        # rendered bitstrings (the register width travels on the result).
+        circuit = QuantumCircuit(3, name="lowbits").h(0).cx(0, 1).measure_all()
+        result = run(circuit, engine="bitslice", shots=50, seed=2)
+        assert result.counts_width == 3
+        assert all(len(key) == 3 for key in result.counts_bitstrings())
+        assert result.to_dict(timings=False)["counts_width"] == 3
+
+    def test_wide_registers_sample_beyond_the_query_cap(self):
+        # The final-probability query caps at 64 qubits; sampling must not:
+        # qubit 69's deterministic |1> has to show up in the counts.
+        circuit = QuantumCircuit(70, name="wide70").x(69)
+        circuit.measure_all()
+        result = run(circuit, engine="bitslice", shots=4, seed=0)
+        assert result.counts_width == 70
+        assert result.counts == {1 << 69: 4}
+
+    def test_unsupported_sampling_flag_classified(self):
+        from repro.engines import register_engine, unregister_engine
+        from repro.engines.adapters import BitSliceEngine
+        from repro.engines.base import Capabilities
+
+        @register_engine("nosample-test")
+        class NoSampleEngine(BitSliceEngine):
+            capabilities = Capabilities(
+                name="nosample-test", label="nosample",
+                supported_gates=BitSliceEngine.capabilities.supported_gates,
+                exact=True, selection_priority=99, supports_sampling=False)
+
+            def sample(self, shots, qubits=None, rng=None):
+                return super(BitSliceEngine, self).sample(shots, qubits, rng)
+
+        try:
+            result = run(ghz(2), engine="nosample-test", shots=16, seed=0)
+            assert result.status == "unsupported"
+            assert result.counts is None
+        finally:
+            unregister_engine("nosample-test")
+
+    def test_transforms_preserve_classical_register_width(self):
+        from repro.circuit.qasm import circuit_from_qasm
+        from repro.circuit.transforms import (cancel_adjacent_inverses,
+                                              expand_swaps)
+
+        text = "qreg q[2];\ncreg c[4];\nswap q[0], q[1];\nmeasure q[0] -> c[0];\n"
+        circuit = circuit_from_qasm(text)
+        assert circuit.num_clbits == 4
+        assert expand_swaps(circuit).num_clbits == 4
+        assert cancel_adjacent_inverses(circuit).num_clbits == 4
+
+    def test_same_qubit_measured_into_two_clbits(self):
+        # measure q[0] -> c[0]; measure q[0] -> c[1]; both clbits read 1.
+        circuit = QuantumCircuit(1, name="fanout").x(0)
+        circuit.measure(0, 0).measure(0, 1)
+        assert circuit.final_measurement_map() == [(0, 0), (0, 1)]
+        result = run(circuit, engine="bitslice", shots=12, seed=0)
+        assert result.counts == {0b11: 12}
+        from repro.circuit.qasm import circuit_from_qasm, circuit_to_qasm
+
+        assert circuit_from_qasm(circuit_to_qasm(circuit)) \
+            .final_measurement_map() == [(0, 0), (0, 1)]
+
+    def test_negative_shots_rejected(self):
+        with pytest.raises(ValueError):
+            run(ghz(2), engine="bitslice", shots=-1)
+
+
+class TestEngineSampleProtocol:
+    def test_engine_sample_defaults_to_all_qubits(self):
+        engine = create_engine("statevector")
+        engine.run(QuantumCircuit(3).x(2))
+        counts = engine.sample(10, rng=np.random.default_rng(0))
+        assert counts == {0b001: 10}
+
+    def test_custom_qubit_subset_and_order(self):
+        engine = create_engine("bitslice")
+        engine.run(QuantumCircuit(3).x(0))
+        # Sampling (2, 0): qubit 2 is the most significant sampled bit.
+        counts = engine.sample(10, qubits=[2, 0], rng=np.random.default_rng(0))
+        assert counts == {0b01: 10}
+
+    def test_bitslice_sampler_counters_surface_in_statistics(self):
+        result = run(ghz(4), engine="bitslice", shots=128, seed=0)
+        assert result.extra.get("sampler_restrict_batches", 0) > 0
+        assert result.extra.get("sampler_mass_evaluations", 0) > 0
