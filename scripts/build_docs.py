@@ -45,6 +45,7 @@ NAV: List[Tuple[str, str]] = [
     ("Home", "index.md"),
     ("Architecture", "architecture.md"),
     ("Paper mapping", "paper-mapping.md"),
+    ("Dynamic reordering", "reordering.md"),
     ("Sampling & dynamic circuits", "sampling.md"),
     ("Writing an engine", "engine-authors.md"),
     ("Performance counters", "perf-counters.md"),
@@ -79,7 +80,9 @@ API_EXTRA_SYMBOLS = [
                                          "apply_swap_vars", "batcher",
                                          "batch_binary", "batch_ite",
                                          "batch_maj3", "batch_xor3",
-                                         "batch_restrict", "satcount"]),
+                                         "batch_restrict", "satcount",
+                                         "swap_adjacent_levels", "sift",
+                                         "maybe_reorder", "set_order"]),
     ("repro.bdd.manager", "BatchApplier", None),
 ]
 

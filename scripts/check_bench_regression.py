@@ -166,12 +166,35 @@ def check(run: Dict[str, Dict], baseline: Dict,
                         status = (f"{status} + metric drift" if status != "ok"
                                   else "metric drift")
         rows.append({"name": name, "baseline_seconds": base_entry["min_seconds"],
-                     "run_seconds": actual, "scale": scale, "status": status})
+                     "run_seconds": actual, "scale": scale, "status": status,
+                     "extra": extra, "baseline_extra": base_extra})
     for name in sorted(set(run) - set(base_benchmarks)):
         notes.append(f"{name}: not tracked by the baseline (add it with --update)")
         rows.append({"name": name, "baseline_seconds": None,
-                     "run_seconds": run[name]["min_seconds"], "status": "untracked"})
+                     "run_seconds": run[name]["min_seconds"], "status": "untracked",
+                     "extra": run[name].get("extra", {}), "baseline_extra": {}})
     return failures, notes, rows
+
+
+def node_count_summary(extra: Dict) -> str:
+    """Compact node-count cell for the markdown delta table.
+
+    Node counts are the paper's own cost metric, so the job summary shows
+    them next to the timings: a ``nodes_before``/``nodes_after`` pair (the
+    reordering benchmarks) renders as ``before→after``, otherwise the
+    ``*nodes*`` extras are listed by name.
+    """
+    counts = {key: value for key, value in extra.items()
+              if "nodes" in key and isinstance(value, (int, float))
+              and not isinstance(value, bool)}
+    if not counts:
+        return "—"
+    before = next((counts[key] for key in counts if key.endswith("nodes_before")), None)
+    after = next((counts[key] for key in counts if key.endswith("nodes_after")), None)
+    if before is not None and after is not None:
+        return f"{int(before)}→{int(after)}"
+    return ", ".join(f"{key}={int(value)}"
+                     for key, value in sorted(counts.items())[:2])
 
 
 def write_markdown_summary(rows: List[Dict], notes: List[str],
@@ -185,8 +208,9 @@ def write_markdown_summary(rows: List[Dict], notes: List[str],
             lines.append(f"_{note}_")
             lines.append("")
             break
-    lines.append("| benchmark | baseline (ms) | this run (ms) | delta | status |")
-    lines.append("|---|---:|---:|---:|---|")
+    lines.append("| benchmark | baseline (ms) | this run (ms) | delta "
+                 "| nodes | status |")
+    lines.append("|---|---:|---:|---:|---:|---|")
     for row in rows:
         base = row.get("baseline_seconds")
         actual = row.get("run_seconds")
@@ -197,8 +221,10 @@ def write_markdown_summary(rows: List[Dict], notes: List[str],
             delta_text = f"{delta:+.1f}%"
         else:
             delta_text = "—"
+        nodes_text = node_count_summary(row.get("extra")
+                                        or row.get("baseline_extra") or {})
         lines.append(f"| `{row['name']}` | {base_text} | {actual_text} "
-                     f"| {delta_text} | {row['status']} |")
+                     f"| {delta_text} | {nodes_text} | {row['status']} |")
     lines.append("")
     with open(destination, "a", encoding="utf-8") as handle:
         handle.write("\n".join(lines))

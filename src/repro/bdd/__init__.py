@@ -13,7 +13,9 @@ everything the bit-sliced simulator needs:
   evaluation, truth-table export,
 * mark-and-sweep garbage collection keyed on live :class:`~repro.bdd.expr.Bdd`
   handles, and
-* variable reordering (static orders and a rebuild-based sifting heuristic).
+* in-place dynamic variable reordering: adjacent-level swaps, Rudell
+  sifting and a growth-triggered automatic mode, all preserving every
+  registered handle (plus the static order helpers).
 
 The public entry point is :class:`~repro.bdd.manager.BddManager`; user code
 manipulates :class:`~repro.bdd.expr.Bdd` handles returned by it.

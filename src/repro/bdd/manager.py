@@ -42,6 +42,15 @@ here, so the constant factors of this file dominate end-to-end runtime):
   boundaries), and every garbage collection or variable reorder advances a
   generation counter while swapping in fresh tables, so stale node ids can
   never be served.
+* **In-place dynamic variable reordering**: :meth:`BddManager.swap_adjacent_levels`
+  exchanges two neighbouring levels by rewiring only the upper level's
+  nodes (node ids keep their functions, so external references survive),
+  :meth:`BddManager.sift` runs Rudell sifting on top of it, and
+  :meth:`BddManager.maybe_reorder` triggers sifting automatically when the
+  node store grows past ``auto_reorder_threshold`` — the same
+  operation-boundary pattern as ``auto_gc_threshold``.
+  :meth:`BddManager.set_order` is a sequence of adjacent swaps, so
+  installing an explicit order also preserves every registered reference.
 
 Garbage collection is mark-and-sweep over the roots registered by live
 :class:`repro.bdd.expr.Bdd` handles; freed slots are recycled.  All cache,
@@ -109,10 +118,19 @@ class BddManager:
         exceeding the limit is flushed at the next operation boundary (an
         eviction, counted in :meth:`perf_stats`).  ``None`` disables the
         bound.
+    auto_reorder_threshold:
+        When the live node count grows past this threshold the manager runs
+        an in-place :meth:`sift` at the next safe point (a call to
+        :meth:`maybe_reorder`, issued by the simulator at gate boundaries
+        next to :meth:`maybe_collect`).  After a triggered reorder the
+        threshold backs off geometrically (see :meth:`maybe_reorder`) so a
+        workload that genuinely needs many nodes does not thrash.  ``None``
+        (the default) disables automatic reordering.
     """
 
     def __init__(self, num_vars: int = 0, auto_gc_threshold: Optional[int] = 1_000_000,
-                 cache_size_limit: Optional[int] = 2_000_000):
+                 cache_size_limit: Optional[int] = 2_000_000,
+                 auto_reorder_threshold: Optional[int] = None):
         # Parallel arrays describing nodes.  Slots 0 and 1 are the terminals.
         self._var: List[int] = [-1, -1]
         self._low: List[int] = [-1, -1]
@@ -134,6 +152,7 @@ class BddManager:
         self._external_refs: Dict[int, int] = {}
         self._auto_gc_threshold = auto_gc_threshold
         self._cache_size_limit = cache_size_limit
+        self._auto_reorder_threshold = auto_reorder_threshold
         self._gc_count = 0
         # Performance counters (see perf_stats).
         self._op_hits: List[int] = [0] * _NUM_OPS
@@ -146,6 +165,14 @@ class BddManager:
         self._cache_generation = 0
         self._gc_pause_seconds = 0.0
         self._gc_freed_nodes = 0
+        # Reordering counters (see perf_stats): reorder_count / swaps /
+        # pause are monotone; the nodes_before/after pair is a gauge of the
+        # most recent reorder operation.
+        self._reorder_count = 0
+        self._reorder_swaps = 0
+        self._reorder_pause_seconds = 0.0
+        self._reorder_nodes_before = 0
+        self._reorder_nodes_after = 0
         self._peak_live_nodes = 2
         for _ in range(num_vars):
             self.new_var()
@@ -2157,6 +2184,11 @@ class BddManager:
             "gc_runs": self._gc_count,
             "gc_pause_seconds": self._gc_pause_seconds,
             "gc_freed_nodes": self._gc_freed_nodes,
+            "reorder_count": self._reorder_count,
+            "reorder_swaps": self._reorder_swaps,
+            "reorder_pause_seconds": self._reorder_pause_seconds,
+            "reorder_nodes_before": self._reorder_nodes_before,
+            "reorder_nodes_after": self._reorder_nodes_after,
         }
         total_hits = 0
         total_misses = 0
@@ -2197,70 +2229,409 @@ class BddManager:
         self._gc_count = 0
         self._gc_pause_seconds = 0.0
         self._gc_freed_nodes = 0
+        self._reorder_count = 0
+        self._reorder_swaps = 0
+        self._reorder_pause_seconds = 0.0
+        self._reorder_nodes_before = 0
+        self._reorder_nodes_after = 0
         self._peak_live_nodes = len(self._var) - len(self._free)
 
     # ------------------------------------------------------------------ #
-    # reordering support
+    # dynamic variable reordering (in-place adjacent swaps + sifting)
     # ------------------------------------------------------------------ #
-    def set_order(self, new_order: Sequence[int], roots: Sequence[Bdd]) -> List[Bdd]:
-        """Install a new variable order and rebuild ``roots`` under it.
+    @property
+    def auto_reorder_threshold(self) -> Optional[int]:
+        """Live-node threshold above which :meth:`maybe_reorder` triggers an
+        automatic :meth:`sift` (``None`` disables auto-reordering).  Backs
+        off after each triggered reorder; settable at any time."""
+        return self._auto_reorder_threshold
 
-        ``new_order`` must be a permutation of all variable indices, listed
-        from top to bottom.  Returns the rebuilt handles in the same order as
-        ``roots``; the original handles remain valid but refer to nodes built
-        under the old order and should be discarded by the caller.
+    @auto_reorder_threshold.setter
+    def auto_reorder_threshold(self, value: Optional[int]) -> None:
+        self._auto_reorder_threshold = value
+
+    def _reachable_node_count(self) -> int:
+        """Nodes (terminals included) reachable from the registered external
+        references — the live size every reordering decision is scored by.
+
+        Unlike :meth:`num_live_nodes` this ignores allocated-but-unreachable
+        slots, which in-place level swaps leave behind until the next
+        garbage collection.
         """
-        if sorted(new_order) != list(range(self.num_vars)):
-            raise ValueError("new_order must be a permutation of all variables")
-        old_nodes = [root.node for root in roots]
-        # Take a private snapshot of the old structure before rewiring tables.
-        old_var = list(self._var)
-        old_low = list(self._low)
-        old_high = list(self._high)
+        low_arr = self._low
+        high_arr = self._high
+        visited = bytearray(len(self._var))
+        visited[0] = visited[1] = 1
+        count = 2
+        stack = [node for node in self._external_refs if node > 1]
+        while stack:
+            node = stack.pop()
+            if visited[node]:
+                continue
+            visited[node] = 1
+            count += 1
+            low = low_arr[node]
+            if not visited[low]:
+                stack.append(low)
+            high = high_arr[node]
+            if not visited[high]:
+                stack.append(high)
+        return count
 
-        self._var_to_level = [0] * self.num_vars
-        for level, var in enumerate(new_order):
-            self._var_to_level[var] = level
-        self._level_to_var = list(new_order)
+    def _build_var_index(self) -> List[List[int]]:
+        """Per-variable lists of node ids labelled with that variable.
 
-        # Reset the node store and rebuild each root bottom-up via ITE, which
-        # re-normalises the structure for the new order.  The computed tables
-        # are generation-invalidated: they are full of old-store node ids.
-        self._var = [-1, -1]
-        self._low = [-1, -1]
-        self._high = [-1, -1]
-        self._unique = {}
-        self._free = []
-        self._external_refs = {}
+        The lists are *working supersets* during a reorder transaction:
+        swaps move rewired nodes between lists and append freshly interned
+        nodes, and entries can go stale (a node relabelled or freed by an
+        interleaved garbage collection), so every consumer re-checks
+        ``self._var[node]`` before trusting an entry.
+        """
+        index: List[List[int]] = [[] for _ in range(self.num_vars)]
+        var_arr = self._var
+        for node in range(2, len(var_arr)):
+            var = var_arr[node]
+            if var >= 0:
+                index[var].append(node)
+        return index
+
+    def _swap_levels(self, level: int, x_nodes: List[int],
+                     y_nodes: List[int]) -> Tuple[List[int], int]:
+        """Core of every reordering operation: exchange ``level`` and
+        ``level + 1`` by rewiring only the upper level's nodes, in place.
+
+        ``x_nodes`` lists (a superset of) the nodes labelled with the upper
+        variable; relabelled nodes are appended to ``y_nodes``.  Returns
+        ``(new_x_nodes, rewired_count)`` where ``new_x_nodes`` holds the
+        nodes still labelled with the (now lower) upper variable, including
+        the freshly interned children of rewired nodes.
+
+        Invariants the rewiring preserves (the whole point of the in-place
+        algorithm):
+
+        * every node id keeps denoting the same Boolean function, so
+          external references and all nodes above / below the two levels
+          are untouched;
+        * a rewired node (one whose cofactors mention the lower variable)
+          keeps its id — only its label and children change;
+        * canonicity: rewired functions depend on *both* swapped variables,
+          so their new unique-table keys can collide neither with each
+          other nor with pre-existing lower-variable nodes.
+
+        The caller owns cache invalidation and the reorder bookkeeping; the
+        lower variable's nodes that become unreachable stay allocated until
+        the next garbage collection.
+        """
+        l2v = self._level_to_var
+        v2l = self._var_to_level
+        var_x = l2v[level]
+        var_y = l2v[level + 1]
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        unique = self._unique
+        unique_get = unique.get
+        free = self._free
+        kept: List[int] = []
+        kept_append = kept.append
+        y_append = y_nodes.append
+        probes = 0
+        inserts = 0
+        rewired = 0
+        for node in x_nodes:
+            if var_arr[node] != var_x:
+                continue  # stale index entry (relabelled or freed earlier)
+            f0 = low_arr[node]
+            f1 = high_arr[node]
+            f0_y = var_arr[f0] == var_y
+            f1_y = var_arr[f1] == var_y
+            if not (f0_y or f1_y):
+                # Independent of var_y: the node just ends up one level
+                # lower, label and children untouched.
+                kept_append(node)
+                continue
+            if f0_y:
+                f00 = low_arr[f0]
+                f01 = high_arr[f0]
+            else:
+                f00 = f01 = f0
+            if f1_y:
+                f10 = low_arr[f1]
+                f11 = high_arr[f1]
+            else:
+                f10 = f11 = f1
+            del unique[(var_x, f0, f1)]
+            if f00 == f10:
+                n0 = f00
+            else:
+                key = (var_x, f00, f10)
+                probes += 1
+                n0 = unique_get(key)
+                if n0 is None:
+                    inserts += 1
+                    if free:
+                        n0 = free.pop()
+                        var_arr[n0] = var_x
+                        low_arr[n0] = f00
+                        high_arr[n0] = f10
+                    else:
+                        n0 = len(var_arr)
+                        var_arr.append(var_x)
+                        low_arr.append(f00)
+                        high_arr.append(f10)
+                    unique[key] = n0
+                    kept_append(n0)
+            if f01 == f11:
+                n1 = f01
+            else:
+                key = (var_x, f01, f11)
+                probes += 1
+                n1 = unique_get(key)
+                if n1 is None:
+                    inserts += 1
+                    if free:
+                        n1 = free.pop()
+                        var_arr[n1] = var_x
+                        low_arr[n1] = f01
+                        high_arr[n1] = f11
+                    else:
+                        n1 = len(var_arr)
+                        var_arr.append(var_x)
+                        low_arr.append(f01)
+                        high_arr.append(f11)
+                    unique[key] = n1
+                    kept_append(n1)
+            # A rewired function genuinely depends on var_y (its pre-swap
+            # self depended on var_x), so n0 != n1 always holds here and the
+            # relabelled node needs no reduction check.
+            var_arr[node] = var_y
+            low_arr[node] = n0
+            high_arr[node] = n1
+            unique[(var_y, n0, n1)] = node
+            y_append(node)
+            rewired += 1
+        l2v[level] = var_y
+        l2v[level + 1] = var_x
+        v2l[var_x] = level + 1
+        v2l[var_y] = level
+        self._unique_probes += probes
+        self._unique_inserts += inserts
+        self._reorder_swaps += 1
+        return kept, rewired
+
+    def swap_adjacent_levels(self, level: int) -> int:
+        """Exchange the variables at ``level`` and ``level + 1`` in place.
+
+        Only the nodes labelled with the upper variable whose cofactors
+        mention the lower variable are rewired — their node ids are
+        preserved, so every registered external reference and every node
+        above or below the two levels is untouched, and each node id keeps
+        denoting the same Boolean function.  The computed tables and the
+        memoised node counts are invalidated (generation bump) exactly as
+        by garbage collection.
+
+        Returns the number of rewired nodes.
+        """
+        if not 0 <= level < len(self._level_to_var) - 1:
+            raise ValueError(f"level {level} has no adjacent level below it")
+        start = time.perf_counter()
+        var_x = self._level_to_var[level]
+        var_arr = self._var
+        x_nodes = [node for node in range(2, len(var_arr))
+                   if var_arr[node] == var_x]
+        _, rewired = self._swap_levels(level, x_nodes, [])
         self._invalidate_caches()
+        self._reorder_pause_seconds += time.perf_counter() - start
+        return rewired
 
-        memo: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+    def sift(self, max_vars: int = 0, max_growth: float = 1.2,
+             max_swaps: int = 0) -> Dict[str, int]:
+        """Rudell sifting, in place, over everything reachable from the
+        registered external references.
 
-        def rebuild(root: int) -> int:
-            # Iterative post-order over the old DAG (its depth can exceed the
-            # recursion limit just like the apply operations').
-            tasks: List[Tuple[int, int]] = [(0, root)]
-            results: List[int] = []
-            while tasks:
-                kind, node = tasks.pop()
-                if kind:
-                    high = results.pop()
-                    low = results.pop()
-                    var_node = self._mk(old_var[node], FALSE, TRUE)
-                    rebuilt = self.apply_ite(var_node, high, low)
-                    memo[node] = rebuilt
-                    results.append(rebuilt)
-                    continue
-                known = memo.get(node)
-                if known is not None:
-                    results.append(known)
-                    continue
-                tasks.append((1, node))
-                tasks.append((0, old_high[node]))
-                tasks.append((0, old_low[node]))
-            return results[0]
+        Variables are processed in decreasing order of how many nodes carry
+        their label; each is moved through every level by adjacent swaps
+        (towards the nearer end first) and left at the position minimising
+        the reachable node count.  ``max_vars`` bounds how many variables
+        are sifted (0 = all); ``max_growth`` aborts a direction early once
+        the node count exceeds ``max_growth`` times the best size seen,
+        bounding the transient blow-up a bad position can cause;
+        ``max_swaps`` (0 = unbounded) bounds the pause: it is checked
+        before every exploratory swap, and the heaviest variables sift
+        first, so a budget cut keeps the most valuable moves.  Only the
+        move back to the current variable's best position ignores the
+        budget (correctness requires completing it), so the overshoot is
+        at most one level count.
 
-        return [self._wrap(rebuild(node)) for node in old_nodes]
+        Every external reference stays valid throughout (node ids keep
+        their functions); callers must only ensure no raw, unanchored node
+        ids are held across the call, exactly as for
+        :meth:`garbage_collect` — which runs at the start and end of the
+        sift, so the size metric and the node store agree on what is live.
+
+        Returns ``{"nodes_before", "nodes_after", "swaps"}`` for this run;
+        the cumulative counters appear in :meth:`perf_stats`.
+        """
+        start = time.perf_counter()
+        nodes_before = self._reachable_node_count()
+        num_vars = self.num_vars
+        if num_vars <= 1:
+            return {"nodes_before": nodes_before, "nodes_after": nodes_before,
+                    "swaps": 0}
+        swaps_start = self._reorder_swaps
+        # Reclaim pre-existing garbage so level sizes track live structure.
+        self.garbage_collect()
+        index = self._build_var_index()
+        v2l = self._var_to_level
+        l2v = self._level_to_var
+        schedule = sorted(range(num_vars), key=lambda v: -len(index[v]))
+        if max_vars:
+            schedule = schedule[:max_vars]
+        best_size = self._reachable_node_count()
+
+        def swap_at(lvl: int) -> None:
+            upper = l2v[lvl]
+            lower = l2v[lvl + 1]
+            index[upper], _ = self._swap_levels(lvl, index[upper], index[lower])
+
+        def budget_spent() -> bool:
+            return bool(max_swaps) and self._reorder_swaps - swaps_start >= max_swaps
+
+        bottom = num_vars - 1
+        for var in schedule:
+            if budget_spent():
+                break
+            if not index[var]:
+                continue  # no nodes carry this label; moving it is free
+            start_level = v2l[var]
+            best_level = start_level
+            best = best_size
+            directions = ((1, -1) if bottom - start_level <= start_level
+                          else (-1, 1))
+            for direction in directions:
+                while not budget_spent():
+                    level = v2l[var]
+                    if direction > 0:
+                        if level == bottom:
+                            break
+                        swap_at(level)
+                    else:
+                        if level == 0:
+                            break
+                        swap_at(level - 1)
+                    size = self._reachable_node_count()
+                    if size < best:
+                        best = size
+                        best_level = v2l[var]
+                    elif size > best * max_growth:
+                        break
+            while v2l[var] > best_level:
+                swap_at(v2l[var] - 1)
+            while v2l[var] < best_level:
+                swap_at(v2l[var])
+            best_size = best
+            # Bound the garbage the swaps leave behind between variables.
+            if len(self._var) - len(self._free) > 2 * best_size + 1024:
+                self.garbage_collect()
+        self.garbage_collect()
+        nodes_after = self._reachable_node_count()
+        self._invalidate_caches()
+        self._reorder_count += 1
+        self._reorder_nodes_before = nodes_before
+        self._reorder_nodes_after = nodes_after
+        self._reorder_pause_seconds += time.perf_counter() - start
+        return {"nodes_before": nodes_before, "nodes_after": nodes_after,
+                "swaps": self._reorder_swaps - swaps_start}
+
+    #: Work target (node visits, roughly swap count x live size) of one
+    #: automatically triggered sift: bounds the pause a ``maybe_reorder``
+    #: can inject between two gates, independent of manager size.
+    _AUTO_REORDER_WORK_TARGET = 20_000_000
+
+    def maybe_reorder(self) -> bool:
+        """Run :meth:`sift` if the auto-reorder threshold is exceeded.
+
+        Mirrors :meth:`maybe_collect`: callers invoke it at operation
+        boundaries (the simulator does, between gates).  The trigger is the
+        *reachable* node count — allocated-but-dead swap or apply debris is
+        not a reason to reorder, and a store found to be mostly garbage is
+        collected on the spot instead (so the cheap allocated-count guard
+        holds again at the following boundaries) — and the
+        sift runs under a swap budget sized so the pause stays bounded
+        (:attr:`_AUTO_REORDER_WORK_TARGET` node visits — each swap's size
+        re-scoring costs one O(live) reachability pass) even on managers
+        with hundreds of variables; the heaviest variables sift first, so
+        the budget is spent where it matters.  When the store is so large
+        that even one full variable pass would blow the target, the sift
+        is skipped entirely and only the threshold backs off — a stall of
+        minutes between two gates is worse than a bigger diagram.  After a
+        triggered reorder
+        the threshold backs off geometrically — to at least double its
+        previous value and at least twice the post-reorder live size — so
+        a workload whose node count genuinely grows reorders only a
+        logarithmic number of times instead of thrashing.  Returns True
+        when a reorder ran.
+        """
+        threshold = self._auto_reorder_threshold
+        if threshold is None:
+            return False
+        if len(self._var) - len(self._free) <= threshold:
+            return False
+        live = self._reachable_node_count()
+        if live <= threshold:
+            # The excess is garbage, not live growth: collect it so the
+            # cheap allocated-count guard above holds again at the next
+            # boundaries, instead of re-paying this reachability scan on
+            # every gate until auto-GC's (much larger) threshold trips.
+            self.garbage_collect()
+            return False
+        budget = self._AUTO_REORDER_WORK_TARGET // live
+        if budget < 2 * self.num_vars:
+            # Even one down-and-up pass of a single variable would exceed
+            # the work target: sifting is unaffordable at this size, so
+            # only back off (no sift) instead of stalling the simulation.
+            self._auto_reorder_threshold = 2 * threshold
+            return False
+        result = self.sift(max_swaps=budget)
+        self._auto_reorder_threshold = max(2 * threshold,
+                                           2 * result["nodes_after"])
+        return True
+
+    def set_order(self, new_order: Sequence[int],
+                  roots: Sequence[Bdd] = ()) -> List[Bdd]:
+        """Install ``new_order`` (variable indices, top to bottom) as the
+        variable order, in place, as a sequence of adjacent-level swaps.
+
+        Unlike the historical rebuild implementation this never resets the
+        node store: *every* registered external reference — not only the
+        handles listed in ``roots`` — stays valid and keeps denoting the
+        same function.  ``roots`` is accepted for backwards compatibility;
+        fresh handles to the (unchanged) root nodes are returned in the
+        same order.  The computed tables and memoised node counts are
+        invalidated exactly as by garbage collection.
+        """
+        order = list(new_order)
+        if sorted(order) != list(range(self.num_vars)):
+            raise ValueError("new_order must be a permutation of all variables")
+        start = time.perf_counter()
+        nodes_before = self._reachable_node_count()
+        index = self._build_var_index()
+        v2l = self._var_to_level
+        l2v = self._level_to_var
+        for target_level, var in enumerate(order):
+            # Bubble ``var`` up from its current level; levels above
+            # ``target_level`` are already final, so it only moves up.
+            while v2l[var] > target_level:
+                level = v2l[var] - 1
+                upper = l2v[level]
+                index[upper], _ = self._swap_levels(level, index[upper],
+                                                    index[var])
+        self._invalidate_caches()
+        self._reorder_count += 1
+        self._reorder_nodes_before = nodes_before
+        self._reorder_nodes_after = self._reachable_node_count()
+        self._reorder_pause_seconds += time.perf_counter() - start
+        return [self._wrap(root.node) for root in roots]
 
     def __repr__(self) -> str:
         return (f"BddManager(num_vars={self.num_vars}, "

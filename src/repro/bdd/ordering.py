@@ -1,19 +1,24 @@
-"""Variable-order utilities and a rebuild-based sifting heuristic.
+"""Variable-order utilities on top of the manager's in-place reordering.
 
 The paper's implementation relies on CUDD's dynamic variable reordering
 (the symmetric sifting of Panda/Somenzi/Plessier).  This module provides the
 equivalent capability for the pure-Python manager:
 
 * :func:`natural_order` / :func:`interleaved_order` — common static orders,
-* :func:`sift` — a sifting-style heuristic that moves one variable at a time
-  to the position minimising total live node count, rebuilding the registered
-  roots under each candidate order.
+* :func:`sift` — Rudell sifting, delegating to
+  :meth:`repro.bdd.manager.BddManager.sift`: each variable is moved through
+  every level by **in-place adjacent swaps** and left at the position
+  minimising the live node count.
 
-The rebuild-based sifting is asymptotically more expensive per move than the
-in-place level-swap used by CUDD, but it is simple, obviously correct, and
-sufficient for the circuit sizes exercised by the Python reproduction.  The
-simulator treats reordering as optional (off by default), exactly as dynamic
-reordering is a tuning knob in the original tool.
+Historically this module carried a rebuild-based sifting loop (every trial
+position rebuilt all roots via ITE under a fresh node store).  The manager
+now swaps adjacent levels in place — node ids keep their functions, so
+every registered handle survives a reorder — which made the rebuild path,
+and its silent invalidation of handles not passed as roots, obsolete.
+The simulator treats reordering as optional (off by default), exactly as
+dynamic reordering is a tuning knob in the original tool; see
+``BddManager.auto_reorder_threshold`` for the growth-triggered automatic
+mode.
 """
 
 from __future__ import annotations
@@ -49,73 +54,26 @@ def reversed_order(num_vars: int) -> List[int]:
     return list(range(num_vars - 1, -1, -1))
 
 
-def _total_nodes(roots: Sequence[Bdd]) -> int:
-    if not roots:
-        return 0
-    manager = roots[0].manager
-    return manager.count_nodes([root.node for root in roots])
-
-
 def sift(manager: BddManager, roots: Sequence[Bdd],
          max_vars: int = 0, max_growth: float = 1.2) -> Tuple[List[Bdd], List[int]]:
-    """Sifting-style reordering of ``manager`` for the functions ``roots``.
+    """Sifting-style reordering of ``manager`` (Rudell's algorithm, in place).
 
-    Variables are processed in decreasing order of how many nodes are
-    labelled with them; each is tried at every position in the order and left
-    at the best one found (smallest shared node count).  ``max_vars`` limits
-    how many variables are sifted (0 = all); ``max_growth`` aborts a trial
+    Delegates to :meth:`~repro.bdd.manager.BddManager.sift`: variables are
+    processed in decreasing order of how many nodes carry their label, each
+    is moved through all levels by adjacent swaps and left at the best
+    position found (smallest live node count).  ``max_vars`` limits how
+    many variables are sifted (0 = all); ``max_growth`` aborts a direction
     early when the node count exceeds ``max_growth`` times the best seen.
 
-    Returns ``(new_roots, new_order)``.  The input handles must not be used
-    afterwards (the manager's node store is rebuilt).
+    Because the swaps are in place, *every* handle registered with the
+    manager stays valid — the size metric covers all of them, not only
+    ``roots``.  Returns ``(new_roots, new_order)`` for backwards
+    compatibility: ``new_roots`` are fresh handles to the same (unchanged)
+    root nodes, and the input handles remain usable as well.
     """
     roots = list(roots)
-    order = manager.current_order()
     if not roots or manager.num_vars <= 1:
-        return roots, order
-
-    # Count label frequency per variable to choose the sifting schedule.
-    label_count = {var: 0 for var in order}
-    seen = set()
-    stack = [root.node for root in roots]
-    while stack:
-        node = stack.pop()
-        if node in seen or manager.is_terminal(node):
-            continue
-        seen.add(node)
-        label_count[manager.node_var(node)] += 1
-        stack.append(manager.node_low(node))
-        stack.append(manager.node_high(node))
-
-    schedule = sorted(label_count, key=lambda var: -label_count[var])
-    if max_vars:
-        schedule = schedule[:max_vars]
-
-    # ``current_roots`` always holds handles valid under the manager's
-    # *current* order; any call to ``set_order`` invalidates older handles,
-    # so every trial threads the latest handles through.
-    current_roots = roots
-    best_order = list(order)
-    best_size = _total_nodes(roots)
-
-    for var in schedule:
-        for position in range(len(best_order)):
-            candidate = [v for v in best_order if v != var]
-            candidate.insert(position, var)
-            if candidate == manager.current_order():
-                size = _total_nodes(current_roots)
-            else:
-                current_roots = manager.set_order(candidate, current_roots)
-                size = _total_nodes(current_roots)
-            if size < best_size:
-                best_size = size
-                best_order = candidate
-            elif size > max_growth * best_size and candidate != best_order:
-                # Return to the best order so the working set stays small
-                # before probing further positions.
-                current_roots = manager.set_order(best_order, current_roots)
-        # End this variable's pass on the best order found so far.
-        if manager.current_order() != best_order:
-            current_roots = manager.set_order(best_order, current_roots)
-
-    return current_roots, best_order
+        return roots, manager.current_order()
+    manager.sift(max_vars=max_vars, max_growth=max_growth)
+    return ([Bdd(manager, root.node) for root in roots],
+            manager.current_order())

@@ -154,6 +154,24 @@ class BitSlicedState:
         self.k += delta_k
 
     # ------------------------------------------------------------------ #
+    # dynamic variable reordering
+    # ------------------------------------------------------------------ #
+    def sift(self, max_vars: int = 0, max_growth: float = 1.2) -> Dict[str, int]:
+        """Dynamically reorder the manager's variables to shrink the state.
+
+        Runs the manager's in-place Rudell sifting
+        (:meth:`repro.bdd.manager.BddManager.sift`) over everything it
+        owns — all 4r slice handles of this state reorder together and stay
+        valid in place (node ids keep their functions), as does every other
+        handle registered with the shared manager.  Gate application is
+        order-independent (the rules address qubits by variable *index*),
+        so sifting is safe at any gate boundary.
+
+        Returns the sift's ``{"nodes_before", "nodes_after", "swaps"}``.
+        """
+        return self.manager.sift(max_vars=max_vars, max_growth=max_growth)
+
+    # ------------------------------------------------------------------ #
     # decoding
     # ------------------------------------------------------------------ #
     def _decode_bits(self, bits: Sequence[Bdd], assignment: Dict[int, bool]) -> int:

@@ -42,6 +42,14 @@ Hot-path design (this file issues every substrate operation of a gate):
   instead of the three-cofactor / five-connective formula.
 * Multi-control cubes are memoised per sorted controls tuple, so repeated
   Toffoli / Fredkin gates on the same controls stop rebuilding the cube.
+* **Reorder tolerance**: handlers address qubits exclusively by variable
+  *index* (``state.qubit_var``), never by level, and the substrate's
+  operations resolve levels at call time — so the variable order may change
+  between gates (an in-place sift at a gate boundary, manual or triggered
+  by ``auto_reorder_threshold``) without any handler noticing.  The control
+  cube memo below is the one structure that holds node ids across gates;
+  it is anchored in handles (reorder-safe) and dropped on every generation
+  bump anyway.  Property tests pin this invariant.
 
 The naive 2-operand composition formulas are kept (``_ripple_add``,
 ``_swap_two_vars``, ...) as the *reference path*: property tests assert the

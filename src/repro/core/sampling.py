@@ -64,6 +64,14 @@ class SliceSampler:
             (): [Bdd(self.manager, bit.node) for bit in state.all_slices()]
         }
         self._satcounts: Dict[int, int] = {0: 0}
+        # Satcounts are memoised per node id, so the memo must follow the
+        # manager's generation: a garbage collection (or a dynamic reorder,
+        # which runs one) between descent steps can recycle the id of an
+        # unanchored conjunction node for a different function.  The
+        # restricted families themselves are anchored in handles and the
+        # restrictions address qubits by variable *index*, so sampling is
+        # reorder-safe: each batch simply runs at the post-reorder levels.
+        self._satcount_generation = self.manager.cache_generation
         self._masses: Dict[Tuple[int, ...], Tuple[int, int]] = {}
         #: Number of restrict_many batches issued (one per distinct prefix).
         self.restrict_batches = 0
@@ -93,6 +101,9 @@ class SliceSampler:
         return [1 << j for j in range(r - 1)] + [-(1 << (r - 1))]
 
     def _satcount(self, node: int) -> int:
+        if self.manager.cache_generation != self._satcount_generation:
+            self._satcounts = {0: 0}
+            self._satcount_generation = self.manager.cache_generation
         cached = self._satcounts.get(node)
         if cached is None:
             cached = self.manager.satcount(node, self.state.num_qubits)

@@ -53,13 +53,29 @@ class BitSliceSimulator:
     auto_shrink:
         Drop redundant sign slices after every gate (keeps ``r`` minimal at a
         small constant cost; on by default).
+    auto_reorder_threshold:
+        Enable growth-triggered dynamic variable reordering: when the BDD
+        substrate's live node count exceeds this threshold, an in-place
+        sift runs at the next gate boundary (all slices stay valid; see
+        :meth:`repro.bdd.manager.BddManager.maybe_reorder` for the back-off
+        policy).  ``None`` (the default) leaves the manager's setting
+        untouched — reordering is off on a private manager, matching the
+        original tool where dynamic reordering is a tuning knob.  The
+        threshold is *manager state*: passing a value together with a
+        shared ``manager`` installs it on that manager for every one of
+        its users (and the back-off keeps adjusting it there); pass
+        ``None`` and configure the manager directly when several
+        simulators share one and need different policies.
     """
 
     def __init__(self, num_qubits: int, initial_state: int = 0, initial_bits: int = 2,
                  max_seconds: Optional[float] = None, max_nodes: Optional[int] = None,
-                 auto_shrink: bool = True, manager: Optional[BddManager] = None):
+                 auto_shrink: bool = True, manager: Optional[BddManager] = None,
+                 auto_reorder_threshold: Optional[int] = None):
         self.state = BitSlicedState(num_qubits, initial_state=initial_state,
                                     initial_bits=initial_bits, manager=manager)
+        if auto_reorder_threshold is not None:
+            self.state.manager.auto_reorder_threshold = auto_reorder_threshold
         self._rules = GateRuleEngine(self.state)
         self.max_seconds = max_seconds
         self.max_nodes = max_nodes
@@ -116,7 +132,10 @@ class BitSliceSimulator:
         nodes = self.state.num_nodes()
         if nodes > self.peak_nodes:
             self.peak_nodes = nodes
+        # Gate boundaries are the safe points for both store-maintenance
+        # passes: every live node is anchored in a registered handle here.
         self.state.manager.maybe_collect()
+        self.state.manager.maybe_reorder()
         self._check_limits()
 
     def run(self, circuit: QuantumCircuit) -> "BitSliceSimulator":
@@ -193,6 +212,18 @@ class BitSliceSimulator:
         """Number of basis states with non-zero amplitude, counted
         symbolically (works for registers far too wide to enumerate)."""
         return self.state.nonzero_amplitude_count()
+
+    # ------------------------------------------------------------------ #
+    # dynamic variable reordering
+    # ------------------------------------------------------------------ #
+    def sift(self, max_vars: int = 0, max_growth: float = 1.2) -> Dict[str, int]:
+        """Reorder the BDD variables in place to shrink the state now.
+
+        Explicit counterpart of the ``auto_reorder_threshold`` knob; safe at
+        any gate boundary (the state's slices stay valid).  Returns the
+        sift's ``{"nodes_before", "nodes_after", "swaps"}``.
+        """
+        return self.state.sift(max_vars=max_vars, max_growth=max_growth)
 
     # ------------------------------------------------------------------ #
     # statistics

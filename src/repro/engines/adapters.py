@@ -62,6 +62,7 @@ class BitSliceEngine(Engine):
         supported_gates=ALL_GATE_KINDS,
         exact=True,
         selection_priority=20,
+        supports_reordering=True,
         description="Exact algebraic amplitudes in bit-sliced BDDs "
                     "(SliQSim); unbounded qubit counts, memory scales with "
                     "state structure.",
@@ -71,11 +72,22 @@ class BitSliceEngine(Engine):
         super().__init__()
         self._simulator: Optional[BitSliceSimulator] = None
         self._sampler_stats: dict = {}
+        self._reorder_threshold: Optional[int] = None
+
+    def configure_reordering(self, threshold: Optional[int]) -> bool:
+        """Enable growth-triggered in-place BDD variable reordering: once
+        the substrate's live node count passes ``threshold``, a sift runs
+        at the next gate boundary (with geometric back-off; the
+        ``substrate_reorder_*`` counters in :meth:`statistics` record the
+        activity).  Takes effect at the next :meth:`prepare`."""
+        self._reorder_threshold = threshold
+        return True
 
     def prepare(self, circuit: QuantumCircuit,
                 limits: Optional[ResourceLimits] = None) -> None:
         super().prepare(circuit, limits)
-        self._simulator = BitSliceSimulator(circuit.num_qubits)
+        self._simulator = BitSliceSimulator(
+            circuit.num_qubits, auto_reorder_threshold=self._reorder_threshold)
         self._sampler_stats = {}
 
     def apply(self, gate: Gate) -> None:

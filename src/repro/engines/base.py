@@ -69,6 +69,11 @@ ALL_GATE_KINDS: FrozenSet[GateKind] = frozenset(GateKind) - {
 #: Bytes per dense complex amplitude (numpy complex128).
 BYTES_PER_AMPLITUDE = 16
 
+#: Live-node threshold installed by ``reorder=True`` requests (engines that
+#: support dynamic reordering trigger an in-place sift of their decision
+#: diagrams once they grow past it; see ``repro.run``'s ``reorder`` flag).
+DEFAULT_AUTO_REORDER_THRESHOLD = 25_000
+
 
 def dense_memory_nodes(num_qubits: int) -> int:
     """A dense ``2**n`` statevector's footprint in canonical node units
@@ -127,6 +132,12 @@ class Capabilities:
     #: The default implementation works for any engine with a correct
     #: ``probability``, so this is only ever switched off deliberately.
     supports_sampling: bool = True
+    #: True when the engine can dynamically reorder its internal
+    #: representation mid-run (the bit-sliced engine's in-place BDD
+    #: variable sifting).  ``reorder=`` requests on the front door are
+    #: honoured by :meth:`Engine.configure_reordering` when this is set and
+    #: silently ignored otherwise, so mixed-engine sweeps stay valid.
+    supports_reordering: bool = False
 
     def supports_gate(self, gate: Gate) -> bool:
         """True when the engine can apply this specific gate instance."""
@@ -268,6 +279,21 @@ class Engine(abc.ABC):
             return self.probability(qubits[:len(prefix)], list(prefix))
 
         return sample_by_descent(branch_probability, len(qubits), shots, rng)
+
+    # -- tuning ---------------------------------------------------------- #
+    def configure_reordering(self, threshold: Optional[int]) -> bool:
+        """Request growth-triggered dynamic reordering for the next run.
+
+        ``threshold`` is the live-node count past which the engine should
+        reorder its internal representation (``None`` switches the request
+        off).  Must be called before :meth:`prepare`.  The default ignores
+        the request and returns ``False``; engines declaring
+        ``capabilities.supports_reordering`` override it and return
+        ``True``.  Keeping this a no-op by default lets the front door pass
+        one ``reorder=`` flag to every engine of a sweep without changing
+        the engines that have nothing to reorder.
+        """
+        return False
 
     # -- statistics ------------------------------------------------------ #
     def statistics(self) -> Dict[str, float]:

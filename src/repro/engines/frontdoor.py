@@ -28,9 +28,10 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.circuit.circuit import QuantumCircuit
+from repro.engines.base import DEFAULT_AUTO_REORDER_THRESHOLD
 from repro.engines.dynamic import classical_register_value
 from repro.engines.limits import LimitEnforcer, ResourceLimits
 from repro.engines.registry import AUTO_ENGINE, create_engine, resolve_engine
@@ -136,7 +137,8 @@ def _sample_trajectories(instance, circuit: QuantumCircuit,
 def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
         limits: Optional[ResourceLimits] = None,
         shots: Optional[int] = None,
-        seed: Optional[int] = None) -> RunResult:
+        seed: Optional[int] = None,
+        reorder: Union[bool, int, None] = None) -> RunResult:
     """Run ``circuit`` on ``engine`` under ``limits``; classify the outcome.
 
     ``engine`` may be a canonical name (``"bitslice"``, ``"qmdd"``,
@@ -161,12 +163,26 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
     agree on the distribution (e.g. Clifford circuits), because every
     engine shares one descent and RNG protocol
     (:mod:`repro.engines.sampling`).
+
+    ``reorder`` enables growth-triggered dynamic reordering on engines that
+    support it (``Capabilities.supports_reordering`` — the bit-sliced BDD
+    engine sifts its variables in place once the node store passes the
+    threshold): ``True`` uses
+    :data:`~repro.engines.base.DEFAULT_AUTO_REORDER_THRESHOLD`, an integer
+    sets the threshold directly.  Engines without reordering ignore the
+    flag, so mixed-engine sweeps can pass it uniformly; reordering never
+    changes an engine's results (probabilities and fixed-seed counts are
+    invariant), only its node counts and timings.
     """
     limits = limits or ResourceLimits()
     if shots is not None and shots < 0:
         raise ValueError("shots must be non-negative")
     resolved = resolve_engine(engine, circuit, limits)
     instance = create_engine(resolved)
+    if reorder is not None and reorder is not False:
+        threshold = (DEFAULT_AUTO_REORDER_THRESHOLD if reorder is True
+                     else int(reorder))
+        instance.configure_reordering(threshold)
     rng = None
     if shots is not None or circuit.has_dynamic_ops():
         import numpy as np
@@ -259,17 +275,20 @@ def derive_task_seed(seed: Optional[int], index: int) -> Optional[int]:
 
 
 def _run_task(task: Tuple[str, QuantumCircuit, Optional[int], Optional[int]],
-              limits: Optional[ResourceLimits]) -> RunResult:
+              limits: Optional[ResourceLimits],
+              reorder: Union[bool, int, None] = None) -> RunResult:
     """Process-pool worker: one (engine, circuit, shots, seed) task."""
     engine, circuit, shots, seed = task
-    return run(circuit, engine=engine, limits=limits, shots=shots, seed=seed)
+    return run(circuit, engine=engine, limits=limits, shots=shots, seed=seed,
+               reorder=reorder)
 
 
 def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
               limits: Optional[ResourceLimits] = None,
               jobs: int = 1,
               shots: Optional[int] = None,
-              seed: Optional[int] = None) -> List[RunResult]:
+              seed: Optional[int] = None,
+              reorder: Union[bool, int, None] = None) -> List[RunResult]:
     """Execute (engine, circuit) tasks, optionally on process workers.
 
     ``jobs <= 1`` runs serially in-process.  With ``jobs > 1`` the tasks are
@@ -282,6 +301,9 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
     counts of every task — and the ``to_dict(timings=False)``
     serialisations — are byte-identical between serial and parallel runs.
 
+    ``reorder`` applies uniformly to every task (engines without reordering
+    support ignore it), exactly like :func:`run`'s flag.
+
     Engines registered at import time (everything in :mod:`repro.engines`
     and any module imported before the pool starts) are available in the
     workers; engines registered dynamically inside a ``__main__`` script are
@@ -290,9 +312,10 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
     specs = [(engine, circuit, shots, derive_task_seed(seed, index))
              for index, (engine, circuit) in enumerate(tasks)]
     if jobs <= 1 or len(specs) <= 1:
-        return [_run_task(spec, limits) for spec in specs]
+        return [_run_task(spec, limits, reorder) for spec in specs]
     with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-        futures = [pool.submit(_run_task, spec, limits) for spec in specs]
+        futures = [pool.submit(_run_task, spec, limits, reorder)
+                   for spec in specs]
         return [future.result() for future in futures]
 
 
@@ -301,13 +324,16 @@ def run_sweep(circuits: Sequence[QuantumCircuit],
               limits: Optional[ResourceLimits] = None,
               jobs: int = 1,
               shots: Optional[int] = None,
-              seed: Optional[int] = None) -> List[RunResult]:
+              seed: Optional[int] = None,
+              reorder: Union[bool, int, None] = None) -> List[RunResult]:
     """Run every circuit on every engine (circuit-major order).
 
     Returns ``len(circuits) * len(engines)`` results ordered as
     ``(circuit[0], engines...), (circuit[1], engines...), ...`` —
     deterministic regardless of ``jobs``.  ``shots`` / ``seed`` sample
-    measurement counts per run exactly as in :func:`run_tasks`.
+    measurement counts per run exactly as in :func:`run_tasks`, and
+    ``reorder`` enables dynamic reordering on capable engines per run.
     """
     tasks = [(engine, circuit) for circuit in circuits for engine in engines]
-    return run_tasks(tasks, limits=limits, jobs=jobs, shots=shots, seed=seed)
+    return run_tasks(tasks, limits=limits, jobs=jobs, shots=shots, seed=seed,
+                     reorder=reorder)

@@ -32,6 +32,9 @@ GAUGE_KEYS = frozenset({
     "peak_live_nodes",
     "unique_size",
     "cache_generation",
+    # Node counts of the *most recent* reorder, not monotone totals.
+    "reorder_nodes_before",
+    "reorder_nodes_after",
 })
 
 Number = Union[int, float]

@@ -50,6 +50,34 @@ class TestGenerationInvalidation:
         assert manager.cache_generation == start + 2
         manager.set_order([3, 2, 1, 0], [f, g])
         assert manager.cache_generation == start + 3
+        manager.swap_adjacent_levels(1)
+        assert manager.cache_generation == start + 4
+        after_swap = manager.cache_generation
+        manager.sift()  # runs its own GCs; must advance at least once
+        assert manager.cache_generation > after_swap
+
+    def test_size_cache_invalidated_by_reordering_exactly_as_by_gc(self):
+        """``count_nodes`` memo entries must not survive any reorder event:
+        an in-place swap changes the structure (and therefore the size)
+        behind unchanged node ids, which is precisely the staleness GC
+        invalidation guards against."""
+        manager = BddManager(6)
+        f = ((manager.var(0) & manager.var(1))
+             | (manager.var(2) & manager.var(3))
+             | (manager.var(4) & manager.var(5)))
+        good = f.count_nodes()
+        assert f.count_nodes() == good  # memoised second query
+        manager.set_order([0, 2, 4, 1, 3, 5], [f])
+        bad = f.count_nodes()
+        assert bad > good  # a stale memo would still report ``good``
+        # And the per-swap path invalidates too, not only set_order/sift.
+        manager.swap_adjacent_levels(0)
+        oracle = BddManager(6)
+        h = ((oracle.var(0) & oracle.var(1))
+             | (oracle.var(2) & oracle.var(3))
+             | (oracle.var(4) & oracle.var(5)))
+        oracle.set_order(manager.current_order(), [h])
+        assert f.count_nodes() == h.count_nodes()
 
     def test_tables_are_empty_after_gc_and_reorder(self):
         manager = BddManager(4)

@@ -1,0 +1,503 @@
+"""The in-place dynamic reordering subsystem: adjacent-level swaps, Rudell
+sifting, growth-triggered auto-reorder, and the swap-based ``set_order``.
+
+The safety story of in-place reordering is that *node ids keep denoting the
+same Boolean functions*: external handles survive untouched, and only the
+internal wiring of the two affected levels changes per swap.  Every test
+here checks some facet of that invariant — semantics against truth-table
+oracles, handle-id preservation, satcount invariance, deep managers at a
+tiny recursion limit — plus a regression pinning the historical
+``set_order`` behaviour of silently dropping every external reference not
+passed in ``roots``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import Bdd, BddManager, sift
+from repro.bdd.manager import FALSE, TRUE
+
+
+NUM_VARS = 6
+
+
+def all_assignments(num_vars=NUM_VARS):
+    for values in itertools.product([False, True], repeat=num_vars):
+        yield dict(enumerate(values))
+
+
+def random_function(manager, seed, size=12):
+    """A deterministic random function built from literals and connectives."""
+    rng = random.Random(seed)
+    literals = [manager.var(i) for i in range(manager.num_vars)]
+    literals += [~lit for lit in literals]
+    f = rng.choice(literals)
+    for _ in range(size):
+        op = rng.randrange(3)
+        g = rng.choice(literals)
+        if op == 0:
+            f = f & g
+        elif op == 1:
+            f = f | g
+        else:
+            f = f ^ g
+    return f
+
+
+def truth_table(function, num_vars=NUM_VARS):
+    return tuple(function.evaluate(a) for a in all_assignments(num_vars))
+
+
+class TestSwapAdjacentLevels:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_swap_preserves_semantics_and_handle_ids(self, seed):
+        manager = BddManager(NUM_VARS)
+        f = random_function(manager, seed)
+        g = random_function(manager, seed + 100)
+        expected_f = truth_table(f)
+        expected_g = truth_table(g)
+        ids = (f.node, g.node)
+        rng = random.Random(seed)
+        for _ in range(20):
+            level = rng.randrange(NUM_VARS - 1)
+            manager.swap_adjacent_levels(level)
+            # In-place: the registered handles keep their node ids and
+            # every id keeps its function.
+            assert (f.node, g.node) == ids
+            assert truth_table(f) == expected_f
+            assert truth_table(g) == expected_g
+        assert sorted(manager.current_order()) == list(range(NUM_VARS))
+
+    def test_swap_is_an_involution_on_structure(self):
+        manager = BddManager(4)
+        f = (manager.var(0) & manager.var(1)) | (manager.var(2) ^ manager.var(3))
+        order = manager.current_order()
+        size = f.count_nodes()
+        manager.swap_adjacent_levels(1)
+        assert manager.current_order() != order
+        manager.swap_adjacent_levels(1)
+        assert manager.current_order() == order
+        assert f.count_nodes() == size
+
+    def test_swap_updates_order_bookkeeping(self):
+        manager = BddManager(4)
+        manager.swap_adjacent_levels(2)
+        assert manager.current_order() == [0, 1, 3, 2]
+        assert manager.level_of(3) == 2
+        assert manager.level_of(2) == 3
+        assert manager.var_at_level(2) == 3
+
+    def test_swap_rejects_bad_levels(self):
+        manager = BddManager(3)
+        with pytest.raises(ValueError):
+            manager.swap_adjacent_levels(-1)
+        with pytest.raises(ValueError):
+            manager.swap_adjacent_levels(2)  # no level below the last
+
+    def test_swap_independent_levels_rewires_nothing(self):
+        manager = BddManager(4)
+        f = manager.var(0) & manager.var(3)
+        assert manager.swap_adjacent_levels(1) == 0  # x1/x2 absent from f
+        assert truth_table(f, 4) == truth_table(f, 4)
+        assert f.evaluate({0: True, 1: False, 2: False, 3: True})
+
+    def test_swap_preserves_satcount(self):
+        manager = BddManager(NUM_VARS)
+        f = random_function(manager, 3)
+        expected = f.satcount(NUM_VARS)
+        for level in range(NUM_VARS - 1):
+            manager.swap_adjacent_levels(level)
+            assert f.satcount(NUM_VARS) == expected
+
+    def test_swap_keeps_canonicity(self):
+        """After swaps, semantically equal functions still share one node."""
+        manager = BddManager(NUM_VARS)
+        f = random_function(manager, 17)
+        manager.swap_adjacent_levels(0)
+        manager.swap_adjacent_levels(3)
+        rebuilt = random_function(manager, 17)  # same construction again
+        assert rebuilt.node == f.node
+
+    def test_terminal_only_manager(self):
+        manager = BddManager(2)
+        t = manager.true
+        manager.swap_adjacent_levels(0)
+        assert t.is_true()
+
+
+class TestSift:
+    def test_sift_recovers_good_order(self):
+        manager = BddManager(6)
+        f = ((manager.var(0) & manager.var(1))
+             | (manager.var(2) & manager.var(3))
+             | (manager.var(4) & manager.var(5)))
+        manager.set_order([0, 2, 4, 1, 3, 5], [f])
+        bad_size = f.count_nodes()
+        node_before = f.node
+        stats = manager.sift()
+        assert f.node == node_before  # handles survive in place
+        assert stats["nodes_after"] <= stats["nodes_before"]
+        assert f.count_nodes() < bad_size
+        for assignment in all_assignments(6):
+            expected = ((assignment[0] and assignment[1])
+                        or (assignment[2] and assignment[3])
+                        or (assignment[4] and assignment[5]))
+            assert f.evaluate(assignment) == expected
+
+    def test_sift_scores_every_registered_root(self):
+        """The size metric covers everything in ``_external_refs``, not a
+        caller-chosen subset: a function never passed anywhere still
+        constrains the chosen order and stays valid."""
+        manager = BddManager(6)
+        f = (manager.var(0) & manager.var(3)) | (manager.var(1) & manager.var(4))
+        g = manager.var(2) ^ manager.var(5)
+        expected_f = truth_table(f)
+        expected_g = truth_table(g)
+        manager.sift()
+        assert truth_table(f) == expected_f
+        assert truth_table(g) == expected_g
+
+    def test_sift_max_growth_and_max_vars(self):
+        manager = BddManager(6)
+        f = random_function(manager, 5, size=20)
+        expected = truth_table(f)
+        stats = manager.sift(max_vars=2, max_growth=1.05)
+        assert stats["swaps"] >= 0
+        assert truth_table(f) == expected
+
+    def test_sift_on_single_variable_manager(self):
+        manager = BddManager(1)
+        f = manager.var(0)
+        stats = manager.sift()
+        assert stats["swaps"] == 0
+        assert f.evaluate({0: True})
+
+    def test_sift_returns_consistent_stats(self):
+        manager = BddManager(6)
+        f = random_function(manager, 9, size=16)
+        stats = manager.sift()
+        perf = manager.perf_stats()
+        assert perf["reorder_count"] == 1
+        assert perf["reorder_nodes_before"] == stats["nodes_before"]
+        assert perf["reorder_nodes_after"] == stats["nodes_after"]
+        assert perf["reorder_swaps"] >= stats["swaps"]
+        assert perf["reorder_pause_seconds"] > 0.0
+        assert manager.count_nodes([f.node]) <= stats["nodes_after"]
+
+    def test_module_level_sift_wrapper(self):
+        manager = BddManager(6)
+        f = ((manager.var(0) & manager.var(1))
+             | (manager.var(2) & manager.var(3))
+             | (manager.var(4) & manager.var(5)))
+        manager.set_order([0, 2, 4, 1, 3, 5], [f])
+        bad_size = f.count_nodes()
+        (f_sifted,), new_order = sift(manager, [f])
+        assert f_sifted.node == f.node  # in place: same node id
+        assert f_sifted.count_nodes() <= bad_size
+        assert sorted(new_order) == list(range(6))
+        assert new_order == manager.current_order()
+
+
+class TestAutoReorder:
+    def test_maybe_reorder_fires_and_backs_off(self):
+        manager = BddManager(6, auto_reorder_threshold=4)
+        f = manager.true
+        for index in range(6):
+            f = f & manager.var(index)
+        assert f.count_nodes() > 4  # genuinely live above the threshold
+        assert manager.maybe_reorder() is True
+        stats = manager.perf_stats()
+        assert stats["reorder_count"] == 1
+        # Geometric back-off: at least double the old threshold.
+        assert manager.auto_reorder_threshold >= 8
+
+    def test_maybe_reorder_disabled_by_default(self):
+        manager = BddManager(4)
+        _ = random_function(manager, 1)
+        assert manager.auto_reorder_threshold is None
+        assert manager.maybe_reorder() is False
+        assert manager.perf_stats()["reorder_count"] == 0
+
+    def test_maybe_reorder_below_threshold_is_noop(self):
+        manager = BddManager(4, auto_reorder_threshold=1_000_000)
+        _ = random_function(manager, 1)
+        assert manager.maybe_reorder() is False
+
+    def test_threshold_settable_at_runtime(self):
+        manager = BddManager(4)
+        manager.auto_reorder_threshold = 3
+        f = manager.true
+        for index in range(4):
+            f = f & manager.var(index)
+        assert f.count_nodes() > 3
+        assert manager.maybe_reorder() is True
+
+    def test_maybe_reorder_ignores_garbage(self):
+        """The trigger scores *reachable* nodes: a store full of dead apply
+        debris is the garbage collector's business, not a reorder trigger."""
+        manager = BddManager(6, auto_reorder_threshold=8)
+        f = random_function(manager, 6, size=24)
+        del f  # everything becomes garbage; allocation stays high
+        assert manager.num_live_nodes() > 8
+        assert manager.maybe_reorder() is False
+        assert manager.perf_stats()["reorder_count"] == 0
+
+    def test_maybe_reorder_skips_unaffordable_sift(self):
+        """When even one variable pass would blow the pause work target the
+        trigger must back off without sifting — a minutes-long stall
+        between two gates is worse than a bigger diagram."""
+        manager = BddManager(6, auto_reorder_threshold=4)
+        f = manager.true
+        for index in range(6):
+            f = f & manager.var(index)
+        manager._AUTO_REORDER_WORK_TARGET = 1  # pretend the store is huge
+        assert manager.maybe_reorder() is False
+        assert manager.perf_stats()["reorder_count"] == 0
+        assert manager.auto_reorder_threshold == 8  # still backs off
+
+    def test_sift_max_swaps_budget(self):
+        manager = BddManager(6)
+        f = random_function(manager, 7, size=20)
+        expected = truth_table(f)
+        stats = manager.sift(max_swaps=4)
+        # The budget stops new variables after the first pass; one pass is
+        # at most 3 * num_vars swaps (down, up, and the move back).
+        assert stats["swaps"] <= 3 * 6
+        assert truth_table(f) == expected
+
+
+class TestSetOrderBySwaps:
+    def test_set_order_installs_exact_order(self):
+        manager = BddManager(5)
+        f = random_function(manager, 21)
+        expected = truth_table(f, 5)
+        for order in ([4, 3, 2, 1, 0], [2, 0, 4, 1, 3], [0, 1, 2, 3, 4]):
+            manager.set_order(order, [f])
+            assert manager.current_order() == order
+            assert truth_table(f, 5) == expected
+
+    def test_set_order_preserves_unlisted_external_refs(self):
+        """Regression: the historical rebuild-based ``set_order`` reset
+        ``_external_refs`` to ``{}``, so any live handle not listed in
+        ``roots`` dangled — it vanished from the reference table, and the
+        next garbage collection freed its nodes while the handle still
+        pointed at them.  The swap-based reorder must keep every
+        registered reference."""
+        manager = BddManager(4)
+        f = (manager.var(0) & manager.var(2)) | (manager.var(1) & manager.var(3))
+        g = manager.var(0) ^ manager.var(3)
+        expected_g = truth_table(g, 4)
+        # Only f is passed as a root; g must survive anyway.
+        manager.set_order([3, 1, 2, 0], [f])
+        assert g.node in manager._external_refs
+        manager.garbage_collect()  # would have freed g's nodes before
+        assert truth_table(g, 4) == expected_g
+        assert g.satcount(4) == 8
+
+    def test_set_order_returns_same_node_ids(self):
+        manager = BddManager(4)
+        f = random_function(manager, 8)
+        (returned,) = manager.set_order([3, 2, 1, 0], [f])
+        assert returned.node == f.node
+
+    def test_set_order_rejects_non_permutations(self):
+        manager = BddManager(3)
+        f = manager.var(0)
+        with pytest.raises(ValueError):
+            manager.set_order([0, 1], [f])
+        with pytest.raises(ValueError):
+            manager.set_order([0, 1, 1], [f])
+
+    def test_set_order_accepts_empty_roots(self):
+        manager = BddManager(3)
+        f = random_function(manager, 30)
+        expected = truth_table(f, 3)
+        assert manager.set_order([2, 1, 0]) == []
+        assert truth_table(f, 3) == expected
+
+
+class TestSizeCacheInvalidation:
+    def test_count_nodes_memo_invalidated_by_swap(self):
+        """The memoised node count must track the post-reorder structure —
+        exactly the GC invalidation contract."""
+        manager = BddManager(6)
+        f = ((manager.var(0) & manager.var(1))
+             | (manager.var(2) & manager.var(3))
+             | (manager.var(4) & manager.var(5)))
+        manager.set_order([0, 2, 4, 1, 3, 5], [f])
+        bad = f.count_nodes()
+        assert f.count_nodes() == bad  # memoised
+        manager.set_order([0, 1, 2, 3, 4, 5], [f])
+        good = f.count_nodes()
+        assert good < bad
+        # Oracle: the same function built fresh under the same order.
+        oracle = BddManager(6)
+        h = ((oracle.var(0) & oracle.var(1))
+             | (oracle.var(2) & oracle.var(3))
+             | (oracle.var(4) & oracle.var(5)))
+        assert good == h.count_nodes()
+
+    def test_swap_bumps_cache_generation(self):
+        manager = BddManager(4)
+        _ = random_function(manager, 11)
+        start = manager.cache_generation
+        manager.swap_adjacent_levels(0)
+        assert manager.cache_generation == start + 1
+
+    def test_sift_bumps_cache_generation(self):
+        manager = BddManager(4)
+        _ = random_function(manager, 12)
+        start = manager.cache_generation
+        manager.sift()
+        assert manager.cache_generation > start
+
+    def test_computed_tables_fresh_after_swap(self):
+        manager = BddManager(4)
+        f = random_function(manager, 13)
+        g = random_function(manager, 14)
+        _ = f & g
+        assert sum(manager.computed_table_sizes().values()) > 0
+        manager.swap_adjacent_levels(1)
+        assert sum(manager.computed_table_sizes().values()) == 0
+        # Recomputation after the swap matches the truth-table oracle.
+        conj = f & g
+        for assignment in all_assignments(4):
+            assert conj.evaluate(assignment) == (
+                f.evaluate(assignment) and g.evaluate(assignment))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.permutations(list(range(NUM_VARS))))
+def test_property_set_order_then_sift_preserve_satcount(seed, order):
+    """For random functions and random orders: satcount (and the full truth
+    table) is invariant under ``set_order`` and a subsequent ``sift``."""
+    manager = BddManager(NUM_VARS)
+    f = random_function(manager, seed)
+    expected_count = f.satcount(NUM_VARS)
+    expected_table = truth_table(f)
+    manager.set_order(list(order), [f])
+    assert f.satcount(NUM_VARS) == expected_count
+    assert truth_table(f) == expected_table
+    manager.sift()
+    assert f.satcount(NUM_VARS) == expected_count
+    assert truth_table(f) == expected_table
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.lists(st.integers(0, NUM_VARS - 2),
+                                        min_size=1, max_size=12))
+def test_property_every_adjacent_swap_preserves_semantics(seed, levels):
+    """After *every individual* adjacent swap the truth table and satcount
+    are unchanged and the handle id is stable."""
+    manager = BddManager(NUM_VARS)
+    f = random_function(manager, seed)
+    expected_count = f.satcount(NUM_VARS)
+    expected_table = truth_table(f)
+    node = f.node
+    for level in levels:
+        manager.swap_adjacent_levels(level)
+        assert f.node == node
+        assert f.satcount(NUM_VARS) == expected_count
+        assert truth_table(f) == expected_table
+
+
+class TestDeepManagerReordering:
+    """Reordering is loop-based end to end, so managers far past the
+    recursive-apply threshold must reorder under a tiny recursion limit
+    (mirrors the PR 3 deep-kernel pinning style)."""
+
+    NUM_VARS = 1500  # > _MAX_RECURSIVE_VARS
+
+    def test_deep_swap_and_sift_under_low_recursion_limit(self):
+        manager = BddManager(self.NUM_VARS)
+        f = manager.true
+        for index in range(self.NUM_VARS):
+            f = f & manager.literal(index, True)
+        old_limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(220)
+            for level in (0, self.NUM_VARS // 2, self.NUM_VARS - 2):
+                manager.swap_adjacent_levels(level)
+                assert f.satcount(self.NUM_VARS) == 1
+            stats = manager.sift(max_vars=3)
+            assert stats["nodes_after"] <= stats["nodes_before"]
+            assert f.satcount(self.NUM_VARS) == 1
+            # The all-ones cube is order-independent: one chain of nodes.
+            assert f.count_nodes() == self.NUM_VARS + 2
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    def test_deep_set_order_under_low_recursion_limit(self):
+        manager = BddManager(self.NUM_VARS)
+        f = manager.true
+        for index in range(0, self.NUM_VARS, 7):
+            f = f & manager.literal(index, index % 2 == 0)
+        expected = f.satcount(self.NUM_VARS)
+        old_limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(220)
+            order = list(range(self.NUM_VARS - 1, -1, -1))
+            manager.set_order(order, [f])
+            assert manager.current_order() == order
+            assert f.satcount(self.NUM_VARS) == expected
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+
+class TestGarbageInteraction:
+    def test_swap_garbage_is_collectable(self):
+        """Nodes orphaned by rewiring stay allocated only until the next GC
+        and never leak into live structure."""
+        manager = BddManager(NUM_VARS)
+        f = random_function(manager, 41, size=20)
+        expected = truth_table(f)
+        for level in range(NUM_VARS - 1):
+            manager.swap_adjacent_levels(level)
+        allocated = manager.num_live_nodes()
+        manager.garbage_collect()
+        assert manager.num_live_nodes() <= allocated
+        assert truth_table(f) == expected
+        # Everything still allocated is reachable from the handles.
+        assert manager.num_live_nodes() == manager.count_nodes(
+            list(manager._external_refs))
+
+    def test_reorder_after_gc_recycles_slots_correctly(self):
+        manager = BddManager(NUM_VARS)
+        f = random_function(manager, 51, size=18)
+        g = random_function(manager, 52, size=18)
+        del g
+        manager.garbage_collect()
+        expected = truth_table(f)
+        manager.sift()
+        assert truth_table(f) == expected
+
+
+def test_reorder_counters_reset():
+    manager = BddManager(4)
+    _ = random_function(manager, 61)
+    manager.sift()
+    manager.reset_perf_counters()
+    stats = manager.perf_stats()
+    assert stats["reorder_count"] == 0
+    assert stats["reorder_swaps"] == 0
+    assert stats["reorder_pause_seconds"] == 0.0
+    assert stats["reorder_nodes_before"] == 0
+    assert stats["reorder_nodes_after"] == 0
+
+
+def test_handles_created_mid_reordering_are_wrappable():
+    """Fresh handles over existing node ids stay usable across reorders."""
+    manager = BddManager(4)
+    f = random_function(manager, 71)
+    alias = Bdd(manager, f.node)
+    manager.sift()
+    assert alias.node == f.node
+    assert truth_table(alias, 4) == truth_table(f, 4)
+    assert manager.node_var(f.node) != -2  # never freed
+    assert FALSE == 0 and TRUE == 1  # terminals untouched by reordering

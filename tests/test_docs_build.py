@@ -65,6 +65,17 @@ class TestSitePages:
     def test_link_check_detects_breakage(self, build_docs):
         assert build_docs.check_links({"a.md": "see [b](missing.md)"})
 
+    def test_mkdocs_nav_matches_fallback_nav(self, build_docs):
+        """mkdocs.yml duplicates the NAV list; a page added to one but not
+        the other silently vanishes from whichever renderer CI happens to
+        take, so the two lists must stay in lockstep."""
+        import re
+
+        text = (REPO_ROOT / "mkdocs.yml").read_text(encoding="utf-8")
+        nav_block = text.split("nav:", 1)[1]
+        entries = re.findall(r"-\s*(.+?):\s*(\S+\.md)", nav_block)
+        assert [(title, page) for title, page in entries] == build_docs.NAV
+
 
 class TestFallbackRenderer:
     def test_markdown_features_render(self, build_docs):
