@@ -1,0 +1,106 @@
+"""Smoke benchmarks for cross-run amortisation (result + prefix caching).
+
+Two guarantees are gated here, with in-benchmark assertions so CI fails
+loudly if amortisation ever stops paying:
+
+* ``test_result_cache_warm_hit`` — serving a memoised ``repro.run()``
+  result must be at least **5x** faster than the cold run that populated
+  it (a hit is a lock + LRU probe + deep copy; no engine is built).
+* ``test_prefix_resume_append_gate`` — the canonical incremental
+  workload: re-running a circuit with one appended gate against a
+  retained session must be at least **1.5x** faster than replaying the
+  whole circuit from ``|0>`` (the resume forks the retained 4r slices
+  and executes a single gate plus the end-of-run query).
+
+Only round-count-independent quantities go into ``extra_info`` as
+integers (the regression gate pins those exactly): the resumed depth and
+the sampled-outcome structure.  The measured speedups are recorded as
+floats — informational, machine-dependent.
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro
+from repro import QuantumCircuit, ResultCache, SessionPool
+from repro.engines import ResourceLimits
+
+LIMITS = ResourceLimits(max_seconds=60.0, max_nodes=200_000)
+SHOTS = 1024
+SEED = 17
+
+#: Structured 10-qubit workload: GHZ backbone with non-Clifford tails —
+#: big enough that a cold run does real BDD work, small enough for CI.
+WORKLOAD = QuantumCircuit(10, name="cache_workload").h(0)
+for _qubit in range(9):
+    WORKLOAD.cx(_qubit, _qubit + 1)
+WORKLOAD.t(2).h(2).t(5).h(5).t(8)
+SAMPLED = WORKLOAD.copy(name="cache_sampled").measure_all()
+
+
+def _best_of(callable_, repeats=3):
+    """Best-of-N wall-clock seconds of one call (jitter-resistant cold
+    reference for the speedup assertions)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_result_cache_warm_hit(benchmark):
+    """Warm ``ResultCache`` hit vs the cold run that populated it."""
+    cache = ResultCache()
+    cold_seconds, cold = _best_of(
+        lambda: repro.run(SAMPLED, engine="bitslice", limits=LIMITS,
+                          shots=SHOTS, seed=SEED))
+    repro.run(SAMPLED, engine="bitslice", limits=LIMITS, shots=SHOTS,
+              seed=SEED, cache=cache)
+
+    def warm_hit():
+        return repro.run(SAMPLED, engine="bitslice", limits=LIMITS,
+                         shots=SHOTS, seed=SEED, cache=cache)
+
+    hit = benchmark(warm_hit)
+    assert hit.extra.get("cache_hit") == 1
+    assert hit.counts == cold.counts
+    warm_seconds = benchmark.stats.stats.min
+    speedup = cold_seconds / warm_seconds
+    assert speedup >= 5.0, (
+        f"warm hit only {speedup:.1f}x faster than cold "
+        f"({warm_seconds:.6f}s vs {cold_seconds:.6f}s)")
+    benchmark.extra_info["status"] = hit.status
+    benchmark.extra_info["distinct_outcomes"] = len(hit.counts)
+    benchmark.extra_info["cache_entries"] = len(cache)
+    benchmark.extra_info["warm_hit_speedup"] = round(speedup, 2)
+
+
+def test_prefix_resume_append_gate(benchmark):
+    """Append-one-gate re-run: prefix resume vs full cold replay."""
+    pool = SessionPool()
+    repro.run(WORKLOAD, engine="bitslice", limits=LIMITS, sessions=pool)
+    extended = WORKLOAD.copy(name="cache_extended").t(0)
+    cold_seconds, cold = _best_of(
+        lambda: repro.run(extended, engine="bitslice", limits=LIMITS))
+
+    def resume():
+        return repro.run(extended, engine="bitslice", limits=LIMITS,
+                         sessions=pool)
+
+    resumed = benchmark(resume)
+    # Round 1 resumes from the deposited base prefix; every later round
+    # matches the full extended sequence the previous round deposited.
+    assert resumed.extra.get("resumed_from_depth", 0) >= WORKLOAD.num_gates
+    assert resumed.final_probability == cold.final_probability
+    assert resumed.peak_memory_nodes == cold.peak_memory_nodes
+    warm_seconds = benchmark.stats.stats.min
+    speedup = cold_seconds / warm_seconds
+    assert speedup >= 1.5, (
+        f"prefix resume only {speedup:.2f}x faster than cold replay "
+        f"({warm_seconds:.6f}s vs {cold_seconds:.6f}s)")
+    benchmark.extra_info["status"] = resumed.status
+    benchmark.extra_info["peak_memory_nodes"] = resumed.peak_memory_nodes
+    benchmark.extra_info["prefix_resume_speedup"] = round(speedup, 2)

@@ -47,6 +47,7 @@ NAV: List[Tuple[str, str]] = [
     ("Paper mapping", "paper-mapping.md"),
     ("Dynamic reordering", "reordering.md"),
     ("Sampling & dynamic circuits", "sampling.md"),
+    ("Result & prefix caching", "caching.md"),
     ("Writing an engine", "engine-authors.md"),
     ("Performance counters", "perf-counters.md"),
     ("API reference", "api.md"),
@@ -63,6 +64,9 @@ API_MODULES = [
     "repro.engines.result",
     "repro.engines.sampling",
     "repro.engines.dynamic",
+    "repro.cache.fingerprint",
+    "repro.cache.result_cache",
+    "repro.cache.sessions",
     "repro.core.simulator",
     "repro.core.bitslice",
     "repro.core.measurement",

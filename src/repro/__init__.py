@@ -23,6 +23,11 @@ SliQSim simulator), together with every substrate it depends on:
   capability-aware registry with aliases and ``"auto"`` selection, the
   ``repro.run()`` front door and the parallel ``run_sweep()`` executor.
 
+* :mod:`repro.cache` — cross-run amortisation: canonical circuit
+  fingerprints, the ``ResultCache`` memoising finished runs, and the
+  ``SessionPool`` resuming the bit-sliced engine from retained
+  gate-sequence prefixes (``repro.run(..., cache=..., sessions=...)``).
+
 The most common entry points are re-exported here::
 
     import repro
@@ -66,6 +71,12 @@ from repro.engines import (
     select_engine,
 )
 
+# Imported after :mod:`repro.engines`: the cache package's modules depend on
+# ``engines.base`` / ``engines.result``, and the engines front door depends
+# on the cache modules — resolving the engines package first lets both
+# import orders (``import repro.cache`` included) settle without a cycle.
+from repro.cache import ResultCache, SessionPool, circuit_fingerprint
+
 __version__ = "0.1.0"
 
 __all__ = [
@@ -82,6 +93,9 @@ __all__ = [
     "Capabilities",
     "Engine",
     "ResourceLimits",
+    "ResultCache",
+    "SessionPool",
+    "circuit_fingerprint",
     "RunResult",
     "UnknownEngineError",
     "available_engines",

@@ -1,0 +1,79 @@
+"""Canonical circuit fingerprints for cross-run result memoisation.
+
+A fingerprint is a stable SHA-256 digest over the *normalised* gate list of
+a circuit (:func:`repro.circuit.transforms.fingerprint_normal_form`: SWAP
+and Fredkin gates expanded, name dropped), together with everything else
+that determines a run's deterministic outputs: the qubit count, the
+classical register width, and the terminal measurement map in marker order
+(marker order fixes the shared descent sampler's RNG consumption, so two
+circuits measuring the same qubits in a different order sample different
+counts and must fingerprint differently).
+
+The digest is invariant under no-op transforms — renaming, copying,
+composing with an empty circuit, re-stating an existing measurement marker,
+writing a SWAP natively vs as three CNOTs — and is sensitive to everything
+semantic: gate kinds, wires, classical conditions, measurement layout.
+These invariances are pinned by ``tests/cache/test_fingerprint.py``.
+
+Fingerprints are pure-content hashes: equal digests mean equal normalised
+programs (up to SHA-256 collisions), independent of process, platform and
+interpreter hash randomisation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate
+from repro.circuit.transforms import fingerprint_normal_form
+
+#: Version tag mixed into every digest; bump it whenever the token layout
+#: changes so stale persisted fingerprints can never alias fresh ones.
+FINGERPRINT_VERSION = 1
+
+#: One gate as a hashable token (everything semantic, nothing cosmetic).
+GateToken = Tuple[str, Tuple[int, ...], Tuple[int, ...], Tuple[int, ...],
+                  Optional[int]]
+
+
+def gate_token(gate: Gate) -> GateToken:
+    """The canonical hashable token of one gate application."""
+    return (gate.kind.value, tuple(gate.targets), tuple(gate.controls),
+            tuple(gate.clbits), gate.condition)
+
+
+def gate_tokens(circuit: QuantumCircuit) -> Tuple[GateToken, ...]:
+    """The circuit's raw gate stream as canonical tokens (no normalisation —
+    this is the sequence prefix matching compares, where a SWAP and its
+    three-CNOT expansion are *different* execution plans)."""
+    return tuple(gate_token(gate) for gate in circuit.gates)
+
+
+def circuit_fingerprint(circuit: QuantumCircuit) -> str:
+    """Stable hex fingerprint of ``circuit``'s normalised program.
+
+    The digest covers the normal form's gate tokens, ``num_qubits``,
+    ``num_clbits`` and the terminal measurement map in marker order; the
+    circuit name and the builder history are excluded.  Equal fingerprints
+    identify circuits whose runs are interchangeable for every entry of the
+    deterministic result serialisation
+    (``RunResult.to_dict(timings=False)``).
+    """
+    normalised = fingerprint_normal_form(circuit)
+    hasher = hashlib.sha256()
+    hasher.update(f"repro-fingerprint-v{FINGERPRINT_VERSION}\0".encode())
+    hasher.update(f"q={normalised.num_qubits};c={normalised.num_clbits}\0".encode())
+    for token in gate_tokens(normalised):
+        hasher.update(repr(token).encode())
+        hasher.update(b"\0")
+    hasher.update(b"measure\0")
+    for pair in normalised.final_measurement_map():
+        hasher.update(repr(pair).encode())
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
+__all__ = ["FINGERPRINT_VERSION", "GateToken", "circuit_fingerprint",
+           "gate_token", "gate_tokens"]

@@ -1,0 +1,216 @@
+"""Retained session states for gate-sequence **prefix reuse**.
+
+The bit-sliced engine's state after ``k`` gates is a pure function of the
+first ``k`` gates (BDDs are canonical, the omega-algebra coefficients are
+exact integers), so a retained state can stand in for replaying that prefix
+from ``|0>`` — the simulator analogue of KV-prefix caching in inference
+stacks.  A :class:`SessionPool` keeps a bounded set of finished run states
+alive (4r slice roots plus their manager); an incoming circuit that extends
+a retained gate sequence resumes from the stored slices and only executes
+the suffix.
+
+Correctness machinery:
+
+* **Forking.**  A resume never mutates the stored state: the pool hands out
+  a :meth:`fork <repro.core.simulator.BitSliceSimulator.fork>` of the
+  retained payload (new handle lists onto the same manager — BDD handles
+  are immutable, so this is O(4r) and exact) and the stored entry remains
+  matchable for sibling requests that branch off the same prefix.
+* **Chain locking.**  A fork shares its manager with the stored entry, and
+  the pure-Python node store is not safe under concurrent mutation; every
+  entry carries a *chain lock* covering all states on one manager.  A
+  resumed run holds it until it finishes; concurrent requests for the same
+  chain simply miss and run cold (counted as ``prefix_busy``).
+* **Generation invalidation.**  Every entry records its manager's
+  ``cache_generation`` at deposit time.  GC, reordering and explicit cache
+  clears bump that generation; a bump observed *between* deposit and the
+  next match means something other than this pool touched the manager
+  (collected nodes, moved levels), so the entry is conservatively dropped
+  (``prefix_invalidations``) rather than resumed.  Bumps caused by a
+  resumed run itself are re-recorded at its own deposit, so ordinary
+  GC/reorder activity inside a run never poisons the chain.
+
+Eligibility (enforced by the front door, not here): engines declaring
+``Capabilities.supports_prefix_resume``, static circuits only (collapsing
+instructions make the retained state trajectory-dependent), and matching
+``reorder`` settings (the threshold lives on the shared manager).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.cache.fingerprint import GateToken
+from repro.perf.counters import PerfCounters
+
+#: Pool entry key: (num_qubits, normalised reorder threshold, gate tokens).
+SessionKey = Tuple[int, Optional[int], Tuple[GateToken, ...]]
+
+
+class _SessionEntry:
+    """One retained state: payload + the bookkeeping to resume it safely."""
+
+    __slots__ = ("key", "payload", "generation_probe", "stored_generation",
+                 "chain_lock")
+
+    def __init__(self, key: SessionKey, payload,
+                 generation_probe: Callable[[], int],
+                 chain_lock: threading.Lock):
+        self.key = key
+        self.payload = payload
+        self.generation_probe = generation_probe
+        self.stored_generation = generation_probe()
+        self.chain_lock = chain_lock
+
+
+class SessionLease:
+    """Exclusive permission to resume from one matched prefix.
+
+    Holds the matched entry's chain lock from :meth:`SessionPool.match`
+    until :meth:`release`; ``fork`` is the private, already-forked payload
+    the engine adopts, ``depth`` the number of prefix gates it already
+    contains, and ``chain_lock`` what a subsequent deposit must reuse so the
+    whole chain stays serialised.
+    """
+
+    __slots__ = ("fork", "depth", "chain_lock", "_released")
+
+    def __init__(self, fork, depth: int, chain_lock: threading.Lock):
+        self.fork = fork
+        self.depth = depth
+        self.chain_lock = chain_lock
+        self._released = False
+
+    def release(self) -> None:
+        """Release the chain lock (idempotent; always call via finally)."""
+        if not self._released:
+            self._released = True
+            self.chain_lock.release()
+
+
+class SessionPool:
+    """Bounded LRU pool of retained engine session states.
+
+    ``max_sessions`` bounds how many finished states stay alive (each holds
+    its 4r slice handles and its manager's node store); eviction is
+    least-recently-matched.  All methods are thread-safe; resumed *runs*
+    are additionally serialised per manager chain by the lease's lock.
+    """
+
+    def __init__(self, max_sessions: int = 4):
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be positive")
+        self.max_sessions = max_sessions
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[SessionKey, _SessionEntry]" = OrderedDict()
+        #: ``prefix_resume_hits`` / ``prefix_resume_misses`` /
+        #: ``prefix_gates_saved`` / ``prefix_invalidations`` /
+        #: ``prefix_busy`` / ``prefix_sessions_evicted`` / ``prefix_deposits``.
+        self.counters = PerfCounters()
+
+    # ------------------------------------------------------------------ #
+    # matching
+    # ------------------------------------------------------------------ #
+    def match(self, num_qubits: int, tokens: Sequence[GateToken],
+              reorder: Optional[int]) -> Optional[SessionLease]:
+        """Lease the longest retained prefix of ``tokens``, or ``None``.
+
+        A candidate must simulate the same register width under the same
+        reordering setting, and its full stored gate sequence must be a
+        (possibly complete) prefix of the incoming one.  Stale candidates
+        (manager generation moved since deposit) are dropped on sight;
+        candidates whose chain is mid-resume elsewhere are skipped.
+        """
+        tokens = tuple(tokens)
+        with self._lock:
+            best: Optional[_SessionEntry] = None
+            for entry in list(self._entries.values()):
+                entry_qubits, entry_reorder, entry_tokens = entry.key
+                if entry_qubits != num_qubits or entry_reorder != reorder:
+                    continue
+                depth = len(entry_tokens)
+                if depth > len(tokens) or entry_tokens != tokens[:depth]:
+                    continue
+                if entry.generation_probe() != entry.stored_generation:
+                    del self._entries[entry.key]
+                    self.counters.add("prefix_invalidations")
+                    continue
+                if best is None or depth > len(best.key[2]):
+                    best = entry
+            if best is None:
+                self.counters.add("prefix_resume_misses")
+                return None
+            if not best.chain_lock.acquire(blocking=False):
+                self.counters.add("prefix_busy")
+                self.counters.add("prefix_resume_misses")
+                return None
+            try:
+                fork = best.payload.fork()
+            except Exception:
+                best.chain_lock.release()
+                raise
+            self._entries.move_to_end(best.key)
+            depth = len(best.key[2])
+            self.counters.add("prefix_resume_hits")
+            self.counters.add("prefix_gates_saved", depth)
+            return SessionLease(fork, depth, best.chain_lock)
+
+    # ------------------------------------------------------------------ #
+    # deposits
+    # ------------------------------------------------------------------ #
+    def deposit(self, num_qubits: int, tokens: Sequence[GateToken],
+                reorder: Optional[int], payload,
+                generation_probe: Callable[[], int],
+                chain_lock: Optional[threading.Lock] = None) -> None:
+        """Retain ``payload`` as the state after executing ``tokens``.
+
+        ``payload`` must expose ``fork()`` (see
+        :meth:`repro.engines.base.Engine.export_session`).  Pass the lease's
+        ``chain_lock`` when the run itself was resumed — the new entry
+        shares the manager, so it must share the serialisation lock; cold
+        runs get a fresh chain.  Re-depositing an existing key replaces the
+        old payload (and refreshes its recorded generation).
+        """
+        key: SessionKey = (num_qubits, reorder, tuple(tokens))
+        entry = _SessionEntry(key, payload, generation_probe,
+                              chain_lock or threading.Lock())
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = entry
+            self.counters.add("prefix_deposits")
+            while len(self._entries) > self.max_sessions:
+                self._entries.popitem(last=False)
+                self.counters.add("prefix_sessions_evicted")
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def hit_rate(self) -> float:
+        """Lifetime prefix-match rate of :meth:`match` calls."""
+        return self.counters.rate("prefix_resume_hits",
+                                  "prefix_resume_misses")
+
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot plus the session-count gauge and hit rate."""
+        snapshot = self.counters.snapshot()
+        with self._lock:
+            snapshot["prefix_sessions"] = len(self._entries)
+        snapshot["prefix_resume_hit_rate"] = self.hit_rate()
+        return snapshot
+
+    def clear(self) -> None:
+        """Drop every retained session (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SessionPool(sessions={len(self)}/{self.max_sessions})"
+
+
+__all__ = ["SessionKey", "SessionLease", "SessionPool"]

@@ -162,6 +162,33 @@ def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
     return optimised
 
 
+def fingerprint_normal_form(circuit: QuantumCircuit) -> QuantumCircuit:
+    """The canonical form :func:`repro.cache.circuit_fingerprint` hashes.
+
+    Two circuits that differ only by a *representation* choice — a SWAP
+    written natively vs as its three-CNOT expansion, a Fredkin vs its
+    CNOT+Toffoli+CNOT expansion, a duplicated terminal measurement marker
+    (which :meth:`~repro.circuit.circuit.QuantumCircuit.measure` already
+    treats as a no-op), or a different name — must reach the result cache
+    under the same key, so the normal form is: :func:`expand_swaps` applied
+    until no SWAP-family gate remains, the original qubit and classical
+    register widths preserved, and the terminal measurement map kept in
+    marker order (marker order is *semantic*: it fixes the shared descent
+    sampler's RNG consumption, so it is hashed, not sorted).
+
+    Deliberately **not** applied: :func:`cancel_adjacent_inverses` and
+    :func:`decompose_multi_control`.  Both preserve the final state but
+    change the simulated workload (peak node counts, ancilla register
+    width), so two circuits related by them are *not* interchangeable for a
+    cached :class:`~repro.engines.result.RunResult` whose memory statistics
+    must stay byte-identical to a cold run.
+    """
+    normalised = expand_swaps(circuit)
+    normalised.name = circuit.name
+    normalised.num_clbits = max(normalised.num_clbits, circuit.num_clbits)
+    return normalised
+
+
 def count_t_gates(circuit: QuantumCircuit) -> int:
     """Number of T / T-dagger gates (the standard fault-tolerance cost metric)."""
     return sum(1 for gate in circuit.gates if gate.kind in (GateKind.T, GateKind.TDG))

@@ -154,6 +154,29 @@ class BitSlicedState:
         self.k += delta_k
 
     # ------------------------------------------------------------------ #
+    # forking (prefix-resume support)
+    # ------------------------------------------------------------------ #
+    def fork(self) -> "BitSlicedState":
+        """An independent state sharing this state's manager.
+
+        BDD handles are immutable, so copying the 4r handle lists (plus
+        ``r`` / ``k`` / ``s``) yields a state whose future gate
+        applications never disturb the original — new nodes land in the
+        shared manager, the original's slices keep their node ids.  This is
+        what lets a retained session (:mod:`repro.cache.sessions`) be
+        resumed from without consuming it.  O(4r) handle copies, no node
+        allocation.
+        """
+        forked = BitSlicedState.__new__(BitSlicedState)
+        forked.num_qubits = self.num_qubits
+        forked.manager = self.manager
+        forked.r = self.r
+        forked.k = self.k
+        forked.s = self.s
+        forked.slices = {name: list(bits) for name, bits in self.slices.items()}
+        return forked
+
+    # ------------------------------------------------------------------ #
     # dynamic variable reordering
     # ------------------------------------------------------------------ #
     def sift(self, max_vars: int = 0, max_growth: float = 1.2) -> Dict[str, int]:

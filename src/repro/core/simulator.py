@@ -103,6 +103,31 @@ class BitSliceSimulator:
         simulator.run(circuit)
         return simulator
 
+    def fork(self) -> "BitSliceSimulator":
+        """An independent simulator continuing from this one's exact state.
+
+        The fork shares the BDD manager (see
+        :meth:`~repro.core.bitslice.BitSlicedState.fork`) and carries the
+        cumulative ``gates_applied`` and ``peak_nodes`` accounting, so a run
+        resumed from a retained prefix reports the same gate and peak-node
+        statistics as the equivalent cold run.  Gates applied to the fork
+        never disturb the original state — that is the contract prefix
+        resume (:mod:`repro.cache.sessions`) relies on.  Callers resuming
+        forks concurrently must serialise per shared manager (the session
+        pool's chain lock does); the pure-Python node store is not safe
+        under concurrent mutation.
+        """
+        forked = BitSliceSimulator.__new__(BitSliceSimulator)
+        forked.state = self.state.fork()
+        forked._rules = GateRuleEngine(forked.state)
+        forked.max_seconds = self.max_seconds
+        forked.max_nodes = self.max_nodes
+        forked.auto_shrink = self.auto_shrink
+        forked._start_time = time.perf_counter()
+        forked.gates_applied = self.gates_applied
+        forked.peak_nodes = self.peak_nodes
+        return forked
+
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #

@@ -20,6 +20,7 @@ fully featured; each adapter here is a thin lifecycle shim that
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 from repro.baselines.qmdd import QmddSimulator
@@ -63,6 +64,7 @@ class BitSliceEngine(Engine):
         exact=True,
         selection_priority=20,
         supports_reordering=True,
+        supports_prefix_resume=True,
         description="Exact algebraic amplitudes in bit-sliced BDDs "
                     "(SliQSim); unbounded qubit counts, memory scales with "
                     "state structure.",
@@ -88,6 +90,32 @@ class BitSliceEngine(Engine):
         super().prepare(circuit, limits)
         self._simulator = BitSliceSimulator(
             circuit.num_qubits, auto_reorder_threshold=self._reorder_threshold)
+        self._sampler_stats = {}
+
+    def export_session(self):
+        """The live :class:`BitSliceSimulator` as a resumable session.
+
+        The payload is the simulator itself (its ``fork()`` is the cheap
+        immutable-sharing copy the pool's contract requires); the
+        generation probe is the owning manager's ``cache_generation``, so a
+        GC / reorder / explicit clear performed outside the session chain
+        invalidates retained entries rather than being resumed over.
+        """
+        simulator = self._simulator
+        if simulator is None:
+            return None
+        manager = simulator.state.manager
+        return simulator, (lambda: manager.cache_generation)
+
+    def resume_session(self, payload, gates_already_applied: int = 0) -> None:
+        """Adopt a forked :class:`BitSliceSimulator` in place of
+        :meth:`prepare`: the engine continues from the fork's state, with
+        the gate counter seeded so ``statistics()`` reports the same
+        ``gates_applied`` (and, via the fork's carried ``peak_nodes``, the
+        same peak memory) as the equivalent cold run."""
+        self._prepared_at = time.perf_counter()
+        self._gates_applied = gates_already_applied
+        self._simulator = payload
         self._sampler_stats = {}
 
     def apply(self, gate: Gate) -> None:

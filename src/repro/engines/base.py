@@ -138,6 +138,12 @@ class Capabilities:
     #: honoured by :meth:`Engine.configure_reordering` when this is set and
     #: silently ignored otherwise, so mixed-engine sweeps stay valid.
     supports_reordering: bool = False
+    #: True when the engine can export its finished state as a resumable
+    #: session (:meth:`Engine.export_session`) and later adopt a fork of
+    #: one (:meth:`Engine.resume_session`), which is what lets the front
+    #: door's ``sessions=`` pool resume an incoming circuit from a retained
+    #: gate-sequence prefix instead of replaying it from ``|0>``.
+    supports_prefix_resume: bool = False
 
     def supports_gate(self, gate: Gate) -> bool:
         """True when the engine can apply this specific gate instance."""
@@ -294,6 +300,34 @@ class Engine(abc.ABC):
         the engines that have nothing to reorder.
         """
         return False
+
+    # -- session export / resume (prefix caching) ------------------------- #
+    def export_session(self):
+        """Export the engine's finished state for prefix retention.
+
+        Engines declaring ``capabilities.supports_prefix_resume`` return a
+        ``(payload, generation_probe)`` pair: ``payload`` is an opaque
+        session object exposing ``fork()`` (a cheap, immutable-sharing copy
+        the pool hands to later resumes), and ``generation_probe`` is a
+        zero-argument callable whose value changing signals that the
+        payload's substrate was touched externally and the session must be
+        invalidated (:mod:`repro.cache.sessions`).  The default returns
+        ``None`` — nothing is retained for engines without the capability.
+        """
+        return None
+
+    def resume_session(self, payload, gates_already_applied: int = 0) -> None:
+        """Adopt a forked session ``payload`` as the prepared state.
+
+        Replaces :meth:`prepare` on a prefix-resumed run: the engine must
+        behave exactly as if it had just executed the payload's gate prefix
+        itself (``gates_already_applied`` seeds the gate counter so
+        statistics match the equivalent cold run).  Engines without
+        ``capabilities.supports_prefix_resume`` refuse.
+        """
+        raise UnsupportedGateError(
+            f"engine {self.capabilities.name!r} does not support prefix "
+            f"resume (Capabilities.supports_prefix_resume is False)")
 
     # -- statistics ------------------------------------------------------ #
     def statistics(self) -> Dict[str, float]:

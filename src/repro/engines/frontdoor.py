@@ -22,6 +22,15 @@ deterministic serialisation (``RunResult.to_dict(timings=False)``) is
 byte-identical between the serial and parallel paths — which is what lets
 the harness regenerate the paper's Tables III-VI (and now shot-sampling
 sweeps) in parallel without changing a single reported number.
+
+Cross-run amortisation is opt-in through two keyword arguments shared by
+:func:`run`, :func:`run_tasks` and :func:`run_sweep`: ``cache=`` (a
+:class:`repro.cache.ResultCache` — finished results replayed verbatim for
+identical requests) and ``sessions=`` (a :class:`repro.cache.SessionPool`
+— retained bit-sliced states resumed when a circuit extends a stored
+gate-sequence prefix).  Both preserve the byte-identity guarantee above:
+a hit or a resume serialises identically to the cold run it stands in
+for.  See ``docs/caching.md``.
 """
 
 from __future__ import annotations
@@ -30,6 +39,14 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.cache.fingerprint import gate_tokens
+from repro.cache.result_cache import (
+    ResultCache,
+    cacheable_request,
+    normalise_reorder,
+    result_cache_key,
+)
+from repro.cache.sessions import SessionLease, SessionPool
 from repro.circuit.circuit import QuantumCircuit
 from repro.engines.base import DEFAULT_AUTO_REORDER_THRESHOLD
 from repro.engines.dynamic import classical_register_value
@@ -134,11 +151,46 @@ def _sample_trajectories(instance, circuit: QuantumCircuit,
     return counts
 
 
+def _suffix_circuit(circuit: QuantumCircuit, depth: int) -> QuantumCircuit:
+    """The unexecuted tail of ``circuit`` after its first ``depth`` gates.
+
+    Only what :func:`repro.engines.dynamic.execute_program` reads is
+    carried — the gate stream and the classical register width.  Terminal
+    measurement markers stay on the original circuit, which the front door
+    keeps using for the final query and for sampling.
+    """
+    suffix = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit.gates[depth:]:
+        suffix.append(gate)
+    suffix.num_clbits = max(suffix.num_clbits, circuit.num_clbits)
+    return suffix
+
+
+def _materialise_hit(hit: RunResult, circuit: QuantumCircuit,
+                     requested_engine: str, elapsed: float) -> RunResult:
+    """Rebrand a cache hit as the answer to *this* request.
+
+    The stored entry keeps the populating run's identity fields; the hit
+    reports the requesting circuit's name and gate count (two circuits can
+    share a fingerprint across a SWAP-expansion representation choice), the
+    caller's engine request string, and the actual (near-zero) service
+    time.  Every deterministic field is untouched.
+    """
+    hit.circuit_name = circuit.name
+    hit.num_qubits = circuit.num_qubits
+    hit.num_gates = circuit.num_gates
+    hit.requested_engine = requested_engine
+    hit.elapsed_seconds = elapsed
+    return hit
+
+
 def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
         limits: Optional[ResourceLimits] = None,
         shots: Optional[int] = None,
         seed: Optional[int] = None,
-        reorder: Union[bool, int, None] = None) -> RunResult:
+        reorder: Union[bool, int, None] = None,
+        cache: Optional[ResultCache] = None,
+        sessions: Optional[SessionPool] = None) -> RunResult:
     """Run ``circuit`` on ``engine`` under ``limits``; classify the outcome.
 
     ``engine`` may be a canonical name (``"bitslice"``, ``"qmdd"``,
@@ -173,16 +225,51 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
     flag, so mixed-engine sweeps can pass it uniformly; reordering never
     changes an engine's results (probabilities and fixed-seed counts are
     invariant), only its node counts and timings.
+
+    ``cache`` memoises finished results: a request whose
+    :func:`~repro.cache.result_cache.result_cache_key` matches a stored
+    entry is answered from the cache without touching an engine (the hit
+    carries ``extra["cache_hit"] = 1`` and this request's actual service
+    time; every deterministic field replays the cold run verbatim).
+    Unseeded sampling requests bypass the cache in both directions, and
+    only ``ok`` / ``unsupported`` outcomes are stored — TO/MO depend on
+    wall-clock scheduling.
+
+    ``sessions`` enables gate-sequence **prefix reuse** on engines
+    declaring ``Capabilities.supports_prefix_resume`` (the bit-sliced
+    engine): when the circuit's gate stream extends a pool-retained
+    sequence, the engine resumes from the stored slice roots and executes
+    only the suffix (``extra["resumed_from_depth"]`` records the skipped
+    depth), and successful static runs deposit their final state back into
+    the pool.  Dynamic circuits never match or deposit — collapse makes
+    their states trajectory-dependent.
     """
     limits = limits or ResourceLimits()
     if shots is not None and shots < 0:
         raise ValueError("shots must be non-negative")
+    entered = time.perf_counter()
     resolved = resolve_engine(engine, circuit, limits)
+    cache_key = None
+    if cache is not None and cacheable_request(shots, seed):
+        cache_key = result_cache_key(circuit, resolved, seed, shots, reorder,
+                                     limits)
+        hit = cache.lookup(cache_key)
+        if hit is not None:
+            return _materialise_hit(hit, circuit, engine,
+                                    time.perf_counter() - entered)
     instance = create_engine(resolved)
     if reorder is not None and reorder is not False:
         threshold = (DEFAULT_AUTO_REORDER_THRESHOLD if reorder is True
                      else int(reorder))
         instance.configure_reordering(threshold)
+    prefix_eligible = (sessions is not None
+                       and instance.capabilities.supports_prefix_resume
+                       and not circuit.has_dynamic_ops())
+    tokens = gate_tokens(circuit) if prefix_eligible else ()
+    norm_reorder = normalise_reorder(reorder)
+    lease: Optional[SessionLease] = None
+    if prefix_eligible:
+        lease = sessions.match(circuit.num_qubits, tokens, norm_reorder)
     rng = None
     if shots is not None or circuit.has_dynamic_ops():
         import numpy as np
@@ -198,52 +285,83 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
     counts_width: Optional[int] = None
     trajectory_mode = bool(shots) and circuit.has_dynamic_ops()
     try:
-        if trajectory_mode:
-            counts = _sample_trajectories(instance, circuit, limits, shots, rng)
-            counts_width = max(circuit.num_clbits, 1)
-        else:
-            LimitEnforcer(instance, limits).execute(circuit, rng=rng)
-            if shots is not None:
-                counts, counts_width = _sample_static(instance, circuit,
-                                                      shots, rng)
-        if counts is None and shots is not None:
-            counts = {}
-        if not trajectory_mode:
-            # After per-shot trajectory sampling the engine holds the *last*
-            # shot's fully collapsed state, on which the all-zeros query
-            # would be a random 0/1 artifact — so trajectory runs report
-            # their distribution through ``counts`` only.
-            qubits = final_query_qubits(circuit)
-            final_probability = instance.probability(qubits, [0] * len(qubits))
-        stats = instance.statistics()
-        peak_memory_nodes = int(stats.get("peak_memory_nodes", 0))
-        # Engine-specific extras only: stats duplicating a first-class
-        # RunResult field are dropped (notably the engine-internal
-        # elapsed_seconds, which differs slightly from the front door's
-        # clock and would otherwise shadow it in serialised reports).
-        extra = {key: value for key, value in stats.items()
-                 if key not in ("peak_memory_nodes", "elapsed_seconds",
-                                "num_qubits")
-                 and isinstance(value, (int, float))}
-    except SimulationTimeout as exc:
-        status, detail = STATUS_TIMEOUT, str(exc)
-    except (SimulationMemoryExceeded, MemoryError) as exc:
-        status, detail = STATUS_MEMORY, str(exc)
-    except NumericalError as exc:
-        status, detail = STATUS_ERROR, str(exc)
-    except UnsupportedGateError as exc:
-        status, detail = STATUS_UNSUPPORTED, str(exc)
-    except RecursionError as exc:  # pragma: no cover - defensive
-        status, detail = STATUS_CRASH, f"recursion depth exceeded: {exc}"
-    elapsed = time.perf_counter() - start
-    if (status == STATUS_OK and limits.max_seconds is not None
-            and elapsed > limits.max_seconds):
-        # The engine finished right at the edge of the budget; classify as
-        # timeout so the tables stay consistent with the budget.
-        status = STATUS_TIMEOUT
-        detail = (f"completed in {elapsed:.1f}s, over the "
-                  f"{limits.max_seconds:.1f}s budget")
-    return RunResult(
+        try:
+            if trajectory_mode:
+                counts = _sample_trajectories(instance, circuit, limits,
+                                              shots, rng)
+                counts_width = max(circuit.num_clbits, 1)
+            else:
+                enforcer = LimitEnforcer(instance, limits)
+                if lease is not None:
+                    # Resume from the leased fork and execute only the
+                    # unexecuted suffix — the fork carries the prefix's
+                    # cumulative gate and peak-node accounting, so the
+                    # statistics below match the equivalent cold run.
+                    instance.resume_session(lease.fork,
+                                            gates_already_applied=lease.depth)
+                    enforcer.execute_prepared(
+                        _suffix_circuit(circuit, lease.depth), rng=rng)
+                else:
+                    enforcer.execute(circuit, rng=rng)
+                if shots is not None:
+                    counts, counts_width = _sample_static(instance, circuit,
+                                                          shots, rng)
+            if counts is None and shots is not None:
+                counts = {}
+            if not trajectory_mode:
+                # After per-shot trajectory sampling the engine holds the
+                # *last* shot's fully collapsed state, on which the
+                # all-zeros query would be a random 0/1 artifact — so
+                # trajectory runs report their distribution through
+                # ``counts`` only.
+                qubits = final_query_qubits(circuit)
+                final_probability = instance.probability(qubits,
+                                                         [0] * len(qubits))
+            stats = instance.statistics()
+            peak_memory_nodes = int(stats.get("peak_memory_nodes", 0))
+            # Engine-specific extras only: stats duplicating a first-class
+            # RunResult field are dropped (notably the engine-internal
+            # elapsed_seconds, which differs slightly from the front door's
+            # clock and would otherwise shadow it in serialised reports).
+            extra = {key: value for key, value in stats.items()
+                     if key not in ("peak_memory_nodes", "elapsed_seconds",
+                                    "num_qubits")
+                     and isinstance(value, (int, float))}
+            if lease is not None:
+                extra["resumed_from_depth"] = lease.depth
+        except SimulationTimeout as exc:
+            status, detail = STATUS_TIMEOUT, str(exc)
+        except (SimulationMemoryExceeded, MemoryError) as exc:
+            status, detail = STATUS_MEMORY, str(exc)
+        except NumericalError as exc:
+            status, detail = STATUS_ERROR, str(exc)
+        except UnsupportedGateError as exc:
+            status, detail = STATUS_UNSUPPORTED, str(exc)
+        except RecursionError as exc:  # pragma: no cover - defensive
+            status, detail = STATUS_CRASH, f"recursion depth exceeded: {exc}"
+        elapsed = time.perf_counter() - start
+        if (status == STATUS_OK and limits.max_seconds is not None
+                and elapsed > limits.max_seconds):
+            # The engine finished right at the edge of the budget; classify
+            # as timeout so the tables stay consistent with the budget.
+            status = STATUS_TIMEOUT
+            detail = (f"completed in {elapsed:.1f}s, over the "
+                      f"{limits.max_seconds:.1f}s budget")
+        if status == STATUS_OK and prefix_eligible:
+            exported = instance.export_session()
+            if exported is not None:
+                payload, generation_probe = exported
+                # A resumed run's state shares its manager with the matched
+                # entry, so the deposit reuses the lease's chain lock; cold
+                # runs start a fresh serialisation chain.
+                sessions.deposit(
+                    circuit.num_qubits, tokens, norm_reorder, payload,
+                    generation_probe,
+                    chain_lock=lease.chain_lock if lease is not None else None)
+    finally:
+        if lease is not None:
+            lease.release()
+    result = RunResult(
         engine=resolved,
         circuit_name=circuit.name,
         num_qubits=circuit.num_qubits,
@@ -260,6 +378,9 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
         counts=counts,
         counts_width=counts_width,
     )
+    if cache_key is not None:
+        cache.store(cache_key, result)
+    return result
 
 
 def derive_task_seed(seed: Optional[int], index: int) -> Optional[int]:
@@ -288,7 +409,9 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
               jobs: int = 1,
               shots: Optional[int] = None,
               seed: Optional[int] = None,
-              reorder: Union[bool, int, None] = None) -> List[RunResult]:
+              reorder: Union[bool, int, None] = None,
+              cache: Optional[ResultCache] = None,
+              sessions: Optional[SessionPool] = None) -> List[RunResult]:
     """Execute (engine, circuit) tasks, optionally on process workers.
 
     ``jobs <= 1`` runs serially in-process.  With ``jobs > 1`` the tasks are
@@ -304,6 +427,13 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
     ``reorder`` applies uniformly to every task (engines without reordering
     support ignore it), exactly like :func:`run`'s flag.
 
+    ``cache`` / ``sessions`` amortise repeated work exactly as in
+    :func:`run`.  On the parallel path the cache is consulted and filled in
+    the *parent* process (hits never dispatch a worker, duplicate keys
+    within one task list dispatch a single worker and share its stored
+    result), while ``sessions`` is serial-only and ignored under
+    ``jobs > 1`` — live BDD session state cannot cross process boundaries.
+
     Engines registered at import time (everything in :mod:`repro.engines`
     and any module imported before the pool starts) are available in the
     workers; engines registered dynamically inside a ``__main__`` script are
@@ -312,11 +442,65 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
     specs = [(engine, circuit, shots, derive_task_seed(seed, index))
              for index, (engine, circuit) in enumerate(tasks)]
     if jobs <= 1 or len(specs) <= 1:
-        return [_run_task(spec, limits, reorder) for spec in specs]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-        futures = [pool.submit(_run_task, spec, limits, reorder)
-                   for spec in specs]
-        return [future.result() for future in futures]
+        return [run(circuit, engine=engine_name, limits=limits,
+                    shots=task_shots, seed=task_seed, reorder=reorder,
+                    cache=cache, sessions=sessions)
+                for engine_name, circuit, task_shots, task_seed in specs]
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    keys: List[Optional[object]] = [None] * len(specs)
+    pending: List[int] = []
+    aliases: List[Tuple[int, object]] = []
+    if cache is not None:
+        owners: Dict[object, int] = {}
+        for index, (engine_name, circuit, task_shots, task_seed) \
+                in enumerate(specs):
+            key = None
+            if cacheable_request(task_shots, task_seed):
+                try:
+                    resolved = resolve_engine(engine_name, circuit,
+                                              limits or ResourceLimits())
+                    key = result_cache_key(circuit, resolved, task_seed,
+                                           task_shots, reorder, limits)
+                except Exception:
+                    # Engine resolution failures reproduce identically in
+                    # the worker, where they classify the task's outcome.
+                    key = None
+            if key is None:
+                pending.append(index)
+                continue
+            hit = cache.lookup(key)
+            if hit is not None:
+                results[index] = _materialise_hit(hit, circuit, engine_name,
+                                                  0.0)
+                continue
+            if key in owners:
+                aliases.append((index, key))
+                continue
+            owners[key] = index
+            keys[index] = key
+            pending.append(index)
+    else:
+        pending = list(range(len(specs)))
+    if pending:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = [(index, pool.submit(_run_task, specs[index], limits,
+                                           reorder))
+                       for index in pending]
+            for index, future in futures:
+                result = future.result()
+                if keys[index] is not None:
+                    cache.store(keys[index], result)
+                results[index] = result
+    for index, key in aliases:
+        engine_name, circuit, _, _ = specs[index]
+        hit = cache.lookup(key)
+        if hit is not None:
+            results[index] = _materialise_hit(hit, circuit, engine_name, 0.0)
+        else:
+            # The owning task finished with a non-cacheable outcome (TO/MO);
+            # reproduce it for this request the ordinary way.
+            results[index] = _run_task(specs[index], limits, reorder)
+    return results
 
 
 def run_sweep(circuits: Sequence[QuantumCircuit],
@@ -325,15 +509,19 @@ def run_sweep(circuits: Sequence[QuantumCircuit],
               jobs: int = 1,
               shots: Optional[int] = None,
               seed: Optional[int] = None,
-              reorder: Union[bool, int, None] = None) -> List[RunResult]:
+              reorder: Union[bool, int, None] = None,
+              cache: Optional[ResultCache] = None,
+              sessions: Optional[SessionPool] = None) -> List[RunResult]:
     """Run every circuit on every engine (circuit-major order).
 
     Returns ``len(circuits) * len(engines)`` results ordered as
     ``(circuit[0], engines...), (circuit[1], engines...), ...`` —
     deterministic regardless of ``jobs``.  ``shots`` / ``seed`` sample
-    measurement counts per run exactly as in :func:`run_tasks`, and
-    ``reorder`` enables dynamic reordering on capable engines per run.
+    measurement counts per run exactly as in :func:`run_tasks`, ``reorder``
+    enables dynamic reordering on capable engines per run, and ``cache`` /
+    ``sessions`` amortise repeated work across the grid exactly as in
+    :func:`run_tasks`.
     """
     tasks = [(engine, circuit) for circuit in circuits for engine in engines]
     return run_tasks(tasks, limits=limits, jobs=jobs, shots=shots, seed=seed,
-                     reorder=reorder)
+                     reorder=reorder, cache=cache, sessions=sessions)

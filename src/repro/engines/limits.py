@@ -71,6 +71,25 @@ class LimitEnforcer:
                                               after_gate=self.check)
         return self.engine
 
+    def execute_prepared(self, circuit: QuantumCircuit, rng=None):
+        """Execute ``circuit``'s instructions on an engine that is *already*
+        prepared, under the budgets; returns the engine for chaining.
+
+        The prefix-resume path uses this: the engine adopted a retained
+        session state via :meth:`~repro.engines.base.Engine.resume_session`,
+        so only the unexecuted suffix is driven here — re-preparing would
+        throw the resumed state away.  Budgets are enforced exactly as in
+        :meth:`execute` (the clock starts on entry, both budgets are checked
+        immediately and after every instruction).
+        """
+        from repro.engines.dynamic import execute_program
+
+        self._start_time = time.perf_counter()
+        self.check()
+        self.classical_bits = execute_program(self.engine, circuit, rng=rng,
+                                              after_gate=self.check)
+        return self.engine
+
     def elapsed_seconds(self) -> float:
         """Wall-clock seconds since :meth:`execute` was entered."""
         if self._start_time is None:

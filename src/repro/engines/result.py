@@ -27,6 +27,34 @@ STATUS_CRASH = "crash"
 ALL_STATUSES = (STATUS_OK, STATUS_TIMEOUT, STATUS_MEMORY, STATUS_ERROR,
                 STATUS_UNSUPPORTED, STATUS_CRASH)
 
+#: ``extra`` keys that describe *how much work the process performed*, not
+#: what the run computed: cache / prefix-resume provenance markers, the
+#: substrate's computed-table and GC counters, live-node gauges of a
+#: (possibly shared) manager, and the applied-gate tally.  Result caching
+#: and prefix resume legitimately change all of these while leaving every
+#: semantic output untouched, so ``to_dict(timings=False)`` — the
+#: serialisation pinned byte-identical between cold, cached and resumed
+#: runs — excludes them alongside the wall-clock entries.
+PROVENANCE_EXTRA_KEYS = frozenset({
+    "cache_hit",
+    "resumed_from_depth",
+    "manager_live_nodes",
+    "gates_applied",
+})
+
+#: Prefix marking the BDD substrate's per-manager work counters in
+#: ``extra`` (computed-table hits / misses, unique-table traffic, GC and
+#: reorder activity) — work accounting, excluded with
+#: :data:`PROVENANCE_EXTRA_KEYS` from the deterministic serialisation.
+WORK_COUNTER_PREFIX = "substrate_"
+
+
+def _deterministic_extra_key(key: str) -> bool:
+    """True when an ``extra`` entry belongs in the deterministic
+    serialisation (no wall-clock, work-counter or provenance entries)."""
+    return not (key.endswith("_seconds") or key in PROVENANCE_EXTRA_KEYS
+                or key.startswith(WORK_COUNTER_PREFIX))
+
 
 @dataclass
 class RunResult:
@@ -108,10 +136,14 @@ class RunResult:
         With ``timings=False`` every wall-clock-derived entry (the
         ``elapsed_seconds`` field, any ``*_seconds`` extra, and the free-form
         ``detail`` text, which embeds elapsed times in TO messages) is
-        dropped, leaving only deterministic fields: two runs of the same
+        dropped, along with the work / provenance extras
+        (:data:`PROVENANCE_EXTRA_KEYS` and the ``substrate_*`` counters),
+        leaving only deterministic fields: two runs of the same
         (engine, circuit, limits, shots, seed) tuple — serial or parallel,
-        any worker — produce byte-identical serialisations of this form
-        (sampled ``counts`` included, provided a ``seed`` was given).
+        any worker, cold or served from a :class:`repro.cache.ResultCache`
+        hit or a prefix resume — produce byte-identical serialisations of
+        this form (sampled ``counts`` included, provided a ``seed`` was
+        given).
         """
         data: Dict[str, object] = {
             "engine": self.engine,
@@ -133,7 +165,7 @@ class RunResult:
             data["elapsed_seconds"] = self.elapsed_seconds
             data["detail"] = self.detail
         extra = {key: value for key, value in sorted(self.extra.items())
-                 if timings or not key.endswith("_seconds")}
+                 if timings or _deterministic_extra_key(key)}
         data["extra"] = extra
         return data
 

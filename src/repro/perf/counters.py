@@ -68,6 +68,16 @@ class PerfCounters:
         """Current value of ``name`` (``default`` when absent)."""
         return self._counts.get(name, default)
 
+    def rate(self, hits_name: str, misses_name: str) -> float:
+        """Hit rate computed from a hits / misses counter pair (0.0 when
+        neither has been touched).  The result-cache and session-pool
+        counters (``result_cache_*``, ``prefix_*``) report their
+        effectiveness through this, mirroring how the substrate's
+        ``cache_*_hit_rate`` entries are derived from raw pairs."""
+        hits = self._counts.get(hits_name, 0)
+        lookups = hits + self._counts.get(misses_name, 0)
+        return hits / lookups if lookups else 0.0
+
     def snapshot(self) -> Dict[str, Number]:
         """A copy of the current counter values."""
         return dict(self._counts)

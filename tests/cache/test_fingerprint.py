@@ -1,0 +1,138 @@
+"""Fingerprint invariance and sensitivity pins.
+
+The contract: equal fingerprints exactly when two circuits are
+interchangeable for every deterministic entry of a cached
+``RunResult.to_dict(timings=False)``.  Invariant under representation
+choices (name, copying, empty composition, SWAP spelling, re-stated
+markers); sensitive to everything semantic (kinds, wires, conditions,
+measurement layout, register widths).
+"""
+
+import pytest
+
+from repro import QuantumCircuit
+from repro.cache import circuit_fingerprint, gate_token, gate_tokens
+from repro.circuit.gates import Gate, GateKind
+from repro.circuit.transforms import expand_swaps, fingerprint_normal_form
+
+
+def ghz(name="ghz"):
+    return QuantumCircuit(3, name=name).h(0).cx(0, 1).cx(1, 2)
+
+
+class TestInvariance:
+    def test_stable_across_calls(self):
+        assert circuit_fingerprint(ghz()) == circuit_fingerprint(ghz())
+
+    def test_name_is_cosmetic(self):
+        assert (circuit_fingerprint(ghz("alpha"))
+                == circuit_fingerprint(ghz("beta")))
+
+    def test_copy_is_identical(self):
+        circuit = ghz().measure_all()
+        assert (circuit_fingerprint(circuit.copy())
+                == circuit_fingerprint(circuit))
+
+    def test_composing_an_empty_circuit_is_a_noop(self):
+        circuit = ghz()
+        padded = circuit.compose(QuantumCircuit(3, name="empty"))
+        assert circuit_fingerprint(padded) == circuit_fingerprint(circuit)
+
+    def test_swap_spelling_is_a_representation_choice(self):
+        native = QuantumCircuit(3, name="n").h(0).swap(0, 2).t(1)
+        spelled = (QuantumCircuit(3, name="s").h(0)
+                   .cx(0, 2).cx(2, 0).cx(0, 2).t(1))
+        assert circuit_fingerprint(native) == circuit_fingerprint(spelled)
+
+    def test_fredkin_spelling_is_a_representation_choice(self):
+        native = QuantumCircuit(3, name="n").h(0).cswap([0], 1, 2)
+        assert (circuit_fingerprint(native)
+                == circuit_fingerprint(expand_swaps(native)))
+
+    def test_restated_measurement_marker_is_a_noop(self):
+        once = ghz().measure(0, 0)
+        twice = ghz().measure(0, 0).measure(0, 0)
+        assert circuit_fingerprint(once) == circuit_fingerprint(twice)
+
+
+class TestSensitivity:
+    def test_gate_kind(self):
+        a = QuantumCircuit(2, name="x").h(0).t(1)
+        b = QuantumCircuit(2, name="x").h(0).tdg(1)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_wires(self):
+        a = QuantumCircuit(3, name="x").cx(0, 1)
+        b = QuantumCircuit(3, name="x").cx(0, 2)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_gate_order(self):
+        a = QuantumCircuit(2, name="x").h(0).t(1)
+        b = QuantumCircuit(2, name="x").t(1).h(0)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_qubit_count(self):
+        a = QuantumCircuit(2, name="x").h(0)
+        b = QuantumCircuit(3, name="x").h(0)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_classical_condition(self):
+        a = QuantumCircuit(2, name="x")
+        a.append(Gate(GateKind.MEASURE, (0,), clbits=(0,)))
+        a.add(GateKind.X, [1])
+        b = QuantumCircuit(2, name="x")
+        b.append(Gate(GateKind.MEASURE, (0,), clbits=(0,)))
+        b.add(GateKind.X, [1], condition=1)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_measurement_presence(self):
+        assert (circuit_fingerprint(ghz())
+                != circuit_fingerprint(ghz().measure_all()))
+
+    def test_measurement_marker_order_is_semantic(self):
+        # Marker order fixes the descent sampler's RNG consumption, so
+        # measuring (q0, q1) is a different request than (q1, q0).
+        a = ghz().measure(0, 0).measure(1, 1)
+        b = ghz().measure(1, 1).measure(0, 0)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_clbit_layout(self):
+        a = ghz().measure(0, 0)
+        b = ghz().measure(0, 2)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+
+class TestTokens:
+    def test_token_covers_all_semantic_fields(self):
+        gate = Gate(GateKind.CCX, (2,), (0, 1), condition=3)
+        assert gate_token(gate) == ("ccx", (2,), (0, 1), (), 3)
+
+    def test_raw_tokens_keep_swaps_unexpanded(self):
+        # Prefix matching compares execution plans, not normal forms: a
+        # native SWAP and its three-CNOT spelling are different plans.
+        native = QuantumCircuit(2, name="n").swap(0, 1)
+        spelled = expand_swaps(native)
+        assert len(gate_tokens(native)) == 1
+        assert len(gate_tokens(spelled)) == 3
+
+    def test_tokens_are_prefix_comparable(self):
+        base, extended = ghz(), ghz().t(0)
+        tokens = gate_tokens(base)
+        assert gate_tokens(extended)[:len(tokens)] == tokens
+
+
+class TestNormalForm:
+    def test_normal_form_preserves_identity_fields(self):
+        circuit = QuantumCircuit(3, name="keepme").swap(0, 1).measure(2, 4)
+        normalised = fingerprint_normal_form(circuit)
+        assert normalised.name == "keepme"
+        assert normalised.num_qubits == circuit.num_qubits
+        assert normalised.num_clbits == circuit.num_clbits
+        assert all(g.kind is not GateKind.SWAP for g in normalised.gates)
+
+    def test_normal_form_does_not_cancel_inverses(self):
+        # H·H changes the simulated workload (peak nodes), so it must NOT
+        # normalise away: the pair is kept and the fingerprints differ.
+        plain = QuantumCircuit(2, name="x").h(0)
+        padded = QuantumCircuit(2, name="x").h(0).h(1).h(1)
+        assert circuit_fingerprint(plain) != circuit_fingerprint(padded)

@@ -1,0 +1,236 @@
+"""Prefix-resume correctness: byte-identity, invalidation, concurrency."""
+
+import json
+
+import pytest
+
+import repro
+from repro import QuantumCircuit, SessionPool
+from repro.cache import gate_tokens
+from repro.engines.registry import create_engine
+
+
+def deterministic(result):
+    return json.dumps(result.to_dict(timings=False), sort_keys=True)
+
+
+def layered(n=4, layers=2, name="layered"):
+    circuit = QuantumCircuit(n, name=name)
+    for _ in range(layers):
+        for qubit in range(n):
+            circuit.h(qubit)
+        for qubit in range(n - 1):
+            circuit.cx(qubit, qubit + 1)
+        circuit.t(0)
+    return circuit
+
+
+def extend(circuit, name="extended"):
+    extended = circuit.copy(name=name)
+    extended.t(1).h(2).cx(2, 3)
+    return extended
+
+
+class TestResumeCorrectness:
+    def test_resumed_run_is_byte_identical_to_cold(self):
+        pool = SessionPool()
+        base = layered()
+        repro.run(base, engine="bitslice", sessions=pool)
+        extended = extend(base)
+        resumed = repro.run(extended, engine="bitslice", sessions=pool)
+        assert resumed.extra.get("resumed_from_depth") == base.num_gates
+        cold = repro.run(extended, engine="bitslice")
+        assert deterministic(resumed) == deterministic(cold)
+        assert resumed.peak_memory_nodes == cold.peak_memory_nodes
+        assert resumed.final_probability == cold.final_probability
+
+    def test_fixed_seed_counts_identical_on_resume(self):
+        pool = SessionPool()
+        base = layered()
+        repro.run(base, engine="bitslice", sessions=pool)
+        extended = extend(base).measure_all()
+        resumed = repro.run(extended, engine="bitslice", sessions=pool,
+                            shots=512, seed=5)
+        assert resumed.extra.get("resumed_from_depth") == base.num_gates
+        cold = repro.run(extend(base).measure_all(), engine="bitslice",
+                         shots=512, seed=5)
+        assert resumed.counts == cold.counts
+        assert deterministic(resumed) == deterministic(cold)
+
+    def test_identical_circuit_resumes_at_full_depth(self):
+        pool = SessionPool()
+        circuit = layered()
+        repro.run(circuit, engine="bitslice", sessions=pool)
+        again = repro.run(circuit.copy(), engine="bitslice", sessions=pool)
+        assert again.extra.get("resumed_from_depth") == circuit.num_gates
+        assert deterministic(again) == deterministic(
+            repro.run(circuit, engine="bitslice"))
+
+    def test_longest_prefix_wins(self):
+        pool = SessionPool()
+        base = layered(layers=1, name="short")
+        longer = extend(base, name="long")
+        repro.run(base, engine="bitslice", sessions=pool)
+        repro.run(longer, engine="bitslice", sessions=pool)
+        final = extend(longer, name="longest")
+        resumed = repro.run(final, engine="bitslice", sessions=pool)
+        assert resumed.extra.get("resumed_from_depth") == longer.num_gates
+
+    def test_stored_entry_survives_sibling_resumes(self):
+        # A resume forks the retained payload; the stored entry must stay
+        # matchable and uncorrupted for later branches off the same prefix.
+        pool = SessionPool()
+        base = layered()
+        repro.run(base, engine="bitslice", sessions=pool)
+        branch_a = base.copy(name="a").t(0)
+        branch_b = base.copy(name="b").h(1)
+        first = repro.run(branch_a, engine="bitslice", sessions=pool)
+        second = repro.run(branch_b, engine="bitslice", sessions=pool)
+        assert first.extra.get("resumed_from_depth") == base.num_gates
+        assert second.extra.get("resumed_from_depth") == base.num_gates
+        assert deterministic(second) == deterministic(
+            repro.run(base.copy(name="b").h(1), engine="bitslice"))
+
+
+class TestEligibility:
+    def test_non_resumable_engines_ignore_sessions(self):
+        pool = SessionPool()
+        circuit = layered()
+        result = repro.run(circuit, engine="qmdd", sessions=pool)
+        assert "resumed_from_depth" not in result.extra
+        assert len(pool) == 0
+        assert pool.stats().get("prefix_resume_misses", 0) == 0
+
+    def test_dynamic_circuits_never_match_or_deposit(self):
+        pool = SessionPool()
+        circuit = QuantumCircuit(2, name="dyn").h(0)
+        circuit.add_measure = None  # guard against accidental builder use
+        from repro.circuit.gates import Gate, GateKind
+        circuit.append(Gate(GateKind.MEASURE, (0,), clbits=(0,)))
+        circuit.add(GateKind.X, [1], condition=1)
+        result = repro.run(circuit, engine="bitslice", sessions=pool, seed=1)
+        assert "resumed_from_depth" not in result.extra
+        assert len(pool) == 0
+
+    def test_reorder_setting_partitions_sessions(self):
+        pool = SessionPool()
+        base = layered()
+        repro.run(base, engine="bitslice", sessions=pool)
+        extended = extend(base)
+        reordered = repro.run(extended, engine="bitslice", sessions=pool,
+                              reorder=50)
+        assert "resumed_from_depth" not in reordered.extra
+
+    def test_failed_runs_are_not_deposited(self):
+        pool = SessionPool()
+        limits = repro.ResourceLimits(max_seconds=None, max_nodes=1)
+        result = repro.run(layered(), engine="bitslice", limits=limits,
+                           sessions=pool)
+        assert result.status == "MO"
+        assert len(pool) == 0
+
+
+class TestInvalidation:
+    def test_generation_bump_invalidates_the_entry(self):
+        pool = SessionPool()
+        base = layered()
+        repro.run(base, engine="bitslice", sessions=pool)
+        assert len(pool) == 1
+        # Something other than the pool touches the retained manager: an
+        # explicit cache clear bumps its generation...
+        entry = next(iter(pool._entries.values()))
+        entry.payload.state.manager.clear_cache()
+        # ...so the next match conservatively drops the entry and runs cold.
+        cold = repro.run(extend(base), engine="bitslice", sessions=pool)
+        assert "resumed_from_depth" not in cold.extra
+        stats = pool.stats()
+        assert stats["prefix_invalidations"] == 1
+        assert deterministic(cold) == deterministic(
+            repro.run(extend(base), engine="bitslice"))
+
+    def test_gc_bump_invalidates_the_entry(self):
+        pool = SessionPool()
+        base = layered()
+        repro.run(base, engine="bitslice", sessions=pool)
+        entry = next(iter(pool._entries.values()))
+        entry.payload.state.manager.garbage_collect()
+        repro.run(extend(base), engine="bitslice", sessions=pool)
+        assert pool.stats()["prefix_invalidations"] == 1
+
+    def test_resumed_runs_own_activity_does_not_poison_its_deposit(self):
+        # The resumed run re-records the generation at its own deposit, so
+        # chained resumes keep working even though the first resume's
+        # execution may have bumped the shared manager's generation.
+        pool = SessionPool()
+        base = layered()
+        repro.run(base, engine="bitslice", sessions=pool)
+        first = extend(base, name="first")
+        repro.run(first, engine="bitslice", sessions=pool)
+        second = extend(first, name="second")
+        resumed = repro.run(second, engine="bitslice", sessions=pool)
+        assert resumed.extra.get("resumed_from_depth") == first.num_gates
+
+
+class TestPoolMechanics:
+    def test_busy_chain_falls_back_to_cold(self):
+        pool = SessionPool()
+        base = layered()
+        repro.run(base, engine="bitslice", sessions=pool)
+        tokens = gate_tokens(extend(base))
+        lease = pool.match(base.num_qubits, gate_tokens(base), None)
+        assert lease is not None
+        try:
+            # The chain is mid-resume elsewhere: a concurrent match must
+            # miss (and the front door then runs cold) instead of blocking.
+            assert pool.match(base.num_qubits, tokens, None) is None
+            assert pool.stats()["prefix_busy"] == 1
+            busy = repro.run(extend(base), engine="bitslice", sessions=pool)
+            assert "resumed_from_depth" not in busy.extra
+        finally:
+            lease.release()
+        resumed = repro.run(extend(base, name="after"), engine="bitslice",
+                            sessions=pool)
+        assert resumed.extra.get("resumed_from_depth") >= base.num_gates
+
+    def test_lease_release_is_idempotent(self):
+        pool = SessionPool()
+        base = layered()
+        repro.run(base, engine="bitslice", sessions=pool)
+        lease = pool.match(base.num_qubits, gate_tokens(base), None)
+        lease.release()
+        lease.release()
+        assert pool.match(base.num_qubits, gate_tokens(base), None) is not None
+
+    def test_session_bound_evicts_lru(self):
+        pool = SessionPool(max_sessions=2)
+        for index in range(3):
+            circuit = QuantumCircuit(2, name=f"c{index}").h(0)
+            for _ in range(index + 1):
+                circuit.t(0)
+            repro.run(circuit, engine="bitslice", sessions=pool)
+        assert len(pool) == 2
+        assert pool.stats()["prefix_sessions_evicted"] == 1
+
+    def test_gates_saved_counter(self):
+        pool = SessionPool()
+        base = layered()
+        repro.run(base, engine="bitslice", sessions=pool)
+        repro.run(extend(base), engine="bitslice", sessions=pool)
+        assert pool.stats()["prefix_gates_saved"] == base.num_gates
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            SessionPool(max_sessions=0)
+
+
+class TestCacheAndSessionsTogether:
+    def test_cache_hit_short_circuits_before_sessions(self):
+        cache = repro.ResultCache()
+        pool = SessionPool()
+        circuit = layered()
+        repro.run(circuit, engine="bitslice", cache=cache, sessions=pool)
+        hit = repro.run(circuit, engine="bitslice", cache=cache,
+                        sessions=pool)
+        assert hit.extra.get("cache_hit") == 1
+        # The hit never touched an engine, so the pool saw one run only.
+        assert pool.stats()["prefix_deposits"] == 1

@@ -1,0 +1,135 @@
+"""Lockstep pins between the CI pipeline and the repository it gates.
+
+CI definitions rot silently: a benchmark family added to
+``benchmarks/baseline.json`` but not to the smoke step is a gate that
+never fires, and a setup step without pip caching quietly re-downloads
+the toolchain on every run.  These tests parse the committed workflow
+files (plain text — no YAML dependency) and fail when the pipeline and
+the repository drift apart.
+"""
+
+import json
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CI_YML = REPO_ROOT / ".github" / "workflows" / "ci.yml"
+NIGHTLY_YML = REPO_ROOT / ".github" / "workflows" / "nightly.yml"
+BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+BENCH_DIR = REPO_ROOT / "benchmarks"
+PYPROJECT = REPO_ROOT / "pyproject.toml"
+
+
+def ci_text():
+    return CI_YML.read_text(encoding="utf-8")
+
+
+def nightly_text():
+    return NIGHTLY_YML.read_text(encoding="utf-8")
+
+
+def smoke_benchmark_files(text):
+    """The ``benchmarks/bench_*.py`` paths the smoke-benchmark step runs."""
+    return set(re.findall(r"benchmarks/(bench_\w+\.py)", text))
+
+
+def benchmark_file_of(test_name):
+    """The benchmarks/ file defining ``test_name`` (parametrised names have
+    their ``[param]`` suffix stripped first)."""
+    bare = test_name.split("[", 1)[0]
+    pattern = re.compile(rf"^def {re.escape(bare)}\(", re.MULTILINE)
+    owners = [path.name for path in sorted(BENCH_DIR.glob("bench_*.py"))
+              if pattern.search(path.read_text(encoding="utf-8"))]
+    assert owners, f"no benchmarks/bench_*.py defines {bare}"
+    assert len(owners) == 1, f"{bare} defined in several files: {owners}"
+    return owners[0]
+
+
+class TestSmokeBenchmarkLockstep:
+    def test_baseline_families_match_ci_smoke_list(self):
+        """Every family gated by baseline.json is in CI's smoke step and
+        vice versa — a baseline entry whose file CI never runs is a dead
+        gate, and a smoke file without baseline entries is ungated."""
+        baseline = json.loads(BASELINE.read_text(encoding="utf-8"))
+        baseline_files = {benchmark_file_of(name)
+                          for name in baseline["benchmarks"]}
+        ci_files = smoke_benchmark_files(ci_text())
+        assert ci_files == baseline_files, (
+            f"ci.yml smoke list {sorted(ci_files)} != baseline families "
+            f"{sorted(baseline_files)}; rerun the smoke set with "
+            f"scripts/check_bench_regression.py --update or fix ci.yml")
+
+    def test_cache_benchmarks_are_smoke_gated(self):
+        assert "bench_cache.py" in smoke_benchmark_files(ci_text())
+
+    def test_smoke_files_exist(self):
+        for name in smoke_benchmark_files(ci_text()):
+            assert (BENCH_DIR / name).is_file(), f"{name} missing"
+
+
+class TestPipCaching:
+    @staticmethod
+    def assert_all_setup_python_steps_cache(text, source):
+        """Every actions/setup-python step must enable pip caching (and
+        key it on pyproject.toml, the only dependency manifest here)."""
+        blocks = re.split(r"(?=- uses: actions/setup-python)", text)
+        steps = [block for block in blocks
+                 if block.startswith("- uses: actions/setup-python")]
+        assert steps, f"no setup-python steps found in {source}"
+        for step in steps:
+            header = step.split("- name:", 1)[0]
+            assert "cache: pip" in header, (
+                f"a setup-python step in {source} lacks 'cache: pip'")
+            assert "cache-dependency-path: pyproject.toml" in header, (
+                f"a setup-python step in {source} lacks the dependency path")
+
+    def test_ci_jobs_cache_pip(self):
+        self.assert_all_setup_python_steps_cache(ci_text(), "ci.yml")
+
+    def test_nightly_jobs_cache_pip(self):
+        self.assert_all_setup_python_steps_cache(nightly_text(),
+                                                 "nightly.yml")
+
+
+class TestTriggers:
+    def test_ci_supports_manual_dispatch(self):
+        assert "workflow_dispatch:" in ci_text()
+
+    def test_nightly_is_scheduled_and_dispatchable(self):
+        text = nightly_text()
+        assert "schedule:" in text
+        assert re.search(r"cron:\s*\"[^\"]+\"", text)
+        assert "workflow_dispatch:" in text
+
+
+class TestNightlyFamilies:
+    def test_nightly_runs_the_full_families(self):
+        text = nightly_text()
+        for family in ("bench_table4_revlib.py", "bench_table5_algorithms.py",
+                       "bench_ablations.py", "bench_accuracy.py"):
+            assert family in text, f"nightly.yml misses {family}"
+            assert (BENCH_DIR / family).is_file()
+
+    def test_nightly_uploads_json_reports(self):
+        text = nightly_text()
+        assert "--benchmark-json=" in text
+        assert "actions/upload-artifact" in text
+
+
+class TestCoverageGate:
+    def test_ci_has_a_coverage_job(self):
+        text = ci_text()
+        assert re.search(r"^  coverage:", text, re.MULTILINE)
+        assert ".[test,cov]" in text
+        assert "--cov=repro" in text
+
+    def test_minimum_percentage_is_committed(self):
+        pyproject = PYPROJECT.read_text(encoding="utf-8")
+        assert "[tool.coverage.report]" in pyproject
+        match = re.search(r"^fail_under\s*=\s*(\d+)", pyproject, re.MULTILINE)
+        assert match, "pyproject.toml commits no coverage fail_under"
+        assert int(match.group(1)) >= 75, "coverage floor eroded below 75%"
+
+    def test_cov_extra_is_declared(self):
+        pyproject = PYPROJECT.read_text(encoding="utf-8")
+        assert re.search(r"^cov\s*=\s*\[", pyproject, re.MULTILINE)
