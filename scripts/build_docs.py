@@ -48,6 +48,7 @@ NAV: List[Tuple[str, str]] = [
     ("Dynamic reordering", "reordering.md"),
     ("Sampling & dynamic circuits", "sampling.md"),
     ("Result & prefix caching", "caching.md"),
+    ("Simulation service", "service.md"),
     ("Writing an engine", "engine-authors.md"),
     ("Performance counters", "perf-counters.md"),
     ("API reference", "api.md"),
@@ -75,6 +76,12 @@ API_MODULES = [
     "repro.circuit.gates",
     "repro.circuit.qasm",
     "repro.circuit.transforms",
+    "repro.service.protocol",
+    "repro.service.scheduler",
+    "repro.service.sessions",
+    "repro.service.server",
+    "repro.service.client",
+    "repro.service.watch",
 ]
 
 #: Extra individual symbols that must be documented even though their home

@@ -28,6 +28,12 @@ SliQSim simulator), together with every substrate it depends on:
   ``SessionPool`` resuming the bit-sliced engine from retained
   gate-sequence prefixes (``repro.run(..., cache=..., sessions=...)``).
 
+* :mod:`repro.service` — the persistent simulation server (``repro-serve``):
+  newline-delimited JSON over TCP / unix sockets, a bounded job queue with
+  structured backpressure, warm server-side sessions and the ``repro-watch``
+  admin stream — with sync (``Client``) and asyncio (``AsyncClient``)
+  clients.
+
 The most common entry points are re-exported here::
 
     import repro
@@ -77,6 +83,17 @@ from repro.engines import (
 # import orders (``import repro.cache`` included) settle without a cycle.
 from repro.cache import ResultCache, SessionPool, circuit_fingerprint
 
+# Imported last: the service builds on the engines front door and the cache
+# layer (its server embeds a ResultCache and a SessionPool).
+from repro.exceptions import JobCancelledError
+from repro.service import (
+    AsyncClient,
+    Client,
+    Server,
+    ServiceError,
+    serve_background,
+)
+
 __version__ = "0.1.0"
 
 __all__ = [
@@ -103,6 +120,12 @@ __all__ = [
     "run",
     "run_sweep",
     "select_engine",
+    "AsyncClient",
+    "Client",
+    "Server",
+    "ServiceError",
+    "serve_background",
+    "JobCancelledError",
     "NumericalError",
     "SimulationError",
     "SimulationMemoryExceeded",

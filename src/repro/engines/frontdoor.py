@@ -63,6 +63,7 @@ from repro.engines.result import (
 )
 from repro.engines.sampling import remap_counts_to_clbits
 from repro.exceptions import (
+    JobCancelledError,
     NumericalError,
     SimulationMemoryExceeded,
     SimulationTimeout,
@@ -121,14 +122,15 @@ def _sample_static(instance, circuit: QuantumCircuit, shots: int,
 
 def _sample_trajectories(instance, circuit: QuantumCircuit,
                          limits: ResourceLimits, shots: int,
-                         rng) -> Dict[int, int]:
+                         rng, cancel=None) -> Dict[int, int]:
     """Counts for a dynamic circuit: one full re-execution per shot.
 
     Mid-circuit measurement makes each shot a fresh classical trajectory
     (collapse outcomes feed conditions), so the circuit is prepared and
     executed ``shots`` times; terminal measurement markers are then
     collapsed once per trajectory.  Counts are keyed by the classical
-    register.  The wall-clock budget applies to the whole trajectory loop.
+    register.  The wall-clock budget applies to the whole trajectory loop,
+    and a set ``cancel`` token stops it at the next gate boundary.
     """
     counts: Dict[int, int] = {}
     start = time.perf_counter()
@@ -137,7 +139,7 @@ def _sample_trajectories(instance, circuit: QuantumCircuit,
         elapsed = time.perf_counter() - start
         if limits.max_seconds is not None and elapsed > limits.max_seconds:
             raise SimulationTimeout(elapsed, limits.max_seconds)
-        enforcer = LimitEnforcer(instance, limits)
+        enforcer = LimitEnforcer(instance, limits, cancel_token=cancel)
         enforcer.execute(circuit, rng=rng)
         classical = list(enforcer.classical_bits)
         if final_map:
@@ -190,7 +192,8 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
         seed: Optional[int] = None,
         reorder: Union[bool, int, None] = None,
         cache: Optional[ResultCache] = None,
-        sessions: Optional[SessionPool] = None) -> RunResult:
+        sessions: Optional[SessionPool] = None,
+        cancel=None) -> RunResult:
     """Run ``circuit`` on ``engine`` under ``limits``; classify the outcome.
 
     ``engine`` may be a canonical name (``"bitslice"``, ``"qmdd"``,
@@ -243,6 +246,16 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
     depth), and successful static runs deposit their final state back into
     the pool.  Dynamic circuits never match or deposit — collapse makes
     their states trajectory-dependent.
+
+    ``cancel`` (any object with ``is_set()``, e.g. a ``threading.Event``)
+    enables cooperative cancellation: the limit enforcer polls the token
+    between gates, and a set token raises
+    :class:`~repro.exceptions.JobCancelledError` *out of this function* —
+    cancellation is a fact about the request, not an outcome class of the
+    run, so no :class:`RunResult` is fabricated.  Any held session lease is
+    released on the way out (the ``repro.service`` scheduler relies on
+    this to cancel queued and running jobs without poisoning the session
+    pool).
     """
     limits = limits or ResourceLimits()
     if shots is not None and shots < 0:
@@ -288,10 +301,10 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
         try:
             if trajectory_mode:
                 counts = _sample_trajectories(instance, circuit, limits,
-                                              shots, rng)
+                                              shots, rng, cancel=cancel)
                 counts_width = max(circuit.num_clbits, 1)
             else:
-                enforcer = LimitEnforcer(instance, limits)
+                enforcer = LimitEnforcer(instance, limits, cancel_token=cancel)
                 if lease is not None:
                     # Resume from the leased fork and execute only the
                     # unexecuted suffix — the fork carries the prefix's
@@ -411,7 +424,8 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
               seed: Optional[int] = None,
               reorder: Union[bool, int, None] = None,
               cache: Optional[ResultCache] = None,
-              sessions: Optional[SessionPool] = None) -> List[RunResult]:
+              sessions: Optional[SessionPool] = None,
+              cancel=None) -> List[RunResult]:
     """Execute (engine, circuit) tasks, optionally on process workers.
 
     ``jobs <= 1`` runs serially in-process.  With ``jobs > 1`` the tasks are
@@ -434,6 +448,11 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
     result), while ``sessions`` is serial-only and ignored under
     ``jobs > 1`` — live BDD session state cannot cross process boundaries.
 
+    ``cancel`` cancels the task list cooperatively, exactly as in
+    :func:`run`: the serial path polls the token between gates, the
+    parallel path between task dispatches (an in-flight process worker
+    finishes its current task before the cancellation surfaces).
+
     Engines registered at import time (everything in :mod:`repro.engines`
     and any module imported before the pool starts) are available in the
     workers; engines registered dynamically inside a ``__main__`` script are
@@ -444,7 +463,7 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
     if jobs <= 1 or len(specs) <= 1:
         return [run(circuit, engine=engine_name, limits=limits,
                     shots=task_shots, seed=task_seed, reorder=reorder,
-                    cache=cache, sessions=sessions)
+                    cache=cache, sessions=sessions, cancel=cancel)
                 for engine_name, circuit, task_shots, task_seed in specs]
     results: List[Optional[RunResult]] = [None] * len(specs)
     keys: List[Optional[object]] = [None] * len(specs)
@@ -482,6 +501,8 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
     else:
         pending = list(range(len(specs)))
     if pending:
+        if cancel is not None and cancel.is_set():
+            raise JobCancelledError("cancelled before parallel dispatch")
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = [(index, pool.submit(_run_task, specs[index], limits,
                                            reorder))
@@ -511,17 +532,19 @@ def run_sweep(circuits: Sequence[QuantumCircuit],
               seed: Optional[int] = None,
               reorder: Union[bool, int, None] = None,
               cache: Optional[ResultCache] = None,
-              sessions: Optional[SessionPool] = None) -> List[RunResult]:
+              sessions: Optional[SessionPool] = None,
+              cancel=None) -> List[RunResult]:
     """Run every circuit on every engine (circuit-major order).
 
     Returns ``len(circuits) * len(engines)`` results ordered as
     ``(circuit[0], engines...), (circuit[1], engines...), ...`` —
     deterministic regardless of ``jobs``.  ``shots`` / ``seed`` sample
     measurement counts per run exactly as in :func:`run_tasks`, ``reorder``
-    enables dynamic reordering on capable engines per run, and ``cache`` /
-    ``sessions`` amortise repeated work across the grid exactly as in
-    :func:`run_tasks`.
+    enables dynamic reordering on capable engines per run, ``cache`` /
+    ``sessions`` amortise repeated work across the grid, and ``cancel``
+    cancels the grid cooperatively — all exactly as in :func:`run_tasks`.
     """
     tasks = [(engine, circuit) for circuit in circuits for engine in engines]
     return run_tasks(tasks, limits=limits, jobs=jobs, shots=shots, seed=seed,
-                     reorder=reorder, cache=cache, sessions=sessions)
+                     reorder=reorder, cache=cache, sessions=sessions,
+                     cancel=cancel)

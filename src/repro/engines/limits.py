@@ -7,6 +7,22 @@ budgets with duplicated (and inconsistent — the dense engine ignored
 :class:`~repro.engines.base.Engine` gate by gate and applies both budgets
 between gates, so every engine times out and memory-outs through the exact
 same code path.
+
+Long-lived processes (the ``repro.service`` server) reuse one enforcer for
+many jobs, which makes the budget's *scope* part of the contract: budgets
+are **per job, never per process**.  :meth:`LimitEnforcer.begin_job` opens
+a job — it restarts the wall-clock and installs that job's cancel token,
+discarding whatever the previous job left behind, so a session that has
+been alive for an hour still gives every append the full ``max_seconds``
+and a token fired to cancel job *N* can never leak into job *N + 1*.
+:meth:`execute` / :meth:`execute_prepared` call it implicitly.
+
+Cooperative cancellation rides the same rails as TO/MO: a ``cancel_token``
+(any object with ``is_set()``, e.g. :class:`threading.Event`) passed to the
+constructor or :meth:`begin_job` is polled by :meth:`check` between gates,
+and a set token raises :class:`~repro.exceptions.JobCancelledError` — which
+unwinds through the same ``finally`` blocks as a timeout, so held session
+leases are always released.
 """
 
 from __future__ import annotations
@@ -16,7 +32,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.exceptions import SimulationMemoryExceeded, SimulationTimeout
+from repro.exceptions import (
+    JobCancelledError,
+    SimulationMemoryExceeded,
+    SimulationTimeout,
+)
 
 
 @dataclass(frozen=True)
@@ -39,39 +59,65 @@ class ResourceLimits:
 class LimitEnforcer:
     """Run a circuit on an engine, enforcing TO/MO budgets between gates.
 
-    The wrapper owns the clock: it starts timing when :meth:`execute` is
-    entered (so preparation cost counts, as in the paper's protocol) and
-    checks ``max_seconds`` and ``max_nodes`` after preparation and after
-    every gate.  Engines therefore do not need any budget plumbing of their
-    own — including engines whose native classes historically had none.
+    The wrapper owns the clock: it starts timing when a job begins (so
+    preparation cost counts, as in the paper's protocol) and checks
+    ``max_seconds`` / ``max_nodes`` — and the job's cancel token — after
+    preparation and after every gate.  Engines therefore do not need any
+    budget plumbing of their own.
+
+    One enforcer may be reused for many jobs (the service holds one per
+    session); each :meth:`execute` / :meth:`execute_prepared` call — or an
+    explicit :meth:`begin_job` — resets the budget clock and replaces the
+    cancel token, so budgets and cancellation are always scoped to the
+    current job, never to the process.
     """
 
-    def __init__(self, engine, limits: Optional[ResourceLimits] = None):
+    def __init__(self, engine, limits: Optional[ResourceLimits] = None,
+                 cancel_token=None):
         self.engine = engine
         self.limits = limits or ResourceLimits()
         self._start_time: Optional[float] = None
+        self._cancel_token = cancel_token
         #: Classical register after the last :meth:`execute` (clbit order).
         self.classical_bits: list = []
 
-    def execute(self, circuit: QuantumCircuit, rng=None):
+    def begin_job(self, cancel_token=None) -> None:
+        """Open a new job: restart the budget clock, swap in ``cancel_token``.
+
+        Must be called (directly, or implicitly via :meth:`execute` /
+        :meth:`execute_prepared`) before each job on a reused enforcer.
+        The previous job's elapsed time and cancel token are discarded —
+        a token fired to cancel the last job cannot spuriously cancel this
+        one, and a session alive for hours still gives every job its full
+        ``max_seconds``.  Passing ``cancel_token=None`` clears cancellation
+        for the job.
+        """
+        self._start_time = time.perf_counter()
+        self._cancel_token = cancel_token
+
+    def execute(self, circuit: QuantumCircuit, rng=None, cancel_token=None):
         """Prepare the engine for ``circuit`` and execute every instruction
         under the budgets; returns the engine for chaining.
 
-        Dynamic instructions (mid-circuit measurement / reset / classical
+        Opens a new job (see :meth:`begin_job`) — the clock restarts and
+        ``cancel_token`` replaces any previous job's token.  Dynamic
+        instructions (mid-circuit measurement / reset / classical
         conditions) are interpreted by
         :func:`repro.engines.dynamic.execute_program` drawing from ``rng``;
         the final classical register lands in :attr:`classical_bits`.
         """
         from repro.engines.dynamic import execute_program
 
-        self._start_time = time.perf_counter()
+        self.begin_job(cancel_token
+                       if cancel_token is not None else self._cancel_token)
         self.engine.prepare(circuit, self.limits)
         self.check()
         self.classical_bits = execute_program(self.engine, circuit, rng=rng,
                                               after_gate=self.check)
         return self.engine
 
-    def execute_prepared(self, circuit: QuantumCircuit, rng=None):
+    def execute_prepared(self, circuit: QuantumCircuit, rng=None,
+                         cancel_token=None):
         """Execute ``circuit``'s instructions on an engine that is *already*
         prepared, under the budgets; returns the engine for chaining.
 
@@ -79,26 +125,33 @@ class LimitEnforcer:
         session state via :meth:`~repro.engines.base.Engine.resume_session`,
         so only the unexecuted suffix is driven here — re-preparing would
         throw the resumed state away.  Budgets are enforced exactly as in
-        :meth:`execute` (the clock starts on entry, both budgets are checked
-        immediately and after every instruction).
+        :meth:`execute` (a new job is opened on entry, both budgets and the
+        cancel token are checked immediately and after every instruction).
         """
         from repro.engines.dynamic import execute_program
 
-        self._start_time = time.perf_counter()
+        self.begin_job(cancel_token
+                       if cancel_token is not None else self._cancel_token)
         self.check()
         self.classical_bits = execute_program(self.engine, circuit, rng=rng,
                                               after_gate=self.check)
         return self.engine
 
     def elapsed_seconds(self) -> float:
-        """Wall-clock seconds since :meth:`execute` was entered."""
+        """Wall-clock seconds since the current job began (0.0 before the
+        first job)."""
         if self._start_time is None:
             return 0.0
         return time.perf_counter() - self._start_time
 
     def check(self) -> None:
-        """Raise ``SimulationTimeout`` / ``SimulationMemoryExceeded`` when a
-        budget is exhausted (also usable inside long engine queries)."""
+        """Raise ``JobCancelledError`` when the job's cancel token is set,
+        ``SimulationTimeout`` / ``SimulationMemoryExceeded`` when a budget
+        is exhausted (also usable inside long engine queries)."""
+        token = self._cancel_token
+        if token is not None and token.is_set():
+            raise JobCancelledError(
+                f"cancelled after {self.elapsed_seconds():.3f}s")
         limits = self.limits
         if limits.max_seconds is not None:
             elapsed = self.elapsed_seconds()

@@ -46,3 +46,20 @@ class NumericalError(SimulationError):
 
 class UnsupportedGateError(SimulationError):
     """A gate outside the engine's supported set was encountered."""
+
+
+class JobCancelledError(SimulationError):
+    """The run was cancelled cooperatively (service job cancellation).
+
+    Raised by :meth:`repro.engines.limits.LimitEnforcer.check` when the
+    job's cancel token is set — between gates, exactly where TO/MO budgets
+    are enforced — so a cancelled job stops at the next gate boundary and
+    unwinds through the same ``finally`` blocks as a timeout (releasing any
+    held session lease on the way out).  Unlike TO/MO it is *not* an outcome
+    class of the run: the front door lets it propagate to the caller (the
+    service scheduler), which reports the job as cancelled rather than
+    fabricating a result.
+    """
+
+    def __init__(self, detail: str = ""):
+        super().__init__(detail or "job cancelled")

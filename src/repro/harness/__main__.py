@@ -8,6 +8,7 @@ Examples::
     python -m repro.harness table3 --quick --engines bitslice,qmdd --jobs 4
     python -m repro.harness all --quick --json out.json
     python -m repro.harness accuracy
+    python -m repro.harness table3 --quick --server 127.0.0.1:7621
 """
 
 from __future__ import annotations
@@ -62,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1,
                         help="process workers for the (engine x circuit) grid "
                              "(default 1 = serial)")
+    parser.add_argument("--server", type=str, default=None, metavar="ADDR",
+                        help="route the experiment grids through a running "
+                             "repro-serve instance at ADDR (host:port or "
+                             "unix:/path) instead of executing locally; "
+                             "results are byte-identical to a local run")
     parser.add_argument("--time-limit", type=float, default=None,
                         help="wall-clock budget per case in seconds")
     parser.add_argument("--node-limit", type=int, default=None,
@@ -113,6 +119,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     seeds = args.seeds
     sections: List[str] = []
     experiments = []
+    client = None
+    runner = None
+    if args.server is not None:
+        from repro.service.client import Client
+
+        client = Client(args.server, timeout=None)
+        runner = client.run_tasks
 
     def want(name: str) -> bool:
         return args.experiment in (name, "all")
@@ -122,14 +135,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             qubit_counts=QUICK_TABLE3_QUBITS if args.quick else None,
             circuits_per_size=seeds or (2 if args.quick else 3),
             engines=engine_list,
-            limits=limits, paper_scale=args.paper_scale, jobs=args.jobs)
+            limits=limits, paper_scale=args.paper_scale, jobs=args.jobs,
+            runner=runner)
         experiments.append(experiment)
         sections.append(format_table3(experiment, engines=engine_list))
     if want("table4"):
         experiment = table4_experiment(
             families=QUICK_TABLE4_FAMILIES if args.quick else None,
             engines=engine_list,
-            limits=limits, paper_scale=args.paper_scale, jobs=args.jobs)
+            limits=limits, paper_scale=args.paper_scale, jobs=args.jobs,
+            runner=runner)
         experiments.append(experiment)
         sections.append(format_table4(experiment, engines=engine_list))
     if want("table5"):
@@ -137,7 +152,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             qubit_counts=QUICK_TABLE5_QUBITS if args.quick else None,
             engines=engine_list,
             include_stabilizer=engines is None,
-            limits=limits, paper_scale=args.paper_scale, jobs=args.jobs)
+            limits=limits, paper_scale=args.paper_scale, jobs=args.jobs,
+            runner=runner)
         experiments.append(experiment)
         sections.append(format_table5(experiment, engines=table5_engines))
     if want("table6"):
@@ -145,7 +161,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             qubit_counts=QUICK_TABLE6_QUBITS if args.quick else None,
             circuits_per_size=seeds or (1 if args.quick else 2),
             engines=engine_list,
-            limits=limits, paper_scale=args.paper_scale, jobs=args.jobs)
+            limits=limits, paper_scale=args.paper_scale, jobs=args.jobs,
+            runner=runner)
         experiments.append(experiment)
         sections.append(format_table6(experiment, engines=engine_list))
     if want("accuracy"):
@@ -165,6 +182,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, default=str)
             handle.write("\n")
+    if client is not None:
+        client.close()
     return 0
 
 

@@ -21,7 +21,7 @@ the numbers shipped with the repository.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.engines.frontdoor import run_tasks
@@ -37,6 +37,10 @@ from repro.workloads.supremacy import TABLE6_LATTICES, grcs_circuit
 
 #: Default engines compared in the paper's tables.
 DEFAULT_ENGINES: Tuple[str, ...] = ("qmdd", "bitslice")
+
+#: Anything with the :func:`repro.engines.frontdoor.run_tasks` signature —
+#: the local executor itself, or a service client's ``run_tasks``.
+Runner = Callable[..., List[RunResult]]
 
 
 @dataclass
@@ -61,15 +65,23 @@ class ExperimentResult:
 def _run_grouped(experiment: ExperimentResult,
                  grid: Sequence[Tuple[object, str, QuantumCircuit]],
                  limits: Optional[ResourceLimits],
-                 jobs: int) -> None:
+                 jobs: int,
+                 runner: Optional[Runner] = None) -> None:
     """Execute a (group, engine, circuit) grid and record grouped results.
 
     The grid is flattened into engine tasks, executed (serially or across
     process workers), and regrouped in grid order, so the populated
     ``experiment.runs``/``summaries`` are identical for any ``jobs`` value.
+
+    ``runner`` swaps the executor: any callable with the
+    :func:`repro.engines.frontdoor.run_tasks` signature, e.g. a service
+    client's ``run_tasks`` (``harness --server ADDR``), which routes the
+    whole grid through a running ``repro-serve`` instance and returns
+    byte-identical results.
     """
-    results = run_tasks([(engine, circuit) for _, engine, circuit in grid],
-                        limits=limits, jobs=jobs)
+    execute = runner if runner is not None else run_tasks
+    results = execute([(engine, circuit) for _, engine, circuit in grid],
+                      limits=limits, jobs=jobs)
     grouped: Dict[Tuple[object, str], List[RunResult]] = {}
     for (group, engine, _), result in zip(grid, results):
         grouped.setdefault((group, engine), []).append(result)
@@ -92,7 +104,8 @@ def table3_experiment(qubit_counts: Optional[Sequence[int]] = None,
                       limits: Optional[ResourceLimits] = None,
                       paper_scale: bool = False,
                       base_seed: int = 2021,
-                      jobs: int = 1) -> ExperimentResult:
+                      jobs: int = 1,
+                      runner: Optional[Runner] = None) -> ExperimentResult:
     """Random circuits (paper Table III): 3:1 gate:qubit ratio, H prologue."""
     if qubit_counts is None:
         qubit_counts = TABLE3_PAPER_QUBITS if paper_scale else TABLE3_DEFAULT_QUBITS
@@ -117,7 +130,7 @@ def table3_experiment(qubit_counts: Optional[Sequence[int]] = None,
         ]
         for engine in engines:
             grid.extend((num_qubits, engine, circuit) for circuit in circuits)
-    _run_grouped(experiment, grid, limits, jobs)
+    _run_grouped(experiment, grid, limits, jobs, runner=runner)
     return experiment
 
 
@@ -128,7 +141,8 @@ def table4_experiment(families: Optional[Sequence[str]] = None,
                       engines: Sequence[str] = DEFAULT_ENGINES,
                       limits: Optional[ResourceLimits] = None,
                       paper_scale: bool = False,
-                      jobs: int = 1) -> ExperimentResult:
+                      jobs: int = 1,
+                      runner: Optional[Runner] = None) -> ExperimentResult:
     """RevLib-style circuits (paper Table IV): original vs H-modified."""
     limits = limits or (ResourceLimits(max_seconds=7200, max_nodes=None)
                         if paper_scale else ResourceLimits(max_seconds=60.0,
@@ -142,7 +156,7 @@ def table4_experiment(families: Optional[Sequence[str]] = None,
             group = (name, variant_label)
             for engine in engines:
                 grid.append((group, engine, circuit))
-    _run_grouped(experiment, grid, limits, jobs)
+    _run_grouped(experiment, grid, limits, jobs, runner=runner)
     return experiment
 
 
@@ -160,7 +174,8 @@ def table5_experiment(qubit_counts: Optional[Sequence[int]] = None,
                       include_stabilizer: bool = True,
                       limits: Optional[ResourceLimits] = None,
                       paper_scale: bool = False,
-                      jobs: int = 1) -> ExperimentResult:
+                      jobs: int = 1,
+                      runner: Optional[Runner] = None) -> ExperimentResult:
     """Entanglement (GHZ) and Bernstein–Vazirani circuits (paper Table V)."""
     if qubit_counts is None:
         qubit_counts = TABLE5_PAPER_QUBITS if paper_scale else TABLE5_DEFAULT_QUBITS
@@ -185,7 +200,7 @@ def table5_experiment(qubit_counts: Optional[Sequence[int]] = None,
         for engine in engine_list:
             grid.append((("entanglement", num_qubits), engine, entanglement))
             grid.append((("bv", num_qubits), engine, bv))
-    _run_grouped(experiment, grid, limits, jobs)
+    _run_grouped(experiment, grid, limits, jobs, runner=runner)
     return experiment
 
 
@@ -205,7 +220,8 @@ def table6_experiment(qubit_counts: Optional[Sequence[int]] = None,
                       limits: Optional[ResourceLimits] = None,
                       paper_scale: bool = False,
                       base_seed: int = 2021,
-                      jobs: int = 1) -> ExperimentResult:
+                      jobs: int = 1,
+                      runner: Optional[Runner] = None) -> ExperimentResult:
     """Google supremacy (GRCS) circuits at depth 5 (paper Table VI)."""
     if qubit_counts is None:
         qubit_counts = TABLE6_PAPER_QUBITS if paper_scale else TABLE6_DEFAULT_QUBITS
@@ -230,7 +246,7 @@ def table6_experiment(qubit_counts: Optional[Sequence[int]] = None,
                     for index in range(circuits_per_size)]
         for engine in engines:
             grid.extend((count, engine, circuit) for circuit in circuits)
-    _run_grouped(experiment, grid, limits, jobs)
+    _run_grouped(experiment, grid, limits, jobs, runner=runner)
     return experiment
 
 

@@ -1,0 +1,526 @@
+"""Synchronous and asyncio clients for the simulation service.
+
+Both clients speak the newline-delimited JSON protocol of
+:mod:`repro.service.protocol` and expose the same verbs the in-process
+front door does — :meth:`Client.run` mirrors :func:`repro.run`,
+:meth:`Client.run_tasks` mirrors :func:`repro.engines.frontdoor.run_tasks`
+(signature-compatible, so the harness can swap one for the other) — plus
+the service-only verbs: sessions, job submission/cancellation, stats and
+the live ``watch`` stream.
+
+Replies demultiplex by ``in_reply_to``: a client may have several requests
+in flight and each blocking call reads lines until *its* terminal reply
+arrives, parking replies destined for other calls.  ``error`` replies
+raise :class:`ServiceError` carrying the structured code (``queue_full``,
+``unknown_session``, ``cancelled``, ...) so callers branch on ``exc.code``
+rather than parsing prose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Type, Union)
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.engines.limits import ResourceLimits
+from repro.engines.result import RunResult
+from repro.exceptions import SimulationError
+from repro.service.protocol import (
+    AppendToSession,
+    CancelJob,
+    CancelReply,
+    CloseSession,
+    ErrorReply,
+    JobAccepted,
+    ListSessions,
+    Message,
+    OpenSession,
+    ProbabilityReply,
+    QueryProbability,
+    RunCompleted,
+    SampleShots,
+    ServerStatsRequest,
+    SessionClosed,
+    SessionList,
+    SessionOpened,
+    StatsReply,
+    SubmitRun,
+    SubmitSweep,
+    SweepCompleted,
+    WatchRequest,
+    decode_response,
+    encode_message,
+)
+
+Address = Union[str, Tuple[str, int]]
+
+
+class ServiceError(SimulationError):
+    """A structured ``error`` reply from the server.
+
+    ``code`` is the machine-readable discriminator (``queue_full``,
+    ``unknown_session``, ``too_many_sessions``, ``bad_request``,
+    ``version_mismatch``, ``cancelled``, ``internal``); ``details`` carries
+    code-specific context (e.g. queue ``depth`` / ``capacity``).
+    """
+
+    def __init__(self, code: str, message: str,
+                 details: Optional[Dict[str, Any]] = None):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.details = details or {}
+
+
+def parse_address(address: Address) -> Tuple[Optional[str],
+                                             Optional[Tuple[str, int]]]:
+    """Normalise a service address.
+
+    Accepts ``(host, port)`` tuples, ``"host:port"`` strings and
+    ``"unix:/path/to.sock"`` strings; returns ``(unix_path, tcp_pair)``
+    with exactly one of the two set.
+    """
+    if isinstance(address, tuple):
+        return None, (str(address[0]), int(address[1]))
+    text = str(address)
+    if text.startswith("unix:"):
+        return text[len("unix:"):], None
+    if text.count(":") >= 1:
+        host, _, port = text.rpartition(":")
+        try:
+            return None, (host or "127.0.0.1", int(port))
+        except ValueError as exc:
+            raise ValueError(f"bad service address {address!r}") from exc
+    raise ValueError(f"bad service address {address!r} "
+                     "(want host:port, (host, port) or unix:/path)")
+
+
+class _ReplyRouter:
+    """Shared demultiplexing state: replies parked per request id."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._pending: Dict[str, List[Message]] = {}
+
+    def next_id(self) -> str:
+        return f"c{next(self._ids)}"
+
+    def park(self, msg_id: Optional[str], message: Message) -> None:
+        if msg_id is not None:
+            self._pending.setdefault(msg_id, []).append(message)
+
+    def take(self, msg_id: str) -> Optional[Message]:
+        parked = self._pending.get(msg_id)
+        if parked:
+            message = parked.pop(0)
+            if not parked:
+                del self._pending[msg_id]
+            return message
+        return None
+
+
+def _accept(message: Message, accept: Tuple[Type[Message], ...],
+            intermediate: Tuple[Type[Message], ...]) -> Optional[str]:
+    """Classify a routed reply: ``"final"``, ``"skip"`` or raise."""
+    if isinstance(message, ErrorReply):
+        raise ServiceError(message.code, message.message, message.details)
+    if isinstance(message, accept):
+        return "final"
+    if isinstance(message, intermediate):
+        return "skip"
+    raise ServiceError("protocol",
+                       f"unexpected reply kind {message.kind!r}")
+
+
+class Client:
+    """Blocking socket client for the simulation service.
+
+    Connect with an address accepted by :func:`parse_address`; use as a
+    context manager to close the socket deterministically.  All methods
+    are synchronous; ``timeout`` (seconds) bounds each socket read.
+    """
+
+    def __init__(self, address: Address, timeout: Optional[float] = 60.0):
+        unix_path, tcp = parse_address(address)
+        if unix_path is not None:
+            self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._socket.settimeout(timeout)
+            self._socket.connect(unix_path)
+        else:
+            self._socket = socket.create_connection(tcp, timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+        self._router = _ReplyRouter()
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the connection (outstanding server-side jobs of this
+        connection are cancelled by the server's disconnect handling)."""
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "Client":
+        """Context-manager entry."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()
+
+    def _send(self, message: Message) -> str:
+        msg_id = self._router.next_id()
+        self._socket.sendall(encode_message(message, msg_id=msg_id))
+        return msg_id
+
+    def _read_reply(self) -> Tuple[Message, Optional[str]]:
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("disconnected", "server closed the connection")
+        message, envelope = decode_response(line)
+        return message, envelope.get("in_reply_to")
+
+    def _wait(self, msg_id: str, accept: Tuple[Type[Message], ...],
+              intermediate: Tuple[Type[Message], ...] = ()) -> Message:
+        while True:
+            message = self._router.take(msg_id)
+            if message is None:
+                message, reply_to = self._read_reply()
+                if reply_to != msg_id:
+                    self._router.park(reply_to, message)
+                    continue
+            verdict = _accept(message, accept, intermediate)
+            if verdict == "final":
+                return message
+
+    def _roundtrip(self, request: Message,
+                   accept: Tuple[Type[Message], ...],
+                   intermediate: Tuple[Type[Message], ...] = ()) -> Message:
+        return self._wait(self._send(request), accept,
+                          intermediate=intermediate)
+
+    # ------------------------------------------------------------------ #
+    # front-door mirrors
+    # ------------------------------------------------------------------ #
+    def run(self, circuit: QuantumCircuit, engine: str = "auto",
+            limits: Optional[ResourceLimits] = None,
+            shots: Optional[int] = None, seed: Optional[int] = None,
+            reorder: Optional[int] = None,
+            priority: int = 0) -> RunResult:
+        """Run one circuit on the server; blocks until the run record
+        arrives (mirrors :func:`repro.run`)."""
+        reply = self._roundtrip(
+            SubmitRun(circuit, engine=engine, limits=limits, shots=shots,
+                      seed=seed, reorder=reorder, priority=priority),
+            accept=(RunCompleted,), intermediate=(JobAccepted,))
+        return reply.result
+
+    def run_tasks(self, tasks: Sequence[Tuple[str, QuantumCircuit]],
+                  limits: Optional[ResourceLimits] = None, jobs: int = 1,
+                  shots: Optional[int] = None, seed: Optional[int] = None,
+                  reorder: Optional[int] = None,
+                  priority: int = 0) -> List[RunResult]:
+        """Run an (engine, circuit) task list as one sweep job; results come
+        back in task order, byte-identical to a local serial
+        :func:`repro.engines.frontdoor.run_tasks` of the same list.
+
+        ``jobs`` is accepted for signature compatibility with the local
+        front door (so the harness can swap runners) but ignored: the
+        server always executes a sweep serially inside one job, which is
+        what guarantees the byte-identity."""
+        del jobs
+        reply = self._roundtrip(
+            SubmitSweep(list(tasks), limits=limits, shots=shots, seed=seed,
+                        reorder=reorder, priority=priority),
+            accept=(SweepCompleted,), intermediate=(JobAccepted,))
+        return reply.results
+
+    def sample(self, circuit: QuantumCircuit, shots: int,
+               engine: str = "auto",
+               limits: Optional[ResourceLimits] = None,
+               seed: Optional[int] = None,
+               priority: int = 0) -> RunResult:
+        """Sample ``shots`` measurement shots; the run record carries the
+        counts histogram."""
+        reply = self._roundtrip(
+            SampleShots(circuit, shots=shots, engine=engine, limits=limits,
+                        seed=seed, priority=priority),
+            accept=(RunCompleted,), intermediate=(JobAccepted,))
+        return reply.result
+
+    def query_probability(self, circuit: QuantumCircuit,
+                          qubits: Sequence[int], values: Sequence[int],
+                          engine: str = "auto",
+                          limits: Optional[ResourceLimits] = None,
+                          priority: int = 0) -> float:
+        """Joint probability ``P(qubits = values)`` after running the
+        circuit server-side."""
+        reply = self._roundtrip(
+            QueryProbability(circuit, qubits=list(qubits),
+                             values=list(values), engine=engine,
+                             limits=limits, priority=priority),
+            accept=(ProbabilityReply,), intermediate=(JobAccepted,))
+        return reply.probability
+
+    # ------------------------------------------------------------------ #
+    # job control
+    # ------------------------------------------------------------------ #
+    def submit(self, circuit: QuantumCircuit, engine: str = "auto",
+               limits: Optional[ResourceLimits] = None,
+               shots: Optional[int] = None, seed: Optional[int] = None,
+               reorder: Optional[int] = None, priority: int = 0) -> str:
+        """Fire-and-return submission: block only until ``job_accepted``
+        and return the job id (the terminal reply is read later by
+        whichever call drains the connection, or discarded at close)."""
+        reply = self._roundtrip(
+            SubmitRun(circuit, engine=engine, limits=limits, shots=shots,
+                      seed=seed, reorder=reorder, priority=priority),
+            accept=(JobAccepted,))
+        return reply.job_id
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a job by id; returns the server's outcome string
+        (``cancelled`` / ``cancelling`` / ``finished`` / ``unknown``)."""
+        reply = self._roundtrip(CancelJob(job_id), accept=(CancelReply,))
+        return reply.outcome
+
+    # ------------------------------------------------------------------ #
+    # sessions
+    # ------------------------------------------------------------------ #
+    def open_session(self, num_qubits: int, engine: str = "bitslice",
+                     limits: Optional[ResourceLimits] = None) -> str:
+        """Open a warm session; returns its id."""
+        reply = self._roundtrip(
+            OpenSession(num_qubits=num_qubits, engine=engine, limits=limits),
+            accept=(SessionOpened,))
+        return reply.session_id
+
+    def append(self, session_id: str, circuit: QuantumCircuit,
+               shots: Optional[int] = None, seed: Optional[int] = None,
+               priority: int = 0) -> RunResult:
+        """Append a delta circuit to a session and run it, resuming from
+        the session's retained prefix state; returns the run record of the
+        cumulative circuit."""
+        reply = self._roundtrip(
+            AppendToSession(session_id, circuit, shots=shots, seed=seed,
+                            priority=priority),
+            accept=(RunCompleted,), intermediate=(JobAccepted,))
+        return reply.result
+
+    def close_session(self, session_id: str) -> int:
+        """Close a session; returns how many appends it served."""
+        reply = self._roundtrip(CloseSession(session_id),
+                                accept=(SessionClosed,))
+        return reply.appends
+
+    # ------------------------------------------------------------------ #
+    # admin
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """One admin snapshot (queue gauges, sessions, merged counters)."""
+        reply = self._roundtrip(ServerStatsRequest(), accept=(StatsReply,))
+        return reply.stats
+
+    def sessions(self) -> List[Dict[str, Any]]:
+        """Live-session summaries."""
+        reply = self._roundtrip(ListSessions(), accept=(SessionList,))
+        return reply.sessions
+
+    def watch(self, interval: float = 1.0,
+              count: Optional[int] = None) -> Iterator[Dict[str, Any]]:
+        """Yield stats snapshots streamed by the server every ``interval``
+        seconds, ``count`` times (``None`` streams until the caller stops
+        iterating and closes the connection)."""
+        msg_id = self._send(WatchRequest(interval=interval, count=count))
+        produced = 0
+        while count is None or produced < count:
+            message = self._wait(msg_id, accept=(StatsReply,))
+            produced += 1
+            yield message.stats
+
+
+class AsyncClient:
+    """Asyncio client for the simulation service (same verbs as
+    :class:`Client`, every method a coroutine).
+
+    Create via :meth:`connect`; concurrent coroutines may issue requests
+    on one connection — replies demultiplex by ``in_reply_to`` under a
+    reader lock.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._stream_reader = reader
+        self._writer = writer
+        self._router = _ReplyRouter()
+        self._read_lock = asyncio.Lock()
+        self._reply_ready = asyncio.Condition()
+
+    @classmethod
+    async def connect(cls, address: Address) -> "AsyncClient":
+        """Open a connection to ``address`` (see :func:`parse_address`)."""
+        unix_path, tcp = parse_address(address)
+        if unix_path is not None:
+            reader, writer = await asyncio.open_unix_connection(unix_path)
+        else:
+            reader, writer = await asyncio.open_connection(tcp[0], tcp[1])
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        """Close the connection."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "AsyncClient":
+        """Async context-manager entry."""
+        return self
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        """Async context-manager exit: close the connection."""
+        await self.close()
+
+    async def _send(self, message: Message) -> str:
+        msg_id = self._router.next_id()
+        self._writer.write(encode_message(message, msg_id=msg_id))
+        await self._writer.drain()
+        return msg_id
+
+    async def _wait(self, msg_id: str, accept: Tuple[Type[Message], ...],
+                    intermediate: Tuple[Type[Message], ...] = ()) -> Message:
+        while True:
+            message = self._router.take(msg_id)
+            if message is None:
+                if self._read_lock.locked():
+                    # Another coroutine is reading; wait for it to park
+                    # something, then re-check our mailbox.
+                    async with self._reply_ready:
+                        try:
+                            await asyncio.wait_for(self._reply_ready.wait(),
+                                                   0.5)
+                        except asyncio.TimeoutError:
+                            pass
+                    continue
+                async with self._read_lock:
+                    line = await self._stream_reader.readline()
+                if not line:
+                    raise ServiceError("disconnected",
+                                       "server closed the connection")
+                message, envelope = decode_response(line)
+                reply_to = envelope.get("in_reply_to")
+                if reply_to != msg_id:
+                    self._router.park(reply_to, message)
+                    async with self._reply_ready:
+                        self._reply_ready.notify_all()
+                    continue
+            verdict = _accept(message, accept, intermediate)
+            if verdict == "final":
+                return message
+
+    async def _roundtrip(self, request: Message,
+                         accept: Tuple[Type[Message], ...],
+                         intermediate: Tuple[Type[Message], ...] = ()
+                         ) -> Message:
+        msg_id = await self._send(request)
+        return await self._wait(msg_id, accept, intermediate=intermediate)
+
+    async def run(self, circuit: QuantumCircuit, engine: str = "auto",
+                  limits: Optional[ResourceLimits] = None,
+                  shots: Optional[int] = None, seed: Optional[int] = None,
+                  reorder: Optional[int] = None,
+                  priority: int = 0) -> RunResult:
+        """Async mirror of :meth:`Client.run`."""
+        reply = await self._roundtrip(
+            SubmitRun(circuit, engine=engine, limits=limits, shots=shots,
+                      seed=seed, reorder=reorder, priority=priority),
+            accept=(RunCompleted,), intermediate=(JobAccepted,))
+        return reply.result
+
+    async def run_tasks(self, tasks: Sequence[Tuple[str, QuantumCircuit]],
+                        limits: Optional[ResourceLimits] = None,
+                        jobs: int = 1, shots: Optional[int] = None,
+                        seed: Optional[int] = None,
+                        reorder: Optional[int] = None,
+                        priority: int = 0) -> List[RunResult]:
+        """Async mirror of :meth:`Client.run_tasks` (``jobs`` likewise
+        accepted-and-ignored)."""
+        del jobs
+        reply = await self._roundtrip(
+            SubmitSweep(list(tasks), limits=limits, shots=shots, seed=seed,
+                        reorder=reorder, priority=priority),
+            accept=(SweepCompleted,), intermediate=(JobAccepted,))
+        return reply.results
+
+    async def query_probability(self, circuit: QuantumCircuit,
+                                qubits: Sequence[int],
+                                values: Sequence[int],
+                                engine: str = "auto",
+                                limits: Optional[ResourceLimits] = None,
+                                priority: int = 0) -> float:
+        """Async mirror of :meth:`Client.query_probability`."""
+        reply = await self._roundtrip(
+            QueryProbability(circuit, qubits=list(qubits),
+                             values=list(values), engine=engine,
+                             limits=limits, priority=priority),
+            accept=(ProbabilityReply,), intermediate=(JobAccepted,))
+        return reply.probability
+
+    async def open_session(self, num_qubits: int, engine: str = "bitslice",
+                           limits: Optional[ResourceLimits] = None) -> str:
+        """Async mirror of :meth:`Client.open_session`."""
+        reply = await self._roundtrip(
+            OpenSession(num_qubits=num_qubits, engine=engine, limits=limits),
+            accept=(SessionOpened,))
+        return reply.session_id
+
+    async def append(self, session_id: str, circuit: QuantumCircuit,
+                     shots: Optional[int] = None,
+                     seed: Optional[int] = None,
+                     priority: int = 0) -> RunResult:
+        """Async mirror of :meth:`Client.append`."""
+        reply = await self._roundtrip(
+            AppendToSession(session_id, circuit, shots=shots, seed=seed,
+                            priority=priority),
+            accept=(RunCompleted,), intermediate=(JobAccepted,))
+        return reply.result
+
+    async def close_session(self, session_id: str) -> int:
+        """Async mirror of :meth:`Client.close_session`."""
+        reply = await self._roundtrip(CloseSession(session_id),
+                                      accept=(SessionClosed,))
+        return reply.appends
+
+    async def stats(self) -> Dict[str, Any]:
+        """Async mirror of :meth:`Client.stats`."""
+        reply = await self._roundtrip(ServerStatsRequest(),
+                                      accept=(StatsReply,))
+        return reply.stats
+
+    async def sessions(self) -> List[Dict[str, Any]]:
+        """Async mirror of :meth:`Client.sessions`."""
+        reply = await self._roundtrip(ListSessions(),
+                                      accept=(SessionList,))
+        return reply.sessions
+
+    async def cancel(self, job_id: str) -> str:
+        """Async mirror of :meth:`Client.cancel`."""
+        reply = await self._roundtrip(CancelJob(job_id),
+                                      accept=(CancelReply,))
+        return reply.outcome
+
+
+def make_runner(client: Client) -> Callable:
+    """Adapt a :class:`Client` into a drop-in ``run_tasks`` replacement
+    for harness experiments (``harness --server ADDR`` uses this)."""
+    return client.run_tasks
+
+
+__all__ = ["Address", "AsyncClient", "Client", "ServiceError",
+           "make_runner", "parse_address"]

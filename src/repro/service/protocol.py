@@ -1,0 +1,652 @@
+"""Typed wire protocol of the simulation service.
+
+Messages travel as **newline-delimited JSON** (one object per line) over a
+TCP or unix-domain stream.  Every line is an *envelope*::
+
+    {"kind": "submit_run", "v": 1, "id": "c1", ...payload...}
+
+``kind`` names the message type, ``v`` pins :data:`PROTOCOL_VERSION` (a
+mismatch is rejected before any payload parsing), ``id`` is the sender's
+correlation token and responses echo it back as ``in_reply_to``.  The
+payload fields are flattened into the envelope; they never collide with
+the reserved keys.
+
+Each message kind is a dataclass below — requests in
+:data:`REQUEST_TYPES`, responses in :data:`RESPONSE_TYPES` — and the
+value-level codecs (:func:`circuit_to_wire`, :func:`result_to_wire`,
+:func:`limits_to_wire`) translate the repository's first-class objects
+(:class:`~repro.circuit.circuit.QuantumCircuit`,
+:class:`~repro.engines.result.RunResult`,
+:class:`~repro.engines.limits.ResourceLimits`) to and from plain JSON.
+The result codec carries every *raw* field of the run record, so a client
+reconstructs a :class:`RunResult` whose deterministic serialisation
+(``to_dict(timings=False)``) is byte-identical to the server-side one —
+the wire adds no lossy re-encoding step.
+
+Asynchronous request kinds (``submit_run``, ``submit_sweep``,
+``sample_shots``, ``query_probability``, ``append_to_session``) are
+answered twice: a :class:`JobAccepted` immediately (carrying the server's
+job id, usable with :class:`CancelJob`), then the terminal result /
+:class:`ErrorReply` when the job finishes.  Synchronous kinds (session
+management, stats, cancellation) are answered once.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Optional, Tuple, Type
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, GateKind
+from repro.engines.limits import ResourceLimits
+from repro.engines.result import RunResult
+from repro.exceptions import SimulationError
+
+#: Version tag carried by every envelope; a peer speaking another version
+#: is rejected with a ``version_mismatch`` error before payload parsing.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(SimulationError):
+    """A malformed, unknown-kind or version-incompatible wire message."""
+
+
+# --------------------------------------------------------------------- #
+# value codecs
+# --------------------------------------------------------------------- #
+def limits_to_wire(limits: Optional[ResourceLimits]) -> Optional[Dict[str, Any]]:
+    """:class:`ResourceLimits` as a plain dict (``None`` passes through)."""
+    if limits is None:
+        return None
+    return {"max_seconds": limits.max_seconds,
+            "max_nodes": limits.max_nodes,
+            "max_dense_qubits": limits.max_dense_qubits}
+
+
+def limits_from_wire(data: Optional[Dict[str, Any]]) -> Optional[ResourceLimits]:
+    """Rebuild :class:`ResourceLimits` from :func:`limits_to_wire` output."""
+    if data is None:
+        return None
+    try:
+        return ResourceLimits(
+            max_seconds=data.get("max_seconds"),
+            max_nodes=data.get("max_nodes"),
+            max_dense_qubits=data.get("max_dense_qubits", 24))
+    except (TypeError, AttributeError) as exc:
+        raise ProtocolError(f"bad limits payload: {exc}") from exc
+
+
+def circuit_to_wire(circuit: QuantumCircuit) -> Dict[str, Any]:
+    """A :class:`QuantumCircuit` as a plain dict: register width, name, the
+    ordered gate stream (kind / targets / controls / clbits / condition)
+    and the terminal measurement markers."""
+    gates = []
+    for gate in circuit.gates:
+        entry: Dict[str, Any] = {"kind": gate.kind.value,
+                                 "targets": list(gate.targets)}
+        if gate.controls:
+            entry["controls"] = list(gate.controls)
+        if gate.clbits:
+            entry["clbits"] = list(gate.clbits)
+        if gate.condition is not None:
+            entry["condition"] = gate.condition
+        gates.append(entry)
+    return {"num_qubits": circuit.num_qubits,
+            "name": circuit.name,
+            "gates": gates,
+            "measure": [[qubit, clbit]
+                        for qubit, clbit in circuit.final_measurement_map()],
+            "num_clbits": circuit.num_clbits}
+
+
+def circuit_from_wire(data: Dict[str, Any]) -> QuantumCircuit:
+    """Rebuild a :class:`QuantumCircuit` from :func:`circuit_to_wire` output
+    (gate validation runs again on this side, so a hand-crafted payload
+    cannot smuggle an ill-formed gate past the IR's invariants)."""
+    try:
+        circuit = QuantumCircuit(int(data["num_qubits"]),
+                                 name=str(data.get("name", "")))
+        for entry in data.get("gates", ()):
+            circuit.append(Gate(GateKind(entry["kind"]),
+                                tuple(entry["targets"]),
+                                tuple(entry.get("controls", ())),
+                                tuple(entry.get("clbits", ())),
+                                entry.get("condition")))
+        for qubit, clbit in data.get("measure", ()):
+            circuit.measure(int(qubit), int(clbit))
+        circuit.num_clbits = max(circuit.num_clbits,
+                                 int(data.get("num_clbits", 0)))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad circuit payload: {exc}") from exc
+    return circuit
+
+
+def result_to_wire(result: RunResult) -> Dict[str, Any]:
+    """A :class:`RunResult` as a plain dict carrying every raw field (counts
+    keys become strings — JSON objects cannot have integer keys)."""
+    data: Dict[str, Any] = {
+        "engine": result.engine,
+        "circuit_name": result.circuit_name,
+        "num_qubits": result.num_qubits,
+        "num_gates": result.num_gates,
+        "status": result.status,
+        "elapsed_seconds": result.elapsed_seconds,
+        "peak_memory_nodes": result.peak_memory_nodes,
+        "final_probability": result.final_probability,
+        "detail": result.detail,
+        "extra": dict(result.extra),
+        "requested_engine": result.requested_engine,
+        "shots": result.shots,
+        "seed": result.seed,
+        "counts_width": result.counts_width,
+    }
+    if result.counts is not None:
+        data["counts"] = {str(key): value
+                          for key, value in result.counts.items()}
+    return data
+
+
+def result_from_wire(data: Dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_wire` output; the
+    reconstruction round-trips ``to_dict(timings=False)`` byte-identically."""
+    counts = data.get("counts")
+    if counts is not None:
+        counts = {int(key): int(value) for key, value in counts.items()}
+    try:
+        return RunResult(
+            engine=data["engine"],
+            circuit_name=data["circuit_name"],
+            num_qubits=int(data["num_qubits"]),
+            num_gates=int(data["num_gates"]),
+            status=data["status"],
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            peak_memory_nodes=int(data.get("peak_memory_nodes", 0)),
+            final_probability=data.get("final_probability"),
+            detail=str(data.get("detail", "")),
+            extra=dict(data.get("extra") or {}),
+            requested_engine=str(data.get("requested_engine", "")),
+            shots=data.get("shots"),
+            seed=data.get("seed"),
+            counts=counts,
+            counts_width=data.get("counts_width"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad result payload: {exc}") from exc
+
+
+# Field codecs used by the generic payload machinery below.
+def _encode_field(codec: str, value: Any) -> Any:
+    if value is None:
+        return None
+    if codec == "circuit":
+        return circuit_to_wire(value)
+    if codec == "limits":
+        return limits_to_wire(value)
+    if codec == "result":
+        return result_to_wire(value)
+    if codec == "results":
+        return [result_to_wire(result) for result in value]
+    if codec == "tasks":
+        return [{"engine": engine, "circuit": circuit_to_wire(circuit)}
+                for engine, circuit in value]
+    return value
+
+
+def _decode_field(codec: str, value: Any) -> Any:
+    if value is None:
+        return None
+    if codec == "circuit":
+        return circuit_from_wire(value)
+    if codec == "limits":
+        return limits_from_wire(value)
+    if codec == "result":
+        return result_from_wire(value)
+    if codec == "results":
+        return [result_from_wire(entry) for entry in value]
+    if codec == "tasks":
+        try:
+            return [(entry["engine"], circuit_from_wire(entry["circuit"]))
+                    for entry in value]
+        except (KeyError, TypeError) as exc:
+            raise ProtocolError(f"bad task list payload: {exc}") from exc
+    return value
+
+
+# --------------------------------------------------------------------- #
+# message base
+# --------------------------------------------------------------------- #
+@dataclass
+class Message:
+    """Base of every wire message: a ``kind`` tag plus a declarative field
+    table (``_WIRE``: name → codec) driving generic JSON (de)serialisation.
+
+    Subclasses are plain dataclasses; their ``_WIRE`` entries name each
+    field and the codec translating it (``raw`` for JSON-native values,
+    ``circuit`` / ``limits`` / ``result`` / ``results`` / ``tasks`` for the
+    first-class objects)."""
+
+    kind: ClassVar[str] = ""
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = ()
+
+    def payload(self) -> Dict[str, Any]:
+        """Encode the message's fields into a JSON-ready payload dict
+        (``None``-valued optional fields are omitted from the wire)."""
+        data: Dict[str, Any] = {}
+        for name, codec in self._WIRE:
+            value = _encode_field(codec, getattr(self, name))
+            if value is not None:
+                data[name] = value
+        return data
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, Any]) -> "Message":
+        """Rebuild a message of this kind from a decoded envelope dict
+        (unknown keys are ignored, missing optional fields keep their
+        defaults, a missing required field raises :class:`ProtocolError`)."""
+        kwargs = {}
+        for name, codec in cls._WIRE:
+            if name in data:
+                kwargs[name] = _decode_field(codec, data[name])
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad {cls.kind} payload: {exc}") from exc
+
+
+# --------------------------------------------------------------------- #
+# requests
+# --------------------------------------------------------------------- #
+@dataclass
+class SubmitRun(Message):
+    """Run one circuit on one engine asynchronously; answered by
+    :class:`JobAccepted` and then :class:`RunCompleted`."""
+
+    circuit: QuantumCircuit
+    engine: str = "auto"
+    limits: Optional[ResourceLimits] = None
+    shots: Optional[int] = None
+    seed: Optional[int] = None
+    reorder: Optional[int] = None
+    priority: int = 0
+
+    kind: ClassVar[str] = "submit_run"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("circuit", "circuit"), ("engine", "raw"), ("limits", "limits"),
+        ("shots", "raw"), ("seed", "raw"), ("reorder", "raw"),
+        ("priority", "raw"))
+
+
+@dataclass
+class SubmitSweep(Message):
+    """Run an explicit (engine, circuit) task list as **one job**, executed
+    serially server-side with per-task seeds derived exactly as in
+    :func:`repro.engines.frontdoor.run_tasks` — so the returned results are
+    byte-identical to a local ``run_sweep()`` of the same grid.  Answered
+    by :class:`JobAccepted` and then :class:`SweepCompleted`."""
+
+    tasks: List[Tuple[str, QuantumCircuit]]
+    limits: Optional[ResourceLimits] = None
+    shots: Optional[int] = None
+    seed: Optional[int] = None
+    reorder: Optional[int] = None
+    priority: int = 0
+
+    kind: ClassVar[str] = "submit_sweep"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("tasks", "tasks"), ("limits", "limits"), ("shots", "raw"),
+        ("seed", "raw"), ("reorder", "raw"), ("priority", "raw"))
+
+
+@dataclass
+class SampleShots(Message):
+    """Sample measurement shots from a circuit (a :class:`SubmitRun` whose
+    ``shots`` is mandatory); answered by :class:`JobAccepted` and then
+    :class:`RunCompleted` carrying the counts."""
+
+    circuit: QuantumCircuit
+    shots: int = 0
+    engine: str = "auto"
+    limits: Optional[ResourceLimits] = None
+    seed: Optional[int] = None
+    priority: int = 0
+
+    kind: ClassVar[str] = "sample_shots"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("circuit", "circuit"), ("shots", "raw"), ("engine", "raw"),
+        ("limits", "limits"), ("seed", "raw"), ("priority", "raw"))
+
+
+@dataclass
+class QueryProbability(Message):
+    """Execute a circuit and answer one joint-outcome probability query
+    (``P(qubits = values)``); answered by :class:`JobAccepted` and then
+    :class:`ProbabilityReply`."""
+
+    circuit: QuantumCircuit
+    qubits: List[int] = field(default_factory=list)
+    values: List[int] = field(default_factory=list)
+    engine: str = "auto"
+    limits: Optional[ResourceLimits] = None
+    priority: int = 0
+
+    kind: ClassVar[str] = "query_probability"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("circuit", "circuit"), ("qubits", "raw"), ("values", "raw"),
+        ("engine", "raw"), ("limits", "limits"), ("priority", "raw"))
+
+
+@dataclass
+class OpenSession(Message):
+    """Open a long-lived session pinning warm engine state for incremental
+    :class:`AppendToSession` calls; answered by :class:`SessionOpened`."""
+
+    num_qubits: int = 1
+    engine: str = "bitslice"
+    limits: Optional[ResourceLimits] = None
+
+    kind: ClassVar[str] = "open_session"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("num_qubits", "raw"), ("engine", "raw"), ("limits", "limits"))
+
+
+@dataclass
+class AppendToSession(Message):
+    """Extend a session's cumulative circuit by a delta circuit and run it —
+    resuming from the retained prefix state rather than replaying from
+    ``|0>``; answered by :class:`JobAccepted` then :class:`RunCompleted`."""
+
+    session_id: str = ""
+    circuit: Optional[QuantumCircuit] = None
+    shots: Optional[int] = None
+    seed: Optional[int] = None
+    priority: int = 0
+
+    kind: ClassVar[str] = "append_to_session"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("session_id", "raw"), ("circuit", "circuit"), ("shots", "raw"),
+        ("seed", "raw"), ("priority", "raw"))
+
+
+@dataclass
+class CloseSession(Message):
+    """Close a session, releasing its registry slot (the pool-retained
+    prefix states stay subject to the pool's own LRU bound); answered by
+    :class:`SessionClosed`."""
+
+    session_id: str = ""
+
+    kind: ClassVar[str] = "close_session"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (("session_id", "raw"),)
+
+
+@dataclass
+class ServerStatsRequest(Message):
+    """Request one admin-surface snapshot (queue gauges, live sessions, the
+    merged ``service_*`` / ``prefix_*`` / ``result_cache_*`` counters);
+    answered by :class:`StatsReply`."""
+
+    kind: ClassVar[str] = "server_stats"
+
+
+@dataclass
+class ListSessions(Message):
+    """Request the live-session summaries; answered by :class:`SessionList`."""
+
+    kind: ClassVar[str] = "list_sessions"
+
+
+@dataclass
+class CancelJob(Message):
+    """Cancel a queued or running job by the id :class:`JobAccepted`
+    reported; answered by :class:`CancelReply`."""
+
+    job_id: str = ""
+
+    kind: ClassVar[str] = "cancel_job"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (("job_id", "raw"),)
+
+
+@dataclass
+class WatchRequest(Message):
+    """Stream :class:`StatsReply` frames every ``interval`` seconds,
+    ``count`` times (``None`` = until the connection closes)."""
+
+    interval: float = 1.0
+    count: Optional[int] = None
+
+    kind: ClassVar[str] = "watch"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("interval", "raw"), ("count", "raw"))
+
+
+# --------------------------------------------------------------------- #
+# responses
+# --------------------------------------------------------------------- #
+@dataclass
+class JobAccepted(Message):
+    """A job entered the queue; ``job_id`` names it for :class:`CancelJob`.
+    The terminal reply follows on the same connection when it finishes."""
+
+    job_id: str = ""
+
+    kind: ClassVar[str] = "job_accepted"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (("job_id", "raw"),)
+
+
+@dataclass
+class RunCompleted(Message):
+    """Terminal reply of a single-circuit job: the full run record."""
+
+    job_id: str = ""
+    result: Optional[RunResult] = None
+
+    kind: ClassVar[str] = "run_result"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("job_id", "raw"), ("result", "result"))
+
+
+@dataclass
+class SweepCompleted(Message):
+    """Terminal reply of a sweep job: one run record per task, in task
+    order."""
+
+    job_id: str = ""
+    results: List[RunResult] = field(default_factory=list)
+
+    kind: ClassVar[str] = "sweep_result"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("job_id", "raw"), ("results", "results"))
+
+
+@dataclass
+class ProbabilityReply(Message):
+    """Terminal reply of a :class:`QueryProbability` job."""
+
+    job_id: str = ""
+    probability: float = 0.0
+    engine: str = ""
+
+    kind: ClassVar[str] = "probability"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("job_id", "raw"), ("probability", "raw"), ("engine", "raw"))
+
+
+@dataclass
+class SessionOpened(Message):
+    """A session is live (its ``|0>`` state is pinned in the warm pool)."""
+
+    session_id: str = ""
+    engine: str = ""
+    num_qubits: int = 0
+
+    kind: ClassVar[str] = "session_opened"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("session_id", "raw"), ("engine", "raw"), ("num_qubits", "raw"))
+
+
+@dataclass
+class SessionClosed(Message):
+    """A session was closed after ``appends`` successful appends."""
+
+    session_id: str = ""
+    appends: int = 0
+
+    kind: ClassVar[str] = "session_closed"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("session_id", "raw"), ("appends", "raw"))
+
+
+@dataclass
+class StatsReply(Message):
+    """One admin snapshot: queue gauges, session count, uptime and the
+    merged counter bag (see ``docs/perf-counters.md``)."""
+
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    kind: ClassVar[str] = "stats"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (("stats", "raw"),)
+
+
+@dataclass
+class SessionList(Message):
+    """Live-session summaries (id, engine, width, cumulative gate count,
+    append count, idle seconds)."""
+
+    sessions: List[Dict[str, Any]] = field(default_factory=list)
+
+    kind: ClassVar[str] = "session_list"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (("sessions", "raw"),)
+
+
+@dataclass
+class CancelReply(Message):
+    """Outcome of a :class:`CancelJob`: ``cancelled`` (was queued, never
+    ran), ``cancelling`` (running; stops at the next gate boundary),
+    ``finished`` (already done) or ``unknown``."""
+
+    job_id: str = ""
+    outcome: str = "unknown"
+
+    kind: ClassVar[str] = "cancel_result"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("job_id", "raw"), ("outcome", "raw"))
+
+
+@dataclass
+class ErrorReply(Message):
+    """Structured failure reply.  ``code`` is machine-readable
+    (``queue_full``, ``unknown_session``, ``too_many_sessions``,
+    ``bad_request``, ``version_mismatch``, ``cancelled``, ``internal``);
+    ``details`` carries code-specific context such as queue depth."""
+
+    code: str = "internal"
+    message: str = ""
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    kind: ClassVar[str] = "error"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("code", "raw"), ("message", "raw"), ("details", "raw"))
+
+
+def _registry(*classes: Type[Message]) -> Dict[str, Type[Message]]:
+    return {cls.kind: cls for cls in classes}
+
+
+#: Request kinds the server accepts, keyed by ``kind`` tag.
+REQUEST_TYPES: Dict[str, Type[Message]] = _registry(
+    SubmitRun, SubmitSweep, SampleShots, QueryProbability, OpenSession,
+    AppendToSession, CloseSession, ServerStatsRequest, ListSessions,
+    CancelJob, WatchRequest)
+
+#: Response kinds a client may receive, keyed by ``kind`` tag.
+RESPONSE_TYPES: Dict[str, Type[Message]] = _registry(
+    JobAccepted, RunCompleted, SweepCompleted, ProbabilityReply,
+    SessionOpened, SessionClosed, StatsReply, SessionList, CancelReply,
+    ErrorReply)
+
+
+# --------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------- #
+def encode_message(message: Message, msg_id: Optional[str] = None,
+                   in_reply_to: Optional[str] = None) -> bytes:
+    """One wire line: the envelope (kind, version, correlation ids) with the
+    message payload flattened in, JSON-encoded, newline-terminated."""
+    envelope: Dict[str, Any] = {"kind": message.kind, "v": PROTOCOL_VERSION}
+    if msg_id is not None:
+        envelope["id"] = msg_id
+    if in_reply_to is not None:
+        envelope["in_reply_to"] = in_reply_to
+    envelope.update(message.payload())
+    return json.dumps(envelope, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def _decode_line(line: bytes,
+                 registry: Dict[str, Type[Message]]) -> Tuple[Message, Dict[str, Any]]:
+    try:
+        data = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable message line: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ProtocolError("message line is not a JSON object")
+    version = data.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this peer speaks {PROTOCOL_VERSION})")
+    kind = data.get("kind")
+    cls = registry.get(kind)
+    if cls is None:
+        raise ProtocolError(f"unknown message kind {kind!r}")
+    return cls.from_payload(data), data
+
+
+def decode_request(line: bytes) -> Tuple[Message, Dict[str, Any]]:
+    """Parse one request line into its typed message plus the raw envelope
+    (the envelope keeps ``id`` for correlating the reply)."""
+    return _decode_line(line, REQUEST_TYPES)
+
+
+def decode_response(line: bytes) -> Tuple[Message, Dict[str, Any]]:
+    """Parse one response line into its typed message plus the raw envelope
+    (the envelope keeps ``in_reply_to`` for demultiplexing)."""
+    return _decode_line(line, RESPONSE_TYPES)
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Message",
+    "SubmitRun",
+    "SubmitSweep",
+    "SampleShots",
+    "QueryProbability",
+    "OpenSession",
+    "AppendToSession",
+    "CloseSession",
+    "ServerStatsRequest",
+    "ListSessions",
+    "CancelJob",
+    "WatchRequest",
+    "JobAccepted",
+    "RunCompleted",
+    "SweepCompleted",
+    "ProbabilityReply",
+    "SessionOpened",
+    "SessionClosed",
+    "StatsReply",
+    "SessionList",
+    "CancelReply",
+    "ErrorReply",
+    "REQUEST_TYPES",
+    "RESPONSE_TYPES",
+    "encode_message",
+    "decode_request",
+    "decode_response",
+    "circuit_to_wire",
+    "circuit_from_wire",
+    "result_to_wire",
+    "result_from_wire",
+    "limits_to_wire",
+    "limits_from_wire",
+]

@@ -1,0 +1,564 @@
+"""The asyncio simulation server (``repro-serve``).
+
+One process, one event loop, one :class:`~repro.service.scheduler.JobScheduler`
+worker pool: connections speak the newline-delimited JSON protocol of
+:mod:`repro.service.protocol` over TCP or a unix-domain socket, simulation
+jobs run on worker threads (the loop never blocks on a BDD apply), and the
+process-wide :class:`~repro.cache.result_cache.ResultCache` /
+:class:`~repro.cache.sessions.SessionPool` amortise work **across
+requests and across clients** — the cross-run machinery finally facing
+traffic instead of test runs.
+
+Request handling rules:
+
+* Async job kinds reply ``job_accepted`` immediately, then the terminal
+  result (or a structured ``error``) when the job finishes; a client may
+  have many jobs in flight on one connection and replies demultiplex by
+  ``in_reply_to``.
+* A full queue rejects at submission time with ``error`` /
+  ``queue_full`` — structured backpressure, never a hang.
+* A client disconnecting mid-job cancels its outstanding jobs (queued
+  ones conclude instantly, running ones stop at the next gate boundary),
+  so abandoned work cannot occupy the pool.
+* Sweeps execute serially inside one job, which preserves the
+  byte-identity guarantee: results equal a local serial ``run_sweep()``.
+
+Run it standalone::
+
+    repro-serve --port 7621             # or: python -m repro.service.server
+    repro-serve --unix /tmp/repro.sock
+
+or embedded (tests, benchmarks) via :func:`serve_background`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.cache.result_cache import ResultCache
+from repro.cache.sessions import SessionPool
+from repro.engines.frontdoor import run, run_tasks
+from repro.engines.limits import LimitEnforcer, ResourceLimits
+from repro.engines.registry import create_engine, resolve_engine
+from repro.engines.result import STATUS_OK
+from repro.exceptions import JobCancelledError
+from repro.perf.counters import PerfCounters
+from repro.service import protocol
+from repro.service.protocol import (
+    AppendToSession,
+    CancelJob,
+    CancelReply,
+    CloseSession,
+    ErrorReply,
+    JobAccepted,
+    ListSessions,
+    Message,
+    OpenSession,
+    ProbabilityReply,
+    ProtocolError,
+    QueryProbability,
+    RunCompleted,
+    SampleShots,
+    ServerStatsRequest,
+    SessionClosed,
+    SessionList,
+    SessionOpened,
+    StatsReply,
+    SubmitRun,
+    SubmitSweep,
+    SweepCompleted,
+    WatchRequest,
+    encode_message,
+)
+from repro.service.scheduler import JobScheduler, QueueFullError
+from repro.service.sessions import SessionLimitError, SessionRegistry
+
+
+class Server:
+    """The persistent simulation service.
+
+    Parameters: listen on ``host`` / ``port`` (``port=0`` picks a free
+    one; :attr:`address` reports it after :meth:`start`) or on a
+    ``unix_path`` socket; ``queue_depth`` bounds the job backlog;
+    ``workers`` sizes the simulation thread pool; ``default_limits``
+    applies to requests that carry no budgets of their own; ``cache`` /
+    ``session_pool`` default to fresh process-wide instances and may be
+    shared with an embedding process.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 unix_path: Optional[str] = None, *,
+                 queue_depth: int = 32, workers: int = 2,
+                 max_sessions: int = 32,
+                 default_limits: Optional[ResourceLimits] = None,
+                 cache: Optional[ResultCache] = None,
+                 session_pool: Optional[SessionPool] = None,
+                 counters: Optional[PerfCounters] = None):
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.default_limits = default_limits or ResourceLimits()
+        self.counters = counters if counters is not None else PerfCounters()
+        self.cache = cache if cache is not None else ResultCache()
+        self.session_pool = (session_pool if session_pool is not None
+                             else SessionPool(max_sessions=max_sessions))
+        self.scheduler = JobScheduler(max_depth=queue_depth, workers=workers,
+                                      counters=self.counters)
+        self.sessions = SessionRegistry(max_sessions=max_sessions)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Union[Tuple[str, int], str]:
+        """Where the server listens: ``(host, port)`` for TCP (the real
+        port, after ``port=0`` resolution) or the unix socket path."""
+        if self.unix_path is not None:
+            return self.unix_path
+        if self._server is not None and self._server.sockets:
+            name = self._server.sockets[0].getsockname()
+            return (name[0], name[1])
+        return (self.host, self.port)
+
+    async def start(self) -> None:
+        """Start the worker pool and begin accepting connections."""
+        self.scheduler.start()
+        self._started_at = time.perf_counter()
+        if self.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.unix_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        """Block serving connections until cancelled (used by ``main``)."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting connections, cancel queued jobs, join workers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.scheduler.stop()
+
+    # ------------------------------------------------------------------ #
+    # admin snapshot
+    # ------------------------------------------------------------------ #
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """One admin-surface snapshot: queue gauges, live sessions, uptime
+        and the merged counter bag (``service_*`` + the pool's
+        ``prefix_*`` + the result cache's ``result_cache_*`` series)."""
+        snapshot: Dict[str, Any] = dict(self.scheduler.stats())
+        snapshot["live_sessions"] = len(self.sessions)
+        snapshot["uptime_seconds"] = time.perf_counter() - self._started_at
+        counters = PerfCounters(self.counters.snapshot())
+        counters.update(self.session_pool.stats())
+        counters.update(self.cache.stats())
+        snapshot["counters"] = counters.snapshot()
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        conn_jobs: Dict[str, Any] = {}
+        deliver_tasks: set = set()
+        send_lock = asyncio.Lock()
+
+        async def send(message: Message, reply_to: Optional[str]) -> None:
+            async with send_lock:
+                writer.write(encode_message(message, in_reply_to=reply_to))
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request, envelope = protocol.decode_request(line)
+                except ProtocolError as exc:
+                    code = ("version_mismatch"
+                            if "protocol version" in str(exc)
+                            else "bad_request")
+                    await send(ErrorReply(code, str(exc)), None)
+                    continue
+                msg_id = envelope.get("id")
+                self.counters.add("service_requests_total")
+                self.counters.add(f"service_requests_{request.kind}")
+                try:
+                    await self._dispatch(request, msg_id, send, conn_jobs,
+                                         deliver_tasks)
+                except ProtocolError as exc:
+                    await send(ErrorReply("bad_request", str(exc)), msg_id)
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutting down; fall through to the cleanup below
+        finally:
+            for task in deliver_tasks:
+                task.cancel()
+            for job_id, job in conn_jobs.items():
+                if not job.future.done():
+                    outcome = self.scheduler.cancel(job_id)
+                    if outcome in ("cancelled", "cancelling"):
+                        self.counters.add("service_disconnect_cancels")
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
+    def _track(self, deliver_tasks: set, coroutine) -> None:
+        task = asyncio.ensure_future(coroutine)
+        deliver_tasks.add(task)
+        task.add_done_callback(deliver_tasks.discard)
+
+    async def _submit(self, fn, request: Message, msg_id: Optional[str],
+                      send, conn_jobs: Dict[str, Any], deliver_tasks: set,
+                      build_reply) -> None:
+        """Queue a job and arrange its two-phase reply (accepted + result);
+        a full queue replies with the structured ``queue_full`` error."""
+        priority = getattr(request, "priority", 0)
+        try:
+            job = self.scheduler.submit(fn, request_kind=request.kind,
+                                        priority=priority)
+        except QueueFullError as exc:
+            await send(ErrorReply("queue_full", str(exc),
+                                  {"depth": exc.depth,
+                                   "capacity": exc.capacity}), msg_id)
+            return
+        conn_jobs[job.job_id] = job
+        await send(JobAccepted(job.job_id), msg_id)
+        self._track(deliver_tasks,
+                    self._deliver(job, msg_id, send, build_reply))
+
+    async def _deliver(self, job, msg_id: Optional[str], send,
+                       build_reply) -> None:
+        try:
+            value = await asyncio.wrap_future(job.future)
+        except asyncio.CancelledError:
+            raise
+        except JobCancelledError as exc:
+            await send(ErrorReply("cancelled", str(exc),
+                                  {"job_id": job.job_id}), msg_id)
+        except Exception as exc:  # noqa: BLE001 - job failures become replies
+            await send(ErrorReply("internal",
+                                  f"{type(exc).__name__}: {exc}",
+                                  {"job_id": job.job_id}), msg_id)
+        else:
+            await send(build_reply(job.job_id, value), msg_id)
+
+    # ------------------------------------------------------------------ #
+    # request dispatch
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, request: Message, msg_id: Optional[str],
+                        send, conn_jobs: Dict[str, Any],
+                        deliver_tasks: set) -> None:
+        if isinstance(request, (SubmitRun, SampleShots)):
+            await self._submit(self._run_fn(request), request, msg_id, send,
+                               conn_jobs, deliver_tasks,
+                               lambda job_id, result:
+                               RunCompleted(job_id, result))
+        elif isinstance(request, SubmitSweep):
+            await self._submit(self._sweep_fn(request), request, msg_id,
+                               send, conn_jobs, deliver_tasks,
+                               lambda job_id, results:
+                               SweepCompleted(job_id, results))
+        elif isinstance(request, QueryProbability):
+            await self._submit(self._probability_fn(request), request,
+                               msg_id, send, conn_jobs, deliver_tasks,
+                               lambda job_id, value:
+                               ProbabilityReply(job_id, value[0], value[1]))
+        elif isinstance(request, OpenSession):
+            await self._open_session(request, msg_id, send)
+        elif isinstance(request, AppendToSession):
+            await self._append_to_session(request, msg_id, send, conn_jobs,
+                                          deliver_tasks)
+        elif isinstance(request, CloseSession):
+            session = self.sessions.close(request.session_id)
+            if session is None:
+                await send(ErrorReply("unknown_session",
+                                      f"no session {request.session_id!r}"),
+                           msg_id)
+            else:
+                self.counters.add("service_session_closes")
+                await send(SessionClosed(session.session_id,
+                                         session.appends), msg_id)
+        elif isinstance(request, ServerStatsRequest):
+            await send(StatsReply(self.stats_snapshot()), msg_id)
+        elif isinstance(request, ListSessions):
+            await send(SessionList(self.sessions.summaries()), msg_id)
+        elif isinstance(request, CancelJob):
+            outcome = self.scheduler.cancel(request.job_id)
+            await send(CancelReply(request.job_id, outcome), msg_id)
+        elif isinstance(request, WatchRequest):
+            self._track(deliver_tasks,
+                        self._watch(request, msg_id, send))
+        else:  # pragma: no cover - registry and dispatch kept in lockstep
+            raise ProtocolError(f"unhandled request kind {request.kind!r}")
+
+    # -- job builders --------------------------------------------------- #
+    def _run_fn(self, request):
+        limits = request.limits or self.default_limits
+        reorder = getattr(request, "reorder", None)
+
+        def fn(cancel):
+            return run(request.circuit, engine=request.engine, limits=limits,
+                       shots=request.shots, seed=request.seed,
+                       reorder=reorder, cache=self.cache,
+                       sessions=self.session_pool, cancel=cancel)
+        return fn
+
+    def _sweep_fn(self, request: SubmitSweep):
+        limits = request.limits or self.default_limits
+
+        def fn(cancel):
+            return run_tasks(request.tasks, limits=limits, jobs=1,
+                             shots=request.shots, seed=request.seed,
+                             reorder=request.reorder, cache=self.cache,
+                             sessions=self.session_pool, cancel=cancel)
+        return fn
+
+    def _probability_fn(self, request: QueryProbability):
+        limits = request.limits or self.default_limits
+
+        def fn(cancel):
+            resolved = resolve_engine(request.engine, request.circuit, limits)
+            instance = create_engine(resolved)
+            enforcer = LimitEnforcer(instance, limits, cancel_token=cancel)
+            enforcer.execute(request.circuit)
+            return (instance.probability(list(request.qubits),
+                                         list(request.values)), resolved)
+        return fn
+
+    # -- sessions -------------------------------------------------------- #
+    async def _open_session(self, request: OpenSession,
+                            msg_id: Optional[str], send) -> None:
+        try:
+            session = self.sessions.open(
+                int(request.num_qubits), request.engine,
+                request.limits or self.default_limits)
+        except SessionLimitError as exc:
+            await send(ErrorReply("too_many_sessions", str(exc),
+                                  {"limit": exc.limit}), msg_id)
+            return
+        except ValueError as exc:
+            await send(ErrorReply("bad_request", str(exc)), msg_id)
+            return
+        # Pin the |0> (empty-prefix) state into the warm pool off-loop, so
+        # the session's very first append already resumes instead of
+        # preparing a fresh engine.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._pin_session, session)
+        self.counters.add("service_session_opens")
+        await send(SessionOpened(session.session_id, session.engine,
+                                 session.num_qubits), msg_id)
+
+    def _pin_session(self, session) -> None:
+        with session.lock:
+            run(session.circuit, engine=session.engine,
+                limits=session.limits, sessions=self.session_pool,
+                cache=None)
+
+    async def _append_to_session(self, request: AppendToSession,
+                                 msg_id: Optional[str], send,
+                                 conn_jobs: Dict[str, Any],
+                                 deliver_tasks: set) -> None:
+        session = self.sessions.get(request.session_id)
+        if session is None:
+            await send(ErrorReply("unknown_session",
+                                  f"no session {request.session_id!r}"),
+                       msg_id)
+            return
+        if request.circuit is None:
+            await send(ErrorReply("bad_request",
+                                  "append_to_session needs a circuit"),
+                       msg_id)
+            return
+        try:
+            cumulative = session.extended(request.circuit)
+        except ValueError as exc:
+            await send(ErrorReply("bad_request", str(exc)), msg_id)
+            return
+
+        def fn(cancel):
+            with session.lock:
+                if cancel.is_set():
+                    raise JobCancelledError("cancelled before session append")
+                result = run(cumulative, engine=session.engine,
+                             limits=session.limits, shots=request.shots,
+                             seed=request.seed, sessions=self.session_pool,
+                             cancel=cancel)
+                self.counters.add("service_session_appends")
+                resumed = result.extra.get("resumed_from_depth")
+                if resumed is not None:
+                    self.counters.add("service_session_resume_hits")
+                    self.counters.add("service_session_gates_saved", resumed)
+                if result.status == STATUS_OK:
+                    session.advance(cumulative, result.status)
+                return result
+        await self._submit(fn, request, msg_id, send, conn_jobs,
+                           deliver_tasks,
+                           lambda job_id, result:
+                           RunCompleted(job_id, result))
+
+    # -- watch ----------------------------------------------------------- #
+    async def _watch(self, request: WatchRequest, msg_id: Optional[str],
+                     send) -> None:
+        interval = max(0.0, float(request.interval))
+        count = request.count
+        sent = 0
+        while count is None or sent < count:
+            try:
+                await send(StatsReply(self.stats_snapshot()), msg_id)
+            except (ConnectionResetError, BrokenPipeError):
+                return
+            self.counters.add("service_watch_frames")
+            sent += 1
+            if count is not None and sent >= count:
+                return
+            await asyncio.sleep(interval)
+
+
+class BackgroundServer:
+    """A :class:`Server` running on its own event-loop thread.
+
+    Returned by :func:`serve_background`; use :attr:`address` to connect a
+    client and :meth:`stop` (or the context manager form) to shut the
+    thread down.  Tests and benchmarks embed the real server this way
+    instead of mocking the wire.
+    """
+
+    def __init__(self, server: Server, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def address(self) -> Union[Tuple[str, int], str]:
+        """The listening address (see :attr:`Server.address`)."""
+        return self.server.address
+
+    def stop(self) -> None:
+        """Stop the server and join its loop thread (idempotent)."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "BackgroundServer":
+        """Context-manager entry: the server is already listening."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """Context-manager exit: stop the server thread."""
+        self.stop()
+
+
+def serve_background(**kwargs) -> BackgroundServer:
+    """Start a :class:`Server` on a daemon thread and return its handle
+    once it is listening (kwargs pass through to :class:`Server`; the
+    default ``port=0`` picks a free port, read it from ``.address``)."""
+    server = Server(**kwargs)
+    ready = threading.Event()
+    failure: List[BaseException] = []
+    loop_holder: Dict[str, asyncio.AbstractEventLoop] = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        loop_holder["loop"] = loop
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+            failure.append(exc)
+            ready.set()
+            loop.close()
+            return
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(server.stop())
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            loop.close()
+
+    thread = threading.Thread(target=runner, name="repro-serve",
+                              daemon=True)
+    thread.start()
+    ready.wait()
+    if failure:
+        raise failure[0]
+    return BackgroundServer(server, loop_holder["loop"], thread)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``repro-serve``: run the simulation server until interrupted."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Persistent simulation server speaking newline-delimited "
+                    "JSON (see docs/service.md).")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="TCP listen host (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7621,
+                        help="TCP listen port (default 7621; 0 picks a "
+                             "free port)")
+    parser.add_argument("--unix", default=None, metavar="PATH",
+                        help="listen on a unix-domain socket instead of TCP")
+    parser.add_argument("--queue-depth", type=int, default=32,
+                        help="bounded job-queue depth (default 32)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="simulation worker threads (default 2)")
+    parser.add_argument("--time-limit", type=float, default=60.0,
+                        help="default per-job wall-clock budget in seconds")
+    parser.add_argument("--node-limit", type=int, default=500_000,
+                        help="default per-job node budget")
+    args = parser.parse_args(argv)
+    server = Server(host=args.host, port=args.port, unix_path=args.unix,
+                    queue_depth=args.queue_depth, workers=args.workers,
+                    default_limits=ResourceLimits(
+                        max_seconds=args.time_limit,
+                        max_nodes=args.node_limit))
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"repro-serve listening on {server.address}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+__all__ = ["BackgroundServer", "Server", "main", "serve_background"]
+
+
+if __name__ == "__main__":  # pragma: no cover - console entry
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Server-side sessions: cumulative circuits attached to warm pool state.
+
+A service session is the traffic-facing face of the
+:class:`~repro.cache.sessions.SessionPool` prefix machinery: it records
+the **cumulative circuit** a client has built so far, and every
+``append_to_session`` runs that cumulative circuit through
+``repro.run(..., sessions=pool)`` — the pool matches the previous
+append's deposited state, the engine resumes from the stored 4r slices,
+and only the newly appended gates execute.  Opening a session deposits
+the ``|0>`` (empty-prefix) state immediately, so even the *first* append
+attaches to warm state.
+
+The session object itself holds no engine: the live BDD manager is owned
+by the pool entry (subject to the pool's LRU bound), which keeps the
+byte-identity guarantee trivial — an append returns exactly what a local
+cold ``repro.run()`` of the same cumulative circuit returns.
+
+Concurrency: each session carries a ``threading.Lock`` serialising its
+appends (two clients appending to one session would otherwise race on the
+cumulative circuit).  Job functions take it with a ``with`` block, so a
+cancelled or failed append always releases it — the regression tests pin
+that a cancelled job never leaves a session wedged.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.engines.limits import ResourceLimits
+from repro.exceptions import SimulationError
+
+
+class SessionLimitError(SimulationError):
+    """Opening another session would exceed the registry's bound (the
+    server maps this to an ``error`` reply with code
+    ``too_many_sessions``)."""
+
+    def __init__(self, limit: int):
+        super().__init__(f"session limit reached ({limit} live sessions)")
+        self.limit = limit
+
+
+class ServiceSession:
+    """One live session: id, engine, cumulative circuit, append lock.
+
+    The cumulative circuit only advances on a *successful* append
+    (status ``ok``); a failed, cancelled or TO/MO append leaves the
+    session exactly where it was, so the client can retry or append
+    something smaller.
+    """
+
+    __slots__ = ("session_id", "engine", "num_qubits", "limits", "circuit",
+                 "lock", "appends", "created_at", "last_active_at",
+                 "last_status")
+
+    def __init__(self, session_id: str, num_qubits: int, engine: str,
+                 limits: Optional[ResourceLimits] = None):
+        self.session_id = session_id
+        self.engine = engine
+        self.num_qubits = num_qubits
+        self.limits = limits
+        self.circuit = QuantumCircuit(num_qubits, name=session_id)
+        self.lock = threading.Lock()
+        self.appends = 0
+        self.created_at = time.perf_counter()
+        self.last_active_at = self.created_at
+        self.last_status = ""
+
+    def extended(self, delta: QuantumCircuit) -> QuantumCircuit:
+        """The cumulative circuit with ``delta``'s gates and measurement
+        markers appended (named after the delta, so run records read
+        naturally).  The delta must match the session's register width."""
+        if delta.num_qubits != self.num_qubits:
+            raise ValueError(
+                f"delta circuit is {delta.num_qubits}-qubit but session "
+                f"{self.session_id} is {self.num_qubits}-qubit")
+        cumulative = self.circuit.copy(name=delta.name)
+        for gate in delta.gates:
+            cumulative.append(gate)
+        for qubit, clbit in delta.final_measurement_map():
+            cumulative.measure(qubit, clbit)
+        cumulative.num_clbits = max(cumulative.num_clbits, delta.num_clbits)
+        return cumulative
+
+    def advance(self, cumulative: QuantumCircuit, status: str) -> None:
+        """Commit a successful append: the cumulative circuit becomes the
+        session's new base.  Call only while holding :attr:`lock`."""
+        self.circuit = cumulative
+        self.appends += 1
+        self.last_status = status
+        self.last_active_at = time.perf_counter()
+
+    def summary(self) -> Dict[str, Any]:
+        """The session's admin-surface row (id, engine, width, cumulative
+        gate count, appends, idle seconds)."""
+        return {"session_id": self.session_id,
+                "engine": self.engine,
+                "num_qubits": self.num_qubits,
+                "gates": self.circuit.num_gates,
+                "appends": self.appends,
+                "idle_seconds": time.perf_counter() - self.last_active_at}
+
+
+class SessionRegistry:
+    """Thread-safe table of live :class:`ServiceSession` objects.
+
+    ``max_sessions`` bounds how many sessions may be live at once —
+    sessions are explicit, client-visible state, so the registry rejects
+    (:class:`SessionLimitError`) rather than silently evicting.
+    """
+
+    def __init__(self, max_sessions: int = 32):
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be positive")
+        self.max_sessions = max_sessions
+        self._lock = threading.Lock()
+        self._sessions: "OrderedDict[str, ServiceSession]" = OrderedDict()
+        self._ids = itertools.count(1)
+
+    def open(self, num_qubits: int, engine: str = "bitslice",
+             limits: Optional[ResourceLimits] = None) -> ServiceSession:
+        """Create and register a new session; raises
+        :class:`SessionLimitError` at the bound."""
+        with self._lock:
+            if len(self._sessions) >= self.max_sessions:
+                raise SessionLimitError(self.max_sessions)
+            session = ServiceSession(f"s{next(self._ids)}", num_qubits,
+                                     engine, limits)
+            self._sessions[session.session_id] = session
+            return session
+
+    def get(self, session_id: str) -> Optional[ServiceSession]:
+        """The live session with this id, or ``None``."""
+        with self._lock:
+            return self._sessions.get(session_id)
+
+    def close(self, session_id: str) -> Optional[ServiceSession]:
+        """Remove and return the session (``None`` when unknown).  An
+        append still running keeps its references and finishes normally;
+        only the registry slot is freed."""
+        with self._lock:
+            return self._sessions.pop(session_id, None)
+
+    def summaries(self) -> List[Dict[str, Any]]:
+        """Admin rows for every live session, oldest first."""
+        with self._lock:
+            return [session.summary()
+                    for session in self._sessions.values()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+
+__all__ = ["ServiceSession", "SessionLimitError", "SessionRegistry"]

@@ -1,0 +1,77 @@
+"""``repro-watch``: the live admin console of the simulation service.
+
+Connects to a running server, subscribes to the ``watch`` stream and
+prints one status line per frame — queue depth against capacity, running
+jobs, live sessions, request / reject / cancel totals and the warm-pool
+hit counters — a terminal-friendly rendering of the same snapshot
+``server_stats`` returns programmatically.
+
+Run it as ``repro-watch --connect HOST:PORT`` or
+``python -m repro.service.watch``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, TextIO
+
+from repro.service.client import Client, ServiceError
+
+
+def format_frame(stats: Dict[str, Any]) -> str:
+    """One status line for a stats snapshot: queue occupancy, running jobs,
+    live sessions, cumulative request / reject / cancel counts and the
+    prefix-resume hit counter."""
+    counters = stats.get("counters", {})
+
+    def count(name: str) -> int:
+        return int(counters.get(name, 0))
+
+    return (f"q={stats.get('queue_depth', 0)}/"
+            f"{stats.get('queue_capacity', 0)} "
+            f"run={stats.get('running', 0)} "
+            f"sessions={stats.get('live_sessions', 0)} "
+            f"req={count('service_requests_total')} "
+            f"done={count('service_jobs_completed')} "
+            f"rejects={count('service_queue_rejects')} "
+            f"cancelled={count('service_jobs_cancelled')} "
+            f"prefix_hits={count('prefix_resume_hits')} "
+            f"up={float(stats.get('uptime_seconds', 0.0)):.0f}s")
+
+
+def main(argv: Optional[List[str]] = None,
+         stream: Optional[TextIO] = None) -> int:
+    """``repro-watch`` entry point: print a status line per watch frame."""
+    parser = argparse.ArgumentParser(
+        prog="repro-watch",
+        description="Live status stream of a running repro-serve instance.")
+    parser.add_argument("--connect", default="127.0.0.1:7621",
+                        metavar="ADDR",
+                        help="server address: host:port or unix:/path "
+                             "(default 127.0.0.1:7621)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between frames (default 1.0)")
+    parser.add_argument("--count", type=int, default=None,
+                        help="stop after this many frames "
+                             "(default: stream until interrupted)")
+    args = parser.parse_args(argv)
+    out = stream if stream is not None else sys.stdout
+    try:
+        with Client(args.connect) as client:
+            for stats in client.watch(interval=args.interval,
+                                      count=args.count):
+                print(format_frame(stats), file=out, flush=True)
+    except KeyboardInterrupt:
+        return 0
+    except (ServiceError, OSError) as exc:
+        print(f"repro-watch: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+__all__ = ["format_frame", "main"]
+
+
+if __name__ == "__main__":  # pragma: no cover - console entry
+    sys.exit(main())

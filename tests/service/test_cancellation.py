@@ -1,0 +1,98 @@
+"""Per-job budgets and cooperative cancellation (LimitEnforcer regressions).
+
+These pin the service's core safety contract: budgets are scoped to the
+job, never the process; a cancel token fired for one job cannot leak into
+the next; and a cancelled run unwinds through the same ``finally`` blocks
+as a timeout, releasing any held session-pool chain lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro
+from repro import QuantumCircuit, ResourceLimits, SessionPool
+from repro.engines.limits import LimitEnforcer
+from repro.engines.registry import create_engine
+from repro.exceptions import JobCancelledError, SimulationTimeout
+
+
+def test_begin_job_restarts_the_budget_clock():
+    enforcer = LimitEnforcer(create_engine("bitslice"),
+                             ResourceLimits(max_seconds=0.05, max_nodes=None))
+    enforcer.begin_job()
+    time.sleep(0.08)
+    with pytest.raises(SimulationTimeout):
+        enforcer.check()
+    # A new job gets the full budget: the previous job's elapsed time is
+    # discarded, never accumulated across the process lifetime.
+    enforcer.begin_job()
+    enforcer.check()
+    assert enforcer.elapsed_seconds() < 0.05
+
+
+def test_execute_opens_a_fresh_job_each_call():
+    circuit = QuantumCircuit(2).h(0).cx(0, 1)
+    enforcer = LimitEnforcer(create_engine("bitslice"),
+                             ResourceLimits(max_seconds=0.3, max_nodes=None))
+    enforcer.execute(circuit)
+    time.sleep(0.35)  # longer than the whole budget
+    enforcer.execute(circuit)  # would time out if the clock persisted
+
+
+def test_cancel_token_does_not_leak_into_the_next_job():
+    enforcer = LimitEnforcer(create_engine("bitslice"),
+                             ResourceLimits(max_nodes=None))
+    token = threading.Event()
+    token.set()
+    enforcer.begin_job(cancel_token=token)
+    with pytest.raises(JobCancelledError):
+        enforcer.check()
+    # The next job passes no token: cancellation must be cleared, not
+    # inherited from the cancelled job.
+    enforcer.begin_job()
+    enforcer.check()
+
+
+def test_set_token_cancels_execute_between_gates():
+    circuit = QuantumCircuit(3, name="c")
+    for _ in range(4):
+        circuit.h(0).cx(0, 1).cx(1, 2)
+    token = threading.Event()
+    token.set()
+    enforcer = LimitEnforcer(create_engine("bitslice"), cancel_token=token)
+    with pytest.raises(JobCancelledError):
+        enforcer.execute(circuit)
+
+
+def test_run_propagates_cancellation_not_an_outcome():
+    token = threading.Event()
+    token.set()
+    with pytest.raises(JobCancelledError):
+        repro.run(QuantumCircuit(2).h(0).cx(0, 1), engine="bitslice",
+                  cancel=token)
+
+
+def test_cancelled_run_releases_the_session_chain_lock():
+    pool = SessionPool()
+    base = QuantumCircuit(4, name="base").h(0).cx(0, 1)
+    extended = base.copy(name="extended").cx(1, 2).cx(2, 3)
+
+    first = repro.run(base, engine="bitslice", sessions=pool)
+    assert first.status == "ok"
+
+    token = threading.Event()
+    token.set()
+    with pytest.raises(JobCancelledError):
+        repro.run(extended, engine="bitslice", sessions=pool, cancel=token)
+
+    # The cancelled run resumed the deposited prefix and held its chain
+    # lock; the unwind must release it, or this retry reports the prefix
+    # as busy (or deadlocks) instead of resuming.
+    retry = repro.run(extended, engine="bitslice", sessions=pool)
+    assert retry.status == "ok"
+    assert retry.extra.get("resumed_from_depth", 0) >= 2
+    assert pool.stats().get("prefix_busy", 0) == 0

@@ -1,0 +1,137 @@
+"""Wire-protocol round-trips: circuits, limits, results, envelopes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro import GateKind, QuantumCircuit, ResourceLimits
+from repro.cache import circuit_fingerprint
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ErrorReply,
+    ProtocolError,
+    SubmitRun,
+    SubmitSweep,
+    WatchRequest,
+    circuit_from_wire,
+    circuit_to_wire,
+    decode_request,
+    decode_response,
+    encode_message,
+    limits_from_wire,
+    limits_to_wire,
+    result_from_wire,
+    result_to_wire,
+)
+
+
+def _dynamic_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(3, name="dyn3")
+    circuit.h(0)
+    circuit.measure_mid(0, 0)
+    circuit.add(GateKind.X, [1], condition=1)
+    circuit.cx(1, 2)
+    circuit.reset(0)
+    circuit.measure(1, 0)
+    circuit.measure(2, 1)
+    return circuit
+
+
+def test_circuit_roundtrip_preserves_fingerprint():
+    circuit = _dynamic_circuit()
+    rebuilt = circuit_from_wire(circuit_to_wire(circuit))
+    assert circuit_fingerprint(rebuilt) == circuit_fingerprint(circuit)
+    assert rebuilt.name == circuit.name
+    assert rebuilt.num_clbits == circuit.num_clbits
+    assert rebuilt.final_measurement_map() == circuit.final_measurement_map()
+
+
+def test_circuit_roundtrip_revalidates_gates():
+    payload = circuit_to_wire(QuantumCircuit(2).h(0))
+    payload["gates"][0]["targets"] = [5]  # out of range for 2 qubits
+    with pytest.raises(ProtocolError):
+        circuit_from_wire(payload)
+
+
+def test_limits_roundtrip():
+    limits = ResourceLimits(max_seconds=3.5, max_nodes=1234,
+                            max_dense_qubits=20)
+    assert limits_from_wire(limits_to_wire(limits)) == limits
+    assert limits_to_wire(None) is None
+    assert limits_from_wire(None) is None
+
+
+def test_result_roundtrip_is_byte_identical():
+    circuit = QuantumCircuit(2, name="bell").h(0).cx(0, 1).measure_all()
+    result = repro.run(circuit, shots=32, seed=5)
+    rebuilt = result_from_wire(
+        json.loads(json.dumps(result_to_wire(result))))
+    assert rebuilt.to_dict(timings=False) == result.to_dict(timings=False)
+    assert rebuilt.counts == result.counts
+
+
+def test_envelope_carries_kind_version_and_ids():
+    line = encode_message(WatchRequest(interval=0.5, count=3),
+                          msg_id="c9", in_reply_to="c1")
+    envelope = json.loads(line)
+    assert envelope["kind"] == "watch"
+    assert envelope["v"] == PROTOCOL_VERSION
+    assert envelope["id"] == "c9"
+    assert envelope["in_reply_to"] == "c1"
+    request, decoded = decode_request(line)
+    assert isinstance(request, WatchRequest)
+    assert request.interval == 0.5 and request.count == 3
+    assert decoded["id"] == "c9"
+
+
+def test_submit_run_roundtrip():
+    circuit = QuantumCircuit(2, name="rt").h(0).cx(0, 1)
+    line = encode_message(SubmitRun(circuit, engine="bitslice",
+                                    limits=ResourceLimits(max_seconds=2),
+                                    shots=8, seed=11, priority=2),
+                          msg_id="c1")
+    request, _ = decode_request(line)
+    assert isinstance(request, SubmitRun)
+    assert request.engine == "bitslice"
+    assert request.shots == 8 and request.seed == 11
+    assert request.priority == 2
+    assert request.limits.max_seconds == 2
+    assert circuit_fingerprint(request.circuit) == circuit_fingerprint(circuit)
+
+
+def test_submit_sweep_tasks_roundtrip():
+    circuits = [QuantumCircuit(2, name=f"t{i}").h(0) for i in range(3)]
+    tasks = [("bitslice", c) for c in circuits]
+    request, _ = decode_request(encode_message(SubmitSweep(tasks, seed=1)))
+    assert isinstance(request, SubmitSweep)
+    assert [engine for engine, _ in request.tasks] == ["bitslice"] * 3
+    assert [c.name for _, c in request.tasks] == ["t0", "t1", "t2"]
+
+
+def test_version_mismatch_rejected():
+    line = encode_message(WatchRequest())
+    envelope = json.loads(line)
+    envelope["v"] = PROTOCOL_VERSION + 1
+    with pytest.raises(ProtocolError, match="protocol version"):
+        decode_request(json.dumps(envelope).encode())
+
+
+def test_unknown_kind_and_malformed_lines_rejected():
+    with pytest.raises(ProtocolError, match="unknown message kind"):
+        decode_request(json.dumps({"kind": "nope", "v": 1}).encode())
+    with pytest.raises(ProtocolError):
+        decode_request(b"this is not json\n")
+    with pytest.raises(ProtocolError):
+        decode_request(b"[1, 2, 3]\n")
+
+
+def test_request_and_response_registries_are_disjoint_views():
+    line = encode_message(ErrorReply("queue_full", "full", {"depth": 4}))
+    response, _ = decode_response(line)
+    assert isinstance(response, ErrorReply)
+    assert response.details == {"depth": 4}
+    with pytest.raises(ProtocolError):  # responses are not requests
+        decode_request(line)

@@ -1,0 +1,151 @@
+"""JobScheduler: bounded depth, priorities, cancellation, lifecycle."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import JobCancelledError
+from repro.perf.counters import PerfCounters
+from repro.service.scheduler import JobScheduler, QueueFullError
+
+
+def _blocker():
+    """A job fn that parks on an event until released, plus its controls."""
+    release = threading.Event()
+    started = threading.Event()
+
+    def fn(cancel):
+        started.set()
+        release.wait(timeout=30)
+        if cancel.is_set():
+            raise JobCancelledError("observed cancel")
+        return "done"
+    return fn, release, started
+
+
+@pytest.fixture
+def scheduler():
+    sched = JobScheduler(max_depth=4, workers=1, counters=PerfCounters())
+    sched.start()
+    yield sched
+    sched.stop()
+
+
+def test_jobs_run_and_resolve_futures(scheduler):
+    job = scheduler.submit(lambda cancel: 41 + 1)
+    assert job.future.result(timeout=10) == 42
+    assert scheduler.counters.get("service_jobs_completed") == 1
+
+
+def test_priorities_dequeue_high_first_ties_fifo(scheduler):
+    fn, release, started = _blocker()
+    scheduler.submit(fn)  # occupies the single worker
+    started.wait(timeout=10)
+    order = []
+
+    def recorder(tag):
+        return lambda cancel: order.append(tag)
+    low_a = scheduler.submit(recorder("low_a"), priority=0)
+    high = scheduler.submit(recorder("high"), priority=5)
+    low_b = scheduler.submit(recorder("low_b"), priority=0)
+    release.set()
+    for job in (low_a, high, low_b):
+        job.future.result(timeout=10)
+    assert order == ["high", "low_a", "low_b"]
+
+
+def test_queue_full_rejects_structurally(scheduler):
+    fn, release, started = _blocker()
+    scheduler.submit(fn)
+    started.wait(timeout=10)
+    for _ in range(scheduler.max_depth):
+        scheduler.submit(lambda cancel: None)
+    with pytest.raises(QueueFullError) as excinfo:
+        scheduler.submit(lambda cancel: None)
+    assert excinfo.value.depth == scheduler.max_depth
+    assert excinfo.value.capacity == scheduler.max_depth
+    assert scheduler.counters.get("service_queue_rejects") == 1
+    release.set()
+
+
+def test_cancel_queued_job_never_runs(scheduler):
+    fn, release, started = _blocker()
+    scheduler.submit(fn)
+    started.wait(timeout=10)
+    ran = threading.Event()
+    queued = scheduler.submit(lambda cancel: ran.set())
+    assert scheduler.cancel(queued.job_id) == "cancelled"
+    release.set()
+    with pytest.raises(JobCancelledError):
+        queued.future.result(timeout=10)
+    # The worker must skip the cancelled entry, not execute it.
+    scheduler.submit(lambda cancel: None).future.result(timeout=10)
+    assert not ran.is_set()
+
+
+def test_cancel_running_job_sets_token(scheduler):
+    fn, release, started = _blocker()
+    job = scheduler.submit(fn)
+    started.wait(timeout=10)
+    assert scheduler.cancel(job.job_id) == "cancelling"
+    release.set()
+    with pytest.raises(JobCancelledError):
+        job.future.result(timeout=10)
+    assert scheduler.counters.get("service_jobs_cancelled") == 1
+
+
+def test_cancel_outcomes_finished_and_unknown(scheduler):
+    job = scheduler.submit(lambda cancel: 1)
+    job.future.result(timeout=10)
+    deadline = time.time() + 10
+    while scheduler.cancel(job.job_id) != "finished":
+        assert time.time() < deadline
+        time.sleep(0.01)
+    assert scheduler.cancel("j999") == "unknown"
+
+
+def test_failed_job_propagates_exception(scheduler):
+    def boom(cancel):
+        raise ValueError("broken workload")
+    job = scheduler.submit(boom)
+    with pytest.raises(ValueError, match="broken workload"):
+        job.future.result(timeout=10)
+    assert scheduler.counters.get("service_jobs_failed") == 1
+
+
+def test_stats_gauges(scheduler):
+    fn, release, started = _blocker()
+    scheduler.submit(fn)
+    started.wait(timeout=10)
+    scheduler.submit(lambda cancel: None)
+    stats = scheduler.stats()
+    assert stats["queue_capacity"] == 4
+    assert stats["workers"] == 1
+    assert stats["running"] == 1
+    assert stats["queue_depth"] == 1
+    release.set()
+
+
+def test_stop_concludes_queued_jobs_and_rejects_submissions():
+    sched = JobScheduler(max_depth=4, workers=1)
+    sched.start()
+    fn, release, started = _blocker()
+    sched.submit(fn)
+    started.wait(timeout=10)
+    queued = sched.submit(lambda cancel: None)
+    release.set()
+    sched.stop()
+    with pytest.raises(JobCancelledError):
+        queued.future.result(timeout=10)
+    with pytest.raises(RuntimeError):
+        sched.submit(lambda cancel: None)
+
+
+def test_constructor_validates_bounds():
+    with pytest.raises(ValueError):
+        JobScheduler(max_depth=0)
+    with pytest.raises(ValueError):
+        JobScheduler(workers=0)

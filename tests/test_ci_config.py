@@ -62,6 +62,9 @@ class TestSmokeBenchmarkLockstep:
     def test_cache_benchmarks_are_smoke_gated(self):
         assert "bench_cache.py" in smoke_benchmark_files(ci_text())
 
+    def test_service_benchmarks_are_smoke_gated(self):
+        assert "bench_service.py" in smoke_benchmark_files(ci_text())
+
     def test_smoke_files_exist(self):
         for name in smoke_benchmark_files(ci_text()):
             assert (BENCH_DIR / name).is_file(), f"{name} missing"
