@@ -42,6 +42,12 @@ from typing import Callable, Dict, List, Optional
 from repro.exceptions import JobCancelledError, SimulationError
 from repro.perf.counters import PerfCounters
 
+#: How many finished job ids :meth:`JobScheduler.cancel` can still
+#: classify as ``"finished"``; ids older than the newest this many decay
+#: to ``"unknown"`` (bounded memory beats a perfect answer for ancient
+#: ids).  Membership checks are O(1) — a set mirrors the eviction deque.
+FINISHED_IDS_CAP = 1024
+
 #: Job lifecycle states.
 JOB_QUEUED = "queued"
 JOB_RUNNING = "running"
@@ -114,7 +120,8 @@ class JobScheduler:
         self._not_empty = threading.Condition(self._lock)
         self._heap: List[tuple] = []
         self._jobs: Dict[str, Job] = {}
-        self._finished: deque = deque(maxlen=256)
+        self._finished: set = set()
+        self._finished_order: deque = deque()
         self._seq = itertools.count()
         self._ids = itertools.count(1)
         self._threads: List[threading.Thread] = []
@@ -188,7 +195,9 @@ class JobScheduler:
         (its future raises ``JobCancelledError``; the function never
         runs).  ``"cancelling"``: the job is running and its token is
         set — it stops at the next gate boundary.  ``"finished"``: the
-        job already completed.  ``"unknown"``: no such id.
+        job already completed.  ``"unknown"``: no such id — including
+        finished ids older than the newest :data:`FINISHED_IDS_CAP`
+        completions, which decay out of the bounded finished-id set.
         """
         with self._lock:
             job = self._jobs.get(job_id)
@@ -230,11 +239,17 @@ class JobScheduler:
     # ------------------------------------------------------------------ #
     # worker internals
     # ------------------------------------------------------------------ #
+    def _remember_finished_locked(self, job_id: str) -> None:
+        self._finished.add(job_id)
+        self._finished_order.append(job_id)
+        while len(self._finished_order) > FINISHED_IDS_CAP:
+            self._finished.discard(self._finished_order.popleft())
+
     def _conclude_cancelled_locked(self, job: Job, detail: str) -> None:
         job.state = JOB_CANCELLED
         job.cancel_event.set()
         self._jobs.pop(job.job_id, None)
-        self._finished.append(job.job_id)
+        self._remember_finished_locked(job.job_id)
         self.counters.add("service_jobs_cancelled")
         try:
             job.future.set_exception(JobCancelledError(detail))
@@ -246,7 +261,7 @@ class JobScheduler:
             self._running -= 1
             job.state = state
             self._jobs.pop(job.job_id, None)
-            self._finished.append(job.job_id)
+            self._remember_finished_locked(job.job_id)
 
     def _worker(self) -> None:
         while True:
@@ -264,7 +279,7 @@ class JobScheduler:
                     # conclude without ever running the job function.
                     job.state = JOB_CANCELLED
                     self._jobs.pop(job.job_id, None)
-                    self._finished.append(job.job_id)
+                    self._remember_finished_locked(job.job_id)
                     self.counters.add("service_jobs_cancelled")
                     continue
                 job.state = JOB_RUNNING
@@ -288,5 +303,6 @@ class JobScheduler:
                 job.future.set_result(result)
 
 
-__all__ = ["JOB_QUEUED", "JOB_RUNNING", "JOB_DONE", "JOB_CANCELLED",
-           "JOB_FAILED", "Job", "JobScheduler", "QueueFullError"]
+__all__ = ["FINISHED_IDS_CAP", "JOB_QUEUED", "JOB_RUNNING", "JOB_DONE",
+           "JOB_CANCELLED", "JOB_FAILED", "Job", "JobScheduler",
+           "QueueFullError"]

@@ -78,6 +78,11 @@ from repro.service.protocol import (
 from repro.service.scheduler import JobScheduler, QueueFullError
 from repro.service.sessions import SessionLimitError, SessionRegistry
 
+#: Floor on the ``watch`` streaming interval, in seconds.  Requests below
+#: it are clamped, so a client asking for ``interval=0`` cannot turn the
+#: admin stream into a busy-loop saturating the event loop.
+MIN_WATCH_INTERVAL = 0.05
+
 
 class Server:
     """The persistent simulation service.
@@ -245,10 +250,10 @@ class Server:
         conn_jobs[job.job_id] = job
         await send(JobAccepted(job.job_id), msg_id)
         self._track(deliver_tasks,
-                    self._deliver(job, msg_id, send, build_reply))
+                    self._deliver(job, msg_id, send, build_reply, conn_jobs))
 
     async def _deliver(self, job, msg_id: Optional[str], send,
-                       build_reply) -> None:
+                       build_reply, conn_jobs: Dict[str, Any]) -> None:
         try:
             value = await asyncio.wrap_future(job.future)
         except asyncio.CancelledError:
@@ -262,6 +267,11 @@ class Server:
                                   {"job_id": job.job_id}), msg_id)
         else:
             await send(build_reply(job.job_id, value), msg_id)
+        finally:
+            # Delivered (or abandoned) jobs must not accumulate on a
+            # long-lived connection: the Job retains its closure and
+            # result via the future.
+            conn_jobs.pop(job.job_id, None)
 
     # ------------------------------------------------------------------ #
     # request dispatch
@@ -360,20 +370,38 @@ class Server:
         except ValueError as exc:
             await send(ErrorReply("bad_request", str(exc)), msg_id)
             return
-        # Pin the |0> (empty-prefix) state into the warm pool off-loop, so
-        # the session's very first append already resumes instead of
-        # preparing a fresh engine.
-        loop = asyncio.get_running_loop()
-        await loop.run_in_executor(None, self._pin_session, session)
+        # Pin the |0> (empty-prefix) state into the warm pool, so the
+        # session's very first append already resumes instead of preparing
+        # a fresh engine.  The pin is simulation work, so it goes through
+        # the bounded scheduler (low priority) like any other job — never
+        # the default executor, which would sidestep the queue_depth
+        # backpressure contract.  It is only an optimisation: when the
+        # queue is full (or the pin fails) the session still opens and its
+        # first append simply starts cold.
+        try:
+            job = self.scheduler.submit(self._pin_fn(session),
+                                        request_kind="session_pin",
+                                        priority=-1)
+        except (QueueFullError, RuntimeError):
+            self.counters.add("service_session_pin_skips")
+        else:
+            try:
+                await asyncio.wrap_future(job.future)
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - pin failure is non-fatal
+                self.counters.add("service_session_pin_skips")
         self.counters.add("service_session_opens")
         await send(SessionOpened(session.session_id, session.engine,
                                  session.num_qubits), msg_id)
 
-    def _pin_session(self, session) -> None:
-        with session.lock:
-            run(session.circuit, engine=session.engine,
-                limits=session.limits, sessions=self.session_pool,
-                cache=None)
+    def _pin_fn(self, session):
+        def fn(cancel):
+            with session.lock:
+                run(session.circuit, engine=session.engine,
+                    limits=session.limits, sessions=self.session_pool,
+                    cache=None, cancel=cancel)
+        return fn
 
     async def _append_to_session(self, request: AppendToSession,
                                  msg_id: Optional[str], send,
@@ -391,15 +419,20 @@ class Server:
                        msg_id)
             return
         try:
-            cumulative = session.extended(request.circuit)
+            session.check_width(request.circuit)
         except ValueError as exc:
             await send(ErrorReply("bad_request", str(exc)), msg_id)
             return
 
+        # The cumulative snapshot must happen on the worker, under the
+        # session lock: with two appends in flight on one session, a
+        # snapshot taken here at dispatch time would give both the same
+        # base and the later commit would drop the earlier append's gates.
         def fn(cancel):
             with session.lock:
                 if cancel.is_set():
                     raise JobCancelledError("cancelled before session append")
+                cumulative = session.extended(request.circuit)
                 result = run(cumulative, engine=session.engine,
                              limits=session.limits, shots=request.shots,
                              seed=request.seed, sessions=self.session_pool,
@@ -420,7 +453,7 @@ class Server:
     # -- watch ----------------------------------------------------------- #
     async def _watch(self, request: WatchRequest, msg_id: Optional[str],
                      send) -> None:
-        interval = max(0.0, float(request.interval))
+        interval = max(MIN_WATCH_INTERVAL, float(request.interval))
         count = request.count
         sent = 0
         while count is None or sent < count:

@@ -71,14 +71,27 @@ class ServiceSession:
         self.last_active_at = self.created_at
         self.last_status = ""
 
-    def extended(self, delta: QuantumCircuit) -> QuantumCircuit:
-        """The cumulative circuit with ``delta``'s gates and measurement
-        markers appended (named after the delta, so run records read
-        naturally).  The delta must match the session's register width."""
+    def check_width(self, delta: QuantumCircuit) -> None:
+        """Raise ``ValueError`` unless ``delta`` matches the session's
+        register width.  The width is immutable session state, so this
+        check is safe to run outside :attr:`lock` (the server uses it to
+        reply ``bad_request`` before queueing the append job)."""
         if delta.num_qubits != self.num_qubits:
             raise ValueError(
                 f"delta circuit is {delta.num_qubits}-qubit but session "
                 f"{self.session_id} is {self.num_qubits}-qubit")
+
+    def extended(self, delta: QuantumCircuit) -> QuantumCircuit:
+        """The cumulative circuit with ``delta``'s gates and measurement
+        markers appended (named after the delta, so run records read
+        naturally).  The delta must match the session's register width.
+
+        Call only while holding :attr:`lock`: the snapshot of
+        :attr:`circuit` taken here and the :meth:`advance` that commits
+        the result must be one atomic step, or two in-flight appends
+        would both extend the same base and the later commit would drop
+        the earlier append's gates."""
+        self.check_width(delta)
         cumulative = self.circuit.copy(name=delta.name)
         for gate in delta.gates:
             cumulative.append(gate)

@@ -9,7 +9,8 @@ import pytest
 
 from repro.exceptions import JobCancelledError
 from repro.perf.counters import PerfCounters
-from repro.service.scheduler import JobScheduler, QueueFullError
+from repro.service.scheduler import (FINISHED_IDS_CAP, JobScheduler,
+                                     QueueFullError)
 
 
 def _blocker():
@@ -105,6 +106,21 @@ def test_cancel_outcomes_finished_and_unknown(scheduler):
         assert time.time() < deadline
         time.sleep(0.01)
     assert scheduler.cancel("j999") == "unknown"
+
+
+def test_finished_ids_decay_beyond_cap(scheduler):
+    """cancel() keeps classifying recent completions as "finished" with a
+    bounded memory: ids older than the newest FINISHED_IDS_CAP decay to
+    "unknown" instead of the set growing forever."""
+    first = scheduler.submit(lambda cancel: None)
+    first.future.result(timeout=10)
+    assert scheduler.cancel(first.job_id) == "finished"
+    job = first
+    for _ in range(FINISHED_IDS_CAP):
+        job = scheduler.submit(lambda cancel: None)
+        job.future.result(timeout=10)
+    assert scheduler.cancel(job.job_id) == "finished"
+    assert scheduler.cancel(first.job_id) == "unknown"
 
 
 def test_failed_job_propagates_exception(scheduler):

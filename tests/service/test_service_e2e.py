@@ -24,6 +24,7 @@ from repro.engines.frontdoor import run_tasks
 from repro.harness.experiments import accuracy_circuit
 from repro.service import serve_background
 from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.server import MIN_WATCH_INTERVAL
 from repro.service.watch import format_frame, main as watch_main
 from repro.workloads.random_circuits import generate_random_circuit
 
@@ -124,6 +125,49 @@ def test_warm_session_appends_record_prefix_hits(server):
             - before.get("service_session_gates_saved", 0)) == 6
     assert (after.get("prefix_resume_hits", 0)
             - before.get("prefix_resume_hits", 0)) >= 3
+
+
+def test_concurrent_appends_on_one_session_all_land():
+    """Appends in flight together on one session must all commit: the
+    base snapshot is taken on the worker under the session lock, so the
+    second append extends the first one's result instead of overwriting
+    it with a stale dispatch-time base (the lost-update race)."""
+    from repro.service.protocol import (AppendToSession, JobAccepted,
+                                        RunCompleted)
+
+    with serve_background(workers=1, queue_depth=8) as background:
+        with Client(background.address) as client:
+            session_id = client.open_session(4, engine="bitslice")
+            # Park the single worker on a heavy job, so both appends are
+            # dispatched — and held queued — before either one runs.
+            blocker = client.submit(HEAVY, engine="bitslice")
+            msg_ids = []
+            for qubit in (0, 1):
+                delta = QuantumCircuit(4, name=f"race{qubit}").x(qubit)
+                msg_id = client._send(AppendToSession(session_id, delta))
+                client._wait(msg_id, accept=(JobAccepted,))
+                msg_ids.append(msg_id)
+            client.cancel(blocker)
+            for msg_id in msg_ids:
+                reply = client._wait(msg_id, accept=(RunCompleted,))
+                assert reply.result.status == "ok"
+            row = next(r for r in client.sessions()
+                       if r["session_id"] == session_id)
+            # Both deltas' gates are in the cumulative circuit — neither
+            # was dropped by a stale-base overwrite.
+            assert row["gates"] == 2
+            assert client.close_session(session_id) == 2
+
+
+def test_watch_interval_is_floored(server):
+    """A watch subscriber asking for interval=0 cannot busy-loop the
+    server: frames arrive no faster than MIN_WATCH_INTERVAL."""
+    with Client(server.address) as client:
+        started = time.perf_counter()
+        frames = list(client.watch(interval=0.0, count=3))
+        elapsed = time.perf_counter() - started
+    assert len(frames) == 3
+    assert elapsed >= 2 * MIN_WATCH_INTERVAL * 0.9
 
 
 def test_queue_full_is_a_structured_reject_not_a_hang():
