@@ -49,6 +49,7 @@ NAV: List[Tuple[str, str]] = [
     ("Sampling & dynamic circuits", "sampling.md"),
     ("Result & prefix caching", "caching.md"),
     ("Simulation service", "service.md"),
+    ("Resilience & fault injection", "resilience.md"),
     ("Writing an engine", "engine-authors.md"),
     ("Performance counters", "perf-counters.md"),
     ("API reference", "api.md"),
@@ -82,6 +83,9 @@ API_MODULES = [
     "repro.service.server",
     "repro.service.client",
     "repro.service.watch",
+    "repro.resilience.faults",
+    "repro.resilience.retry",
+    "repro.resilience.journal",
 ]
 
 #: Extra individual symbols that must be documented even though their home

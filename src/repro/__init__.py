@@ -34,6 +34,10 @@ SliQSim simulator), together with every substrate it depends on:
   admin stream — with sync (``Client``) and asyncio (``AsyncClient``)
   clients.
 
+* :mod:`repro.resilience` — the robustness layer: deterministic fault
+  injection for reproducible chaos tests, retry/backoff with decorrelated
+  jitter, and the crash-safe sweep journal (``run_sweep(journal=...)``).
+
 The most common entry points are re-exported here::
 
     import repro
@@ -94,6 +98,10 @@ from repro.service import (
     serve_background,
 )
 
+# Resilience rides on everything above (the journal keys via the cache's
+# fingerprints, the retry policy classifies service error codes).
+from repro.resilience import FaultPlan, FaultRule, RetryPolicy, SweepJournal
+
 __version__ = "0.1.0"
 
 __all__ = [
@@ -125,6 +133,10 @@ __all__ = [
     "Server",
     "ServiceError",
     "serve_background",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "SweepJournal",
     "JobCancelledError",
     "NumericalError",
     "SimulationError",

@@ -425,6 +425,7 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
               reorder: Union[bool, int, None] = None,
               cache: Optional[ResultCache] = None,
               sessions: Optional[SessionPool] = None,
+              journal=None,
               cancel=None) -> List[RunResult]:
     """Execute (engine, circuit) tasks, optionally on process workers.
 
@@ -448,10 +449,24 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
     result), while ``sessions`` is serial-only and ignored under
     ``jobs > 1`` — live BDD session state cannot cross process boundaries.
 
+    ``journal`` (a path or a :class:`~repro.resilience.journal.SweepJournal`)
+    makes the task list **crash-safe**: every terminal result is appended
+    to the manifest before the next task dispatches, and re-running the
+    same task list against the same manifest replays journalled tasks
+    verbatim (``extra["journal_replayed"]``, a provenance marker excluded
+    from deterministic serialisation) and executes only the missing ones —
+    so a killed sweep, resumed, produces ``to_dict(timings=False)`` output
+    byte-identical to an uninterrupted run.  Journalling composes with
+    ``cache`` (hits and aliases are journalled too) and with ``jobs > 1``
+    (journalled tasks never dispatch a worker; completions are journalled
+    in deterministic task order as futures resolve).
+
     ``cancel`` cancels the task list cooperatively, exactly as in
     :func:`run`: the serial path polls the token between gates, the
     parallel path between task dispatches (an in-flight process worker
-    finishes its current task before the cancellation surfaces).
+    finishes its current task before the cancellation surfaces).  A
+    journalled sweep that is cancelled — or killed outright — resumes from
+    its manifest.
 
     Engines registered at import time (everything in :mod:`repro.engines`
     and any module imported before the pool starts) are available in the
@@ -460,12 +475,31 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
     """
     specs = [(engine, circuit, shots, derive_task_seed(seed, index))
              for index, (engine, circuit) in enumerate(tasks)]
-    if jobs <= 1 or len(specs) <= 1:
-        return [run(circuit, engine=engine_name, limits=limits,
-                    shots=task_shots, seed=task_seed, reorder=reorder,
-                    cache=cache, sessions=sessions, cancel=cancel)
-                for engine_name, circuit, task_shots, task_seed in specs]
     results: List[Optional[RunResult]] = [None] * len(specs)
+    journal_keys: List[Optional[str]] = [None] * len(specs)
+    if journal is not None:
+        # Imported lazily: journalling is opt-in and the resilience package
+        # sits above the engines in the dependency order.
+        from repro.resilience.journal import open_journal, task_key
+
+        journal = open_journal(journal)
+        for index, (engine_name, circuit, task_shots, task_seed) \
+                in enumerate(specs):
+            journal_keys[index] = task_key(index, engine_name, circuit,
+                                           task_shots, task_seed, reorder)
+            results[index] = journal.lookup(journal_keys[index])
+    if jobs <= 1 or len(specs) <= 1:
+        for index, (engine_name, circuit, task_shots, task_seed) \
+                in enumerate(specs):
+            if results[index] is not None:
+                continue
+            result = run(circuit, engine=engine_name, limits=limits,
+                         shots=task_shots, seed=task_seed, reorder=reorder,
+                         cache=cache, sessions=sessions, cancel=cancel)
+            if journal is not None:
+                journal.record(journal_keys[index], result)
+            results[index] = result
+        return results
     keys: List[Optional[object]] = [None] * len(specs)
     pending: List[int] = []
     aliases: List[Tuple[int, object]] = []
@@ -473,6 +507,8 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
         owners: Dict[object, int] = {}
         for index, (engine_name, circuit, task_shots, task_seed) \
                 in enumerate(specs):
+            if results[index] is not None:
+                continue  # journal replay: never dispatched
             key = None
             if cacheable_request(task_shots, task_seed):
                 try:
@@ -491,6 +527,8 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
             if hit is not None:
                 results[index] = _materialise_hit(hit, circuit, engine_name,
                                                   0.0)
+                if journal is not None:
+                    journal.record(journal_keys[index], results[index])
                 continue
             if key in owners:
                 aliases.append((index, key))
@@ -499,7 +537,8 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
             keys[index] = key
             pending.append(index)
     else:
-        pending = list(range(len(specs)))
+        pending = [index for index in range(len(specs))
+                   if results[index] is None]
     if pending:
         if cancel is not None and cancel.is_set():
             raise JobCancelledError("cancelled before parallel dispatch")
@@ -511,6 +550,8 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
                 result = future.result()
                 if keys[index] is not None:
                     cache.store(keys[index], result)
+                if journal is not None:
+                    journal.record(journal_keys[index], result)
                 results[index] = result
     for index, key in aliases:
         engine_name, circuit, _, _ = specs[index]
@@ -521,6 +562,8 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
             # The owning task finished with a non-cacheable outcome (TO/MO);
             # reproduce it for this request the ordinary way.
             results[index] = _run_task(specs[index], limits, reorder)
+        if journal is not None:
+            journal.record(journal_keys[index], results[index])
     return results
 
 
@@ -533,6 +576,7 @@ def run_sweep(circuits: Sequence[QuantumCircuit],
               reorder: Union[bool, int, None] = None,
               cache: Optional[ResultCache] = None,
               sessions: Optional[SessionPool] = None,
+              journal=None,
               cancel=None) -> List[RunResult]:
     """Run every circuit on every engine (circuit-major order).
 
@@ -541,10 +585,12 @@ def run_sweep(circuits: Sequence[QuantumCircuit],
     deterministic regardless of ``jobs``.  ``shots`` / ``seed`` sample
     measurement counts per run exactly as in :func:`run_tasks`, ``reorder``
     enables dynamic reordering on capable engines per run, ``cache`` /
-    ``sessions`` amortise repeated work across the grid, and ``cancel``
-    cancels the grid cooperatively — all exactly as in :func:`run_tasks`.
+    ``sessions`` amortise repeated work across the grid, ``journal``
+    makes the grid crash-safe (a killed sweep resumes byte-identically
+    from its manifest), and ``cancel`` cancels the grid cooperatively —
+    all exactly as in :func:`run_tasks`.
     """
     tasks = [(engine, circuit) for circuit in circuits for engine in engines]
     return run_tasks(tasks, limits=limits, jobs=jobs, shots=shots, seed=seed,
                      reorder=reorder, cache=cache, sessions=sessions,
-                     cancel=cancel)
+                     journal=journal, cancel=cancel)

@@ -37,6 +37,7 @@ from repro.exceptions import (
     SimulationMemoryExceeded,
     SimulationTimeout,
 )
+from repro.resilience.faults import FAULT_LIMITS_CHECK, maybe_fire
 
 
 @dataclass(frozen=True)
@@ -148,6 +149,10 @@ class LimitEnforcer:
         """Raise ``JobCancelledError`` when the job's cancel token is set,
         ``SimulationTimeout`` / ``SimulationMemoryExceeded`` when a budget
         is exhausted (also usable inside long engine queries)."""
+        # Chaos hook: this poll runs between gates inside every limited
+        # simulation, so an armed ``limits.check`` rule crashes a run
+        # mid-circuit through the same unwind path a timeout takes.
+        maybe_fire(FAULT_LIMITS_CHECK)
         token = self._cancel_token
         if token is not None and token.is_set():
             raise JobCancelledError(

@@ -40,6 +40,7 @@ PROVENANCE_EXTRA_KEYS = frozenset({
     "resumed_from_depth",
     "manager_live_nodes",
     "gates_applied",
+    "journal_replayed",
 })
 
 #: Prefix marking the BDD substrate's per-manager work counters in
@@ -168,6 +169,63 @@ class RunResult:
                  if timings or _deterministic_extra_key(key)}
         data["extra"] = extra
         return data
+
+    # -- wire codec (service protocol, sweep journal) --------------------- #
+    def to_wire(self) -> Dict[str, object]:
+        """Every raw field as a JSON-safe dict (counts keys become strings —
+        JSON objects cannot have integer keys).  Unlike :meth:`to_dict` this
+        is a lossless transport form: :meth:`from_wire` rebuilds an
+        equivalent result, and the round trip reproduces
+        ``to_dict(timings=False)`` byte-identically.  Both the service wire
+        protocol and the crash-safe sweep journal serialise through here.
+        """
+        data: Dict[str, object] = {
+            "engine": self.engine,
+            "circuit_name": self.circuit_name,
+            "num_qubits": self.num_qubits,
+            "num_gates": self.num_gates,
+            "status": self.status,
+            "elapsed_seconds": self.elapsed_seconds,
+            "peak_memory_nodes": self.peak_memory_nodes,
+            "final_probability": self.final_probability,
+            "detail": self.detail,
+            "extra": dict(self.extra),
+            "requested_engine": self.requested_engine,
+            "shots": self.shots,
+            "seed": self.seed,
+            "counts_width": self.counts_width,
+        }
+        if self.counts is not None:
+            data["counts"] = {str(key): value
+                              for key, value in self.counts.items()}
+        return data
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from :meth:`to_wire` output; raises
+        ``ValueError`` on a malformed payload."""
+        counts = data.get("counts")
+        if counts is not None:
+            counts = {int(key): int(value) for key, value in counts.items()}
+        try:
+            return cls(
+                engine=data["engine"],
+                circuit_name=data["circuit_name"],
+                num_qubits=int(data["num_qubits"]),
+                num_gates=int(data["num_gates"]),
+                status=data["status"],
+                elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+                peak_memory_nodes=int(data.get("peak_memory_nodes", 0)),
+                final_probability=data.get("final_probability"),
+                detail=str(data.get("detail", "")),
+                extra=dict(data.get("extra") or {}),
+                requested_engine=str(data.get("requested_engine", "")),
+                shots=data.get("shots"),
+                seed=data.get("seed"),
+                counts=counts,
+                counts_width=data.get("counts_width"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"bad result payload: {exc}") from exc
 
 
 def summarise(results: Sequence[RunResult]) -> Dict[str, float]:

@@ -122,9 +122,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     client = None
     runner = None
     if args.server is not None:
+        from repro.resilience.retry import RetryPolicy, connect_with_retry
         from repro.service.client import Client
 
-        client = Client(args.server, timeout=None)
+        # The server may still be binding its socket when the harness
+        # starts (compose-style orchestration launches both at once), so
+        # the initial connection retries with backoff instead of dying on
+        # the first ECONNREFUSED; once connected, the same policy lets the
+        # idempotent grid submissions survive a mid-sweep restart.
+        policy = RetryPolicy(max_attempts=8, base_delay=0.1, max_delay=1.0)
+        client = connect_with_retry(
+            lambda: Client(args.server, timeout=None, retry=policy),
+            policy=policy)
         runner = client.run_tasks
 
     def want(name: str) -> bool:

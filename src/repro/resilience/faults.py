@@ -1,0 +1,282 @@
+"""Deterministic fault injection: named fault points armed by a seeded plan.
+
+Chaos testing is only useful when a failing schedule can be replayed: a
+fault that fires "sometimes" produces flakes, not regressions.  This module
+therefore separates *where* faults can happen from *when* they do:
+
+* **Fault points** are named call sites threaded through the hot paths of
+  the stack — the scheduler worker loop, the service session append, the
+  :meth:`~repro.engines.limits.LimitEnforcer.check` gate-boundary poll, the
+  server/client socket paths and the sweep journal writer.  Each site calls
+  :func:`maybe_fire` with its name; with no plan installed that is a single
+  attribute read and compare, so production traffic pays nothing.
+* A :class:`FaultPlan` arms a set of :class:`FaultRule` triggers — fire on
+  the *N*-th hit of a point, or with probability ``p`` per hit from a
+  seeded RNG — so a chaos test's entire fault schedule is a pure function
+  of ``(rules, seed)`` and every run of the test injects the same faults at
+  the same hits.
+
+Install a plan process-wide with :func:`install` / :func:`uninstall`, or
+scope it to a test body with the :func:`active` context manager.  The plan
+counts every hit and fire per point (:meth:`FaultPlan.fires`) and mirrors
+fires into an optional :class:`~repro.perf.counters.PerfCounters` bag as
+``fault_fires_total`` / ``fault_fires_<point>``.
+
+Determinism caveat: a plan's *rule evaluation* is deterministic per point,
+but when several threads hit the same point concurrently the interleaving
+decides which thread observes the firing hit.  Chaos tests that pin
+byte-identical outputs should therefore use single-worker servers or
+place ``on_hit`` rules on naturally serialised paths.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional, Sequence
+
+from repro.exceptions import SimulationError
+from repro.perf.counters import PerfCounters
+
+# --------------------------------------------------------------------- #
+# fault-point catalogue
+# --------------------------------------------------------------------- #
+#: Scheduler worker, between claiming a job and invoking its function —
+#: *outside* the job's own try block, so a firing simulates the worker
+#: loop machinery itself crashing (the hardened loop must survive it).
+FAULT_WORKER_LOOP = "scheduler.worker.loop"
+
+#: Scheduler worker, inside the job execution — equivalent to the job
+#: function raising unexpectedly (the server must reply a structured
+#: ``internal`` error and the worker must keep serving).
+FAULT_WORKER_JOB = "scheduler.worker.job"
+
+#: Service session append, on the worker under the session lock, before
+#: the cumulative circuit is run — a crash here must leave the session
+#: un-advanced and its lock released.
+FAULT_SESSION_APPEND = "service.session.append"
+
+#: :meth:`LimitEnforcer.check <repro.engines.limits.LimitEnforcer.check>`,
+#: polled between gates — fires *inside* a simulation, where a timeout
+#: would fire, simulating an engine crash mid-circuit.
+FAULT_LIMITS_CHECK = "limits.check"
+
+#: Server reply path (the per-connection ``send``) — arm with a
+#: ``ConnectionResetError`` to simulate the socket dropping mid-reply.
+FAULT_SERVER_SEND = "server.send"
+
+#: Client request path (``Client``/``AsyncClient`` writes).
+FAULT_CLIENT_SEND = "client.send"
+
+#: Client reply path (``Client``/``AsyncClient`` reads).
+FAULT_CLIENT_RECV = "client.recv"
+
+#: Sweep journal, before an entry is appended — a crash here loses the
+#: task's journal line but must never corrupt the preceding entries.
+FAULT_JOURNAL_WRITE = "journal.write"
+
+#: Every named fault point, for the catalogue in ``docs/resilience.md``.
+FAULT_POINTS = (
+    FAULT_WORKER_LOOP,
+    FAULT_WORKER_JOB,
+    FAULT_SESSION_APPEND,
+    FAULT_LIMITS_CHECK,
+    FAULT_SERVER_SEND,
+    FAULT_CLIENT_SEND,
+    FAULT_CLIENT_RECV,
+    FAULT_JOURNAL_WRITE,
+)
+
+
+class InjectedFault(SimulationError):
+    """The default exception a fired fault point raises.
+
+    Deliberately *outside* the classified outcome hierarchy (TO/MO/
+    unsupported/numerical): an injected crash must propagate like a real
+    unexpected failure — surfacing as a ``crash``-style error, a structured
+    ``internal`` service reply, or a dead sweep — never be absorbed into a
+    benign status class.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"injected fault at {point!r}")
+        self.point = point
+
+
+@dataclass
+class FaultRule:
+    """One trigger: fire at a fault ``point`` on the *N*-th hit or with
+    probability ``p`` per hit.
+
+    Exactly one of ``on_hit`` (1-based hit ordinal) and ``probability``
+    must be set.  ``times`` caps how often the rule fires (``None`` =
+    unlimited; an ``on_hit`` rule fires on every ``times``-capped hit at or
+    after the ordinal when ``repeat`` is true, else exactly once).
+    ``exception`` builds the raised instance — default
+    :class:`InjectedFault`; use e.g. ``ConnectionResetError`` at the socket
+    points to simulate a transport drop.
+    """
+
+    point: str
+    on_hit: Optional[int] = None
+    probability: Optional[float] = None
+    times: Optional[int] = 1
+    repeat: bool = False
+    exception: Optional[Callable[[str], BaseException]] = None
+    fired: int = field(default=0, init=False)
+    hits: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if (self.on_hit is None) == (self.probability is None):
+            raise ValueError("set exactly one of on_hit / probability")
+        if self.on_hit is not None and self.on_hit < 1:
+            raise ValueError("on_hit is a 1-based hit ordinal")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+
+    def build_exception(self) -> BaseException:
+        """The exception instance this rule raises when it fires."""
+        if self.exception is None:
+            return InjectedFault(self.point)
+        return self.exception(self.point)
+
+    def should_fire(self, rng: random.Random) -> bool:
+        """Record one hit and decide whether the rule fires on it."""
+        self.hits += 1
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.on_hit is not None:
+            fire = (self.hits == self.on_hit
+                    or (self.repeat and self.hits > self.on_hit))
+        else:
+            fire = rng.random() < self.probability
+        if fire:
+            self.fired += 1
+        return fire
+
+
+class FaultPlan:
+    """A seeded, replayable fault schedule over the named fault points.
+
+    ``rules`` arm the plan; ``seed`` fixes the RNG driving every
+    probability rule (each point draws from its own stream, derived
+    deterministically from ``(seed, point)``, so adding a rule for one
+    point never perturbs another point's schedule).  All methods are
+    thread-safe — fault points fire on worker threads and the event loop
+    alike.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0,
+                 counters: Optional[PerfCounters] = None):
+        self.seed = seed
+        self.counters = counters
+        self._lock = threading.Lock()
+        self._rules: Dict[str, list] = {}
+        self._rngs: Dict[str, random.Random] = {}
+        for rule in rules:
+            self._rules.setdefault(rule.point, []).append(rule)
+
+    def _rng_for(self, point: str) -> random.Random:
+        rng = self._rngs.get(point)
+        if rng is None:
+            rng = random.Random(f"fault-plan:{self.seed}:{point}")
+            self._rngs[point] = rng
+        return rng
+
+    def hit(self, point: str) -> Optional[BaseException]:
+        """Record one hit of ``point``; return the exception to raise when
+        a rule fires, else ``None``."""
+        with self._lock:
+            rules = self._rules.get(point)
+            if not rules:
+                return None
+            rng = self._rng_for(point)
+            for rule in rules:
+                if rule.should_fire(rng):
+                    if self.counters is not None:
+                        self.counters.add("fault_fires_total")
+                        self.counters.add(f"fault_fires_{point}")
+                    return rule.build_exception()
+            return None
+
+    def fires(self) -> Dict[str, int]:
+        """Fired counts per point (points that never fired are omitted)."""
+        with self._lock:
+            out: Dict[str, int] = {}
+            for point, rules in self._rules.items():
+                total = sum(rule.fired for rule in rules)
+                if total:
+                    out[point] = total
+            return out
+
+    def hit_counts(self) -> Dict[str, int]:
+        """Observed hits per armed point (fired or not)."""
+        with self._lock:
+            return {point: max(rule.hits for rule in rules)
+                    for point, rules in self._rules.items() if rules}
+
+
+#: The process-wide active plan; ``None`` keeps every fault point inert.
+_active_plan: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Arm ``plan`` process-wide (replacing any previous plan)."""
+    global _active_plan
+    _active_plan = plan
+
+
+def uninstall() -> None:
+    """Disarm fault injection (idempotent)."""
+    global _active_plan
+    _active_plan = None
+
+
+@contextmanager
+def active(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Context manager arming ``plan`` for the body and disarming after —
+    the idiom chaos tests use so a failing test never leaks its plan."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+def current_plan() -> Optional[FaultPlan]:
+    """The installed plan, or ``None``."""
+    return _active_plan
+
+
+def maybe_fire(point: str) -> None:
+    """The instrumentation hook: raise the armed exception when the active
+    plan fires at ``point``; a no-op (one load + compare) otherwise."""
+    plan = _active_plan
+    if plan is None:
+        return
+    exc = plan.hit(point)
+    if exc is not None:
+        raise exc
+
+
+__all__ = [
+    "FAULT_CLIENT_RECV",
+    "FAULT_CLIENT_SEND",
+    "FAULT_JOURNAL_WRITE",
+    "FAULT_LIMITS_CHECK",
+    "FAULT_POINTS",
+    "FAULT_SERVER_SEND",
+    "FAULT_SESSION_APPEND",
+    "FAULT_WORKER_JOB",
+    "FAULT_WORKER_LOOP",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active",
+    "current_plan",
+    "install",
+    "maybe_fire",
+    "uninstall",
+]

@@ -1,0 +1,172 @@
+"""Retry with capped exponential backoff and decorrelated jitter.
+
+A retry is only safe when three questions have answers: *is this failure
+transient* (classification), *how long do we wait* (backoff), and *can the
+operation run twice* (idempotency).  This module answers the first two and
+the service clients answer the third with idempotency keys:
+
+* :data:`RETRYABLE_CODES` classifies structured
+  :class:`~repro.service.client.ServiceError` codes — transport loss,
+  backpressure and drain rejections are transient; ``bad_request`` or
+  ``unknown_session`` are not and retrying them only repeats the failure.
+* :class:`RetryPolicy` produces the delay schedule — *decorrelated jitter*
+  (each delay drawn uniformly from ``[base, prev * 3]``, capped), which
+  spreads reconnect storms across time instead of synchronising every
+  client on the same exponential step — and drives the retry loop for both
+  sync (:meth:`RetryPolicy.call`) and async (:meth:`RetryPolicy.async_call`)
+  callables.
+
+Policies are seedable so tests pin the exact delay sequence, and the
+``sleep`` hook lets tests run a multi-attempt schedule without waiting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Awaitable, Callable, Iterator, Optional, TypeVar
+
+from repro.perf.counters import PerfCounters
+
+T = TypeVar("T")
+
+#: Structured service error codes that mark a *transient* failure: the
+#: transport dropped (``connection_lost``), the queue was momentarily full
+#: (``queue_full``), or the server is shutting down / mid-restart
+#: (``draining``, ``unavailable``).  Everything else — ``bad_request``,
+#: ``unknown_session``, ``internal``, ``cancelled``… — is fatal to retry.
+RETRYABLE_CODES = frozenset({"connection_lost", "queue_full", "draining", "unavailable"})
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Default classification: structured errors by code, raw transport
+    errors (``ConnectionError``/``OSError``) as transient."""
+    code = getattr(exc, "code", None)
+    if code is not None:
+        return code in RETRYABLE_CODES
+    return isinstance(exc, (ConnectionError, OSError))
+
+
+class RetryGaveUp(RuntimeError):
+    """Raised by :meth:`RetryPolicy.call` when every attempt failed; the
+    last underlying exception is chained as ``__cause__`` and kept on
+    ``last_error``."""
+
+    def __init__(self, attempts: int, last_error: BaseException):
+        super().__init__(f"gave up after {attempts} attempts: {last_error}")
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class RetryPolicy:
+    """Capped exponential backoff with decorrelated jitter.
+
+    ``max_attempts`` bounds total tries (first call included); delays start
+    at ``base_delay`` and each next delay is drawn uniformly from
+    ``[base_delay, prev * 3]``, clipped to ``max_delay``.  ``seed`` fixes
+    the jitter stream; ``sleep`` is injectable for tests.  Counters (when
+    given) record ``retry_attempts``, ``retry_sleep_seconds`` and
+    ``retry_giveups``.
+    """
+
+    def __init__(self, max_attempts: int = 5, base_delay: float = 0.05,
+                 max_delay: float = 2.0, seed: Optional[int] = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 counters: Optional[PerfCounters] = None):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0 or max_delay < base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.seed = seed
+        self.sleep = sleep
+        self.counters = counters
+
+    def delays(self) -> Iterator[float]:
+        """The backoff schedule: an iterator of ``max_attempts - 1`` delays
+        (one between each pair of attempts)."""
+        rng = random.Random(self.seed) if self.seed is not None else random.Random()
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            yield delay
+            delay = min(self.max_delay, rng.uniform(self.base_delay, delay * 3))
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        if self.counters is not None:
+            self.counters.add(name, amount)
+
+    def call(self, fn: Callable[[], T], *,
+             retryable: Optional[Callable[[BaseException], bool]] = None,
+             on_retry: Optional[Callable[[int, BaseException, float], None]] = None) -> T:
+        """Invoke ``fn`` under the policy, sleeping the jittered delay
+        between attempts; raise :class:`RetryGaveUp` when attempts are
+        exhausted, or the original error immediately when ``retryable``
+        (default :func:`is_retryable`) rejects it."""
+        classify = retryable if retryable is not None else is_retryable
+        last_error: Optional[BaseException] = None
+        schedule = self.delays()
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except Exception as exc:
+                if not classify(exc):
+                    raise
+                last_error = exc
+                if attempt == self.max_attempts:
+                    break
+                delay = next(schedule)
+                self._count("retry_attempts")
+                self._count("retry_sleep_seconds", delay)
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                self.sleep(delay)
+        self._count("retry_giveups")
+        assert last_error is not None
+        raise RetryGaveUp(self.max_attempts, last_error) from last_error
+
+    async def async_call(self, fn: Callable[[], Awaitable[T]], *,
+                         retryable: Optional[Callable[[BaseException], bool]] = None,
+                         on_retry: Optional[Callable[[int, BaseException, float], None]] = None) -> T:
+        """Async twin of :meth:`call` (delays via ``asyncio.sleep``)."""
+        classify = retryable if retryable is not None else is_retryable
+        last_error: Optional[BaseException] = None
+        schedule = self.delays()
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return await fn()
+            except Exception as exc:
+                if not classify(exc):
+                    raise
+                last_error = exc
+                if attempt == self.max_attempts:
+                    break
+                delay = next(schedule)
+                self._count("retry_attempts")
+                self._count("retry_sleep_seconds", delay)
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                await asyncio.sleep(delay)
+        self._count("retry_giveups")
+        assert last_error is not None
+        raise RetryGaveUp(self.max_attempts, last_error) from last_error
+
+
+def connect_with_retry(factory: Callable[[], T], policy: Optional[RetryPolicy] = None) -> T:
+    """Build a connection via ``factory``, retrying refused/unreachable
+    attempts (``OSError``/``ConnectionError``) under ``policy`` — the
+    harness uses this so ``--server`` tolerates a still-starting server."""
+    if policy is None:
+        policy = RetryPolicy()
+    return policy.call(factory, retryable=lambda exc: isinstance(exc, (ConnectionError, OSError)))
+
+
+__all__ = [
+    "RETRYABLE_CODES",
+    "RetryGaveUp",
+    "RetryPolicy",
+    "connect_with_retry",
+    "is_retryable",
+]

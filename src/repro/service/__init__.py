@@ -27,6 +27,8 @@ from repro.service.protocol import (
     CancelReply,
     CloseSession,
     ErrorReply,
+    HealthReply,
+    HealthRequest,
     JobAccepted,
     ListSessions,
     Message,
@@ -49,7 +51,12 @@ from repro.service.protocol import (
     decode_response,
     encode_message,
 )
-from repro.service.scheduler import Job, JobScheduler, QueueFullError
+from repro.service.scheduler import (
+    DrainingError,
+    Job,
+    JobScheduler,
+    QueueFullError,
+)
 from repro.service.server import BackgroundServer, Server, serve_background
 from repro.service.sessions import (
     ServiceSession,
@@ -66,7 +73,10 @@ __all__ = [
     "CancelReply",
     "Client",
     "CloseSession",
+    "DrainingError",
     "ErrorReply",
+    "HealthReply",
+    "HealthRequest",
     "Job",
     "JobAccepted",
     "JobScheduler",

@@ -5,8 +5,8 @@ Both clients speak the newline-delimited JSON protocol of
 front door does — :meth:`Client.run` mirrors :func:`repro.run`,
 :meth:`Client.run_tasks` mirrors :func:`repro.engines.frontdoor.run_tasks`
 (signature-compatible, so the harness can swap one for the other) — plus
-the service-only verbs: sessions, job submission/cancellation, stats and
-the live ``watch`` stream.
+the service-only verbs: sessions, job submission/cancellation, stats,
+health and the live ``watch`` stream.
 
 Replies demultiplex by ``in_reply_to``: a client may have several requests
 in flight and each blocking call reads lines until *its* terminal reply
@@ -14,6 +14,28 @@ arrives, parking replies destined for other calls.  ``error`` replies
 raise :class:`ServiceError` carrying the structured code (``queue_full``,
 ``unknown_session``, ``cancelled``, ...) so callers branch on ``exc.code``
 rather than parsing prose.
+
+Resilience semantics:
+
+* **Transport failures are normalised**: a server disappearing
+  mid-roundtrip always surfaces as ``ServiceError(code="connection_lost")``
+  — never a bare ``ConnectionResetError`` / ``BrokenPipeError`` /
+  ``asyncio.IncompleteReadError`` — so callers and
+  :class:`~repro.resilience.retry.RetryPolicy` classify one code instead
+  of a zoo of exception types.  (A configured socket ``timeout`` still
+  raises ``TimeoutError`` as before: a slow server is not a dead one.)
+* **Optional retry**: construct with ``retry=RetryPolicy(...)`` and the
+  idempotent verbs (``run`` / ``run_tasks`` / ``sample`` /
+  ``query_probability`` / ``submit`` / ``append`` plus the read-only admin
+  verbs) transparently reconnect and resend on retryable codes.  Every
+  submission carries a client-generated **idempotency key**, and a resend
+  reuses the *same* key, so a retried submission whose original was
+  already accepted re-attaches to the original job instead of
+  double-executing (session appends are additionally replay-guarded at
+  the session, under its lock).
+* ``open_session`` / ``close_session`` are **never auto-retried**: their
+  replay semantics are not idempotent (a second open is a second session),
+  so a lost reply there must surface to the caller.
 """
 
 from __future__ import annotations
@@ -21,6 +43,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import socket
+import uuid
 from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple, Type, Union)
 
@@ -28,12 +51,16 @@ from repro.circuit.circuit import QuantumCircuit
 from repro.engines.limits import ResourceLimits
 from repro.engines.result import RunResult
 from repro.exceptions import SimulationError
+from repro.resilience.faults import FAULT_CLIENT_RECV, FAULT_CLIENT_SEND, maybe_fire
+from repro.resilience.retry import RetryPolicy
 from repro.service.protocol import (
     AppendToSession,
     CancelJob,
     CancelReply,
     CloseSession,
     ErrorReply,
+    HealthReply,
+    HealthRequest,
     JobAccepted,
     ListSessions,
     Message,
@@ -59,11 +86,13 @@ Address = Union[str, Tuple[str, int]]
 
 
 class ServiceError(SimulationError):
-    """A structured ``error`` reply from the server.
+    """A structured ``error`` reply from the server (or a locally
+    synthesised transport failure).
 
     ``code`` is the machine-readable discriminator (``queue_full``,
-    ``unknown_session``, ``too_many_sessions``, ``bad_request``,
-    ``version_mismatch``, ``cancelled``, ``internal``); ``details`` carries
+    ``draining``, ``unknown_session``, ``too_many_sessions``,
+    ``bad_request``, ``version_mismatch``, ``cancelled``, ``internal``,
+    and the client-side ``connection_lost``); ``details`` carries
     code-specific context (e.g. queue ``depth`` / ``capacity``).
     """
 
@@ -98,6 +127,12 @@ def parse_address(address: Address) -> Tuple[Optional[str],
                      "(want host:port, (host, port) or unix:/path)")
 
 
+def new_idempotency_key() -> str:
+    """A fresh client-generated idempotency key (random UUID hex — unique
+    across clients, connections and restarts without coordination)."""
+    return uuid.uuid4().hex
+
+
 class _ReplyRouter:
     """Shared demultiplexing state: replies parked per request id."""
 
@@ -121,6 +156,11 @@ class _ReplyRouter:
             return message
         return None
 
+    def drop_pending(self) -> None:
+        """Forget parked replies (they belonged to a dead connection; the
+        ids keep counting, so post-reconnect correlation stays unique)."""
+        self._pending.clear()
+
 
 def _accept(message: Message, accept: Tuple[Type[Message], ...],
             intermediate: Tuple[Type[Message], ...]) -> Optional[str]:
@@ -140,30 +180,70 @@ class Client:
 
     Connect with an address accepted by :func:`parse_address`; use as a
     context manager to close the socket deterministically.  All methods
-    are synchronous; ``timeout`` (seconds) bounds each socket read.
+    are synchronous; ``timeout`` (seconds) bounds each socket read.  Pass
+    ``retry`` (a :class:`~repro.resilience.retry.RetryPolicy`) to make the
+    idempotent verbs reconnect and resend on transient failures; without
+    it every failure surfaces on the first attempt (but transport errors
+    are still normalised to ``connection_lost``).
     """
 
-    def __init__(self, address: Address, timeout: Optional[float] = 60.0):
-        unix_path, tcp = parse_address(address)
-        if unix_path is not None:
-            self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._socket.settimeout(timeout)
-            self._socket.connect(unix_path)
-        else:
-            self._socket = socket.create_connection(tcp, timeout=timeout)
-        self._reader = self._socket.makefile("rb")
+    def __init__(self, address: Address, timeout: Optional[float] = 60.0,
+                 retry: Optional[RetryPolicy] = None):
+        self.address = address
+        self._timeout = timeout
+        self._retry = retry
         self._router = _ReplyRouter()
+        self._socket: Optional[socket.socket] = None
+        self._reader = None
+        self._connect()
 
     # ------------------------------------------------------------------ #
     # plumbing
     # ------------------------------------------------------------------ #
+    def _connect(self) -> None:
+        unix_path, tcp = parse_address(self.address)
+        if unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._timeout)
+            sock.connect(unix_path)
+        else:
+            sock = socket.create_connection(tcp, timeout=self._timeout)
+        self._socket = sock
+        self._reader = sock.makefile("rb")
+
+    def _teardown(self) -> None:
+        """Drop a dead connection: close both ends, forget parked replies.
+        The next :meth:`_ensure_connected` (under a retry policy) dials
+        fresh."""
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+            self._socket = None
+        self._router.drop_pending()
+
+    def _ensure_connected(self) -> None:
+        if self._socket is None:
+            self._connect()
+
+    def _lost(self, reason: str, exc: Optional[BaseException] = None) -> ServiceError:
+        self._teardown()
+        error = ServiceError("connection_lost", reason)
+        if exc is not None:
+            error.__cause__ = exc
+        return error
+
     def close(self) -> None:
         """Close the connection (outstanding server-side jobs of this
         connection are cancelled by the server's disconnect handling)."""
-        try:
-            self._reader.close()
-        finally:
-            self._socket.close()
+        self._teardown()
 
     def __enter__(self) -> "Client":
         """Context-manager entry."""
@@ -175,13 +255,25 @@ class Client:
 
     def _send(self, message: Message) -> str:
         msg_id = self._router.next_id()
-        self._socket.sendall(encode_message(message, msg_id=msg_id))
+        try:
+            maybe_fire(FAULT_CLIENT_SEND)
+            self._socket.sendall(encode_message(message, msg_id=msg_id))
+        except socket.timeout:
+            raise  # a slow server is not a dead one
+        except (ConnectionError, OSError) as exc:
+            raise self._lost(f"send failed: {exc}", exc) from exc
         return msg_id
 
     def _read_reply(self) -> Tuple[Message, Optional[str]]:
-        line = self._reader.readline()
+        try:
+            maybe_fire(FAULT_CLIENT_RECV)
+            line = self._reader.readline()
+        except socket.timeout:
+            raise
+        except (ConnectionError, OSError) as exc:
+            raise self._lost(f"read failed: {exc}", exc) from exc
         if not line:
-            raise ServiceError("disconnected", "server closed the connection")
+            raise self._lost("server closed the connection")
         message, envelope = decode_response(line)
         return message, envelope.get("in_reply_to")
 
@@ -204,6 +296,22 @@ class Client:
         return self._wait(self._send(request), accept,
                           intermediate=intermediate)
 
+    def _retrying(self, request: Message,
+                  accept: Tuple[Type[Message], ...],
+                  intermediate: Tuple[Type[Message], ...] = ()) -> Message:
+        """Roundtrip under the retry policy (when configured): reconnect
+        if the previous attempt tore the connection down, resend the
+        *same* request — same idempotency key — and classify failures via
+        the policy.  Without a policy this is a plain roundtrip."""
+        if self._retry is None:
+            return self._roundtrip(request, accept, intermediate=intermediate)
+
+        def attempt() -> Message:
+            self._ensure_connected()
+            return self._roundtrip(request, accept,
+                                   intermediate=intermediate)
+        return self._retry.call(attempt)
+
     # ------------------------------------------------------------------ #
     # front-door mirrors
     # ------------------------------------------------------------------ #
@@ -214,9 +322,10 @@ class Client:
             priority: int = 0) -> RunResult:
         """Run one circuit on the server; blocks until the run record
         arrives (mirrors :func:`repro.run`)."""
-        reply = self._roundtrip(
+        reply = self._retrying(
             SubmitRun(circuit, engine=engine, limits=limits, shots=shots,
-                      seed=seed, reorder=reorder, priority=priority),
+                      seed=seed, reorder=reorder, priority=priority,
+                      idempotency_key=new_idempotency_key()),
             accept=(RunCompleted,), intermediate=(JobAccepted,))
         return reply.result
 
@@ -234,9 +343,10 @@ class Client:
         server always executes a sweep serially inside one job, which is
         what guarantees the byte-identity."""
         del jobs
-        reply = self._roundtrip(
+        reply = self._retrying(
             SubmitSweep(list(tasks), limits=limits, shots=shots, seed=seed,
-                        reorder=reorder, priority=priority),
+                        reorder=reorder, priority=priority,
+                        idempotency_key=new_idempotency_key()),
             accept=(SweepCompleted,), intermediate=(JobAccepted,))
         return reply.results
 
@@ -247,9 +357,10 @@ class Client:
                priority: int = 0) -> RunResult:
         """Sample ``shots`` measurement shots; the run record carries the
         counts histogram."""
-        reply = self._roundtrip(
+        reply = self._retrying(
             SampleShots(circuit, shots=shots, engine=engine, limits=limits,
-                        seed=seed, priority=priority),
+                        seed=seed, priority=priority,
+                        idempotency_key=new_idempotency_key()),
             accept=(RunCompleted,), intermediate=(JobAccepted,))
         return reply.result
 
@@ -260,10 +371,11 @@ class Client:
                           priority: int = 0) -> float:
         """Joint probability ``P(qubits = values)`` after running the
         circuit server-side."""
-        reply = self._roundtrip(
+        reply = self._retrying(
             QueryProbability(circuit, qubits=list(qubits),
                              values=list(values), engine=engine,
-                             limits=limits, priority=priority),
+                             limits=limits, priority=priority,
+                             idempotency_key=new_idempotency_key()),
             accept=(ProbabilityReply,), intermediate=(JobAccepted,))
         return reply.probability
 
@@ -276,17 +388,20 @@ class Client:
                reorder: Optional[int] = None, priority: int = 0) -> str:
         """Fire-and-return submission: block only until ``job_accepted``
         and return the job id (the terminal reply is read later by
-        whichever call drains the connection, or discarded at close)."""
-        reply = self._roundtrip(
+        whichever call drains the connection, or discarded at close).
+        A retried submit reuses its idempotency key, so the job never
+        double-executes."""
+        reply = self._retrying(
             SubmitRun(circuit, engine=engine, limits=limits, shots=shots,
-                      seed=seed, reorder=reorder, priority=priority),
+                      seed=seed, reorder=reorder, priority=priority,
+                      idempotency_key=new_idempotency_key()),
             accept=(JobAccepted,))
         return reply.job_id
 
     def cancel(self, job_id: str) -> str:
         """Cancel a job by id; returns the server's outcome string
         (``cancelled`` / ``cancelling`` / ``finished`` / ``unknown``)."""
-        reply = self._roundtrip(CancelJob(job_id), accept=(CancelReply,))
+        reply = self._retrying(CancelJob(job_id), accept=(CancelReply,))
         return reply.outcome
 
     # ------------------------------------------------------------------ #
@@ -294,7 +409,9 @@ class Client:
     # ------------------------------------------------------------------ #
     def open_session(self, num_qubits: int, engine: str = "bitslice",
                      limits: Optional[ResourceLimits] = None) -> str:
-        """Open a warm session; returns its id."""
+        """Open a warm session; returns its id.  Never auto-retried — a
+        lost reply could mean the session *did* open, and a blind resend
+        would open (and leak) a second one."""
         reply = self._roundtrip(
             OpenSession(num_qubits=num_qubits, engine=engine, limits=limits),
             accept=(SessionOpened,))
@@ -305,15 +422,21 @@ class Client:
                priority: int = 0) -> RunResult:
         """Append a delta circuit to a session and run it, resuming from
         the session's retained prefix state; returns the run record of the
-        cumulative circuit."""
-        reply = self._roundtrip(
+        cumulative circuit.  Retries are safe: the idempotency key is
+        checked at the session under its lock, so a retried append whose
+        original committed replays the recorded result instead of
+        advancing the session twice."""
+        reply = self._retrying(
             AppendToSession(session_id, circuit, shots=shots, seed=seed,
-                            priority=priority),
+                            priority=priority,
+                            idempotency_key=new_idempotency_key()),
             accept=(RunCompleted,), intermediate=(JobAccepted,))
         return reply.result
 
     def close_session(self, session_id: str) -> int:
-        """Close a session; returns how many appends it served."""
+        """Close a session; returns how many appends it served.  Never
+        auto-retried (the first close frees the id; a resend would report
+        ``unknown_session`` and mask the real outcome)."""
         reply = self._roundtrip(CloseSession(session_id),
                                 accept=(SessionClosed,))
         return reply.appends
@@ -323,19 +446,35 @@ class Client:
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, Any]:
         """One admin snapshot (queue gauges, sessions, merged counters)."""
-        reply = self._roundtrip(ServerStatsRequest(), accept=(StatsReply,))
+        reply = self._retrying(ServerStatsRequest(), accept=(StatsReply,))
         return reply.stats
 
     def sessions(self) -> List[Dict[str, Any]]:
         """Live-session summaries."""
-        reply = self._roundtrip(ListSessions(), accept=(SessionList,))
+        reply = self._retrying(ListSessions(), accept=(SessionList,))
         return reply.sessions
+
+    def health(self) -> Dict[str, Any]:
+        """The server's degradation snapshot: ``state`` (``ok`` /
+        ``draining``), queue depth and capacity, running jobs, worker
+        liveness, live sessions and uptime."""
+        reply = self._retrying(HealthRequest(), accept=(HealthReply,))
+        return {"state": reply.state,
+                "queue_depth": reply.queue_depth,
+                "queue_capacity": reply.queue_capacity,
+                "running": reply.running,
+                "workers": reply.workers,
+                "workers_alive": reply.workers_alive,
+                "sessions": reply.sessions,
+                "uptime_seconds": reply.uptime_seconds}
 
     def watch(self, interval: float = 1.0,
               count: Optional[int] = None) -> Iterator[Dict[str, Any]]:
         """Yield stats snapshots streamed by the server every ``interval``
         seconds, ``count`` times (``None`` streams until the caller stops
-        iterating and closes the connection)."""
+        iterating and closes the connection).  Not retried: a stream has
+        no idempotent resend semantics — re-issue ``watch`` after a
+        ``connection_lost`` to resume."""
         msg_id = self._send(WatchRequest(interval=interval, count=count))
         produced = 0
         while count is None or produced < count:
@@ -348,36 +487,79 @@ class AsyncClient:
     """Asyncio client for the simulation service (same verbs as
     :class:`Client`, every method a coroutine).
 
-    Create via :meth:`connect`; concurrent coroutines may issue requests
-    on one connection — replies demultiplex by ``in_reply_to`` under a
-    reader lock.
+    Create via :meth:`connect` (optionally passing ``retry=``);
+    concurrent coroutines may issue requests on one connection — replies
+    demultiplex by ``in_reply_to`` under a reader lock.  Transport
+    failures normalise to ``ServiceError(code="connection_lost")`` exactly
+    like the sync client; with a retry policy the idempotent verbs
+    reconnect and resend (same idempotency key) on retryable codes.
     """
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter):
-        self._stream_reader = reader
-        self._writer = writer
+                 writer: asyncio.StreamWriter,
+                 address: Optional[Address] = None,
+                 retry: Optional[RetryPolicy] = None):
+        self._stream_reader: Optional[asyncio.StreamReader] = reader
+        self._writer: Optional[asyncio.StreamWriter] = writer
+        self._address = address
+        self._retry = retry
         self._router = _ReplyRouter()
         self._read_lock = asyncio.Lock()
         self._reply_ready = asyncio.Condition()
 
     @classmethod
-    async def connect(cls, address: Address) -> "AsyncClient":
+    async def connect(cls, address: Address,
+                      retry: Optional[RetryPolicy] = None) -> "AsyncClient":
         """Open a connection to ``address`` (see :func:`parse_address`)."""
+        reader, writer = await cls._open(address)
+        return cls(reader, writer, address=address, retry=retry)
+
+    @staticmethod
+    async def _open(address: Address) -> Tuple[asyncio.StreamReader,
+                                               asyncio.StreamWriter]:
         unix_path, tcp = parse_address(address)
         if unix_path is not None:
-            reader, writer = await asyncio.open_unix_connection(unix_path)
-        else:
-            reader, writer = await asyncio.open_connection(tcp[0], tcp[1])
-        return cls(reader, writer)
+            return await asyncio.open_unix_connection(unix_path)
+        return await asyncio.open_connection(tcp[0], tcp[1])
+
+    def _teardown(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except RuntimeError:
+                pass  # loop already closed
+            self._writer = None
+        self._stream_reader = None
+        self._router.drop_pending()
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is None:
+            if self._address is None:
+                raise ServiceError(
+                    "connection_lost",
+                    "connection closed and no address to reconnect "
+                    "(create the client via AsyncClient.connect)")
+            reader, writer = await self._open(self._address)
+            self._stream_reader = reader
+            self._writer = writer
+
+    def _lost(self, reason: str,
+              exc: Optional[BaseException] = None) -> ServiceError:
+        self._teardown()
+        error = ServiceError("connection_lost", reason)
+        if exc is not None:
+            error.__cause__ = exc
+        return error
 
     async def close(self) -> None:
         """Close the connection."""
-        self._writer.close()
-        try:
-            await self._writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
+        writer = self._writer
+        self._teardown()
+        if writer is not None:
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
 
     async def __aenter__(self) -> "AsyncClient":
         """Async context-manager entry."""
@@ -389,8 +571,12 @@ class AsyncClient:
 
     async def _send(self, message: Message) -> str:
         msg_id = self._router.next_id()
-        self._writer.write(encode_message(message, msg_id=msg_id))
-        await self._writer.drain()
+        try:
+            maybe_fire(FAULT_CLIENT_SEND)
+            self._writer.write(encode_message(message, msg_id=msg_id))
+            await self._writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+            raise self._lost(f"send failed: {exc}", exc) from exc
         return msg_id
 
     async def _wait(self, msg_id: str, accept: Tuple[Type[Message], ...],
@@ -408,11 +594,18 @@ class AsyncClient:
                         except asyncio.TimeoutError:
                             pass
                     continue
-                async with self._read_lock:
-                    line = await self._stream_reader.readline()
+                if self._stream_reader is None:
+                    raise ServiceError("connection_lost",
+                                       "connection is closed")
+                try:
+                    async with self._read_lock:
+                        maybe_fire(FAULT_CLIENT_RECV)
+                        line = await self._stream_reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError,
+                        OSError) as exc:
+                    raise self._lost(f"read failed: {exc}", exc) from exc
                 if not line:
-                    raise ServiceError("disconnected",
-                                       "server closed the connection")
+                    raise self._lost("server closed the connection")
                 message, envelope = decode_response(line)
                 reply_to = envelope.get("in_reply_to")
                 if reply_to != msg_id:
@@ -431,15 +624,30 @@ class AsyncClient:
         msg_id = await self._send(request)
         return await self._wait(msg_id, accept, intermediate=intermediate)
 
+    async def _retrying(self, request: Message,
+                        accept: Tuple[Type[Message], ...],
+                        intermediate: Tuple[Type[Message], ...] = ()
+                        ) -> Message:
+        if self._retry is None:
+            return await self._roundtrip(request, accept,
+                                         intermediate=intermediate)
+
+        async def attempt() -> Message:
+            await self._ensure_connected()
+            return await self._roundtrip(request, accept,
+                                         intermediate=intermediate)
+        return await self._retry.async_call(attempt)
+
     async def run(self, circuit: QuantumCircuit, engine: str = "auto",
                   limits: Optional[ResourceLimits] = None,
                   shots: Optional[int] = None, seed: Optional[int] = None,
                   reorder: Optional[int] = None,
                   priority: int = 0) -> RunResult:
         """Async mirror of :meth:`Client.run`."""
-        reply = await self._roundtrip(
+        reply = await self._retrying(
             SubmitRun(circuit, engine=engine, limits=limits, shots=shots,
-                      seed=seed, reorder=reorder, priority=priority),
+                      seed=seed, reorder=reorder, priority=priority,
+                      idempotency_key=new_idempotency_key()),
             accept=(RunCompleted,), intermediate=(JobAccepted,))
         return reply.result
 
@@ -452,9 +660,10 @@ class AsyncClient:
         """Async mirror of :meth:`Client.run_tasks` (``jobs`` likewise
         accepted-and-ignored)."""
         del jobs
-        reply = await self._roundtrip(
+        reply = await self._retrying(
             SubmitSweep(list(tasks), limits=limits, shots=shots, seed=seed,
-                        reorder=reorder, priority=priority),
+                        reorder=reorder, priority=priority,
+                        idempotency_key=new_idempotency_key()),
             accept=(SweepCompleted,), intermediate=(JobAccepted,))
         return reply.results
 
@@ -465,16 +674,18 @@ class AsyncClient:
                                 limits: Optional[ResourceLimits] = None,
                                 priority: int = 0) -> float:
         """Async mirror of :meth:`Client.query_probability`."""
-        reply = await self._roundtrip(
+        reply = await self._retrying(
             QueryProbability(circuit, qubits=list(qubits),
                              values=list(values), engine=engine,
-                             limits=limits, priority=priority),
+                             limits=limits, priority=priority,
+                             idempotency_key=new_idempotency_key()),
             accept=(ProbabilityReply,), intermediate=(JobAccepted,))
         return reply.probability
 
     async def open_session(self, num_qubits: int, engine: str = "bitslice",
                            limits: Optional[ResourceLimits] = None) -> str:
-        """Async mirror of :meth:`Client.open_session`."""
+        """Async mirror of :meth:`Client.open_session` (never
+        auto-retried)."""
         reply = await self._roundtrip(
             OpenSession(num_qubits=num_qubits, engine=engine, limits=limits),
             accept=(SessionOpened,))
@@ -484,35 +695,50 @@ class AsyncClient:
                      shots: Optional[int] = None,
                      seed: Optional[int] = None,
                      priority: int = 0) -> RunResult:
-        """Async mirror of :meth:`Client.append`."""
-        reply = await self._roundtrip(
+        """Async mirror of :meth:`Client.append` (retry-safe via the
+        session-level idempotency key)."""
+        reply = await self._retrying(
             AppendToSession(session_id, circuit, shots=shots, seed=seed,
-                            priority=priority),
+                            priority=priority,
+                            idempotency_key=new_idempotency_key()),
             accept=(RunCompleted,), intermediate=(JobAccepted,))
         return reply.result
 
     async def close_session(self, session_id: str) -> int:
-        """Async mirror of :meth:`Client.close_session`."""
+        """Async mirror of :meth:`Client.close_session` (never
+        auto-retried)."""
         reply = await self._roundtrip(CloseSession(session_id),
                                       accept=(SessionClosed,))
         return reply.appends
 
     async def stats(self) -> Dict[str, Any]:
         """Async mirror of :meth:`Client.stats`."""
-        reply = await self._roundtrip(ServerStatsRequest(),
-                                      accept=(StatsReply,))
+        reply = await self._retrying(ServerStatsRequest(),
+                                     accept=(StatsReply,))
         return reply.stats
 
     async def sessions(self) -> List[Dict[str, Any]]:
         """Async mirror of :meth:`Client.sessions`."""
-        reply = await self._roundtrip(ListSessions(),
-                                      accept=(SessionList,))
+        reply = await self._retrying(ListSessions(),
+                                     accept=(SessionList,))
         return reply.sessions
+
+    async def health(self) -> Dict[str, Any]:
+        """Async mirror of :meth:`Client.health`."""
+        reply = await self._retrying(HealthRequest(), accept=(HealthReply,))
+        return {"state": reply.state,
+                "queue_depth": reply.queue_depth,
+                "queue_capacity": reply.queue_capacity,
+                "running": reply.running,
+                "workers": reply.workers,
+                "workers_alive": reply.workers_alive,
+                "sessions": reply.sessions,
+                "uptime_seconds": reply.uptime_seconds}
 
     async def cancel(self, job_id: str) -> str:
         """Async mirror of :meth:`Client.cancel`."""
-        reply = await self._roundtrip(CancelJob(job_id),
-                                      accept=(CancelReply,))
+        reply = await self._retrying(CancelJob(job_id),
+                                     accept=(CancelReply,))
         return reply.outcome
 
 
@@ -523,4 +749,4 @@ def make_runner(client: Client) -> Callable:
 
 
 __all__ = ["Address", "AsyncClient", "Client", "ServiceError",
-           "make_runner", "parse_address"]
+           "make_runner", "new_idempotency_key", "parse_address"]

@@ -123,55 +123,19 @@ def circuit_from_wire(data: Dict[str, Any]) -> QuantumCircuit:
 
 
 def result_to_wire(result: RunResult) -> Dict[str, Any]:
-    """A :class:`RunResult` as a plain dict carrying every raw field (counts
-    keys become strings — JSON objects cannot have integer keys)."""
-    data: Dict[str, Any] = {
-        "engine": result.engine,
-        "circuit_name": result.circuit_name,
-        "num_qubits": result.num_qubits,
-        "num_gates": result.num_gates,
-        "status": result.status,
-        "elapsed_seconds": result.elapsed_seconds,
-        "peak_memory_nodes": result.peak_memory_nodes,
-        "final_probability": result.final_probability,
-        "detail": result.detail,
-        "extra": dict(result.extra),
-        "requested_engine": result.requested_engine,
-        "shots": result.shots,
-        "seed": result.seed,
-        "counts_width": result.counts_width,
-    }
-    if result.counts is not None:
-        data["counts"] = {str(key): value
-                          for key, value in result.counts.items()}
-    return data
+    """A :class:`RunResult` as a plain dict carrying every raw field —
+    delegates to :meth:`RunResult.to_wire` (the canonical codec, shared
+    with the sweep journal)."""
+    return result.to_wire()
 
 
 def result_from_wire(data: Dict[str, Any]) -> RunResult:
     """Rebuild a :class:`RunResult` from :func:`result_to_wire` output; the
     reconstruction round-trips ``to_dict(timings=False)`` byte-identically."""
-    counts = data.get("counts")
-    if counts is not None:
-        counts = {int(key): int(value) for key, value in counts.items()}
     try:
-        return RunResult(
-            engine=data["engine"],
-            circuit_name=data["circuit_name"],
-            num_qubits=int(data["num_qubits"]),
-            num_gates=int(data["num_gates"]),
-            status=data["status"],
-            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
-            peak_memory_nodes=int(data.get("peak_memory_nodes", 0)),
-            final_probability=data.get("final_probability"),
-            detail=str(data.get("detail", "")),
-            extra=dict(data.get("extra") or {}),
-            requested_engine=str(data.get("requested_engine", "")),
-            shots=data.get("shots"),
-            seed=data.get("seed"),
-            counts=counts,
-            counts_width=data.get("counts_width"))
-    except (KeyError, TypeError, ValueError) as exc:
-        raise ProtocolError(f"bad result payload: {exc}") from exc
+        return RunResult.from_wire(data)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
 
 
 # Field codecs used by the generic payload machinery below.
@@ -268,12 +232,17 @@ class SubmitRun(Message):
     seed: Optional[int] = None
     reorder: Optional[int] = None
     priority: int = 0
+    #: Client-generated token making retried submissions safe: a resend
+    #: carrying a key the server has already accepted is answered with the
+    #: *original* job instead of executing again (all submit-style requests
+    #: carry this optional field; absent = no dedup).
+    idempotency_key: Optional[str] = None
 
     kind: ClassVar[str] = "submit_run"
     _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
         ("circuit", "circuit"), ("engine", "raw"), ("limits", "limits"),
         ("shots", "raw"), ("seed", "raw"), ("reorder", "raw"),
-        ("priority", "raw"))
+        ("priority", "raw"), ("idempotency_key", "raw"))
 
 
 @dataclass
@@ -290,11 +259,13 @@ class SubmitSweep(Message):
     seed: Optional[int] = None
     reorder: Optional[int] = None
     priority: int = 0
+    idempotency_key: Optional[str] = None
 
     kind: ClassVar[str] = "submit_sweep"
     _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
         ("tasks", "tasks"), ("limits", "limits"), ("shots", "raw"),
-        ("seed", "raw"), ("reorder", "raw"), ("priority", "raw"))
+        ("seed", "raw"), ("reorder", "raw"), ("priority", "raw"),
+        ("idempotency_key", "raw"))
 
 
 @dataclass
@@ -309,11 +280,13 @@ class SampleShots(Message):
     limits: Optional[ResourceLimits] = None
     seed: Optional[int] = None
     priority: int = 0
+    idempotency_key: Optional[str] = None
 
     kind: ClassVar[str] = "sample_shots"
     _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
         ("circuit", "circuit"), ("shots", "raw"), ("engine", "raw"),
-        ("limits", "limits"), ("seed", "raw"), ("priority", "raw"))
+        ("limits", "limits"), ("seed", "raw"), ("priority", "raw"),
+        ("idempotency_key", "raw"))
 
 
 @dataclass
@@ -328,11 +301,13 @@ class QueryProbability(Message):
     engine: str = "auto"
     limits: Optional[ResourceLimits] = None
     priority: int = 0
+    idempotency_key: Optional[str] = None
 
     kind: ClassVar[str] = "query_probability"
     _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
         ("circuit", "circuit"), ("qubits", "raw"), ("values", "raw"),
-        ("engine", "raw"), ("limits", "limits"), ("priority", "raw"))
+        ("engine", "raw"), ("limits", "limits"), ("priority", "raw"),
+        ("idempotency_key", "raw"))
 
 
 @dataclass
@@ -360,11 +335,15 @@ class AppendToSession(Message):
     shots: Optional[int] = None
     seed: Optional[int] = None
     priority: int = 0
+    #: Dedup token checked *at the session* (under its lock), so a retried
+    #: append after a dropped reply replays the recorded result instead of
+    #: advancing the cumulative circuit twice.
+    idempotency_key: Optional[str] = None
 
     kind: ClassVar[str] = "append_to_session"
     _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
         ("session_id", "raw"), ("circuit", "circuit"), ("shots", "raw"),
-        ("seed", "raw"), ("priority", "raw"))
+        ("seed", "raw"), ("priority", "raw"), ("idempotency_key", "raw"))
 
 
 @dataclass
@@ -393,6 +372,17 @@ class ListSessions(Message):
     """Request the live-session summaries; answered by :class:`SessionList`."""
 
     kind: ClassVar[str] = "list_sessions"
+
+
+@dataclass
+class HealthRequest(Message):
+    """Liveness/degradation probe; answered by :class:`HealthReply`.
+
+    Cheaper and more focused than :class:`ServerStatsRequest` — no counter
+    bag, just the gauges a load balancer or drain script needs — and
+    answered even while the server is draining."""
+
+    kind: ClassVar[str] = "health"
 
 
 @dataclass
@@ -519,6 +509,29 @@ class SessionList(Message):
 
 
 @dataclass
+class HealthReply(Message):
+    """Degradation snapshot: ``state`` (``"ok"`` or ``"draining"``), queue
+    depth/capacity, running-job and worker-liveness gauges, live session
+    count and uptime.  ``workers_alive < workers`` marks a degraded pool
+    (possible only if worker-crash isolation itself failed)."""
+
+    state: str = "ok"
+    queue_depth: int = 0
+    queue_capacity: int = 0
+    running: int = 0
+    workers: int = 0
+    workers_alive: int = 0
+    sessions: int = 0
+    uptime_seconds: float = 0.0
+
+    kind: ClassVar[str] = "health_reply"
+    _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
+        ("state", "raw"), ("queue_depth", "raw"), ("queue_capacity", "raw"),
+        ("running", "raw"), ("workers", "raw"), ("workers_alive", "raw"),
+        ("sessions", "raw"), ("uptime_seconds", "raw"))
+
+
+@dataclass
 class CancelReply(Message):
     """Outcome of a :class:`CancelJob`: ``cancelled`` (was queued, never
     ran), ``cancelling`` (running; stops at the next gate boundary),
@@ -535,9 +548,11 @@ class CancelReply(Message):
 @dataclass
 class ErrorReply(Message):
     """Structured failure reply.  ``code`` is machine-readable
-    (``queue_full``, ``unknown_session``, ``too_many_sessions``,
-    ``bad_request``, ``version_mismatch``, ``cancelled``, ``internal``);
-    ``details`` carries code-specific context such as queue depth."""
+    (``queue_full``, ``draining``, ``unknown_session``,
+    ``too_many_sessions``, ``bad_request``, ``version_mismatch``,
+    ``cancelled``, ``internal``; clients synthesise ``connection_lost``
+    locally when the transport drops); ``details`` carries code-specific
+    context such as queue depth."""
 
     code: str = "internal"
     message: str = ""
@@ -556,13 +571,13 @@ def _registry(*classes: Type[Message]) -> Dict[str, Type[Message]]:
 REQUEST_TYPES: Dict[str, Type[Message]] = _registry(
     SubmitRun, SubmitSweep, SampleShots, QueryProbability, OpenSession,
     AppendToSession, CloseSession, ServerStatsRequest, ListSessions,
-    CancelJob, WatchRequest)
+    HealthRequest, CancelJob, WatchRequest)
 
 #: Response kinds a client may receive, keyed by ``kind`` tag.
 RESPONSE_TYPES: Dict[str, Type[Message]] = _registry(
     JobAccepted, RunCompleted, SweepCompleted, ProbabilityReply,
-    SessionOpened, SessionClosed, StatsReply, SessionList, CancelReply,
-    ErrorReply)
+    SessionOpened, SessionClosed, StatsReply, SessionList, HealthReply,
+    CancelReply, ErrorReply)
 
 
 # --------------------------------------------------------------------- #
@@ -626,6 +641,7 @@ __all__ = [
     "CloseSession",
     "ServerStatsRequest",
     "ListSessions",
+    "HealthRequest",
     "CancelJob",
     "WatchRequest",
     "JobAccepted",
@@ -636,6 +652,7 @@ __all__ = [
     "SessionClosed",
     "StatsReply",
     "SessionList",
+    "HealthReply",
     "CancelReply",
     "ErrorReply",
     "REQUEST_TYPES",

@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.exceptions import JobCancelledError, SimulationError
 from repro.perf.counters import PerfCounters
+from repro.resilience.faults import FAULT_WORKER_JOB, FAULT_WORKER_LOOP, maybe_fire
 
 #: How many finished job ids :meth:`JobScheduler.cancel` can still
 #: classify as ``"finished"``; ids older than the newest this many decay
@@ -69,6 +70,20 @@ class QueueFullError(SimulationError):
         super().__init__(f"job queue full ({depth}/{capacity} queued)")
         self.depth = depth
         self.capacity = capacity
+
+
+class DrainingError(SimulationError):
+    """Submission rejected: the scheduler is draining for shutdown.
+
+    Distinct from :class:`QueueFullError` so clients can classify it — a
+    draining server is about to disappear, so the right reaction is to
+    retry *elsewhere* (or after the replacement comes up), not to back off
+    and re-submit to the same queue.  The server maps it to an ``error``
+    reply with code ``draining``.
+    """
+
+    def __init__(self):
+        super().__init__("server is draining; not accepting new jobs")
 
 
 class Job:
@@ -126,6 +141,7 @@ class JobScheduler:
         self._ids = itertools.count(1)
         self._threads: List[threading.Thread] = []
         self._stopping = False
+        self._draining = False
         self._running = 0
 
     # ------------------------------------------------------------------ #
@@ -163,6 +179,38 @@ class JobScheduler:
             thread.join(timeout=30)
         self._threads = []
 
+    def begin_drain(self) -> None:
+        """Enter drain mode: reject new submissions with
+        :class:`DrainingError` while queued and running jobs keep
+        executing.  The graceful-shutdown sequence is ``begin_drain()`` →
+        :meth:`wait_idle` → :meth:`stop`."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        """True between :meth:`begin_drain` and :meth:`stop`."""
+        return self._draining
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no job is queued or running (True), or ``timeout``
+        seconds elapse first (False).  Polling, not signalled — this runs
+        on the drain path where tens of milliseconds are irrelevant."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if not self._jobs and self._running == 0:
+                    return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+
+    def alive_workers(self) -> int:
+        """Worker threads currently alive — the health probe's liveness
+        gauge (the hardened loop keeps this equal to ``workers`` even
+        through injected machinery crashes)."""
+        return sum(1 for thread in self._threads if thread.is_alive())
+
     # ------------------------------------------------------------------ #
     # submission / cancellation
     # ------------------------------------------------------------------ #
@@ -171,12 +219,16 @@ class JobScheduler:
         """Enqueue ``fn`` (called as ``fn(cancel_event)`` on a worker).
 
         Raises :class:`QueueFullError` when the queued backlog is at
-        ``max_depth`` — the structured reject, never a hang — and
+        ``max_depth`` — the structured reject, never a hang —
+        :class:`DrainingError` during a graceful drain, and
         ``RuntimeError`` after :meth:`stop`.
         """
         with self._not_empty:
             if self._stopping:
                 raise RuntimeError("scheduler is stopped")
+            if self._draining:
+                self.counters.add("drain_rejects")
+                raise DrainingError()
             depth = self._queued_depth_locked()
             if depth >= self.max_depth:
                 self.counters.add("service_queue_rejects")
@@ -263,6 +315,36 @@ class JobScheduler:
             self._jobs.pop(job.job_id, None)
             self._remember_finished_locked(job.job_id)
 
+    def _execute(self, job: Job) -> None:
+        """Run one claimed job and conclude it — the only frame allowed to
+        resolve ``job.future`` on the happy path."""
+        try:
+            maybe_fire(FAULT_WORKER_JOB)
+            result = job.fn(job.cancel_event)
+        except JobCancelledError as exc:
+            self._finish(job, JOB_CANCELLED)
+            self.counters.add("service_jobs_cancelled")
+            job.future.set_exception(exc)
+        except BaseException as exc:  # noqa: BLE001 - jobs report all failures
+            self._finish(job, JOB_FAILED)
+            self.counters.add("service_jobs_failed")
+            job.future.set_exception(exc)
+        else:
+            self._finish(job, JOB_DONE)
+            self.counters.add("service_jobs_completed")
+            job.future.set_result(result)
+
+    def _crash_job(self, job: Job, exc: BaseException) -> None:
+        """Conclude a claimed job whose *worker loop* (not job function)
+        crashed: fail it if still live, swallow resolution races."""
+        if job.state == JOB_RUNNING:
+            self._finish(job, JOB_FAILED)
+            self.counters.add("service_jobs_failed")
+        try:
+            job.future.set_exception(exc)
+        except InvalidStateError:
+            pass  # already concluded before the machinery crashed
+
     def _worker(self) -> None:
         while True:
             with self._not_empty:
@@ -287,22 +369,18 @@ class JobScheduler:
                 self._running += 1
                 self.counters.add("service_queue_wait_seconds",
                                   job.started_at - job.submitted_at)
+            # Worker-crash isolation: anything that escapes outside the
+            # job's own try/except — including the FAULT_WORKER_LOOP
+            # injection point — fails the claimed job but never kills the
+            # thread, so one poisoned request cannot shrink the pool.
             try:
-                result = job.fn(job.cancel_event)
-            except JobCancelledError as exc:
-                self._finish(job, JOB_CANCELLED)
-                self.counters.add("service_jobs_cancelled")
-                job.future.set_exception(exc)
-            except BaseException as exc:  # noqa: BLE001 - jobs report all failures
-                self._finish(job, JOB_FAILED)
-                self.counters.add("service_jobs_failed")
-                job.future.set_exception(exc)
-            else:
-                self._finish(job, JOB_DONE)
-                self.counters.add("service_jobs_completed")
-                job.future.set_result(result)
+                maybe_fire(FAULT_WORKER_LOOP)
+                self._execute(job)
+            except BaseException as exc:  # noqa: BLE001 - loop must survive
+                self.counters.add("service_worker_crashes")
+                self._crash_job(job, exc)
 
 
 __all__ = ["FINISHED_IDS_CAP", "JOB_QUEUED", "JOB_RUNNING", "JOB_DONE",
-           "JOB_CANCELLED", "JOB_FAILED", "Job", "JobScheduler",
-           "QueueFullError"]
+           "JOB_CANCELLED", "JOB_FAILED", "DrainingError", "Job",
+           "JobScheduler", "QueueFullError"]

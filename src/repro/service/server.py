@@ -35,9 +35,13 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
+import os
+import signal
 import sys
 import threading
 import time
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.cache.result_cache import ResultCache
@@ -48,6 +52,7 @@ from repro.engines.registry import create_engine, resolve_engine
 from repro.engines.result import STATUS_OK
 from repro.exceptions import JobCancelledError
 from repro.perf.counters import PerfCounters
+from repro.resilience.faults import FAULT_SERVER_SEND, FAULT_SESSION_APPEND, maybe_fire
 from repro.service import protocol
 from repro.service.protocol import (
     AppendToSession,
@@ -55,6 +60,8 @@ from repro.service.protocol import (
     CancelReply,
     CloseSession,
     ErrorReply,
+    HealthReply,
+    HealthRequest,
     JobAccepted,
     ListSessions,
     Message,
@@ -75,13 +82,25 @@ from repro.service.protocol import (
     WatchRequest,
     encode_message,
 )
-from repro.service.scheduler import JobScheduler, QueueFullError
+from repro.service.scheduler import (
+    JOB_CANCELLED,
+    DrainingError,
+    JobScheduler,
+    QueueFullError,
+)
 from repro.service.sessions import SessionLimitError, SessionRegistry
 
 #: Floor on the ``watch`` streaming interval, in seconds.  Requests below
 #: it are clamped, so a client asking for ``interval=0`` cannot turn the
 #: admin stream into a busy-loop saturating the event loop.
 MIN_WATCH_INTERVAL = 0.05
+
+#: How many accepted idempotency keys the server remembers (process-wide).
+#: A retried submission whose key is still indexed re-attaches to the
+#: original job; keys older than the newest this many decay — at which
+#: point a retry re-executes, which is safe for run/sweep/sample requests
+#: (pure functions of their payload) and caught at the session for appends.
+IDEMPOTENCY_KEYS_CAP = 1024
 
 
 class Server:
@@ -117,6 +136,13 @@ class Server:
         self.sessions = SessionRegistry(max_sessions=max_sessions)
         self._server: Optional[asyncio.AbstractServer] = None
         self._started_at = 0.0
+        #: Degradation state: ``"ok"`` → ``"draining"`` (reported by the
+        #: ``health`` verb and the stats snapshot).
+        self._state = "ok"
+        # Accepted idempotency keys → their Job.  Touched only from the
+        # event-loop thread (submission and delivery both run there), so
+        # no lock is needed.
+        self._idempotency: "OrderedDict[str, Any]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -137,6 +163,10 @@ class Server:
         self.scheduler.start()
         self._started_at = time.perf_counter()
         if self.unix_path is not None:
+            # A stale socket file (previous process crashed before its
+            # cleanup ran) would fail the bind; nothing is listening on it
+            # or the unlink below is about to make that obvious.
+            self._remove_unix_socket()
             self._server = await asyncio.start_unix_server(
                 self._handle_connection, path=self.unix_path)
         else:
@@ -150,12 +180,55 @@ class Server:
         await self._server.serve_forever()
 
     async def stop(self) -> None:
-        """Stop accepting connections, cancel queued jobs, join workers."""
+        """Stop accepting connections, cancel queued jobs, join workers,
+        and remove the unix socket file (when listening on one)."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         self.scheduler.stop()
+        self._remove_unix_socket()
+
+    async def drain(self, grace_seconds: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight work, exit.
+
+        The sequence — close the listener, switch the scheduler to drain
+        mode (new submissions on surviving connections reject with code
+        ``draining``), wait up to ``grace_seconds`` for queued and running
+        jobs to finish delivering, then stop the pool (anything still
+        running past the deadline gets its cancel token set).  Returns
+        True when every in-flight job completed inside the grace window.
+        ``repro-serve`` runs this on SIGINT/SIGTERM.
+        """
+        if self._state != "draining":
+            self._state = "draining"
+            self.counters.add("drain_begun")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.scheduler.begin_drain()
+        loop = asyncio.get_running_loop()
+        completed = await loop.run_in_executor(
+            None, self.scheduler.wait_idle, grace_seconds)
+        if not completed:
+            self.counters.add("drain_deadline_exceeded")
+        # Give already-finished jobs' delivery tasks one loop pass so the
+        # terminal replies flush before connections start closing.
+        await asyncio.sleep(0)
+        # stop() joins the worker threads; past-deadline jobs only notice
+        # their cancel token at the next gate boundary, so the join runs on
+        # the executor to keep the loop (health, stats, replies) live.
+        await loop.run_in_executor(None, self.scheduler.stop)
+        self._remove_unix_socket()
+        return completed
+
+    def _remove_unix_socket(self) -> None:
+        if self.unix_path is not None:
+            try:
+                os.unlink(self.unix_path)
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------ #
     # admin snapshot
@@ -165,6 +238,7 @@ class Server:
         and the merged counter bag (``service_*`` + the pool's
         ``prefix_*`` + the result cache's ``result_cache_*`` series)."""
         snapshot: Dict[str, Any] = dict(self.scheduler.stats())
+        snapshot["state"] = self._state
         snapshot["live_sessions"] = len(self.sessions)
         snapshot["uptime_seconds"] = time.perf_counter() - self._started_at
         counters = PerfCounters(self.counters.snapshot())
@@ -172,6 +246,20 @@ class Server:
         counters.update(self.cache.stats())
         snapshot["counters"] = counters.snapshot()
         return snapshot
+
+    def _health_reply(self) -> HealthReply:
+        """The ``health`` probe: state plus the liveness gauges, no
+        counter bag (cheap enough for a tight load-balancer poll)."""
+        stats = self.scheduler.stats()
+        return HealthReply(
+            state=self._state,
+            queue_depth=stats["queue_depth"],
+            queue_capacity=stats["queue_capacity"],
+            running=stats["running"],
+            workers=stats["workers"],
+            workers_alive=self.scheduler.alive_workers(),
+            sessions=len(self.sessions),
+            uptime_seconds=time.perf_counter() - self._started_at)
 
     # ------------------------------------------------------------------ #
     # connection handling
@@ -184,6 +272,7 @@ class Server:
 
         async def send(message: Message, reply_to: Optional[str]) -> None:
             async with send_lock:
+                maybe_fire(FAULT_SERVER_SEND)
                 writer.write(encode_message(message, in_reply_to=reply_to))
                 await writer.drain()
 
@@ -233,11 +322,40 @@ class Server:
         deliver_tasks.add(task)
         task.add_done_callback(deliver_tasks.discard)
 
+    def _replayable_job(self, key: Optional[str]):
+        """The indexed job for an idempotency key, provided it was not
+        cancelled — a cancelled original never committed anything, so the
+        retry must execute for real (at-least-once there, exactly-once
+        everywhere else)."""
+        if key is None:
+            return None
+        job = self._idempotency.get(key)
+        if job is None:
+            return None
+        if (job.state == JOB_CANCELLED or job.cancel_event.is_set()
+                or job.future.cancelled()):
+            del self._idempotency[key]
+            return None
+        return job
+
     async def _submit(self, fn, request: Message, msg_id: Optional[str],
                       send, conn_jobs: Dict[str, Any], deliver_tasks: set,
                       build_reply) -> None:
         """Queue a job and arrange its two-phase reply (accepted + result);
-        a full queue replies with the structured ``queue_full`` error."""
+        a full queue replies with the structured ``queue_full`` error, a
+        draining server with ``draining``.  A request re-carrying an
+        already-accepted idempotency key re-attaches to the original job
+        instead of executing again."""
+        key = getattr(request, "idempotency_key", None)
+        existing = self._replayable_job(key)
+        if existing is not None:
+            self.counters.add("service_idempotent_replays")
+            conn_jobs[existing.job_id] = existing
+            await send(JobAccepted(existing.job_id), msg_id)
+            self._track(deliver_tasks,
+                        self._deliver(existing, msg_id, send, build_reply,
+                                      conn_jobs))
+            return
         priority = getattr(request, "priority", 0)
         try:
             job = self.scheduler.submit(fn, request_kind=request.kind,
@@ -247,6 +365,13 @@ class Server:
                                   {"depth": exc.depth,
                                    "capacity": exc.capacity}), msg_id)
             return
+        except DrainingError as exc:
+            await send(ErrorReply("draining", str(exc)), msg_id)
+            return
+        if key is not None:
+            self._idempotency[key] = job
+            while len(self._idempotency) > IDEMPOTENCY_KEYS_CAP:
+                self._idempotency.popitem(last=False)
         conn_jobs[job.job_id] = job
         await send(JobAccepted(job.job_id), msg_id)
         self._track(deliver_tasks,
@@ -255,18 +380,26 @@ class Server:
     async def _deliver(self, job, msg_id: Optional[str], send,
                        build_reply, conn_jobs: Dict[str, Any]) -> None:
         try:
-            value = await asyncio.wrap_future(job.future)
-        except asyncio.CancelledError:
-            raise
-        except JobCancelledError as exc:
-            await send(ErrorReply("cancelled", str(exc),
-                                  {"job_id": job.job_id}), msg_id)
-        except Exception as exc:  # noqa: BLE001 - job failures become replies
-            await send(ErrorReply("internal",
-                                  f"{type(exc).__name__}: {exc}",
-                                  {"job_id": job.job_id}), msg_id)
-        else:
-            await send(build_reply(job.job_id, value), msg_id)
+            try:
+                value = await asyncio.wrap_future(job.future)
+            except asyncio.CancelledError:
+                raise
+            except JobCancelledError as exc:
+                reply = ErrorReply("cancelled", str(exc),
+                                   {"job_id": job.job_id})
+            except Exception as exc:  # noqa: BLE001 - failures become replies
+                reply = ErrorReply("internal",
+                                   f"{type(exc).__name__}: {exc}",
+                                   {"job_id": job.job_id})
+            else:
+                reply = build_reply(job.job_id, value)
+            try:
+                await send(reply, msg_id)
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                # The client vanished between completion and delivery; the
+                # result is simply undeliverable on this connection (a
+                # retry with the same idempotency key can still fetch it).
+                self.counters.add("service_reply_drops")
         finally:
             # Delivered (or abandoned) jobs must not accumulate on a
             # long-lived connection: the Job retains its closure and
@@ -313,6 +446,8 @@ class Server:
             await send(StatsReply(self.stats_snapshot()), msg_id)
         elif isinstance(request, ListSessions):
             await send(SessionList(self.sessions.summaries()), msg_id)
+        elif isinstance(request, HealthRequest):
+            await send(self._health_reply(), msg_id)
         elif isinstance(request, CancelJob):
             outcome = self.scheduler.cancel(request.job_id)
             await send(CancelReply(request.job_id, outcome), msg_id)
@@ -382,7 +517,7 @@ class Server:
             job = self.scheduler.submit(self._pin_fn(session),
                                         request_kind="session_pin",
                                         priority=-1)
-        except (QueueFullError, RuntimeError):
+        except (QueueFullError, DrainingError, RuntimeError):
             self.counters.add("service_session_pin_skips")
         else:
             try:
@@ -432,6 +567,15 @@ class Server:
             with session.lock:
                 if cancel.is_set():
                     raise JobCancelledError("cancelled before session append")
+                # The at-most-once guard: a retried append whose original
+                # already advanced the session replays the recorded result
+                # instead of appending the delta a second time.  Checked
+                # under the lock, before any state moves.
+                replayed = session.replay(request.idempotency_key)
+                if replayed is not None:
+                    self.counters.add("service_append_replays")
+                    return replayed
+                maybe_fire(FAULT_SESSION_APPEND)
                 cumulative = session.extended(request.circuit)
                 result = run(cumulative, engine=session.engine,
                              limits=session.limits, shots=request.shots,
@@ -444,6 +588,7 @@ class Server:
                     self.counters.add("service_session_gates_saved", resumed)
                 if result.status == STATUS_OK:
                     session.advance(cumulative, result.status)
+                    session.remember(request.idempotency_key, result)
                 return result
         await self._submit(fn, request, msg_id, send, conn_jobs,
                            deliver_tasks,
@@ -487,6 +632,14 @@ class BackgroundServer:
     def address(self) -> Union[Tuple[str, int], str]:
         """The listening address (see :attr:`Server.address`)."""
         return self.server.address
+
+    def drain(self, grace_seconds: float = 10.0) -> bool:
+        """Run :meth:`Server.drain` on the loop thread and block for its
+        outcome — the in-process twin of sending ``repro-serve`` a
+        SIGTERM.  Call :meth:`stop` afterwards to join the thread."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(grace_seconds), self._loop)
+        return future.result(timeout=grace_seconds + 30)
 
     def stop(self) -> None:
         """Stop the server and join its loop thread (idempotent)."""
@@ -566,6 +719,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="default per-job wall-clock budget in seconds")
     parser.add_argument("--node-limit", type=int, default=500_000,
                         help="default per-job node budget")
+    parser.add_argument("--drain-grace", type=float, default=10.0,
+                        help="seconds a SIGINT/SIGTERM drain waits for "
+                             "in-flight jobs before exiting (default 10)")
     args = parser.parse_args(argv)
     server = Server(host=args.host, port=args.port, unix_path=args.unix,
                     queue_depth=args.queue_depth, workers=args.workers,
@@ -576,17 +732,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     async def _serve() -> None:
         await server.start()
         print(f"repro-serve listening on {server.address}", flush=True)
-        try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
-        finally:
-            await server.stop()
+        loop = asyncio.get_running_loop()
+        shutdown = loop.create_future()
+
+        def _request_drain() -> None:
+            if not shutdown.done():
+                shutdown.set_result(None)
+
+        # SIGTERM (what systemd sends on stop) and SIGINT (^C) both drain:
+        # finish in-flight jobs under the grace deadline, then exit 0.
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _request_drain)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without loop signal support
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        await asyncio.wait({serve_task, shutdown},
+                           return_when=asyncio.FIRST_COMPLETED)
+        if shutdown.done():
+            print("repro-serve draining "
+                  f"(grace {args.drain_grace:g}s)", flush=True)
+            completed = await server.drain(args.drain_grace)
+            if not completed:
+                print("repro-serve drain deadline exceeded; "
+                      "cancelling remaining jobs", flush=True)
+        serve_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serve_task
+        await server.stop()
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass
+    finally:
+        # Every exit path — drain, crash, KeyboardInterrupt fallback on
+        # platforms without loop signal handlers — leaves no stale socket.
+        if args.unix is not None:
+            try:
+                os.unlink(args.unix)
+            except OSError:
+                pass
     return 0
 
 

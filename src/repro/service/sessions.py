@@ -34,6 +34,11 @@ from repro.circuit.circuit import QuantumCircuit
 from repro.engines.limits import ResourceLimits
 from repro.exceptions import SimulationError
 
+#: How many applied idempotency keys a session remembers (per session).
+#: A retry storm only ever needs the most recent few; a bounded map keeps
+#: long-lived sessions from accumulating one entry per append forever.
+REPLAY_KEYS_CAP = 64
+
 
 class SessionLimitError(SimulationError):
     """Opening another session would exceed the registry's bound (the
@@ -56,7 +61,7 @@ class ServiceSession:
 
     __slots__ = ("session_id", "engine", "num_qubits", "limits", "circuit",
                  "lock", "appends", "created_at", "last_active_at",
-                 "last_status")
+                 "last_status", "_replay")
 
     def __init__(self, session_id: str, num_qubits: int, engine: str,
                  limits: Optional[ResourceLimits] = None):
@@ -70,6 +75,7 @@ class ServiceSession:
         self.created_at = time.perf_counter()
         self.last_active_at = self.created_at
         self.last_status = ""
+        self._replay: "OrderedDict[str, Any]" = OrderedDict()
 
     def check_width(self, delta: QuantumCircuit) -> None:
         """Raise ``ValueError`` unless ``delta`` matches the session's
@@ -107,6 +113,28 @@ class ServiceSession:
         self.appends += 1
         self.last_status = status
         self.last_active_at = time.perf_counter()
+
+    def replay(self, key: Optional[str]) -> Optional[Any]:
+        """The result a previous append committed under this idempotency
+        ``key``, or ``None``.  Call while holding :attr:`lock` *before*
+        extending — this is the exact at-most-once guard: a client retry
+        whose original append already advanced the cumulative circuit gets
+        the recorded result back instead of appending the delta twice."""
+        if key is None:
+            return None
+        return self._replay.get(key)
+
+    def remember(self, key: Optional[str], result: Any) -> None:
+        """Record a *committed* append's result under its idempotency key
+        (bounded to :data:`REPLAY_KEYS_CAP` entries, oldest evicted).  Call
+        while holding :attr:`lock`, and only for appends that advanced the
+        session — an append that failed left no state behind, so retrying
+        it for real is exactly what the client wants."""
+        if key is None:
+            return
+        self._replay[key] = result
+        while len(self._replay) > REPLAY_KEYS_CAP:
+            self._replay.popitem(last=False)
 
     def summary(self) -> Dict[str, Any]:
         """The session's admin-surface row (id, engine, width, cumulative
@@ -170,4 +198,5 @@ class SessionRegistry:
             return len(self._sessions)
 
 
-__all__ = ["ServiceSession", "SessionLimitError", "SessionRegistry"]
+__all__ = ["REPLAY_KEYS_CAP", "ServiceSession", "SessionLimitError",
+           "SessionRegistry"]

@@ -1,0 +1,2 @@
+"""Chaos and resilience suite: seeded fault schedules, retry/backoff,
+crash-safe journals and graceful degradation."""

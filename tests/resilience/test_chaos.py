@@ -1,0 +1,296 @@
+"""Server chaos: seeded fault storms against a real server, real sockets.
+
+Every test arms a seeded :class:`FaultPlan` (the server runs in-process,
+so its worker threads see the plan) and asserts the two invariants the
+resilience PR guarantees: **no leaks** (workers alive, queue empty, no
+stranded jobs or sessions, chain locks re-acquirable) and **byte-identical
+results** — a retried, replayed or resumed request serialises exactly like
+its undisturbed twin.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro
+from repro import Client, QuantumCircuit, ServiceError
+from repro.engines.frontdoor import run_tasks
+from repro.harness.experiments import accuracy_circuit
+from repro.perf.counters import PerfCounters
+from repro.resilience.faults import (
+    FAULT_CLIENT_RECV,
+    FAULT_WORKER_JOB,
+    FAULT_WORKER_LOOP,
+    FaultPlan,
+    FaultRule,
+    active,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.service import serve_background
+from repro.service.client import AsyncClient
+from repro.service.protocol import (
+    AppendToSession,
+    JobAccepted,
+    RunCompleted,
+    SubmitRun,
+)
+from repro.workloads.random_circuits import generate_random_circuit
+
+QUICK = QuantumCircuit(2, name="quick").h(0).cx(0, 1)
+#: ~0.2 s bit-sliced — long enough that concurrent submissions pile up.
+MODERATE = accuracy_circuit(6, 8)
+
+
+def _deterministic(results):
+    return [result.to_dict(timings=False) for result in results]
+
+
+def test_worker_crash_storm_100_jobs_leaves_no_leaks():
+    """100 jobs under a seeded 15%/15% storm of machinery and in-job
+    crashes: every failure is a structured ``internal`` reply, both
+    workers stay alive, nothing leaks, and the survivors (and every job
+    after the storm) stay byte-identical to a local run."""
+    expected = repro.run(QUICK, engine="bitslice", shots=4,
+                         seed=9).to_dict(timings=False)
+    plan = FaultPlan([
+        FaultRule(FAULT_WORKER_LOOP, probability=0.15, times=None),
+        FaultRule(FAULT_WORKER_JOB, probability=0.15, times=None),
+    ], seed=42)
+    crashed = survived = 0
+    with serve_background(workers=2, queue_depth=16) as background:
+        with Client(background.address) as client:
+            with active(plan):
+                for _ in range(100):
+                    try:
+                        result = client.run(QUICK, engine="bitslice",
+                                            shots=4, seed=9)
+                    except ServiceError as exc:
+                        assert exc.code == "internal"
+                        crashed += 1
+                    else:
+                        assert result.to_dict(timings=False) == expected
+                        survived += 1
+            assert crashed > 0 and survived > 0
+            assert crashed + survived == 100
+            health = client.health()
+            assert health["state"] == "ok"
+            assert health["workers_alive"] == health["workers"] == 2
+            assert health["queue_depth"] == 0
+            assert health["running"] == 0
+            assert client.sessions() == []
+            counters = client.stats()["counters"]
+            assert counters.get("service_worker_crashes", 0) >= 1
+            after = client.run(QUICK, engine="bitslice", shots=4, seed=9)
+            assert after.to_dict(timings=False) == expected
+
+
+def test_idempotent_replay_reattaches_instead_of_reexecuting():
+    """Two submissions carrying the same idempotency key are one job: the
+    replay answers with the original job id and the identical result."""
+    with serve_background(workers=1, queue_depth=8) as background:
+        with Client(background.address) as client:
+            request = SubmitRun(QUICK, engine="bitslice", shots=4, seed=9,
+                                idempotency_key="fixed-key-1")
+            first_id = client._send(request)
+            first = client._wait(first_id, accept=(RunCompleted,),
+                                 intermediate=(JobAccepted,))
+            second_id = client._send(request)
+            second = client._wait(second_id, accept=(RunCompleted,),
+                                  intermediate=(JobAccepted,))
+            assert second.job_id == first.job_id
+            assert (second.result.to_dict(timings=False)
+                    == first.result.to_dict(timings=False))
+            counters = client.stats()["counters"]
+            assert counters.get("service_idempotent_replays", 0) == 1
+
+
+def test_dropped_terminal_reply_retries_byte_identically():
+    """The socket dies exactly while the client reads its terminal reply;
+    the retry reconnects, resends under the same idempotency key, and the
+    result is byte-identical to an undisturbed run."""
+    expected = repro.run(QUICK, engine="bitslice", shots=4,
+                         seed=9).to_dict(timings=False)
+    with serve_background(workers=1, queue_depth=8) as background:
+        policy = RetryPolicy(max_attempts=5, base_delay=0.05, seed=3)
+        with Client(background.address, retry=policy) as client:
+            plan = FaultPlan([FaultRule(FAULT_CLIENT_RECV, on_hit=2,
+                                        exception=ConnectionResetError)],
+                             seed=0)
+            with active(plan):
+                result = client.run(QUICK, engine="bitslice", shots=4,
+                                    seed=9)
+            assert plan.fires() == {FAULT_CLIENT_RECV: 1}
+            assert result.to_dict(timings=False) == expected
+
+
+def test_sweep_with_dropped_reply_matches_local_serial_run():
+    """A whole wire sweep whose terminal reply is dropped mid-read still
+    comes back byte-identical to ``run_tasks`` executed locally."""
+    circuits = [generate_random_circuit(n, seed=60 + n) for n in (4, 5)]
+    tasks = [(engine, circuit) for circuit in circuits
+             for engine in ("bitslice", "qmdd")]
+    expected = _deterministic(run_tasks(tasks, shots=8, seed=5))
+    with serve_background(workers=1, queue_depth=8) as background:
+        policy = RetryPolicy(max_attempts=5, base_delay=0.05, seed=1)
+        with Client(background.address, retry=policy) as client:
+            plan = FaultPlan([FaultRule(FAULT_CLIENT_RECV, on_hit=2,
+                                        exception=ConnectionResetError)],
+                             seed=0)
+            with active(plan):
+                results = client.run_tasks(tasks, shots=8, seed=5)
+            assert plan.fires() == {FAULT_CLIENT_RECV: 1}
+            assert _deterministic(results) == expected
+
+
+def test_queue_full_storm_drains_through_retry():
+    """Six clients flood a one-worker, depth-2 queue simultaneously; the
+    ``queue_full`` rejects classify as transient and every client's run
+    eventually lands, byte-identical to local execution."""
+    expected = repro.run(MODERATE, engine="bitslice").to_dict(timings=False)
+    counters = PerfCounters()
+    with serve_background(workers=1, queue_depth=2) as background:
+        results = [None] * 6
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def storm(slot):
+            policy = RetryPolicy(max_attempts=12, base_delay=0.02,
+                                 max_delay=0.5, seed=slot,
+                                 counters=counters)
+            try:
+                with Client(background.address, retry=policy) as client:
+                    barrier.wait(timeout=30)
+                    results[slot] = client.run(
+                        MODERATE, engine="bitslice").to_dict(timings=False)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=storm, args=(slot,))
+                   for slot in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "storm client hung"
+        assert errors == []
+        assert results == [expected] * 6
+        # The bound really was hit: at least one client had to back off.
+        assert counters.snapshot().get("retry_attempts", 0) >= 1
+
+
+def test_cancel_race_storm_never_wedges_a_session():
+    """Cancel appends in flight, repeatedly: whatever the race outcome
+    (cancelled before, during, or after the run), the session lock and the
+    pool chain lock come back — a follow-up append succeeds and the
+    session closes cleanly."""
+    heavy = accuracy_circuit(8, 12)
+    with serve_background(workers=2, queue_depth=16) as background:
+        with Client(background.address) as client:
+            session_id = client.open_session(8, engine="bitslice")
+            landed = 0
+            for _ in range(4):
+                msg_id = client._send(AppendToSession(session_id, heavy))
+                accepted = client._wait(msg_id, accept=(JobAccepted,))
+                outcome = client.cancel(accepted.job_id)
+                assert outcome in ("cancelled", "cancelling", "finished")
+                try:
+                    client._wait(msg_id, accept=(RunCompleted,))
+                    landed += 1
+                except ServiceError as exc:
+                    assert exc.code == "cancelled"
+            follow_up = client.append(session_id,
+                                      QuantumCircuit(8, name="after").h(0))
+            assert follow_up.status == "ok"
+            assert client.close_session(session_id) == landed + 1
+            assert client.sessions() == []
+            health = client.health()
+            assert health["running"] == 0
+            assert health["queue_depth"] == 0
+
+
+def test_session_append_retry_is_exactly_once():
+    """The acceptance pin for the session path: the reply to an append is
+    lost, the client retries under the same idempotency key, and the delta
+    lands exactly once — the cumulative circuit grows by one append and
+    the result is byte-identical to the equivalent local run."""
+    base = QuantumCircuit(4, name="warm").h(0).cx(0, 1)
+    delta = QuantumCircuit(4, name="delta").cx(1, 2).cx(2, 3)
+    expected = repro.run(base.copy(name="delta").cx(1, 2).cx(2, 3),
+                         engine="bitslice").to_dict(timings=False)
+    with serve_background(workers=1, queue_depth=8) as background:
+        policy = RetryPolicy(max_attempts=5, base_delay=0.05, seed=2)
+        with Client(background.address, retry=policy) as client:
+            session_id = client.open_session(4, engine="bitslice")
+            assert client.append(session_id, base).status == "ok"
+            plan = FaultPlan([FaultRule(FAULT_CLIENT_RECV, on_hit=2,
+                                        exception=ConnectionResetError)],
+                             seed=0)
+            with active(plan):
+                second = client.append(session_id, delta)
+            assert plan.fires() == {FAULT_CLIENT_RECV: 1}
+            assert second.to_dict(timings=False) == expected
+            row = next(r for r in client.sessions()
+                       if r["session_id"] == session_id)
+            # Exactly once: base (2 gates) + delta (2 gates), regardless of
+            # whether the retry replayed the committed append or re-ran a
+            # cancelled one.
+            assert row["gates"] == 4
+            assert client.close_session(session_id) == 2
+
+
+def test_session_replay_keys_are_bounded():
+    from repro.service.sessions import REPLAY_KEYS_CAP, ServiceSession
+
+    session = ServiceSession("s1", 2, "bitslice")
+    assert session.replay(None) is None
+    for index in range(REPLAY_KEYS_CAP + 10):
+        session.remember(f"k{index}", index)
+    assert session.replay("k0") is None  # evicted
+    newest = f"k{REPLAY_KEYS_CAP + 9}"
+    assert session.replay(newest) == REPLAY_KEYS_CAP + 9
+    session.remember(None, "ignored")  # keyless appends are not recorded
+
+
+def test_server_death_surfaces_as_connection_lost():
+    """A vanished server is always ``ServiceError(code="connection_lost")``
+    — never a bare ConnectionResetError / BrokenPipeError."""
+    background = serve_background(workers=1, queue_depth=4)
+    client = Client(background.address)
+    try:
+        assert client.stats()["queue_depth"] == 0
+        background.stop()
+        with pytest.raises(ServiceError) as excinfo:
+            client.stats()
+        assert excinfo.value.code == "connection_lost"
+    finally:
+        client.close()
+        background.stop()
+
+
+def test_async_client_retries_dropped_reply_byte_identically():
+    import asyncio
+
+    expected = repro.run(QUICK, engine="bitslice", shots=4,
+                         seed=9).to_dict(timings=False)
+
+    async def scenario(address):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.05, seed=4)
+        client = await AsyncClient.connect(address, retry=policy)
+        try:
+            health = await client.health()
+            assert health["state"] == "ok"
+            plan = FaultPlan([FaultRule(FAULT_CLIENT_RECV, on_hit=2,
+                                        exception=ConnectionResetError)],
+                             seed=0)
+            with active(plan):
+                result = await client.run(QUICK, engine="bitslice",
+                                          shots=4, seed=9)
+            assert plan.fires() == {FAULT_CLIENT_RECV: 1}
+            assert result.to_dict(timings=False) == expected
+        finally:
+            await client.close()
+
+    with serve_background(workers=1, queue_depth=8) as background:
+        asyncio.run(scenario(background.address))

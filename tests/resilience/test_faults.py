@@ -1,0 +1,147 @@
+"""Fault-injection registry: seeded schedules must replay exactly.
+
+The whole value of the chaos suite rests on these invariants — a fault
+plan is a pure function of ``(rules, seed)``, every run of a test injects
+the same faults at the same hits, and an uninstalled registry costs (and
+changes) nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import QuantumCircuit
+from repro.perf.counters import PerfCounters
+from repro.resilience.faults import (
+    FAULT_LIMITS_CHECK,
+    FAULT_POINTS,
+    FAULT_WORKER_JOB,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active,
+    current_plan,
+    maybe_fire,
+    uninstall,
+)
+
+ITERATIONS = 100
+
+
+def _schedule(plan: FaultPlan, point: str, hits: int = ITERATIONS):
+    """The boolean fire pattern of ``point`` over ``hits`` sequential hits."""
+    pattern = []
+    for _ in range(hits):
+        try:
+            maybe_fire(point)
+        except BaseException:  # noqa: BLE001 - the pattern is the point
+            pattern.append(True)
+        else:
+            pattern.append(False)
+    return pattern
+
+
+def test_every_point_is_inert_without_a_plan():
+    uninstall()
+    assert current_plan() is None
+    for point in FAULT_POINTS:
+        maybe_fire(point)  # must not raise
+
+
+def test_nth_hit_rule_fires_exactly_once():
+    plan = FaultPlan([FaultRule(FAULT_WORKER_JOB, on_hit=3)])
+    with active(plan):
+        pattern = _schedule(plan, FAULT_WORKER_JOB, hits=10)
+    assert pattern == [False, False, True] + [False] * 7
+    assert plan.fires() == {FAULT_WORKER_JOB: 1}
+    assert plan.hit_counts() == {FAULT_WORKER_JOB: 10}
+
+
+def test_repeat_rule_fires_from_the_ordinal_onwards():
+    plan = FaultPlan([FaultRule(FAULT_WORKER_JOB, on_hit=4, repeat=True,
+                                times=None)])
+    with active(plan):
+        pattern = _schedule(plan, FAULT_WORKER_JOB, hits=8)
+    assert pattern == [False] * 3 + [True] * 5
+
+
+def test_probability_schedule_replays_identically_over_100_iterations():
+    def run_schedule(seed):
+        plan = FaultPlan([FaultRule(FAULT_WORKER_JOB, probability=0.3,
+                                    times=None)], seed=seed)
+        with active(plan):
+            return _schedule(plan, FAULT_WORKER_JOB)
+
+    first = run_schedule(seed=7)
+    second = run_schedule(seed=7)
+    assert first == second
+    assert 0 < sum(first) < ITERATIONS
+    assert run_schedule(seed=8) != first
+
+
+def test_points_draw_from_independent_seeded_streams():
+    """Arming a rule for one point must not perturb another point's
+    schedule — each point derives its RNG from ``(seed, point)``."""
+    solo = FaultPlan([FaultRule(FAULT_WORKER_JOB, probability=0.5,
+                                times=None)], seed=11)
+    with active(solo):
+        alone = _schedule(solo, FAULT_WORKER_JOB)
+    both = FaultPlan([FaultRule(FAULT_WORKER_JOB, probability=0.5,
+                                times=None),
+                      FaultRule(FAULT_LIMITS_CHECK, probability=0.5,
+                                times=None)], seed=11)
+    with active(both):
+        # Interleave hits on the other point between every hit.
+        pattern = []
+        for _ in range(ITERATIONS):
+            _schedule(both, FAULT_LIMITS_CHECK, hits=1)
+            pattern.extend(_schedule(both, FAULT_WORKER_JOB, hits=1))
+    assert pattern == alone
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        FaultRule(FAULT_WORKER_JOB)  # neither trigger
+    with pytest.raises(ValueError):
+        FaultRule(FAULT_WORKER_JOB, on_hit=1, probability=0.5)  # both
+    with pytest.raises(ValueError):
+        FaultRule(FAULT_WORKER_JOB, on_hit=0)  # 1-based ordinal
+    with pytest.raises(ValueError):
+        FaultRule(FAULT_WORKER_JOB, probability=1.5)
+
+
+def test_custom_exception_factory_and_counters():
+    counters = PerfCounters()
+    plan = FaultPlan([FaultRule(FAULT_WORKER_JOB, on_hit=1,
+                                exception=ConnectionResetError)],
+                     counters=counters)
+    with active(plan):
+        with pytest.raises(ConnectionResetError):
+            maybe_fire(FAULT_WORKER_JOB)
+    snapshot = counters.snapshot()
+    assert snapshot["fault_fires_total"] == 1
+    assert snapshot[f"fault_fires_{FAULT_WORKER_JOB}"] == 1
+
+
+def test_active_context_disarms_even_on_error():
+    plan = FaultPlan([FaultRule(FAULT_WORKER_JOB, on_hit=1)])
+    with pytest.raises(InjectedFault):
+        with active(plan):
+            assert current_plan() is plan
+            maybe_fire(FAULT_WORKER_JOB)
+    assert current_plan() is None
+    maybe_fire(FAULT_WORKER_JOB)  # inert again
+
+
+def test_limits_check_is_instrumented_mid_circuit():
+    """An armed ``limits.check`` rule crashes a simulation between gates,
+    and the crash surfaces raw — never absorbed into a benign status."""
+    circuit = QuantumCircuit(3, name="chaos").h(0).cx(0, 1).cx(1, 2)
+    plan = FaultPlan([FaultRule(FAULT_LIMITS_CHECK, on_hit=2)])
+    with active(plan):
+        with pytest.raises(InjectedFault):
+            repro.run(circuit, engine="bitslice")
+    assert plan.fires() == {FAULT_LIMITS_CHECK: 1}
+    # Disarmed, the identical run completes.
+    assert repro.run(circuit, engine="bitslice").status == "ok"

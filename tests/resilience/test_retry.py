@@ -1,0 +1,155 @@
+"""Retry policy: seeded backoff schedules, classification, give-up."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.perf.counters import PerfCounters
+from repro.resilience.retry import (
+    RETRYABLE_CODES,
+    RetryGaveUp,
+    RetryPolicy,
+    connect_with_retry,
+    is_retryable,
+)
+from repro.service.client import ServiceError
+
+
+def _policy(**kwargs):
+    kwargs.setdefault("sleep", lambda _: None)
+    return RetryPolicy(**kwargs)
+
+
+def test_delay_schedule_is_seeded_capped_and_decorrelated():
+    policy = RetryPolicy(max_attempts=6, base_delay=0.05, max_delay=0.4,
+                         seed=3)
+    first = list(policy.delays())
+    assert first == list(RetryPolicy(max_attempts=6, base_delay=0.05,
+                                     max_delay=0.4, seed=3).delays())
+    assert len(first) == 5
+    assert first[0] == 0.05
+    assert all(0.05 <= delay <= 0.4 for delay in first)
+    assert first != list(RetryPolicy(max_attempts=6, base_delay=0.05,
+                                     max_delay=0.4, seed=4).delays())
+
+
+def test_transient_failures_retry_until_success():
+    slept = []
+    attempts = {"n": 0}
+
+    def flaky():
+        attempts["n"] += 1
+        if attempts["n"] < 3:
+            raise ConnectionResetError("boom")
+        return "ok"
+
+    policy = RetryPolicy(max_attempts=5, base_delay=0.01, seed=1,
+                         sleep=slept.append)
+    assert policy.call(flaky) == "ok"
+    assert attempts["n"] == 3
+    assert len(slept) == 2
+
+
+def test_fatal_errors_are_not_retried():
+    attempts = {"n": 0}
+
+    def bad():
+        attempts["n"] += 1
+        raise ValueError("semantic, not transient")
+
+    with pytest.raises(ValueError):
+        _policy(max_attempts=5).call(bad)
+    assert attempts["n"] == 1
+
+
+def test_give_up_chains_the_last_error():
+    def always():
+        raise ConnectionResetError("still down")
+
+    with pytest.raises(RetryGaveUp) as excinfo:
+        _policy(max_attempts=3, base_delay=0.0).call(always)
+    assert excinfo.value.attempts == 3
+    assert isinstance(excinfo.value.last_error, ConnectionResetError)
+    assert excinfo.value.__cause__ is excinfo.value.last_error
+
+
+def test_structured_codes_classify():
+    for code in RETRYABLE_CODES:
+        assert is_retryable(ServiceError(code, "x"))
+    for code in ("bad_request", "unknown_session", "internal", "cancelled",
+                 "too_many_sessions", "version_mismatch"):
+        assert not is_retryable(ServiceError(code, "x"))
+    assert is_retryable(ConnectionResetError())
+    assert is_retryable(BrokenPipeError())
+    assert not is_retryable(ValueError())
+
+
+def test_counters_record_attempts_sleep_and_giveups():
+    counters = PerfCounters()
+    policy = _policy(max_attempts=3, base_delay=0.5, counters=counters)
+    with pytest.raises(RetryGaveUp):
+        policy.call(lambda: (_ for _ in ()).throw(ConnectionResetError()))
+    snapshot = counters.snapshot()
+    assert snapshot["retry_attempts"] == 2
+    assert snapshot["retry_sleep_seconds"] > 0
+    assert snapshot["retry_giveups"] == 1
+
+
+def test_on_retry_observer_sees_attempt_error_delay():
+    seen = []
+
+    def flaky():
+        if len(seen) < 1:
+            raise ServiceError("queue_full", "busy")
+        return 42
+
+    policy = _policy(max_attempts=3, base_delay=0.01, seed=0)
+    result = policy.call(flaky,
+                         on_retry=lambda a, e, d: seen.append((a, e.code, d)))
+    assert result == 42
+    assert seen == [(1, "queue_full", 0.01)]
+
+
+def test_async_call_mirrors_sync_semantics():
+    async def scenario():
+        attempts = {"n": 0}
+
+        async def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise ServiceError("connection_lost", "dropped")
+            return "async-ok"
+
+        policy = RetryPolicy(max_attempts=4, base_delay=0.001, seed=2)
+        assert await policy.async_call(flaky) == "async-ok"
+        assert attempts["n"] == 3
+
+        async def fatal():
+            raise ServiceError("bad_request", "nope")
+
+        with pytest.raises(ServiceError):
+            await policy.async_call(fatal)
+
+        async def always():
+            raise ServiceError("queue_full", "forever")
+
+        with pytest.raises(RetryGaveUp):
+            await policy.async_call(always)
+
+    asyncio.run(scenario())
+
+
+def test_connect_with_retry_tolerates_a_slow_start():
+    attempts = {"n": 0}
+
+    def factory():
+        attempts["n"] += 1
+        if attempts["n"] < 3:
+            raise ConnectionRefusedError("not listening yet")
+        return "connection"
+
+    policy = _policy(max_attempts=5, base_delay=0.0)
+    assert connect_with_retry(factory, policy) == "connection"
+    assert attempts["n"] == 3

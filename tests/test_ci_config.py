@@ -136,3 +136,54 @@ class TestCoverageGate:
     def test_cov_extra_is_declared(self):
         pyproject = PYPROJECT.read_text(encoding="utf-8")
         assert re.search(r"^cov\s*=\s*\[", pyproject, re.MULTILINE)
+
+
+def job_sections(text, source):
+    """Split a workflow's ``jobs:`` mapping into one text block per job."""
+    assert "\njobs:\n" in text, f"{source} has no jobs mapping"
+    block = text.split("\njobs:\n", 1)[1]
+    jobs = {}
+    for section in re.split(r"^(?=  [\w-]+:\s*$)", block, flags=re.MULTILINE):
+        lines = section.splitlines()
+        match = re.match(r"^  ([\w-]+):\s*$", lines[0]) if lines else None
+        if match:
+            jobs[match.group(1)] = section
+    assert jobs, f"no jobs parsed from {source}"
+    return jobs
+
+
+class TestChaosSuiteJob:
+    def test_chaos_suite_is_a_separate_ci_job(self):
+        """The seeded fault schedules run as their own job, so a
+        resilience regression is attributable at a glance instead of
+        drowning in the tier-1 matrix."""
+        jobs = job_sections(ci_text(), "ci.yml")
+        assert "chaos" in jobs, "ci.yml lost the chaos job"
+        assert "tests/resilience" in jobs["chaos"]
+        assert (REPO_ROOT / "tests" / "resilience").is_dir()
+
+    def test_chaos_suite_stays_in_tier1_too(self):
+        """The separate job isolates attribution; it must not become an
+        excuse to drop the chaos tests from the default pytest run."""
+        conftest = (REPO_ROOT / "tests" / "conftest.py")
+        if conftest.exists():
+            text = conftest.read_text(encoding="utf-8")
+            assert "resilience" not in text, (
+                "tests/conftest.py special-cases tests/resilience — the "
+                "chaos suite must stay in the default collection")
+
+
+class TestJobTimeouts:
+    @staticmethod
+    def assert_every_job_times_out(text, source):
+        """A hung runner bills until the 6-hour GitHub default kills it;
+        every job carries an explicit timeout-minutes instead."""
+        for name, section in job_sections(text, source).items():
+            assert "timeout-minutes:" in section, (
+                f"job {name!r} in {source} has no timeout-minutes")
+
+    def test_ci_jobs_have_timeouts(self):
+        self.assert_every_job_times_out(ci_text(), "ci.yml")
+
+    def test_nightly_jobs_have_timeouts(self):
+        self.assert_every_job_times_out(nightly_text(), "nightly.yml")
