@@ -1,0 +1,134 @@
+"""Throughput of the interchangeable BDD node-store backends.
+
+The substrate contract (``docs/substrate.md``) says backend choice is
+purely a performance knob — every backend produces node-for-node identical
+DAGs.  These benchmarks measure the knob itself: the *same* fixed-seed
+circuit workload runs on each backend, the timings land in the regression
+gate, and the deterministic node counts double as a coarse cross-backend
+identity check inside the benchmark job.
+
+Two in-benchmark assertions police the contract's performance side:
+
+* the **array** backend must stay within a small factor of the dict
+  backend (it is the always-available fallback for ``compiled``, so a
+  regression there silently taxes every degraded environment);
+* the **compiled** backend must deliver a real speedup on the raw apply
+  kernel — gated only where numba is importable (CI's smoke runner
+  installs the base package, so the gate runs on developer machines and
+  any future jitted job; everywhere else the benchmark records the
+  interpreted timing without asserting).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.bdd import ArrayBddManager, BddManager
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.simulator import BitSliceSimulator
+
+from conftest import scale_choice
+
+try:
+    from repro.bdd._compiled import HAS_NUMBA, CompiledBddManager
+except ImportError:  # pragma: no cover - numpy-less environments
+    CompiledBddManager = None
+    HAS_NUMBA = False
+
+NUM_QUBITS = scale_choice(10, 14)
+LAYERS = scale_choice(4, 6)
+#: The array backend may not lag the dict backend by more than this factor
+#: on the end-to-end workload (margin-padded: CI runners are noisy).
+ARRAY_PARITY_FACTOR = 1.5
+#: Minimum jitted-kernel speedup over the dict apply path (asserted only
+#: where numba is importable).
+COMPILED_SPEEDUP_FLOOR = 10.0
+
+
+def _workload() -> QuantumCircuit:
+    """A fixed-seed H/T/CX-dense circuit: deep enough that apply dominates,
+    small enough for the smoke job."""
+    rng = random.Random(29)
+    circuit = QuantumCircuit(NUM_QUBITS, name="substrate_workload")
+    for qubit in range(NUM_QUBITS):
+        circuit.h(qubit)
+    for _ in range(LAYERS):
+        for qubit in range(NUM_QUBITS):
+            getattr(circuit, rng.choice(("t", "s", "h", "tdg")))(qubit)
+        for qubit in range(NUM_QUBITS - 1):
+            if rng.random() < 0.6:
+                circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def _simulate(factory, circuit: QuantumCircuit) -> BitSliceSimulator:
+    simulator = BitSliceSimulator(circuit.num_qubits,
+                                  manager=factory(circuit.num_qubits))
+    simulator.run(circuit)
+    return simulator
+
+
+def _best_of(callable_, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_substrate_dict_backend(benchmark):
+    """End-to-end circuit execution on the default dict store."""
+    circuit = _workload()
+    simulator = benchmark(lambda: _simulate(BddManager, circuit))
+    benchmark.extra_info["peak_memory_nodes"] = simulator.peak_nodes
+    benchmark.extra_info["backend"] = 0
+
+
+def test_substrate_array_backend(benchmark):
+    """The same workload on the array store, with the parity assertion."""
+    circuit = _workload()
+    simulator = benchmark(lambda: _simulate(ArrayBddManager, circuit))
+    benchmark.extra_info["peak_memory_nodes"] = simulator.peak_nodes
+    benchmark.extra_info["backend"] = 1
+    # Identity: the array run must reach the dict run's exact peak.
+    reference = _simulate(BddManager, circuit)
+    assert simulator.peak_nodes == reference.peak_nodes
+    # Parity: re-time both backends back to back on this machine (the
+    # benchmark fixture timed only the array path).
+    array_seconds = _best_of(lambda: _simulate(ArrayBddManager, circuit))
+    dict_seconds = _best_of(lambda: _simulate(BddManager, circuit))
+    ratio = array_seconds / dict_seconds
+    benchmark.extra_info["array_over_dict"] = round(ratio, 3)
+    assert ratio < ARRAY_PARITY_FACTOR, (
+        f"array backend {ratio:.2f}x slower than dict — the compiled "
+        f"fallback path regressed")
+
+
+@pytest.mark.skipif(CompiledBddManager is None,
+                    reason="compiled kernel module needs numpy")
+def test_substrate_compiled_backend(benchmark):
+    """The same workload on the compiled store (interpreted without numba;
+    the speedup floor is asserted only when the kernel is actually jitted)."""
+    circuit = _workload()
+    simulator = benchmark(lambda: _simulate(CompiledBddManager, circuit))
+    stats = simulator.state.manager.perf_stats()
+    benchmark.extra_info["backend"] = 2
+    benchmark.extra_info["peak_memory_nodes"] = simulator.peak_nodes
+    # Recorded as a bool: the regression gate exact-matches int extras, and
+    # jittedness legitimately differs between CI (no numba) and dev boxes.
+    benchmark.extra_info["jitted"] = bool(HAS_NUMBA)
+    assert stats["compiled_calls"] > 0
+    assert _simulate(BddManager, circuit).peak_nodes == simulator.peak_nodes
+    if HAS_NUMBA:  # pragma: no cover - smoke runners have no numba
+        compiled_seconds = _best_of(lambda: _simulate(CompiledBddManager,
+                                                      circuit))
+        dict_seconds = _best_of(lambda: _simulate(BddManager, circuit))
+        speedup = dict_seconds / compiled_seconds
+        benchmark.extra_info["compiled_speedup"] = round(speedup, 2)
+        assert speedup >= COMPILED_SPEEDUP_FLOOR, (
+            f"jitted kernel only {speedup:.1f}x over dict; "
+            f"expected >= {COMPILED_SPEEDUP_FLOOR}x")

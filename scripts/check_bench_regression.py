@@ -169,9 +169,14 @@ def check(run: Dict[str, Dict], baseline: Dict,
                      "run_seconds": actual, "scale": scale, "status": status,
                      "extra": extra, "baseline_extra": base_extra})
     for name in sorted(set(run) - set(base_benchmarks)):
-        notes.append(f"{name}: not tracked by the baseline (add it with --update)")
+        # Run-only benchmarks are *new*, not failures: a freshly added
+        # family shows up here on the PR that introduces it, before its
+        # baseline entry lands via --update.  The summary labels it "new"
+        # so reviewers see an ungated benchmark at a glance.
+        notes.append(f"{name}: new benchmark, not yet in the baseline "
+                     f"(record it with --update)")
         rows.append({"name": name, "baseline_seconds": None,
-                     "run_seconds": run[name]["min_seconds"], "status": "untracked",
+                     "run_seconds": run[name]["min_seconds"], "status": "new",
                      "extra": run[name].get("extra", {}), "baseline_extra": {}})
     return failures, notes, rows
 

@@ -1,0 +1,695 @@
+"""Optional numba-compiled apply kernel over the array substrate.
+
+:class:`CompiledBddManager` extends :class:`~repro.bdd.array_manager.ArrayBddManager`
+with a compiled hot loop for the commutative binary connectives (AND / OR /
+XOR, plus the NOT sub-walks XOR's terminal rule needs): the explicit-stack
+apply of :meth:`BddManager._apply_binary` re-expressed over flat ``int64``
+scratch arrays and open-addressed unique / computed tables, so numba can
+JIT the whole walk with zero object-mode round trips.
+
+Layout
+------
+* Node columns are the inherited ``array.array('i')`` buffers, read through
+  zero-copy ``int32`` views.  The kernel never writes them: freshly interned
+  nodes are recorded in a *new-node log* (``(id, var, low, high)`` rows) the
+  host replays after the call — binary apply never reads the columns of a
+  node it just created, so the log can stay scratch-only.
+* Open-addressed tables pack triples into 21-bit fields
+  (``(var << 42) | (low << 21) | high``); computed keys carry the op tag in
+  the top field.  Linear probing with a Knuth multiplicative start slot;
+  the host mirrors every probe sequence bit-for-bit (plain-int arithmetic
+  and wrapped ``int64`` arithmetic agree on the masked low bits).
+* All mutable scalars travel in one ``int64`` state vector so the helpers
+  can update them in place under numba's nopython calling convention.
+
+Node-identity contract
+----------------------
+The kernel replays the visit / build discipline of the interpreted
+explicit-stack apply exactly (push build, high, low; pop low first), and
+recomputing a subproblem the interpreted backend would have found in its
+computed table creates no nodes (every find-or-create hits the unique
+table), so computed-table divergence between backends never changes which
+nodes are created or in what order.  The differential harness in
+``tests/substrate`` pins this.
+
+Fallback contract
+-----------------
+Without numba the kernel functions run as plain Python — same code,
+interpreted — so the backend stays *testable* everywhere; the substrate
+registry simply refuses to *select* it (``repro.bdd.substrate`` resolves
+``compiled`` to ``array``) because an interpreted kernel is strictly slower
+than the tuned closures it replaces.  Managers whose node ids or variable
+indices outgrow the 21-bit packing abort the kernel cleanly (the partial
+new-node log is still committed — every logged node is a valid interned
+node) and fall back to the inherited interpreted path, counted by the
+``compiled_fallbacks`` perf counter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as _host_np
+
+from repro.bdd.array_manager import _VAR_SHIFT, ArrayBddManager
+from repro.bdd.manager import _KEY_BITS, OP_AND, OP_NOT, OP_OR, OP_XOR
+
+try:  # pragma: no cover - absent in the no-numba environments
+    from numba import njit as _njit
+
+    HAS_NUMBA = True
+except ImportError:
+    _njit = None
+    HAS_NUMBA = False
+
+np = _host_np
+
+#: Field width of the packed 64-bit table keys: node ids and variable
+#: indices must stay below ``1 << 21`` for the kernel to engage.
+FIELD_BITS = 21
+FIELD_LIMIT = 1 << FIELD_BITS
+
+#: Empty-slot sentinel of the open-addressed tables (valid keys are > 0).
+_EMPTY = -1
+
+#: Knuth multiplicative-hash constant; the masked product's low bits agree
+#: between arbitrary-precision host ints and wrapped int64 arithmetic.
+_MULT = 2654435761
+
+# State-vector indices (one int64 slot per mutable scalar).
+_S_FREE_TOP = 0      # unconsumed entries remaining in the free-list snapshot
+_S_NEW_COUNT = 1     # rows used in the new-node log
+_S_NEXT_ID = 2       # next appended node id
+_S_UCOUNT = 3        # occupied slots in the unique table
+_S_CCOUNT = 4        # occupied slots in the computed table
+_S_HITS = 5          # binary computed-table hits
+_S_MISSES = 6
+_S_UPROBES = 7
+_S_UINSERTS = 8
+_S_NOT_HITS = 9      # NOT sub-walk computed-table hits
+_S_NOT_MISSES = 10
+_S_STATUS = 11       # 0 ok, 1 = id space exhausted (host falls back)
+_STATE_SLOTS = 12
+
+
+def _grow_table(keys, vals):
+    """Double an open-addressed table, rehashing every occupied slot."""
+    cap = keys.shape[0] * 2
+    mask = cap - 1
+    new_keys = np.full(cap, _EMPTY, np.int64)
+    new_vals = np.empty(cap, np.int64)
+    for i in range(keys.shape[0]):
+        key = int(keys[i])
+        if key == _EMPTY:
+            continue
+        slot = (key * _MULT) & mask
+        while int(new_keys[slot]) != _EMPTY:
+            slot = (slot + 1) & mask
+        new_keys[slot] = key
+        new_vals[slot] = vals[i]
+    return new_keys, new_vals
+
+
+def _grow1(arr):
+    """Double a flat int64 scratch array, keeping its contents."""
+    out = np.empty(arr.shape[0] * 2, np.int64)
+    out[: arr.shape[0]] = arr
+    return out
+
+
+def _cache_get(key, ckeys, cvals):
+    """Probe the computed table; -1 on miss (node ids are non-negative)."""
+    mask = ckeys.shape[0] - 1
+    slot = (key * _MULT) & mask
+    while True:
+        k = int(ckeys[slot])
+        if k == key:
+            return int(cvals[slot])
+        if k == _EMPTY:
+            return -1
+        slot = (slot + 1) & mask
+
+
+def _cache_put(key, node, ckeys, cvals, st):
+    """Insert / overwrite a computed-table entry, growing at 5/8 load."""
+    if (int(st[_S_CCOUNT]) + 1) * 8 > ckeys.shape[0] * 5:
+        ckeys, cvals = _grow_table(ckeys, cvals)
+    mask = ckeys.shape[0] - 1
+    slot = (key * _MULT) & mask
+    while True:
+        k = int(ckeys[slot])
+        if k == key:
+            cvals[slot] = node
+            return ckeys, cvals
+        if k == _EMPTY:
+            ckeys[slot] = key
+            cvals[slot] = node
+            st[_S_CCOUNT] += 1
+            return ckeys, cvals
+        slot = (slot + 1) & mask
+
+
+def _intern(var, low, high, free_arr, new_log, ukeys, uvals, st):
+    """Find-or-create on the open-addressed unique table.
+
+    Mirrors :meth:`BddManager._interner` exactly: the ``low == high``
+    reduction, free-list reuse popping from the end, then fresh append ids.
+    New nodes are recorded in the log (the host writes the columns).  On id
+    exhaustion sets the status flag and returns -1.
+    """
+    if low == high:
+        return low, new_log, ukeys, uvals
+    key = (var << 42) | (low << FIELD_BITS) | high
+    st[_S_UPROBES] += 1
+    mask = ukeys.shape[0] - 1
+    slot = (key * _MULT) & mask
+    while True:
+        k = int(ukeys[slot])
+        if k == key:
+            return int(uvals[slot]), new_log, ukeys, uvals
+        if k == _EMPTY:
+            break
+        slot = (slot + 1) & mask
+    st[_S_UINSERTS] += 1
+    if int(st[_S_FREE_TOP]) > 0:
+        st[_S_FREE_TOP] -= 1
+        node = int(free_arr[int(st[_S_FREE_TOP])])
+    else:
+        node = int(st[_S_NEXT_ID])
+        if node >= FIELD_LIMIT:
+            st[_S_STATUS] = 1
+            return -1, new_log, ukeys, uvals
+        st[_S_NEXT_ID] = node + 1
+    row = int(st[_S_NEW_COUNT])
+    if row >= new_log.shape[0]:
+        bigger = np.empty((new_log.shape[0] * 2, 4), np.int64)
+        bigger[:row] = new_log[:row]
+        new_log = bigger
+    new_log[row, 0] = node
+    new_log[row, 1] = var
+    new_log[row, 2] = low
+    new_log[row, 3] = high
+    st[_S_NEW_COUNT] = row + 1
+    if (int(st[_S_UCOUNT]) + 1) * 8 > ukeys.shape[0] * 5:
+        ukeys, uvals = _grow_table(ukeys, uvals)
+        mask = ukeys.shape[0] - 1
+        slot = (key * _MULT) & mask
+        while int(ukeys[slot]) != _EMPTY:
+            slot = (slot + 1) & mask
+    ukeys[slot] = key
+    uvals[slot] = node
+    st[_S_UCOUNT] += 1
+    return node, new_log, ukeys, uvals
+
+
+def _not_walk(root, var_col, low_col, high_col, free_arr, new_log,
+              ukeys, uvals, ckeys, cvals, st):
+    """Explicit-stack negation (XOR's ``a == 1`` rule), mirroring
+    :meth:`BddManager._apply_not_iter` node for node."""
+    kind_s = np.empty(256, np.int64)
+    a_s = np.empty(256, np.int64)
+    kind_s[0] = 0
+    a_s[0] = root
+    sp = 1
+    rstack = np.empty(256, np.int64)
+    rsp = 0
+    while sp > 0:
+        sp -= 1
+        kind = int(kind_s[sp])
+        a = int(a_s[sp])
+        if sp + 3 >= kind_s.shape[0]:
+            kind_s = _grow1(kind_s)
+            a_s = _grow1(a_s)
+        if rsp + 1 >= rstack.shape[0]:
+            rstack = _grow1(rstack)
+        if kind == 1:
+            rsp -= 1
+            high = int(rstack[rsp])
+            rsp -= 1
+            low = int(rstack[rsp])
+            node, new_log, ukeys, uvals = _intern(
+                int(var_col[a]), low, high, free_arr, new_log, ukeys, uvals, st)
+            if int(st[_S_STATUS]) != 0:
+                return -1, new_log, ukeys, uvals, ckeys, cvals
+            ckeys, cvals = _cache_put((OP_NOT << 42) | a, node, ckeys, cvals, st)
+            rstack[rsp] = node
+            rsp += 1
+            continue
+        if a < 2:
+            rstack[rsp] = a ^ 1
+            rsp += 1
+            continue
+        cached = _cache_get((OP_NOT << 42) | a, ckeys, cvals)
+        if cached >= 0:
+            st[_S_NOT_HITS] += 1
+            rstack[rsp] = cached
+            rsp += 1
+            continue
+        st[_S_NOT_MISSES] += 1
+        kind_s[sp] = 1
+        a_s[sp] = a
+        kind_s[sp + 1] = 0
+        a_s[sp + 1] = int(high_col[a])
+        kind_s[sp + 2] = 0
+        a_s[sp + 2] = int(low_col[a])
+        sp += 3
+    return int(rstack[0]), new_log, ukeys, uvals, ckeys, cvals
+
+
+def _binary_kernel(op, root_f, root_g, var_col, low_col, high_col, v2l,
+                   free_arr, ukeys, uvals, ckeys, cvals, new_log, st):
+    """Explicit-stack commutative binary apply over flat arrays.
+
+    A faithful port of :meth:`BddManager._apply_binary` (same task
+    discipline: push build / high / low, pop low first; same terminal and
+    canonicalisation rules), with dict probes replaced by open-addressed
+    table probes.  Returns the result node and the (possibly reallocated)
+    log and tables; -1 with status set means the id space ran out and the
+    host must fall back after committing the partial log.
+    """
+    kind_s = np.empty(1024, np.int64)
+    a_s = np.empty(1024, np.int64)
+    b_s = np.empty(1024, np.int64)
+    kind_s[0] = 0
+    a_s[0] = root_f
+    b_s[0] = root_g
+    sp = 1
+    rstack = np.empty(1024, np.int64)
+    rsp = 0
+    while sp > 0:
+        sp -= 1
+        kind = int(kind_s[sp])
+        a = int(a_s[sp])
+        b = int(b_s[sp])
+        if sp + 3 >= kind_s.shape[0]:
+            kind_s = _grow1(kind_s)
+            a_s = _grow1(a_s)
+            b_s = _grow1(b_s)
+        if rsp + 1 >= rstack.shape[0]:
+            rstack = _grow1(rstack)
+        if kind == 1:
+            # Build: a = branching variable, b = computed-table key.
+            rsp -= 1
+            high = int(rstack[rsp])
+            rsp -= 1
+            low = int(rstack[rsp])
+            node, new_log, ukeys, uvals = _intern(
+                a, low, high, free_arr, new_log, ukeys, uvals, st)
+            if int(st[_S_STATUS]) != 0:
+                return -1, new_log, ukeys, uvals, ckeys, cvals
+            ckeys, cvals = _cache_put(b, node, ckeys, cvals, st)
+            rstack[rsp] = node
+            rsp += 1
+            continue
+        # Visit: a, b are operand node ids.  Terminal rules first.
+        if op == OP_AND:
+            if a == 0 or b == 0:
+                rstack[rsp] = 0
+                rsp += 1
+                continue
+            if a == 1:
+                rstack[rsp] = b
+                rsp += 1
+                continue
+            if b == 1 or a == b:
+                rstack[rsp] = a
+                rsp += 1
+                continue
+        elif op == OP_OR:
+            if a == 1 or b == 1:
+                rstack[rsp] = 1
+                rsp += 1
+                continue
+            if a == 0:
+                rstack[rsp] = b
+                rsp += 1
+                continue
+            if b == 0 or a == b:
+                rstack[rsp] = a
+                rsp += 1
+                continue
+        else:  # OP_XOR
+            if a == b:
+                rstack[rsp] = 0
+                rsp += 1
+                continue
+            if a == 0:
+                rstack[rsp] = b
+                rsp += 1
+                continue
+            if b == 0:
+                rstack[rsp] = a
+                rsp += 1
+                continue
+            if a == 1 or b == 1:
+                operand = b if a == 1 else a
+                node, new_log, ukeys, uvals, ckeys, cvals = _not_walk(
+                    operand, var_col, low_col, high_col, free_arr, new_log,
+                    ukeys, uvals, ckeys, cvals, st)
+                if int(st[_S_STATUS]) != 0:
+                    return -1, new_log, ukeys, uvals, ckeys, cvals
+                rstack[rsp] = node
+                rsp += 1
+                continue
+        if a > b:
+            a, b = b, a
+        key = (op << 42) | (a << FIELD_BITS) | b
+        cached = _cache_get(key, ckeys, cvals)
+        if cached >= 0:
+            st[_S_HITS] += 1
+            rstack[rsp] = cached
+            rsp += 1
+            continue
+        st[_S_MISSES] += 1
+        avar = int(var_col[a])
+        bvar = int(var_col[b])
+        alev = int(v2l[avar])
+        blev = int(v2l[bvar])
+        if alev == blev:
+            kind_s[sp] = 1
+            a_s[sp] = avar
+            b_s[sp] = key
+            kind_s[sp + 1] = 0
+            a_s[sp + 1] = int(high_col[a])
+            b_s[sp + 1] = int(high_col[b])
+            kind_s[sp + 2] = 0
+            a_s[sp + 2] = int(low_col[a])
+            b_s[sp + 2] = int(low_col[b])
+        elif alev < blev:
+            kind_s[sp] = 1
+            a_s[sp] = avar
+            b_s[sp] = key
+            kind_s[sp + 1] = 0
+            a_s[sp + 1] = int(high_col[a])
+            b_s[sp + 1] = b
+            kind_s[sp + 2] = 0
+            a_s[sp + 2] = int(low_col[a])
+            b_s[sp + 2] = b
+        else:
+            kind_s[sp] = 1
+            a_s[sp] = bvar
+            b_s[sp] = key
+            kind_s[sp + 1] = 0
+            a_s[sp + 1] = a
+            b_s[sp + 1] = int(high_col[b])
+            kind_s[sp + 2] = 0
+            a_s[sp + 2] = a
+            b_s[sp + 2] = int(low_col[b])
+        sp += 3
+    return int(rstack[0]), new_log, ukeys, uvals, ckeys, cvals
+
+
+if HAS_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    _grow_table = _njit(cache=True)(_grow_table)
+    _grow1 = _njit(cache=True)(_grow1)
+    _cache_get = _njit(cache=True)(_cache_get)
+    _cache_put = _njit(cache=True)(_cache_put)
+    _intern = _njit(cache=True)(_intern)
+    _not_walk = _njit(cache=True)(_not_walk)
+    _binary_kernel = _njit(cache=True)(_binary_kernel)
+
+
+def _next_pow2(value: int) -> int:
+    return 1 << max(11, (value - 1).bit_length() if value > 1 else 1)
+
+
+class _OpenTables:
+    """The kernel-side open-addressed unique / computed tables."""
+
+    __slots__ = ("ukeys", "uvals", "ckeys", "cvals", "ucount", "ccount")
+
+    def __init__(self, ucap: int):
+        self.ukeys = np.full(ucap, _EMPTY, np.int64)
+        self.uvals = np.empty(ucap, np.int64)
+        self.ckeys = np.full(2048, _EMPTY, np.int64)
+        self.cvals = np.empty(2048, np.int64)
+        self.ucount = 0
+        self.ccount = 0
+
+    def clear_cache(self) -> None:
+        self.ckeys.fill(_EMPTY)
+        self.ccount = 0
+
+
+class CompiledBddManager(ArrayBddManager):
+    """Array substrate plus the compiled binary-apply kernel.
+
+    Parameters are those of :class:`~repro.bdd.manager.BddManager` plus
+    ``jit``: ``None`` uses numba when importable and the interpreted
+    kernel otherwise; ``True`` requires numba (raising ``ImportError``
+    without it); ``False`` forces the interpreted kernel (the differential
+    tests use this to exercise the kernel code path everywhere).
+    """
+
+    substrate_name = "compiled"
+    _backend_index = 2
+
+    def __init__(self, num_vars: int = 0,
+                 auto_gc_threshold: Optional[int] = 1_000_000,
+                 cache_size_limit: Optional[int] = 2_000_000,
+                 auto_reorder_threshold: Optional[int] = None,
+                 jit: Optional[bool] = None):
+        if jit is True and not HAS_NUMBA:
+            raise ImportError("CompiledBddManager(jit=True) requires numba")
+        super().__init__(num_vars, auto_gc_threshold=auto_gc_threshold,
+                         cache_size_limit=cache_size_limit,
+                         auto_reorder_threshold=auto_reorder_threshold)
+        self.jit_enabled = bool(HAS_NUMBA) if jit is None else bool(jit)
+        self._oa: Optional[_OpenTables] = None
+        self._oa_dirty = True
+        self._oa_overflow = False
+        self._compiled_calls = 0
+        self._compiled_fallbacks = 0
+
+    # ------------------------------------------------------------------ #
+    # table synchronisation
+    # ------------------------------------------------------------------ #
+    def _kernel_ready(self) -> bool:
+        """Whether the next binary apply may run in the kernel."""
+        return (not self._oa_overflow
+                and len(self._var) < FIELD_LIMIT
+                and self.num_vars < FIELD_LIMIT)
+
+    def _sync_tables(self) -> _OpenTables:
+        """Rebuild the open-addressed tables from the unique dict after an
+        invalidation (GC / reorder / clear), re-packing the 30-bit dict
+        keys into the kernel's 21-bit fields."""
+        tables = self._oa
+        if tables is not None and not self._oa_dirty:
+            return tables
+        entries = len(self._unique)
+        tables = _OpenTables(_next_pow2(2 * entries))
+        ukeys = tables.ukeys
+        uvals = tables.uvals
+        mask = ukeys.shape[0] - 1
+        low_mask = (1 << _KEY_BITS) - 1
+        for packed, node in self._unique.items():
+            var = packed >> _VAR_SHIFT
+            low = (packed >> _KEY_BITS) & low_mask
+            high = packed & low_mask
+            key = (var << 42) | (low << FIELD_BITS) | high
+            slot = (key * _MULT) & mask
+            while int(ukeys[slot]) != _EMPTY:
+                slot = (slot + 1) & mask
+            ukeys[slot] = key
+            uvals[slot] = node
+        tables.ucount = entries
+        self._oa = tables
+        self._oa_dirty = False
+        return tables
+
+    def _invalidate_caches(self) -> None:
+        super()._invalidate_caches()
+        # Node ids may be recycled (GC) or relabelled (reorder) after this:
+        # both open-addressed tables belong to the dead generation.
+        self._oa_dirty = True
+
+    def _oa_write_through(self, var: int, low: int, high: int, node: int) -> None:
+        """Mirror a Python-side unique-table insert into the kernel table
+        so later kernel calls cannot re-create an existing node."""
+        tables = self._oa
+        if tables is None or self._oa_dirty:
+            return
+        if (var >= FIELD_LIMIT or low >= FIELD_LIMIT or high >= FIELD_LIMIT
+                or node >= FIELD_LIMIT):
+            self._oa_overflow = True
+            return
+        if (tables.ucount + 1) * 8 > tables.ukeys.shape[0] * 5:
+            tables.ukeys, tables.uvals = _grow_table(tables.ukeys, tables.uvals)
+        key = (var << 42) | (low << FIELD_BITS) | high
+        ukeys = tables.ukeys
+        mask = ukeys.shape[0] - 1
+        slot = (key * _MULT) & mask
+        while int(ukeys[slot]) != _EMPTY:
+            if int(ukeys[slot]) == key:
+                return
+            slot = (slot + 1) & mask
+        ukeys[slot] = key
+        tables.uvals[slot] = node
+        tables.ucount += 1
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        before = len(self._unique)
+        node = super()._mk(var, low, high)
+        if len(self._unique) != before:
+            self._oa_write_through(var, low, high, node)
+        return node
+
+    def _interner(self):
+        # Always wrap: a worker bound while the tables were dirty can call
+        # apply_and / apply_or mid-recursion (the ITE terminal rules do),
+        # whose kernel dispatch rebuilds the tables and clears the dirty
+        # flag — after which the outer worker's creations must sync too.
+        # _oa_write_through re-checks dirtiness at call time, so wrapping
+        # is correct in every interleaving.
+        make, counts = super()._interner()
+        unique = self._unique
+        write_through = self._oa_write_through
+
+        def make_synced(var: int, low: int, high: int) -> int:
+            before = len(unique)
+            node = make(var, low, high)
+            if len(unique) != before:
+                write_through(var, low, high, node)
+            return node
+
+        return make_synced, counts
+
+    # ------------------------------------------------------------------ #
+    # kernel dispatch
+    # ------------------------------------------------------------------ #
+    def _binary_via_kernel(self, op: int, f: int, g: int) -> int:
+        """Run one canonicalised binary apply through the kernel, then
+        replay its new-node log into the Python-side stores."""
+        tables = self._sync_tables()
+        var_view, low_view, high_view = self._column_views()
+        v2l = np.array(self._var_to_level, np.int64)
+        free = self._free
+        free_arr = np.array(free, np.int64) if free else np.empty(0, np.int64)
+        new_log = np.empty((1024, 4), np.int64)
+        st = np.zeros(_STATE_SLOTS, np.int64)
+        st[_S_FREE_TOP] = len(free)
+        st[_S_NEXT_ID] = len(self._var)
+        st[_S_UCOUNT] = tables.ucount
+        st[_S_CCOUNT] = tables.ccount
+        self._compiled_calls += 1
+        result, new_log, ukeys, uvals, ckeys, cvals = _binary_kernel(
+            op, f, g, var_view, low_view, high_view, v2l, free_arr,
+            tables.ukeys, tables.uvals, tables.ckeys, tables.cvals,
+            new_log, st)
+        # The views pin the column buffers (array.array refuses to resize
+        # while a buffer is exported); release them before the appends.
+        del var_view, low_view, high_view
+        tables.ukeys = ukeys
+        tables.uvals = uvals
+        tables.ckeys = ckeys
+        tables.cvals = cvals
+        tables.ucount = int(st[_S_UCOUNT])
+        tables.ccount = int(st[_S_CCOUNT])
+        # Commit: consume the free slots the kernel popped, then replay the
+        # new-node log in creation order (appended ids are contiguous, and
+        # dict insertion order must equal creation order — the GC sweep's
+        # free-list order depends on it).
+        del free[int(st[_S_FREE_TOP]):]
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        unique = self._unique
+        for node, var, low, high in new_log[: int(st[_S_NEW_COUNT])].tolist():
+            if node == len(var_arr):
+                var_arr.append(var)
+                low_arr.append(low)
+                high_arr.append(high)
+            else:
+                var_arr[node] = var
+                low_arr[node] = low
+                high_arr[node] = high
+            unique[(var << _VAR_SHIFT) | (low << _KEY_BITS) | high] = node
+        self._op_hits[op] += int(st[_S_HITS])
+        self._op_misses[op] += int(st[_S_MISSES])
+        self._op_hits[OP_NOT] += int(st[_S_NOT_HITS])
+        self._op_misses[OP_NOT] += int(st[_S_NOT_MISSES])
+        self._unique_probes += int(st[_S_UPROBES])
+        self._unique_inserts += int(st[_S_UINSERTS])
+        limit = self._cache_size_limit
+        if limit is not None and tables.ccount > limit:
+            tables.clear_cache()
+            self._cache_evictions += 1
+        self._after_operation(op, self._tables[op])
+        if int(st[_S_STATUS]) != 0:
+            # Id space exhausted mid-walk.  Every logged node was committed
+            # above (all are valid interned nodes), so the interpreted path
+            # simply finishes the remaining work.
+            self._oa_overflow = True
+            self._compiled_fallbacks += 1
+            return self._interpreted_binary(op, f, g)
+        return result
+
+    def _interpreted_binary(self, op: int, f: int, g: int) -> int:
+        if op == OP_AND:
+            return super().apply_and(f, g)
+        if op == OP_OR:
+            return super().apply_or(f, g)
+        return super().apply_xor(f, g)
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction of two node ids (kernel-dispatched)."""
+        if f == 0 or g == 0:
+            return 0
+        if f == 1:
+            return g
+        if g == 1 or f == g:
+            return f
+        if not self._kernel_ready():
+            self._compiled_fallbacks += 1
+            return super().apply_and(f, g)
+        if f > g:
+            f, g = g, f
+        return self._binary_via_kernel(OP_AND, f, g)
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction of two node ids (kernel-dispatched)."""
+        if f == 1 or g == 1:
+            return 1
+        if f == 0:
+            return g
+        if g == 0 or f == g:
+            return f
+        if not self._kernel_ready():
+            self._compiled_fallbacks += 1
+            return super().apply_or(f, g)
+        if f > g:
+            f, g = g, f
+        return self._binary_via_kernel(OP_OR, f, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive-or of two node ids (kernel-dispatched)."""
+        if f == g:
+            return 0
+        if f == 0:
+            return g
+        if g == 0:
+            return f
+        if f == 1:
+            return self.apply_not(g)
+        if g == 1:
+            return self.apply_not(f)
+        if not self._kernel_ready():
+            self._compiled_fallbacks += 1
+            return super().apply_xor(f, g)
+        if f > g:
+            f, g = g, f
+        return self._binary_via_kernel(OP_XOR, f, g)
+
+    def batch_binary(self, op: int, pairs: Sequence[Tuple[int, int]]) -> List[int]:
+        """Batched binary apply: each pair dispatches to the kernel (the
+        open-addressed tables persist across the batch, playing the role
+        of the shared computed-table binding)."""
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        if not self._kernel_ready():
+            return super().batch_binary(op, pairs)
+        self._count_batch(len(pairs))
+        apply_one = (self.apply_and, self.apply_or, self.apply_xor)[op]
+        return [apply_one(f, g) for f, g in pairs]

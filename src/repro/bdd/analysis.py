@@ -107,6 +107,43 @@ def to_dot(roots: Sequence[Bdd], names: Iterable[str] = ()) -> str:
     return "\n".join(lines) + "\n"
 
 
+def dag_export(roots: Sequence[Bdd]) -> Dict[str, list]:
+    """Canonical, backend- and id-independent serialisation of a shared DAG.
+
+    Nodes reachable from ``roots`` are renumbered 2, 3, ... in depth-first
+    postorder (low subtree, then high subtree, then the node itself; roots
+    in the given order), so every child reference points backwards; the
+    terminals keep their fixed ids 0 and 1.  The result is a
+    JSON-ready ``{"roots": [...], "nodes": [[var, low, high], ...]}`` where
+    ``nodes[i]`` describes renumbered node ``i + 2``.  Two managers export
+    equal values exactly when their DAGs are isomorphic with identical
+    variable labels — regardless of raw node ids, so the golden-shape
+    fixtures survive changes to allocation order while still pinning the
+    exact reduced structure.
+    """
+    roots = list(roots)
+    if not roots:
+        return {"roots": [], "nodes": []}
+    manager = roots[0].manager
+    for root in roots:
+        if root.manager is not manager:
+            raise ValueError("roots belong to different managers")
+    renumber: Dict[int, int] = {0: 0, 1: 1}
+    nodes: List[List[int]] = []
+
+    def visit(node: int) -> int:
+        known = renumber.get(node)
+        if known is not None:
+            return known
+        low = visit(manager.node_low(node))
+        high = visit(manager.node_high(node))
+        renumber[node] = len(nodes) + 2
+        nodes.append([manager.node_var(node), low, high])
+        return renumber[node]
+
+    return {"roots": [visit(root.node) for root in roots], "nodes": nodes}
+
+
 def shared_size_profile(roots: Sequence[Bdd]) -> Dict[int, int]:
     """Histogram mapping variable index -> number of nodes labelled with it
     across the shared structure of ``roots``."""

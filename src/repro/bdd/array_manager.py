@@ -1,0 +1,290 @@
+"""Array-backed BDD substrate: typed node columns and packed unique keys.
+
+:class:`ArrayBddManager` keeps the exact algorithms of
+:class:`repro.bdd.manager.BddManager` — every apply / ITE / fused-ternary
+kernel, the GC sweep and the reordering transactions are inherited — but
+swaps the substrate underneath them:
+
+* the ``var`` / ``low`` / ``high`` node columns are ``array.array('i')``
+  typed arrays (int32) instead of Python lists of boxed ints, roughly
+  quartering the resident size of the node store and giving the compiled
+  backend (:mod:`repro.bdd._compiled`) zero-copy ``int32`` views to run
+  kernels over;
+* unique-table keys are single packed integers
+  ``(var << 60) | (low << 30) | high`` instead of ``(var, low, high)``
+  tuples, so the find-or-create hot path hashes one machine-sized int
+  rather than allocating and hashing a 3-tuple;
+* the GC mark phase and the reachable-size walk used by sifting are
+  vectorised with numpy frontier sweeps when numpy is importable, with the
+  inherited pure-Python walks as the always-available fallback.
+
+Node-identity contract (what the differential harness in
+``tests/substrate`` pins): node ids are a pure function of the sequence of
+find-or-create calls, and this class changes *how* triples are stored and
+keyed, never *which* triples are interned or in what order.  The GC sweep
+in the base class iterates the unique table in insertion order, so even
+the free-list recycling order is preserved bit-for-bit.  A circuit run on
+this manager therefore produces node-for-node the same DAG as the dict
+backend.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from repro.bdd.manager import _KEY_BITS, FALSE, TRUE, BddManager
+
+try:  # numpy accelerates the GC mark / reachability walks; optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI job
+    _np = None
+
+#: Shift placing the variable index above two packed node-id fields.
+_VAR_SHIFT = 2 * _KEY_BITS
+
+
+def pack_key(var: int, low: int, high: int) -> int:
+    """Pack a node triple into the single-int unique-table key."""
+    return (var << _VAR_SHIFT) | (low << _KEY_BITS) | high
+
+
+class ArrayBddManager(BddManager):
+    """Drop-in :class:`BddManager` on typed columns and packed keys.
+
+    Construction, the public API and all operation semantics are identical
+    to the base class; see the module docstring for what differs under the
+    hood and for the node-identity contract.
+    """
+
+    #: Backend name reported by :meth:`BddManager.perf_stats` plumbing.
+    substrate_name = "array"
+    _backend_index = 1
+
+    def __init__(self, num_vars: int = 0,
+                 auto_gc_threshold: Optional[int] = 1_000_000,
+                 cache_size_limit: Optional[int] = 2_000_000,
+                 auto_reorder_threshold: Optional[int] = None):
+        super().__init__(num_vars, auto_gc_threshold=auto_gc_threshold,
+                         cache_size_limit=cache_size_limit,
+                         auto_reorder_threshold=auto_reorder_threshold)
+        # Rebind the node columns as int32 typed arrays.  Variables create
+        # no nodes, so at this point the columns hold only the terminals.
+        self._var = array("i", self._var)
+        self._low = array("i", self._low)
+        self._high = array("i", self._high)
+
+    # ------------------------------------------------------------------ #
+    # interning on packed keys (lockstep with the base-class pair)
+    # ------------------------------------------------------------------ #
+    def _mk(self, var: int, low: int, high: int) -> int:
+        """Find-or-create on the packed key; single-shot sibling of
+        :meth:`_interner`, same lockstep rule as the base class."""
+        if low == high:
+            return low
+        key = (var << _VAR_SHIFT) | (low << _KEY_BITS) | high
+        self._unique_probes += 1
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        if self._free:
+            node = self._free.pop()
+            self._var[node] = var
+            self._low[node] = low
+            self._high[node] = high
+        else:
+            node = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+        self._unique[key] = node
+        self._unique_inserts += 1
+        return node
+
+    def _interner(self):
+        """Packed-key twin of :meth:`BddManager._interner`; identical
+        find-or-create order, so node ids match the dict backend."""
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        unique = self._unique
+        unique_get = unique.get
+        free = self._free
+        counts = [0, 0]
+
+        def make(var: int, low: int, high: int) -> int:
+            if low == high:
+                return low
+            ukey = (var << _VAR_SHIFT) | (low << _KEY_BITS) | high
+            counts[0] += 1
+            node = unique_get(ukey)
+            if node is None:
+                counts[1] += 1
+                if free:
+                    node = free.pop()
+                    var_arr[node] = var
+                    low_arr[node] = low
+                    high_arr[node] = high
+                else:
+                    node = len(var_arr)
+                    var_arr.append(var)
+                    low_arr.append(low)
+                    high_arr.append(high)
+                unique[ukey] = node
+            return node
+
+        return make, counts
+
+    # ------------------------------------------------------------------ #
+    # vectorised reachability walks
+    # ------------------------------------------------------------------ #
+    def _column_views(self):
+        """Zero-copy int32 numpy views of the node columns.
+
+        The views alias the live buffers: they become stale the moment a
+        column append reallocates, so callers must finish with them before
+        any node is created.
+        """
+        return (_np.frombuffer(self._var, dtype=_np.int32),
+                _np.frombuffer(self._low, dtype=_np.int32),
+                _np.frombuffer(self._high, dtype=_np.int32))
+
+    def _marked_frontier(self):
+        """Numpy frontier fixpoint over the external roots: a bool array
+        with exactly the nodes the base class's mark walk would visit."""
+        _, low_view, high_view = self._column_views()
+        marked = _np.zeros(len(self._var), dtype=bool)
+        marked[FALSE] = marked[TRUE] = True
+        frontier = _np.fromiter(
+            (node for node in self._external_refs if node > 1),
+            dtype=_np.int64)
+        while frontier.size:
+            frontier = frontier[~marked[frontier]]
+            if not frontier.size:
+                break
+            marked[frontier] = True
+            frontier = _np.concatenate(
+                (low_view[frontier], high_view[frontier])).astype(_np.int64)
+        return marked
+
+    #: Node stores smaller than this use the inherited Python walks: the
+    #: per-call numpy view / fixpoint overhead only amortises once the
+    #: frontier sweeps touch thousands of nodes.
+    _VECTORISE_FLOOR = 4096
+
+    def _mark_live(self):
+        """GC mark phase, vectorised.  The sweep stays in the base class
+        (its unique-table iteration order defines free-list order, which
+        the node-identity contract depends on)."""
+        if _np is None or len(self._var) < self._VECTORISE_FLOOR:
+            return super()._mark_live()
+        return self._marked_frontier()
+
+    def _reachable_node_count(self) -> int:
+        """Reachable-size walk used to score reordering, vectorised."""
+        if _np is None or len(self._var) < self._VECTORISE_FLOOR:
+            return super()._reachable_node_count()
+        return int(self._marked_frontier().sum())
+
+    # ------------------------------------------------------------------ #
+    # in-place level swap on packed keys
+    # ------------------------------------------------------------------ #
+    def _swap_levels(self, level: int, x_nodes: List[int],
+                     y_nodes: List[int]) -> Tuple[List[int], int]:
+        """Packed-key port of :meth:`BddManager._swap_levels`: identical
+        rewiring transaction (same invariants, same counter folds), with
+        the unique-table delete / probe / insert running on packed keys
+        against the typed columns."""
+        l2v = self._level_to_var
+        v2l = self._var_to_level
+        var_x = l2v[level]
+        var_y = l2v[level + 1]
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        unique = self._unique
+        unique_get = unique.get
+        free = self._free
+        kept: List[int] = []
+        kept_append = kept.append
+        y_append = y_nodes.append
+        probes = 0
+        inserts = 0
+        rewired = 0
+        for node in x_nodes:
+            if var_arr[node] != var_x:
+                continue  # stale index entry (relabelled or freed earlier)
+            f0 = low_arr[node]
+            f1 = high_arr[node]
+            f0_y = var_arr[f0] == var_y
+            f1_y = var_arr[f1] == var_y
+            if not (f0_y or f1_y):
+                kept_append(node)
+                continue
+            if f0_y:
+                f00 = low_arr[f0]
+                f01 = high_arr[f0]
+            else:
+                f00 = f01 = f0
+            if f1_y:
+                f10 = low_arr[f1]
+                f11 = high_arr[f1]
+            else:
+                f10 = f11 = f1
+            del unique[(var_x << _VAR_SHIFT) | (f0 << _KEY_BITS) | f1]
+            if f00 == f10:
+                n0 = f00
+            else:
+                key = (var_x << _VAR_SHIFT) | (f00 << _KEY_BITS) | f10
+                probes += 1
+                n0 = unique_get(key)
+                if n0 is None:
+                    inserts += 1
+                    if free:
+                        n0 = free.pop()
+                        var_arr[n0] = var_x
+                        low_arr[n0] = f00
+                        high_arr[n0] = f10
+                    else:
+                        n0 = len(var_arr)
+                        var_arr.append(var_x)
+                        low_arr.append(f00)
+                        high_arr.append(f10)
+                    unique[key] = n0
+                    kept_append(n0)
+            if f01 == f11:
+                n1 = f01
+            else:
+                key = (var_x << _VAR_SHIFT) | (f01 << _KEY_BITS) | f11
+                probes += 1
+                n1 = unique_get(key)
+                if n1 is None:
+                    inserts += 1
+                    if free:
+                        n1 = free.pop()
+                        var_arr[n1] = var_x
+                        low_arr[n1] = f01
+                        high_arr[n1] = f11
+                    else:
+                        n1 = len(var_arr)
+                        var_arr.append(var_x)
+                        low_arr.append(f01)
+                        high_arr.append(f11)
+                    unique[key] = n1
+                    kept_append(n1)
+            # A rewired function genuinely depends on var_y, so n0 != n1
+            # always holds here (see the base-class invariant notes).
+            var_arr[node] = var_y
+            low_arr[node] = n0
+            high_arr[node] = n1
+            unique[(var_y << _VAR_SHIFT) | (n0 << _KEY_BITS) | n1] = node
+            y_append(node)
+            rewired += 1
+        l2v[level] = var_y
+        l2v[level + 1] = var_x
+        v2l[var_x] = level + 1
+        v2l[var_y] = level
+        self._unique_probes += probes
+        self._unique_inserts += inserts
+        self._reorder_swaps += 1
+        return kept, rewired

@@ -1,0 +1,104 @@
+"""Substrate backend registry: selection, fallback and construction.
+
+Three backends implement the same :class:`~repro.bdd.manager.BddManager`
+contract (same API, and — pinned by the differential harness in
+``tests/substrate`` — node-for-node identical DAGs for the same operation
+sequence):
+
+``dict``
+    The tuned pure-Python manager: list columns, tuple-keyed unique table.
+    Always available; the default and the fallback of last resort.
+``array``
+    :class:`~repro.bdd.array_manager.ArrayBddManager`: ``array.array('i')``
+    typed columns and packed single-int unique keys, with numpy-vectorised
+    GC / reachability walks when numpy is importable.  Always available
+    (the ``array`` module is stdlib; numpy only accelerates it).
+``compiled``
+    :class:`~repro.bdd._compiled.CompiledBddManager`: the array substrate
+    plus a numba-JIT binary-apply kernel.  Selectable only when numba is
+    importable; requesting it without numba resolves to ``array`` (the
+    same storage layout minus the kernel) — the *fallback contract*
+    documented in ``docs/substrate.md`` and pinned by the no-numba CI job.
+
+``auto`` resolves to the fastest selectable backend: ``compiled`` with
+numba, else ``dict`` (whose tuned closures beat the interpreted kernel).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bdd.array_manager import ArrayBddManager
+from repro.bdd.manager import BddManager
+
+try:  # numpy accelerates the array backend's walks; optional.
+    import numpy as _np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI job
+    _np = None
+    HAS_NUMPY = False
+
+try:  # the kernel module needs numpy even in interpreted mode
+    from repro.bdd._compiled import HAS_NUMBA, CompiledBddManager
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI job
+    CompiledBddManager = None
+    HAS_NUMBA = False
+
+#: Every backend name, in gauge-index order (``perf_stats()["backend"]``).
+SUBSTRATES: Tuple[str, ...] = ("dict", "array", "compiled")
+
+#: The default backend: the tuned pure-Python manager.
+DEFAULT_SUBSTRATE = "dict"
+
+#: Backend name -> numeric value of the ``backend`` perf-stats gauge.
+BACKEND_INDICES = {name: index for index, name in enumerate(SUBSTRATES)}
+
+_CLASSES = {
+    "dict": BddManager,
+    "array": ArrayBddManager,
+    # Without numpy the kernel module is unimportable; resolve_substrate
+    # degrades "compiled" to "array" before this mapping is consulted.
+    "compiled": CompiledBddManager if CompiledBddManager is not None else ArrayBddManager,
+}
+
+
+def available_substrates() -> Tuple[str, ...]:
+    """The backend names selectable in this environment (``compiled``
+    requires numba; ``dict`` and ``array`` are always present)."""
+    if HAS_NUMBA:  # pragma: no cover - exercised only where numba exists
+        return SUBSTRATES
+    return ("dict", "array")
+
+
+def resolve_substrate(name: Optional[str]) -> str:
+    """Map a requested backend name to the one that will actually run.
+
+    ``None`` means the default; ``auto`` picks ``compiled`` when numba is
+    importable and ``dict`` otherwise; ``compiled`` without numba degrades
+    to ``array``.  Unknown names raise ``ValueError``.
+    """
+    if name is None:
+        return DEFAULT_SUBSTRATE
+    if name == "auto":
+        return "compiled" if HAS_NUMBA else DEFAULT_SUBSTRATE
+    if name not in _CLASSES:
+        options = ("auto",) + SUBSTRATES
+        raise ValueError(
+            f"unknown substrate {name!r}; expected one of {sorted(options)}")
+    if name == "compiled" and not HAS_NUMBA:
+        return "array"
+    return name
+
+
+def create_manager(num_vars: int = 0, substrate: Optional[str] = None,
+                   **manager_kwargs) -> BddManager:
+    """Construct a manager on the resolved backend.
+
+    ``manager_kwargs`` are forwarded to the manager constructor
+    (``auto_gc_threshold``, ``cache_size_limit``,
+    ``auto_reorder_threshold``).  The returned object reports its actual
+    backend via ``manager.substrate_name``.
+    """
+    resolved = resolve_substrate(substrate)
+    return _CLASSES[resolved](num_vars, **manager_kwargs)

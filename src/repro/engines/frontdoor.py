@@ -191,6 +191,7 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
         shots: Optional[int] = None,
         seed: Optional[int] = None,
         reorder: Union[bool, int, None] = None,
+        substrate: Optional[str] = None,
         cache: Optional[ResultCache] = None,
         sessions: Optional[SessionPool] = None,
         cancel=None) -> RunResult:
@@ -228,6 +229,16 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
     flag, so mixed-engine sweeps can pass it uniformly; reordering never
     changes an engine's results (probabilities and fixed-seed counts are
     invariant), only its node counts and timings.
+
+    ``substrate`` selects the node-storage backend on engines that support
+    it (``Capabilities.supports_compiled_substrate`` — the bit-sliced
+    engine's ``dict`` / ``array`` / ``compiled`` / ``auto`` BDD backends,
+    see :mod:`repro.bdd.substrate`).  Every backend produces node-for-node
+    identical DAGs, so the knob changes timings only — which is why it is
+    deliberately *excluded* from the result-cache key and from session-pool
+    matching: a cached or resumed answer is valid regardless of the backend
+    that produced it.  Engines without the capability ignore the flag, so
+    mixed-engine sweeps can pass it uniformly.
 
     ``cache`` memoises finished results: a request whose
     :func:`~repro.cache.result_cache.result_cache_key` matches a stored
@@ -275,6 +286,8 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
         threshold = (DEFAULT_AUTO_REORDER_THRESHOLD if reorder is True
                      else int(reorder))
         instance.configure_reordering(threshold)
+    if substrate is not None:
+        instance.configure_substrate(substrate)
     prefix_eligible = (sessions is not None
                        and instance.capabilities.supports_prefix_resume
                        and not circuit.has_dynamic_ops())
@@ -410,11 +423,12 @@ def derive_task_seed(seed: Optional[int], index: int) -> Optional[int]:
 
 def _run_task(task: Tuple[str, QuantumCircuit, Optional[int], Optional[int]],
               limits: Optional[ResourceLimits],
-              reorder: Union[bool, int, None] = None) -> RunResult:
+              reorder: Union[bool, int, None] = None,
+              substrate: Optional[str] = None) -> RunResult:
     """Process-pool worker: one (engine, circuit, shots, seed) task."""
     engine, circuit, shots, seed = task
     return run(circuit, engine=engine, limits=limits, shots=shots, seed=seed,
-               reorder=reorder)
+               reorder=reorder, substrate=substrate)
 
 
 def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
@@ -423,6 +437,7 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
               shots: Optional[int] = None,
               seed: Optional[int] = None,
               reorder: Union[bool, int, None] = None,
+              substrate: Optional[str] = None,
               cache: Optional[ResultCache] = None,
               sessions: Optional[SessionPool] = None,
               journal=None,
@@ -440,7 +455,9 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
     serialisations — are byte-identical between serial and parallel runs.
 
     ``reorder`` applies uniformly to every task (engines without reordering
-    support ignore it), exactly like :func:`run`'s flag.
+    support ignore it), exactly like :func:`run`'s flag; so does
+    ``substrate`` (a performance-only backend choice, excluded from cache
+    and journal keys because every backend produces identical results).
 
     ``cache`` / ``sessions`` amortise repeated work exactly as in
     :func:`run`.  On the parallel path the cache is consulted and filled in
@@ -495,7 +512,8 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
                 continue
             result = run(circuit, engine=engine_name, limits=limits,
                          shots=task_shots, seed=task_seed, reorder=reorder,
-                         cache=cache, sessions=sessions, cancel=cancel)
+                         substrate=substrate, cache=cache, sessions=sessions,
+                         cancel=cancel)
             if journal is not None:
                 journal.record(journal_keys[index], result)
             results[index] = result
@@ -544,7 +562,7 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
             raise JobCancelledError("cancelled before parallel dispatch")
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = [(index, pool.submit(_run_task, specs[index], limits,
-                                           reorder))
+                                           reorder, substrate))
                        for index in pending]
             for index, future in futures:
                 result = future.result()
@@ -561,7 +579,8 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
         else:
             # The owning task finished with a non-cacheable outcome (TO/MO);
             # reproduce it for this request the ordinary way.
-            results[index] = _run_task(specs[index], limits, reorder)
+            results[index] = _run_task(specs[index], limits, reorder,
+                                       substrate)
         if journal is not None:
             journal.record(journal_keys[index], results[index])
     return results
@@ -574,6 +593,7 @@ def run_sweep(circuits: Sequence[QuantumCircuit],
               shots: Optional[int] = None,
               seed: Optional[int] = None,
               reorder: Union[bool, int, None] = None,
+              substrate: Optional[str] = None,
               cache: Optional[ResultCache] = None,
               sessions: Optional[SessionPool] = None,
               journal=None,
@@ -584,7 +604,9 @@ def run_sweep(circuits: Sequence[QuantumCircuit],
     ``(circuit[0], engines...), (circuit[1], engines...), ...`` —
     deterministic regardless of ``jobs``.  ``shots`` / ``seed`` sample
     measurement counts per run exactly as in :func:`run_tasks`, ``reorder``
-    enables dynamic reordering on capable engines per run, ``cache`` /
+    enables dynamic reordering on capable engines per run, ``substrate``
+    selects the node-storage backend on capable engines (performance-only;
+    results are backend-invariant), ``cache`` /
     ``sessions`` amortise repeated work across the grid, ``journal``
     makes the grid crash-safe (a killed sweep resumes byte-identically
     from its manifest), and ``cancel`` cancels the grid cooperatively —
@@ -592,5 +614,5 @@ def run_sweep(circuits: Sequence[QuantumCircuit],
     """
     tasks = [(engine, circuit) for circuit in circuits for engine in engines]
     return run_tasks(tasks, limits=limits, jobs=jobs, shots=shots, seed=seed,
-                     reorder=reorder, cache=cache, sessions=sessions,
-                     journal=journal, cancel=cancel)
+                     reorder=reorder, substrate=substrate, cache=cache,
+                     sessions=sessions, journal=journal, cancel=cancel)

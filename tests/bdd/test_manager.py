@@ -8,12 +8,16 @@ ROBDDs.
 from __future__ import annotations
 
 import itertools
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.bdd import BddManager
-from repro.bdd.analysis import truth_table
+from repro.bdd.analysis import dag_export, truth_table
 from repro.bdd.manager import FALSE, TRUE
+
+GOLDEN_SHAPES = Path(__file__).resolve().parent.parent / "fixtures" / "bdd_shapes"
 
 
 def all_assignments(variables):
@@ -218,10 +222,13 @@ class TestQueries:
     def test_count_nodes(self):
         manager = BddManager(3)
         x0, x1, x2 = (manager.var(i) for i in range(3))
-        # Parity of 3 variables has 3 decision levels with 1, 2, 2 nodes plus
-        # the two terminals: 7 nodes in total.
+        # Parity of 3 variables: exact size and structure are pinned by the
+        # golden fixture shared with tests/bdd/test_golden_shapes.py.
         parity = x0 ^ x1 ^ x2
-        assert parity.count_nodes() == 7
+        with open(GOLDEN_SHAPES / "parity3.json", encoding="utf-8") as handle:
+            golden = json.load(handle)
+        assert parity.count_nodes() == golden["total_nodes"]
+        assert dag_export([parity]) == golden["dag"]
         assert manager.true.count_nodes() == 1
 
     def test_top_var_and_children(self):

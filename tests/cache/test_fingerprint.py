@@ -14,10 +14,7 @@ from repro import QuantumCircuit
 from repro.cache import circuit_fingerprint, gate_token, gate_tokens
 from repro.circuit.gates import Gate, GateKind
 from repro.circuit.transforms import expand_swaps, fingerprint_normal_form
-
-
-def ghz(name="ghz"):
-    return QuantumCircuit(3, name=name).h(0).cx(0, 1).cx(1, 2)
+from tests.conftest import ghz
 
 
 class TestInvariance:
@@ -25,8 +22,8 @@ class TestInvariance:
         assert circuit_fingerprint(ghz()) == circuit_fingerprint(ghz())
 
     def test_name_is_cosmetic(self):
-        assert (circuit_fingerprint(ghz("alpha"))
-                == circuit_fingerprint(ghz("beta")))
+        assert (circuit_fingerprint(ghz(name="alpha"))
+                == circuit_fingerprint(ghz(name="beta")))
 
     def test_copy_is_identical(self):
         circuit = ghz().measure_all()

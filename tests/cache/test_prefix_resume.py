@@ -8,21 +8,11 @@ import repro
 from repro import QuantumCircuit, SessionPool
 from repro.cache import gate_tokens
 from repro.engines.registry import create_engine
+from tests.conftest import layered
 
 
 def deterministic(result):
     return json.dumps(result.to_dict(timings=False), sort_keys=True)
-
-
-def layered(n=4, layers=2, name="layered"):
-    circuit = QuantumCircuit(n, name=name)
-    for _ in range(layers):
-        for qubit in range(n):
-            circuit.h(qubit)
-        for qubit in range(n - 1):
-            circuit.cx(qubit, qubit + 1)
-        circuit.t(0)
-    return circuit
 
 
 def extend(circuit, name="extended"):

@@ -14,13 +14,7 @@ from repro.cache import (
 )
 from repro.engines.base import DEFAULT_AUTO_REORDER_THRESHOLD
 from repro.engines.result import STATUS_TIMEOUT, RunResult
-
-
-def ghz(n=3, name="ghz"):
-    circuit = QuantumCircuit(n, name=name).h(0)
-    for qubit in range(n - 1):
-        circuit.cx(qubit, qubit + 1)
-    return circuit
+from tests.conftest import ghz
 
 
 def deterministic(result):

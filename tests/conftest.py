@@ -3,6 +3,11 @@
 The central helper is :func:`build_circuit_from_ops`, which turns a compact
 op-list description into a :class:`QuantumCircuit`; property-based tests use
 it to generate random circuits hypothesis can shrink meaningfully.
+
+The module also hosts the canonical named circuit generators (:func:`ghz`,
+:func:`layered`, :func:`clifford_mix`, :func:`universal_mix`) shared by the
+engine, cache, substrate and chaos suites — one definition per shape, so a
+"GHZ" or "random Clifford" circuit means the same thing everywhere.
 """
 
 from __future__ import annotations
@@ -76,6 +81,73 @@ def random_ops(num_qubits: int, num_gates: int, seed: int,
         qubits = tuple(rng.sample(range(num_qubits), OP_ARITY[mnemonic]))
         ops.append((mnemonic, qubits))
     return ops
+
+
+def ghz(n: int = 3, name: str = None, measure: bool = False) -> QuantumCircuit:
+    """The n-qubit GHZ preparation (H then a CX ladder).
+
+    ``measure=True`` appends terminal measurement markers on every qubit —
+    the sampling suites' convention; the cache and substrate suites use the
+    bare unitary form.
+    """
+    circuit = QuantumCircuit(n, name=name or f"ghz{n}").h(0)
+    for qubit in range(n - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit.measure_all() if measure else circuit
+
+
+def layered(n: int = 4, layers: int = 2, name: str = "layered") -> QuantumCircuit:
+    """Alternating H-wall / CX-ladder / T layers (the prefix-resume shape)."""
+    circuit = QuantumCircuit(n, name=name)
+    for _ in range(layers):
+        for qubit in range(n):
+            circuit.h(qubit)
+        for qubit in range(n - 1):
+            circuit.cx(qubit, qubit + 1)
+        circuit.t(0)
+    return circuit
+
+
+def clifford_mix(n: int, seed: int, measure: bool = True) -> QuantumCircuit:
+    """A random Clifford circuit of ``4 * n`` gates (deterministic from
+    ``seed``), measured on every qubit by default."""
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(n, name=f"clifford{n}_s{seed}")
+    for _ in range(4 * n):
+        choice = rng.randrange(4)
+        if choice == 0:
+            circuit.h(rng.randrange(n))
+        elif choice == 1:
+            circuit.s(rng.randrange(n))
+        elif choice == 2:
+            circuit.x(rng.randrange(n))
+        else:
+            a = rng.randrange(n)
+            b = rng.randrange(n - 1)
+            circuit.cx(a, b if b < a else b + 1)
+    return circuit.measure_all() if measure else circuit
+
+
+def universal_mix(n: int, seed: int, measure: bool = True) -> QuantumCircuit:
+    """A random Clifford+T circuit of ``3 * n`` gates (deterministic from
+    ``seed``), measured on every qubit by default."""
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(n, name=f"universal{n}_s{seed}")
+    for _ in range(3 * n):
+        choice = rng.randrange(5)
+        if choice == 0:
+            circuit.h(rng.randrange(n))
+        elif choice == 1:
+            circuit.t(rng.randrange(n))
+        elif choice == 2:
+            circuit.s(rng.randrange(n))
+        elif choice == 3:
+            circuit.x(rng.randrange(n))
+        else:
+            a = rng.randrange(n)
+            b = rng.randrange(n - 1)
+            circuit.cx(a, b if b < a else b + 1)
+    return circuit.measure_all() if measure else circuit
 
 
 def assert_states_close(left: np.ndarray, right: np.ndarray, tol: float = 1e-9) -> None:

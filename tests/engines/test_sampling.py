@@ -19,59 +19,15 @@ import pytest
 from repro.circuit.circuit import QuantumCircuit
 from repro.engines import create_engine, run, run_sweep
 from repro.baselines.statevector import StatevectorSimulator
+from tests.conftest import clifford_mix, universal_mix
+from tests.conftest import ghz as _ghz
 
 ALL_ENGINES = ("bitslice", "qmdd", "statevector", "stabilizer")
 
 
 def ghz(n, name=None):
-    circuit = QuantumCircuit(n, name=name or f"ghz{n}").h(0)
-    for qubit in range(n - 1):
-        circuit.cx(qubit, qubit + 1)
-    return circuit.measure_all()
-
-
-def clifford_mix(n, seed):
-    """A random Clifford circuit (deterministic from ``seed``)."""
-    import random
-
-    rng = random.Random(seed)
-    circuit = QuantumCircuit(n, name=f"clifford{n}_s{seed}")
-    for _ in range(4 * n):
-        choice = rng.randrange(4)
-        if choice == 0:
-            circuit.h(rng.randrange(n))
-        elif choice == 1:
-            circuit.s(rng.randrange(n))
-        elif choice == 2:
-            circuit.x(rng.randrange(n))
-        else:
-            a = rng.randrange(n)
-            b = rng.randrange(n - 1)
-            circuit.cx(a, b if b < a else b + 1)
-    return circuit.measure_all()
-
-
-def universal_mix(n, seed):
-    """A random Clifford+T circuit (deterministic from ``seed``)."""
-    import random
-
-    rng = random.Random(seed)
-    circuit = QuantumCircuit(n, name=f"universal{n}_s{seed}")
-    for _ in range(3 * n):
-        choice = rng.randrange(5)
-        if choice == 0:
-            circuit.h(rng.randrange(n))
-        elif choice == 1:
-            circuit.t(rng.randrange(n))
-        elif choice == 2:
-            circuit.s(rng.randrange(n))
-        elif choice == 3:
-            circuit.x(rng.randrange(n))
-        else:
-            a = rng.randrange(n)
-            b = rng.randrange(n - 1)
-            circuit.cx(a, b if b < a else b + 1)
-    return circuit.measure_all()
+    """Measured GHZ — this module samples, so markers are always present."""
+    return _ghz(n, name=name, measure=True)
 
 
 class TestCrossEngineAgreement:

@@ -37,8 +37,9 @@ from repro.service.protocol import (
     SubmitRun,
 )
 from repro.workloads.random_circuits import generate_random_circuit
+from tests.conftest import ghz
 
-QUICK = QuantumCircuit(2, name="quick").h(0).cx(0, 1)
+QUICK = ghz(2, name="quick")
 #: ~0.2 s bit-sliced — long enough that concurrent submissions pile up.
 MODERATE = accuracy_circuit(6, 8)
 

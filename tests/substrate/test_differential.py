@@ -1,0 +1,295 @@
+"""Differential proof that the BDD substrates are interchangeable.
+
+The substrate contract (see ``docs/substrate.md``): the ``dict``, ``array``
+and ``compiled`` backends produce **node-for-node identical DAGs** — same
+node ids, same (var, low, high) triples, same free lists, same peaks — for
+the same sequence of operations, because node ids are a pure function of
+find-or-create order and every backend preserves that order.  This module
+*proves* the contract differentially:
+
+* hypothesis-generated random circuits run on every backend and the raw
+  storage columns are compared entry-for-entry,
+* the adversarial regimes that broke early drafts (GC every gate, eviction
+  pressure, dynamic reordering) are pinned explicitly,
+* end-to-end: ``repro.run`` serialisations are byte-identical and fixed-seed
+  sampled counts are equal across backends,
+* the registry's backend-selection and fallback rules are pinned.
+
+The compiled backend is exercised through :class:`CompiledBddManager`
+directly (its pure-Python interpreted kernel path), so the differential
+guarantee holds with or without numba installed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.bdd import (
+    ArrayBddManager,
+    BddManager,
+    DEFAULT_SUBSTRATE,
+    SUBSTRATES,
+    available_substrates,
+    create_manager,
+    resolve_substrate,
+)
+from repro.core.simulator import BitSliceSimulator
+from tests.conftest import OP_ARITY, build_circuit_from_ops, ghz, random_ops
+
+try:  # the kernel module needs numpy; the suite runs without it otherwise
+    from repro.bdd._compiled import HAS_NUMBA, CompiledBddManager
+except ImportError:  # pragma: no cover - numpy-less environments
+    CompiledBddManager = None
+    HAS_NUMBA = False
+
+#: (backend name, manager factory) pairs under differential test.  The
+#: compiled manager is constructed directly — without numba its kernel runs
+#: interpreted, which is exactly the semantics the differential harness
+#: must prove equal.
+BACKENDS = [("dict", BddManager), ("array", ArrayBddManager)]
+if CompiledBddManager is not None:
+    BACKENDS.append(("compiled", CompiledBddManager))
+
+NUM_QUBITS = 4
+
+
+def storage_snapshot(manager):
+    """The raw node store as plain lists: the strongest equality there is.
+
+    Node-for-node identity means the (var, low, high) columns agree at every
+    id, the recycled-slot free list agrees element-for-element (order
+    included — it feeds future id assignment), and the unique table lists
+    the same node ids in the same insertion order (which fixes the GC sweep
+    order).  The unique *keys* are backend-specific encodings of the same
+    triples — packed ints on the array backends — so only the id sequence is
+    compared; the triples themselves are covered by the columns.
+    """
+    return {
+        "var": list(manager._var),
+        "low": list(manager._low),
+        "high": list(manager._high),
+        "free": list(manager._free),
+        "unique": list(manager._unique.values()),
+    }
+
+
+def run_on_backend(factory, circuit, auto_gc_threshold=None,
+                   auto_reorder_threshold=None):
+    """Execute ``circuit`` on a fresh manager from ``factory``."""
+    manager = factory(circuit.num_qubits)
+    if auto_gc_threshold is not None:
+        manager.auto_gc_threshold = auto_gc_threshold
+    simulator = BitSliceSimulator(
+        circuit.num_qubits, manager=manager,
+        auto_reorder_threshold=auto_reorder_threshold)
+    simulator.run(circuit)
+    return simulator
+
+
+def assert_same_dag(simulators):
+    """Assert every simulator's manager holds the identical node store."""
+    reference = storage_snapshot(simulators[0].state.manager)
+    for simulator in simulators[1:]:
+        snapshot = storage_snapshot(simulator.state.manager)
+        for field in reference:
+            assert snapshot[field] == reference[field], field
+    peaks = {sim.peak_nodes for sim in simulators}
+    assert len(peaks) == 1
+    amplitudes = {sim.amplitude(0) for sim in simulators}
+    assert len(amplitudes) == 1
+
+
+@st.composite
+def op_lists(draw, max_size=24):
+    size = draw(st.integers(min_value=0, max_value=max_size))
+    usable = [m for m in OP_ARITY if OP_ARITY[m] <= NUM_QUBITS]
+    ops = []
+    for _ in range(size):
+        mnemonic = draw(st.sampled_from(usable))
+        qubits = draw(st.permutations(list(range(NUM_QUBITS))))
+        ops.append((mnemonic, tuple(qubits[:OP_ARITY[mnemonic]])))
+    return ops
+
+
+class TestDifferentialRandomCircuits:
+    """Hypothesis-driven node-for-node equality across all backends."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(op_lists())
+    def test_same_dag_on_random_circuits(self, ops):
+        circuit = build_circuit_from_ops(NUM_QUBITS, ops)
+        assert_same_dag([run_on_backend(factory, circuit)
+                         for _, factory in BACKENDS])
+
+    @settings(max_examples=10, deadline=None)
+    @given(op_lists())
+    def test_same_dag_under_gc_every_gate(self, ops):
+        """auto_gc_threshold=1 forces a sweep at every gate boundary, so id
+        recycling (the free list) is exercised constantly — the regime that
+        distinguishes true id-identity from mere isomorphism."""
+        circuit = build_circuit_from_ops(NUM_QUBITS, ops)
+        assert_same_dag([run_on_backend(factory, circuit, auto_gc_threshold=1)
+                         for _, factory in BACKENDS])
+
+    @settings(max_examples=10, deadline=None)
+    @given(op_lists())
+    def test_same_dag_under_reordering(self, ops):
+        """A tiny reorder threshold makes growth-triggered sifting fire; the
+        in-place swaps must rewire every backend's columns identically."""
+        circuit = build_circuit_from_ops(NUM_QUBITS, ops)
+        assert_same_dag([run_on_backend(factory, circuit,
+                                        auto_reorder_threshold=8)
+                         for _, factory in BACKENDS])
+
+
+class TestDifferentialPinnedRegimes:
+    """Named adversarial circuits (the ones that broke development drafts)."""
+
+    def test_ghz_ladder(self):
+        assert_same_dag([run_on_backend(factory, ghz(8))
+                         for _, factory in BACKENDS])
+
+    def test_deep_random_circuit(self):
+        circuit = build_circuit_from_ops(6, random_ops(6, 120, seed=7),
+                                         name="deep6")
+        assert_same_dag([run_on_backend(factory, circuit)
+                         for _, factory in BACKENDS])
+
+    def test_gc_and_reorder_combined(self):
+        circuit = build_circuit_from_ops(5, random_ops(5, 80, seed=23),
+                                         name="squeeze5")
+        assert_same_dag([run_on_backend(factory, circuit,
+                                        auto_gc_threshold=64,
+                                        auto_reorder_threshold=32)
+                         for _, factory in BACKENDS])
+
+
+class TestEndToEndIdentity:
+    """The user-visible consequences of DAG identity."""
+
+    @pytest.mark.parametrize("substrate", ["array", "auto", "compiled"])
+    def test_run_serialisation_is_byte_identical(self, substrate):
+        circuit = ghz(6)
+        cold = repro.run(circuit, engine="bitslice", substrate="dict")
+        other = repro.run(circuit, engine="bitslice", substrate=substrate)
+        assert (json.dumps(other.to_dict(timings=False), sort_keys=True)
+                == json.dumps(cold.to_dict(timings=False), sort_keys=True))
+
+    def test_peak_memory_nodes_identical(self):
+        circuit = build_circuit_from_ops(5, random_ops(5, 60, seed=3))
+        peaks = {repro.run(circuit, engine="bitslice",
+                           substrate=name).peak_memory_nodes
+                 for name in available_substrates()}
+        assert len(peaks) == 1
+
+    def test_fixed_seed_counts_identical(self):
+        circuit = ghz(5, measure=True)
+        counts = [repro.run(circuit, engine="bitslice", substrate=name,
+                            shots=128, seed=11).counts
+                  for name in available_substrates()]
+        assert all(c == counts[0] for c in counts[1:])
+        assert sum(counts[0].values()) == 128
+
+    def test_backend_gauge_reports_selection(self):
+        circuit = ghz(3)
+        assert repro.run(circuit, engine="bitslice",
+                         substrate="dict").extra["substrate_backend"] == 0
+        assert repro.run(circuit, engine="bitslice",
+                         substrate="array").extra["substrate_backend"] == 1
+
+
+class TestBackendSelection:
+    """Registry resolution and the no-numba fallback contract."""
+
+    def test_default_is_dict(self):
+        assert DEFAULT_SUBSTRATE == "dict"
+        assert resolve_substrate(None) == "dict"
+        assert isinstance(create_manager(2), BddManager)
+        assert not isinstance(create_manager(2), ArrayBddManager)
+
+    def test_registry_names(self):
+        assert set(SUBSTRATES) == {"dict", "array", "compiled"}
+        assert set(available_substrates()) <= {"dict", "array", "compiled"}
+        assert "dict" in available_substrates()
+
+    def test_unknown_substrate_rejected(self):
+        with pytest.raises(ValueError, match="substrate"):
+            resolve_substrate("cudd")
+        with pytest.raises(ValueError, match="substrate"):
+            create_manager(2, substrate="cudd")
+
+    def test_array_selection(self):
+        manager = create_manager(3, substrate="array")
+        assert isinstance(manager, ArrayBddManager)
+        assert manager.substrate_name == "array"
+        assert manager.perf_stats()["backend"] == 1
+
+    def test_compiled_falls_back_without_numba(self):
+        """Requesting ``compiled`` must never fail: without numba it
+        resolves to the array backend (the fallback contract pinned by the
+        CI ``no-numba`` job)."""
+        resolved = resolve_substrate("compiled")
+        manager = create_manager(3, substrate="compiled")
+        if HAS_NUMBA:  # pragma: no cover - container has no numba
+            assert resolved == "compiled"
+            assert manager.substrate_name == "compiled"
+        else:
+            assert resolved == "array"
+            assert isinstance(manager, ArrayBddManager)
+            assert manager.substrate_name == "array"
+
+    def test_auto_prefers_compiled_only_with_numba(self):
+        expected = "compiled" if HAS_NUMBA else "dict"
+        assert resolve_substrate("auto") == expected
+
+    def test_capability_flag_and_default_configure(self):
+        from repro.engines.registry import create_engine
+
+        bitslice = create_engine("bitslice")
+        dense = create_engine("statevector")
+        assert bitslice.capabilities.supports_compiled_substrate
+        assert not dense.capabilities.supports_compiled_substrate
+        assert bitslice.configure_substrate("array")
+        assert not dense.configure_substrate("array")
+
+    def test_mixed_engine_sweep_accepts_substrate(self):
+        results = repro.run_sweep([ghz(3)],
+                                  engines=["bitslice", "statevector"],
+                                  substrate="array")
+        assert [r.status for r in results] == ["ok", "ok"]
+        assert results[0].extra["substrate_backend"] == 1
+
+
+@pytest.mark.skipif(CompiledBddManager is None,
+                    reason="compiled kernel module needs numpy")
+class TestCompiledManager:
+    """Compiled-specific behaviour: counters, fallback, jit gating."""
+
+    def test_kernel_counters_surface(self):
+        simulator = run_on_backend(CompiledBddManager, ghz(6))
+        stats = simulator.state.manager.perf_stats()
+        assert stats["backend"] == 2
+        assert stats["compiled_calls"] > 0
+        assert stats["compiled_fallbacks"] == 0
+        run_stats = simulator.statistics()
+        assert run_stats["substrate_compiled_calls"] == stats["compiled_calls"]
+
+    def test_jit_true_requires_numba(self):
+        if HAS_NUMBA:  # pragma: no cover - container has no numba
+            CompiledBddManager(2, jit=True)
+        else:
+            with pytest.raises(ImportError, match="numba"):
+                CompiledBddManager(2, jit=True)
+
+    def test_reset_perf_counters_clears_compiled_counters(self):
+        manager = CompiledBddManager(3)
+        a, b = manager.var(0), manager.var(1)
+        manager.apply_and(a.node, b.node)
+        assert manager.perf_stats()["compiled_calls"] > 0
+        manager.reset_perf_counters()
+        assert manager.perf_stats()["compiled_calls"] == 0
+        assert manager.perf_stats()["compiled_fallbacks"] == 0

@@ -1,0 +1,111 @@
+"""Unit tests for ``scripts/check_bench_regression.py``.
+
+The regression gate is itself gated here: the comparison rules (timing
+threshold, deterministic-metric drift, missing families) and the markdown
+job summary — in particular that benchmarks present only in the run report
+are reported as **new** (a family awaiting its ``--update`` baseline entry),
+never as failures and never mislabelled as tracked.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+SCRIPT = (Path(__file__).resolve().parent.parent / "scripts"
+          / "check_bench_regression.py")
+
+
+@pytest.fixture(scope="module")
+def script():
+    spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                                  SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def baseline_of(entries):
+    return {"_meta": {}, "benchmarks": entries}  # no calibration rescaling
+
+
+class TestCheck:
+    def test_matching_run_passes(self, script):
+        entries = {"test_a": {"min_seconds": 0.01, "extra": {"nodes": 5}}}
+        failures, _, rows = script.check(dict(entries), baseline_of(entries),
+                                         threshold=1.25)
+        assert failures == []
+        assert [row["status"] for row in rows] == ["ok"]
+
+    def test_slowdown_beyond_threshold_fails(self, script):
+        base = {"test_a": {"min_seconds": 0.01, "extra": {}}}
+        run = {"test_a": {"min_seconds": 0.02, "extra": {}}}
+        failures, _, rows = script.check(run, baseline_of(base), threshold=1.25)
+        assert len(failures) == 1 and "exceeds allowed" in failures[0]
+        assert rows[0]["status"] == "REGRESSION"
+
+    def test_deterministic_metric_drift_fails(self, script):
+        base = {"test_a": {"min_seconds": 0.01, "extra": {"cache_misses": 7}}}
+        run = {"test_a": {"min_seconds": 0.01, "extra": {"cache_misses": 8}}}
+        failures, _, rows = script.check(run, baseline_of(base), threshold=1.25)
+        assert any("deterministic metric" in failure for failure in failures)
+        assert rows[0]["status"] == "metric drift"
+
+    def test_baseline_family_missing_from_run_fails(self, script):
+        base = {"test_gone": {"min_seconds": 0.01, "extra": {}}}
+        failures, _, rows = script.check({}, baseline_of(base), threshold=1.25)
+        assert any("missing from the run report" in failure
+                   for failure in failures)
+        assert rows[0]["status"] == "missing"
+
+    def test_run_only_benchmark_is_new_not_a_failure(self, script):
+        """A benchmark that exists only in the run report is a *new* family
+        (its baseline entry lands with --update) — the gate must stay green
+        and the row must say so."""
+        run = {"test_fresh": {"min_seconds": 0.01, "extra": {"nodes": 3}}}
+        failures, notes, rows = script.check(run, baseline_of({}),
+                                             threshold=1.25)
+        assert failures == []
+        assert [row["status"] for row in rows] == ["new"]
+        assert any("new benchmark" in note and "--update" in note
+                   for note in notes)
+
+
+class TestMarkdownSummary:
+    def render(self, script, rows, notes=(), tmp_path=None):
+        destination = tmp_path / "summary.md"
+        script.write_markdown_summary(rows, list(notes), destination)
+        return destination.read_text(encoding="utf-8")
+
+    def test_new_benchmark_row_lists_as_new(self, script, tmp_path):
+        run = {"test_fresh": {"min_seconds": 0.01, "extra": {}}}
+        _, notes, rows = script.check(run, baseline_of({}), threshold=1.25)
+        text = self.render(script, rows, notes, tmp_path)
+        assert "| `test_fresh` |" in text
+        assert "| new |" in text
+        assert "untracked" not in text
+        # No baseline time yet: the baseline and delta cells are em-dashes.
+        row_line = next(line for line in text.splitlines()
+                        if "test_fresh" in line)
+        assert row_line.count("—") >= 2
+
+    def test_tracked_row_shows_delta(self, script, tmp_path):
+        entries = {"test_a": {"min_seconds": 0.01,
+                              "extra": {"nodes_before": 50,
+                                        "nodes_after": 20}}}
+        _, notes, rows = script.check(dict(entries), baseline_of(entries),
+                                      threshold=1.25)
+        text = self.render(script, rows, notes, tmp_path)
+        assert "| `test_a` |" in text
+        assert "+0.0%" in text
+        assert "50→20" in text  # the reordering before→after cell
+
+    def test_summary_appends(self, script, tmp_path):
+        destination = tmp_path / "summary.md"
+        destination.write_text("existing content\n", encoding="utf-8")
+        script.write_markdown_summary([], [], destination)
+        text = destination.read_text(encoding="utf-8")
+        assert text.startswith("existing content\n")
+        assert "## Benchmark delta vs committed baseline" in text
