@@ -51,6 +51,7 @@ NAV: List[Tuple[str, str]] = [
     ("Result & prefix caching", "caching.md"),
     ("Simulation service", "service.md"),
     ("Resilience & fault injection", "resilience.md"),
+    ("Checkpointing & snapshots", "checkpointing.md"),
     ("Writing an engine", "engine-authors.md"),
     ("Performance counters", "perf-counters.md"),
     ("API reference", "api.md"),
@@ -88,6 +89,7 @@ API_MODULES = [
     "repro.resilience.faults",
     "repro.resilience.retry",
     "repro.resilience.journal",
+    "repro.snapshot",
 ]
 
 #: Extra individual symbols that must be documented even though their home

@@ -38,6 +38,11 @@ SliQSim simulator), together with every substrate it depends on:
   injection for reproducible chaos tests, retry/backoff with decorrelated
   jitter, and the crash-safe sweep journal (``run_sweep(journal=...)``).
 
+* :mod:`repro.snapshot` — versioned, checksummed state snapshots: the
+  serialisation behind ``run(..., checkpoint_every=...)`` resumable runs
+  and the server's restart-surviving sessions
+  (``Server(checkpoint_dir=...)``); see ``docs/checkpointing.md``.
+
 The most common entry points are re-exported here::
 
     import repro
@@ -102,6 +107,19 @@ from repro.service import (
 # fingerprints, the retry policy classifies service error codes).
 from repro.resilience import FaultPlan, FaultRule, RetryPolicy, SweepJournal
 
+# Snapshots serialise live engine state; the module depends only on the
+# BDD substrate and the core simulator, but is grouped with the
+# robustness surface it powers (checkpointed runs, restartable sessions).
+from repro.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotCorruptError,
+    dump_manager,
+    dump_simulator,
+    load_manager,
+    load_simulator,
+    snapshot_info,
+)
+
 __version__ = "0.1.0"
 
 __all__ = [
@@ -137,6 +155,13 @@ __all__ = [
     "FaultRule",
     "RetryPolicy",
     "SweepJournal",
+    "SNAPSHOT_VERSION",
+    "SnapshotCorruptError",
+    "dump_manager",
+    "dump_simulator",
+    "load_manager",
+    "load_simulator",
+    "snapshot_info",
     "JobCancelledError",
     "NumericalError",
     "SimulationError",

@@ -66,6 +66,7 @@ class BitSliceEngine(Engine):
         supports_reordering=True,
         supports_prefix_resume=True,
         supports_compiled_substrate=True,
+        supports_snapshots=True,
         description="Exact algebraic amplitudes in bit-sliced BDDs "
                     "(SliQSim); unbounded qubit counts, memory scales with "
                     "state structure.",
@@ -129,6 +130,33 @@ class BitSliceEngine(Engine):
         self._gates_applied = gates_already_applied
         self._simulator = payload
         self._sampler_stats = {}
+
+    def export_snapshot(self, path: str, extra=None) -> bool:
+        """Serialise the live :class:`BitSliceSimulator` to ``path``
+        atomically (see :func:`repro.snapshot.dump_simulator`); the
+        restored manager storage is column-for-column identical, which is
+        what makes a resumed run byte-identical to an uninterrupted one.
+        Returns ``False`` when nothing is prepared yet."""
+        if self._simulator is None:
+            return False
+        from repro.snapshot import dump_simulator
+
+        dump_simulator(self._simulator, path, extra=extra)
+        return True
+
+    def restore_snapshot(self, path: str):
+        """Adopt the simulator snapshot at ``path`` in place of
+        :meth:`prepare` and return the caller's ``extra`` dict.  A damaged
+        file raises :class:`repro.snapshot.SnapshotCorruptError` and
+        leaves the engine untouched."""
+        from repro.snapshot import load_simulator
+
+        simulator, extra = load_simulator(path)
+        self._prepared_at = time.perf_counter()
+        self._gates_applied = simulator.gates_applied
+        self._simulator = simulator
+        self._sampler_stats = {}
+        return extra
 
     def apply(self, gate: Gate) -> None:
         _reject_stream_dynamic(gate)

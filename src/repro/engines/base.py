@@ -151,6 +151,14 @@ class Capabilities:
     #: when this is set and silently ignored otherwise, so mixed-engine
     #: sweeps stay valid.
     supports_compiled_substrate: bool = False
+    #: True when the engine can serialise its prepared state to a
+    #: crash-safe snapshot file (:meth:`Engine.export_snapshot`) and adopt
+    #: one back (:meth:`Engine.restore_snapshot`), which is what lets the
+    #: front door's ``checkpoint_every=`` resume a killed run and the
+    #: service rehydrate warm sessions after a restart
+    #: (:mod:`repro.snapshot`).  Engines without the capability degrade
+    #: gracefully: checkpoint requests are ignored rather than refused.
+    supports_snapshots: bool = False
 
     def supports_gate(self, gate: Gate) -> bool:
         """True when the engine can apply this specific gate instance."""
@@ -351,6 +359,38 @@ class Engine(abc.ABC):
         raise UnsupportedGateError(
             f"engine {self.capabilities.name!r} does not support prefix "
             f"resume (Capabilities.supports_prefix_resume is False)")
+
+    # -- crash-safe snapshots (checkpoint / resume) ------------------------ #
+    def export_snapshot(self, path: str, extra=None) -> bool:
+        """Write the engine's current state to a snapshot file.
+
+        Engines declaring ``capabilities.supports_snapshots`` serialise
+        their prepared state to ``path`` atomically (see
+        :mod:`repro.snapshot`) and return ``True``; ``extra`` is an
+        arbitrary JSON-compatible dict stored verbatim for the calling
+        layer.  Safe only at a gate boundary.  The default ignores the
+        request and returns ``False`` — the same graceful-degradation
+        contract as :meth:`configure_reordering`, so one
+        ``checkpoint_every=`` flag is safe to pass to every engine of a
+        mixed sweep.
+        """
+        return False
+
+    def restore_snapshot(self, path: str):
+        """Adopt the snapshot at ``path`` as the prepared state.
+
+        Replaces :meth:`prepare` on a resumed run: the engine must behave
+        exactly as if it had just executed the snapshotted gate prefix
+        itself.  Returns the ``extra`` dict given to
+        :meth:`export_snapshot`.  Raises
+        :class:`repro.snapshot.SnapshotCorruptError` on a damaged file
+        (never restores garbage) and
+        :class:`~repro.exceptions.UnsupportedGateError` on engines
+        without ``capabilities.supports_snapshots``.
+        """
+        raise UnsupportedGateError(
+            f"engine {self.capabilities.name!r} does not support snapshots "
+            f"(Capabilities.supports_snapshots is False)")
 
     # -- statistics ------------------------------------------------------ #
     def statistics(self) -> Dict[str, float]:

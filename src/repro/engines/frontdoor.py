@@ -35,6 +35,9 @@ for.  See ``docs/caching.md``.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import re
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -168,6 +171,109 @@ def _suffix_circuit(circuit: QuantumCircuit, depth: int) -> QuantumCircuit:
     return suffix
 
 
+def checkpoint_file(directory: Union[str, os.PathLike], key: str) -> str:
+    """The deterministic checkpoint path for logical run ``key``.
+
+    The filename embeds a sanitised prefix of the key (human-greppable) and
+    a hash of the full key (collision-proof across keys that sanitise
+    alike), so every process — the original run, a resumed run, a journal
+    pointer written at dispatch — computes the same path without
+    coordination.
+    """
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", key)[:80] or "run"
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:12]
+    return os.path.join(os.fspath(directory), f"{safe}-{digest}.ckpt")
+
+
+def _checkpoint_spec(checkpoint_every) -> Tuple[Optional[int],
+                                                Optional[float]]:
+    """Normalise ``checkpoint_every`` to ``(gate_interval, seconds_interval)``.
+
+    An ``int`` checkpoints every N gates, a ``float`` every S wall-clock
+    seconds, a 2-tuple ``(gates, seconds)`` on whichever triggers first
+    (either element may be ``None``).
+    """
+    if isinstance(checkpoint_every, bool):
+        raise ValueError("checkpoint_every must be an int (gates), float "
+                         "(seconds) or (gates, seconds) tuple, not a bool")
+    if isinstance(checkpoint_every, int):
+        gates, seconds = checkpoint_every, None
+    elif isinstance(checkpoint_every, float):
+        gates, seconds = None, checkpoint_every
+    elif isinstance(checkpoint_every, tuple) and len(checkpoint_every) == 2:
+        gates, seconds = checkpoint_every
+    else:
+        raise ValueError("checkpoint_every must be an int (gates), float "
+                         "(seconds) or (gates, seconds) tuple")
+    if gates is not None and (isinstance(gates, bool)
+                              or not isinstance(gates, int) or gates <= 0):
+        raise ValueError("checkpoint gate interval must be a positive int")
+    if seconds is not None and not (isinstance(seconds, (int, float))
+                                    and not isinstance(seconds, bool)
+                                    and seconds > 0):
+        raise ValueError("checkpoint seconds interval must be positive")
+    if gates is None and seconds is None:
+        raise ValueError("checkpoint_every=(None, None) disables nothing — "
+                         "pass checkpoint_every=None instead")
+    return gates, None if seconds is None else float(seconds)
+
+
+class _Checkpointer:
+    """Gate-boundary checkpoint writer for one :func:`run` invocation.
+
+    Rides the limit enforcer's ``after_gate`` hook (after the budget poll,
+    so a timed-out or cancelled run never writes on the way out) and
+    rewrites one crash-safe snapshot at ``path`` whenever the gate-count or
+    wall-clock interval elapses.  The snapshot's ``extra`` carries the
+    logical ``key``, the circuit ``fingerprint`` and ``gates_done``, which
+    is everything a resuming run needs to validate the file against its
+    own request before trusting it.
+    """
+
+    def __init__(self, instance, path: str, key: str, fingerprint: str,
+                 gate_interval: Optional[int],
+                 seconds_interval: Optional[float]):
+        self.instance = instance
+        self.path = path
+        self.key = key
+        self.fingerprint = fingerprint
+        self.gate_interval = gate_interval
+        self.seconds_interval = seconds_interval
+        self.gates_done = 0
+        self.written = 0
+        self._last_gates = 0
+        self._last_time = time.perf_counter()
+
+    def seed_depth(self, depth: int) -> None:
+        """Start gate accounting at ``depth`` (checkpoint/session resume)."""
+        self.gates_done = depth
+        self._last_gates = depth
+
+    def after_gate(self) -> None:
+        self.gates_done += 1
+        due = (self.gate_interval is not None
+               and self.gates_done - self._last_gates >= self.gate_interval)
+        if not due and self.seconds_interval is not None:
+            due = (time.perf_counter() - self._last_time
+                   >= self.seconds_interval)
+        if not due:
+            return
+        if self.instance.export_snapshot(self.path, extra={
+                "key": self.key, "fingerprint": self.fingerprint,
+                "gates_done": self.gates_done}):
+            self.written += 1
+        self._last_gates = self.gates_done
+        self._last_time = time.perf_counter()
+
+    def discard(self) -> None:
+        """Remove the checkpoint file (the run reached a result; the
+        snapshot is now a stale prefix of a finished computation)."""
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass
+
+
 def _materialise_hit(hit: RunResult, circuit: QuantumCircuit,
                      requested_engine: str, elapsed: float) -> RunResult:
     """Rebrand a cache hit as the answer to *this* request.
@@ -194,7 +300,10 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
         substrate: Optional[str] = None,
         cache: Optional[ResultCache] = None,
         sessions: Optional[SessionPool] = None,
-        cancel=None) -> RunResult:
+        cancel=None,
+        checkpoint_every=None,
+        checkpoint_dir: Union[str, os.PathLike, None] = None,
+        checkpoint_key: Optional[str] = None) -> RunResult:
     """Run ``circuit`` on ``engine`` under ``limits``; classify the outcome.
 
     ``engine`` may be a canonical name (``"bitslice"``, ``"qmdd"``,
@@ -267,6 +376,28 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
     released on the way out (the ``repro.service`` scheduler relies on
     this to cancel queued and running jobs without poisoning the session
     pool).
+
+    ``checkpoint_every`` makes the run **crash-safe** on engines declaring
+    ``Capabilities.supports_snapshots`` (the bit-sliced engine): an ``int``
+    writes a versioned, checksummed snapshot of the live state to
+    ``checkpoint_dir`` every N gates, a ``float`` every S wall-clock
+    seconds, a ``(gates, seconds)`` tuple on whichever elapses first.  A
+    later identical request finding a valid checkpoint (same circuit
+    fingerprint, plausible depth) restores it and executes only the
+    unexecuted suffix — with the same ``seed`` the resumed result's
+    ``to_dict(timings=False)`` is byte-identical to an uninterrupted run,
+    sampled counts included.  A torn or corrupt checkpoint is *skipped*
+    (``extra["checkpoint_corrupt_skipped"]``), never fatal and never
+    restored as garbage; engines without the capability, and dynamic
+    circuits (whose trajectories are collapse-dependent), degrade
+    gracefully to ordinary uncheckpointed runs.  ``checkpoint_key`` names
+    the logical run (defaulting to the circuit fingerprint) — sweeps pass
+    their journal task key so each task owns one file; the file is removed
+    once the run reaches ``ok``, and kept on TO/MO so a retry under a
+    bigger budget resumes instead of restarting.  Provenance lands in
+    ``extra`` (``resumed_from_checkpoint``, ``checkpoints_written``),
+    excluded from deterministic serialisation.  See
+    ``docs/checkpointing.md``.
     """
     limits = limits or ResourceLimits()
     if shots is not None and shots < 0:
@@ -288,13 +419,54 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
         instance.configure_reordering(threshold)
     if substrate is not None:
         instance.configure_substrate(substrate)
+    ckpt: Optional[_Checkpointer] = None
+    resume_depth: Optional[int] = None
+    corrupt_skipped = 0
+    if checkpoint_every is not None:
+        if checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        gate_interval, seconds_interval = _checkpoint_spec(checkpoint_every)
+        if (instance.capabilities.supports_snapshots
+                and not circuit.has_dynamic_ops()):
+            from repro.cache.fingerprint import circuit_fingerprint
+            from repro.snapshot import SnapshotCorruptError
+
+            fingerprint = circuit_fingerprint(circuit)
+            key = checkpoint_key if checkpoint_key is not None else fingerprint
+            os.makedirs(checkpoint_dir, exist_ok=True)
+            path = checkpoint_file(checkpoint_dir, key)
+            ckpt = _Checkpointer(instance, path, key, fingerprint,
+                                 gate_interval, seconds_interval)
+            if os.path.exists(path):
+                try:
+                    loaded = instance.restore_snapshot(path)
+                except SnapshotCorruptError:
+                    # A torn or bit-flipped checkpoint is skipped, never
+                    # fatal and never restored as garbage: the run simply
+                    # starts cold and overwrites it at the next interval.
+                    corrupt_skipped = 1
+                else:
+                    depth = (loaded.get("gates_done")
+                             if isinstance(loaded, dict) else None)
+                    if (isinstance(loaded, dict)
+                            and loaded.get("fingerprint") == fingerprint
+                            and isinstance(depth, int)
+                            and not isinstance(depth, bool)
+                            and 0 <= depth <= circuit.num_gates):
+                        resume_depth = depth
+                        ckpt.seed_depth(depth)
+                    # A stale checkpoint (another circuit's, or deeper than
+                    # this circuit) is ignored; prepare() below discards
+                    # the restored state.
     prefix_eligible = (sessions is not None
                        and instance.capabilities.supports_prefix_resume
                        and not circuit.has_dynamic_ops())
     tokens = gate_tokens(circuit) if prefix_eligible else ()
     norm_reorder = normalise_reorder(reorder)
     lease: Optional[SessionLease] = None
-    if prefix_eligible:
+    if prefix_eligible and resume_depth is None:
+        # A valid checkpoint beats a session match: it resumes *this exact
+        # run* at full depth, not a shared prefix.
         lease = sessions.match(circuit.num_qubits, tokens, norm_reorder)
     rng = None
     if shots is not None or circuit.has_dynamic_ops():
@@ -318,17 +490,28 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
                 counts_width = max(circuit.num_clbits, 1)
             else:
                 enforcer = LimitEnforcer(instance, limits, cancel_token=cancel)
-                if lease is not None:
+                after_gate = ckpt.after_gate if ckpt is not None else None
+                if resume_depth is not None:
+                    # The checkpoint restore above already installed the
+                    # prefix's exact state (gate and peak-node accounting
+                    # included); drive only the unexecuted suffix.
+                    enforcer.execute_prepared(
+                        _suffix_circuit(circuit, resume_depth), rng=rng,
+                        after_gate=after_gate)
+                elif lease is not None:
                     # Resume from the leased fork and execute only the
                     # unexecuted suffix — the fork carries the prefix's
                     # cumulative gate and peak-node accounting, so the
                     # statistics below match the equivalent cold run.
                     instance.resume_session(lease.fork,
                                             gates_already_applied=lease.depth)
+                    if ckpt is not None:
+                        ckpt.seed_depth(lease.depth)
                     enforcer.execute_prepared(
-                        _suffix_circuit(circuit, lease.depth), rng=rng)
+                        _suffix_circuit(circuit, lease.depth), rng=rng,
+                        after_gate=after_gate)
                 else:
-                    enforcer.execute(circuit, rng=rng)
+                    enforcer.execute(circuit, rng=rng, after_gate=after_gate)
                 if shots is not None:
                     counts, counts_width = _sample_static(instance, circuit,
                                                           shots, rng)
@@ -355,6 +538,8 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
                      and isinstance(value, (int, float))}
             if lease is not None:
                 extra["resumed_from_depth"] = lease.depth
+            if resume_depth is not None:
+                extra["resumed_from_checkpoint"] = resume_depth
         except SimulationTimeout as exc:
             status, detail = STATUS_TIMEOUT, str(exc)
         except (SimulationMemoryExceeded, MemoryError) as exc:
@@ -373,6 +558,16 @@ def run(circuit: QuantumCircuit, engine: str = AUTO_ENGINE,
             status = STATUS_TIMEOUT
             detail = (f"completed in {elapsed:.1f}s, over the "
                       f"{limits.max_seconds:.1f}s budget")
+        if ckpt is not None:
+            if ckpt.written:
+                extra["checkpoints_written"] = ckpt.written
+            if corrupt_skipped:
+                extra["checkpoint_corrupt_skipped"] = corrupt_skipped
+            if status == STATUS_OK:
+                # The run has its answer; the checkpoint is a stale prefix.
+                # TO/MO keep theirs — a retry under a bigger budget resumes
+                # from the deepest checkpoint instead of restarting.
+                ckpt.discard()
         if status == STATUS_OK and prefix_eligible:
             exported = instance.export_session()
             if exported is not None:
@@ -424,11 +619,16 @@ def derive_task_seed(seed: Optional[int], index: int) -> Optional[int]:
 def _run_task(task: Tuple[str, QuantumCircuit, Optional[int], Optional[int]],
               limits: Optional[ResourceLimits],
               reorder: Union[bool, int, None] = None,
-              substrate: Optional[str] = None) -> RunResult:
+              substrate: Optional[str] = None,
+              checkpoint_every=None,
+              checkpoint_dir=None,
+              checkpoint_key: Optional[str] = None) -> RunResult:
     """Process-pool worker: one (engine, circuit, shots, seed) task."""
     engine, circuit, shots, seed = task
     return run(circuit, engine=engine, limits=limits, shots=shots, seed=seed,
-               reorder=reorder, substrate=substrate)
+               reorder=reorder, substrate=substrate,
+               checkpoint_every=checkpoint_every,
+               checkpoint_dir=checkpoint_dir, checkpoint_key=checkpoint_key)
 
 
 def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
@@ -441,7 +641,10 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
               cache: Optional[ResultCache] = None,
               sessions: Optional[SessionPool] = None,
               journal=None,
-              cancel=None) -> List[RunResult]:
+              cancel=None,
+              checkpoint_every=None,
+              checkpoint_dir: Union[str, os.PathLike, None] = None
+              ) -> List[RunResult]:
     """Execute (engine, circuit) tasks, optionally on process workers.
 
     ``jobs <= 1`` runs serially in-process.  With ``jobs > 1`` the tasks are
@@ -485,37 +688,71 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
     journalled sweep that is cancelled — or killed outright — resumes from
     its manifest.
 
+    ``checkpoint_every`` / ``checkpoint_dir`` checkpoint each *in-flight*
+    task mid-circuit exactly as in :func:`run` — complementing the
+    journal's per-task granularity with per-gate granularity: a sweep
+    SIGKILLed 4 000 gates into task 7 resumes by replaying tasks 0-6 from
+    the manifest *and* restoring task 7's snapshot rather than re-running
+    its prefix.  Every task gets its own deterministic checkpoint file,
+    keyed by the same ``index:engine:fingerprint:...`` key the journal
+    uses; with a journal, pointer records
+    (:meth:`~repro.resilience.journal.SweepJournal.record_checkpoint`) make
+    the manifest name each in-flight task's snapshot.  The resumed sweep's
+    deterministic serialisation stays byte-identical to an uninterrupted
+    run.
+
     Engines registered at import time (everything in :mod:`repro.engines`
     and any module imported before the pool starts) are available in the
     workers; engines registered dynamically inside a ``__main__`` script are
     only visible to forked workers (the POSIX default), not spawned ones.
     """
+    if checkpoint_every is not None and checkpoint_dir is None:
+        raise ValueError("checkpoint_every requires checkpoint_dir")
+    checkpointing = checkpoint_every is not None
     specs = [(engine, circuit, shots, derive_task_seed(seed, index))
              for index, (engine, circuit) in enumerate(tasks)]
     results: List[Optional[RunResult]] = [None] * len(specs)
-    journal_keys: List[Optional[str]] = [None] * len(specs)
-    if journal is not None:
+    task_keys: List[Optional[str]] = [None] * len(specs)
+    if journal is not None or checkpointing:
         # Imported lazily: journalling is opt-in and the resilience package
-        # sits above the engines in the dependency order.
+        # sits above the engines in the dependency order.  Checkpointing
+        # borrows the journal's task key so each task owns one
+        # deterministic checkpoint file across crashed and resumed sweeps.
         from repro.resilience.journal import open_journal, task_key
 
-        journal = open_journal(journal)
         for index, (engine_name, circuit, task_shots, task_seed) \
                 in enumerate(specs):
-            journal_keys[index] = task_key(index, engine_name, circuit,
-                                           task_shots, task_seed, reorder)
-            results[index] = journal.lookup(journal_keys[index])
+            task_keys[index] = task_key(index, engine_name, circuit,
+                                        task_shots, task_seed, reorder)
+    if journal is not None:
+        journal = open_journal(journal)
+        for index in range(len(specs)):
+            results[index] = journal.lookup(task_keys[index])
+
+    def note_dispatch(index: int) -> None:
+        # A pointer record lands in the manifest before the task runs, so
+        # a crash mid-task leaves the journal naming the snapshot that the
+        # resumed sweep will restore instead of re-running the prefix.
+        if journal is not None and checkpointing:
+            journal.record_checkpoint(
+                task_keys[index],
+                checkpoint_file(checkpoint_dir, task_keys[index]))
+
     if jobs <= 1 or len(specs) <= 1:
         for index, (engine_name, circuit, task_shots, task_seed) \
                 in enumerate(specs):
             if results[index] is not None:
                 continue
+            note_dispatch(index)
             result = run(circuit, engine=engine_name, limits=limits,
                          shots=task_shots, seed=task_seed, reorder=reorder,
                          substrate=substrate, cache=cache, sessions=sessions,
-                         cancel=cancel)
+                         cancel=cancel,
+                         checkpoint_every=checkpoint_every,
+                         checkpoint_dir=checkpoint_dir,
+                         checkpoint_key=task_keys[index])
             if journal is not None:
-                journal.record(journal_keys[index], result)
+                journal.record(task_keys[index], result)
             results[index] = result
         return results
     keys: List[Optional[object]] = [None] * len(specs)
@@ -546,7 +783,7 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
                 results[index] = _materialise_hit(hit, circuit, engine_name,
                                                   0.0)
                 if journal is not None:
-                    journal.record(journal_keys[index], results[index])
+                    journal.record(task_keys[index], results[index])
                 continue
             if key in owners:
                 aliases.append((index, key))
@@ -560,16 +797,20 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
     if pending:
         if cancel is not None and cancel.is_set():
             raise JobCancelledError("cancelled before parallel dispatch")
+        for index in pending:
+            note_dispatch(index)
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = [(index, pool.submit(_run_task, specs[index], limits,
-                                           reorder, substrate))
+                                           reorder, substrate,
+                                           checkpoint_every, checkpoint_dir,
+                                           task_keys[index]))
                        for index in pending]
             for index, future in futures:
                 result = future.result()
                 if keys[index] is not None:
                     cache.store(keys[index], result)
                 if journal is not None:
-                    journal.record(journal_keys[index], result)
+                    journal.record(task_keys[index], result)
                 results[index] = result
     for index, key in aliases:
         engine_name, circuit, _, _ = specs[index]
@@ -580,9 +821,10 @@ def run_tasks(tasks: Sequence[Tuple[str, QuantumCircuit]],
             # The owning task finished with a non-cacheable outcome (TO/MO);
             # reproduce it for this request the ordinary way.
             results[index] = _run_task(specs[index], limits, reorder,
-                                       substrate)
+                                       substrate, checkpoint_every,
+                                       checkpoint_dir, task_keys[index])
         if journal is not None:
-            journal.record(journal_keys[index], results[index])
+            journal.record(task_keys[index], results[index])
     return results
 
 
@@ -597,7 +839,10 @@ def run_sweep(circuits: Sequence[QuantumCircuit],
               cache: Optional[ResultCache] = None,
               sessions: Optional[SessionPool] = None,
               journal=None,
-              cancel=None) -> List[RunResult]:
+              cancel=None,
+              checkpoint_every=None,
+              checkpoint_dir: Union[str, os.PathLike, None] = None
+              ) -> List[RunResult]:
     """Run every circuit on every engine (circuit-major order).
 
     Returns ``len(circuits) * len(engines)`` results ordered as
@@ -609,10 +854,15 @@ def run_sweep(circuits: Sequence[QuantumCircuit],
     results are backend-invariant), ``cache`` /
     ``sessions`` amortise repeated work across the grid, ``journal``
     makes the grid crash-safe (a killed sweep resumes byte-identically
-    from its manifest), and ``cancel`` cancels the grid cooperatively —
-    all exactly as in :func:`run_tasks`.
+    from its manifest), ``checkpoint_every`` / ``checkpoint_dir``
+    additionally checkpoint each in-flight run mid-circuit (a SIGKILLed
+    grid resumes the interrupted task from its snapshot rather than
+    re-running its prefix), and ``cancel`` cancels the grid cooperatively
+    — all exactly as in :func:`run_tasks`.
     """
     tasks = [(engine, circuit) for circuit in circuits for engine in engines]
     return run_tasks(tasks, limits=limits, jobs=jobs, shots=shots, seed=seed,
                      reorder=reorder, substrate=substrate, cache=cache,
-                     sessions=sessions, journal=journal, cancel=cancel)
+                     sessions=sessions, journal=journal, cancel=cancel,
+                     checkpoint_every=checkpoint_every,
+                     checkpoint_dir=checkpoint_dir)

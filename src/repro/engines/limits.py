@@ -96,7 +96,22 @@ class LimitEnforcer:
         self._start_time = time.perf_counter()
         self._cancel_token = cancel_token
 
-    def execute(self, circuit: QuantumCircuit, rng=None, cancel_token=None):
+    def _gate_hook(self, after_gate):
+        """The between-gates callback: always the budget/cancel poll, plus
+        an optional caller hook (the front door's checkpoint writer) that
+        runs *after* the poll, so a timed-out or cancelled run never writes
+        one more checkpoint on the way out."""
+        if after_gate is None:
+            return self.check
+
+        def hook():
+            self.check()
+            after_gate()
+
+        return hook
+
+    def execute(self, circuit: QuantumCircuit, rng=None, cancel_token=None,
+                after_gate=None):
         """Prepare the engine for ``circuit`` and execute every instruction
         under the budgets; returns the engine for chaining.
 
@@ -106,6 +121,9 @@ class LimitEnforcer:
         conditions) are interpreted by
         :func:`repro.engines.dynamic.execute_program` drawing from ``rng``;
         the final classical register lands in :attr:`classical_bits`.
+        ``after_gate`` is an optional zero-argument callable invoked at
+        every gate boundary after the budget poll (the front door's
+        checkpoint writer rides here).
         """
         from repro.engines.dynamic import execute_program
 
@@ -114,20 +132,24 @@ class LimitEnforcer:
         self.engine.prepare(circuit, self.limits)
         self.check()
         self.classical_bits = execute_program(self.engine, circuit, rng=rng,
-                                              after_gate=self.check)
+                                              after_gate=self._gate_hook(
+                                                  after_gate))
         return self.engine
 
     def execute_prepared(self, circuit: QuantumCircuit, rng=None,
-                         cancel_token=None):
+                         cancel_token=None, after_gate=None):
         """Execute ``circuit``'s instructions on an engine that is *already*
         prepared, under the budgets; returns the engine for chaining.
 
         The prefix-resume path uses this: the engine adopted a retained
-        session state via :meth:`~repro.engines.base.Engine.resume_session`,
-        so only the unexecuted suffix is driven here — re-preparing would
-        throw the resumed state away.  Budgets are enforced exactly as in
+        session state via :meth:`~repro.engines.base.Engine.resume_session`
+        (or a checkpoint via
+        :meth:`~repro.engines.base.Engine.restore_snapshot`), so only the
+        unexecuted suffix is driven here — re-preparing would throw the
+        resumed state away.  Budgets are enforced exactly as in
         :meth:`execute` (a new job is opened on entry, both budgets and the
-        cancel token are checked immediately and after every instruction).
+        cancel token are checked immediately and after every instruction),
+        and ``after_gate`` hooks the same gate boundaries.
         """
         from repro.engines.dynamic import execute_program
 
@@ -135,7 +157,8 @@ class LimitEnforcer:
                        if cancel_token is not None else self._cancel_token)
         self.check()
         self.classical_bits = execute_program(self.engine, circuit, rng=rng,
-                                              after_gate=self.check)
+                                              after_gate=self._gate_hook(
+                                                  after_gate))
         return self.engine
 
     def elapsed_seconds(self) -> float:

@@ -41,6 +41,9 @@ PROVENANCE_EXTRA_KEYS = frozenset({
     "manager_live_nodes",
     "gates_applied",
     "journal_replayed",
+    "resumed_from_checkpoint",
+    "checkpoints_written",
+    "checkpoint_corrupt_skipped",
 })
 
 #: Prefix marking the BDD substrate's per-manager work counters in

@@ -19,11 +19,23 @@ Crash-safety invariants:
 * Each record is flushed *and fsynced* before the runner reports the task
   complete, so a journalled task genuinely survives power loss.
 * Loading tolerates a truncated or garbled trailing line (the interrupted
-  write) by skipping it — the task simply reruns.
+  write) by skipping it — the task simply reruns.  A final line whose JSON
+  is *complete* but merely lacks its trailing newline (the crash happened
+  between the payload write and the newline reaching disk) is a valid
+  record and is kept; appends are newline-safe, terminating such a line
+  before writing so the next record never glues onto it.
 * The key includes the per-task derived seed and the circuit fingerprint,
   so editing the task list between runs invalidates exactly the tasks that
   changed; the ``index`` component keeps repeated identical tasks in one
   sweep distinct.
+
+Checkpoint composition (see ``docs/checkpointing.md``): a sweep running
+with both ``journal=`` and ``checkpoint_every=`` also appends **pointer
+records** — ``{"v": 1, "key": ..., "checkpoint": {"path": ...}}`` — when a
+task starts checkpointing, so the manifest records where each in-flight
+task's snapshot lives.  On resume, replay prefers restoring that snapshot
+over re-executing the task's prefix; a journalled *result* for the same
+key always wins over a pointer (the task is already done).
 
 The journal deliberately records *every* terminal status — a ``TO`` under
 given limits is as deterministic as an ``ok`` and equally not worth
@@ -80,6 +92,7 @@ class SweepJournal:
         self.path = os.fspath(path)
         self._lock = threading.Lock()
         self._entries: Dict[str, dict] = {}
+        self._checkpoints: Dict[str, str] = {}
         self._skipped_lines = 0
         self._load()
 
@@ -89,6 +102,10 @@ class SweepJournal:
         except FileNotFoundError:
             return
         with handle:
+            # Iterating lines keeps a final line that lacks its trailing
+            # newline: completeness is judged by the JSON parse below, not
+            # by the terminator — a record whose newline never reached disk
+            # is still a finished record.
             for line in handle:
                 line = line.strip()
                 if not line:
@@ -98,15 +115,25 @@ class SweepJournal:
                     if record.get("v") != JOURNAL_VERSION:
                         raise ValueError("unknown journal version")
                     key = record["key"]
-                    # Validate eagerly so a corrupt record is discovered at
-                    # load time (and rerun), not mid-replay.
-                    RunResult.from_wire(record["result"])
+                    if not isinstance(key, str):
+                        raise ValueError("non-string journal key")
+                    if "result" in record:
+                        # Validate eagerly so a corrupt record is discovered
+                        # at load time (and rerun), not mid-replay.
+                        RunResult.from_wire(record["result"])
+                    else:
+                        pointer = record["checkpoint"]
+                        if not isinstance(pointer.get("path"), str):
+                            raise ValueError("malformed checkpoint pointer")
                 except (ValueError, KeyError, TypeError, AttributeError):
                     # A truncated/garbled line — almost always the final
                     # line of a crashed run.  Skip it; the task reruns.
                     self._skipped_lines += 1
                     continue
-                self._entries[key] = record["result"]
+                if "result" in record:
+                    self._entries[key] = record["result"]
+                else:
+                    self._checkpoints[key] = record["checkpoint"]["path"]
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -147,13 +174,60 @@ class SweepJournal:
                 return
             from repro.resilience.faults import FAULT_JOURNAL_WRITE, maybe_fire
             maybe_fire(FAULT_JOURNAL_WRITE)
-            line = json.dumps({"v": JOURNAL_VERSION, "key": key,
-                               "result": payload}, sort_keys=True)
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
+            self._append_line(json.dumps({"v": JOURNAL_VERSION, "key": key,
+                                          "result": payload},
+                                         sort_keys=True))
             self._entries[key] = payload
+
+    def record_checkpoint(self, key: str, path: Union[str, os.PathLike]) -> None:
+        """Append a checkpoint-pointer record: task ``key`` is in flight
+        and its crash-safe snapshot lives at ``path``.
+
+        Idempotent per ``(key, path)``, and never recorded once ``key`` has
+        a journalled *result* (the pointer would be stale noise — the task
+        is done and its checkpoint file already removed).
+        """
+        path = os.fspath(path)
+        with self._lock:
+            if key in self._entries or self._checkpoints.get(key) == path:
+                return
+            self._append_line(json.dumps(
+                {"v": JOURNAL_VERSION, "key": key,
+                 "checkpoint": {"path": path}}, sort_keys=True))
+            self._checkpoints[key] = path
+
+    def latest_checkpoint(self, key: str) -> Optional[str]:
+        """The journalled checkpoint path for an unfinished task ``key``
+        (``None`` when the task never checkpointed or already has a
+        result).  The file may no longer exist or may be torn — callers
+        must treat it as a *hint* and validate on restore."""
+        with self._lock:
+            if key in self._entries:
+                return None
+            return self._checkpoints.get(key)
+
+    def _append_line(self, text: str) -> None:
+        """Append one record line, flushed and fsynced.
+
+        Newline-safe: when a crashed writer left the file's final line
+        unterminated, the missing newline is written first, so a complete
+        trailing record is preserved instead of being garbled by this
+        append (the load path accepts such a line as a valid record).
+        """
+        payload = text.encode("utf-8") + b"\n"
+        try:
+            with open(self.path, "rb") as tail:
+                tail.seek(0, os.SEEK_END)
+                if tail.tell():
+                    tail.seek(-1, os.SEEK_END)
+                    if tail.read(1) != b"\n":
+                        payload = b"\n" + payload
+        except FileNotFoundError:
+            pass
+        with open(self.path, "ab") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
 
     def keys(self):
         """The journalled task keys (a snapshot list)."""

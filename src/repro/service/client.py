@@ -457,7 +457,9 @@ class Client:
     def health(self) -> Dict[str, Any]:
         """The server's degradation snapshot: ``state`` (``ok`` /
         ``draining``), queue depth and capacity, running jobs, worker
-        liveness, live sessions and uptime."""
+        liveness, live sessions, uptime and the session-checkpoint gauges
+        (on-disk snapshots, sessions restored at startup, seconds since
+        the last snapshot write — ``-1`` when none)."""
         reply = self._retrying(HealthRequest(), accept=(HealthReply,))
         return {"state": reply.state,
                 "queue_depth": reply.queue_depth,
@@ -466,7 +468,10 @@ class Client:
                 "workers": reply.workers,
                 "workers_alive": reply.workers_alive,
                 "sessions": reply.sessions,
-                "uptime_seconds": reply.uptime_seconds}
+                "uptime_seconds": reply.uptime_seconds,
+                "checkpointed_sessions": reply.checkpointed_sessions,
+                "restored_sessions": reply.restored_sessions,
+                "checkpoint_age_seconds": reply.checkpoint_age_seconds}
 
     def watch(self, interval: float = 1.0,
               count: Optional[int] = None) -> Iterator[Dict[str, Any]]:
@@ -733,7 +738,10 @@ class AsyncClient:
                 "workers": reply.workers,
                 "workers_alive": reply.workers_alive,
                 "sessions": reply.sessions,
-                "uptime_seconds": reply.uptime_seconds}
+                "uptime_seconds": reply.uptime_seconds,
+                "checkpointed_sessions": reply.checkpointed_sessions,
+                "restored_sessions": reply.restored_sessions,
+                "checkpoint_age_seconds": reply.checkpoint_age_seconds}
 
     async def cancel(self, job_id: str) -> str:
         """Async mirror of :meth:`Client.cancel`."""

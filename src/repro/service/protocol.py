@@ -513,7 +513,14 @@ class HealthReply(Message):
     """Degradation snapshot: ``state`` (``"ok"`` or ``"draining"``), queue
     depth/capacity, running-job and worker-liveness gauges, live session
     count and uptime.  ``workers_alive < workers`` marks a degraded pool
-    (possible only if worker-crash isolation itself failed)."""
+    (possible only if worker-crash isolation itself failed).
+
+    The checkpoint gauges (all defaulted, so the wire stays compatible
+    with peers predating them): ``checkpointed_sessions`` counts session
+    snapshot files currently on disk, ``restored_sessions`` how many this
+    process rehydrated at startup, and ``checkpoint_age_seconds`` the time
+    since the last snapshot write (``-1`` when this process has not
+    written one — including when checkpointing is off)."""
 
     state: str = "ok"
     queue_depth: int = 0
@@ -523,12 +530,17 @@ class HealthReply(Message):
     workers_alive: int = 0
     sessions: int = 0
     uptime_seconds: float = 0.0
+    checkpointed_sessions: int = 0
+    restored_sessions: int = 0
+    checkpoint_age_seconds: float = -1.0
 
     kind: ClassVar[str] = "health_reply"
     _WIRE: ClassVar[Tuple[Tuple[str, str], ...]] = (
         ("state", "raw"), ("queue_depth", "raw"), ("queue_capacity", "raw"),
         ("running", "raw"), ("workers", "raw"), ("workers_alive", "raw"),
-        ("sessions", "raw"), ("uptime_seconds", "raw"))
+        ("sessions", "raw"), ("uptime_seconds", "raw"),
+        ("checkpointed_sessions", "raw"), ("restored_sessions", "raw"),
+        ("checkpoint_age_seconds", "raw"))
 
 
 @dataclass

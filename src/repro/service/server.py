@@ -113,6 +113,16 @@ class Server:
     applies to requests that carry no budgets of their own; ``cache`` /
     ``session_pool`` default to fresh process-wide instances and may be
     shared with an embedding process.
+
+    ``checkpoint_dir`` makes sessions **survive restarts**: after every
+    committed append the session's warm state is snapshotted (atomically,
+    checksummed — :mod:`repro.snapshot`) under
+    ``<checkpoint_dir>/sessions/<session_id>.ckpt``, and :meth:`start`
+    rehydrates every valid snapshot it finds — the restored session keeps
+    its pre-restart id and its very next append resumes from the restored
+    warm state.  A stale or corrupt snapshot is counted
+    (``snapshot_sessions_skipped``) and skipped, never fatal; closing a
+    session removes its snapshot, so a clean shutdown leaks nothing.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
@@ -122,10 +132,17 @@ class Server:
                  default_limits: Optional[ResourceLimits] = None,
                  cache: Optional[ResultCache] = None,
                  session_pool: Optional[SessionPool] = None,
-                 counters: Optional[PerfCounters] = None):
+                 counters: Optional[PerfCounters] = None,
+                 checkpoint_dir: Union[str, os.PathLike, None] = None):
         self.host = host
         self.port = port
         self.unix_path = unix_path
+        self.checkpoint_dir = (None if checkpoint_dir is None
+                               else os.fspath(checkpoint_dir))
+        self._session_ckpt_dir = (
+            None if self.checkpoint_dir is None
+            else os.path.join(self.checkpoint_dir, "sessions"))
+        self._last_checkpoint_at: Optional[float] = None
         self.default_limits = default_limits or ResourceLimits()
         self.counters = counters if counters is not None else PerfCounters()
         self.cache = cache if cache is not None else ResultCache()
@@ -159,9 +176,11 @@ class Server:
         return (self.host, self.port)
 
     async def start(self) -> None:
-        """Start the worker pool and begin accepting connections."""
+        """Start the worker pool, rehydrate checkpointed sessions, and
+        begin accepting connections."""
         self.scheduler.start()
         self._started_at = time.perf_counter()
+        self._restore_sessions()
         if self.unix_path is not None:
             # A stale socket file (previous process crashed before its
             # cleanup ran) would fail the bind; nothing is listening on it
@@ -231,6 +250,131 @@ class Server:
                 pass
 
     # ------------------------------------------------------------------ #
+    # session checkpointing
+    # ------------------------------------------------------------------ #
+    def _session_checkpoint_path(self, session_id: str) -> str:
+        return os.path.join(self._session_ckpt_dir, f"{session_id}.ckpt")
+
+    def _checkpoint_session(self, session, cumulative) -> None:
+        """Snapshot ``session``'s post-append warm state to disk.
+
+        Runs on the worker thread, under the session lock, right after the
+        append committed: the session pool just deposited the cumulative
+        circuit's state, so a full-depth lease hands back a private fork
+        to serialise (the chain lock it holds keeps the shared manager
+        still while :func:`~repro.snapshot.dump_simulator` walks it).  Any
+        failure is counted and swallowed — checkpointing degrades, appends
+        never fail because of it.
+        """
+        if self._session_ckpt_dir is None:
+            return
+        from repro.cache.fingerprint import gate_tokens
+        from repro.snapshot import dump_simulator
+
+        tokens = tuple(gate_tokens(cumulative))
+        lease = self.session_pool.match(session.num_qubits, tokens, None)
+        if lease is None or lease.depth != len(tokens):
+            # No full-depth warm state to serialise (non-snapshot engine,
+            # pool eviction, or a busy chain) — skip, don't block.
+            if lease is not None:
+                lease.release()
+            self.counters.add("snapshot_session_write_skips")
+            return
+        try:
+            os.makedirs(self._session_ckpt_dir, exist_ok=True)
+            dump_simulator(
+                lease.fork, self._session_checkpoint_path(session.session_id),
+                extra={"session_id": session.session_id,
+                       "engine": session.engine,
+                       "num_qubits": session.num_qubits,
+                       "appends": session.appends,
+                       "circuit": protocol.circuit_to_wire(cumulative),
+                       "limits": protocol.limits_to_wire(session.limits)})
+        except Exception:  # noqa: BLE001 - degradation, never append failure
+            self.counters.add("snapshot_session_write_failures")
+        else:
+            self.counters.add("snapshot_session_writes")
+            self._last_checkpoint_at = time.perf_counter()
+        finally:
+            lease.release()
+
+    def _restore_sessions(self) -> None:
+        """Rehydrate every valid session snapshot in the checkpoint dir.
+
+        Each file restores to a registered session under its pre-restart
+        id with its warm state deposited back into the pool, so the first
+        post-restart append resumes instead of replaying from ``|0>``.
+        Torn, corrupt or inconsistent files — and ids that no longer fit
+        the registry — are counted as ``snapshot_sessions_skipped`` and
+        left on disk for inspection; rehydration is never fatal.
+        """
+        if self._session_ckpt_dir is None:
+            return
+        from repro.cache.fingerprint import gate_tokens
+        from repro.snapshot import SnapshotCorruptError, load_simulator
+
+        os.makedirs(self._session_ckpt_dir, exist_ok=True)
+        for name in sorted(os.listdir(self._session_ckpt_dir)):
+            if not name.endswith(".ckpt"):
+                continue
+            path = os.path.join(self._session_ckpt_dir, name)
+            try:
+                simulator, extra = load_simulator(path)
+                session_id = extra["session_id"]
+                num_qubits = int(extra["num_qubits"])
+                circuit = protocol.circuit_from_wire(extra["circuit"])
+                if not isinstance(session_id, str):
+                    raise ValueError("non-string session id")
+                if name != f"{session_id}.ckpt":
+                    raise ValueError("session checkpoint filename mismatch")
+                if (circuit.num_qubits != num_qubits
+                        or simulator.state.num_qubits != num_qubits):
+                    raise ValueError("checkpointed session shape mismatch")
+                limits = protocol.limits_from_wire(extra.get("limits"))
+            except (SnapshotCorruptError, ProtocolError, KeyError,
+                    TypeError, ValueError, OSError):
+                self.counters.add("snapshot_sessions_skipped")
+                continue
+            session = self.sessions.adopt_restored(
+                session_id, num_qubits, str(extra.get("engine", "bitslice")),
+                limits or self.default_limits, circuit,
+                int(extra.get("appends", 0)))
+            if session is None:
+                self.counters.add("snapshot_sessions_skipped")
+                continue
+            manager = simulator.state.manager
+            self.session_pool.deposit(
+                num_qubits, tuple(gate_tokens(circuit)), None, simulator,
+                lambda m=manager: m.cache_generation)
+            self.counters.add("snapshot_sessions_restored")
+
+    def _discard_session_checkpoint(self, session_id: str) -> None:
+        if self._session_ckpt_dir is None:
+            return
+        try:
+            os.remove(self._session_checkpoint_path(session_id))
+        except OSError:
+            pass
+
+    def _checkpoint_gauges(self) -> Dict[str, Any]:
+        """The health/stats checkpoint gauges (zeros when checkpointing is
+        off, so the surface shape is stable)."""
+        files = 0
+        if self._session_ckpt_dir is not None:
+            try:
+                files = sum(1 for name in os.listdir(self._session_ckpt_dir)
+                            if name.endswith(".ckpt"))
+            except OSError:
+                files = 0
+        age = (-1.0 if self._last_checkpoint_at is None
+               else time.perf_counter() - self._last_checkpoint_at)
+        restored = int(self.counters.snapshot().get(
+            "snapshot_sessions_restored", 0))
+        return {"checkpointed_sessions": files,
+                "restored_sessions": restored,
+                "checkpoint_age_seconds": age}
+
+    # ------------------------------------------------------------------ #
     # admin snapshot
     # ------------------------------------------------------------------ #
     def stats_snapshot(self) -> Dict[str, Any]:
@@ -241,6 +385,7 @@ class Server:
         snapshot["state"] = self._state
         snapshot["live_sessions"] = len(self.sessions)
         snapshot["uptime_seconds"] = time.perf_counter() - self._started_at
+        snapshot.update(self._checkpoint_gauges())
         counters = PerfCounters(self.counters.snapshot())
         counters.update(self.session_pool.stats())
         counters.update(self.cache.stats())
@@ -251,6 +396,7 @@ class Server:
         """The ``health`` probe: state plus the liveness gauges, no
         counter bag (cheap enough for a tight load-balancer poll)."""
         stats = self.scheduler.stats()
+        gauges = self._checkpoint_gauges()
         return HealthReply(
             state=self._state,
             queue_depth=stats["queue_depth"],
@@ -259,7 +405,10 @@ class Server:
             workers=stats["workers"],
             workers_alive=self.scheduler.alive_workers(),
             sessions=len(self.sessions),
-            uptime_seconds=time.perf_counter() - self._started_at)
+            uptime_seconds=time.perf_counter() - self._started_at,
+            checkpointed_sessions=gauges["checkpointed_sessions"],
+            restored_sessions=gauges["restored_sessions"],
+            checkpoint_age_seconds=gauges["checkpoint_age_seconds"])
 
     # ------------------------------------------------------------------ #
     # connection handling
@@ -440,6 +589,8 @@ class Server:
                            msg_id)
             else:
                 self.counters.add("service_session_closes")
+                # A closed session must not rehydrate after a restart.
+                self._discard_session_checkpoint(session.session_id)
                 await send(SessionClosed(session.session_id,
                                          session.appends), msg_id)
         elif isinstance(request, ServerStatsRequest):
@@ -589,6 +740,11 @@ class Server:
                 if result.status == STATUS_OK:
                     session.advance(cumulative, result.status)
                     session.remember(request.idempotency_key, result)
+                    # Crash-safety: persist the committed state while the
+                    # session lock still covers it, so a SIGKILL after this
+                    # append restarts into a server that serves this very
+                    # session warm.
+                    self._checkpoint_session(session, cumulative)
                 return result
         await self._submit(fn, request, msg_id, send, conn_jobs,
                            deliver_tasks,
@@ -673,6 +829,16 @@ def serve_background(**kwargs) -> BackgroundServer:
             loop.run_until_complete(server.start())
         except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
             failure.append(exc)
+            # start() can fail after side effects landed — scheduler
+            # threads running, a unix socket file created by a bind that
+            # then errored.  stop() undoes both (it tolerates a listener
+            # that never registered), so a failed startup leaks neither a
+            # socket path that would break the next bind nor worker
+            # threads.
+            try:
+                loop.run_until_complete(server.stop())
+            except BaseException:  # noqa: BLE001 - best-effort cleanup
+                pass
             ready.set()
             loop.close()
             return
@@ -722,12 +888,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--drain-grace", type=float, default=10.0,
                         help="seconds a SIGINT/SIGTERM drain waits for "
                              "in-flight jobs before exiting (default 10)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="persist session snapshots here; a restarted "
+                             "server rehydrates them (see "
+                             "docs/checkpointing.md)")
     args = parser.parse_args(argv)
     server = Server(host=args.host, port=args.port, unix_path=args.unix,
                     queue_depth=args.queue_depth, workers=args.workers,
                     default_limits=ResourceLimits(
                         max_seconds=args.time_limit,
-                        max_nodes=args.node_limit))
+                        max_nodes=args.node_limit),
+                    checkpoint_dir=args.checkpoint_dir)
 
     async def _serve() -> None:
         await server.start()

@@ -24,7 +24,7 @@ that a cancelled job never leaves a session wedged.
 
 from __future__ import annotations
 
-import itertools
+import re
 import threading
 import time
 from collections import OrderedDict
@@ -161,7 +161,7 @@ class SessionRegistry:
         self.max_sessions = max_sessions
         self._lock = threading.Lock()
         self._sessions: "OrderedDict[str, ServiceSession]" = OrderedDict()
-        self._ids = itertools.count(1)
+        self._next_id = 1
 
     def open(self, num_qubits: int, engine: str = "bitslice",
              limits: Optional[ResourceLimits] = None) -> ServiceSession:
@@ -170,10 +170,47 @@ class SessionRegistry:
         with self._lock:
             if len(self._sessions) >= self.max_sessions:
                 raise SessionLimitError(self.max_sessions)
-            session = ServiceSession(f"s{next(self._ids)}", num_qubits,
+            session = ServiceSession(f"s{self._next_id}", num_qubits,
                                      engine, limits)
+            self._next_id += 1
             self._sessions[session.session_id] = session
             return session
+
+    def adopt(self, session: ServiceSession) -> bool:
+        """Register an already-built session under its *existing* id
+        (checkpoint rehydration: a restarted server re-registers the
+        sessions it restored, so pre-restart session ids keep working).
+
+        Returns False — never raises — when the registry is full or the id
+        is already live.  The id counter advances past every adopted
+        ``s<N>`` id, so sessions opened after a restart cannot collide
+        with restored ones.
+        """
+        with self._lock:
+            if (len(self._sessions) >= self.max_sessions
+                    or session.session_id in self._sessions):
+                return False
+            self._sessions[session.session_id] = session
+            match = re.fullmatch(r"s(\d+)", session.session_id)
+            if match:
+                self._next_id = max(self._next_id, int(match.group(1)) + 1)
+            return True
+
+    def adopt_restored(self, session_id: str, num_qubits: int, engine: str,
+                       limits: Optional[ResourceLimits],
+                       circuit: QuantumCircuit,
+                       appends: int) -> Optional[ServiceSession]:
+        """Rebuild a checkpointed session and :meth:`adopt` it: same id,
+        cumulative ``circuit`` and append count as before the restart.
+        Returns the live session, or ``None`` when adoption failed (full
+        registry / duplicate id)."""
+        session = ServiceSession(session_id, num_qubits, engine, limits)
+        session.circuit = circuit
+        session.appends = appends
+        session.last_status = "restored"
+        if not self.adopt(session):
+            return None
+        return session
 
     def get(self, session_id: str) -> Optional[ServiceSession]:
         """The live session with this id, or ``None``."""

@@ -21,13 +21,15 @@ from repro.service.client import Client, ServiceError
 
 def format_frame(stats: Dict[str, Any]) -> str:
     """One status line for a stats snapshot: queue occupancy, running jobs,
-    live sessions, cumulative request / reject / cancel counts and the
-    prefix-resume hit counter."""
+    live sessions, cumulative request / reject / cancel counts, the
+    prefix-resume hit counter and the session-checkpoint gauges
+    (``ckpt=<on-disk>/<restored>r@<age>``)."""
     counters = stats.get("counters", {})
 
     def count(name: str) -> int:
         return int(counters.get(name, 0))
 
+    age = float(stats.get("checkpoint_age_seconds", -1.0))
     return (f"q={stats.get('queue_depth', 0)}/"
             f"{stats.get('queue_capacity', 0)} "
             f"run={stats.get('running', 0)} "
@@ -37,6 +39,9 @@ def format_frame(stats: Dict[str, Any]) -> str:
             f"rejects={count('service_queue_rejects')} "
             f"cancelled={count('service_jobs_cancelled')} "
             f"prefix_hits={count('prefix_resume_hits')} "
+            f"ckpt={stats.get('checkpointed_sessions', 0)}"
+            f"/{stats.get('restored_sessions', 0)}r"
+            f"@{'-' if age < 0 else f'{age:.0f}s'} "
             f"up={float(stats.get('uptime_seconds', 0.0)):.0f}s")
 
 

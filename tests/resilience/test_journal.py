@@ -163,3 +163,81 @@ def test_open_journal_coercions(tmp_path):
     journal = SweepJournal(tmp_path / "j.jsonl")
     assert open_journal(journal) is journal
     assert isinstance(open_journal(tmp_path / "j2.jsonl"), SweepJournal)
+
+
+def test_complete_final_line_without_newline_is_kept(tmp_path):
+    """Regression: a crash after the final record's bytes but before its
+    newline used to drop a *complete* entry.  A parseable unterminated
+    final line now loads like any other record."""
+    path = tmp_path / "journal.jsonl"
+    run_tasks(_tasks(count=2), shots=4, seed=6, journal=path)
+    text = path.read_text()
+    assert text.endswith("\n")
+    path.write_text(text.rstrip("\n"))  # the torn-newline crash shape
+    journal = SweepJournal(path)
+    assert len(journal) == 2
+    assert journal.skipped_lines == 0
+    resumed = run_tasks(_tasks(count=2), shots=4, seed=6, journal=path)
+    assert all(r.extra.get("journal_replayed") for r in resumed)
+
+
+def test_append_after_unterminated_line_never_fuses_records(tmp_path):
+    """Appends are newline-safe: recording into a journal whose last line
+    lacks its newline first repairs the termination, so the new record
+    never concatenates onto the previous one."""
+    path = tmp_path / "journal.jsonl"
+    tasks = _tasks(count=3)
+    baseline = _deterministic(run_tasks(tasks, shots=4, seed=8))
+    run_tasks(tasks[:2], shots=4, seed=8, journal=path)
+    path.write_text(path.read_text().rstrip("\n"))
+    resumed = run_tasks(tasks, shots=4, seed=8, journal=path)
+    assert _deterministic(resumed) == baseline
+    # All three records load back individually — nothing fused.
+    journal = SweepJournal(path)
+    assert len(journal) == 3
+    assert journal.skipped_lines == 0
+    lines = path.read_text().splitlines()
+    assert len(lines) == 3
+    for line in lines:
+        json.loads(line)
+
+
+def test_checkpoint_pointer_records(tmp_path):
+    """Pointer records: idempotent per (key, path), superseded by a
+    result, invisible to ``len()`` and replay."""
+    path = tmp_path / "journal.jsonl"
+    tasks = _tasks(count=2)
+    journal = SweepJournal(path)
+    journal.record_checkpoint("task-a", "/ckpts/task-a.ckpt")
+    journal.record_checkpoint("task-a", "/ckpts/task-a.ckpt")  # no-op twin
+    assert journal.latest_checkpoint("task-a") == "/ckpts/task-a.ckpt"
+    assert len(journal) == 0
+    assert len(path.read_text().splitlines()) == 1
+    # The pointer survives a reload ...
+    reloaded = SweepJournal(path)
+    assert reloaded.latest_checkpoint("task-a") == "/ckpts/task-a.ckpt"
+    assert reloaded.skipped_lines == 0
+    # ... and a recorded result retires it.
+    results = run_tasks(tasks, shots=4, seed=9, journal=reloaded)
+    key = reloaded.keys()[0]
+    reloaded.record_checkpoint(key, "/ckpts/late.ckpt")  # after a result
+    assert reloaded.latest_checkpoint(key) is None
+    assert reloaded.lookup(key) is not None
+    assert _deterministic(run_tasks(tasks, shots=4, seed=9,
+                                    journal=path)) \
+        == _deterministic(results)
+
+
+def test_malformed_pointer_records_are_skipped(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = SweepJournal(path)
+    journal.record_checkpoint("good", "/ckpts/good.ckpt")
+    with open(path, "a") as handle:
+        handle.write(json.dumps({"v": 1, "key": "bad",
+                                 "checkpoint": {"path": 7}}) + "\n")
+        handle.write(json.dumps({"v": 1, "key": 3,
+                                 "checkpoint": {"path": "/x"}}) + "\n")
+    reloaded = SweepJournal(path)
+    assert reloaded.latest_checkpoint("good") == "/ckpts/good.ckpt"
+    assert reloaded.latest_checkpoint("bad") is None
+    assert reloaded.skipped_lines == 2

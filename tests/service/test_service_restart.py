@@ -1,0 +1,231 @@
+"""Service sessions that survive restarts (``Server(checkpoint_dir=...)``).
+
+The service face of the checkpointing tentpole: every committed append
+snapshots the session's warm state; a restarted server rehydrates the
+snapshots — same session ids, same cumulative circuits, and the very
+next append resumes *warm* (``resumed_from_depth``), byte-identical to a
+local cold run of the cumulative circuit.  Stale or corrupt snapshots
+are counted and skipped, never fatal; closing a session removes its
+file, so nothing leaks.  Also pins the ``serve_background`` startup-
+failure cleanup (no stale unix socket, no leaked worker threads).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+
+import pytest
+
+import repro
+from repro import Client, QuantumCircuit
+from repro.service import serve_background
+from repro.service.watch import format_frame
+from tests.conftest import ghz
+
+
+def session_dir(checkpoint_dir):
+    return os.path.join(checkpoint_dir, "sessions")
+
+
+def ckpt_files(checkpoint_dir):
+    directory = session_dir(checkpoint_dir)
+    if not os.path.isdir(directory):
+        return []
+    return sorted(os.listdir(directory))
+
+
+BASE = QuantumCircuit(4, name="base").h(0).cx(0, 1)
+DELTA = QuantumCircuit(4, name="delta").cx(1, 2).cx(2, 3)
+TAIL = QuantumCircuit(4, name="tail").t(0).h(3)
+
+
+def test_sessions_survive_restart_and_resume_warm(tmp_path):
+    ckpt_dir = str(tmp_path / "ckpts")
+    # --- first server lifetime: build up a session, then die hard. ---
+    with serve_background(workers=1, queue_depth=8,
+                          checkpoint_dir=ckpt_dir) as background:
+        with Client(background.address) as client:
+            session_id = client.open_session(4, engine="bitslice")
+            assert client.append(session_id, BASE).status == "ok"
+            assert client.append(session_id, DELTA).status == "ok"
+            health = client.health()
+            assert health["checkpointed_sessions"] == 1
+            assert health["restored_sessions"] == 0
+            assert health["checkpoint_age_seconds"] >= 0.0
+            counters = client.stats()["counters"]
+            assert counters.get("snapshot_session_writes", 0) == 2
+        # BackgroundServer.stop() is a hard stop: no drain, no close —
+        # the moral equivalent of SIGKILL for on-disk state.
+    assert ckpt_files(ckpt_dir) == [f"{session_id}.ckpt"]
+
+    # --- second lifetime: same checkpoint_dir, state comes back. ---
+    with serve_background(workers=1, queue_depth=8,
+                          checkpoint_dir=ckpt_dir) as background:
+        with Client(background.address) as client:
+            health = client.health()
+            assert health["restored_sessions"] == 1
+            counters = client.stats()["counters"]
+            assert counters.get("snapshot_sessions_restored", 0) == 1
+            assert counters.get("snapshot_sessions_skipped", 0) == 0
+            rows = client.sessions()
+            assert [row["session_id"] for row in rows] == [session_id]
+            assert rows[0]["appends"] == 2
+            assert rows[0]["gates"] == BASE.num_gates + DELTA.num_gates
+            # The next append resumes from the restored warm state ...
+            cumulative = BASE.copy(name="tail")
+            for gate in DELTA.gates:
+                cumulative.append(gate)
+            for gate in TAIL.gates:
+                cumulative.append(gate)
+            expected = repro.run(cumulative,
+                                 engine="bitslice").to_dict(timings=False)
+            result = client.append(session_id, TAIL)
+            assert result.status == "ok"
+            # ... warm: only TAIL's gates execute after the restored depth.
+            assert (result.extra["resumed_from_depth"]
+                    == BASE.num_gates + DELTA.num_gates)
+            assert result.to_dict(timings=False) == expected
+            # A new session never collides with a restored id.
+            fresh = client.open_session(4, engine="bitslice")
+            assert fresh != session_id
+            assert client.close_session(fresh) == 0
+            assert client.close_session(session_id) == 3
+            assert client.sessions() == []
+    assert ckpt_files(ckpt_dir) == []  # zero leaked session checkpoints
+
+
+def test_corrupt_and_alien_checkpoints_are_skipped_not_fatal(tmp_path):
+    ckpt_dir = str(tmp_path / "ckpts")
+    with serve_background(workers=1, queue_depth=8,
+                          checkpoint_dir=ckpt_dir) as background:
+        with Client(background.address) as client:
+            good = client.open_session(3, engine="bitslice")
+            victim = client.open_session(3, engine="bitslice")
+            assert client.append(good, ghz(3)).status == "ok"
+            assert client.append(victim, ghz(3)).status == "ok"
+    # Bit-flip one snapshot, drop an alien file beside it.
+    victim_path = os.path.join(session_dir(ckpt_dir), f"{victim}.ckpt")
+    blob = bytearray(open(victim_path, "rb").read())
+    blob[len(blob) // 2] ^= 0x08
+    with open(victim_path, "wb") as handle:
+        handle.write(bytes(blob))
+    alien = os.path.join(session_dir(ckpt_dir), "sX.ckpt")
+    with open(alien, "wb") as handle:
+        handle.write(b"not a snapshot at all")
+    with serve_background(workers=1, queue_depth=8,
+                          checkpoint_dir=ckpt_dir) as background:
+        with Client(background.address) as client:
+            health = client.health()
+            assert health["state"] == "ok"
+            assert health["restored_sessions"] == 1
+            counters = client.stats()["counters"]
+            assert counters.get("snapshot_sessions_skipped", 0) == 2
+            rows = client.sessions()
+            assert [row["session_id"] for row in rows] == [good]
+            # The surviving session still works, warm.
+            result = client.append(good, QuantumCircuit(3, name="t").t(0))
+            assert result.status == "ok"
+            assert result.extra["resumed_from_depth"] == ghz(3).num_gates
+            stats = client.stats()
+            line = format_frame(stats)
+            assert f"ckpt={stats['checkpointed_sessions']}" in line
+            assert client.close_session(good) == 2
+
+
+def test_id_mismatched_checkpoint_is_skipped(tmp_path):
+    """A snapshot renamed to another session's filename is stale by
+    definition (its recorded identity disagrees) — skipped, not adopted
+    under the wrong id."""
+    ckpt_dir = str(tmp_path / "ckpts")
+    with serve_background(workers=1, queue_depth=8,
+                          checkpoint_dir=ckpt_dir) as background:
+        with Client(background.address) as client:
+            session_id = client.open_session(2, engine="bitslice")
+            assert client.append(session_id, ghz(2)).status == "ok"
+    source = os.path.join(session_dir(ckpt_dir), f"{session_id}.ckpt")
+    os.rename(source, os.path.join(session_dir(ckpt_dir), "s999.ckpt"))
+    with serve_background(workers=1, queue_depth=8,
+                          checkpoint_dir=ckpt_dir) as background:
+        with Client(background.address) as client:
+            assert client.sessions() == []
+            counters = client.stats()["counters"]
+            assert counters.get("snapshot_sessions_skipped", 0) == 1
+
+
+def test_closing_a_session_removes_its_checkpoint_live(tmp_path):
+    ckpt_dir = str(tmp_path / "ckpts")
+    with serve_background(workers=1, queue_depth=8,
+                          checkpoint_dir=ckpt_dir) as background:
+        with Client(background.address) as client:
+            session_id = client.open_session(3, engine="bitslice")
+            assert client.append(session_id, ghz(3)).status == "ok"
+            assert ckpt_files(ckpt_dir) == [f"{session_id}.ckpt"]
+            assert client.close_session(session_id) == 1
+            assert ckpt_files(ckpt_dir) == []
+
+
+def test_server_without_checkpoint_dir_reports_inactive_gauges():
+    with serve_background(workers=1, queue_depth=4) as background:
+        with Client(background.address) as client:
+            session_id = client.open_session(2, engine="bitslice")
+            assert client.append(session_id, ghz(2)).status == "ok"
+            health = client.health()
+            assert health["checkpointed_sessions"] == 0
+            assert health["restored_sessions"] == 0
+            assert health["checkpoint_age_seconds"] == -1.0
+            stats = client.stats()
+            assert "ckpt=0/0r@-" in format_frame(stats)
+            assert client.close_session(session_id) == 1
+
+
+def test_registry_adoption_rules():
+    from repro.service.sessions import ServiceSession, SessionRegistry
+
+    registry = SessionRegistry(max_sessions=2)
+    restored = registry.adopt_restored("s7", 3, "bitslice", None,
+                                       ghz(3), appends=4)
+    assert restored is not None
+    assert restored.appends == 4
+    assert restored.last_status == "restored"
+    # Duplicate id: refused, not raised.
+    assert registry.adopt(ServiceSession("s7", 3, "bitslice")) is False
+    # The id counter advanced past every adopted s<N>.
+    fresh = registry.open(2)
+    assert fresh.session_id == "s8"
+    # Full registry: adoption refused.
+    assert registry.adopt_restored("s9", 2, "bitslice", None,
+                                   ghz(2), appends=1) is None
+
+
+def test_failed_startup_cleans_unix_socket_and_workers(tmp_path,
+                                                       monkeypatch):
+    """Satellite pin: ``serve_background`` whose startup dies after the
+    unix bind (socket file on disk, scheduler threads running) must undo
+    both — the next bind on that path works and no workers leak."""
+    sock = tmp_path / "repro.sock"
+    real = asyncio.start_unix_server
+
+    async def bind_then_fail(*args, **kwargs):
+        listener = await real(*args, **kwargs)
+        listener.close()
+        await listener.wait_closed()
+        assert sock.exists()  # the bind's side effect is on disk
+        raise RuntimeError("injected post-bind startup failure")
+
+    monkeypatch.setattr(asyncio, "start_unix_server", bind_then_fail)
+    before = {thread.name for thread in threading.enumerate()}
+    with pytest.raises(RuntimeError, match="injected post-bind"):
+        serve_background(unix_path=str(sock), workers=2)
+    assert not sock.exists(), "failed startup left a stale socket file"
+    leaked = {thread.name for thread in threading.enumerate()
+              if thread.is_alive()} - before
+    assert not any(name.startswith("repro-service-worker")
+                   for name in leaked), leaked
+    monkeypatch.undo()
+    # The path is clean: a real server binds there immediately.
+    with serve_background(unix_path=str(sock), workers=1) as background:
+        with Client(f"unix:{sock}") as client:
+            assert client.health()["state"] == "ok"
+    assert not sock.exists()

@@ -65,6 +65,9 @@ class TestSmokeBenchmarkLockstep:
     def test_service_benchmarks_are_smoke_gated(self):
         assert "bench_service.py" in smoke_benchmark_files(ci_text())
 
+    def test_snapshot_benchmarks_are_smoke_gated(self):
+        assert "bench_snapshot.py" in smoke_benchmark_files(ci_text())
+
     def test_smoke_files_exist(self):
         for name in smoke_benchmark_files(ci_text()):
             assert (BENCH_DIR / name).is_file(), f"{name} missing"
@@ -161,6 +164,16 @@ class TestChaosSuiteJob:
         assert "chaos" in jobs, "ci.yml lost the chaos job"
         assert "tests/resilience" in jobs["chaos"]
         assert (REPO_ROOT / "tests" / "resilience").is_dir()
+
+    def test_sigkill_resume_scenarios_are_pinned(self):
+        """The checkpointing acceptance gates — real subprocesses killed
+        with SIGKILL that must resume byte-identically — run as their own
+        named step inside the chaos job, so a crash-safety regression is
+        attributable at a glance."""
+        jobs = job_sections(ci_text(), "ci.yml")
+        assert "tests/resilience/test_sigkill_resume.py" in jobs["chaos"]
+        assert (REPO_ROOT / "tests" / "resilience"
+                / "test_sigkill_resume.py").is_file()
 
     def test_chaos_suite_stays_in_tier1_too(self):
         """The separate job isolates attribution; it must not become an
